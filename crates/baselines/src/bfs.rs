@@ -1,0 +1,146 @@
+//! Online BFS baselines: no index, every query traverses the graph.
+//!
+//! This is the naive method the introduction dismisses for online query
+//! processing ("a BFS from a celebrity ... is clearly out of the question")
+//! and the "µ-BFS" row of Table 7. The bidirectional variant is included as
+//! an additional, stronger online baseline.
+
+use crate::{KHopReachability, Reachability};
+use kreach_graph::traversal::{khop_reachable_bfs, khop_reachable_bidirectional, reachable_bfs};
+use kreach_graph::{DiGraph, VertexId};
+
+/// Index-free forward BFS.
+#[derive(Debug, Clone)]
+pub struct OnlineBfs<'g> {
+    graph: &'g DiGraph,
+}
+
+impl<'g> OnlineBfs<'g> {
+    /// Wraps a graph; nothing is precomputed.
+    pub fn new(graph: &'g DiGraph) -> Self {
+        OnlineBfs { graph }
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &DiGraph {
+        self.graph
+    }
+}
+
+impl Reachability for OnlineBfs<'_> {
+    fn name(&self) -> &'static str {
+        "online-bfs"
+    }
+
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        reachable_bfs(self.graph, s, t)
+    }
+
+    fn size_bytes(&self) -> usize {
+        0 // no index structures beyond the graph itself
+    }
+
+    fn build_millis(&self) -> f64 {
+        0.0
+    }
+}
+
+impl KHopReachability for OnlineBfs<'_> {
+    fn khop_reachable(&self, s: VertexId, t: VertexId, k: u32) -> bool {
+        khop_reachable_bfs(self.graph, s, t, k)
+    }
+}
+
+/// Index-free bidirectional BFS: expands the smaller frontier from both ends.
+#[derive(Debug, Clone)]
+pub struct BidirectionalBfs<'g> {
+    graph: &'g DiGraph,
+}
+
+impl<'g> BidirectionalBfs<'g> {
+    /// Wraps a graph; nothing is precomputed.
+    pub fn new(graph: &'g DiGraph) -> Self {
+        BidirectionalBfs { graph }
+    }
+}
+
+impl Reachability for BidirectionalBfs<'_> {
+    fn name(&self) -> &'static str {
+        "bidirectional-bfs"
+    }
+
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        // Any simple path has length < n, so n hops suffice for reachability.
+        khop_reachable_bidirectional(self.graph, s, t, self.graph.vertex_count() as u32)
+    }
+
+    fn size_bytes(&self) -> usize {
+        0
+    }
+
+    fn build_millis(&self) -> f64 {
+        0.0
+    }
+}
+
+impl KHopReachability for BidirectionalBfs<'_> {
+    fn khop_reachable(&self, s: VertexId, t: VertexId, k: u32) -> bool {
+        khop_reachable_bidirectional(self.graph, s, t, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiGraph {
+        DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 3)])
+    }
+
+    #[test]
+    fn online_bfs_answers_reachability() {
+        let g = sample();
+        let idx = OnlineBfs::new(&g);
+        assert!(idx.reachable(VertexId(0), VertexId(4)));
+        assert!(!idx.reachable(VertexId(4), VertexId(0)));
+        assert_eq!(idx.name(), "online-bfs");
+        assert_eq!(idx.size_bytes(), 0);
+    }
+
+    #[test]
+    fn online_bfs_answers_khop() {
+        let g = sample();
+        let idx = OnlineBfs::new(&g);
+        assert!(idx.khop_reachable(VertexId(0), VertexId(3), 2)); // 0 -> 5 -> 3
+        assert!(!idx.khop_reachable(VertexId(0), VertexId(4), 2));
+        assert!(idx.khop_reachable(VertexId(0), VertexId(4), 3));
+    }
+
+    #[test]
+    fn bidirectional_agrees_with_forward() {
+        let g = sample();
+        let fwd = OnlineBfs::new(&g);
+        let bi = BidirectionalBfs::new(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(fwd.reachable(s, t), bi.reachable(s, t), "({s},{t})");
+                for k in 0..6 {
+                    assert_eq!(
+                        fwd.khop_reachable(s, t, k),
+                        bi.khop_reachable(s, t, k),
+                        "({s},{t},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_default_impl_is_populated() {
+        let g = sample();
+        let idx = OnlineBfs::new(&g);
+        let stats = idx.stats();
+        assert_eq!(stats.name, "online-bfs");
+        assert_eq!(stats.size_bytes, 0);
+    }
+}

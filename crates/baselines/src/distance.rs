@@ -1,0 +1,278 @@
+//! A 2-hop-cover *distance* labeling (pruned landmark labeling).
+//!
+//! Section 3.5 of the paper observes that any shortest-path/distance index
+//! can answer k-hop reachability queries ("trivially"), but at a much higher
+//! cost than a dedicated k-hop index; Table 7 quantifies this with the
+//! "µ-dist" column, using the on-line exact shortest distance index of
+//! Cheng & Yu \[13\]. That exact system is not available, so this module
+//! implements the same *family* of index — a 2-hop distance cover — via
+//! pruned landmark labeling: vertices are processed from highest to lowest
+//! degree, each performing a forward and a backward BFS that is pruned
+//! wherever the already-built labels can certify the current distance.
+//! Queries take the minimum of `dist(s, w) + dist(w, t)` over common label
+//! entries `w`, which is the canonical 2-hop distance query.
+
+use crate::{KHopReachability, Reachability};
+use kreach_graph::{DiGraph, VertexId};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// One label entry: (landmark rank, hop distance).
+type LabelEntry = (u32, u32);
+
+/// A pruned-landmark-labeling distance index for directed graphs.
+#[derive(Debug, Clone)]
+pub struct DistanceIndex {
+    /// `label_out[v]`: landmarks reachable *from* `v`, with distances,
+    /// sorted by landmark rank.
+    label_out: Vec<Vec<LabelEntry>>,
+    /// `label_in[v]`: landmarks that can reach `v`, with distances,
+    /// sorted by landmark rank.
+    label_in: Vec<Vec<LabelEntry>>,
+    build_millis: f64,
+}
+
+impl DistanceIndex {
+    /// Builds the labeling. Landmarks are processed in decreasing order of
+    /// total degree, which is the standard heuristic that keeps labels small
+    /// on skewed-degree graphs.
+    pub fn build(g: &DiGraph) -> Self {
+        let started = Instant::now();
+        let n = g.vertex_count();
+        let mut order: Vec<VertexId> = g.vertices().collect();
+        order.sort_unstable_by_key(|&v| std::cmp::Reverse(g.total_degree(v)));
+
+        let mut label_out: Vec<Vec<LabelEntry>> = vec![Vec::new(); n];
+        let mut label_in: Vec<Vec<LabelEntry>> = vec![Vec::new(); n];
+
+        // Reusable BFS state.
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        let mut touched: Vec<usize> = Vec::new();
+
+        for (rank, &landmark) in order.iter().enumerate() {
+            let rank = rank as u32;
+            // Forward BFS from the landmark: populates label_in of reached
+            // vertices (the landmark can reach them). Pruning only consults
+            // labels of earlier landmarks, so the pushes can safely happen
+            // after the traversal.
+            let survivors = Self::pruned_bfs(
+                g,
+                landmark,
+                true,
+                &label_out,
+                &label_in,
+                &mut dist,
+                &mut queue,
+                &mut touched,
+            );
+            for (v, d) in survivors {
+                label_in[v.index()].push((rank, d));
+            }
+            // Backward BFS: populates label_out of reached vertices (they can
+            // reach the landmark).
+            let survivors = Self::pruned_bfs(
+                g,
+                landmark,
+                false,
+                &label_out,
+                &label_in,
+                &mut dist,
+                &mut queue,
+                &mut touched,
+            );
+            for (v, d) in survivors {
+                label_out[v.index()].push((rank, d));
+            }
+        }
+
+        DistanceIndex { label_out, label_in, build_millis: started.elapsed().as_secs_f64() * 1e3 }
+    }
+
+    /// BFS from `landmark` (forward if `forward`, else on reversed edges),
+    /// pruned by the labels built so far; returns `(v, d)` for every vertex
+    /// that survives pruning (including the landmark itself at d=0).
+    #[allow(clippy::too_many_arguments)]
+    fn pruned_bfs(
+        g: &DiGraph,
+        landmark: VertexId,
+        forward: bool,
+        label_out: &[Vec<LabelEntry>],
+        label_in: &[Vec<LabelEntry>],
+        dist: &mut [u32],
+        queue: &mut VecDeque<VertexId>,
+        touched: &mut Vec<usize>,
+    ) -> Vec<(VertexId, u32)> {
+        let mut survivors = Vec::new();
+        queue.clear();
+        touched.clear();
+        dist[landmark.index()] = 0;
+        touched.push(landmark.index());
+        queue.push_back(landmark);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            // Prune if an earlier landmark already certifies this distance.
+            let certified = if forward {
+                Self::query_upper_bound(&label_out[landmark.index()], &label_in[u.index()])
+            } else {
+                Self::query_upper_bound(&label_out[u.index()], &label_in[landmark.index()])
+            };
+            if certified <= du && u != landmark {
+                continue;
+            }
+            survivors.push((u, du));
+            let neighbors = if forward { g.out_neighbors(u) } else { g.in_neighbors(u) };
+            for &v in neighbors {
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = du + 1;
+                    touched.push(v.index());
+                    queue.push_back(v);
+                }
+            }
+        }
+        for &i in touched.iter() {
+            dist[i] = u32::MAX;
+        }
+        survivors
+    }
+
+    /// Minimum `d_out + d_in` over common landmarks of two sorted label lists.
+    fn query_upper_bound(out: &[LabelEntry], inn: &[LabelEntry]) -> u32 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut best = u32::MAX;
+        while i < out.len() && j < inn.len() {
+            match out[i].0.cmp(&inn[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    best = best.min(out[i].1.saturating_add(inn[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        best
+    }
+
+    /// Exact shortest-path hop distance from `s` to `t`, or `None` if `t` is
+    /// unreachable.
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Option<u32> {
+        if s == t {
+            return Some(0);
+        }
+        let d = Self::query_upper_bound(&self.label_out[s.index()], &self.label_in[t.index()]);
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// Average number of label entries per vertex (a standard quality metric
+    /// for 2-hop covers).
+    pub fn average_label_size(&self) -> f64 {
+        let total: usize = self
+            .label_out
+            .iter()
+            .chain(self.label_in.iter())
+            .map(Vec::len)
+            .sum();
+        total as f64 / (2.0 * self.label_out.len().max(1) as f64)
+    }
+}
+
+impl Reachability for DistanceIndex {
+    fn name(&self) -> &'static str {
+        "distance-labeling"
+    }
+
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        self.distance(s, t).is_some()
+    }
+
+    fn size_bytes(&self) -> usize {
+        let entries: usize = self
+            .label_out
+            .iter()
+            .chain(self.label_in.iter())
+            .map(Vec::len)
+            .sum();
+        entries * std::mem::size_of::<LabelEntry>()
+            + (self.label_out.len() + self.label_in.len()) * std::mem::size_of::<Vec<LabelEntry>>()
+    }
+
+    fn build_millis(&self) -> f64 {
+        self.build_millis
+    }
+}
+
+impl KHopReachability for DistanceIndex {
+    fn khop_reachable(&self, s: VertexId, t: VertexId, k: u32) -> bool {
+        self.distance(s, t).is_some_and(|d| d <= k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_graph::generators::GeneratorSpec;
+    use kreach_graph::traversal::shortest_distance;
+
+    #[test]
+    fn exact_distances_on_small_graph() {
+        let g = DiGraph::from_edges(7, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3), (3, 5), (6, 0)]);
+        let idx = DistanceIndex::build(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(idx.distance(s, t), shortest_distance(&g, s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_distances_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = GeneratorSpec::PowerLaw { n: 150, m: 600, hubs: 3 }.generate(seed);
+            let idx = DistanceIndex::build(&g);
+            for s in g.vertices().step_by(11) {
+                for t in g.vertices().step_by(7) {
+                    assert_eq!(
+                        idx.distance(s, t),
+                        shortest_distance(&g, s, t),
+                        "seed {seed} ({s},{t})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_cyclic_graph() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let idx = DistanceIndex::build(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(idx.distance(s, t), shortest_distance(&g, s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn khop_queries_use_exact_distance() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let idx = DistanceIndex::build(&g);
+        assert!(idx.khop_reachable(VertexId(0), VertexId(3), 3));
+        assert!(!idx.khop_reachable(VertexId(0), VertexId(3), 2));
+        assert!(idx.reachable(VertexId(0), VertexId(4)));
+        assert!(!idx.reachable(VertexId(4), VertexId(0)));
+    }
+
+    #[test]
+    fn pruning_keeps_labels_smaller_than_n() {
+        let g = GeneratorSpec::PowerLaw { n: 400, m: 1600, hubs: 5 }.generate(9);
+        let idx = DistanceIndex::build(&g);
+        assert!(
+            idx.average_label_size() < 100.0,
+            "average label size {} should be far below n=400",
+            idx.average_label_size()
+        );
+        assert!(idx.size_bytes() > 0);
+        assert!(idx.build_millis() >= 0.0);
+    }
+}

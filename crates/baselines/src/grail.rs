@@ -1,0 +1,230 @@
+//! GRAIL \[32\]: scalable reachability via randomized interval labels.
+//!
+//! GRAIL assigns every DAG vertex a handful of intervals obtained from
+//! randomized depth-first traversals. Interval containment is a *necessary*
+//! condition for reachability, so a query either fails fast (some interval
+//! does not contain the target's) or falls back to a DFS that prunes with the
+//! same labels. Like every DAG-based index, GRAIL answers classic
+//! reachability only — Section 3.2 of the paper explains why the interval
+//! containment test cannot capture the hop constraint of a k-hop query.
+
+use crate::Reachability;
+use kreach_graph::scc::Condensation;
+use kreach_graph::{DiGraph, FixedBitSet, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One traversal's labels: for vertex `v`, the interval
+/// `[low[v], post[v]]` contains the post-order ranks of every vertex
+/// reachable from `v` in the DFS forest (and possibly more).
+#[derive(Debug, Clone)]
+struct TraversalLabels {
+    post: Vec<u32>,
+    low: Vec<u32>,
+}
+
+impl TraversalLabels {
+    #[inline]
+    fn contains(&self, u: usize, v: usize) -> bool {
+        self.low[u] <= self.post[v] && self.post[v] <= self.post[u]
+    }
+}
+
+/// The GRAIL reachability index.
+#[derive(Debug, Clone)]
+pub struct Grail {
+    condensation: Condensation,
+    labels: Vec<TraversalLabels>,
+    build_millis: f64,
+}
+
+impl Grail {
+    /// Default number of randomized traversals (the GRAIL paper uses 2–5).
+    pub const DEFAULT_TRAVERSALS: usize = 3;
+
+    /// Builds a GRAIL index with the default number of traversals.
+    pub fn build(g: &DiGraph) -> Self {
+        Self::build_with(g, Self::DEFAULT_TRAVERSALS, 0x6a41_1)
+    }
+
+    /// Builds a GRAIL index with `traversals` randomized labelings.
+    pub fn build_with(g: &DiGraph, traversals: usize, seed: u64) -> Self {
+        assert!(traversals >= 1, "GRAIL needs at least one traversal");
+        let started = Instant::now();
+        let condensation = Condensation::new(g);
+        let dag = &condensation.dag;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels = (0..traversals).map(|_| Self::one_traversal(dag, &mut rng)).collect();
+        Grail { condensation, labels, build_millis: started.elapsed().as_secs_f64() * 1e3 }
+    }
+
+    /// Runs one randomized DFS over the DAG and derives `[low, post]` labels.
+    fn one_traversal(dag: &DiGraph, rng: &mut StdRng) -> TraversalLabels {
+        let mut roots: Vec<VertexId> = dag.vertices().collect();
+        roots.shuffle(rng);
+        // Children are shuffled per visit; capture distinct seeds per call so
+        // that the closure does not borrow `rng` across the forest call.
+        let child_seed: u64 = rand::Rng::gen(rng);
+        let mut counter = 0u64;
+        let forest = kreach_graph::traversal::dfs_forest(dag, &roots, |children| {
+            let mut c = children.to_vec();
+            counter += 1;
+            let mut local = StdRng::seed_from_u64(child_seed.wrapping_add(counter));
+            c.shuffle(&mut local);
+            c
+        });
+
+        let n = dag.vertex_count();
+        // Dense post-order ranks 1..=n.
+        let mut post = vec![0u32; n];
+        for (rank, &v) in forest.postorder.iter().enumerate() {
+            post[v.index()] = rank as u32 + 1;
+        }
+        // low[v] = min(post[v], low of all out-neighbours); vertices in
+        // post-order guarantee successors are finalized first.
+        let mut low = post.clone();
+        for &v in &forest.postorder {
+            let mut m = post[v.index()];
+            for &w in dag.out_neighbors(v) {
+                m = m.min(low[w.index()]);
+            }
+            low[v.index()] = m;
+        }
+        TraversalLabels { post, low }
+    }
+
+    /// Number of randomized traversals.
+    pub fn traversal_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether every label of `u` contains the corresponding label of `v`
+    /// (the necessary condition for reachability).
+    fn all_contain(&self, u: usize, v: usize) -> bool {
+        self.labels.iter().all(|l| l.contains(u, v))
+    }
+
+    /// Label-pruned DFS on the DAG from `u` looking for `v`.
+    fn pruned_dfs(&self, u: usize, v: usize) -> bool {
+        let dag = &self.condensation.dag;
+        let mut visited = FixedBitSet::new(dag.vertex_count());
+        let mut stack = vec![u];
+        visited.insert(u);
+        while let Some(x) = stack.pop() {
+            if x == v {
+                return true;
+            }
+            for &w in dag.out_neighbors(VertexId(x as u32)) {
+                let wi = w.index();
+                if !visited.contains(wi) && self.all_contain(wi, v) {
+                    visited.insert(wi);
+                    stack.push(wi);
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Reachability for Grail {
+    fn name(&self) -> &'static str {
+        "grail"
+    }
+
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        let cs = self.condensation.map(s).index();
+        let ct = self.condensation.map(t).index();
+        if cs == ct {
+            return true;
+        }
+        if !self.all_contain(cs, ct) {
+            return false;
+        }
+        self.pruned_dfs(cs, ct)
+    }
+
+    fn size_bytes(&self) -> usize {
+        let per_traversal = self.condensation.dag.vertex_count() * 2 * std::mem::size_of::<u32>();
+        self.labels.len() * per_traversal
+            + self.condensation.dag.size_bytes()
+            + self.condensation.scc.component.len() * std::mem::size_of::<u32>()
+    }
+
+    fn build_millis(&self) -> f64 {
+        self.build_millis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_graph::generators::GeneratorSpec;
+    use kreach_graph::traversal::reachable_bfs;
+
+    fn check_against_bfs(g: &DiGraph, grail: &Grail) {
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(grail.reachable(s, t), reachable_bfs(g, s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_small_dag() {
+        let g = DiGraph::from_edges(7, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (5, 6)]);
+        let grail = Grail::build(&g);
+        check_against_bfs(&g, &grail);
+    }
+
+    #[test]
+    fn exact_on_cyclic_graph() {
+        let g = DiGraph::from_edges(
+            8,
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (6, 7)],
+        );
+        let grail = Grail::build(&g);
+        check_against_bfs(&g, &grail);
+    }
+
+    #[test]
+    fn exact_on_random_graphs_with_various_traversal_counts() {
+        for (seed, traversals) in [(1u64, 1usize), (2, 2), (3, 5)] {
+            let g = GeneratorSpec::ErdosRenyi { n: 120, m: 300 }.generate(seed);
+            let grail = Grail::build_with(&g, traversals, seed);
+            assert_eq!(grail.traversal_count(), traversals);
+            for s in g.vertices().step_by(7) {
+                for t in g.vertices().step_by(5) {
+                    assert_eq!(grail.reachable(s, t), reachable_bfs(&g, s, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_containment_is_necessary() {
+        // If the labels say "not contained", BFS must agree it is unreachable.
+        let g = GeneratorSpec::LayeredDag { n: 200, m: 500, layers: 10, back_edge_fraction: 0.0 }
+            .generate(4);
+        let grail = Grail::build(&g);
+        for s in g.vertices().step_by(3) {
+            for t in g.vertices().step_by(4) {
+                let cs = grail.condensation.map(s).index();
+                let ct = grail.condensation.map(t).index();
+                if cs != ct && !grail.all_contain(cs, ct) {
+                    assert!(!reachable_bfs(&g, s, t), "pruned a reachable pair ({s},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reports_size_and_time() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let grail = Grail::build(&g);
+        assert!(grail.size_bytes() > 0);
+        assert!(grail.build_millis() >= 0.0);
+        assert_eq!(grail.name(), "grail");
+    }
+}

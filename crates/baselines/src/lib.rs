@@ -1,0 +1,68 @@
+//! # kreach-baselines
+//!
+//! From-scratch implementations of the systems the K-Reach paper compares
+//! against in Section 6, plus the traits the benchmark harness uses to drive
+//! them uniformly:
+//!
+//! * [`bfs`] — online (k-hop) BFS and bidirectional BFS, the index-free
+//!   baseline ("µ-BFS" in Table 7).
+//! * [`distance`] — a 2-hop-cover distance labeling (pruned landmark
+//!   labeling), standing in for the shortest-path distance index \[13\]
+//!   ("µ-dist" in Table 7).
+//! * [`grail`] — GRAIL \[32\]: randomized DFS interval labels on the
+//!   condensation DAG with a label-pruned fallback search.
+//! * [`transitive_closure`] — interval-compressed per-source transitive
+//!   closure on the condensation DAG, standing in for PWAH \[28\].
+//! * [`tree_cover`] — spanning-tree interval labels with propagated non-tree
+//!   labels (the Agrawal et al. tree cover), standing in for Path-Tree \[24\].
+//!
+//! All classic-reachability baselines answer *reachability* queries only —
+//! Section 3 of the paper explains why none of them extends to k-hop
+//! reachability, which is precisely what the k-reach index adds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod distance;
+pub mod grail;
+pub mod transitive_closure;
+pub mod tree_cover;
+
+pub use bfs::{BidirectionalBfs, OnlineBfs};
+pub use distance::DistanceIndex;
+pub use grail::Grail;
+pub use transitive_closure::IntervalTransitiveClosure;
+pub use tree_cover::TreeCover;
+
+use kreach_core::IndexStats;
+use kreach_graph::VertexId;
+
+/// A classic reachability index: answers `s → t` queries.
+pub trait Reachability {
+    /// Short human-readable name used in benchmark tables.
+    fn name(&self) -> &'static str;
+    /// Whether `t` is reachable from `s` by a directed path of any length.
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool;
+    /// Approximate in-memory size of the index structures in bytes.
+    fn size_bytes(&self) -> usize;
+    /// Wall-clock construction time in milliseconds.
+    fn build_millis(&self) -> f64;
+    /// Bundled statistics, as used by the table harness.
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            name: self.name().to_string(),
+            build_millis: self.build_millis(),
+            size_bytes: self.size_bytes(),
+            cover_size: None,
+            index_edges: None,
+        }
+    }
+}
+
+/// An index (or online method) able to answer k-hop reachability queries for
+/// an arbitrary bound `k` supplied at query time.
+pub trait KHopReachability {
+    /// Whether there is a directed path from `s` to `t` of length at most `k`.
+    fn khop_reachable(&self, s: VertexId, t: VertexId, k: u32) -> bool;
+}

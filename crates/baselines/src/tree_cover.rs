@@ -1,0 +1,214 @@
+//! Spanning-tree interval cover with propagated non-tree labels.
+//!
+//! This is the stand-in for Path-Tree \[24\] and belongs to the classic
+//! Agrawal–Borgida–Jagadish "tree cover" family: a DFS spanning forest of the
+//! condensation DAG yields one interval per vertex (containing the post-order
+//! ranks of its tree descendants); processing vertices in reverse topological
+//! order then propagates successor intervals upwards so that the interval set
+//! of `u` covers *every* vertex reachable from `u`. Queries test whether any
+//! interval of `u` contains the post-order rank of `v`. Like all DAG-interval
+//! schemes it answers classic reachability only (Section 3.2/3.3 of the
+//! paper), which is why it appears here purely as a comparison point.
+
+use crate::Reachability;
+use kreach_graph::scc::Condensation;
+use kreach_graph::traversal::{dfs_forest, topological_sort};
+use kreach_graph::{DiGraph, VertexId};
+use std::time::Instant;
+
+/// A closed interval of post-order ranks `[lo, hi]`.
+type Interval = (u32, u32);
+
+/// Tree-interval reachability cover over the condensation DAG.
+#[derive(Debug, Clone)]
+pub struct TreeCover {
+    condensation: Condensation,
+    /// Post-order rank of every DAG vertex in the spanning forest.
+    post: Vec<u32>,
+    /// Per DAG vertex: sorted, minimal list of intervals covering the
+    /// post-order ranks of every reachable vertex (including itself).
+    intervals: Vec<Vec<Interval>>,
+    build_millis: f64,
+}
+
+impl TreeCover {
+    /// Builds the tree cover of `g`.
+    pub fn build(g: &DiGraph) -> Self {
+        let started = Instant::now();
+        let condensation = Condensation::new(g);
+        let dag = &condensation.dag;
+        let n = dag.vertex_count();
+
+        // Spanning forest: deterministic DFS in vertex-id order.
+        let forest = dfs_forest(dag, &[], |children| children.to_vec());
+        let mut post = vec![0u32; n];
+        for (rank, &v) in forest.postorder.iter().enumerate() {
+            post[v.index()] = rank as u32;
+        }
+        // Tree interval of v: [min post-order in its DFS subtree, post(v)].
+        // Because children finish before parents, a single pass in post-order
+        // can accumulate subtree minima over *tree* children. The DFS forest
+        // does not record tree edges explicitly, so recompute them: w is a
+        // tree child of v iff v discovered w (discovery parent). We identify
+        // tree children conservatively via discovery/finish nesting.
+        let mut subtree_min = post.clone();
+        for &v in &forest.postorder {
+            for &w in dag.out_neighbors(v) {
+                let nested = forest.discovery[v.index()] < forest.discovery[w.index()]
+                    && forest.finish[w.index()] < forest.finish[v.index()];
+                if nested {
+                    subtree_min[v.index()] = subtree_min[v.index()].min(subtree_min[w.index()]);
+                }
+            }
+        }
+
+        // Propagate intervals in reverse topological order of the DAG.
+        let topo = topological_sort(dag).expect("condensation is a DAG");
+        let mut intervals: Vec<Vec<Interval>> = vec![Vec::new(); n];
+        for &v in topo.iter().rev() {
+            let mut collected: Vec<Interval> = vec![(subtree_min[v.index()], post[v.index()])];
+            for &w in dag.out_neighbors(v) {
+                collected.extend_from_slice(&intervals[w.index()]);
+            }
+            intervals[v.index()] = Self::minimize(collected);
+        }
+
+        TreeCover { condensation, post, intervals, build_millis: started.elapsed().as_secs_f64() * 1e3 }
+    }
+
+    /// Sorts intervals, merges overlapping/adjacent ones and drops contained
+    /// ones, yielding a minimal sorted list.
+    fn minimize(mut intervals: Vec<Interval>) -> Vec<Interval> {
+        intervals.sort_unstable();
+        let mut out: Vec<Interval> = Vec::with_capacity(intervals.len());
+        for (lo, hi) in intervals {
+            match out.last_mut() {
+                Some(last) if lo <= last.1.saturating_add(1) => {
+                    last.1 = last.1.max(hi);
+                }
+                _ => out.push((lo, hi)),
+            }
+        }
+        out
+    }
+
+    /// Average number of intervals stored per DAG vertex.
+    pub fn average_intervals(&self) -> f64 {
+        let total: usize = self.intervals.iter().map(Vec::len).sum();
+        total as f64 / self.intervals.len().max(1) as f64
+    }
+
+    fn contains(&self, u: usize, target_post: u32) -> bool {
+        self.intervals[u]
+            .binary_search_by(|&(lo, hi)| {
+                if target_post < lo {
+                    std::cmp::Ordering::Greater
+                } else if target_post > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+}
+
+impl Reachability for TreeCover {
+    fn name(&self) -> &'static str {
+        "tree-cover"
+    }
+
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        let cs = self.condensation.map(s).index();
+        let ct = self.condensation.map(t).index();
+        if cs == ct {
+            return true;
+        }
+        self.contains(cs, self.post[ct])
+    }
+
+    fn size_bytes(&self) -> usize {
+        let interval_bytes: usize =
+            self.intervals.iter().map(|l| l.len() * std::mem::size_of::<Interval>()).sum();
+        interval_bytes
+            + self.post.len() * std::mem::size_of::<u32>()
+            + self.condensation.scc.component.len() * std::mem::size_of::<u32>()
+    }
+
+    fn build_millis(&self) -> f64 {
+        self.build_millis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_graph::generators::GeneratorSpec;
+    use kreach_graph::traversal::reachable_bfs;
+
+    fn check_against_bfs(g: &DiGraph, idx: &TreeCover) {
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(idx.reachable(s, t), reachable_bfs(g, s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_small_dag_with_cross_edges() {
+        let g = DiGraph::from_edges(8, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (5, 2), (6, 7)]);
+        let idx = TreeCover::build(&g);
+        check_against_bfs(&g, &idx);
+    }
+
+    #[test]
+    fn exact_on_cyclic_graph() {
+        let g = DiGraph::from_edges(
+            7,
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (0, 6)],
+        );
+        let idx = TreeCover::build(&g);
+        check_against_bfs(&g, &idx);
+    }
+
+    #[test]
+    fn exact_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = GeneratorSpec::ErdosRenyi { n: 140, m: 420 }.generate(seed + 20);
+            let idx = TreeCover::build(&g);
+            for s in g.vertices().step_by(7) {
+                for t in g.vertices().step_by(5) {
+                    assert_eq!(idx.reachable(s, t), reachable_bfs(&g, s, t), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_lists_stay_small_on_tree_like_dags() {
+        let g = GeneratorSpec::LayeredDag { n: 500, m: 700, layers: 12, back_edge_fraction: 0.0 }
+            .generate(8);
+        let idx = TreeCover::build(&g);
+        assert!(
+            idx.average_intervals() < 12.0,
+            "tree-like DAGs should need few intervals per vertex, got {:.2}",
+            idx.average_intervals()
+        );
+    }
+
+    #[test]
+    fn minimize_merges_and_drops_contained() {
+        let merged = TreeCover::minimize(vec![(5, 9), (1, 3), (2, 4), (6, 7), (11, 12)]);
+        assert_eq!(merged, vec![(1, 9), (11, 12)]);
+        assert!(TreeCover::minimize(vec![]).is_empty());
+    }
+
+    #[test]
+    fn reports_metadata() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let idx = TreeCover::build(&g);
+        assert_eq!(idx.name(), "tree-cover");
+        assert!(idx.size_bytes() > 0);
+        assert!(idx.build_millis() >= 0.0);
+    }
+}

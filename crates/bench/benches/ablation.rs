@@ -1,0 +1,69 @@
+//! Criterion ablations for the design choices called out in DESIGN.md:
+//! cover strategy (§4.3), the (h,k)-reach tradeoff (§5), and the
+//! powers-of-two general-k family (§4.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kreach_core::{BuildOptions, CoverStrategy, HkReachIndex, KReachIndex, MultiKReach};
+use kreach_datasets::{spec_by_name, QueryWorkload, WorkloadConfig};
+
+fn ablations(c: &mut Criterion) {
+    let spec = spec_by_name("Kegg").expect("known dataset").scaled(16);
+    let g = spec.generate(11);
+    let pairs = QueryWorkload::uniform(&g, WorkloadConfig { queries: 2048, seed: 5 })
+        .pairs()
+        .to_vec();
+
+    // Cover strategy: build cost.
+    let mut group = c.benchmark_group("cover-strategy-build");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("random-edge", CoverStrategy::RandomEdge),
+        ("degree-priority", CoverStrategy::DegreePriority),
+    ] {
+        group.bench_function(BenchmarkId::new("k6", label), |b| {
+            b.iter(|| KReachIndex::build(&g, 6, BuildOptions { cover_strategy: strategy, threads: 1 }))
+        });
+    }
+    group.finish();
+
+    // Cover strategy: query cost on the same workload.
+    let mut group = c.benchmark_group("cover-strategy-query");
+    for (label, strategy) in [
+        ("random-edge", CoverStrategy::RandomEdge),
+        ("degree-priority", CoverStrategy::DegreePriority),
+    ] {
+        let index = KReachIndex::build(&g, 6, BuildOptions { cover_strategy: strategy, threads: 1 });
+        group.bench_function(BenchmarkId::new("k6", label), |b| {
+            b.iter(|| pairs.iter().filter(|&&(s, t)| index.query(&g, s, t)).count())
+        });
+    }
+    group.finish();
+
+    // k-reach vs (h,k)-reach query cost (the Table 9 tradeoff).
+    let mut group = c.benchmark_group("hk-tradeoff-query");
+    let kreach = KReachIndex::build(&g, 6, BuildOptions::default());
+    group.bench_function("k-reach-k6", |b| {
+        b.iter(|| pairs.iter().filter(|&&(s, t)| kreach.query(&g, s, t)).count())
+    });
+    let hkreach = HkReachIndex::build(&g, 2, 6);
+    group.bench_function("hk-reach-h2-k6", |b| {
+        b.iter(|| pairs.iter().filter(|&&(s, t)| hkreach.query(&g, s, t)).count())
+    });
+    group.finish();
+
+    // General-k family query cost.
+    let mut group = c.benchmark_group("general-k");
+    group.sample_size(10);
+    let family = MultiKReach::build(&g, 8, BuildOptions::default());
+    group.bench_function("pow2-family-k3", |b| {
+        b.iter(|| pairs.iter().filter(|&&(s, t)| family.query(&g, s, t, 3).optimistic()).count())
+    });
+    let exact = KReachIndex::build(&g, 3, BuildOptions::default());
+    group.bench_function("dedicated-k3", |b| {
+        b.iter(|| pairs.iter().filter(|&&(s, t)| exact.query(&g, s, t)).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for index construction (the quantity Table 3
+//! reports at full dataset scale). Runs on reduced-scale datasets so that
+//! `cargo bench` finishes quickly; the `table3` binary covers full scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kreach_baselines::{DistanceIndex, Grail, IntervalTransitiveClosure, TreeCover};
+use kreach_core::{BuildOptions, CoverStrategy, HkReachIndex, KReachIndex};
+use kreach_datasets::spec_by_name;
+use kreach_graph::DiGraph;
+
+fn bench_graphs() -> Vec<(&'static str, DiGraph)> {
+    ["AgroCyc", "ArXiv", "Xmark"]
+        .into_iter()
+        .map(|name| {
+            let spec = spec_by_name(name).expect("known dataset").scaled(16);
+            (name, spec.generate(7))
+        })
+        .collect()
+}
+
+fn construction(c: &mut Criterion) {
+    let graphs = bench_graphs();
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for (name, g) in &graphs {
+        group.bench_with_input(BenchmarkId::new("n-reach", name), g, |b, g| {
+            b.iter(|| KReachIndex::for_classic_reachability(g, BuildOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("6-reach", name), g, |b, g| {
+            b.iter(|| KReachIndex::build(g, 6, BuildOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("(2,6)-reach", name), g, |b, g| {
+            b.iter(|| HkReachIndex::build(g, 2, 6))
+        });
+        group.bench_with_input(BenchmarkId::new("6-reach-random-cover", name), g, |b, g| {
+            b.iter(|| {
+                KReachIndex::build(
+                    g,
+                    6,
+                    BuildOptions { cover_strategy: CoverStrategy::RandomEdge, threads: 1 },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grail", name), g, |b, g| {
+            b.iter(|| Grail::build(g))
+        });
+        group.bench_with_input(BenchmarkId::new("tree-cover", name), g, |b, g| {
+            b.iter(|| TreeCover::build(g))
+        });
+        group.bench_with_input(BenchmarkId::new("interval-tc", name), g, |b, g| {
+            b.iter(|| IntervalTransitiveClosure::build(g))
+        });
+        group.bench_with_input(BenchmarkId::new("distance-labeling", name), g, |b, g| {
+            b.iter(|| DistanceIndex::build(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

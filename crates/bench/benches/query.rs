@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks for query latency (the quantities Tables 5 and
+//! 7 report as workload totals): k-reach at several k, the baselines, and a
+//! per-case breakdown of Algorithm 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kreach_baselines::{DistanceIndex, KHopReachability, OnlineBfs, Reachability};
+use kreach_core::{BuildOptions, KReachIndex, QueryCase};
+use kreach_datasets::{spec_by_name, QueryWorkload, WorkloadConfig};
+use kreach_graph::{DiGraph, VertexId};
+
+fn workload_pairs(g: &DiGraph, n: usize) -> Vec<(VertexId, VertexId)> {
+    QueryWorkload::uniform(g, WorkloadConfig { queries: n, seed: 99 })
+        .pairs()
+        .to_vec()
+}
+
+fn query_benchmarks(c: &mut Criterion) {
+    let spec = spec_by_name("AgroCyc").expect("known dataset").scaled(16);
+    let g = spec.generate(7);
+    let pairs = workload_pairs(&g, 4096);
+
+    let mut group = c.benchmark_group("query-workload");
+    for k in [2u32, 6, g.vertex_count() as u32] {
+        let index = KReachIndex::build(&g, k, BuildOptions::default());
+        group.bench_with_input(BenchmarkId::new("k-reach", k), &index, |b, index| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|&&(s, t)| index.query(&g, s, t))
+                    .count()
+            })
+        });
+    }
+    let bfs = OnlineBfs::new(&g);
+    group.bench_function("khop-bfs-k6", |b| {
+        b.iter(|| pairs.iter().filter(|&&(s, t)| bfs.khop_reachable(s, t, 6)).count())
+    });
+    let dist = DistanceIndex::build(&g);
+    group.bench_function("distance-labeling-k6", |b| {
+        b.iter(|| pairs.iter().filter(|&&(s, t)| dist.khop_reachable(s, t, 6)).count())
+    });
+    group.bench_function("distance-labeling-reach", |b| {
+        b.iter(|| pairs.iter().filter(|&&(s, t)| dist.reachable(s, t)).count())
+    });
+    group.finish();
+
+    // Per-case latency: Section 6.3.2 reports Case 4 costs ~12x Case 1.
+    let index = KReachIndex::build(&g, 6, BuildOptions::default());
+    let mut by_case: [Vec<(VertexId, VertexId)>; 4] = Default::default();
+    for &(s, t) in &pairs {
+        let case = index.classify(s, t);
+        by_case[(case.number() - 1) as usize].push((s, t));
+    }
+    let mut group = c.benchmark_group("query-by-case");
+    for (i, case_pairs) in by_case.iter().enumerate() {
+        if case_pairs.is_empty() {
+            continue;
+        }
+        let label = match i {
+            0 => "case1-both-in-cover",
+            1 => "case2-source-in-cover",
+            2 => "case3-target-in-cover",
+            _ => "case4-neither-in-cover",
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                case_pairs
+                    .iter()
+                    .filter(|&&(s, t)| index.query(&g, s, t))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+
+    // Sanity check outside measurement: classification buckets are disjoint
+    // and complete.
+    let total: usize = by_case.iter().map(Vec::len).sum();
+    assert_eq!(total, pairs.len());
+    assert_eq!(QueryCase::BothInCover.number(), 1);
+}
+
+criterion_group!(benches, query_benchmarks);
+criterion_main!(benches);

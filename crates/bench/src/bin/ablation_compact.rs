@@ -1,0 +1,50 @@
+//! Ablation for §4.3's compact representation: the CSR + 2-bit-weight index
+//! versus the interval-compressed index, in size and query time.
+
+use kreach_bench::table::{fmt_mb, fmt_ms};
+use kreach_bench::{BenchConfig, Table};
+use kreach_core::{BuildOptions, CompactKReachIndex, KReachIndex};
+use kreach_datasets::{QueryWorkload, WorkloadConfig};
+use kreach_graph::metrics::{distance_profile, StatsConfig};
+use std::time::Instant;
+
+fn main() {
+    let config = BenchConfig::from_env();
+    let mut table = Table::new([
+        "dataset", "csr MB", "interval MB", "ratio", "runs", "index edges", "csr ms", "interval ms",
+    ]);
+    for spec in config.scaled_datasets() {
+        let g = spec.generate(config.seed);
+        let workload =
+            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries, seed: config.seed });
+        let (_, mu) = distance_profile(&g, StatsConfig::default());
+        let k = mu.max(2);
+
+        let plain = KReachIndex::build(&g, k, BuildOptions::default());
+        let compact = CompactKReachIndex::from_index(&plain);
+
+        let started = Instant::now();
+        let pos_plain = workload.pairs().iter().filter(|&&(s, t)| plain.query(&g, s, t)).count();
+        let plain_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let started = Instant::now();
+        let pos_compact = workload.pairs().iter().filter(|&&(s, t)| compact.query(&g, s, t)).count();
+        let compact_ms = started.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(pos_plain, pos_compact, "representations must agree on every query");
+
+        table.row([
+            spec.name.to_string(),
+            fmt_mb(plain.size_bytes()),
+            fmt_mb(compact.size_bytes()),
+            format!("{:.2}", compact.compression_ratio(&plain)),
+            compact.total_runs().to_string(),
+            plain.index_edge_count().to_string(),
+            fmt_ms(plain_ms),
+            fmt_ms(compact_ms),
+        ]);
+    }
+    table.print(&format!(
+        "Ablation (4.3): CSR vs interval-compressed index at k = mu ({} queries, scale 1/{})",
+        config.queries, config.scale
+    ));
+}

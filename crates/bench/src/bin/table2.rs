@@ -1,0 +1,36 @@
+//! Table 2: dataset statistics — published values versus the generated
+//! synthetic stand-ins.
+
+use kreach_bench::{BenchConfig, Table};
+use kreach_graph::metrics::{graph_stats, StatsConfig};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    let mut table = Table::new([
+        "dataset", "|V|", "|E|", "|V_dag|", "|E_dag|", "Degmax", "d", "mu", "paper |V|", "paper |E|",
+        "paper Degmax", "paper d", "paper mu",
+    ]);
+    for spec in config.scaled_datasets() {
+        let g = spec.generate(config.seed);
+        let stats = graph_stats(&g, StatsConfig::default());
+        table.row([
+            spec.name.to_string(),
+            stats.vertices.to_string(),
+            stats.edges.to_string(),
+            stats.dag_vertices.to_string(),
+            stats.dag_edges.to_string(),
+            stats.max_degree.to_string(),
+            stats.diameter.to_string(),
+            stats.median_shortest_path.to_string(),
+            spec.vertices.to_string(),
+            spec.edges.to_string(),
+            spec.max_degree.to_string(),
+            spec.diameter.to_string(),
+            spec.median_shortest_path.to_string(),
+        ]);
+    }
+    table.print(&format!(
+        "Table 2: dataset statistics (scale 1/{}, seed {})",
+        config.scale, config.seed
+    ));
+}

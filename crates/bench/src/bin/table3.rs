@@ -1,0 +1,28 @@
+//! Table 3: index construction time (ms) of n-reach and the baseline
+//! reachability indexes.
+
+use kreach_bench::suite::run_reachability_suite;
+use kreach_bench::table::fmt_ms;
+use kreach_bench::{BenchConfig, Table};
+use kreach_datasets::{QueryWorkload, WorkloadConfig};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    let mut table = Table::new([
+        "dataset", "n-reach", "tree-cover", "grail", "interval-tc", "distance", "online-bfs",
+    ]);
+    for spec in config.scaled_datasets() {
+        let g = spec.generate(config.seed);
+        // The workload is irrelevant for construction time but the suite
+        // measures everything in one pass; keep it tiny here.
+        let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 1, seed: config.seed });
+        let reports = run_reachability_suite(&g, &workload);
+        let mut row = vec![spec.name.to_string()];
+        row.extend(reports.iter().map(|r| fmt_ms(r.build_millis)));
+        table.row(row);
+    }
+    table.print(&format!(
+        "Table 3: index construction time in ms (scale 1/{}, seed {})",
+        config.scale, config.seed
+    ));
+}

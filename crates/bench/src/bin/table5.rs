@@ -1,0 +1,29 @@
+//! Table 5: total time (ms) to answer the random reachability workload with
+//! n-reach and every baseline index.
+
+use kreach_bench::suite::run_reachability_suite;
+use kreach_bench::table::fmt_ms;
+use kreach_bench::{BenchConfig, Table};
+use kreach_datasets::{QueryWorkload, WorkloadConfig};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    let mut table = Table::new([
+        "dataset", "n-reach", "tree-cover", "grail", "interval-tc", "distance", "online-bfs",
+        "positive %",
+    ]);
+    for spec in config.scaled_datasets() {
+        let g = spec.generate(config.seed);
+        let workload =
+            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries, seed: config.seed });
+        let reports = run_reachability_suite(&g, &workload);
+        let mut row = vec![spec.name.to_string()];
+        row.extend(reports.iter().map(|r| fmt_ms(r.query_millis)));
+        row.push(format!("{:.2}", reports[0].positive_fraction * 100.0));
+        table.row(row);
+    }
+    table.print(&format!(
+        "Table 5: total query time in ms for {} random reachability queries (scale 1/{}, seed {})",
+        config.queries, config.scale, config.seed
+    ));
+}

@@ -1,0 +1,62 @@
+//! Table 6: overall performance ranking (1 = best) on indexing time, index
+//! size and query time, averaged over all datasets.
+
+use kreach_bench::suite::{rank_by, run_reachability_suite};
+use kreach_bench::{BenchConfig, Table};
+use kreach_datasets::{QueryWorkload, WorkloadConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let config = BenchConfig::from_env();
+    // Accumulate per-index rank sums across datasets for the three metrics.
+    let mut build_ranks: BTreeMap<String, usize> = BTreeMap::new();
+    let mut size_ranks: BTreeMap<String, usize> = BTreeMap::new();
+    let mut query_ranks: BTreeMap<String, usize> = BTreeMap::new();
+    let mut dataset_count = 0usize;
+
+    for spec in config.scaled_datasets() {
+        let g = spec.generate(config.seed);
+        let workload =
+            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries, seed: config.seed });
+        let reports = run_reachability_suite(&g, &workload);
+        for (name, rank) in rank_by(&reports, |r| r.build_millis) {
+            *build_ranks.entry(name).or_default() += rank;
+        }
+        for (name, rank) in rank_by(&reports, |r| r.size_bytes as f64) {
+            *size_ranks.entry(name).or_default() += rank;
+        }
+        for (name, rank) in rank_by(&reports, |r| r.query_millis) {
+            *query_ranks.entry(name).or_default() += rank;
+        }
+        dataset_count += 1;
+    }
+
+    let mut table = Table::new(["index", "indexing-time rank", "index-size rank", "query-time rank"]);
+    let names: Vec<String> = build_ranks.keys().cloned().collect();
+    // Convert rank sums to average ranks, then to an ordinal 1..n per metric
+    // exactly as the paper presents Table 6.
+    let ordinal = |ranks: &BTreeMap<String, usize>| -> BTreeMap<String, usize> {
+        let mut entries: Vec<(&String, &usize)> = ranks.iter().collect();
+        entries.sort_by_key(|&(_, sum)| *sum);
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, _))| (name.clone(), i + 1))
+            .collect()
+    };
+    let build_ord = ordinal(&build_ranks);
+    let size_ord = ordinal(&size_ranks);
+    let query_ord = ordinal(&query_ranks);
+    for name in names {
+        table.row([
+            name.clone(),
+            build_ord[&name].to_string(),
+            size_ord[&name].to_string(),
+            query_ord[&name].to_string(),
+        ]);
+    }
+    table.print(&format!(
+        "Table 6: performance ranking over {dataset_count} datasets (1 = best; scale 1/{}, {} queries)",
+        config.scale, config.queries
+    ));
+}

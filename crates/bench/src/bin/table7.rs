@@ -1,0 +1,70 @@
+//! Table 7: total query time of k-reach for k = 2, 4, 6, µ, n, compared with
+//! online k-hop BFS (µ-BFS) and the distance labeling (µ-dist), both run at
+//! k = µ.
+
+use kreach_baselines::{DistanceIndex, KHopReachability, OnlineBfs};
+use kreach_bench::table::fmt_ms;
+use kreach_bench::{BenchConfig, Table};
+use kreach_core::{BuildOptions, KReachIndex, VertexCover};
+use kreach_datasets::{QueryWorkload, WorkloadConfig};
+use kreach_graph::metrics::{distance_profile, StatsConfig};
+use kreach_graph::DiGraph;
+use std::time::Instant;
+
+fn time_kreach(g: &DiGraph, index: &KReachIndex, workload: &QueryWorkload) -> f64 {
+    let started = Instant::now();
+    let mut positives = 0usize;
+    for &(s, t) in workload.pairs() {
+        if index.query(g, s, t) {
+            positives += 1;
+        }
+    }
+    std::hint::black_box(positives);
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+fn time_khop(index: &dyn KHopReachability, workload: &QueryWorkload, k: u32) -> f64 {
+    let started = Instant::now();
+    let mut positives = 0usize;
+    for &(s, t) in workload.pairs() {
+        if index.khop_reachable(s, t, k) {
+            positives += 1;
+        }
+    }
+    std::hint::black_box(positives);
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let config = BenchConfig::from_env();
+    let mut table = Table::new([
+        "dataset", "2-reach", "4-reach", "6-reach", "mu-reach", "n-reach", "mu-BFS", "mu-dist", "mu",
+    ]);
+    for spec in config.scaled_datasets() {
+        let g = spec.generate(config.seed);
+        let workload =
+            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries, seed: config.seed });
+        let (_, mu) = distance_profile(&g, StatsConfig::default());
+        let mu = mu.max(1);
+        let n = g.vertex_count() as u32;
+
+        // All k-reach variants share one vertex cover, as in Section 6.3.
+        let cover = VertexCover::compute(&g, kreach_core::CoverStrategy::DegreePriority);
+        let mut row = vec![spec.name.to_string()];
+        for k in [2, 4, 6, mu, n] {
+            let index = KReachIndex::build_with_cover(&g, k, &cover, BuildOptions::default());
+            row.push(fmt_ms(time_kreach(&g, &index, &workload)));
+        }
+
+        let bfs = OnlineBfs::new(&g);
+        row.push(fmt_ms(time_khop(&bfs, &workload, mu)));
+        let dist = DistanceIndex::build(&g);
+        row.push(fmt_ms(time_khop(&dist, &workload, mu)));
+        row.push(mu.to_string());
+        table.row(row);
+    }
+    table.print(&format!(
+        "Table 7: total query time in ms for {} random k-hop queries (scale 1/{}, seed {})",
+        config.queries, config.scale, config.seed
+    ));
+}

@@ -1,0 +1,34 @@
+//! Table 8: percentage of random queries falling into each of the four cases
+//! of Algorithm 2.
+
+use kreach_bench::table::fmt_pct;
+use kreach_bench::{BenchConfig, Table};
+use kreach_core::{BuildOptions, KReachIndex};
+use kreach_datasets::{QueryWorkload, WorkloadConfig};
+use kreach_graph::metrics::{distance_profile, StatsConfig};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    let mut table = Table::new(["dataset", "case 1 %", "case 2 %", "case 3 %", "case 4 %", "|cover|"]);
+    for spec in config.scaled_datasets() {
+        let g = spec.generate(config.seed);
+        let workload =
+            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries, seed: config.seed });
+        let (_, mu) = distance_profile(&g, StatsConfig::default());
+        let index = KReachIndex::build(&g, mu.max(2), BuildOptions::default());
+        let counts = workload.case_distribution(|s, t| index.classify(s, t).number());
+        let total = workload.len().max(1) as f64;
+        table.row([
+            spec.name.to_string(),
+            fmt_pct(counts[0] as f64 / total),
+            fmt_pct(counts[1] as f64 / total),
+            fmt_pct(counts[2] as f64 / total),
+            fmt_pct(counts[3] as f64 / total),
+            index.cover_size().to_string(),
+        ]);
+    }
+    table.print(&format!(
+        "Table 8: query-case distribution over {} random queries (scale 1/{}, seed {})",
+        config.queries, config.scale, config.seed
+    ));
+}

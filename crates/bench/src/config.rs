@@ -1,0 +1,147 @@
+//! Command-line configuration shared by every table binary.
+
+use kreach_datasets::{all_specs, spec_by_name, DatasetSpec};
+
+/// Configuration parsed from the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchConfig {
+    /// Divide every dataset's vertex/edge counts by this factor (default 1 =
+    /// the sizes published in Table 2).
+    pub scale: usize,
+    /// Number of random queries per dataset (the paper uses 1,000,000).
+    pub queries: usize,
+    /// Which datasets to run (defaults to all 15).
+    pub datasets: Vec<DatasetSpec>,
+    /// Seed for graph generation and workload generation.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { scale: 1, queries: 1_000_000, datasets: all_specs(), seed: 42 }
+    }
+}
+
+impl BenchConfig {
+    /// Parses `--scale`, `--queries`, `--datasets`, `--seed` from an argument
+    /// iterator (excluding the program name). Unknown flags abort with a
+    /// usage message.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut config = BenchConfig::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = || {
+                iter.next().ok_or_else(|| format!("flag {flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    config.scale = value()?
+                        .parse()
+                        .map_err(|e| format!("invalid --scale: {e}"))?;
+                    if config.scale == 0 {
+                        return Err("--scale must be at least 1".to_string());
+                    }
+                }
+                "--queries" => {
+                    config.queries = value()?
+                        .parse()
+                        .map_err(|e| format!("invalid --queries: {e}"))?;
+                }
+                "--seed" => {
+                    config.seed = value()?
+                        .parse()
+                        .map_err(|e| format!("invalid --seed: {e}"))?;
+                }
+                "--datasets" => {
+                    let list = value()?;
+                    let mut specs = Vec::new();
+                    for name in list.split(',').filter(|s| !s.is_empty()) {
+                        let spec = spec_by_name(name)
+                            .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+                        specs.push(spec);
+                    }
+                    if specs.is_empty() {
+                        return Err("--datasets list is empty".to_string());
+                    }
+                    config.datasets = specs;
+                }
+                "--help" | "-h" => {
+                    return Err(Self::usage().to_string());
+                }
+                other => {
+                    return Err(format!("unknown flag {other}\n{}", Self::usage()));
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// Parses the process arguments, printing usage and exiting on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(config) => config,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Usage string shown for `--help` and unknown flags.
+    pub fn usage() -> &'static str {
+        "usage: <table-binary> [--scale F] [--queries N] [--datasets A,B,C] [--seed S]\n\
+         \n\
+         --scale F      divide dataset sizes by F (default 1: paper-scale)\n\
+         --queries N    random queries per dataset (default 1000000)\n\
+         --datasets L   comma-separated dataset names (default: all 15)\n\
+         --seed S       RNG seed for graphs and workloads (default 42)"
+    }
+
+    /// The datasets scaled according to `--scale`.
+    pub fn scaled_datasets(&self) -> Vec<DatasetSpec> {
+        self.datasets.iter().map(|d| d.scaled(self.scale)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(str::to_string)
+    }
+
+    #[test]
+    fn defaults_match_paper_protocol() {
+        let c = BenchConfig::parse(std::iter::empty::<String>()).unwrap();
+        assert_eq!(c.scale, 1);
+        assert_eq!(c.queries, 1_000_000);
+        assert_eq!(c.datasets.len(), 15);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let c = BenchConfig::parse(args("--scale 8 --queries 5000 --seed 7 --datasets arxiv,GO")).unwrap();
+        assert_eq!(c.scale, 8);
+        assert_eq!(c.queries, 5000);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.datasets.len(), 2);
+        assert_eq!(c.datasets[0].name, "ArXiv");
+        assert_eq!(c.scaled_datasets()[0].vertices, 6_000 / 8);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(BenchConfig::parse(args("--scale 0")).is_err());
+        assert!(BenchConfig::parse(args("--scale")).is_err());
+        assert!(BenchConfig::parse(args("--datasets unknown")).is_err());
+        assert!(BenchConfig::parse(args("--bogus 1")).is_err());
+        assert!(BenchConfig::parse(args("--queries notanumber")).is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = BenchConfig::parse(args("--help")).unwrap_err();
+        assert!(err.contains("--scale"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal fixed-width text table printer used by every table binary.
+
+/// A simple text table with a header row and aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells are rendered empty, extra cells are kept.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as a string.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Left-align the first column (names), right-align the rest (numbers).
+                if i == 0 {
+                    out.push_str(&format!("{cell:<width$}"));
+                } else {
+                    out.push_str(&format!("{cell:>width$}"));
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            render_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Prints the table to stdout with a title.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a millisecond value with two decimals.
+pub fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.2}")
+}
+
+/// Formats a byte count as MB with two decimals.
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.2}", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["dataset", "ms"]);
+        t.row(["AgroCyc", "12.50"]);
+        t.row(["Xmark", "3.10"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("dataset"));
+        assert!(lines[2].contains("AgroCyc"));
+        // Numbers are right-aligned, so both value columns end at the same offset.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn tolerates_ragged_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3", "4"]);
+        let text = t.render();
+        assert!(text.contains('4'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ms(1.2345), "1.23");
+        assert_eq!(fmt_mb(1024 * 1024), "1.00");
+        assert_eq!(fmt_pct(0.756), "75.60");
+    }
+}

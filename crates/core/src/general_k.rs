@@ -1,0 +1,275 @@
+//! Handling queries with a *general* k (Section 4.4).
+//!
+//! A single k-reach index answers queries for one fixed hop bound. The paper
+//! proposes two ways to support arbitrary bounds:
+//!
+//! 1. [`MultiKReach`] — build `lg d` indexes at hop bounds `2, 4, 8, …`;
+//!    answer a query with bound `k` using the `2^⌈lg k⌉`-reach index. Exact
+//!    when `k` is a power of two (or when the answer is negative even at the
+//!    rounded-up bound); otherwise the index may report "reachable within
+//!    `k' ≤ 2^⌈lg k⌉` hops" — an approximation whose slack grows with `k`,
+//!    matching the observation that small `k` matters most.
+//! 2. [`ExactMultiKReach`] — build one index per hop bound `1..=k_max`
+//!    ("if accuracy is critical … one may even build the i-reach indexes for
+//!    each i"), giving exact answers for every `k ≤ k_max`.
+
+use crate::kreach::{BuildOptions, KReachIndex};
+use crate::vertex_cover::VertexCover;
+use kreach_graph::{DiGraph, VertexId};
+
+/// The answer of an approximate multi-index query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneralKAnswer {
+    /// `t` is definitely reachable from `s` within the requested `k` hops.
+    Reachable,
+    /// `t` is definitely *not* reachable within the requested `k` hops.
+    NotReachable,
+    /// `t` is reachable within `within` hops, where `k < within`; whether it
+    /// is reachable within exactly `k` hops is not determined by this index
+    /// family (the approximate regime described in §4.4).
+    ReachableWithin(u32),
+}
+
+impl GeneralKAnswer {
+    /// Collapses the answer to a boolean, treating the approximate case as
+    /// "reachable" (the optimistic reading used by the paper's discussion).
+    pub fn optimistic(self) -> bool {
+        !matches!(self, GeneralKAnswer::NotReachable)
+    }
+
+    /// True only when the answer is exact.
+    pub fn is_exact(self) -> bool {
+        !matches!(self, GeneralKAnswer::ReachableWithin(_))
+    }
+}
+
+/// Powers-of-two family of k-reach indexes (§4.4, second approach).
+#[derive(Debug)]
+pub struct MultiKReach {
+    /// Indexes with hop bounds 2, 4, 8, … in increasing order.
+    indexes: Vec<KReachIndex>,
+}
+
+impl MultiKReach {
+    /// Builds indexes for hop bounds `2, 4, …` up to the first power of two
+    /// `≥ max_k`. All indexes share one vertex cover, so the total space is
+    /// roughly `lg max_k` times a single index, as the paper estimates.
+    ///
+    /// # Panics
+    /// Panics if `max_k < 2`.
+    pub fn build(g: &DiGraph, max_k: u32, options: BuildOptions) -> Self {
+        assert!(max_k >= 2, "MultiKReach requires max_k >= 2");
+        let cover = VertexCover::compute(g, options.cover_strategy);
+        let mut indexes = Vec::new();
+        let mut k = 2u32;
+        loop {
+            indexes.push(KReachIndex::build_with_cover(g, k, &cover, options));
+            if k >= max_k {
+                break;
+            }
+            k = k.saturating_mul(2);
+        }
+        MultiKReach { indexes }
+    }
+
+    /// The hop bounds of the member indexes.
+    pub fn hop_bounds(&self) -> Vec<u32> {
+        self.indexes.iter().map(|i| i.k()).collect()
+    }
+
+    /// The largest hop bound covered exactly.
+    pub fn max_k(&self) -> u32 {
+        self.indexes.last().map(|i| i.k()).unwrap_or(0)
+    }
+
+    /// Total size of all member indexes in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.indexes.iter().map(|i| i.size_bytes()).sum()
+    }
+
+    /// Answers `s →k t` using the `2^⌈lg k⌉`-reach index.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the largest built hop bound.
+    pub fn query(&self, g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> GeneralKAnswer {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            k <= self.max_k(),
+            "query k={k} exceeds the largest built hop bound {}",
+            self.max_k()
+        );
+        // Smallest index whose bound is >= k.
+        let up = self
+            .indexes
+            .iter()
+            .find(|i| i.k() >= k)
+            .expect("bound checked above");
+        if !up.query(g, s, t) {
+            return GeneralKAnswer::NotReachable;
+        }
+        if up.k() == k {
+            return GeneralKAnswer::Reachable;
+        }
+        // The rounded-up index says reachable. Check the largest bound <= k
+        // (if any): a positive answer there is also exact.
+        if let Some(down) = self.indexes.iter().rev().find(|i| i.k() <= k) {
+            if down.query(g, s, t) {
+                return GeneralKAnswer::Reachable;
+            }
+        }
+        GeneralKAnswer::ReachableWithin(up.k())
+    }
+}
+
+/// One index per hop bound `1..=k_max` (§4.4, exact approach).
+#[derive(Debug)]
+pub struct ExactMultiKReach {
+    indexes: Vec<KReachIndex>,
+    classic: KReachIndex,
+}
+
+impl ExactMultiKReach {
+    /// Builds indexes for every `k ∈ 1..=k_max` plus one classic-reachability
+    /// index used for `k > k_max`.
+    ///
+    /// Queries with `k ≤ k_max` are always exact. Queries with `k > k_max`
+    /// are answered by the classic index and are exact provided `k_max` is at
+    /// least the diameter of the graph (choose `k_max` accordingly, e.g. from
+    /// [`kreach_graph::metrics::graph_stats`]).
+    pub fn build(g: &DiGraph, k_max: u32, options: BuildOptions) -> Self {
+        assert!(k_max >= 1, "ExactMultiKReach requires k_max >= 1");
+        let cover = VertexCover::compute(g, options.cover_strategy);
+        let indexes = (1..=k_max)
+            .map(|k| KReachIndex::build_with_cover(g, k, &cover, options))
+            .collect();
+        let classic = KReachIndex::build_with_cover(
+            g,
+            (g.vertex_count() as u32).max(1),
+            &cover,
+            options,
+        );
+        ExactMultiKReach { indexes, classic }
+    }
+
+    /// The largest hop bound with a dedicated index.
+    pub fn k_max(&self) -> u32 {
+        self.indexes.len() as u32
+    }
+
+    /// Total size of all member indexes in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.indexes.iter().map(|i| i.size_bytes()).sum::<usize>() + self.classic.size_bytes()
+    }
+
+    /// Answers `s →k t` exactly for any `k ≤ k_max` (and for larger `k`
+    /// answers classic reachability).
+    pub fn query(&self, g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> bool {
+        if k == 0 {
+            return s == t;
+        }
+        match self.indexes.get(k as usize - 1) {
+            Some(index) => index.query(g, s, t),
+            None => self.classic.query(g, s, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_graph::generators::GeneratorSpec;
+    use kreach_graph::traversal::khop_reachable_bfs;
+
+    fn test_graph() -> DiGraph {
+        GeneratorSpec::SmallWorld { n: 80, degree: 2, rewire_probability: 0.15 }.generate(5)
+    }
+
+    #[test]
+    fn exact_family_matches_bfs_for_all_k() {
+        let g = test_graph();
+        let family = ExactMultiKReach::build(&g, 8, BuildOptions::default());
+        for k in 0..=10u32 {
+            for s in g.vertices().step_by(7) {
+                for t in g.vertices().step_by(5) {
+                    let expected = if k <= 8 {
+                        khop_reachable_bfs(&g, s, t, k)
+                    } else {
+                        kreach_graph::traversal::reachable_bfs(&g, s, t)
+                    };
+                    assert_eq!(family.query(&g, s, t, k), expected, "k={k} ({s},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_family_is_exact_at_powers_of_two() {
+        let g = test_graph();
+        let family = MultiKReach::build(&g, 16, BuildOptions::default());
+        assert_eq!(family.hop_bounds(), vec![2, 4, 8, 16]);
+        for &k in &[2u32, 4, 8, 16] {
+            for s in g.vertices().step_by(9) {
+                for t in g.vertices().step_by(11) {
+                    let expected = khop_reachable_bfs(&g, s, t, k);
+                    let got = family.query(&g, s, t, k);
+                    assert!(got.is_exact(), "powers of two must be exact");
+                    assert_eq!(got == GeneralKAnswer::Reachable, expected, "k={k} ({s},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_answers_only_err_in_documented_direction() {
+        let g = test_graph();
+        let family = MultiKReach::build(&g, 16, BuildOptions::default());
+        for &k in &[3u32, 5, 6, 7, 9, 11, 13] {
+            for s in g.vertices().step_by(6) {
+                for t in g.vertices().step_by(8) {
+                    let expected = khop_reachable_bfs(&g, s, t, k);
+                    match family.query(&g, s, t, k) {
+                        GeneralKAnswer::Reachable => {
+                            assert!(expected, "claimed reachable but BFS disagrees (k={k}, {s}->{t})")
+                        }
+                        GeneralKAnswer::NotReachable => {
+                            assert!(!expected, "claimed unreachable but BFS disagrees (k={k}, {s}->{t})")
+                        }
+                        GeneralKAnswer::ReachableWithin(upper) => {
+                            assert!(upper > k);
+                            assert!(
+                                khop_reachable_bfs(&g, s, t, upper),
+                                "claimed reachable within {upper} but BFS disagrees"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_index_space_is_roughly_log_many_singles() {
+        let g = test_graph();
+        let single = KReachIndex::build(&g, 8, BuildOptions::default());
+        let family = MultiKReach::build(&g, 8, BuildOptions::default());
+        let ratio = family.size_bytes() as f64 / single.size_bytes() as f64;
+        assert!(ratio <= 3.5, "3 member indexes should cost at most ~3.5x one index, got {ratio:.2}");
+    }
+
+    #[test]
+    fn answer_helpers() {
+        assert!(GeneralKAnswer::Reachable.optimistic());
+        assert!(GeneralKAnswer::ReachableWithin(8).optimistic());
+        assert!(!GeneralKAnswer::NotReachable.optimistic());
+        assert!(GeneralKAnswer::Reachable.is_exact());
+        assert!(!GeneralKAnswer::ReachableWithin(8).is_exact());
+    }
+
+    #[test]
+    #[should_panic]
+    fn query_beyond_max_k_panics() {
+        let g = crate::paper_example::paper_example_graph();
+        let family = MultiKReach::build(&g, 4, BuildOptions::default());
+        family.query(&g, VertexId(0), VertexId(1), 64);
+    }
+}

@@ -1,0 +1,291 @@
+//! The weighted index graph `I = (V_I, E_I, ω_I)` shared by k-reach and
+//! (h,k)-reach.
+//!
+//! Vertices of the index graph are the cover vertices; an edge `(u, v)`
+//! records that `v` is k-hop reachable from `u` in the input graph, weighted
+//! by the clamped shortest-path distance (Definition 1 / Definition 2). The
+//! adjacency is CSR with per-source target lists sorted by id, so an edge
+//! lookup costs `O(log outDeg(u, I))` exactly as analysed in §4.2.2.
+
+use crate::weights::WeightStore;
+use kreach_graph::VertexId;
+use std::fmt;
+
+/// Sentinel for "vertex is not in the cover".
+const NOT_COVERED: u32 = u32::MAX;
+
+/// A weighted directed graph over the cover vertices, generic in how the
+/// per-edge weights are stored (2-bit packed for k-reach, plain `u16` for
+/// (h,k)-reach).
+#[derive(Clone)]
+pub struct CoverIndexGraph<W> {
+    /// Maps an input-graph vertex to its dense cover position, or `NOT_COVERED`.
+    cover_pos: Vec<u32>,
+    /// Maps a cover position back to the input-graph vertex.
+    cover: Vec<VertexId>,
+    /// CSR offsets over cover positions.
+    offsets: Vec<u32>,
+    /// Edge targets, as cover positions, sorted within each source range.
+    targets: Vec<u32>,
+    /// Per-edge clamped distances, parallel to `targets`.
+    weights: W,
+}
+
+impl<W: WeightStore> CoverIndexGraph<W> {
+    /// Assembles the index graph.
+    ///
+    /// * `n` — number of vertices of the input graph.
+    /// * `cover` — the cover vertices; their order defines cover positions.
+    /// * `edges_per_source` — for each cover position `p`, the list of
+    ///   `(target cover position, clamped distance)` pairs. Lists need not be
+    ///   sorted; they are sorted here.
+    /// * `clamp_min` — lower clamp passed to the weight store.
+    pub fn assemble(
+        n: usize,
+        cover: Vec<VertexId>,
+        mut edges_per_source: Vec<Vec<(u32, u32)>>,
+        clamp_min: u32,
+    ) -> Self {
+        assert_eq!(cover.len(), edges_per_source.len(), "one edge list per cover vertex");
+        let mut cover_pos = vec![NOT_COVERED; n];
+        for (p, &v) in cover.iter().enumerate() {
+            cover_pos[v.index()] = p as u32;
+        }
+        let mut offsets = Vec::with_capacity(cover.len() + 1);
+        offsets.push(0u32);
+        let total: usize = edges_per_source.iter().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        let mut weights = W::with_clamp(clamp_min);
+        for list in &mut edges_per_source {
+            list.sort_unstable_by_key(|&(t, _)| t);
+            for &(t, w) in list.iter() {
+                targets.push(t);
+                weights.push(w.max(clamp_min));
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CoverIndexGraph { cover_pos, cover, offsets, targets, weights }
+    }
+
+    /// Reassembles an index graph from previously serialized raw parts.
+    ///
+    /// # Panics
+    /// Panics if the CSR pieces are inconsistent (offset/target/weight length
+    /// mismatches, cover vertices out of range).
+    pub fn from_raw_parts(
+        n: usize,
+        cover: Vec<VertexId>,
+        offsets: Vec<u32>,
+        targets: Vec<u32>,
+        weights: W,
+    ) -> Self {
+        assert_eq!(offsets.len(), cover.len() + 1, "offsets must have cover_size + 1 entries");
+        assert_eq!(
+            *offsets.last().unwrap_or(&0) as usize,
+            targets.len(),
+            "last offset must equal the number of targets"
+        );
+        assert_eq!(targets.len(), weights.len(), "one weight per target");
+        let mut cover_pos = vec![NOT_COVERED; n];
+        for (p, &v) in cover.iter().enumerate() {
+            assert!(v.index() < n, "cover vertex {v} out of range");
+            cover_pos[v.index()] = p as u32;
+        }
+        CoverIndexGraph { cover_pos, cover, offsets, targets, weights }
+    }
+
+    /// Number of cover vertices `|V_I|`.
+    pub fn cover_size(&self) -> usize {
+        self.cover.len()
+    }
+
+    /// Number of index edges `|E_I|`.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of vertices of the underlying input graph.
+    pub fn input_vertex_count(&self) -> usize {
+        self.cover_pos.len()
+    }
+
+    /// The cover vertices in position order.
+    pub fn cover_vertices(&self) -> &[VertexId] {
+        &self.cover
+    }
+
+    /// The cover position of `v`, or `None` if `v` is not in the cover.
+    #[inline]
+    pub fn position(&self, v: VertexId) -> Option<u32> {
+        match self.cover_pos.get(v.index()) {
+            Some(&p) if p != NOT_COVERED => Some(p),
+            _ => None,
+        }
+    }
+
+    /// O(1) cover membership test (`s ∈ V_I` of Algorithms 2 and 3).
+    #[inline]
+    pub fn in_cover(&self, v: VertexId) -> bool {
+        self.position(v).is_some()
+    }
+
+    /// Weight of the index edge between cover positions `(pu, pv)`, if present.
+    ///
+    /// Binary search over the sorted target range: `O(log outDeg(u, I))`.
+    #[inline]
+    pub fn edge_weight_by_pos(&self, pu: u32, pv: u32) -> Option<u32> {
+        let lo = self.offsets[pu as usize] as usize;
+        let hi = self.offsets[pu as usize + 1] as usize;
+        self.targets[lo..hi]
+            .binary_search(&pv)
+            .ok()
+            .map(|i| self.weights.get(lo + i))
+    }
+
+    /// Weight of the index edge `(u, v)` for input-graph vertices, if both are
+    /// cover vertices and the edge exists.
+    #[inline]
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<u32> {
+        let (pu, pv) = (self.position(u)?, self.position(v)?);
+        self.edge_weight_by_pos(pu, pv)
+    }
+
+    /// Out-degree of a cover vertex inside the index graph.
+    pub fn out_degree_by_pos(&self, pu: u32) -> usize {
+        (self.offsets[pu as usize + 1] - self.offsets[pu as usize]) as usize
+    }
+
+    /// Iterates over the out-edges of a cover position as
+    /// `(target position, weight)` pairs.
+    pub fn out_edges_by_pos(&self, pu: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.offsets[pu as usize] as usize;
+        let hi = self.offsets[pu as usize + 1] as usize;
+        (lo..hi).map(move |i| (self.targets[i], self.weights.get(i)))
+    }
+
+    /// Iterates over all index edges as `(source vertex, target vertex, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, u32)> + '_ {
+        (0..self.cover.len() as u32).flat_map(move |pu| {
+            self.out_edges_by_pos(pu)
+                .map(move |(pv, w)| (self.cover[pu as usize], self.cover[pv as usize], w))
+        })
+    }
+
+    /// Heap footprint of the index structure in bytes: position map, cover
+    /// list, CSR offsets, targets and weights. This is what Table 4 reports.
+    pub fn size_bytes(&self) -> usize {
+        self.cover_pos.len() * std::mem::size_of::<u32>()
+            + self.cover.len() * std::mem::size_of::<VertexId>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<u32>()
+            + self.weights.size_bytes()
+    }
+
+    /// Access to the raw weight store (used by serialization).
+    pub fn weights(&self) -> &W {
+        &self.weights
+    }
+
+    /// Raw CSR pieces `(cover, offsets, targets)` for serialization.
+    pub fn raw_parts(&self) -> (&[VertexId], &[u32], &[u32]) {
+        (&self.cover, &self.offsets, &self.targets)
+    }
+}
+
+impl<W: WeightStore> fmt::Debug for CoverIndexGraph<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoverIndexGraph")
+            .field("cover_size", &self.cover_size())
+            .field("edge_count", &self.edge_count())
+            .field("input_vertex_count", &self.input_vertex_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{PackedWeights, PlainWeights};
+
+    fn sample_graph() -> CoverIndexGraph<PlainWeights> {
+        // Input graph has 6 vertices; cover = {1, 3, 4}.
+        // Edges: 1 -> 3 (w 2), 1 -> 4 (w 5), 4 -> 1 (w 3).
+        CoverIndexGraph::assemble(
+            6,
+            vec![VertexId(1), VertexId(3), VertexId(4)],
+            vec![vec![(2, 5), (1, 2)], vec![], vec![(0, 3)]],
+            0,
+        )
+    }
+
+    #[test]
+    fn membership_and_positions() {
+        let g = sample_graph();
+        assert!(g.in_cover(VertexId(1)));
+        assert!(g.in_cover(VertexId(4)));
+        assert!(!g.in_cover(VertexId(0)));
+        assert_eq!(g.position(VertexId(3)), Some(1));
+        assert_eq!(g.position(VertexId(5)), None);
+        assert_eq!(g.cover_size(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn edge_lookup_by_vertex_and_position() {
+        let g = sample_graph();
+        assert_eq!(g.edge_weight(VertexId(1), VertexId(3)), Some(2));
+        assert_eq!(g.edge_weight(VertexId(1), VertexId(4)), Some(5));
+        assert_eq!(g.edge_weight(VertexId(4), VertexId(1)), Some(3));
+        assert_eq!(g.edge_weight(VertexId(3), VertexId(1)), None);
+        assert_eq!(g.edge_weight(VertexId(0), VertexId(1)), None);
+        assert_eq!(g.edge_weight_by_pos(0, 1), Some(2));
+    }
+
+    #[test]
+    fn unsorted_input_lists_are_sorted_on_assembly() {
+        let g = sample_graph();
+        let out: Vec<_> = g.out_edges_by_pos(0).collect();
+        assert_eq!(out, vec![(1, 2), (2, 5)]);
+        assert_eq!(g.out_degree_by_pos(0), 2);
+        assert_eq!(g.out_degree_by_pos(1), 0);
+    }
+
+    #[test]
+    fn edges_iterator_maps_back_to_vertices() {
+        let g = sample_graph();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&(VertexId(4), VertexId(1), 3)));
+    }
+
+    #[test]
+    fn packed_weight_variant_clamps() {
+        // clamp_min = 4 (k = 6): a recorded distance of 1 is stored as 4.
+        let g: CoverIndexGraph<PackedWeights> = CoverIndexGraph::assemble(
+            3,
+            vec![VertexId(0), VertexId(2)],
+            vec![vec![(1, 1)], vec![(0, 6)]],
+            4,
+        );
+        assert_eq!(g.edge_weight(VertexId(0), VertexId(2)), Some(4));
+        assert_eq!(g.edge_weight(VertexId(2), VertexId(0)), Some(6));
+    }
+
+    #[test]
+    fn size_accounts_for_all_components() {
+        let g = sample_graph();
+        // 6 u32 positions + 3 u32 cover + 4 u32 offsets + 3 u32 targets + 3 u16 weights.
+        assert_eq!(g.size_bytes(), 6 * 4 + 3 * 4 + 4 * 4 + 3 * 4 + 3 * 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_edge_list_count_panics() {
+        let _ = CoverIndexGraph::<PlainWeights>::assemble(
+            3,
+            vec![VertexId(0), VertexId(1)],
+            vec![vec![]],
+            0,
+        );
+    }
+}

@@ -1,0 +1,651 @@
+//! The k-reach index: construction (Algorithm 1) and query processing
+//! (Algorithm 2).
+
+use crate::index_graph::CoverIndexGraph;
+use crate::stats::IndexStats;
+use crate::vertex_cover::{CoverStrategy, VertexCover};
+use crate::weights::PackedWeights;
+use kreach_graph::traversal::{bfs, Direction};
+use kreach_graph::{DiGraph, VertexId};
+use std::time::Instant;
+
+/// Options controlling index construction.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// How the vertex cover is chosen (§4.1.1 vs §4.3).
+    pub cover_strategy: CoverStrategy,
+    /// Number of worker threads for the per-cover-vertex BFS sweep
+    /// (Algorithm 1 Line 5; the paper notes this step is trivially
+    /// parallelizable). `1` forces sequential construction; `0` uses the
+    /// number of available CPUs.
+    pub threads: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { cover_strategy: CoverStrategy::DegreePriority, threads: 1 }
+    }
+}
+
+impl BuildOptions {
+    /// Resolves `threads == 0` to the number of available CPUs.
+    pub(crate) fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// The four query cases of Algorithm 2, determined by cover membership of
+/// the two query vertices. Table 8 of the paper reports how a random
+/// workload distributes over them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryCase {
+    /// Case 1: both `s` and `t` are cover vertices — a single edge lookup.
+    BothInCover,
+    /// Case 2: only `s` is a cover vertex — scan `inNei(t, G)`.
+    SourceInCover,
+    /// Case 3: only `t` is a cover vertex — scan `outNei(s, G)`.
+    TargetInCover,
+    /// Case 4: neither is a cover vertex — scan `outNei(s, G) × inNei(t, G)`.
+    NeitherInCover,
+}
+
+impl QueryCase {
+    /// The case number (1–4) used in the paper's tables.
+    pub fn number(self) -> u8 {
+        match self {
+            QueryCase::BothInCover => 1,
+            QueryCase::SourceInCover => 2,
+            QueryCase::TargetInCover => 3,
+            QueryCase::NeitherInCover => 4,
+        }
+    }
+}
+
+/// A certificate explaining a positive k-hop reachability answer in terms of
+/// the index structure (returned by [`KReachIndex::explain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryWitness {
+    /// `s == t`: reachable in zero hops.
+    Identity,
+    /// Case 1: the index edge `(s, t)` exists with this weight.
+    IndexEdge {
+        /// Clamped distance stored on the index edge.
+        weight: u32,
+    },
+    /// The direct edge `(s, t)` exists in the input graph.
+    DirectEdge,
+    /// Case 2: an in-neighbour `via` of `t` is a cover vertex with
+    /// `ω(s, via) = weight ≤ k − 1`.
+    ThroughInNeighbor {
+        /// The covered in-neighbour of `t` on the certified path.
+        via: VertexId,
+        /// Weight of the index edge `(s, via)`.
+        weight: u32,
+    },
+    /// Case 3: an out-neighbour `via` of `s` is a cover vertex with
+    /// `ω(via, t) = weight ≤ k − 1`.
+    ThroughOutNeighbor {
+        /// The covered out-neighbour of `s` on the certified path.
+        via: VertexId,
+        /// Weight of the index edge `(via, t)`.
+        weight: u32,
+    },
+    /// Case 4 with a single interior cover vertex: `s → via → t`.
+    ThroughSingleCoverVertex {
+        /// The shared covered neighbour of `s` and `t`.
+        via: VertexId,
+    },
+    /// Case 4: a covered out-neighbour of `s` reaches a covered in-neighbour
+    /// of `t` within `weight ≤ k − 2` hops.
+    ThroughCoverPair {
+        /// The covered out-neighbour of `s`.
+        first: VertexId,
+        /// The covered in-neighbour of `t`.
+        last: VertexId,
+        /// Weight of the index edge `(first, last)`.
+        weight: u32,
+    },
+}
+
+/// The k-reach index of Definition 1.
+///
+/// `I = (V_I, E_I, ω_I)` where `V_I` is a vertex cover of the input graph,
+/// `E_I` connects cover vertices that are k-hop reachable, and `ω_I` maps
+/// each edge to one of {k−2, k−1, k} (stored in 2 bits per edge).
+#[derive(Debug, Clone)]
+pub struct KReachIndex {
+    k: u32,
+    index: CoverIndexGraph<PackedWeights>,
+    build_millis: f64,
+    cover_strategy: CoverStrategy,
+}
+
+impl KReachIndex {
+    /// Builds a k-reach index for hop bound `k` (Algorithm 1).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`; a 0-hop query is just an identity test and needs
+    /// no index.
+    pub fn build(g: &DiGraph, k: u32, options: BuildOptions) -> Self {
+        assert!(k >= 1, "k-reach requires k >= 1");
+        let started = Instant::now();
+        let cover = VertexCover::compute(g, options.cover_strategy);
+        let index = Self::build_index_graph(g, k, &cover, options.effective_threads());
+        KReachIndex {
+            k,
+            index,
+            build_millis: started.elapsed().as_secs_f64() * 1e3,
+            cover_strategy: options.cover_strategy,
+        }
+    }
+
+    /// Builds the index for a pre-computed vertex cover. Exposed so that the
+    /// benchmark harness can reuse one cover across several values of `k`
+    /// (Table 7) and so callers can supply covers with application-specific
+    /// vertices forced in (the "include all celebrities" idea of §4.3).
+    pub fn build_with_cover(g: &DiGraph, k: u32, cover: &VertexCover, options: BuildOptions) -> Self {
+        assert!(k >= 1, "k-reach requires k >= 1");
+        let started = Instant::now();
+        let index = Self::build_index_graph(g, k, cover, options.effective_threads());
+        KReachIndex {
+            k,
+            index,
+            build_millis: started.elapsed().as_secs_f64() * 1e3,
+            cover_strategy: cover.strategy(),
+        }
+    }
+
+    /// Builds an index answering *classic* reachability queries (`k = ∞`),
+    /// called n-reach in the paper's evaluation (Section 6.2). Internally the
+    /// hop bound is `n`, which no simple path can exceed.
+    pub fn for_classic_reachability(g: &DiGraph, options: BuildOptions) -> Self {
+        let k = (g.vertex_count() as u32).max(1);
+        Self::build(g, k, options)
+    }
+
+    fn build_index_graph(
+        g: &DiGraph,
+        k: u32,
+        cover: &VertexCover,
+        threads: usize,
+    ) -> CoverIndexGraph<PackedWeights> {
+        let members = cover.members();
+        let clamp_min = k.saturating_sub(2);
+        let positions: Vec<u32> = (0..members.len() as u32).collect();
+        // Dense vertex -> cover-position map, shared read-only by all workers.
+        let mut pos_of = vec![u32::MAX; g.vertex_count()];
+        for (i, &m) in members.iter().enumerate() {
+            pos_of[m.index()] = i as u32;
+        }
+
+        // Sk(u) for every cover vertex u: a k-hop BFS from u, keeping only the
+        // reached cover vertices (Algorithm 1, Lines 4–13). Self-edges are
+        // omitted; query processing special-cases the identity.
+        let scan_source = |&p: &u32| -> Vec<(u32, u32)> {
+            let u = members[p as usize];
+            let reach = bfs(g, u, Direction::Forward, Some(k));
+            let mut edges = Vec::new();
+            for (v, dist) in reach.reached_with_distance() {
+                if v == u {
+                    continue;
+                }
+                let pv = pos_of[v.index()];
+                if pv != u32::MAX {
+                    edges.push((pv, dist.max(clamp_min)));
+                }
+            }
+            edges
+        };
+
+        let edges_per_source: Vec<Vec<(u32, u32)>> = if threads <= 1 || members.len() < 64 {
+            positions.iter().map(scan_source).collect()
+        } else {
+            parallel_map(&positions, threads, scan_source)
+        };
+
+        CoverIndexGraph::assemble(g.vertex_count(), members.to_vec(), edges_per_source, clamp_min)
+    }
+
+    /// Reassembles an index from deserialized parts (see [`crate::storage`]).
+    pub(crate) fn from_parts(
+        k: u32,
+        cover_strategy: CoverStrategy,
+        index: CoverIndexGraph<PackedWeights>,
+    ) -> Self {
+        KReachIndex { k, index, build_millis: 0.0, cover_strategy }
+    }
+
+    /// The hop bound `k` this index was built for.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The cover strategy the index was built with.
+    pub fn cover_strategy(&self) -> CoverStrategy {
+        self.cover_strategy
+    }
+
+    /// Number of cover vertices `|V_I|`.
+    pub fn cover_size(&self) -> usize {
+        self.index.cover_size()
+    }
+
+    /// Number of index edges `|E_I|`.
+    pub fn index_edge_count(&self) -> usize {
+        self.index.edge_count()
+    }
+
+    /// Whether `v` belongs to the vertex cover backing this index.
+    pub fn in_cover(&self, v: VertexId) -> bool {
+        self.index.in_cover(v)
+    }
+
+    /// The underlying weighted index graph (read-only).
+    pub fn index_graph(&self) -> &CoverIndexGraph<PackedWeights> {
+        &self.index
+    }
+
+    /// Classifies a query into the four cases of Algorithm 2 without
+    /// answering it (used to reproduce Table 8).
+    pub fn classify(&self, s: VertexId, t: VertexId) -> QueryCase {
+        match (self.index.in_cover(s), self.index.in_cover(t)) {
+            (true, true) => QueryCase::BothInCover,
+            (true, false) => QueryCase::SourceInCover,
+            (false, true) => QueryCase::TargetInCover,
+            (false, false) => QueryCase::NeitherInCover,
+        }
+    }
+
+    /// Answers the k-hop reachability query `s →k t` (Algorithm 2).
+    pub fn query(&self, g: &DiGraph, s: VertexId, t: VertexId) -> bool {
+        self.query_with_case(g, s, t).0
+    }
+
+    /// Answers the query and reports which of the four cases was executed.
+    pub fn query_with_case(&self, g: &DiGraph, s: VertexId, t: VertexId) -> (bool, QueryCase) {
+        let case = self.classify(s, t);
+        if s == t {
+            return (true, case);
+        }
+        let k = self.k;
+        let answer = match case {
+            // Case 1: both in the cover — the edge (s, t) exists iff s →k t.
+            QueryCase::BothInCover => self.index.edge_weight(s, t).is_some(),
+            // Case 2: s in the cover. Every in-neighbour of t is in the cover,
+            // and any path s ⇝ t of length ≤ k enters t through one of them
+            // with at most k−1 hops used — or is the single edge (s, t).
+            QueryCase::SourceInCover => {
+                let ps = self.index.position(s).expect("case 2 source is covered");
+                g.in_neighbors(t).iter().any(|&v| {
+                    if v == s {
+                        return k >= 1;
+                    }
+                    match self.index.position(v).and_then(|pv| self.index.edge_weight_by_pos(ps, pv)) {
+                        Some(w) => w + 1 <= k,
+                        None => false,
+                    }
+                })
+            }
+            // Case 3: mirror image of Case 2 through outNei(s, G).
+            QueryCase::TargetInCover => {
+                let pt = self.index.position(t).expect("case 3 target is covered");
+                g.out_neighbors(s).iter().any(|&u| {
+                    if u == t {
+                        return k >= 1;
+                    }
+                    match self.index.position(u).and_then(|pu| self.index.edge_weight_by_pos(pu, pt)) {
+                        Some(w) => w + 1 <= k,
+                        None => false,
+                    }
+                })
+            }
+            // Case 4: neither endpoint is covered; the path must leave s into
+            // a covered out-neighbour and enter t from a covered in-neighbour,
+            // spending two hops on those steps.
+            QueryCase::NeitherInCover => {
+                let out = g.out_neighbors(s);
+                let inn = g.in_neighbors(t);
+                out.iter().any(|&u| {
+                    let pu = match self.index.position(u) {
+                        Some(p) => p,
+                        // An uncovered out-neighbour can only happen if (s, u)
+                        // were uncovered, which the cover forbids; defensive.
+                        None => return false,
+                    };
+                    inn.iter().any(|&v| {
+                        if u == v {
+                            return k >= 2;
+                        }
+                        match self.index.position(v).and_then(|pv| self.index.edge_weight_by_pos(pu, pv)) {
+                            Some(w) => w + 2 <= k,
+                            None => false,
+                        }
+                    })
+                })
+            }
+        };
+        (answer, case)
+    }
+
+    /// Answers the query and, when the answer is positive, explains *why* in
+    /// terms of the index structure: which case of Algorithm 2 fired and
+    /// which cover vertices certify the path.
+    ///
+    /// The witness is a certificate, not a path: it names the cover
+    /// vertices through which a path of length ≤ k is guaranteed to exist,
+    /// together with the index weight that bounds the interior distance.
+    pub fn explain(&self, g: &DiGraph, s: VertexId, t: VertexId) -> Option<QueryWitness> {
+        let k = self.k;
+        if s == t {
+            return Some(QueryWitness::Identity);
+        }
+        match self.classify(s, t) {
+            QueryCase::BothInCover => self
+                .index
+                .edge_weight(s, t)
+                .map(|weight| QueryWitness::IndexEdge { weight }),
+            QueryCase::SourceInCover => {
+                let ps = self.index.position(s)?;
+                for &v in g.in_neighbors(t) {
+                    if v == s && k >= 1 {
+                        return Some(QueryWitness::DirectEdge);
+                    }
+                    if let Some(w) =
+                        self.index.position(v).and_then(|pv| self.index.edge_weight_by_pos(ps, pv))
+                    {
+                        if w + 1 <= k {
+                            return Some(QueryWitness::ThroughInNeighbor { via: v, weight: w });
+                        }
+                    }
+                }
+                None
+            }
+            QueryCase::TargetInCover => {
+                let pt = self.index.position(t)?;
+                for &u in g.out_neighbors(s) {
+                    if u == t && k >= 1 {
+                        return Some(QueryWitness::DirectEdge);
+                    }
+                    if let Some(w) =
+                        self.index.position(u).and_then(|pu| self.index.edge_weight_by_pos(pu, pt))
+                    {
+                        if w + 1 <= k {
+                            return Some(QueryWitness::ThroughOutNeighbor { via: u, weight: w });
+                        }
+                    }
+                }
+                None
+            }
+            QueryCase::NeitherInCover => {
+                let inn = g.in_neighbors(t);
+                for &u in g.out_neighbors(s) {
+                    let Some(pu) = self.index.position(u) else { continue };
+                    for &v in inn {
+                        if u == v && k >= 2 {
+                            return Some(QueryWitness::ThroughSingleCoverVertex { via: u });
+                        }
+                        if let Some(w) =
+                            self.index.position(v).and_then(|pv| self.index.edge_weight_by_pos(pu, pv))
+                        {
+                            if w + 2 <= k {
+                                return Some(QueryWitness::ThroughCoverPair {
+                                    first: u,
+                                    last: v,
+                                    weight: w,
+                                });
+                            }
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Construction and size statistics for this index.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            name: "k-reach".to_string(),
+            build_millis: self.build_millis,
+            size_bytes: self.index.size_bytes(),
+            cover_size: Some(self.cover_size()),
+            index_edges: Some(self.index_edge_count()),
+        }
+    }
+
+    /// Total index size in bytes (position map + cover + CSR + 2-bit weights).
+    pub fn size_bytes(&self) -> usize {
+        self.index.size_bytes()
+    }
+}
+
+/// Maps `items` through `f` with `threads` scoped worker threads, preserving
+/// order. Used for the embarrassingly parallel BFS sweep of Algorithm 1.
+fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let chunk_size = items.len().div_ceil(threads.max(1));
+    let mut results: Vec<Vec<R>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(|_| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        results = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    })
+    .expect("scoped threads");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_graph::traversal::khop_reachable_bfs;
+
+    fn brute_force_check(g: &DiGraph, index: &KReachIndex) {
+        let k = index.k();
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let expected = khop_reachable_bfs(g, s, t, k);
+                let got = index.query(g, s, t);
+                assert_eq!(got, expected, "k={k} query ({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_small_path_graph_for_all_k() {
+        let g = DiGraph::from_edges(7, (0..6u32).map(|i| (i, i + 1)));
+        for k in 1..=7u32 {
+            let index = KReachIndex::build(&g, k, BuildOptions::default());
+            brute_force_check(&g, &index);
+        }
+    }
+
+    #[test]
+    fn exact_on_paper_example_for_k3() {
+        let g = crate::paper_example::paper_example_graph();
+        for strategy in [CoverStrategy::RandomEdge, CoverStrategy::DegreePriority] {
+            let index =
+                KReachIndex::build(&g, 3, BuildOptions { cover_strategy: strategy, threads: 1 });
+            brute_force_check(&g, &index);
+        }
+    }
+
+    #[test]
+    fn exact_on_graph_with_cycles() {
+        let g = DiGraph::from_edges(
+            8,
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6), (6, 7), (7, 6)],
+        );
+        for k in [1, 2, 3, 5, 8] {
+            let index = KReachIndex::build(&g, k, BuildOptions::default());
+            brute_force_check(&g, &index);
+        }
+    }
+
+    #[test]
+    fn classic_reachability_matches_unbounded_bfs() {
+        let g = DiGraph::from_edges(
+            9,
+            [(0, 1), (1, 2), (3, 2), (3, 4), (4, 5), (5, 3), (6, 7), (7, 8), (2, 6)],
+        );
+        let index = KReachIndex::for_classic_reachability(&g, BuildOptions::default());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let expected = kreach_graph::traversal::reachable_bfs(&g, s, t);
+                assert_eq!(index.query(&g, s, t), expected, "({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_builds_agree() {
+        let g = kreach_graph::generators::GeneratorSpec::PowerLaw { n: 300, m: 1200, hubs: 4 }
+            .generate(99);
+        let seq = KReachIndex::build(&g, 4, BuildOptions { threads: 1, ..Default::default() });
+        let par = KReachIndex::build(&g, 4, BuildOptions { threads: 4, ..Default::default() });
+        assert_eq!(seq.cover_size(), par.cover_size());
+        assert_eq!(seq.index_edge_count(), par.index_edge_count());
+        for s in g.vertices().step_by(7) {
+            for t in g.vertices().step_by(11) {
+                assert_eq!(seq.query(&g, s, t), par.query(&g, s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn query_cases_are_classified_consistently() {
+        let g = crate::paper_example::paper_example_graph();
+        let index = KReachIndex::build(&g, 3, BuildOptions::default());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let case = index.classify(s, t);
+                let expected = match (index.in_cover(s), index.in_cover(t)) {
+                    (true, true) => QueryCase::BothInCover,
+                    (true, false) => QueryCase::SourceInCover,
+                    (false, true) => QueryCase::TargetInCover,
+                    (false, false) => QueryCase::NeitherInCover,
+                };
+                assert_eq!(case, expected);
+                assert_eq!(index.query_with_case(&g, s, t).1, case);
+            }
+        }
+    }
+
+    #[test]
+    fn k_equal_one_only_sees_direct_edges() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let index = KReachIndex::build(&g, 1, BuildOptions::default());
+        assert!(index.query(&g, VertexId(0), VertexId(1)));
+        assert!(!index.query(&g, VertexId(0), VertexId(2)));
+        assert!(index.query(&g, VertexId(2), VertexId(2)));
+        brute_force_check(&g, &index);
+    }
+
+    #[test]
+    fn stats_report_positive_sizes() {
+        let g = crate::paper_example::paper_example_graph();
+        let index = KReachIndex::build(&g, 3, BuildOptions::default());
+        let stats = index.stats();
+        assert!(stats.size_bytes > 0);
+        assert_eq!(stats.cover_size, Some(index.cover_size()));
+        assert_eq!(stats.index_edges, Some(index.index_edge_count()));
+        assert!(stats.build_millis >= 0.0);
+        assert_eq!(index.size_bytes(), stats.size_bytes);
+    }
+
+    #[test]
+    fn case_numbers_match_paper_numbering() {
+        assert_eq!(QueryCase::BothInCover.number(), 1);
+        assert_eq!(QueryCase::SourceInCover.number(), 2);
+        assert_eq!(QueryCase::TargetInCover.number(), 3);
+        assert_eq!(QueryCase::NeitherInCover.number(), 4);
+    }
+
+    #[test]
+    fn explain_agrees_with_query_and_certifies_real_paths() {
+        use kreach_graph::traversal::shortest_distance;
+        let g = crate::paper_example::paper_example_graph();
+        let cover = crate::paper_example::paper_example_cover();
+        let index = KReachIndex::build_with_cover(&g, 3, &cover, BuildOptions::default());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let witness = index.explain(&g, s, t);
+                assert_eq!(witness.is_some(), index.query(&g, s, t), "({s},{t})");
+                match witness {
+                    Some(QueryWitness::Identity) => assert_eq!(s, t),
+                    Some(QueryWitness::DirectEdge) => assert!(g.has_edge(s, t)),
+                    Some(QueryWitness::IndexEdge { weight }) => {
+                        assert!(weight <= 3);
+                        assert!(shortest_distance(&g, s, t).unwrap() <= 3);
+                    }
+                    Some(QueryWitness::ThroughInNeighbor { via, weight }) => {
+                        assert!(g.has_edge(via, t));
+                        assert!(index.in_cover(via));
+                        assert!(weight + 1 <= 3);
+                    }
+                    Some(QueryWitness::ThroughOutNeighbor { via, weight }) => {
+                        assert!(g.has_edge(s, via));
+                        assert!(index.in_cover(via));
+                        assert!(weight + 1 <= 3);
+                    }
+                    Some(QueryWitness::ThroughSingleCoverVertex { via }) => {
+                        assert!(g.has_edge(s, via) && g.has_edge(via, t));
+                    }
+                    Some(QueryWitness::ThroughCoverPair { first, last, weight }) => {
+                        assert!(g.has_edge(s, first) && g.has_edge(last, t));
+                        assert!(weight + 2 <= 3);
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explain_reports_expected_variants_on_paper_example() {
+        use crate::paper_example::{A, B, C, D, F, G, H};
+        let g = crate::paper_example::paper_example_graph();
+        let cover = crate::paper_example::paper_example_cover();
+        let index = KReachIndex::build_with_cover(&g, 3, &cover, BuildOptions::default());
+        assert!(matches!(index.explain(&g, B, G), Some(QueryWitness::IndexEdge { weight: 3 })));
+        assert!(matches!(
+            index.explain(&g, D, H),
+            Some(QueryWitness::ThroughInNeighbor { via, weight: 2 }) if via == G
+        ));
+        assert!(matches!(
+            index.explain(&g, A, D),
+            Some(QueryWitness::ThroughOutNeighbor { via, weight: 1 }) if via == B
+        ));
+        assert!(matches!(
+            index.explain(&g, C, F),
+            Some(QueryWitness::ThroughCoverPair { first, last, weight: 1 }) if first == B && last == D
+        ));
+        assert_eq!(index.explain(&g, C, H), None);
+        assert!(matches!(index.explain(&g, A, A), Some(QueryWitness::Identity)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_is_rejected() {
+        let g = DiGraph::from_edges(2, [(0, 1)]);
+        KReachIndex::build(&g, 0, BuildOptions::default());
+    }
+
+    #[test]
+    fn empty_graph_answers_identity_only() {
+        let g = DiGraph::from_edges(3, std::iter::empty());
+        let index = KReachIndex::build(&g, 2, BuildOptions::default());
+        assert!(index.query(&g, VertexId(0), VertexId(0)));
+        assert!(!index.query(&g, VertexId(0), VertexId(1)));
+        assert_eq!(index.cover_size(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! The running example of the paper (Figures 1–4, Examples 1–4).
+//!
+//! The paper's Figure 1 shows a ten-vertex graph `G` with vertices
+//! `a … j` whose 2-approximate vertex cover (after picking the edges `(b,d)`
+//! and `(g,i)`) is `{b, d, g, i}`, and whose 2-hop vertex cover (after
+//! picking the path `⟨d, e, g⟩`) is `{d, e, g}`. The edge set reconstructed
+//! here satisfies every statement made about `G` in Examples 1–4:
+//!
+//! * `b →3 g` and `b` reaches `i` in exactly 4 hops;
+//! * `d →3 h`, `j` is at least 4 hops from `d`;
+//! * `a →3 d`, `g` is at least 4 hops from `a` (exactly 4);
+//! * `c →3 f`, `h` is at least 5 hops from `c`;
+//! * `a` has no in-neighbours, `h`'s only in-neighbour is `g`, `j`'s only
+//!   in-neighbour is `i`;
+//! * `e →5 g` but `e` cannot reach `d`;
+//! * `a` reaches `i` in 5 hops and `j` in at least 6 hops.
+//!
+//! The module exposes the graph, the letter labels, and the two covers so
+//! unit tests, documentation examples and the quick-start binary can all work
+//! with exactly the same instance that the paper walks through.
+
+use crate::hop_cover::HopVertexCover;
+use crate::vertex_cover::VertexCover;
+use kreach_graph::{DiGraph, VertexId};
+
+/// Vertex `a` of Figure 1.
+pub const A: VertexId = VertexId(0);
+/// Vertex `b` of Figure 1.
+pub const B: VertexId = VertexId(1);
+/// Vertex `c` of Figure 1.
+pub const C: VertexId = VertexId(2);
+/// Vertex `d` of Figure 1.
+pub const D: VertexId = VertexId(3);
+/// Vertex `e` of Figure 1.
+pub const E: VertexId = VertexId(4);
+/// Vertex `f` of Figure 1.
+pub const F: VertexId = VertexId(5);
+/// Vertex `g` of Figure 1.
+pub const G: VertexId = VertexId(6);
+/// Vertex `h` of Figure 1.
+pub const H: VertexId = VertexId(7);
+/// Vertex `i` of Figure 1.
+pub const I: VertexId = VertexId(8);
+/// Vertex `j` of Figure 1.
+pub const J: VertexId = VertexId(9);
+
+/// Human-readable label of a vertex of the example graph.
+pub fn label(v: VertexId) -> char {
+    (b'a' + v.0 as u8) as char
+}
+
+/// The example graph `G` of Figure 1 / Figure 3.
+pub fn paper_example_graph() -> DiGraph {
+    DiGraph::from_edges(
+        10,
+        [
+            (A.0, B.0),
+            (C.0, B.0),
+            (B.0, D.0),
+            (D.0, E.0),
+            (D.0, F.0),
+            (E.0, G.0),
+            (G.0, H.0),
+            (G.0, I.0),
+            (I.0, J.0),
+        ],
+    )
+}
+
+/// The vertex cover `{b, d, g, i}` of Example 1.
+pub fn paper_example_cover() -> VertexCover {
+    VertexCover::from_members(10, [B, D, G, I])
+}
+
+/// The 2-hop vertex cover `{d, e, g}` of Example 3.
+pub fn paper_example_hop_cover() -> HopVertexCover {
+    HopVertexCover::from_members(10, 2, [D, E, G])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hkreach::HkReachIndex;
+    use crate::kreach::{BuildOptions, KReachIndex};
+    use kreach_graph::traversal::shortest_distance;
+
+    #[test]
+    fn example_cover_is_a_valid_vertex_cover() {
+        let g = paper_example_graph();
+        let cover = paper_example_cover();
+        assert!(cover.covers_all_edges(&g), "Example 1: {{b,d,g,i}} must cover every edge");
+        assert_eq!(cover.len(), 4);
+    }
+
+    #[test]
+    fn example_hop_cover_is_a_valid_two_hop_cover() {
+        let g = paper_example_graph();
+        let cover = paper_example_hop_cover();
+        assert!(cover.covers_all_paths(&g), "Example 3: {{d,e,g}} must cover every length-2 path");
+    }
+
+    #[test]
+    fn figure_one_distances_match_the_examples() {
+        let g = paper_example_graph();
+        // Example 1 / 2 (k = 3).
+        assert_eq!(shortest_distance(&g, B, G), Some(3), "b ->3 g");
+        assert_eq!(shortest_distance(&g, B, I), Some(4), "b reaches i in 4 hops");
+        assert_eq!(shortest_distance(&g, D, H), Some(3), "d ->3 h");
+        assert!(shortest_distance(&g, D, J).is_none_or(|d| d >= 4), "j >= 4 hops from d");
+        assert_eq!(shortest_distance(&g, A, D), Some(2), "a ->3 d");
+        assert_eq!(shortest_distance(&g, A, G), Some(4), "g is 4 hops from a");
+        assert_eq!(shortest_distance(&g, C, F), Some(3), "c ->3 f");
+        assert!(shortest_distance(&g, C, H).is_none_or(|d| d >= 5), "h >= 5 hops from c");
+        // Example 4 (h = 2, k = 5).
+        assert!(g.in_neighbors(A).is_empty(), "a has no in-neighbours");
+        assert_eq!(g.in_neighbors(H), &[G], "h's only in-neighbour is g");
+        assert_eq!(g.in_neighbors(J), &[I], "j's only in-neighbour is i");
+        assert_eq!(shortest_distance(&g, A, I), Some(5), "a reaches i in 5 hops");
+        assert!(shortest_distance(&g, A, J).is_none_or(|d| d >= 6), "a reaches j in >= 6 hops");
+        assert!(shortest_distance(&g, E, D).is_none(), "e cannot reach d");
+        assert_eq!(shortest_distance(&g, D, G), Some(2));
+    }
+
+    #[test]
+    fn figure_two_index_graph_matches_example_one() {
+        let g = paper_example_graph();
+        let cover = paper_example_cover();
+        let index = KReachIndex::build_with_cover(&g, 3, &cover, BuildOptions::default());
+        let ig = index.index_graph();
+        // The five edges of Figure 2 with their weights.
+        assert_eq!(ig.edge_weight(B, D), Some(1), "ω(b,d) = 1");
+        assert_eq!(ig.edge_weight(B, G), Some(3), "ω(b,g) = 3");
+        assert_eq!(ig.edge_weight(D, G), Some(2), "ω(d,g) = 2");
+        assert_eq!(ig.edge_weight(D, I), Some(3), "ω(d,i) = 3");
+        assert_eq!(ig.edge_weight(G, I), Some(1), "ω(g,i) = 1");
+        // (b, i) is absent because b reaches i only in 4 > k hops.
+        assert_eq!(ig.edge_weight(B, I), None);
+        assert_eq!(ig.edge_count(), 5);
+    }
+
+    #[test]
+    fn example_two_queries_all_four_cases() {
+        let g = paper_example_graph();
+        let cover = paper_example_cover();
+        let index = KReachIndex::build_with_cover(&g, 3, &cover, BuildOptions::default());
+        // Case 1.
+        assert!(index.query(&g, B, G), "b ->3 g");
+        assert!(!index.query(&g, B, I), "b does not 3-reach i");
+        // Case 2.
+        assert!(index.query(&g, D, H), "d ->3 h");
+        assert!(!index.query(&g, D, J), "d does not 3-reach j");
+        // Case 3.
+        assert!(index.query(&g, A, D), "a ->3 d");
+        assert!(!index.query(&g, A, G), "a does not 3-reach g");
+        // Case 4.
+        assert!(index.query(&g, C, F), "c ->3 f");
+        assert!(!index.query(&g, C, H), "c does not 3-reach h");
+    }
+
+    #[test]
+    fn example_four_queries_all_four_cases() {
+        let g = paper_example_graph();
+        let cover = paper_example_hop_cover();
+        let index = HkReachIndex::build_with_cover(&g, 5, &cover);
+        // Case 1.
+        assert!(index.query(&g, E, G), "e ->5 g");
+        assert!(!index.query(&g, E, D), "e does not reach d");
+        // Case 2.
+        assert!(index.query(&g, D, H), "d ->5 h");
+        assert!(!index.query(&g, D, A), "d does not reach a");
+        // Case 3.
+        assert!(index.query(&g, A, G), "a ->5 g");
+        // Case 4.
+        assert!(index.query(&g, A, I), "a ->5 i");
+        assert!(!index.query(&g, A, J), "a does not 5-reach j");
+    }
+
+    #[test]
+    fn figure_four_weights_match_example_three() {
+        let g = paper_example_graph();
+        let cover = paper_example_hop_cover();
+        let index = HkReachIndex::build_with_cover(&g, 5, &cover);
+        let ig = index.index_graph();
+        assert_eq!(ig.edge_weight(D, G), Some(2), "ω(d,g) = 2 as used throughout Example 4");
+        assert_eq!(ig.edge_weight(D, E), Some(1));
+        assert_eq!(ig.edge_weight(E, G), Some(1));
+        assert_eq!(ig.edge_weight(E, D), None, "(e,d) is not an edge of H");
+    }
+
+    #[test]
+    fn labels_are_letters() {
+        assert_eq!(label(A), 'a');
+        assert_eq!(label(J), 'j');
+    }
+}

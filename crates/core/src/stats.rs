@@ -1,0 +1,74 @@
+//! Index construction / size statistics, used to reproduce Tables 3, 4 and 9.
+
+/// Statistics of a constructed index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexStats {
+    /// Human-readable index name ("k-reach", "(2,6)-reach", "GRAIL", …).
+    pub name: String,
+    /// Wall-clock construction time in milliseconds.
+    pub build_millis: f64,
+    /// In-memory size of the index structure in bytes.
+    pub size_bytes: usize,
+    /// Size of the vertex cover backing the index, if it has one.
+    pub cover_size: Option<usize>,
+    /// Number of index edges, if the index is graph-shaped.
+    pub index_edges: Option<usize>,
+}
+
+impl IndexStats {
+    /// Index size in mebibytes, as reported in Table 4.
+    pub fn size_mb(&self) -> f64 {
+        self.size_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl std::fmt::Display for IndexStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: built in {:.2} ms, {:.2} MB",
+            self.name,
+            self.build_millis,
+            self.size_mb()
+        )?;
+        if let Some(c) = self.cover_size {
+            write!(f, ", cover {c}")?;
+        }
+        if let Some(e) = self.index_edges {
+            write!(f, ", {e} index edges")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_mb_converts_bytes() {
+        let s = IndexStats {
+            name: "x".into(),
+            build_millis: 1.0,
+            size_bytes: 2 * 1024 * 1024,
+            cover_size: None,
+            index_edges: None,
+        };
+        assert!((s.size_mb() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_optional_fields() {
+        let s = IndexStats {
+            name: "k-reach".into(),
+            build_millis: 3.5,
+            size_bytes: 1024,
+            cover_size: Some(7),
+            index_edges: Some(21),
+        };
+        let text = s.to_string();
+        assert!(text.contains("k-reach"));
+        assert!(text.contains("cover 7"));
+        assert!(text.contains("21 index edges"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Binary on-disk serialization of the k-reach index.
+//!
+//! Section 4.1.3 notes that "the constructed index is then stored on disk";
+//! this module provides a compact little-endian binary format so an index can
+//! be built once and memory-mapped or reloaded by later query sessions.
+//! The format stores exactly the pieces of the index graph: the vertex cover,
+//! the CSR offsets/targets over cover positions, and the 2-bit packed weights.
+
+use crate::index_graph::CoverIndexGraph;
+use crate::kreach::KReachIndex;
+use crate::vertex_cover::CoverStrategy;
+use crate::weights::{PackedWeights, WeightStore};
+use kreach_graph::VertexId;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic number identifying a k-reach index file ("KRCH").
+const MAGIC: u32 = 0x4b52_4348;
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// Errors produced while loading an index.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a k-reach index or uses an unsupported version.
+    Format(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Serializes a k-reach index to a writer.
+pub fn write_kreach<W: Write>(index: &KReachIndex, mut w: W) -> Result<(), StorageError> {
+    let ig = index.index_graph();
+    let (cover, offsets, targets) = ig.raw_parts();
+    let weights = ig.weights();
+
+    write_u32(&mut w, MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, index.k())?;
+    write_u32(&mut w, strategy_code(index.cover_strategy()))?;
+    write_u64(&mut w, ig.input_vertex_count() as u64)?;
+
+    write_u64(&mut w, cover.len() as u64)?;
+    for &v in cover {
+        write_u32(&mut w, v.0)?;
+    }
+    write_u64(&mut w, offsets.len() as u64)?;
+    for &o in offsets {
+        write_u32(&mut w, o)?;
+    }
+    write_u64(&mut w, targets.len() as u64)?;
+    for &t in targets {
+        write_u32(&mut w, t)?;
+    }
+    write_u32(&mut w, weights.clamp_min())?;
+    write_u64(&mut w, weights.len() as u64)?;
+    write_u64(&mut w, weights.packed_bytes().len() as u64)?;
+    w.write_all(weights.packed_bytes())?;
+    Ok(())
+}
+
+/// Deserializes a k-reach index from a reader.
+pub fn read_kreach<R: Read>(mut r: R) -> Result<KReachIndex, StorageError> {
+    let magic = read_u32(&mut r)?;
+    if magic != MAGIC {
+        return Err(StorageError::Format(format!("bad magic 0x{magic:08x}")));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(StorageError::Format(format!("unsupported version {version}")));
+    }
+    let k = read_u32(&mut r)?;
+    let strategy = strategy_from_code(read_u32(&mut r)?)?;
+    let n = read_u64(&mut r)? as usize;
+
+    let cover_len = read_u64(&mut r)? as usize;
+    let mut cover = Vec::with_capacity(cover_len);
+    for _ in 0..cover_len {
+        cover.push(VertexId(read_u32(&mut r)?));
+    }
+    let offsets_len = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(offsets_len);
+    for _ in 0..offsets_len {
+        offsets.push(read_u32(&mut r)?);
+    }
+    let targets_len = read_u64(&mut r)? as usize;
+    let mut targets = Vec::with_capacity(targets_len);
+    for _ in 0..targets_len {
+        targets.push(read_u32(&mut r)?);
+    }
+    let clamp_min = read_u32(&mut r)?;
+    let weight_count = read_u64(&mut r)? as usize;
+    let packed_len = read_u64(&mut r)? as usize;
+    let mut packed = vec![0u8; packed_len];
+    r.read_exact(&mut packed)?;
+
+    if weight_count != targets_len {
+        return Err(StorageError::Format(format!(
+            "weight count {weight_count} does not match target count {targets_len}"
+        )));
+    }
+    if offsets_len != cover_len + 1 {
+        return Err(StorageError::Format(format!(
+            "offset count {offsets_len} does not match cover size {cover_len}"
+        )));
+    }
+    if packed.len() * 4 < weight_count {
+        return Err(StorageError::Format("packed weight buffer too short".to_string()));
+    }
+
+    let weights = PackedWeights::from_raw(clamp_min, weight_count, packed);
+    let index = CoverIndexGraph::from_raw_parts(n, cover, offsets, targets, weights);
+    Ok(KReachIndex::from_parts(k, strategy, index))
+}
+
+/// Saves an index to a file path.
+pub fn save_kreach(index: &KReachIndex, path: impl AsRef<Path>) -> Result<(), StorageError> {
+    let file = std::fs::File::create(path)?;
+    write_kreach(index, io::BufWriter::new(file))
+}
+
+/// Loads an index from a file path.
+pub fn load_kreach(path: impl AsRef<Path>) -> Result<KReachIndex, StorageError> {
+    let file = std::fs::File::open(path)?;
+    read_kreach(io::BufReader::new(file))
+}
+
+fn strategy_code(s: CoverStrategy) -> u32 {
+    match s {
+        CoverStrategy::RandomEdge => 0,
+        CoverStrategy::DegreePriority => 1,
+    }
+}
+
+fn strategy_from_code(code: u32) -> Result<CoverStrategy, StorageError> {
+    match code {
+        0 => Ok(CoverStrategy::RandomEdge),
+        1 => Ok(CoverStrategy::DegreePriority),
+        other => Err(StorageError::Format(format!("unknown cover strategy code {other}"))),
+    }
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kreach::BuildOptions;
+    use crate::paper_example::paper_example_graph;
+    use kreach_graph::generators::GeneratorSpec;
+
+    #[test]
+    fn round_trip_preserves_answers_and_metadata() {
+        let g = paper_example_graph();
+        let index = KReachIndex::build(&g, 3, BuildOptions::default());
+        let mut buf = Vec::new();
+        write_kreach(&index, &mut buf).expect("serializes");
+        let restored = read_kreach(buf.as_slice()).expect("deserializes");
+
+        assert_eq!(restored.k(), index.k());
+        assert_eq!(restored.cover_size(), index.cover_size());
+        assert_eq!(restored.index_edge_count(), index.index_edge_count());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(restored.query(&g, s, t), index.query(&g, s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_on_random_graph() {
+        let g = GeneratorSpec::PowerLaw { n: 250, m: 900, hubs: 4 }.generate(42);
+        let index = KReachIndex::build(&g, 5, BuildOptions::default());
+        let mut buf = Vec::new();
+        write_kreach(&index, &mut buf).expect("serializes");
+        let restored = read_kreach(buf.as_slice()).expect("deserializes");
+        for s in g.vertices().step_by(13) {
+            for t in g.vertices().step_by(17) {
+                assert_eq!(restored.query(&g, s, t), index.query(&g, s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncated_input() {
+        let err = read_kreach(&b"not an index file"[..]).unwrap_err();
+        assert!(matches!(err, StorageError::Format(_) | StorageError::Io(_)));
+
+        let g = paper_example_graph();
+        let index = KReachIndex::build(&g, 3, BuildOptions::default());
+        let mut buf = Vec::new();
+        write_kreach(&index, &mut buf).expect("serializes");
+        buf.truncate(buf.len() / 2);
+        assert!(read_kreach(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = paper_example_graph();
+        let index = KReachIndex::build(&g, 3, BuildOptions::default());
+        let dir = std::env::temp_dir().join("kreach-storage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("example.kreach");
+        save_kreach(&index, &path).expect("saves");
+        let restored = load_kreach(&path).expect("loads");
+        assert_eq!(restored.k(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = StorageError::Format("boom".to_string());
+        assert!(err.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # kreach-datasets
+//!
+//! Synthetic stand-ins for the 15 real graphs of the K-Reach evaluation
+//! (Table 2 of the paper) and the query workloads of Section 6.
+//!
+//! The original files (EcoCyc genome graphs, aMaze/Kegg metabolic networks,
+//! Nasa/Xmark XML documents, ArXiv/CiteSeer/PubMed citation networks, GO and
+//! YAGO ontology graphs) are not redistributable, so every dataset is
+//! replaced by a generated graph whose *shape* matches the published
+//! statistics: vertex and edge counts are taken directly from Table 2, and
+//! the generator family is chosen so that degree skew, cyclicity (|V_DAG|
+//! versus |V|) and the distance profile (diameter `d`, median shortest-path
+//! length `µ`) land in the same regime. [`DatasetSpec`] records both the
+//! published numbers and the generator used, so benchmark output can always
+//! be compared against the paper's tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod workload;
+
+pub use registry::{all_specs, spec_by_name, DatasetFamily, DatasetSpec};
+pub use workload::{QueryWorkload, WorkloadConfig};

@@ -1,0 +1,158 @@
+//! Query workloads: the "1 million randomly generated queries" of Section 6.
+//!
+//! The paper stresses (Table 8 and the surrounding discussion) that the
+//! random workload is *not* biased towards the cheap Case-1 queries: most
+//! random pairs have neither endpoint in the vertex cover. The workload
+//! generator here reproduces exactly that protocol — uniform random ordered
+//! pairs of vertices — and offers helpers to classify a workload by query
+//! case and to compute the positive-answer rate, both of which the harness
+//! reports.
+
+use kreach_graph::{DiGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Configuration of a random query workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Number of `(s, t)` pairs to generate (the paper uses 1,000,000).
+    pub queries: usize,
+    /// RNG seed, so every index sees the identical workload.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig { queries: 1_000_000, seed: 0x9e37_79b9 }
+    }
+}
+
+/// A materialized list of query pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryWorkload {
+    pairs: Vec<(VertexId, VertexId)>,
+}
+
+impl QueryWorkload {
+    /// Generates `config.queries` uniform random ordered pairs over the
+    /// vertices of `g` (self-pairs allowed, exactly as a uniform draw would).
+    pub fn uniform(g: &DiGraph, config: WorkloadConfig) -> Self {
+        let n = g.vertex_count() as u32;
+        assert!(n > 0, "cannot generate queries for an empty graph");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let pairs = (0..config.queries)
+            .map(|_| (VertexId(rng.gen_range(0..n)), VertexId(rng.gen_range(0..n))))
+            .collect();
+        QueryWorkload { pairs }
+    }
+
+    /// The query pairs.
+    pub fn pairs(&self) -> &[(VertexId, VertexId)] {
+        &self.pairs
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Fraction of queries for which `predicate` holds (e.g. the positive
+    /// rate of reachability answers, or the share of Case-4 queries).
+    pub fn fraction_where(&self, mut predicate: impl FnMut(VertexId, VertexId) -> bool) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        let hits = self.pairs.iter().filter(|&&(s, t)| predicate(s, t)).count();
+        hits as f64 / self.pairs.len() as f64
+    }
+
+    /// Counts queries into four buckets according to `classifier`, which maps
+    /// a pair to a case number 1–4 (Algorithm 2 / Table 8).
+    pub fn case_distribution(&self, mut classifier: impl FnMut(VertexId, VertexId) -> u8) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for &(s, t) in &self.pairs {
+            let case = classifier(s, t);
+            assert!((1..=4).contains(&case), "classifier must return 1..=4, got {case}");
+            counts[case as usize - 1] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_graph::generators::GeneratorSpec;
+
+    fn graph() -> DiGraph {
+        GeneratorSpec::ErdosRenyi { n: 50, m: 120 }.generate(1)
+    }
+
+    #[test]
+    fn generates_requested_number_of_in_range_pairs() {
+        let g = graph();
+        let w = QueryWorkload::uniform(&g, WorkloadConfig { queries: 1000, seed: 3 });
+        assert_eq!(w.len(), 1000);
+        assert!(w.pairs().iter().all(|&(s, t)| s.index() < 50 && t.index() < 50));
+    }
+
+    #[test]
+    fn same_seed_same_workload_different_seed_different() {
+        let g = graph();
+        let a = QueryWorkload::uniform(&g, WorkloadConfig { queries: 500, seed: 7 });
+        let b = QueryWorkload::uniform(&g, WorkloadConfig { queries: 500, seed: 7 });
+        let c = QueryWorkload::uniform(&g, WorkloadConfig { queries: 500, seed: 8 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fraction_and_distribution_helpers() {
+        let g = graph();
+        let w = QueryWorkload::uniform(&g, WorkloadConfig { queries: 2000, seed: 5 });
+        let all = w.fraction_where(|_, _| true);
+        assert!((all - 1.0).abs() < 1e-12);
+        let none = w.fraction_where(|_, _| false);
+        assert_eq!(none, 0.0);
+
+        // Classify by parity of the source id: roughly half in each bucket.
+        let counts = w.case_distribution(|s, _| if s.0 % 2 == 0 { 1 } else { 4 });
+        assert_eq!(counts.iter().sum::<usize>(), 2000);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[0] > 700 && counts[3] > 700);
+    }
+
+    #[test]
+    fn uniform_pairs_are_spread_over_the_vertex_set() {
+        let g = graph();
+        let w = QueryWorkload::uniform(&g, WorkloadConfig { queries: 5000, seed: 11 });
+        let mut seen_sources = vec![false; 50];
+        for &(s, _) in w.pairs() {
+            seen_sources[s.index()] = true;
+        }
+        let covered = seen_sources.iter().filter(|&&b| b).count();
+        assert!(covered >= 45, "uniform sampling should touch almost every vertex, got {covered}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_graph_is_rejected() {
+        let g = DiGraph::from_edges(0, std::iter::empty());
+        QueryWorkload::uniform(&g, WorkloadConfig { queries: 1, seed: 0 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn classifier_out_of_range_is_rejected() {
+        let g = graph();
+        let w = QueryWorkload::uniform(&g, WorkloadConfig { queries: 10, seed: 0 });
+        w.case_distribution(|_, _| 7);
+    }
+}

@@ -1,0 +1,186 @@
+//! A fixed-capacity bitset over dense vertex ids.
+
+use crate::vertex::VertexId;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-size bitset backed by `u64` words.
+///
+/// Used as the "visited" set of every traversal and as the raw representation
+/// of per-source reachable sets before interval compression (the transitive
+/// closure baseline of Section 3.6 / PWAH [28]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FixedBitSet {
+    /// Creates a bitset able to hold `len` bits, all initially clear.
+    pub fn new(len: usize) -> Self {
+        FixedBitSet { words: vec![0; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// Number of bits the set can hold.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitset has capacity zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`. Returns `true` if the bit was previously clear.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let mask = 1u64 << b;
+        let was_clear = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        was_clear
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        self.words[w] &= !(1u64 << b);
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Convenience: sets the bit for a vertex id.
+    #[inline]
+    pub fn insert_vertex(&mut self, v: VertexId) -> bool {
+        self.insert(v.index())
+    }
+
+    /// Convenience: tests the bit for a vertex id.
+    #[inline]
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.contains(v.index())
+    }
+
+    /// Clears every bit, keeping the capacity (workhorse-reuse pattern for
+    /// repeated traversals).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union with another bitset of the same length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &FixedBitSet) {
+        assert_eq!(self.len, other.len, "bitset lengths must match for union");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// True if any bit is set in both bitsets.
+    pub fn intersects(&self, other: &FixedBitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterator over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+
+    /// Heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut bs = FixedBitSet::new(200);
+        assert!(bs.insert(3));
+        assert!(!bs.insert(3));
+        assert!(bs.contains(3));
+        assert!(!bs.contains(4));
+        bs.remove(3);
+        assert!(!bs.contains(3));
+    }
+
+    #[test]
+    fn count_and_iter_agree() {
+        let mut bs = FixedBitSet::new(130);
+        for i in [0usize, 1, 63, 64, 65, 127, 129] {
+            bs.insert(i);
+        }
+        assert_eq!(bs.count_ones(), 7);
+        let ones: Vec<_> = bs.iter_ones().collect();
+        assert_eq!(ones, vec![0, 1, 63, 64, 65, 127, 129]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = FixedBitSet::new(100);
+        let mut b = FixedBitSet::new(100);
+        a.insert(10);
+        b.insert(20);
+        assert!(!a.intersects(&b));
+        a.union_with(&b);
+        assert!(a.contains(20));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn clear_resets_bits_but_not_capacity() {
+        let mut bs = FixedBitSet::new(70);
+        bs.insert(69);
+        bs.clear();
+        assert_eq!(bs.count_ones(), 0);
+        assert_eq!(bs.len(), 70);
+    }
+
+    #[test]
+    fn vertex_helpers() {
+        let mut bs = FixedBitSet::new(10);
+        assert!(bs.insert_vertex(VertexId(9)));
+        assert!(bs.contains_vertex(VertexId(9)));
+        assert!(!bs.contains_vertex(VertexId(0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn union_length_mismatch_panics() {
+        let mut a = FixedBitSet::new(10);
+        let b = FixedBitSet::new(20);
+        a.union_with(&b);
+    }
+}

@@ -1,0 +1,137 @@
+//! Mutable edge-list builder producing an immutable [`DiGraph`].
+
+use crate::csr::DiGraph;
+use crate::vertex::VertexId;
+
+/// Accumulates directed edges and freezes them into a CSR [`DiGraph`].
+///
+/// Self-loops are dropped (the paper's graphs are simple; a self-loop never
+/// changes any k-hop reachability answer for k ≥ 1 between distinct
+/// vertices) and parallel edges are deduplicated at freeze time.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Number of vertices the resulting graph will have.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grows the vertex set so that it contains at least `n` vertices.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.n {
+            self.n = n;
+        }
+    }
+
+    /// Adds the directed edge `(u, v)`.
+    ///
+    /// Vertices outside the current range grow the vertex set. Self-loops
+    /// are silently ignored.
+    pub fn add_edge(&mut self, u: impl Into<VertexId>, v: impl Into<VertexId>) {
+        let (u, v) = (u.into(), v.into());
+        if u == v {
+            return;
+        }
+        self.ensure_vertices(u.index().max(v.index()) + 1);
+        self.edges.push((u.0, v.0));
+    }
+
+    /// Adds every edge from an iterator of `(u, v)` pairs.
+    pub fn extend_edges<I, U>(&mut self, iter: I)
+    where
+        I: IntoIterator<Item = (U, U)>,
+        U: Into<VertexId>,
+    {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Freezes the builder into an immutable CSR graph, deduplicating
+    /// parallel edges.
+    pub fn build(mut self) -> DiGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        DiGraph::from_sorted_unique_edges(self.n, &self.edges)
+    }
+}
+
+impl FromIterator<(u32, u32)> for GraphBuilder {
+    fn from_iter<T: IntoIterator<Item = (u32, u32)>>(iter: T) -> Self {
+        let mut b = GraphBuilder::new(0);
+        b.extend_edges(iter);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0u32, 1u32);
+        b.add_edge(1u32, 2u32);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_neighbors(VertexId(0)), &[VertexId(1)]);
+        assert_eq!(g.in_neighbors(VertexId(2)), &[VertexId(1)]);
+    }
+
+    #[test]
+    fn dedups_parallel_edges_and_drops_self_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0u32, 1u32);
+        b.add_edge(0u32, 1u32);
+        b.add_edge(1u32, 1u32);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn grows_vertex_set_on_demand() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(5u32, 9u32);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects_edges() {
+        let g: DiGraph = [(0u32, 1u32), (1, 2), (2, 0)]
+            .into_iter()
+            .collect::<GraphBuilder>()
+            .build();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

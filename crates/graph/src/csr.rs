@@ -1,0 +1,277 @@
+//! Immutable compressed-sparse-row directed graph.
+
+use crate::vertex::VertexId;
+
+/// An immutable, unweighted, directed graph stored in compressed sparse row
+/// form with both forward (out-) and reverse (in-) adjacency.
+///
+/// This is the `G = (V, E)` of the paper. Both directions are materialized
+/// because query processing (Algorithm 2 / Algorithm 3) inspects
+/// `outNei(s, G)` and `inNei(t, G)`, and the vertex-cover computation treats
+/// the graph as undirected.
+///
+/// Neighbour lists are sorted by vertex id, which lets membership tests use
+/// binary search (the `O(log deg)` edge lookups of Section 4.2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    /// Out-adjacency offsets: `out_offsets[v]..out_offsets[v+1]` indexes `out_targets`.
+    out_offsets: Vec<u32>,
+    out_targets: Vec<VertexId>,
+    /// In-adjacency offsets, symmetric to the out-adjacency.
+    in_offsets: Vec<u32>,
+    in_sources: Vec<VertexId>,
+}
+
+impl DiGraph {
+    /// Builds a graph from a sorted, deduplicated slice of `(u, v)` edges.
+    ///
+    /// Callers normally go through [`crate::GraphBuilder`]; this constructor
+    /// is exposed for generators that already produce canonical edge lists.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the edges are not sorted and unique, or if
+    /// an endpoint is `>= n`.
+    pub fn from_sorted_unique_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted and unique");
+        debug_assert!(
+            edges.iter().all(|&(u, v)| (u as usize) < n && (v as usize) < n),
+            "edge endpoint out of range"
+        );
+        let m = edges.len();
+
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(u, v) in edges {
+            out_offsets[u as usize + 1] += 1;
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+
+        // Edges are sorted by (u, v), so out_targets can be filled in order.
+        let mut out_targets = Vec::with_capacity(m);
+        out_targets.extend(edges.iter().map(|&(_, v)| VertexId(v)));
+
+        // Fill the reverse adjacency with a counting pass; per-source slices
+        // end up sorted because we scan edges in (u, v) order.
+        let mut in_sources = vec![VertexId(0); m];
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        for &(u, v) in edges {
+            let slot = cursor[v as usize];
+            in_sources[slot as usize] = VertexId(u);
+            cursor[v as usize] += 1;
+        }
+
+        DiGraph { out_offsets, out_targets, in_offsets, in_sources }
+    }
+
+    /// Builds a graph from an arbitrary edge list (sorts, dedups, drops self-loops).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut b = crate::GraphBuilder::new(n);
+        b.extend_edges(edges);
+        b.build()
+    }
+
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of edges `m = |E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertex_count() as u32).map(VertexId)
+    }
+
+    /// Iterator over all edges in `(source, target)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// `outNei(v, G)`: out-neighbours of `v`, sorted by id.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// `inNei(v, G)`: in-neighbours of `v`, sorted by id.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// `outDeg(v, G)`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// `inDeg(v, G)`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// `Deg(v, G) = |inNei(v) ∪ outNei(v)|` — the undirected degree used when
+    /// computing vertex covers (Section 4.1.1 ignores edge direction).
+    pub fn degree(&self, v: VertexId) -> usize {
+        // Both lists are sorted; merge-count the union.
+        let (a, b) = (self.out_neighbors(v), self.in_neighbors(v));
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+            count += 1;
+        }
+        count + (a.len() - i) + (b.len() - j)
+    }
+
+    /// Total degree `inDeg + outDeg` (counts a mutual edge twice). Cheaper
+    /// than [`DiGraph::degree`]; used for degree-priority ordering where the
+    /// exact union size does not matter.
+    #[inline]
+    pub fn total_degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Union of in- and out-neighbours, `Nei(v, G)`, sorted and deduplicated.
+    pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let (a, b) = (self.out_neighbors(v), self.in_neighbors(v));
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        out
+    }
+
+    /// Whether the directed edge `(u, v)` exists (binary search on the sorted
+    /// out-adjacency of `u`).
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> DiGraph {
+        DiGraph {
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+        }
+    }
+
+    /// Approximate heap footprint of the CSR arrays in bytes. Used when
+    /// reporting index/graph sizes (Table 4 of the paper reports on-disk
+    /// sizes; we report the in-memory equivalent).
+    pub fn size_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<u32>()
+            + self.in_offsets.len() * std::mem::size_of::<u32>()
+            + self.out_targets.len() * std::mem::size_of::<VertexId>()
+            + self.in_sources.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Maximum undirected degree, `Degmax` of Table 2.
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_symmetric() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(VertexId(0)), &[VertexId(1), VertexId(2)]);
+        assert_eq!(g.in_neighbors(VertexId(3)), &[VertexId(1), VertexId(2)]);
+        assert_eq!(g.out_degree(VertexId(0)), 2);
+        assert_eq!(g.in_degree(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn edge_iteration_matches_count() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        assert!(edges.contains(&(VertexId(2), VertexId(3))));
+    }
+
+    #[test]
+    fn has_edge_uses_directed_semantics() {
+        let g = diamond();
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(!g.has_edge(VertexId(1), VertexId(0)));
+    }
+
+    #[test]
+    fn degree_counts_union_of_directions() {
+        // 0 <-> 1 plus 0 -> 2: Deg(0) must be 2, not 3.
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (0, 2)]);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.total_degree(VertexId(0)), 3);
+        assert_eq!(g.neighbors(VertexId(0)), vec![VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = diamond().reversed();
+        assert_eq!(g.out_neighbors(VertexId(3)), &[VertexId(1), VertexId(2)]);
+        assert_eq!(g.in_neighbors(VertexId(1)), &[VertexId(3)]);
+    }
+
+    #[test]
+    fn max_degree_on_star() {
+        let g = DiGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (4, 0)]);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn empty_graph_is_well_formed() {
+        let g = DiGraph::from_edges(0, std::iter::empty());
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

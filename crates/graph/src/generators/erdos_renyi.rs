@@ -1,0 +1,81 @@
+//! Uniform random directed graphs `G(n, m)`.
+
+use crate::builder::GraphBuilder;
+use crate::csr::DiGraph;
+use rand::Rng;
+
+/// Generates a directed graph with `n` vertices and (up to) `m` distinct
+/// edges chosen uniformly at random without self-loops.
+///
+/// If `m` exceeds the number of possible edges it is clamped. For sparse
+/// graphs (the only regime used in the evaluation) rejection sampling is
+/// effectively linear in `m`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> DiGraph {
+    if n <= 1 {
+        return DiGraph::from_edges(n, std::iter::empty());
+    }
+    let max_edges = n * (n - 1);
+    let m = m.min(max_edges);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    // Rejection sampling: fine while m is well below n*(n-1), which holds for
+    // every dataset shape in the paper (all are sparse). Fall back to dense
+    // enumeration when the requested edge count is more than half the maximum.
+    if m * 2 < max_edges {
+        while seen.len() < m {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v && seen.insert((u, v)) {
+                builder.add_edge(u, v);
+            }
+        }
+    } else {
+        let mut all: Vec<(u32, u32)> = Vec::with_capacity(max_edges);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v {
+                    all.push((u, v));
+                }
+            }
+        }
+        rand::seq::SliceRandom::shuffle(&mut all[..], rng);
+        builder.extend_edges(all.into_iter().take(m));
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(100, 400, &mut rng);
+        assert_eq!(g.vertex_count(), 100);
+        assert_eq!(g.edge_count(), 400);
+    }
+
+    #[test]
+    fn clamps_to_maximum_edge_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi(4, 1000, &mut rng);
+        assert_eq!(g.edge_count(), 12); // 4 * 3 possible directed edges
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(50, 200, &mut rng);
+        assert!(g.edges().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(erdos_renyi(0, 10, &mut rng).vertex_count(), 0);
+        assert_eq!(erdos_renyi(1, 10, &mut rng).edge_count(), 0);
+    }
+}

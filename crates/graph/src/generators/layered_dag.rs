@@ -1,0 +1,130 @@
+//! Layered, mostly-acyclic graphs resembling the XML / ontology / metabolic
+//! datasets of Table 2 (Nasa, Xmark, GO, Kegg, aMaze, the EcoCyc family).
+//!
+//! Those graphs are characterized by a modest depth (diameter 9–24), very low
+//! average degree, and — for the metabolic networks — a large portion of the
+//! vertices collapsing into SCCs when condensed. The generator reproduces
+//! that: vertices are arranged in layers, most edges go from a layer to the
+//! next few layers, and a configurable fraction of "back" edges creates
+//! cycles so the condensation is meaningfully smaller than the input.
+
+use crate::builder::GraphBuilder;
+use crate::csr::DiGraph;
+use rand::Rng;
+
+/// Generates a layered graph with `n` vertices, about `m` edges and `layers`
+/// layers. `back_edge_fraction` of the edges point to an earlier layer,
+/// creating cycles (set it to `0.0` for a pure DAG).
+pub fn layered_dag<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    layers: usize,
+    back_edge_fraction: f64,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(
+        (0.0..=1.0).contains(&back_edge_fraction),
+        "back_edge_fraction must lie in [0, 1]"
+    );
+    if n <= 1 || layers == 0 {
+        return DiGraph::from_edges(n, std::iter::empty());
+    }
+    let layers = layers.min(n);
+    let layer_of = |v: usize| -> usize { v * layers / n };
+    let layer_bounds = |l: usize| -> (usize, usize) {
+        // Vertices v with layer_of(v) == l form a contiguous range.
+        let start = (l * n).div_ceil(layers);
+        let end = ((l + 1) * n).div_ceil(layers);
+        (start, end.min(n))
+    };
+
+    let mut builder = GraphBuilder::with_capacity(n, m);
+
+    // Backbone: each vertex (except those in layer 0) gets one edge from a
+    // random vertex of the previous layer, keeping the layered structure
+    // connected and the depth close to `layers`.
+    for v in 0..n {
+        let l = layer_of(v);
+        if l == 0 {
+            continue;
+        }
+        let (ps, pe) = layer_bounds(l - 1);
+        if ps < pe {
+            let u = rng.gen_range(ps..pe);
+            builder.add_edge(u as u32, v as u32);
+        }
+    }
+
+    let remaining = m.saturating_sub(builder.edge_count());
+    for _ in 0..remaining {
+        let u = rng.gen_range(0..n);
+        let lu = layer_of(u);
+        let back = rng.gen_bool(back_edge_fraction);
+        let target_layer = if back {
+            if lu == 0 {
+                continue;
+            }
+            rng.gen_range(0..lu)
+        } else {
+            if lu + 1 >= layers {
+                continue;
+            }
+            // Forward jump of 1..=3 layers keeps the diameter close to `layers`.
+            (lu + 1 + rng.gen_range(0..3usize)).min(layers - 1)
+        };
+        let (ts, te) = layer_bounds(target_layer);
+        if ts >= te {
+            continue;
+        }
+        let v = rng.gen_range(ts..te);
+        if u != v {
+            builder.add_edge(u as u32, v as u32);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scc::Condensation;
+    use crate::traversal::topological_sort;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_back_edges_gives_a_dag() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = layered_dag(500, 1500, 10, 0.0, &mut rng);
+        assert!(topological_sort(&g).is_some(), "expected a DAG");
+        assert_eq!(g.vertex_count(), 500);
+    }
+
+    #[test]
+    fn back_edges_create_nontrivial_sccs() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = layered_dag(2000, 8000, 8, 0.3, &mut rng);
+        let cond = Condensation::new(&g);
+        assert!(
+            cond.dag_vertex_count() < g.vertex_count(),
+            "expected some vertices to collapse: {} vs {}",
+            cond.dag_vertex_count(),
+            g.vertex_count()
+        );
+    }
+
+    #[test]
+    fn edge_budget_is_approximately_met() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = layered_dag(1000, 4000, 12, 0.1, &mut rng);
+        assert!(g.edge_count() > 3000, "edge count {} too far below budget", g.edge_count());
+        assert!(g.edge_count() <= 4000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_back_edge_fraction() {
+        let mut rng = StdRng::seed_from_u64(24);
+        layered_dag(10, 20, 2, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,87 @@
+//! Directed small-world graphs (Watts–Strogatz-style ring with rewiring).
+//!
+//! The introduction of the paper motivates k-hop reachability with the
+//! six-degrees-of-separation property of social networks: almost everything
+//! is reachable, but only within a few hops. A rewired ring lattice produces
+//! exactly that regime — large girth locally, tiny diameter globally — and is
+//! used for the citation-network stand-ins and for the examples.
+
+use crate::builder::GraphBuilder;
+use crate::csr::DiGraph;
+use rand::Rng;
+
+/// Generates a directed small-world graph: every vertex points to its next
+/// `degree` ring successors, and each such edge is rewired to a uniformly
+/// random target with probability `rewire_probability`.
+pub fn small_world<R: Rng + ?Sized>(
+    n: usize,
+    degree: usize,
+    rewire_probability: f64,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(
+        (0.0..=1.0).contains(&rewire_probability),
+        "rewire_probability must lie in [0, 1]"
+    );
+    if n <= 1 {
+        return DiGraph::from_edges(n, std::iter::empty());
+    }
+    let degree = degree.min(n - 1);
+    let mut builder = GraphBuilder::with_capacity(n, n * degree);
+    for u in 0..n {
+        for d in 1..=degree {
+            let v = if rng.gen_bool(rewire_probability) {
+                rng.gen_range(0..n)
+            } else {
+                (u + d) % n
+            };
+            if v != u {
+                builder.add_edge(u as u32, v as u32);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{distance_profile, StatsConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unrewired_ring_has_large_diameter() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = small_world(200, 2, 0.0, &mut rng);
+        let (d, _) = distance_profile(&g, StatsConfig::default());
+        assert!(d >= 90, "pure ring of 200 with degree 2 should have diameter ~100, got {d}");
+    }
+
+    #[test]
+    fn rewiring_shrinks_the_diameter() {
+        let ring = small_world(400, 3, 0.0, &mut StdRng::seed_from_u64(32));
+        let rewired = small_world(400, 3, 0.2, &mut StdRng::seed_from_u64(32));
+        let (d_ring, _) = distance_profile(&ring, StatsConfig::default());
+        let (d_rewired, _) = distance_profile(&rewired, StatsConfig::default());
+        assert!(
+            d_rewired < d_ring / 2,
+            "rewiring should at least halve the diameter ({d_rewired} vs {d_ring})"
+        );
+    }
+
+    #[test]
+    fn respects_degree_budget() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = small_world(100, 4, 0.1, &mut rng);
+        assert!(g.edge_count() <= 400);
+        assert!(g.edge_count() >= 350, "few edges should be lost: {}", g.edge_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_probability() {
+        let mut rng = StdRng::seed_from_u64(34);
+        small_world(10, 2, -0.1, &mut rng);
+    }
+}

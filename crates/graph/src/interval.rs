@@ -1,0 +1,178 @@
+//! Sorted interval lists: a compressed representation of dense id sets.
+//!
+//! Section 4.3 of the paper suggests representing the neighbour sets of
+//! high-degree vertices "in a more compact way, such as interval lists or
+//! partitioned word aligned hybrid compression". This module provides the
+//! interval-list representation, which is also the backbone of the
+//! compressed-transitive-closure baseline (a stand-in for PWAH [28]).
+
+use crate::bitset::FixedBitSet;
+
+/// A set of `u32` ids stored as a sorted list of disjoint, non-adjacent
+/// half-open ranges `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntervalList {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl IntervalList {
+    /// Creates an empty interval list.
+    pub fn new() -> Self {
+        IntervalList::default()
+    }
+
+    /// Builds an interval list from a sorted, deduplicated slice of ids.
+    ///
+    /// # Panics
+    /// Debug-asserts that the input is sorted and unique.
+    pub fn from_sorted_ids(ids: &[u32]) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted and unique");
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for &id in ids {
+            match ranges.last_mut() {
+                Some(last) if last.1 == id => last.1 = id + 1,
+                _ => ranges.push((id, id + 1)),
+            }
+        }
+        IntervalList { ranges }
+    }
+
+    /// Builds an interval list from the set bits of a bitset.
+    pub fn from_bitset(bs: &FixedBitSet) -> Self {
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for i in bs.iter_ones() {
+            let id = i as u32;
+            match ranges.last_mut() {
+                Some(last) if last.1 == id => last.1 = id + 1,
+                _ => ranges.push((id, id + 1)),
+            }
+        }
+        IntervalList { ranges }
+    }
+
+    /// Number of stored ids (not ranges).
+    pub fn cardinality(&self) -> usize {
+        self.ranges.iter().map(|&(s, e)| (e - s) as usize).sum()
+    }
+
+    /// Number of ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True if no id is stored.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Membership test in `O(log r)` where `r` is the number of ranges.
+    pub fn contains(&self, id: u32) -> bool {
+        self.ranges
+            .binary_search_by(|&(s, e)| {
+                if id < s {
+                    std::cmp::Ordering::Greater
+                } else if id >= e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Iterates over every stored id in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ranges.iter().flat_map(|&(s, e)| s..e)
+    }
+
+    /// Iterates over the ranges.
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+
+    /// Heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.ranges.len() * std::mem::size_of::<(u32, u32)>()
+    }
+
+    /// Compression ratio versus storing each id as a `u32`
+    /// (values < 1.0 mean the interval list is smaller).
+    pub fn compression_ratio(&self) -> f64 {
+        let card = self.cardinality();
+        if card == 0 {
+            return 1.0;
+        }
+        self.size_bytes() as f64 / (card * std::mem::size_of::<u32>()) as f64
+    }
+}
+
+impl FromIterator<u32> for IntervalList {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut ids: Vec<u32> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        IntervalList::from_sorted_ids(&ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_ids_collapse_into_one_range() {
+        let il = IntervalList::from_sorted_ids(&[1, 2, 3, 4, 10, 11, 20]);
+        assert_eq!(il.range_count(), 3);
+        assert_eq!(il.cardinality(), 7);
+        assert_eq!(il.ranges(), &[(1, 5), (10, 12), (20, 21)]);
+    }
+
+    #[test]
+    fn contains_hits_and_misses() {
+        let il = IntervalList::from_sorted_ids(&[1, 2, 3, 10]);
+        for id in [1, 2, 3, 10] {
+            assert!(il.contains(id), "expected {id} in list");
+        }
+        for id in [0, 4, 9, 11, 100] {
+            assert!(!il.contains(id), "did not expect {id} in list");
+        }
+    }
+
+    #[test]
+    fn iter_round_trips() {
+        let ids = vec![0u32, 1, 5, 6, 7, 42];
+        let il = IntervalList::from_sorted_ids(&ids);
+        assert_eq!(il.iter().collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn from_bitset_matches_from_ids() {
+        let mut bs = FixedBitSet::new(100);
+        for i in [3usize, 4, 5, 90] {
+            bs.insert(i);
+        }
+        assert_eq!(IntervalList::from_bitset(&bs), IntervalList::from_sorted_ids(&[3, 4, 5, 90]));
+    }
+
+    #[test]
+    fn from_iterator_sorts_and_dedups() {
+        let il: IntervalList = [5u32, 1, 2, 2, 3].into_iter().collect();
+        assert_eq!(il.iter().collect::<Vec<_>>(), vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn dense_set_compresses_well() {
+        let ids: Vec<u32> = (0..1000).collect();
+        let il = IntervalList::from_sorted_ids(&ids);
+        assert_eq!(il.range_count(), 1);
+        assert!(il.compression_ratio() < 0.01);
+    }
+
+    #[test]
+    fn empty_list_behaves() {
+        let il = IntervalList::new();
+        assert!(il.is_empty());
+        assert_eq!(il.cardinality(), 0);
+        assert!(!il.contains(0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Plain edge-list I/O.
+//!
+//! The real datasets of the paper are distributed as whitespace-separated
+//! edge lists; this module reads and writes that format so that users who do
+//! have the original files can run the benchmarks on them directly.
+
+use crate::builder::GraphBuilder;
+use crate::csr::DiGraph;
+use crate::{GraphError, Result};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parses a graph from edge-list text: one `u v` pair per line, `#` or `%`
+/// comment lines allowed, vertex ids are arbitrary non-negative integers.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<DiGraph> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new(0);
+    let mut line_buf = String::new();
+    let mut lines = reader.lines();
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        let Some(line) = lines.next() else { break };
+        line_no += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u = parse_vertex(parts.next(), line_no)?;
+        let v = parse_vertex(parts.next(), line_no)?;
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+fn parse_vertex(token: Option<&str>, line: usize) -> Result<u32> {
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two vertex ids".to_string(),
+    })?;
+    token.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("invalid vertex id {token:?}: {e}"),
+    })
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<DiGraph> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes a graph as an edge list.
+pub fn write_edge_list<W: Write>(g: &DiGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} vertices, {} edges", g.vertex_count(), g.edge_count())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{} {}", u.0, v.0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a graph to a file path.
+pub fn write_edge_list_file(g: &DiGraph, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex::VertexId;
+
+    #[test]
+    fn parses_edge_list_with_comments_and_blank_lines() {
+        let text = "# a comment\n0 1\n\n% another comment\n1 2\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).expect("parses");
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(VertexId(2), VertexId(0)));
+    }
+
+    #[test]
+    fn reports_malformed_lines_with_position() {
+        let text = "0 1\nnot-a-vertex 2\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_missing_target() {
+        let err = read_edge_list("5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn round_trips_through_write_and_read() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("writes");
+        let g2 = read_edge_list(buf.as_slice()).expect("reads back");
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let dir = std::env::temp_dir().join("kreach-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.txt");
+        write_edge_list_file(&g, &path).expect("writes file");
+        let g2 = read_edge_list_file(&path).expect("reads file");
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,200 @@
+//! Graph statistics reported in Table 2 of the paper: degree distribution,
+//! maximum degree, diameter `d` and median shortest-path length `µ`.
+
+use crate::csr::DiGraph;
+use crate::scc::Condensation;
+use crate::traversal::{bfs, Direction};
+use crate::vertex::VertexId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Summary statistics of a graph, mirroring one row of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices `|V|`.
+    pub vertices: usize,
+    /// Number of edges `|E|`.
+    pub edges: usize,
+    /// Number of vertices of the condensation DAG `|V_DAG|`.
+    pub dag_vertices: usize,
+    /// Number of edges of the condensation DAG `|E_DAG|`.
+    pub dag_edges: usize,
+    /// Maximum undirected degree `Degmax`.
+    pub max_degree: usize,
+    /// Diameter `d`: the largest finite directed hop distance observed.
+    pub diameter: u32,
+    /// Median length `µ` of all finite shortest paths between distinct vertices.
+    pub median_shortest_path: u32,
+}
+
+/// Configuration of the (sampling-based) statistics computation.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsConfig {
+    /// Number of BFS source samples used for diameter / µ estimation.
+    /// Graphs with at most this many vertices are measured exactly.
+    pub sample_sources: usize,
+    /// RNG seed for source sampling, so reported statistics are reproducible.
+    pub seed: u64,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        StatsConfig { sample_sources: 512, seed: 0x5eed_0001 }
+    }
+}
+
+/// Computes [`GraphStats`] for a graph.
+///
+/// Diameter and µ are computed from single-source BFS runs. For graphs with
+/// more vertices than `config.sample_sources` the sources are a uniform
+/// random sample; this matches how these statistics are customarily estimated
+/// for the datasets of Table 2 (whose exact values we only need to *match in
+/// shape*, not reproduce digit-for-digit).
+pub fn graph_stats(g: &DiGraph, config: StatsConfig) -> GraphStats {
+    let cond = Condensation::new(g);
+    let (diameter, median) = distance_profile(g, config);
+    GraphStats {
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        dag_vertices: cond.dag_vertex_count(),
+        dag_edges: cond.dag_edge_count(),
+        max_degree: g.max_degree(),
+        diameter,
+        median_shortest_path: median,
+    }
+}
+
+/// Returns `(diameter, median shortest-path length)` from full or sampled
+/// single-source BFS sweeps.
+pub fn distance_profile(g: &DiGraph, config: StatsConfig) -> (u32, u32) {
+    let n = g.vertex_count();
+    if n == 0 {
+        return (0, 0);
+    }
+    let sources: Vec<VertexId> = if n <= config.sample_sources {
+        g.vertices().collect()
+    } else {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let mut all: Vec<VertexId> = g.vertices().collect();
+        all.shuffle(&mut rng);
+        all.truncate(config.sample_sources);
+        all
+    };
+
+    let mut diameter = 0u32;
+    // Histogram of finite distances (> 0); shortest-path lengths on these
+    // graphs are tiny, so a vector histogram is cheaper than keeping samples.
+    let mut histogram: Vec<u64> = Vec::new();
+    for &s in &sources {
+        let r = bfs(g, s, Direction::Forward, None);
+        for (v, d) in r.reached_with_distance() {
+            if v == s {
+                continue;
+            }
+            diameter = diameter.max(d);
+            if histogram.len() <= d as usize {
+                histogram.resize(d as usize + 1, 0);
+            }
+            histogram[d as usize] += 1;
+        }
+    }
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return (0, 0);
+    }
+    let mut seen = 0u64;
+    let mut median = 0u32;
+    for (d, &count) in histogram.iter().enumerate() {
+        seen += count;
+        if seen * 2 >= total {
+            median = d as u32;
+            break;
+        }
+    }
+    (diameter, median)
+}
+
+/// The undirected degree of every vertex, useful for inspecting degree skew.
+pub fn degree_sequence(g: &DiGraph) -> Vec<usize> {
+    g.vertices().map(|v| g.degree(v)).collect()
+}
+
+/// The `h`-index of the graph: the largest `h` such that at least `h`
+/// vertices have degree at least `h`. Section 4.3 cites the h-index to argue
+/// that real graphs contain only a few hundred high-degree vertices.
+pub fn h_index(g: &DiGraph) -> usize {
+    let mut degs = degree_sequence(g);
+    degs.sort_unstable_by(|a, b| b.cmp(a));
+    let mut h = 0;
+    for (i, &d) in degs.iter().enumerate() {
+        if d >= i + 1 {
+            h = i + 1;
+        } else {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_a_simple_path() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let s = graph_stats(&g, StatsConfig::default());
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.dag_vertices, 5);
+        assert_eq!(s.diameter, 4);
+        // Finite distances: 1x4, 2x3, 3x2, 4x1 => median 2.
+        assert_eq!(s.median_shortest_path, 2);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn stats_of_a_cycle_collapse_dag() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let s = graph_stats(&g, StatsConfig::default());
+        assert_eq!(s.dag_vertices, 1);
+        assert_eq!(s.dag_edges, 0);
+        assert_eq!(s.diameter, 3);
+    }
+
+    #[test]
+    fn h_index_of_star_and_clique() {
+        // Star: one vertex of degree 4, four of degree 1 -> h = 1.
+        let star = DiGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(h_index(&star), 1);
+        // 4-clique (directed both ways): every vertex has degree 3 -> h = 3.
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let clique = DiGraph::from_edges(4, edges);
+        assert_eq!(h_index(&clique), 3);
+    }
+
+    #[test]
+    fn sampled_profile_is_close_to_exact_on_small_graph() {
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let exact = distance_profile(&g, StatsConfig { sample_sources: 1000, seed: 1 });
+        let sampled = distance_profile(&g, StatsConfig { sample_sources: 3, seed: 1 });
+        assert_eq!(exact.0, 5);
+        assert!(sampled.0 <= exact.0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = DiGraph::from_edges(0, std::iter::empty());
+        let s = graph_stats(&g, StatsConfig::default());
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.diameter, 0);
+        assert_eq!(s.median_shortest_path, 0);
+    }
+}

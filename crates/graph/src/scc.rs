@@ -1,0 +1,225 @@
+//! Strongly connected components (Tarjan) and DAG condensation.
+//!
+//! Every classic-reachability baseline of Section 6.2 (PTree, 3-hop, GRAIL,
+//! PWAH) assumes the input graph is a DAG and is therefore run on the
+//! condensation of the original graph (Section 3.1). The condensation is
+//! *not* used by k-reach itself — that is precisely the paper's point: DAG
+//! compression destroys the hop distances a k-hop query needs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::DiGraph;
+use crate::vertex::VertexId;
+
+/// Assignment of every vertex to a strongly connected component.
+#[derive(Debug, Clone)]
+pub struct SccResult {
+    /// `component[v]` is the SCC id of vertex `v`. Component ids are dense in
+    /// `0..component_count` and are numbered in reverse topological order of
+    /// the condensation (Tarjan's property).
+    pub component: Vec<u32>,
+    /// Number of SCCs.
+    pub component_count: usize,
+}
+
+impl SccResult {
+    /// SCC id of a vertex.
+    #[inline]
+    pub fn component_of(&self, v: VertexId) -> u32 {
+        self.component[v.index()]
+    }
+
+    /// True if `u` and `v` lie in the same SCC (i.e. are mutually reachable).
+    #[inline]
+    pub fn same_component(&self, u: VertexId, v: VertexId) -> bool {
+        self.component[u.index()] == self.component[v.index()]
+    }
+
+    /// Sizes of every component, indexed by component id.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.component_count];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Tarjan's algorithm, implemented iteratively so that deep recursion on
+/// path-like graphs cannot overflow the stack.
+pub fn strongly_connected_components(g: &DiGraph) -> SccResult {
+    let n = g.vertex_count();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![0u32; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut component_count = 0u32;
+
+    // Explicit DFS call stack: (vertex, next neighbour position).
+    let mut call_stack: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        call_stack.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            let neighbors = g.out_neighbors(VertexId(v));
+            if *pos < neighbors.len() {
+                let w = neighbors[*pos].0;
+                *pos += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is the root of an SCC: pop it off the Tarjan stack.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack non-empty");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = component_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component_count += 1;
+                }
+            }
+        }
+    }
+
+    SccResult { component, component_count: component_count as usize }
+}
+
+/// The condensation of a graph: each SCC collapsed to a single super-vertex.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// The condensed DAG. Vertex `c` of the DAG is SCC `c` of the original graph.
+    pub dag: DiGraph,
+    /// SCC assignment of the original vertices.
+    pub scc: SccResult,
+}
+
+impl Condensation {
+    /// Computes the condensation of `g`.
+    pub fn new(g: &DiGraph) -> Self {
+        let scc = strongly_connected_components(g);
+        let mut builder = GraphBuilder::new(scc.component_count);
+        for (u, v) in g.edges() {
+            let (cu, cv) = (scc.component_of(u), scc.component_of(v));
+            if cu != cv {
+                builder.add_edge(cu, cv);
+            }
+        }
+        Condensation { dag: builder.build(), scc }
+    }
+
+    /// Maps an original vertex to its DAG super-vertex.
+    #[inline]
+    pub fn map(&self, v: VertexId) -> VertexId {
+        VertexId(self.scc.component_of(v))
+    }
+
+    /// Number of vertices in the condensed DAG (`|V_DAG|` of Table 2).
+    pub fn dag_vertex_count(&self) -> usize {
+        self.dag.vertex_count()
+    }
+
+    /// Number of edges in the condensed DAG (`|E_DAG|` of Table 2).
+    pub fn dag_edge_count(&self) -> usize {
+        self.dag.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{reachable_bfs, topological_sort};
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.component_count, 1);
+        assert!(scc.same_component(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn dag_has_one_component_per_vertex() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.component_count, 4);
+    }
+
+    #[test]
+    fn two_cycles_linked_by_bridge() {
+        // cycle {0,1,2} -> bridge -> cycle {3,4}
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.component_count, 2);
+        assert!(scc.same_component(VertexId(0), VertexId(2)));
+        assert!(scc.same_component(VertexId(3), VertexId(4)));
+        assert!(!scc.same_component(VertexId(0), VertexId(3)));
+        let sizes = scc.component_sizes();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 3]);
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_preserves_reachability() {
+        let g = DiGraph::from_edges(
+            7,
+            [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5), (5, 6)],
+        );
+        let cond = Condensation::new(&g);
+        assert!(topological_sort(&cond.dag).is_some(), "condensation must be a DAG");
+        // Reachability between vertices is preserved through the mapping.
+        for s in 0..7u32 {
+            for t in 0..7u32 {
+                let orig = reachable_bfs(&g, VertexId(s), VertexId(t));
+                let cs = cond.map(VertexId(s));
+                let ct = cond.map(VertexId(t));
+                let condensed = cs == ct || reachable_bfs(&cond.dag, cs, ct);
+                assert_eq!(orig, condensed, "reachability mismatch for ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn condensation_counts_match_expectation() {
+        // Example of Section 3.1 style: a 3-cycle plus a tail of 2 vertices.
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let cond = Condensation::new(&g);
+        assert_eq!(cond.dag_vertex_count(), 3);
+        assert_eq!(cond.dag_edge_count(), 2);
+    }
+
+    #[test]
+    fn tarjan_handles_deep_path_iteratively() {
+        // A 50_000-vertex path would overflow a recursive implementation.
+        let n = 50_000u32;
+        let g = DiGraph::from_edges(n as usize, (0..n - 1).map(|i| (i, i + 1)));
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.component_count, n as usize);
+    }
+}

@@ -1,0 +1,515 @@
+//! Graph traversals: BFS, k-hop BFS, bidirectional BFS, DFS, topological sort.
+//!
+//! Algorithm 1 of the paper builds the index by running a k-hop BFS from each
+//! cover vertex; the µ-BFS baseline of Section 6.3.1 answers queries with an
+//! online k-hop BFS; GRAIL's labels come from randomized DFS. All of those
+//! traversals live here.
+
+use crate::bitset::FixedBitSet;
+use crate::csr::DiGraph;
+use crate::vertex::VertexId;
+use std::collections::VecDeque;
+
+/// Direction of a traversal over a [`DiGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges from source to target (`outNei`).
+    Forward,
+    /// Follow edges from target to source (`inNei`).
+    Backward,
+}
+
+impl Direction {
+    #[inline]
+    fn neighbors<'g>(self, g: &'g DiGraph, v: VertexId) -> &'g [VertexId] {
+        match self {
+            Direction::Forward => g.out_neighbors(v),
+            Direction::Backward => g.in_neighbors(v),
+        }
+    }
+}
+
+/// Result of a (possibly hop-bounded) BFS from a single source.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// `dist[v] == Some(d)` iff `v` was reached in exactly `d` hops.
+    dist: Vec<Option<u32>>,
+    /// Vertices in the order they were discovered (the source comes first).
+    order: Vec<VertexId>,
+}
+
+impl BfsResult {
+    /// Hop distance from the source to `v`, if reached within the bound.
+    #[inline]
+    pub fn distance(&self, v: VertexId) -> Option<u32> {
+        self.dist[v.index()]
+    }
+
+    /// True if `v` was reached.
+    #[inline]
+    pub fn reached(&self, v: VertexId) -> bool {
+        self.dist[v.index()].is_some()
+    }
+
+    /// Discovery order (source first).
+    pub fn order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Number of reached vertices, including the source.
+    pub fn reached_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Iterator over `(vertex, distance)` pairs for every reached vertex.
+    pub fn reached_with_distance(&self) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        self.order.iter().map(move |&v| (v, self.dist[v.index()].expect("reached vertex has distance")))
+    }
+}
+
+/// Breadth-first search from `source`, following `direction`, visiting only
+/// vertices within `max_hops` hops (`None` = unbounded, i.e. classic BFS).
+pub fn bfs(g: &DiGraph, source: VertexId, direction: Direction, max_hops: Option<u32>) -> BfsResult {
+    let n = g.vertex_count();
+    let mut dist = vec![None; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+
+    dist[source.index()] = Some(0);
+    order.push(source);
+    queue.push_back(source);
+
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued vertex has distance");
+        if let Some(bound) = max_hops {
+            if du >= bound {
+                continue;
+            }
+        }
+        for &v in direction.neighbors(g, u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsResult { dist, order }
+}
+
+/// Exact shortest-path hop distance from `s` to `t` (forward BFS that stops
+/// as soon as `t` is settled). `None` if `t` is unreachable.
+pub fn shortest_distance(g: &DiGraph, s: VertexId, t: VertexId) -> Option<u32> {
+    if s == t {
+        return Some(0);
+    }
+    let mut dist = vec![u32::MAX; g.vertex_count()];
+    let mut queue = VecDeque::new();
+    dist[s.index()] = 0;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.out_neighbors(u) {
+            if dist[v.index()] == u32::MAX {
+                if v == t {
+                    return Some(du + 1);
+                }
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Online k-hop reachability by forward BFS: `s →k t`?
+///
+/// This is the naive method the introduction argues against ("a BFS from a
+/// celebrity ... is clearly out of the question for online query processing")
+/// and the µ-BFS baseline of Table 7.
+pub fn khop_reachable_bfs(g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> bool {
+    if s == t {
+        return true;
+    }
+    if k == 0 {
+        return false;
+    }
+    let mut visited = FixedBitSet::new(g.vertex_count());
+    visited.insert_vertex(s);
+    let mut frontier = vec![s];
+    let mut next = Vec::new();
+    for _ in 0..k {
+        for &u in &frontier {
+            for &v in g.out_neighbors(u) {
+                if v == t {
+                    return true;
+                }
+                if visited.insert_vertex(v) {
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            return false;
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    false
+}
+
+/// Classic (unbounded) reachability by forward BFS.
+pub fn reachable_bfs(g: &DiGraph, s: VertexId, t: VertexId) -> bool {
+    shortest_distance(g, s, t).is_some()
+}
+
+/// Bidirectional hop-bounded reachability: expands the smaller frontier from
+/// both ends, up to `k` total hops. Exact, and often far cheaper than a
+/// one-sided k-hop BFS on graphs with hub vertices.
+pub fn khop_reachable_bidirectional(g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> bool {
+    if s == t {
+        return true;
+    }
+    if k == 0 {
+        return false;
+    }
+    let n = g.vertex_count();
+    // dist_f[v] = hops from s going forward; dist_b[v] = hops to t going backward.
+    let mut dist_f = vec![u32::MAX; n];
+    let mut dist_b = vec![u32::MAX; n];
+    dist_f[s.index()] = 0;
+    dist_b[t.index()] = 0;
+    let mut frontier_f = vec![s];
+    let mut frontier_b = vec![t];
+    let mut used_f = 0u32;
+    let mut used_b = 0u32;
+
+    while used_f + used_b < k && (!frontier_f.is_empty() || !frontier_b.is_empty()) {
+        // Expand the smaller non-empty frontier.
+        let forward = if frontier_b.is_empty() {
+            true
+        } else if frontier_f.is_empty() {
+            false
+        } else {
+            frontier_f.len() <= frontier_b.len()
+        };
+        debug_assert!(k - (used_f + used_b) >= 1);
+        let (frontier, dist_mine, dist_other, used, dir) = if forward {
+            (&mut frontier_f, &mut dist_f, &dist_b, &mut used_f, Direction::Forward)
+        } else {
+            (&mut frontier_b, &mut dist_b, &dist_f, &mut used_b, Direction::Backward)
+        };
+        let mut next = Vec::new();
+        for &u in frontier.iter() {
+            let du = dist_mine[u.index()];
+            for &v in dir.neighbors(g, u) {
+                if dist_mine[v.index()] != u32::MAX {
+                    continue;
+                }
+                dist_mine[v.index()] = du + 1;
+                // Meeting point: total path length must fit within k.
+                if dist_other[v.index()] != u32::MAX {
+                    let other = dist_other[v.index()];
+                    let total = du + 1 + other;
+                    if total <= k {
+                        return true;
+                    }
+                }
+                next.push(v);
+            }
+        }
+        *frontier = next;
+        *used += 1;
+    }
+    false
+}
+
+/// Result of a depth-first search over the whole graph.
+#[derive(Debug, Clone)]
+pub struct DfsForest {
+    /// Discovery time of each vertex (preorder rank).
+    pub discovery: Vec<u32>,
+    /// Finish time of each vertex (postorder rank).
+    pub finish: Vec<u32>,
+    /// Vertices in postorder (useful for SCC / topological processing).
+    pub postorder: Vec<VertexId>,
+}
+
+/// Iterative DFS over all vertices, visiting roots in the order given by
+/// `roots` (falling back to id order for unvisited vertices). Children are
+/// visited in the order produced by `child_order`, which lets GRAIL use a
+/// different random permutation per traversal.
+pub fn dfs_forest<F>(g: &DiGraph, roots: &[VertexId], mut child_order: F) -> DfsForest
+where
+    F: FnMut(&[VertexId]) -> Vec<VertexId>,
+{
+    let n = g.vertex_count();
+    let mut discovery = vec![u32::MAX; n];
+    let mut finish = vec![u32::MAX; n];
+    let mut postorder = Vec::with_capacity(n);
+    let mut clock = 0u32;
+
+    // Explicit stack of (vertex, next-child-index, children).
+    let mut stack: Vec<(VertexId, usize, Vec<VertexId>)> = Vec::new();
+
+    let all_roots: Vec<VertexId> =
+        roots.iter().copied().chain(g.vertices()).collect();
+
+    for root in all_roots {
+        if discovery[root.index()] != u32::MAX {
+            continue;
+        }
+        discovery[root.index()] = clock;
+        clock += 1;
+        stack.push((root, 0, child_order(g.out_neighbors(root))));
+        while let Some((v, idx, children)) = stack.last_mut() {
+            if let Some(&child) = children.get(*idx) {
+                *idx += 1;
+                if discovery[child.index()] == u32::MAX {
+                    discovery[child.index()] = clock;
+                    clock += 1;
+                    stack.push((child, 0, child_order(g.out_neighbors(child))));
+                }
+            } else {
+                finish[v.index()] = clock;
+                clock += 1;
+                postorder.push(*v);
+                stack.pop();
+            }
+        }
+    }
+    DfsForest { discovery, finish, postorder }
+}
+
+/// Topological order of a DAG (Kahn's algorithm). Returns `None` if the graph
+/// contains a cycle.
+pub fn topological_sort(g: &DiGraph) -> Option<Vec<VertexId>> {
+    let n = g.vertex_count();
+    let mut indeg: Vec<u32> = (0..n).map(|v| g.in_degree(VertexId(v as u32)) as u32).collect();
+    let mut queue: VecDeque<VertexId> =
+        g.vertices().filter(|&v| indeg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.out_neighbors(u) {
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Collects the set of vertices reachable from `source` within `k` hops
+/// (including the source itself), together with their distances.
+///
+/// This is `Gk(u)` of Section 4.1.3 and the workhorse of Algorithm 1, Line 5.
+pub fn khop_neighborhood(g: &DiGraph, source: VertexId, k: u32, direction: Direction) -> BfsResult {
+    bfs(g, source, direction, Some(k))
+}
+
+/// A reusable bounded-BFS scratch space for query-time neighbourhood
+/// exploration.
+///
+/// [`bfs`] allocates `O(n)` per call, which is fine for index construction
+/// (one call per cover vertex) but far too expensive when a *query* needs the
+/// h-hop neighbourhood of its endpoints — the situation in Algorithm 3 of the
+/// paper. `NeighborhoodExplorer` keeps its visitation marks across calls
+/// using an epoch counter, so each exploration costs only the size of the
+/// neighbourhood actually touched.
+#[derive(Debug, Default, Clone)]
+pub struct NeighborhoodExplorer {
+    epoch: u32,
+    mark: Vec<u32>,
+    queue: VecDeque<(VertexId, u32)>,
+    result: Vec<(VertexId, u32)>,
+}
+
+impl NeighborhoodExplorer {
+    /// Creates an empty explorer; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns every vertex within `max_hops` of `start` in the given
+    /// direction, paired with its hop distance (the start vertex appears with
+    /// distance 0). The slice is valid until the next call.
+    pub fn explore(
+        &mut self,
+        g: &DiGraph,
+        start: VertexId,
+        max_hops: u32,
+        direction: Direction,
+    ) -> &[(VertexId, u32)] {
+        let n = g.vertex_count();
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        // Epoch 0 is the "never visited" value, so skip it on wrap-around.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        self.queue.clear();
+        self.result.clear();
+
+        self.mark[start.index()] = epoch;
+        self.queue.push_back((start, 0));
+        while let Some((u, d)) = self.queue.pop_front() {
+            self.result.push((u, d));
+            if d >= max_hops {
+                continue;
+            }
+            for &v in direction.neighbors(g, u) {
+                if self.mark[v.index()] != epoch {
+                    self.mark[v.index()] = epoch;
+                    self.queue.push_back((v, d + 1));
+                }
+            }
+        }
+        &self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A directed path 0 -> 1 -> 2 -> 3 -> 4 plus a shortcut 0 -> 3.
+    fn path_with_shortcut() -> DiGraph {
+        DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 3)])
+    }
+
+    #[test]
+    fn bfs_computes_hop_distances() {
+        let g = path_with_shortcut();
+        let r = bfs(&g, VertexId(0), Direction::Forward, None);
+        assert_eq!(r.distance(VertexId(0)), Some(0));
+        assert_eq!(r.distance(VertexId(2)), Some(2));
+        assert_eq!(r.distance(VertexId(3)), Some(1)); // via the shortcut
+        assert_eq!(r.distance(VertexId(4)), Some(2));
+        assert_eq!(r.reached_count(), 5);
+    }
+
+    #[test]
+    fn bounded_bfs_respects_hop_limit() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r = bfs(&g, VertexId(0), Direction::Forward, Some(2));
+        assert!(r.reached(VertexId(2)));
+        assert!(!r.reached(VertexId(3)));
+        assert_eq!(r.reached_count(), 3);
+    }
+
+    #[test]
+    fn backward_bfs_follows_in_edges() {
+        let g = path_with_shortcut();
+        let r = bfs(&g, VertexId(4), Direction::Backward, None);
+        assert_eq!(r.distance(VertexId(0)), Some(2)); // 0 -> 3 -> 4 backwards
+        assert_eq!(r.distance(VertexId(1)), Some(3));
+    }
+
+    #[test]
+    fn shortest_distance_matches_bfs() {
+        let g = path_with_shortcut();
+        assert_eq!(shortest_distance(&g, VertexId(0), VertexId(4)), Some(2));
+        assert_eq!(shortest_distance(&g, VertexId(4), VertexId(0)), None);
+        assert_eq!(shortest_distance(&g, VertexId(2), VertexId(2)), Some(0));
+    }
+
+    #[test]
+    fn khop_bfs_is_exact_on_path() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert!(khop_reachable_bfs(&g, VertexId(0), VertexId(3), 3));
+        assert!(!khop_reachable_bfs(&g, VertexId(0), VertexId(3), 2));
+        assert!(khop_reachable_bfs(&g, VertexId(0), VertexId(0), 0));
+        assert!(!khop_reachable_bfs(&g, VertexId(0), VertexId(1), 0));
+    }
+
+    #[test]
+    fn bidirectional_matches_unidirectional() {
+        let g = path_with_shortcut();
+        for s in 0..5u32 {
+            for t in 0..5u32 {
+                for k in 0..6u32 {
+                    let a = khop_reachable_bfs(&g, VertexId(s), VertexId(t), k);
+                    let b = khop_reachable_bidirectional(&g, VertexId(s), VertexId(t), k);
+                    assert_eq!(a, b, "mismatch for s={s} t={t} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_produces_valid_interval_nesting() {
+        let g = DiGraph::from_edges(6, [(0, 1), (0, 2), (1, 3), (2, 4), (4, 5)]);
+        let f = dfs_forest(&g, &[VertexId(0)], |ns| ns.to_vec());
+        // Every vertex must be discovered and finished, discovery < finish.
+        for v in 0..6 {
+            assert!(f.discovery[v] < f.finish[v]);
+        }
+        // Child intervals nest inside parent intervals.
+        assert!(f.discovery[0] < f.discovery[1] && f.finish[1] < f.finish[0]);
+        assert!(f.discovery[4] < f.discovery[5] && f.finish[5] < f.finish[4]);
+        assert_eq!(f.postorder.len(), 6);
+    }
+
+    #[test]
+    fn topological_sort_on_dag_and_cycle() {
+        let dag = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = topological_sort(&dag).expect("dag has a topological order");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for (u, v) in dag.edges() {
+            assert!(pos[u.index()] < pos[v.index()]);
+        }
+        let cyclic = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(topological_sort(&cyclic).is_none());
+    }
+
+    #[test]
+    fn neighborhood_explorer_matches_bounded_bfs() {
+        let g = path_with_shortcut();
+        let mut explorer = NeighborhoodExplorer::new();
+        for start in g.vertices() {
+            for hops in 0..4u32 {
+                for dir in [Direction::Forward, Direction::Backward] {
+                    let reference = bfs(&g, start, dir, Some(hops));
+                    let mut expected: Vec<(VertexId, u32)> =
+                        reference.reached_with_distance().collect();
+                    let mut got = explorer.explore(&g, start, hops, dir).to_vec();
+                    expected.sort_unstable();
+                    got.sort_unstable();
+                    assert_eq!(got, expected, "start {start}, hops {hops}, {dir:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_explorer_reuses_buffers_across_graphs() {
+        let small = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let large = DiGraph::from_edges(10, (0..9u32).map(|i| (i, i + 1)));
+        let mut explorer = NeighborhoodExplorer::new();
+        assert_eq!(explorer.explore(&small, VertexId(0), 5, Direction::Forward).len(), 3);
+        assert_eq!(explorer.explore(&large, VertexId(0), 2, Direction::Forward).len(), 3);
+        assert_eq!(explorer.explore(&large, VertexId(0), 20, Direction::Forward).len(), 10);
+    }
+
+    #[test]
+    fn khop_neighborhood_reports_distances() {
+        let g = path_with_shortcut();
+        let r = khop_neighborhood(&g, VertexId(0), 1, Direction::Forward);
+        let reached: Vec<_> = r.reached_with_distance().collect();
+        assert!(reached.contains(&(VertexId(1), 1)));
+        assert!(reached.contains(&(VertexId(3), 1)));
+        assert!(!r.reached(VertexId(2)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Dense vertex identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense vertex identifier in `0..n`.
+///
+/// The paper indexes vertices by integer ids; we keep them as `u32` because
+/// every dataset in the evaluation (Table 2) has fewer than 2^32 vertices and
+/// halving the id width keeps adjacency arrays, cover bitmaps and index edges
+/// compact (see "Smaller Integers" guidance for hot types).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Creates a vertex id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "vertex index exceeds u32::MAX");
+        VertexId(index as u32)
+    }
+
+    /// Returns the id as a `usize`, suitable for indexing adjacency arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+impl From<VertexId> for usize {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.index()
+    }
+}
+
+impl std::fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_usize() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(usize::from(v), 42);
+        assert_eq!(VertexId::from(42u32), v);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let v = VertexId(7);
+        assert_eq!(format!("{v}"), "7");
+        assert_eq!(format!("{v:?}"), "v7");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_order() {
+        assert!(VertexId(3) < VertexId(10));
+        assert_eq!(VertexId(5), VertexId(5));
+    }
+}

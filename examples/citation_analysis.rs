@@ -1,0 +1,72 @@
+//! Citation-network analysis: classic reachability ("does paper A
+//! transitively cite paper B?") side by side with k-hop reachability ("is B
+//! within the 2-hop citation neighbourhood of A?"), plus the index-size
+//! tradeoff of the (h,k)-reach variant from Section 5.
+//!
+//! Run with `cargo run --release --example citation_analysis`.
+
+use kreach::prelude::*;
+
+fn main() {
+    // A CiteSeer-shaped citation DAG (scaled down for a quick run).
+    let spec = spec_by_name("CiteSeer").expect("dataset spec").scaled(4);
+    let g = spec.generate(3);
+    println!("citation graph: {} papers, {} citations", g.vertex_count(), g.edge_count());
+
+    let stats = kreach::graph::metrics::graph_stats(
+        &g,
+        kreach::graph::metrics::StatsConfig::default(),
+    );
+    println!(
+        "diameter {} and median citation distance {} (paper-shaped: deep, acyclic)",
+        stats.diameter, stats.median_shortest_path
+    );
+
+    // Classic reachability index (k = n) and a 2-hop index for "close" work.
+    let transitive = KReachIndex::for_classic_reachability(&g, BuildOptions::default());
+    let close = KReachIndex::build(&g, 2, BuildOptions::default());
+
+    let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 50_000, seed: 17 });
+    let transitive_rate = workload.fraction_where(|s, t| transitive.query(&g, s, t));
+    let close_rate = workload.fraction_where(|s, t| close.query(&g, s, t));
+    println!(
+        "random paper pairs: {:.2}% transitively related, {:.2}% within 2 citation hops",
+        transitive_rate * 100.0,
+        close_rate * 100.0
+    );
+
+    // The (h,k)-reach tradeoff: a 2-hop vertex cover shrinks the index.
+    let k = stats.median_shortest_path.max(5);
+    let kreach = KReachIndex::build(&g, k, BuildOptions::default());
+    let hkreach = HkReachIndex::build(&g, 2, k);
+    println!(
+        "k={k}: k-reach cover {} vertices / {} bytes; (2,{k})-reach cover {} vertices / {} bytes",
+        kreach.cover_size(),
+        kreach.size_bytes(),
+        hkreach.cover_size(),
+        hkreach.size_bytes()
+    );
+
+    // Both answer identically; spot-check against the distance labeling.
+    let dist = DistanceIndex::build(&g);
+    let sample = &workload.pairs()[..2_000];
+    for &(s, t) in sample {
+        let a = kreach.query(&g, s, t);
+        let b = hkreach.query(&g, s, t);
+        let c = dist.khop_reachable(s, t, k);
+        assert_eq!(a, b, "k-reach and (h,k)-reach disagree on ({s},{t})");
+        assert_eq!(a, c, "k-reach and the distance labeling disagree on ({s},{t})");
+    }
+    println!("cross-checked {} pairs across k-reach, (2,{k})-reach and the distance labeling", sample.len());
+
+    // Which case of Algorithm 2 do citation queries fall into?
+    let counts = workload.case_distribution(|s, t| kreach.classify(s, t).number());
+    let total = workload.len() as f64;
+    println!(
+        "query mix: case1 {:.1}%, case2 {:.1}%, case3 {:.1}%, case4 {:.1}%",
+        100.0 * counts[0] as f64 / total,
+        100.0 * counts[1] as f64 / total,
+        100.0 * counts[2] as f64 / total,
+        100.0 * counts[3] as f64 / total
+    );
+}

@@ -1,0 +1,69 @@
+//! Sensor-network broadcast: the motivating application of the paper's
+//! introduction where message reception probability decays exponentially per
+//! hop, so only reachability within a few hops is meaningful.
+//!
+//! The example builds a small-world radio topology, asks which sensors a base
+//! station can reach within k hops for several k, and uses the general-k
+//! index family of Section 4.4 to serve queries with varying hop budgets.
+//!
+//! Run with `cargo run --release --example sensor_network`.
+
+use kreach::core::general_k::GeneralKAnswer;
+use kreach::prelude::*;
+
+fn main() {
+    // A 2,000-node radio mesh: mostly local links plus a few long-range ones.
+    let g = kreach::graph::generators::GeneratorSpec::SmallWorld {
+        n: 2_000,
+        degree: 3,
+        rewire_probability: 0.05,
+    }
+    .generate(99);
+    let base_station = VertexId(0);
+    println!("sensor mesh: {} nodes, {} directed links", g.vertex_count(), g.edge_count());
+
+    // Per-hop delivery probability 0.7: after k hops the delivery probability
+    // is 0.7^k, so beyond ~6 hops a broadcast is effectively lost.
+    let per_hop = 0.7f64;
+    let exact = ExactMultiKReach::build(&g, 8, BuildOptions::default());
+    println!("built exact i-reach indexes for i = 1..=8 ({} bytes total)", exact.size_bytes());
+
+    for k in [1u32, 2, 4, 6, 8] {
+        let reached = g
+            .vertices()
+            .filter(|&v| exact.query(&g, base_station, v, k))
+            .count();
+        println!(
+            "  within {k} hops: {:5} nodes reachable, per-message delivery probability {:.2}",
+            reached,
+            per_hop.powi(k as i32)
+        );
+    }
+
+    // The space-efficient alternative: powers-of-two indexes with approximate
+    // answers for in-between k (Section 4.4).
+    let family = MultiKReach::build(&g, 8, BuildOptions::default());
+    println!(
+        "powers-of-two family {:?}: {} bytes (vs {} exact)",
+        family.hop_bounds(),
+        family.size_bytes(),
+        exact.size_bytes()
+    );
+    let probe = VertexId(1_234);
+    match family.query(&g, base_station, probe, 5) {
+        GeneralKAnswer::Reachable => println!("node {probe}: definitely reachable within 5 hops"),
+        GeneralKAnswer::NotReachable => println!("node {probe}: not reachable within 5 hops"),
+        GeneralKAnswer::ReachableWithin(upper) => {
+            println!("node {probe}: reachable within {upper} hops (5-hop answer approximate)")
+        }
+    }
+
+    // Cross-check a sample of answers against an online bounded BFS.
+    let bfs = OnlineBfs::new(&g);
+    let agreeing = g
+        .vertices()
+        .step_by(37)
+        .filter(|&v| exact.query(&g, base_station, v, 6) == bfs.khop_reachable(base_station, v, 6))
+        .count();
+    println!("cross-checked {agreeing} sampled nodes against online BFS (all agree)");
+}

@@ -1,0 +1,76 @@
+//! Social-network influence: the "Lady Gaga" scenario from the paper's
+//! introduction and Section 4.3.
+//!
+//! A celebrity vertex has an enormous follower count, so answering "can the
+//! celebrity influence user X within k hops?" with an online BFS explores a
+//! huge fraction of the network. The k-reach index absorbs every hub into its
+//! vertex cover, turning those queries into cheap Case-1/2 lookups.
+//!
+//! Run with `cargo run --release --example social_influence`.
+
+use kreach::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // A power-law network with a handful of celebrity hubs (vertex 0 is the
+    // biggest): a scaled-down stand-in for a social graph.
+    let spec = spec_by_name("AgroCyc").expect("dataset spec").scaled(4);
+    let g = spec.generate(2024);
+    let celebrity = VertexId(0);
+    println!(
+        "social network: {} users, {} follow edges, celebrity degree {}",
+        g.vertex_count(),
+        g.edge_count(),
+        g.degree(celebrity)
+    );
+
+    // Build 3-reach with the degree-prioritized cover of Section 4.3 ...
+    let index = KReachIndex::build(&g, 3, BuildOptions::default());
+    println!(
+        "3-reach index: cover {} ({:.2}% of users), {} index edges",
+        index.cover_size(),
+        100.0 * index.cover_size() as f64 / g.vertex_count() as f64,
+        index.index_edge_count()
+    );
+    assert!(
+        index.in_cover(celebrity),
+        "degree-prioritized cover must contain the celebrity"
+    );
+
+    // ... and measure the influence sphere of the celebrity.
+    let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 20_000, seed: 7 });
+    let targets: Vec<VertexId> = workload.pairs().iter().map(|&(_, t)| t).collect();
+
+    let started = Instant::now();
+    let reached_index: usize =
+        targets.iter().filter(|&&t| index.query(&g, celebrity, t)).count();
+    let index_time = started.elapsed();
+
+    let bfs = OnlineBfs::new(&g);
+    let started = Instant::now();
+    let reached_bfs: usize =
+        targets.iter().filter(|&&t| bfs.khop_reachable(celebrity, t, 3)).count();
+    let bfs_time = started.elapsed();
+
+    assert_eq!(reached_index, reached_bfs, "index and BFS must agree");
+    println!(
+        "celebrity reaches {:.1}% of sampled users within 3 hops",
+        100.0 * reached_index as f64 / targets.len() as f64
+    );
+    println!(
+        "  k-reach answered {} queries in {:.2?}; online 3-hop BFS took {:.2?}",
+        targets.len(),
+        index_time,
+        bfs_time
+    );
+
+    // Influence decays with k: show the sphere size for k = 1..=4.
+    for k in 1..=4u32 {
+        let idx = KReachIndex::build(&g, k, BuildOptions::default());
+        let reach = targets.iter().filter(|&&t| idx.query(&g, celebrity, t)).count();
+        println!(
+            "  influence sphere at k={k}: {:.1}% of sampled users",
+            100.0 * reach as f64 / targets.len() as f64
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! # kreach
+//!
+//! A reproduction of *K-Reach: Who is in Your Small World* (Cheng, Shang,
+//! Cheng, Wang, Yu; PVLDB 5(11), 2012): a vertex-cover-based index for
+//! answering **k-hop reachability** queries — "is there a directed path of at
+//! most k edges from s to t?" — on directed, unweighted graphs.
+//!
+//! This crate is a thin facade over the workspace members:
+//!
+//! * [`graph`] ([`kreach_graph`]) — the graph substrate: CSR storage,
+//!   traversals, SCC/DAG condensation, metrics, generators, edge-list I/O.
+//! * [`core`] ([`kreach_core`]) — the paper's contribution: the k-reach and
+//!   (h,k)-reach indexes, vertex covers, general-k families, serialization.
+//! * [`baselines`] ([`kreach_baselines`]) — the systems the paper compares
+//!   against: online BFS, GRAIL, compressed transitive closure, tree cover,
+//!   and a 2-hop distance labeling.
+//! * [`datasets`] ([`kreach_datasets`]) — synthetic stand-ins for the 15
+//!   evaluation datasets and the random query workloads.
+//!
+//! ## Example
+//!
+//! ```
+//! use kreach::prelude::*;
+//!
+//! // Who can I influence within 2 hops?
+//! let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 3)]);
+//! let index = KReachIndex::build(&g, 2, BuildOptions::default());
+//! assert!(index.query(&g, VertexId(0), VertexId(3)));   // direct shortcut
+//! assert!(index.query(&g, VertexId(0), VertexId(4)));   // 0 -> 3 -> 4
+//! assert!(!index.query(&g, VertexId(1), VertexId(4)));  // needs 3 hops
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kreach_baselines as baselines;
+pub use kreach_core as core;
+pub use kreach_datasets as datasets;
+pub use kreach_graph as graph;
+
+/// The most commonly used items from every workspace crate.
+pub mod prelude {
+    pub use kreach_baselines::{
+        BidirectionalBfs, DistanceIndex, Grail, IntervalTransitiveClosure, KHopReachability,
+        OnlineBfs, Reachability, TreeCover,
+    };
+    pub use kreach_core::prelude::*;
+    pub use kreach_datasets::{all_specs, spec_by_name, DatasetSpec, QueryWorkload, WorkloadConfig};
+    pub use kreach_graph::{DiGraph, GraphBuilder, VertexId};
+}

@@ -1,0 +1,290 @@
+//! `kreach` — a small command-line front end to the library.
+//!
+//! Subcommands:
+//!
+//! * `kreach stats <edge-list>` — print the Table-2-style statistics of a graph.
+//! * `kreach generate <dataset> --output <file> [--scale F] [--seed S]` —
+//!   write a synthetic stand-in for one of the paper's datasets as an edge list.
+//! * `kreach build <edge-list> --k <K> --output <index-file> [--cover random|degree]`
+//!   — build a k-reach index and store it on disk.
+//! * `kreach query <index-file> <edge-list> <s> <t>` — load an index and
+//!   answer `s →k t`, printing the certificate returned by
+//!   [`kreach::core::kreach::KReachIndex::explain`].
+
+use kreach::core::kreach::QueryWitness;
+use kreach::core::storage;
+use kreach::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Dispatches a command line to its subcommand, returning the text to print.
+fn run(args: &[String]) -> Result<String, String> {
+    let mut args = args.iter().map(String::as_str);
+    match args.next() {
+        Some("stats") => cmd_stats(&collect_rest(args)),
+        Some("generate") => cmd_generate(&collect_rest(args)),
+        Some("build") => cmd_build(&collect_rest(args)),
+        Some("query") => cmd_query(&collect_rest(args)),
+        Some("--help") | Some("-h") | None => Ok(usage().to_string()),
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn collect_rest<'a>(rest: impl Iterator<Item = &'a str>) -> Vec<&'a str> {
+    rest.collect()
+}
+
+fn usage() -> &'static str {
+    "usage:\n\
+     \x20 kreach stats <edge-list>\n\
+     \x20 kreach generate <dataset> --output <file> [--scale F] [--seed S]\n\
+     \x20 kreach build <edge-list> --k <K> --output <index-file> [--cover random|degree]\n\
+     \x20 kreach query <index-file> <edge-list> <s> <t>"
+}
+
+/// Pulls the value following `flag` out of `args`, if present.
+fn flag_value<'a>(args: &[&'a str], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|&a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .copied()
+            .map(Some)
+            .ok_or_else(|| format!("flag {flag} requires a value")),
+    }
+}
+
+/// The positional (non-flag, non-flag-value) arguments.
+fn positionals<'a>(args: &[&'a str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, &a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Every flag of this CLI takes a value.
+            skip = args.get(i + 1).is_some();
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn parse_number<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    text.parse().map_err(|e| format!("invalid {what} {text:?}: {e}"))
+}
+
+fn cmd_stats(args: &[&str]) -> Result<String, String> {
+    let paths = positionals(args);
+    let [path] = paths.as_slice() else {
+        return Err("stats expects exactly one edge-list path".to_string());
+    };
+    let g = kreach::graph::io::read_edge_list_file(path).map_err(|e| e.to_string())?;
+    let stats = kreach::graph::metrics::graph_stats(
+        &g,
+        kreach::graph::metrics::StatsConfig::default(),
+    );
+    Ok(format!(
+        "graph {path}\n\
+         |V|      {}\n\
+         |E|      {}\n\
+         |V_dag|  {}\n\
+         |E_dag|  {}\n\
+         Degmax   {}\n\
+         diameter {}\n\
+         median   {}\n",
+        stats.vertices,
+        stats.edges,
+        stats.dag_vertices,
+        stats.dag_edges,
+        stats.max_degree,
+        stats.diameter,
+        stats.median_shortest_path
+    ))
+}
+
+fn cmd_generate(args: &[&str]) -> Result<String, String> {
+    let names = positionals(args);
+    let [name] = names.as_slice() else {
+        return Err("generate expects exactly one dataset name".to_string());
+    };
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let scale: usize = match flag_value(args, "--scale")? {
+        Some(v) => parse_number(v, "--scale")?,
+        None => 1,
+    };
+    let seed: u64 = match flag_value(args, "--seed")? {
+        Some(v) => parse_number(v, "--seed")?,
+        None => 42,
+    };
+    let output = flag_value(args, "--output")?.ok_or("generate requires --output <file>")?;
+    let g = spec.scaled(scale).generate(seed);
+    kreach::graph::io::write_edge_list_file(&g, output).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} ({} vertices, {} edges, stand-in for {})\n",
+        output,
+        g.vertex_count(),
+        g.edge_count(),
+        spec.name
+    ))
+}
+
+fn cmd_build(args: &[&str]) -> Result<String, String> {
+    let paths = positionals(args);
+    let [path] = paths.as_slice() else {
+        return Err("build expects exactly one edge-list path".to_string());
+    };
+    let k: u32 = parse_number(flag_value(args, "--k")?.ok_or("build requires --k <K>")?, "--k")?;
+    let output = flag_value(args, "--output")?.ok_or("build requires --output <index-file>")?;
+    let strategy = match flag_value(args, "--cover")? {
+        None | Some("degree") => CoverStrategy::DegreePriority,
+        Some("random") => CoverStrategy::RandomEdge,
+        Some(other) => return Err(format!("unknown cover strategy {other:?} (use random|degree)")),
+    };
+    let g = kreach::graph::io::read_edge_list_file(path).map_err(|e| e.to_string())?;
+    let index = KReachIndex::build(&g, k, BuildOptions { cover_strategy: strategy, threads: 0 });
+    storage::save_kreach(&index, output).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "built {k}-reach index for {path}: cover {} vertices, {} index edges, {} bytes -> {output}\n",
+        index.cover_size(),
+        index.index_edge_count(),
+        index.size_bytes()
+    ))
+}
+
+fn cmd_query(args: &[&str]) -> Result<String, String> {
+    let pos = positionals(args);
+    let [index_path, graph_path, s, t] = pos.as_slice() else {
+        return Err("query expects <index-file> <edge-list> <s> <t>".to_string());
+    };
+    let s = VertexId(parse_number::<u32>(s, "source vertex")?);
+    let t = VertexId(parse_number::<u32>(t, "target vertex")?);
+    let g = kreach::graph::io::read_edge_list_file(graph_path).map_err(|e| e.to_string())?;
+    let index = storage::load_kreach(index_path).map_err(|e| e.to_string())?;
+    if s.index() >= g.vertex_count() || t.index() >= g.vertex_count() {
+        return Err(format!("query vertices must be < {}", g.vertex_count()));
+    }
+    let k = index.k();
+    match index.explain(&g, s, t) {
+        None => Ok(format!("{s} does NOT reach {t} within {k} hops\n")),
+        Some(witness) => Ok(format!("{s} reaches {t} within {k} hops ({})\n", describe(witness))),
+    }
+}
+
+fn describe(witness: QueryWitness) -> String {
+    match witness {
+        QueryWitness::Identity => "source equals target".to_string(),
+        QueryWitness::DirectEdge => "direct edge".to_string(),
+        QueryWitness::IndexEdge { weight } => {
+            format!("both endpoints in the cover, index edge of weight {weight}")
+        }
+        QueryWitness::ThroughInNeighbor { via, weight } => {
+            format!("via covered in-neighbour {via} (index weight {weight})")
+        }
+        QueryWitness::ThroughOutNeighbor { via, weight } => {
+            format!("via covered out-neighbour {via} (index weight {weight})")
+        }
+        QueryWitness::ThroughSingleCoverVertex { via } => {
+            format!("via the shared covered neighbour {via}")
+        }
+        QueryWitness::ThroughCoverPair { first, last, weight } => {
+            format!("via covered vertices {first} .. {last} (index weight {weight})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_subcommands() {
+        assert!(run(&args("--help")).unwrap().contains("usage"));
+        assert!(run(&[]).unwrap().contains("usage"));
+        assert!(run(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn flag_parsing_helpers() {
+        let a = ["build", "g.txt", "--k", "3", "--output", "idx"];
+        assert_eq!(flag_value(&a, "--k").unwrap(), Some("3"));
+        assert_eq!(flag_value(&a, "--cover").unwrap(), None);
+        assert!(flag_value(&["--k"], "--k").is_err());
+        assert_eq!(positionals(&a), vec!["build", "g.txt"]);
+        assert_eq!(parse_number::<u32>("17", "x").unwrap(), 17);
+        assert!(parse_number::<u32>("x", "x").is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_build_query() {
+        let dir = std::env::temp_dir().join("kreach-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("go.txt");
+        let index_path = dir.join("go.idx");
+        let graph_arg = graph_path.to_str().unwrap().to_string();
+        let index_arg = index_path.to_str().unwrap().to_string();
+
+        let out = run(&args(&format!("generate GO --scale 32 --seed 7 --output {graph_arg}")))
+            .expect("generate succeeds");
+        assert!(out.contains("stand-in for GO"));
+
+        let out = run(&args(&format!("stats {graph_arg}"))).expect("stats succeeds");
+        assert!(out.contains("|V|"));
+
+        let out = run(&args(&format!("build {graph_arg} --k 4 --output {index_arg}")))
+            .expect("build succeeds");
+        assert!(out.contains("4-reach index"));
+
+        let out = run(&args(&format!("query {index_arg} {graph_arg} 0 1"))).expect("query succeeds");
+        assert!(out.contains("hops"));
+
+        // Out-of-range vertices are rejected cleanly.
+        assert!(run(&args(&format!("query {index_arg} {graph_arg} 0 999999"))).is_err());
+
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&index_path).ok();
+    }
+
+    #[test]
+    fn build_rejects_bad_cover_strategy_and_missing_flags() {
+        assert!(run(&args("build graph.txt --k 3")).is_err());
+        assert!(run(&args("build graph.txt --output x.idx")).is_err());
+        assert!(cmd_build(&["g.txt", "--k", "3", "--output", "x", "--cover", "bogus"]).is_err());
+        assert!(run(&args("generate NotADataset --output x")).is_err());
+    }
+
+    #[test]
+    fn witness_descriptions_are_informative() {
+        assert!(describe(QueryWitness::Identity).contains("equals"));
+        assert!(describe(QueryWitness::DirectEdge).contains("direct"));
+        assert!(describe(QueryWitness::IndexEdge { weight: 2 }).contains("weight 2"));
+        assert!(
+            describe(QueryWitness::ThroughCoverPair { first: VertexId(1), last: VertexId(2), weight: 1 })
+                .contains("1 .. 2")
+        );
+    }
+}
