@@ -89,6 +89,15 @@ impl KHopReachability for BidirectionalBfs<'_> {
     }
 }
 
+/// The graph itself is the canonical index-free answerer: a bidirectional
+/// k-hop search per query. This is the BFS fallback the serving engine wraps
+/// when no index has been built.
+impl KHopReachability for DiGraph {
+    fn khop_reachable(&self, s: VertexId, t: VertexId, k: u32) -> bool {
+        khop_reachable_bidirectional(self, s, t, k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

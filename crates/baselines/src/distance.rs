@@ -86,7 +86,11 @@ impl DistanceIndex {
             }
         }
 
-        DistanceIndex { label_out, label_in, build_millis: started.elapsed().as_secs_f64() * 1e3 }
+        DistanceIndex {
+            label_out,
+            label_in,
+            build_millis: started.elapsed().as_secs_f64() * 1e3,
+        }
     }
 
     /// BFS from `landmark` (forward if `forward`, else on reversed edges),
@@ -121,7 +125,11 @@ impl DistanceIndex {
                 continue;
             }
             survivors.push((u, du));
-            let neighbors = if forward { g.out_neighbors(u) } else { g.in_neighbors(u) };
+            let neighbors = if forward {
+                g.out_neighbors(u)
+            } else {
+                g.in_neighbors(u)
+            };
             for &v in neighbors {
                 if dist[v.index()] == u32::MAX {
                     dist[v.index()] = du + 1;
@@ -228,7 +236,12 @@ mod tests {
     #[test]
     fn exact_distances_on_random_graphs() {
         for seed in 0..3u64 {
-            let g = GeneratorSpec::PowerLaw { n: 150, m: 600, hubs: 3 }.generate(seed);
+            let g = GeneratorSpec::PowerLaw {
+                n: 150,
+                m: 600,
+                hubs: 3,
+            }
+            .generate(seed);
             let idx = DistanceIndex::build(&g);
             for s in g.vertices().step_by(11) {
                 for t in g.vertices().step_by(7) {
@@ -265,7 +278,12 @@ mod tests {
 
     #[test]
     fn pruning_keeps_labels_smaller_than_n() {
-        let g = GeneratorSpec::PowerLaw { n: 400, m: 1600, hubs: 5 }.generate(9);
+        let g = GeneratorSpec::PowerLaw {
+            n: 400,
+            m: 1600,
+            hubs: 5,
+        }
+        .generate(9);
         let idx = DistanceIndex::build(&g);
         assert!(
             idx.average_label_size() < 100.0,

@@ -46,7 +46,7 @@ impl Grail {
 
     /// Builds a GRAIL index with the default number of traversals.
     pub fn build(g: &DiGraph) -> Self {
-        Self::build_with(g, Self::DEFAULT_TRAVERSALS, 0x6a41_1)
+        Self::build_with(g, Self::DEFAULT_TRAVERSALS, 0x0006_a411)
     }
 
     /// Builds a GRAIL index with `traversals` randomized labelings.
@@ -56,8 +56,14 @@ impl Grail {
         let condensation = Condensation::new(g);
         let dag = &condensation.dag;
         let mut rng = StdRng::seed_from_u64(seed);
-        let labels = (0..traversals).map(|_| Self::one_traversal(dag, &mut rng)).collect();
-        Grail { condensation, labels, build_millis: started.elapsed().as_secs_f64() * 1e3 }
+        let labels = (0..traversals)
+            .map(|_| Self::one_traversal(dag, &mut rng))
+            .collect();
+        Grail {
+            condensation,
+            labels,
+            build_millis: started.elapsed().as_secs_f64() * 1e3,
+        }
     }
 
     /// Runs one randomized DFS over the DAG and derives `[low, post]` labels.
@@ -182,7 +188,16 @@ mod tests {
     fn exact_on_cyclic_graph() {
         let g = DiGraph::from_edges(
             8,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (6, 7)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (6, 7),
+            ],
         );
         let grail = Grail::build(&g);
         check_against_bfs(&g, &grail);
@@ -205,15 +220,23 @@ mod tests {
     #[test]
     fn interval_containment_is_necessary() {
         // If the labels say "not contained", BFS must agree it is unreachable.
-        let g = GeneratorSpec::LayeredDag { n: 200, m: 500, layers: 10, back_edge_fraction: 0.0 }
-            .generate(4);
+        let g = GeneratorSpec::LayeredDag {
+            n: 200,
+            m: 500,
+            layers: 10,
+            back_edge_fraction: 0.0,
+        }
+        .generate(4);
         let grail = Grail::build(&g);
         for s in g.vertices().step_by(3) {
             for t in g.vertices().step_by(4) {
                 let cs = grail.condensation.map(s).index();
                 let ct = grail.condensation.map(t).index();
                 if cs != ct && !grail.all_contain(cs, ct) {
-                    assert!(!reachable_bfs(&g, s, t), "pruned a reachable pair ({s},{t})");
+                    assert!(
+                        !reachable_bfs(&g, s, t),
+                        "pruned a reachable pair ({s},{t})"
+                    );
                 }
             }
         }

@@ -102,7 +102,10 @@ impl Reachability for IntervalTransitiveClosure {
     }
 
     fn size_bytes(&self) -> usize {
-        self.closure.iter().map(IntervalList::size_bytes).sum::<usize>()
+        self.closure
+            .iter()
+            .map(IntervalList::size_bytes)
+            .sum::<usize>()
             + self.topo_rank.len() * std::mem::size_of::<u32>()
             + self.condensation.scc.component.len() * std::mem::size_of::<u32>()
     }
@@ -137,7 +140,16 @@ mod tests {
     fn exact_on_cyclic_graph() {
         let g = DiGraph::from_edges(
             7,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 4), (1, 6)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 4),
+                (1, 6),
+            ],
         );
         let idx = IntervalTransitiveClosure::build(&g);
         check_against_bfs(&g, &idx);
@@ -158,8 +170,13 @@ mod tests {
 
     #[test]
     fn compression_beats_explicit_pairs_on_layered_dag() {
-        let g = GeneratorSpec::LayeredDag { n: 600, m: 1800, layers: 15, back_edge_fraction: 0.0 }
-            .generate(11);
+        let g = GeneratorSpec::LayeredDag {
+            n: 600,
+            m: 1800,
+            layers: 15,
+            back_edge_fraction: 0.0,
+        }
+        .generate(11);
         let idx = IntervalTransitiveClosure::build(&g);
         assert!(idx.total_reachable_pairs() > 0);
         assert!(

@@ -73,7 +73,12 @@ impl TreeCover {
             intervals[v.index()] = Self::minimize(collected);
         }
 
-        TreeCover { condensation, post, intervals, build_millis: started.elapsed().as_secs_f64() * 1e3 }
+        TreeCover {
+            condensation,
+            post,
+            intervals,
+            build_millis: started.elapsed().as_secs_f64() * 1e3,
+        }
     }
 
     /// Sorts intervals, merges overlapping/adjacent ones and drops contained
@@ -128,8 +133,11 @@ impl Reachability for TreeCover {
     }
 
     fn size_bytes(&self) -> usize {
-        let interval_bytes: usize =
-            self.intervals.iter().map(|l| l.len() * std::mem::size_of::<Interval>()).sum();
+        let interval_bytes: usize = self
+            .intervals
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<Interval>())
+            .sum();
         interval_bytes
             + self.post.len() * std::mem::size_of::<u32>()
             + self.condensation.scc.component.len() * std::mem::size_of::<u32>()
@@ -165,7 +173,16 @@ mod tests {
     fn exact_on_cyclic_graph() {
         let g = DiGraph::from_edges(
             7,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (0, 6)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 6),
+            ],
         );
         let idx = TreeCover::build(&g);
         check_against_bfs(&g, &idx);
@@ -186,8 +203,13 @@ mod tests {
 
     #[test]
     fn interval_lists_stay_small_on_tree_like_dags() {
-        let g = GeneratorSpec::LayeredDag { n: 500, m: 700, layers: 12, back_edge_fraction: 0.0 }
-            .generate(8);
+        let g = GeneratorSpec::LayeredDag {
+            n: 500,
+            m: 700,
+            layers: 12,
+            back_edge_fraction: 0.0,
+        }
+        .generate(8);
         let idx = TreeCover::build(&g);
         assert!(
             idx.average_intervals() < 12.0,

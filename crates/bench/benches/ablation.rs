@@ -9,9 +9,15 @@ use kreach_datasets::{spec_by_name, QueryWorkload, WorkloadConfig};
 fn ablations(c: &mut Criterion) {
     let spec = spec_by_name("Kegg").expect("known dataset").scaled(16);
     let g = spec.generate(11);
-    let pairs = QueryWorkload::uniform(&g, WorkloadConfig { queries: 2048, seed: 5 })
-        .pairs()
-        .to_vec();
+    let pairs = QueryWorkload::uniform(
+        &g,
+        WorkloadConfig {
+            queries: 2048,
+            seed: 5,
+        },
+    )
+    .pairs()
+    .to_vec();
 
     // Cover strategy: build cost.
     let mut group = c.benchmark_group("cover-strategy-build");
@@ -21,7 +27,16 @@ fn ablations(c: &mut Criterion) {
         ("degree-priority", CoverStrategy::DegreePriority),
     ] {
         group.bench_function(BenchmarkId::new("k6", label), |b| {
-            b.iter(|| KReachIndex::build(&g, 6, BuildOptions { cover_strategy: strategy, threads: 1 }))
+            b.iter(|| {
+                KReachIndex::build(
+                    &g,
+                    6,
+                    BuildOptions {
+                        cover_strategy: strategy,
+                        threads: 1,
+                    },
+                )
+            })
         });
     }
     group.finish();
@@ -32,9 +47,21 @@ fn ablations(c: &mut Criterion) {
         ("random-edge", CoverStrategy::RandomEdge),
         ("degree-priority", CoverStrategy::DegreePriority),
     ] {
-        let index = KReachIndex::build(&g, 6, BuildOptions { cover_strategy: strategy, threads: 1 });
+        let index = KReachIndex::build(
+            &g,
+            6,
+            BuildOptions {
+                cover_strategy: strategy,
+                threads: 1,
+            },
+        );
         group.bench_function(BenchmarkId::new("k6", label), |b| {
-            b.iter(|| pairs.iter().filter(|&&(s, t)| index.query(&g, s, t)).count())
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|&&(s, t)| index.query(&g, s, t))
+                    .count()
+            })
         });
     }
     group.finish();
@@ -43,11 +70,21 @@ fn ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("hk-tradeoff-query");
     let kreach = KReachIndex::build(&g, 6, BuildOptions::default());
     group.bench_function("k-reach-k6", |b| {
-        b.iter(|| pairs.iter().filter(|&&(s, t)| kreach.query(&g, s, t)).count())
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(s, t)| kreach.query(&g, s, t))
+                .count()
+        })
     });
     let hkreach = HkReachIndex::build(&g, 2, 6);
     group.bench_function("hk-reach-h2-k6", |b| {
-        b.iter(|| pairs.iter().filter(|&&(s, t)| hkreach.query(&g, s, t)).count())
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(s, t)| hkreach.query(&g, s, t))
+                .count()
+        })
     });
     group.finish();
 
@@ -56,11 +93,21 @@ fn ablations(c: &mut Criterion) {
     group.sample_size(10);
     let family = MultiKReach::build(&g, 8, BuildOptions::default());
     group.bench_function("pow2-family-k3", |b| {
-        b.iter(|| pairs.iter().filter(|&&(s, t)| family.query(&g, s, t, 3).optimistic()).count())
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(s, t)| family.query(&g, s, t, 3).optimistic())
+                .count()
+        })
     });
     let exact = KReachIndex::build(&g, 3, BuildOptions::default());
     group.bench_function("dedicated-k3", |b| {
-        b.iter(|| pairs.iter().filter(|&&(s, t)| exact.query(&g, s, t)).count())
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(s, t)| exact.query(&g, s, t))
+                .count()
+        })
     });
     group.finish();
 }

@@ -37,7 +37,10 @@ fn construction(c: &mut Criterion) {
                 KReachIndex::build(
                     g,
                     6,
-                    BuildOptions { cover_strategy: CoverStrategy::RandomEdge, threads: 1 },
+                    BuildOptions {
+                        cover_strategy: CoverStrategy::RandomEdge,
+                        threads: 1,
+                    },
                 )
             })
         });

@@ -9,9 +9,15 @@ use kreach_datasets::{spec_by_name, QueryWorkload, WorkloadConfig};
 use kreach_graph::{DiGraph, VertexId};
 
 fn workload_pairs(g: &DiGraph, n: usize) -> Vec<(VertexId, VertexId)> {
-    QueryWorkload::uniform(g, WorkloadConfig { queries: n, seed: 99 })
-        .pairs()
-        .to_vec()
+    QueryWorkload::uniform(
+        g,
+        WorkloadConfig {
+            queries: n,
+            seed: 99,
+        },
+    )
+    .pairs()
+    .to_vec()
 }
 
 fn query_benchmarks(c: &mut Criterion) {
@@ -33,11 +39,21 @@ fn query_benchmarks(c: &mut Criterion) {
     }
     let bfs = OnlineBfs::new(&g);
     group.bench_function("khop-bfs-k6", |b| {
-        b.iter(|| pairs.iter().filter(|&&(s, t)| bfs.khop_reachable(s, t, 6)).count())
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(s, t)| bfs.khop_reachable(s, t, 6))
+                .count()
+        })
     });
     let dist = DistanceIndex::build(&g);
     group.bench_function("distance-labeling-k6", |b| {
-        b.iter(|| pairs.iter().filter(|&&(s, t)| dist.khop_reachable(s, t, 6)).count())
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(s, t)| dist.khop_reachable(s, t, 6))
+                .count()
+        })
     });
     group.bench_function("distance-labeling-reach", |b| {
         b.iter(|| pairs.iter().filter(|&&(s, t)| dist.reachable(s, t)).count())

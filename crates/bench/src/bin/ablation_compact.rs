@@ -11,12 +11,24 @@ use std::time::Instant;
 fn main() {
     let config = BenchConfig::from_env();
     let mut table = Table::new([
-        "dataset", "csr MB", "interval MB", "ratio", "runs", "index edges", "csr ms", "interval ms",
+        "dataset",
+        "csr MB",
+        "interval MB",
+        "ratio",
+        "runs",
+        "index edges",
+        "csr ms",
+        "interval ms",
     ]);
     for spec in config.scaled_datasets() {
         let g = spec.generate(config.seed);
-        let workload =
-            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries, seed: config.seed });
+        let workload = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: config.queries,
+                seed: config.seed,
+            },
+        );
         let (_, mu) = distance_profile(&g, StatsConfig::default());
         let k = mu.max(2);
 
@@ -24,13 +36,24 @@ fn main() {
         let compact = CompactKReachIndex::from_index(&plain);
 
         let started = Instant::now();
-        let pos_plain = workload.pairs().iter().filter(|&&(s, t)| plain.query(&g, s, t)).count();
+        let pos_plain = workload
+            .pairs()
+            .iter()
+            .filter(|&&(s, t)| plain.query(&g, s, t))
+            .count();
         let plain_ms = started.elapsed().as_secs_f64() * 1e3;
 
         let started = Instant::now();
-        let pos_compact = workload.pairs().iter().filter(|&&(s, t)| compact.query(&g, s, t)).count();
+        let pos_compact = workload
+            .pairs()
+            .iter()
+            .filter(|&&(s, t)| compact.query(&g, s, t))
+            .count();
         let compact_ms = started.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(pos_plain, pos_compact, "representations must agree on every query");
+        assert_eq!(
+            pos_plain, pos_compact,
+            "representations must agree on every query"
+        );
 
         table.row([
             spec.name.to_string(),

@@ -14,8 +14,20 @@ use kreach_graph::metrics::{distance_profile, StatsConfig};
 use kreach_graph::DiGraph;
 use std::time::Instant;
 
-fn measure(g: &DiGraph, k: u32, strategy: CoverStrategy, workload: &QueryWorkload) -> (usize, usize, usize, f64) {
-    let index = KReachIndex::build(g, k, BuildOptions { cover_strategy: strategy, threads: 1 });
+fn measure(
+    g: &DiGraph,
+    k: u32,
+    strategy: CoverStrategy,
+    workload: &QueryWorkload,
+) -> (usize, usize, usize, f64) {
+    let index = KReachIndex::build(
+        g,
+        k,
+        BuildOptions {
+            cover_strategy: strategy,
+            threads: 1,
+        },
+    );
     let started = Instant::now();
     let mut positives = 0usize;
     for &(s, t) in workload.pairs() {
@@ -47,8 +59,13 @@ fn main() {
     ]);
     for spec in config.scaled_datasets() {
         let g = spec.generate(config.seed);
-        let workload =
-            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries, seed: config.seed });
+        let workload = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: config.queries,
+                seed: config.seed,
+            },
+        );
         let (_, mu) = distance_profile(&g, StatsConfig::default());
         let k = mu.max(2);
         let (rs, re, rb, rt) = measure(&g, k, CoverStrategy::RandomEdge, &workload);

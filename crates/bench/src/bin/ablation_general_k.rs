@@ -15,12 +15,23 @@ use kreach_graph::metrics::{distance_profile, StatsConfig};
 fn main() {
     let config = BenchConfig::from_env();
     let mut table = Table::new([
-        "dataset", "d", "single MB", "pow2 MB", "exact MB", "pow2 indexes", "exact@k=3 %",
+        "dataset",
+        "d",
+        "single MB",
+        "pow2 MB",
+        "exact MB",
+        "pow2 indexes",
+        "exact@k=3 %",
     ]);
     for spec in config.scaled_datasets() {
         let g = spec.generate(config.seed);
-        let workload =
-            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries.min(20_000), seed: config.seed });
+        let workload = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: config.queries.min(20_000),
+                seed: config.seed,
+            },
+        );
         let (d, mu) = distance_profile(&g, StatsConfig::default());
         let d = d.max(2);
 

@@ -7,8 +7,19 @@ use kreach_graph::metrics::{graph_stats, StatsConfig};
 fn main() {
     let config = BenchConfig::from_env();
     let mut table = Table::new([
-        "dataset", "|V|", "|E|", "|V_dag|", "|E_dag|", "Degmax", "d", "mu", "paper |V|", "paper |E|",
-        "paper Degmax", "paper d", "paper mu",
+        "dataset",
+        "|V|",
+        "|E|",
+        "|V_dag|",
+        "|E_dag|",
+        "Degmax",
+        "d",
+        "mu",
+        "paper |V|",
+        "paper |E|",
+        "paper Degmax",
+        "paper d",
+        "paper mu",
     ]);
     for spec in config.scaled_datasets() {
         let g = spec.generate(config.seed);

@@ -9,13 +9,25 @@ use kreach_datasets::{QueryWorkload, WorkloadConfig};
 fn main() {
     let config = BenchConfig::from_env();
     let mut table = Table::new([
-        "dataset", "n-reach", "tree-cover", "grail", "interval-tc", "distance", "online-bfs",
+        "dataset",
+        "n-reach",
+        "tree-cover",
+        "grail",
+        "interval-tc",
+        "distance",
+        "online-bfs",
     ]);
     for spec in config.scaled_datasets() {
         let g = spec.generate(config.seed);
         // The workload is irrelevant for construction time but the suite
         // measures everything in one pass; keep it tiny here.
-        let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 1, seed: config.seed });
+        let workload = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 1,
+                seed: config.seed,
+            },
+        );
         let reports = run_reachability_suite(&g, &workload);
         let mut row = vec![spec.name.to_string()];
         row.extend(reports.iter().map(|r| fmt_ms(r.build_millis)));

@@ -16,8 +16,13 @@ fn main() {
 
     for spec in config.scaled_datasets() {
         let g = spec.generate(config.seed);
-        let workload =
-            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries, seed: config.seed });
+        let workload = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: config.queries,
+                seed: config.seed,
+            },
+        );
         let reports = run_reachability_suite(&g, &workload);
         for (name, rank) in rank_by(&reports, |r| r.build_millis) {
             *build_ranks.entry(name).or_default() += rank;
@@ -31,7 +36,12 @@ fn main() {
         dataset_count += 1;
     }
 
-    let mut table = Table::new(["index", "indexing-time rank", "index-size rank", "query-time rank"]);
+    let mut table = Table::new([
+        "index",
+        "indexing-time rank",
+        "index-size rank",
+        "query-time rank",
+    ]);
     let names: Vec<String> = build_ranks.keys().cloned().collect();
     // Convert rank sums to average ranks, then to an ordinal 1..n per metric
     // exactly as the paper presents Table 6.

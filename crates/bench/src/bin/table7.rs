@@ -38,12 +38,18 @@ fn time_khop(index: &dyn KHopReachability, workload: &QueryWorkload, k: u32) -> 
 fn main() {
     let config = BenchConfig::from_env();
     let mut table = Table::new([
-        "dataset", "2-reach", "4-reach", "6-reach", "mu-reach", "n-reach", "mu-BFS", "mu-dist", "mu",
+        "dataset", "2-reach", "4-reach", "6-reach", "mu-reach", "n-reach", "mu-BFS", "mu-dist",
+        "mu",
     ]);
     for spec in config.scaled_datasets() {
         let g = spec.generate(config.seed);
-        let workload =
-            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries, seed: config.seed });
+        let workload = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: config.queries,
+                seed: config.seed,
+            },
+        );
         let (_, mu) = distance_profile(&g, StatsConfig::default());
         let mu = mu.max(1);
         let n = g.vertex_count() as u32;

@@ -9,11 +9,18 @@ use kreach_graph::metrics::{distance_profile, StatsConfig};
 
 fn main() {
     let config = BenchConfig::from_env();
-    let mut table = Table::new(["dataset", "case 1 %", "case 2 %", "case 3 %", "case 4 %", "|cover|"]);
+    let mut table = Table::new([
+        "dataset", "case 1 %", "case 2 %", "case 3 %", "case 4 %", "|cover|",
+    ]);
     for spec in config.scaled_datasets() {
         let g = spec.generate(config.seed);
-        let workload =
-            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries, seed: config.seed });
+        let workload = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: config.queries,
+                seed: config.seed,
+            },
+        );
         let (_, mu) = distance_profile(&g, StatsConfig::default());
         let index = KReachIndex::build(&g, mu.max(2), BuildOptions::default());
         let counts = workload.case_distribution(|s, t| index.classify(s, t).number());

@@ -17,18 +17,29 @@ fn main() {
     let config = BenchConfig::from_env();
     let h = 2u32;
     let mut table = Table::new([
-        "dataset", "|VC|", "|2-hop VC|", "mu-reach ms", "(2,k)-reach ms", "k", "reduction %",
+        "dataset",
+        "|VC|",
+        "|2-hop VC|",
+        "mu-reach ms",
+        "(2,k)-reach ms",
+        "k",
+        "reduction %",
     ]);
     for spec in config.scaled_datasets() {
         let g = spec.generate(config.seed);
-        let workload =
-            QueryWorkload::uniform(&g, WorkloadConfig { queries: config.queries, seed: config.seed });
+        let workload = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: config.queries,
+                seed: config.seed,
+            },
+        );
         let (_, mu) = distance_profile(&g, StatsConfig::default());
         let k = mu.max(2 * h + 1);
 
         let vc = VertexCover::compute(&g, CoverStrategy::RandomEdge);
         let hop_cover = HopVertexCover::compute(&g, h);
-        let reduction = if vc.len() == 0 {
+        let reduction = if vc.is_empty() {
             0.0
         } else {
             100.0 * (1.0 - hop_cover.len() as f64 / vc.len() as f64)
@@ -38,7 +49,10 @@ fn main() {
             &g,
             k,
             &vc,
-            BuildOptions { cover_strategy: CoverStrategy::RandomEdge, threads: 1 },
+            BuildOptions {
+                cover_strategy: CoverStrategy::RandomEdge,
+                threads: 1,
+            },
         );
         let hkreach = HkReachIndex::build_with_cover(&g, k, &hop_cover);
 
@@ -59,7 +73,10 @@ fn main() {
             }
         }
         let hkreach_ms = started.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(pos_k, pos_hk, "both indexes must answer the workload identically");
+        assert_eq!(
+            pos_k, pos_hk,
+            "both indexes must answer the workload identically"
+        );
 
         table.row([
             spec.name.to_string(),

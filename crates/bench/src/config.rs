@@ -18,7 +18,12 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { scale: 1, queries: 1_000_000, datasets: all_specs(), seed: 42 }
+        BenchConfig {
+            scale: 1,
+            queries: 1_000_000,
+            datasets: all_specs(),
+            seed: 42,
+        }
     }
 }
 
@@ -31,7 +36,8 @@ impl BenchConfig {
         let mut iter = args.into_iter();
         while let Some(flag) = iter.next() {
             let mut value = || {
-                iter.next().ok_or_else(|| format!("flag {flag} requires a value"))
+                iter.next()
+                    .ok_or_else(|| format!("flag {flag} requires a value"))
             };
             match flag.as_str() {
                 "--scale" => {
@@ -121,7 +127,10 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let c = BenchConfig::parse(args("--scale 8 --queries 5000 --seed 7 --datasets arxiv,GO")).unwrap();
+        let c = BenchConfig::parse(args(
+            "--scale 8 --queries 5000 --seed 7 --datasets arxiv,GO",
+        ))
+        .unwrap();
         assert_eq!(c.scale, 8);
         assert_eq!(c.queries, 5000);
         assert_eq!(c.seed, 7);

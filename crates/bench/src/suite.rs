@@ -149,8 +149,19 @@ mod tests {
 
     #[test]
     fn suite_reports_consistent_positive_fractions() {
-        let g = GeneratorSpec::PowerLaw { n: 300, m: 1000, hubs: 4 }.generate(1);
-        let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 500, seed: 2 });
+        let g = GeneratorSpec::PowerLaw {
+            n: 300,
+            m: 1000,
+            hubs: 4,
+        }
+        .generate(1);
+        let workload = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 500,
+                seed: 2,
+            },
+        );
         let reports = run_reachability_suite(&g, &workload);
         assert_eq!(reports.len(), 6);
         // All indexes answer the same queries, so the positive fraction must
@@ -176,18 +187,42 @@ mod tests {
         assert!(adapter.size_bytes() > 0);
         assert!(adapter.index().k() >= 100);
         let reachable = adapter.reachable(VertexId(0), VertexId(1));
-        assert_eq!(reachable, kreach_graph::traversal::reachable_bfs(&g, VertexId(0), VertexId(1)));
+        assert_eq!(
+            reachable,
+            kreach_graph::traversal::reachable_bfs(&g, VertexId(0), VertexId(1))
+        );
     }
 
     #[test]
     fn ranking_orders_by_metric() {
         let reports = vec![
-            IndexReport { name: "a".into(), build_millis: 5.0, size_bytes: 10, query_millis: 3.0, positive_fraction: 0.0 },
-            IndexReport { name: "b".into(), build_millis: 1.0, size_bytes: 20, query_millis: 9.0, positive_fraction: 0.0 },
-            IndexReport { name: "c".into(), build_millis: 3.0, size_bytes: 5, query_millis: 1.0, positive_fraction: 0.0 },
+            IndexReport {
+                name: "a".into(),
+                build_millis: 5.0,
+                size_bytes: 10,
+                query_millis: 3.0,
+                positive_fraction: 0.0,
+            },
+            IndexReport {
+                name: "b".into(),
+                build_millis: 1.0,
+                size_bytes: 20,
+                query_millis: 9.0,
+                positive_fraction: 0.0,
+            },
+            IndexReport {
+                name: "c".into(),
+                build_millis: 3.0,
+                size_bytes: 5,
+                query_millis: 1.0,
+                positive_fraction: 0.0,
+            },
         ];
         let by_build = rank_by(&reports, |r| r.build_millis);
-        assert_eq!(by_build, vec![("a".into(), 3), ("b".into(), 1), ("c".into(), 2)]);
+        assert_eq!(
+            by_build,
+            vec![("a".into(), 3), ("b".into(), 1), ("c".into(), 2)]
+        );
         let by_query = rank_by(&reports, |r| r.query_millis);
         assert_eq!(by_query[2], ("c".into(), 1));
     }

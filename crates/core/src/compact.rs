@@ -111,7 +111,9 @@ impl CompactKReachIndex {
     fn edge_weight_by_pos(&self, pu: u32, pv: u32) -> Option<u32> {
         let clamp_min = self.k.saturating_sub(2);
         let lists = &self.classes[pu as usize];
-        (0..WEIGHT_CLASSES as u32).find(|&c| lists[c as usize].contains(pv)).map(|c| clamp_min + c)
+        (0..WEIGHT_CLASSES as u32)
+            .find(|&c| lists[c as usize].contains(pv))
+            .map(|c| clamp_min + c)
     }
 
     /// Weight of the index edge `(u, v)` for input-graph vertices.
@@ -143,8 +145,11 @@ impl CompactKReachIndex {
                 if v == s {
                     return k >= 1;
                 }
-                match self.position(v).and_then(|pv| self.edge_weight_by_pos(ps, pv)) {
-                    Some(w) => w + 1 <= k,
+                match self
+                    .position(v)
+                    .and_then(|pv| self.edge_weight_by_pos(ps, pv))
+                {
+                    Some(w) => w < k,
                     None => false,
                 }
             }),
@@ -152,20 +157,28 @@ impl CompactKReachIndex {
                 if u == t {
                     return k >= 1;
                 }
-                match self.position(u).and_then(|pu| self.edge_weight_by_pos(pu, pt)) {
-                    Some(w) => w + 1 <= k,
+                match self
+                    .position(u)
+                    .and_then(|pu| self.edge_weight_by_pos(pu, pt))
+                {
+                    Some(w) => w < k,
                     None => false,
                 }
             }),
             (None, None) => {
                 let inn = g.in_neighbors(t);
                 g.out_neighbors(s).iter().any(|&u| {
-                    let Some(pu) = self.position(u) else { return false };
+                    let Some(pu) = self.position(u) else {
+                        return false;
+                    };
                     inn.iter().any(|&v| {
                         if u == v {
                             return k >= 2;
                         }
-                        match self.position(v).and_then(|pv| self.edge_weight_by_pos(pu, pv)) {
+                        match self
+                            .position(v)
+                            .and_then(|pv| self.edge_weight_by_pos(pu, pv))
+                        {
                             Some(w) => w + 2 <= k,
                             None => false,
                         }
@@ -217,9 +230,9 @@ impl CompactKReachIndex {
 
 /// Sorts the bucket in place and returns a copy (interval lists require
 /// sorted unique input; targets within one source are already unique).
-fn sorted(bucket: &mut Vec<u32>) -> Vec<u32> {
+fn sorted(bucket: &mut [u32]) -> Vec<u32> {
     bucket.sort_unstable();
-    bucket.clone()
+    bucket.to_vec()
 }
 
 #[cfg(test)]
@@ -230,7 +243,12 @@ mod tests {
 
     #[test]
     fn compact_answers_match_plain_index_and_bfs() {
-        let g = GeneratorSpec::HubForest { n: 300, m: 500, hubs: 12 }.generate(3);
+        let g = GeneratorSpec::HubForest {
+            n: 300,
+            m: 500,
+            hubs: 12,
+        }
+        .generate(3);
         for k in [2u32, 3, 5] {
             let plain = KReachIndex::build(&g, k, BuildOptions::default());
             let compact = CompactKReachIndex::from_index(&plain);
@@ -263,7 +281,12 @@ mod tests {
 
     #[test]
     fn classification_matches_plain_index() {
-        let g = GeneratorSpec::PowerLaw { n: 120, m: 400, hubs: 3 }.generate(9);
+        let g = GeneratorSpec::PowerLaw {
+            n: 120,
+            m: 400,
+            hubs: 3,
+        }
+        .generate(9);
         let plain = KReachIndex::build(&g, 4, BuildOptions::default());
         let compact = CompactKReachIndex::from_index(&plain);
         for s in g.vertices().step_by(7) {
@@ -291,7 +314,12 @@ mod tests {
         // On a hub forest almost every cover vertex reaches almost every other
         // within k-2 hops, so the interval lists should have far fewer runs
         // than edges.
-        let g = GeneratorSpec::HubForest { n: 2000, m: 3000, hubs: 60 }.generate(8);
+        let g = GeneratorSpec::HubForest {
+            n: 2000,
+            m: 3000,
+            hubs: 60,
+        }
+        .generate(8);
         let plain = KReachIndex::build(&g, 6, BuildOptions::default());
         let compact = CompactKReachIndex::from_index(&plain);
         assert!(

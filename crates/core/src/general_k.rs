@@ -142,12 +142,8 @@ impl ExactMultiKReach {
         let indexes = (1..=k_max)
             .map(|k| KReachIndex::build_with_cover(g, k, &cover, options))
             .collect();
-        let classic = KReachIndex::build_with_cover(
-            g,
-            (g.vertex_count() as u32).max(1),
-            &cover,
-            options,
-        );
+        let classic =
+            KReachIndex::build_with_cover(g, (g.vertex_count() as u32).max(1), &cover, options);
         ExactMultiKReach { indexes, classic }
     }
 
@@ -181,7 +177,12 @@ mod tests {
     use kreach_graph::traversal::khop_reachable_bfs;
 
     fn test_graph() -> DiGraph {
-        GeneratorSpec::SmallWorld { n: 80, degree: 2, rewire_probability: 0.15 }.generate(5)
+        GeneratorSpec::SmallWorld {
+            n: 80,
+            degree: 2,
+            rewire_probability: 0.15,
+        }
+        .generate(5)
     }
 
     #[test]
@@ -213,7 +214,11 @@ mod tests {
                     let expected = khop_reachable_bfs(&g, s, t, k);
                     let got = family.query(&g, s, t, k);
                     assert!(got.is_exact(), "powers of two must be exact");
-                    assert_eq!(got == GeneralKAnswer::Reachable, expected, "k={k} ({s},{t})");
+                    assert_eq!(
+                        got == GeneralKAnswer::Reachable,
+                        expected,
+                        "k={k} ({s},{t})"
+                    );
                 }
             }
         }
@@ -229,10 +234,16 @@ mod tests {
                     let expected = khop_reachable_bfs(&g, s, t, k);
                     match family.query(&g, s, t, k) {
                         GeneralKAnswer::Reachable => {
-                            assert!(expected, "claimed reachable but BFS disagrees (k={k}, {s}->{t})")
+                            assert!(
+                                expected,
+                                "claimed reachable but BFS disagrees (k={k}, {s}->{t})"
+                            )
                         }
                         GeneralKAnswer::NotReachable => {
-                            assert!(!expected, "claimed unreachable but BFS disagrees (k={k}, {s}->{t})")
+                            assert!(
+                                !expected,
+                                "claimed unreachable but BFS disagrees (k={k}, {s}->{t})"
+                            )
                         }
                         GeneralKAnswer::ReachableWithin(upper) => {
                             assert!(upper > k);
@@ -253,7 +264,10 @@ mod tests {
         let single = KReachIndex::build(&g, 8, BuildOptions::default());
         let family = MultiKReach::build(&g, 8, BuildOptions::default());
         let ratio = family.size_bytes() as f64 / single.size_bytes() as f64;
-        assert!(ratio <= 3.5, "3 member indexes should cost at most ~3.5x one index, got {ratio:.2}");
+        assert!(
+            ratio <= 3.5,
+            "3 member indexes should cost at most ~3.5x one index, got {ratio:.2}"
+        );
     }
 
     #[test]

@@ -71,9 +71,18 @@ impl HkReachIndex {
             }
             edges_per_source.push(edges);
         }
-        let index =
-            CoverIndexGraph::assemble(g.vertex_count(), members.to_vec(), edges_per_source, clamp_min);
-        HkReachIndex { h, k, index, build_millis: started.elapsed().as_secs_f64() * 1e3 }
+        let index = CoverIndexGraph::assemble(
+            g.vertex_count(),
+            members.to_vec(),
+            edges_per_source,
+            clamp_min,
+        );
+        HkReachIndex {
+            h,
+            k,
+            index,
+            build_millis: started.elapsed().as_secs_f64() * 1e3,
+        }
     }
 
     /// The hop-cover parameter `h`.
@@ -138,33 +147,47 @@ impl HkReachIndex {
             (Some(ps), Some(pt)) => self.index.edge_weight_by_pos(ps, pt).is_some(),
             // Case 2: only s in the cover — walk up to h hops backwards from t.
             (Some(ps), None) => with_explorer(|explorer| {
-                explorer.explore(g, t, h, Direction::Backward).iter().any(|&(v, i)| {
-                    if i == 0 {
-                        return false; // t itself
-                    }
-                    if v == s {
-                        return i <= k;
-                    }
-                    match self.index.position(v).and_then(|pv| self.index.edge_weight_by_pos(ps, pv)) {
-                        Some(w) => w + i <= k,
-                        None => false,
-                    }
-                })
+                explorer
+                    .explore(g, t, h, Direction::Backward)
+                    .iter()
+                    .any(|&(v, i)| {
+                        if i == 0 {
+                            return false; // t itself
+                        }
+                        if v == s {
+                            return i <= k;
+                        }
+                        match self
+                            .index
+                            .position(v)
+                            .and_then(|pv| self.index.edge_weight_by_pos(ps, pv))
+                        {
+                            Some(w) => w + i <= k,
+                            None => false,
+                        }
+                    })
             }),
             // Case 3: only t in the cover — walk up to h hops forwards from s.
             (None, Some(pt)) => with_explorer(|explorer| {
-                explorer.explore(g, s, h, Direction::Forward).iter().any(|&(u, i)| {
-                    if i == 0 {
-                        return false; // s itself
-                    }
-                    if u == t {
-                        return i <= k;
-                    }
-                    match self.index.position(u).and_then(|pu| self.index.edge_weight_by_pos(pu, pt)) {
-                        Some(w) => w + i <= k,
-                        None => false,
-                    }
-                })
+                explorer
+                    .explore(g, s, h, Direction::Forward)
+                    .iter()
+                    .any(|&(u, i)| {
+                        if i == 0 {
+                            return false; // s itself
+                        }
+                        if u == t {
+                            return i <= k;
+                        }
+                        match self
+                            .index
+                            .position(u)
+                            .and_then(|pu| self.index.edge_weight_by_pos(pu, pt))
+                        {
+                            Some(w) => w + i <= k,
+                            None => false,
+                        }
+                    })
             }),
             // Case 4: neither in the cover — combine the h-hop out-neighbourhood
             // of s with the h-hop in-neighbourhood of t.
@@ -219,7 +242,9 @@ fn with_explorer<R>(f: impl FnOnce(&mut NeighborhoodExplorer) -> R) -> R {
     EXPLORERS.with(|cell| f(&mut cell.borrow_mut().0))
 }
 
-fn with_two_explorers<R>(f: impl FnOnce(&mut NeighborhoodExplorer, &mut NeighborhoodExplorer) -> R) -> R {
+fn with_two_explorers<R>(
+    f: impl FnOnce(&mut NeighborhoodExplorer, &mut NeighborhoodExplorer) -> R,
+) -> R {
     EXPLORERS.with(|cell| {
         let pair = &mut *cell.borrow_mut();
         f(&mut pair.0, &mut pair.1)
@@ -263,7 +288,17 @@ mod tests {
     fn exact_on_cyclic_graph() {
         let g = DiGraph::from_edges(
             8,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6), (6, 7)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+                (6, 7),
+            ],
         );
         for (h, k) in [(1, 4), (2, 5), (2, 8), (3, 8)] {
             let index = HkReachIndex::build(&g, h, k);
@@ -273,7 +308,12 @@ mod tests {
 
     #[test]
     fn exact_on_random_power_law_graph() {
-        let g = GeneratorSpec::PowerLaw { n: 120, m: 420, hubs: 3 }.generate(17);
+        let g = GeneratorSpec::PowerLaw {
+            n: 120,
+            m: 420,
+            hubs: 3,
+        }
+        .generate(17);
         let index = HkReachIndex::build(&g, 2, 6);
         brute_force_check(&g, &index);
     }
@@ -281,8 +321,13 @@ mod tests {
     #[test]
     fn hop_cover_is_no_larger_than_vertex_cover() {
         // Table 9's premise: the 2-hop cover is smaller than the 1-hop cover.
-        let g = GeneratorSpec::LayeredDag { n: 800, m: 2400, layers: 12, back_edge_fraction: 0.05 }
-            .generate(3);
+        let g = GeneratorSpec::LayeredDag {
+            n: 800,
+            m: 2400,
+            layers: 12,
+            back_edge_fraction: 0.05,
+        }
+        .generate(3);
         let vc = crate::VertexCover::compute(&g, crate::CoverStrategy::RandomEdge);
         let index = HkReachIndex::build(&g, 2, 6);
         assert!(

@@ -81,7 +81,11 @@ impl HopVertexCover {
             }
         }
 
-        HopVertexCover { h, members, membership }
+        HopVertexCover {
+            h,
+            members,
+            membership,
+        }
     }
 
     /// Builds an h-hop cover from an explicit member list (used by tests that
@@ -97,11 +101,18 @@ impl HopVertexCover {
         let mut membership = FixedBitSet::new(n);
         let mut list = Vec::new();
         for v in members {
-            assert!(v.index() < n, "cover member {v} out of range for {n} vertices");
+            assert!(
+                v.index() < n,
+                "cover member {v} out of range for {n} vertices"
+            );
             assert!(membership.insert_vertex(v), "cover member {v} listed twice");
             list.push(v);
         }
-        HopVertexCover { h, members: list, membership }
+        HopVertexCover {
+            h,
+            members: list,
+            membership,
+        }
     }
 
     /// The hop parameter `h`.
@@ -147,7 +158,12 @@ impl HopVertexCover {
 
     /// DFS for a simple path of length `remaining` starting at `path.last()`
     /// that avoids every cover vertex. Returns true if one exists.
-    fn exists_uncovered_path(&self, g: &DiGraph, path: &mut Vec<VertexId>, remaining: usize) -> bool {
+    fn exists_uncovered_path(
+        &self,
+        g: &DiGraph,
+        path: &mut Vec<VertexId>,
+        remaining: usize,
+    ) -> bool {
         let last = *path.last().expect("path is non-empty");
         if self.contains(last) {
             return false;
@@ -270,9 +286,9 @@ mod tests {
         let c2 = HopVertexCover::compute(&g, 2);
         assert!(c2.covers_all_paths(&g));
         assert!(c2.len() <= vc.len() + 30); // 30 disjoint length-2 paths: c2 takes 3 each = 90? no:
-        // each chain 3i -> 3i+1 -> 3i+2 is one length-2 path; the approximation
-        // takes all 3 vertices; vc takes 2 of the 3. The point of this test is
-        // simply that both cover and the sizes stay bounded.
+                                            // each chain 3i -> 3i+1 -> 3i+2 is one length-2 path; the approximation
+                                            // takes all 3 vertices; vc takes 2 of the 3. The point of this test is
+                                            // simply that both cover and the sizes stay bounded.
         assert!(c2.len() <= 90);
     }
 

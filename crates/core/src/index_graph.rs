@@ -46,7 +46,11 @@ impl<W: WeightStore> CoverIndexGraph<W> {
         mut edges_per_source: Vec<Vec<(u32, u32)>>,
         clamp_min: u32,
     ) -> Self {
-        assert_eq!(cover.len(), edges_per_source.len(), "one edge list per cover vertex");
+        assert_eq!(
+            cover.len(),
+            edges_per_source.len(),
+            "one edge list per cover vertex"
+        );
         let mut cover_pos = vec![NOT_COVERED; n];
         for (p, &v) in cover.iter().enumerate() {
             cover_pos[v.index()] = p as u32;
@@ -64,7 +68,13 @@ impl<W: WeightStore> CoverIndexGraph<W> {
             }
             offsets.push(targets.len() as u32);
         }
-        CoverIndexGraph { cover_pos, cover, offsets, targets, weights }
+        CoverIndexGraph {
+            cover_pos,
+            cover,
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Reassembles an index graph from previously serialized raw parts.
@@ -79,7 +89,11 @@ impl<W: WeightStore> CoverIndexGraph<W> {
         targets: Vec<u32>,
         weights: W,
     ) -> Self {
-        assert_eq!(offsets.len(), cover.len() + 1, "offsets must have cover_size + 1 entries");
+        assert_eq!(
+            offsets.len(),
+            cover.len() + 1,
+            "offsets must have cover_size + 1 entries"
+        );
         assert_eq!(
             *offsets.last().unwrap_or(&0) as usize,
             targets.len(),
@@ -91,7 +105,13 @@ impl<W: WeightStore> CoverIndexGraph<W> {
             assert!(v.index() < n, "cover vertex {v} out of range");
             cover_pos[v.index()] = p as u32;
         }
-        CoverIndexGraph { cover_pos, cover, offsets, targets, weights }
+        CoverIndexGraph {
+            cover_pos,
+            cover,
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Number of cover vertices `|V_I|`.

@@ -23,7 +23,10 @@ pub struct BuildOptions {
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { cover_strategy: CoverStrategy::DegreePriority, threads: 1 }
+        BuildOptions {
+            cover_strategy: CoverStrategy::DegreePriority,
+            threads: 1,
+        }
     }
 }
 
@@ -31,7 +34,9 @@ impl BuildOptions {
     /// Resolves `threads == 0` to the number of available CPUs.
     pub(crate) fn effective_threads(&self) -> usize {
         if self.threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         } else {
             self.threads
         }
@@ -147,7 +152,12 @@ impl KReachIndex {
     /// benchmark harness can reuse one cover across several values of `k`
     /// (Table 7) and so callers can supply covers with application-specific
     /// vertices forced in (the "include all celebrities" idea of §4.3).
-    pub fn build_with_cover(g: &DiGraph, k: u32, cover: &VertexCover, options: BuildOptions) -> Self {
+    pub fn build_with_cover(
+        g: &DiGraph,
+        k: u32,
+        cover: &VertexCover,
+        options: BuildOptions,
+    ) -> Self {
         assert!(k >= 1, "k-reach requires k >= 1");
         let started = Instant::now();
         let index = Self::build_index_graph(g, k, cover, options.effective_threads());
@@ -207,7 +217,12 @@ impl KReachIndex {
             parallel_map(&positions, threads, scan_source)
         };
 
-        CoverIndexGraph::assemble(g.vertex_count(), members.to_vec(), edges_per_source, clamp_min)
+        CoverIndexGraph::assemble(
+            g.vertex_count(),
+            members.to_vec(),
+            edges_per_source,
+            clamp_min,
+        )
     }
 
     /// Reassembles an index from deserialized parts (see [`crate::storage`]).
@@ -216,7 +231,12 @@ impl KReachIndex {
         cover_strategy: CoverStrategy,
         index: CoverIndexGraph<PackedWeights>,
     ) -> Self {
-        KReachIndex { k, index, build_millis: 0.0, cover_strategy }
+        KReachIndex {
+            k,
+            index,
+            build_millis: 0.0,
+            cover_strategy,
+        }
     }
 
     /// The hop bound `k` this index was built for.
@@ -265,6 +285,18 @@ impl KReachIndex {
         self.query_with_case(g, s, t).0
     }
 
+    /// Answers `s →k t` for an arbitrary hop bound, the trait-friendly entry
+    /// point used by the serving engine: the index answers its own bound
+    /// (Algorithm 2), and any other bound falls back to an exact online
+    /// bidirectional search, so the answer is correct for every `k`.
+    pub fn query_k(&self, g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> bool {
+        if k == self.k {
+            self.query(g, s, t)
+        } else {
+            kreach_graph::traversal::khop_reachable_bidirectional(g, s, t, k)
+        }
+    }
+
     /// Answers the query and reports which of the four cases was executed.
     pub fn query_with_case(&self, g: &DiGraph, s: VertexId, t: VertexId) -> (bool, QueryCase) {
         let case = self.classify(s, t);
@@ -284,8 +316,12 @@ impl KReachIndex {
                     if v == s {
                         return k >= 1;
                     }
-                    match self.index.position(v).and_then(|pv| self.index.edge_weight_by_pos(ps, pv)) {
-                        Some(w) => w + 1 <= k,
+                    match self
+                        .index
+                        .position(v)
+                        .and_then(|pv| self.index.edge_weight_by_pos(ps, pv))
+                    {
+                        Some(w) => w < k,
                         None => false,
                     }
                 })
@@ -297,8 +333,12 @@ impl KReachIndex {
                     if u == t {
                         return k >= 1;
                     }
-                    match self.index.position(u).and_then(|pu| self.index.edge_weight_by_pos(pu, pt)) {
-                        Some(w) => w + 1 <= k,
+                    match self
+                        .index
+                        .position(u)
+                        .and_then(|pu| self.index.edge_weight_by_pos(pu, pt))
+                    {
+                        Some(w) => w < k,
                         None => false,
                     }
                 })
@@ -320,7 +360,11 @@ impl KReachIndex {
                         if u == v {
                             return k >= 2;
                         }
-                        match self.index.position(v).and_then(|pv| self.index.edge_weight_by_pos(pu, pv)) {
+                        match self
+                            .index
+                            .position(v)
+                            .and_then(|pv| self.index.edge_weight_by_pos(pu, pv))
+                        {
                             Some(w) => w + 2 <= k,
                             None => false,
                         }
@@ -354,10 +398,12 @@ impl KReachIndex {
                     if v == s && k >= 1 {
                         return Some(QueryWitness::DirectEdge);
                     }
-                    if let Some(w) =
-                        self.index.position(v).and_then(|pv| self.index.edge_weight_by_pos(ps, pv))
+                    if let Some(w) = self
+                        .index
+                        .position(v)
+                        .and_then(|pv| self.index.edge_weight_by_pos(ps, pv))
                     {
-                        if w + 1 <= k {
+                        if w < k {
                             return Some(QueryWitness::ThroughInNeighbor { via: v, weight: w });
                         }
                     }
@@ -370,10 +416,12 @@ impl KReachIndex {
                     if u == t && k >= 1 {
                         return Some(QueryWitness::DirectEdge);
                     }
-                    if let Some(w) =
-                        self.index.position(u).and_then(|pu| self.index.edge_weight_by_pos(pu, pt))
+                    if let Some(w) = self
+                        .index
+                        .position(u)
+                        .and_then(|pu| self.index.edge_weight_by_pos(pu, pt))
                     {
-                        if w + 1 <= k {
+                        if w < k {
                             return Some(QueryWitness::ThroughOutNeighbor { via: u, weight: w });
                         }
                     }
@@ -383,13 +431,17 @@ impl KReachIndex {
             QueryCase::NeitherInCover => {
                 let inn = g.in_neighbors(t);
                 for &u in g.out_neighbors(s) {
-                    let Some(pu) = self.index.position(u) else { continue };
+                    let Some(pu) = self.index.position(u) else {
+                        continue;
+                    };
                     for &v in inn {
                         if u == v && k >= 2 {
                             return Some(QueryWitness::ThroughSingleCoverVertex { via: u });
                         }
-                        if let Some(w) =
-                            self.index.position(v).and_then(|pv| self.index.edge_weight_by_pos(pu, pv))
+                        if let Some(w) = self
+                            .index
+                            .position(v)
+                            .and_then(|pv| self.index.edge_weight_by_pos(pu, pv))
                         {
                             if w + 2 <= k {
                                 return Some(QueryWitness::ThroughCoverPair {
@@ -432,16 +484,17 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let chunk_size = items.len().div_ceil(threads.max(1));
-    let mut results: Vec<Vec<R>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
+        let f = &f;
         let handles: Vec<_> = items
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(|_| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
             .collect();
-        results = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
-    .expect("scoped threads");
-    results.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -473,8 +526,14 @@ mod tests {
     fn exact_on_paper_example_for_k3() {
         let g = crate::paper_example::paper_example_graph();
         for strategy in [CoverStrategy::RandomEdge, CoverStrategy::DegreePriority] {
-            let index =
-                KReachIndex::build(&g, 3, BuildOptions { cover_strategy: strategy, threads: 1 });
+            let index = KReachIndex::build(
+                &g,
+                3,
+                BuildOptions {
+                    cover_strategy: strategy,
+                    threads: 1,
+                },
+            );
             brute_force_check(&g, &index);
         }
     }
@@ -483,7 +542,18 @@ mod tests {
     fn exact_on_graph_with_cycles() {
         let g = DiGraph::from_edges(
             8,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6), (6, 7), (7, 6)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+                (6, 7),
+                (7, 6),
+            ],
         );
         for k in [1, 2, 3, 5, 8] {
             let index = KReachIndex::build(&g, k, BuildOptions::default());
@@ -495,7 +565,17 @@ mod tests {
     fn classic_reachability_matches_unbounded_bfs() {
         let g = DiGraph::from_edges(
             9,
-            [(0, 1), (1, 2), (3, 2), (3, 4), (4, 5), (5, 3), (6, 7), (7, 8), (2, 6)],
+            [
+                (0, 1),
+                (1, 2),
+                (3, 2),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (6, 7),
+                (7, 8),
+                (2, 6),
+            ],
         );
         let index = KReachIndex::for_classic_reachability(&g, BuildOptions::default());
         for s in g.vertices() {
@@ -508,10 +588,28 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_builds_agree() {
-        let g = kreach_graph::generators::GeneratorSpec::PowerLaw { n: 300, m: 1200, hubs: 4 }
-            .generate(99);
-        let seq = KReachIndex::build(&g, 4, BuildOptions { threads: 1, ..Default::default() });
-        let par = KReachIndex::build(&g, 4, BuildOptions { threads: 4, ..Default::default() });
+        let g = kreach_graph::generators::GeneratorSpec::PowerLaw {
+            n: 300,
+            m: 1200,
+            hubs: 4,
+        }
+        .generate(99);
+        let seq = KReachIndex::build(
+            &g,
+            4,
+            BuildOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = KReachIndex::build(
+            &g,
+            4,
+            BuildOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(seq.cover_size(), par.cover_size());
         assert_eq!(seq.index_edge_count(), par.index_edge_count());
         for s in g.vertices().step_by(7) {
@@ -590,17 +688,21 @@ mod tests {
                     Some(QueryWitness::ThroughInNeighbor { via, weight }) => {
                         assert!(g.has_edge(via, t));
                         assert!(index.in_cover(via));
-                        assert!(weight + 1 <= 3);
+                        assert!(weight < 3);
                     }
                     Some(QueryWitness::ThroughOutNeighbor { via, weight }) => {
                         assert!(g.has_edge(s, via));
                         assert!(index.in_cover(via));
-                        assert!(weight + 1 <= 3);
+                        assert!(weight < 3);
                     }
                     Some(QueryWitness::ThroughSingleCoverVertex { via }) => {
                         assert!(g.has_edge(s, via) && g.has_edge(via, t));
                     }
-                    Some(QueryWitness::ThroughCoverPair { first, last, weight }) => {
+                    Some(QueryWitness::ThroughCoverPair {
+                        first,
+                        last,
+                        weight,
+                    }) => {
                         assert!(g.has_edge(s, first) && g.has_edge(last, t));
                         assert!(weight + 2 <= 3);
                     }
@@ -616,7 +718,10 @@ mod tests {
         let g = crate::paper_example::paper_example_graph();
         let cover = crate::paper_example::paper_example_cover();
         let index = KReachIndex::build_with_cover(&g, 3, &cover, BuildOptions::default());
-        assert!(matches!(index.explain(&g, B, G), Some(QueryWitness::IndexEdge { weight: 3 })));
+        assert!(matches!(
+            index.explain(&g, B, G),
+            Some(QueryWitness::IndexEdge { weight: 3 })
+        ));
         assert!(matches!(
             index.explain(&g, D, H),
             Some(QueryWitness::ThroughInNeighbor { via, weight: 2 }) if via == G
@@ -630,7 +735,10 @@ mod tests {
             Some(QueryWitness::ThroughCoverPair { first, last, weight: 1 }) if first == B && last == D
         ));
         assert_eq!(index.explain(&g, C, H), None);
-        assert!(matches!(index.explain(&g, A, A), Some(QueryWitness::Identity)));
+        assert!(matches!(
+            index.explain(&g, A, A),
+            Some(QueryWitness::Identity)
+        ));
     }
 
     #[test]

@@ -65,6 +65,18 @@ pub use kreach::{BuildOptions, KReachIndex, QueryCase};
 pub use stats::IndexStats;
 pub use vertex_cover::{CoverStrategy, VertexCover};
 
+// The serving engine shares indexes across worker threads as
+// `Arc<dyn ...>`; a field change that silently dropped Send/Sync (an Rc, a
+// raw pointer) would surface far away in the engine, so pin it here.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KReachIndex>();
+    assert_send_sync::<HkReachIndex>();
+    assert_send_sync::<CompactKReachIndex>();
+    assert_send_sync::<MultiKReach>();
+    assert_send_sync::<ExactMultiKReach>();
+};
+
 /// Commonly used items, for glob import in examples and benchmarks.
 pub mod prelude {
     pub use crate::compact::CompactKReachIndex;

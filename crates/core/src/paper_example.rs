@@ -88,7 +88,10 @@ mod tests {
     fn example_cover_is_a_valid_vertex_cover() {
         let g = paper_example_graph();
         let cover = paper_example_cover();
-        assert!(cover.covers_all_edges(&g), "Example 1: {{b,d,g,i}} must cover every edge");
+        assert!(
+            cover.covers_all_edges(&g),
+            "Example 1: {{b,d,g,i}} must cover every edge"
+        );
         assert_eq!(cover.len(), 4);
     }
 
@@ -96,7 +99,10 @@ mod tests {
     fn example_hop_cover_is_a_valid_two_hop_cover() {
         let g = paper_example_graph();
         let cover = paper_example_hop_cover();
-        assert!(cover.covers_all_paths(&g), "Example 3: {{d,e,g}} must cover every length-2 path");
+        assert!(
+            cover.covers_all_paths(&g),
+            "Example 3: {{d,e,g}} must cover every length-2 path"
+        );
     }
 
     #[test]
@@ -104,19 +110,36 @@ mod tests {
         let g = paper_example_graph();
         // Example 1 / 2 (k = 3).
         assert_eq!(shortest_distance(&g, B, G), Some(3), "b ->3 g");
-        assert_eq!(shortest_distance(&g, B, I), Some(4), "b reaches i in 4 hops");
+        assert_eq!(
+            shortest_distance(&g, B, I),
+            Some(4),
+            "b reaches i in 4 hops"
+        );
         assert_eq!(shortest_distance(&g, D, H), Some(3), "d ->3 h");
-        assert!(shortest_distance(&g, D, J).is_none_or(|d| d >= 4), "j >= 4 hops from d");
+        assert!(
+            shortest_distance(&g, D, J).is_none_or(|d| d >= 4),
+            "j >= 4 hops from d"
+        );
         assert_eq!(shortest_distance(&g, A, D), Some(2), "a ->3 d");
         assert_eq!(shortest_distance(&g, A, G), Some(4), "g is 4 hops from a");
         assert_eq!(shortest_distance(&g, C, F), Some(3), "c ->3 f");
-        assert!(shortest_distance(&g, C, H).is_none_or(|d| d >= 5), "h >= 5 hops from c");
+        assert!(
+            shortest_distance(&g, C, H).is_none_or(|d| d >= 5),
+            "h >= 5 hops from c"
+        );
         // Example 4 (h = 2, k = 5).
         assert!(g.in_neighbors(A).is_empty(), "a has no in-neighbours");
         assert_eq!(g.in_neighbors(H), &[G], "h's only in-neighbour is g");
         assert_eq!(g.in_neighbors(J), &[I], "j's only in-neighbour is i");
-        assert_eq!(shortest_distance(&g, A, I), Some(5), "a reaches i in 5 hops");
-        assert!(shortest_distance(&g, A, J).is_none_or(|d| d >= 6), "a reaches j in >= 6 hops");
+        assert_eq!(
+            shortest_distance(&g, A, I),
+            Some(5),
+            "a reaches i in 5 hops"
+        );
+        assert!(
+            shortest_distance(&g, A, J).is_none_or(|d| d >= 6),
+            "a reaches j in >= 6 hops"
+        );
         assert!(shortest_distance(&g, E, D).is_none(), "e cannot reach d");
         assert_eq!(shortest_distance(&g, D, G), Some(2));
     }
@@ -181,7 +204,11 @@ mod tests {
         let cover = paper_example_hop_cover();
         let index = HkReachIndex::build_with_cover(&g, 5, &cover);
         let ig = index.index_graph();
-        assert_eq!(ig.edge_weight(D, G), Some(2), "ω(d,g) = 2 as used throughout Example 4");
+        assert_eq!(
+            ig.edge_weight(D, G),
+            Some(2),
+            "ω(d,g) = 2 as used throughout Example 4"
+        );
         assert_eq!(ig.edge_weight(D, E), Some(1));
         assert_eq!(ig.edge_weight(E, G), Some(1));
         assert_eq!(ig.edge_weight(E, D), None, "(e,d) is not an edge of H");

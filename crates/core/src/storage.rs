@@ -84,7 +84,9 @@ pub fn read_kreach<R: Read>(mut r: R) -> Result<KReachIndex, StorageError> {
     }
     let version = read_u32(&mut r)?;
     if version != VERSION {
-        return Err(StorageError::Format(format!("unsupported version {version}")));
+        return Err(StorageError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
     let k = read_u32(&mut r)?;
     let strategy = strategy_from_code(read_u32(&mut r)?)?;
@@ -122,7 +124,9 @@ pub fn read_kreach<R: Read>(mut r: R) -> Result<KReachIndex, StorageError> {
         )));
     }
     if packed.len() * 4 < weight_count {
-        return Err(StorageError::Format("packed weight buffer too short".to_string()));
+        return Err(StorageError::Format(
+            "packed weight buffer too short".to_string(),
+        ));
     }
 
     let weights = PackedWeights::from_raw(clamp_min, weight_count, packed);
@@ -153,7 +157,9 @@ fn strategy_from_code(code: u32) -> Result<CoverStrategy, StorageError> {
     match code {
         0 => Ok(CoverStrategy::RandomEdge),
         1 => Ok(CoverStrategy::DegreePriority),
-        other => Err(StorageError::Format(format!("unknown cover strategy code {other}"))),
+        other => Err(StorageError::Format(format!(
+            "unknown cover strategy code {other}"
+        ))),
     }
 }
 
@@ -204,7 +210,12 @@ mod tests {
 
     #[test]
     fn round_trip_on_random_graph() {
-        let g = GeneratorSpec::PowerLaw { n: 250, m: 900, hubs: 4 }.generate(42);
+        let g = GeneratorSpec::PowerLaw {
+            n: 250,
+            m: 900,
+            hubs: 4,
+        }
+        .generate(42);
         let index = KReachIndex::build(&g, 5, BuildOptions::default());
         let mut buf = Vec::new();
         write_kreach(&index, &mut buf).expect("serializes");

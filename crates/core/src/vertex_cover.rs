@@ -87,8 +87,7 @@ impl VertexCover {
                         take(u, &mut members, &mut in_cover);
                         take(w, &mut members, &mut in_cover);
                     } else if g.total_degree(u) > 0
-                        && g
-                            .out_neighbors(u)
+                        && g.out_neighbors(u)
                             .iter()
                             .chain(g.in_neighbors(u).iter())
                             .any(|&w| !in_cover.contains_vertex(w) || w == u)
@@ -110,7 +109,11 @@ impl VertexCover {
             }
         }
 
-        VertexCover { members, membership: in_cover, strategy }
+        VertexCover {
+            members,
+            membership: in_cover,
+            strategy,
+        }
     }
 
     /// Builds a cover from an explicit member list (for example the cover of
@@ -123,11 +126,18 @@ impl VertexCover {
         let mut membership = FixedBitSet::new(n);
         let mut list = Vec::new();
         for v in members {
-            assert!(v.index() < n, "cover member {v} out of range for {n} vertices");
+            assert!(
+                v.index() < n,
+                "cover member {v} out of range for {n} vertices"
+            );
             assert!(membership.insert_vertex(v), "cover member {v} listed twice");
             list.push(v);
         }
-        VertexCover { members: list, membership, strategy: CoverStrategy::RandomEdge }
+        VertexCover {
+            members: list,
+            membership,
+            strategy: CoverStrategy::RandomEdge,
+        }
     }
 
     /// The cover vertices, in the order they were selected.
@@ -199,7 +209,11 @@ mod tests {
         let g = DiGraph::from_edges(51, (1..=50u32).map(|i| (0, i)));
         let c = VertexCover::compute(&g, CoverStrategy::DegreePriority);
         assert!(c.contains(VertexId(0)), "hub must be in the cover");
-        assert!(c.len() <= 2, "degree-priority cover of a star should be at most 2, got {}", c.len());
+        assert!(
+            c.len() <= 2,
+            "degree-priority cover of a star should be at most 2, got {}",
+            c.len()
+        );
         assert!(c.covers_all_edges(&g));
     }
 

@@ -43,12 +43,19 @@ pub struct PackedWeights {
 
 impl WeightStore for PackedWeights {
     fn with_clamp(clamp_min: u32) -> Self {
-        PackedWeights { clamp_min, len: 0, packed: Vec::new() }
+        PackedWeights {
+            clamp_min,
+            len: 0,
+            packed: Vec::new(),
+        }
     }
 
     fn push(&mut self, weight: u32) {
         let offset = weight - self.clamp_min;
-        debug_assert!(offset <= 2, "k-reach weights must be one of {{k-2, k-1, k}}");
+        debug_assert!(
+            offset <= 2,
+            "k-reach weights must be one of {{k-2, k-1, k}}"
+        );
         let (byte, shift) = (self.len / 4, (self.len % 4) * 2);
         if byte == self.packed.len() {
             self.packed.push(0);
@@ -91,8 +98,15 @@ impl PackedWeights {
     /// # Panics
     /// Panics if `packed` is too short to hold `len` 2-bit entries.
     pub fn from_raw(clamp_min: u32, len: usize, packed: Vec<u8>) -> Self {
-        assert!(packed.len() * 4 >= len, "packed weight buffer too short for {len} entries");
-        PackedWeights { clamp_min, len, packed }
+        assert!(
+            packed.len() * 4 >= len,
+            "packed weight buffer too short for {len} entries"
+        );
+        PackedWeights {
+            clamp_min,
+            len,
+            packed,
+        }
     }
 }
 
@@ -106,7 +120,10 @@ pub struct PlainWeights {
 
 impl WeightStore for PlainWeights {
     fn with_clamp(clamp_min: u32) -> Self {
-        PlainWeights { clamp_min, weights: Vec::new() }
+        PlainWeights {
+            clamp_min,
+            weights: Vec::new(),
+        }
     }
 
     fn push(&mut self, weight: u32) {

@@ -19,6 +19,10 @@
 
 pub mod registry;
 pub mod workload;
+pub mod workload_file;
 
 pub use registry::{all_specs, spec_by_name, DatasetFamily, DatasetSpec};
 pub use workload::{QueryWorkload, WorkloadConfig};
+pub use workload_file::{
+    read_workload_file, write_workload_file, WorkloadEntry, WorkloadFileError,
+};

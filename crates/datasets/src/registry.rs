@@ -2,10 +2,9 @@
 
 use kreach_graph::generators::GeneratorSpec;
 use kreach_graph::DiGraph;
-use serde::{Deserialize, Serialize};
 
 /// Broad structural family of a dataset, used to pick a generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetFamily {
     /// Genome / metabolic networks (EcoCyc family, aMaze, Kegg): very sparse,
     /// one huge hub, shallow, substantial SCC collapse.
@@ -117,27 +116,179 @@ fn fxhash(name: &str) -> u64 {
 pub fn all_specs() -> Vec<DatasetSpec> {
     use DatasetFamily::*;
     vec![
-        DatasetSpec { name: "AgroCyc", family: Metabolic, vertices: 13_969, edges: 17_694, dag_vertices: 12_684, dag_edges: 13_657, max_degree: 5_488, diameter: 10, median_shortest_path: 2 },
-        DatasetSpec { name: "aMaze", family: Metabolic, vertices: 11_877, edges: 28_700, dag_vertices: 3_710, dag_edges: 3_947, max_degree: 3_097, diameter: 11, median_shortest_path: 2 },
-        DatasetSpec { name: "Anthra", family: Metabolic, vertices: 13_766, edges: 17_307, dag_vertices: 12_499, dag_edges: 13_327, max_degree: 5_401, diameter: 10, median_shortest_path: 2 },
-        DatasetSpec { name: "ArXiv", family: Citation, vertices: 6_000, edges: 66_707, dag_vertices: 6_000, dag_edges: 66_707, max_degree: 700, diameter: 20, median_shortest_path: 4 },
-        DatasetSpec { name: "CiteSeer", family: Citation, vertices: 10_720, edges: 44_258, dag_vertices: 10_720, dag_edges: 44_258, max_degree: 192, diameter: 18, median_shortest_path: 3 },
-        DatasetSpec { name: "Ecoo", family: Metabolic, vertices: 13_800, edges: 17_308, dag_vertices: 12_620, dag_edges: 13_575, max_degree: 5_435, diameter: 10, median_shortest_path: 2 },
-        DatasetSpec { name: "GO", family: Hierarchy, vertices: 6_793, edges: 13_361, dag_vertices: 6_793, dag_edges: 13_361, max_degree: 71, diameter: 11, median_shortest_path: 3 },
-        DatasetSpec { name: "Human", family: Metabolic, vertices: 40_051, edges: 43_879, dag_vertices: 38_811, dag_edges: 39_816, max_degree: 28_571, diameter: 10, median_shortest_path: 2 },
-        DatasetSpec { name: "Kegg", family: Metabolic, vertices: 14_271, edges: 35_170, dag_vertices: 3_617, dag_edges: 4_395, max_degree: 3_282, diameter: 16, median_shortest_path: 2 },
-        DatasetSpec { name: "Mtbrv", family: Metabolic, vertices: 10_697, edges: 13_922, dag_vertices: 9_602, dag_edges: 10_438, max_degree: 4_005, diameter: 12, median_shortest_path: 2 },
-        DatasetSpec { name: "Nasa", family: Hierarchy, vertices: 5_704, edges: 7_942, dag_vertices: 5_605, dag_edges: 6_538, max_degree: 32, diameter: 22, median_shortest_path: 7 },
-        DatasetSpec { name: "PubMed", family: Citation, vertices: 9_000, edges: 40_028, dag_vertices: 9_000, dag_edges: 40_028, max_degree: 432, diameter: 11, median_shortest_path: 4 },
-        DatasetSpec { name: "Vchocyc", family: Metabolic, vertices: 10_694, edges: 14_207, dag_vertices: 9_491, dag_edges: 10_345, max_degree: 3_917, diameter: 10, median_shortest_path: 2 },
-        DatasetSpec { name: "Xmark", family: Hierarchy, vertices: 6_483, edges: 7_654, dag_vertices: 6_080, dag_edges: 7_051, max_degree: 887, diameter: 24, median_shortest_path: 5 },
-        DatasetSpec { name: "YAGO", family: Hierarchy, vertices: 6_642, edges: 42_392, dag_vertices: 6_642, dag_edges: 42_392, max_degree: 2_371, diameter: 9, median_shortest_path: 1 },
+        DatasetSpec {
+            name: "AgroCyc",
+            family: Metabolic,
+            vertices: 13_969,
+            edges: 17_694,
+            dag_vertices: 12_684,
+            dag_edges: 13_657,
+            max_degree: 5_488,
+            diameter: 10,
+            median_shortest_path: 2,
+        },
+        DatasetSpec {
+            name: "aMaze",
+            family: Metabolic,
+            vertices: 11_877,
+            edges: 28_700,
+            dag_vertices: 3_710,
+            dag_edges: 3_947,
+            max_degree: 3_097,
+            diameter: 11,
+            median_shortest_path: 2,
+        },
+        DatasetSpec {
+            name: "Anthra",
+            family: Metabolic,
+            vertices: 13_766,
+            edges: 17_307,
+            dag_vertices: 12_499,
+            dag_edges: 13_327,
+            max_degree: 5_401,
+            diameter: 10,
+            median_shortest_path: 2,
+        },
+        DatasetSpec {
+            name: "ArXiv",
+            family: Citation,
+            vertices: 6_000,
+            edges: 66_707,
+            dag_vertices: 6_000,
+            dag_edges: 66_707,
+            max_degree: 700,
+            diameter: 20,
+            median_shortest_path: 4,
+        },
+        DatasetSpec {
+            name: "CiteSeer",
+            family: Citation,
+            vertices: 10_720,
+            edges: 44_258,
+            dag_vertices: 10_720,
+            dag_edges: 44_258,
+            max_degree: 192,
+            diameter: 18,
+            median_shortest_path: 3,
+        },
+        DatasetSpec {
+            name: "Ecoo",
+            family: Metabolic,
+            vertices: 13_800,
+            edges: 17_308,
+            dag_vertices: 12_620,
+            dag_edges: 13_575,
+            max_degree: 5_435,
+            diameter: 10,
+            median_shortest_path: 2,
+        },
+        DatasetSpec {
+            name: "GO",
+            family: Hierarchy,
+            vertices: 6_793,
+            edges: 13_361,
+            dag_vertices: 6_793,
+            dag_edges: 13_361,
+            max_degree: 71,
+            diameter: 11,
+            median_shortest_path: 3,
+        },
+        DatasetSpec {
+            name: "Human",
+            family: Metabolic,
+            vertices: 40_051,
+            edges: 43_879,
+            dag_vertices: 38_811,
+            dag_edges: 39_816,
+            max_degree: 28_571,
+            diameter: 10,
+            median_shortest_path: 2,
+        },
+        DatasetSpec {
+            name: "Kegg",
+            family: Metabolic,
+            vertices: 14_271,
+            edges: 35_170,
+            dag_vertices: 3_617,
+            dag_edges: 4_395,
+            max_degree: 3_282,
+            diameter: 16,
+            median_shortest_path: 2,
+        },
+        DatasetSpec {
+            name: "Mtbrv",
+            family: Metabolic,
+            vertices: 10_697,
+            edges: 13_922,
+            dag_vertices: 9_602,
+            dag_edges: 10_438,
+            max_degree: 4_005,
+            diameter: 12,
+            median_shortest_path: 2,
+        },
+        DatasetSpec {
+            name: "Nasa",
+            family: Hierarchy,
+            vertices: 5_704,
+            edges: 7_942,
+            dag_vertices: 5_605,
+            dag_edges: 6_538,
+            max_degree: 32,
+            diameter: 22,
+            median_shortest_path: 7,
+        },
+        DatasetSpec {
+            name: "PubMed",
+            family: Citation,
+            vertices: 9_000,
+            edges: 40_028,
+            dag_vertices: 9_000,
+            dag_edges: 40_028,
+            max_degree: 432,
+            diameter: 11,
+            median_shortest_path: 4,
+        },
+        DatasetSpec {
+            name: "Vchocyc",
+            family: Metabolic,
+            vertices: 10_694,
+            edges: 14_207,
+            dag_vertices: 9_491,
+            dag_edges: 10_345,
+            max_degree: 3_917,
+            diameter: 10,
+            median_shortest_path: 2,
+        },
+        DatasetSpec {
+            name: "Xmark",
+            family: Hierarchy,
+            vertices: 6_483,
+            edges: 7_654,
+            dag_vertices: 6_080,
+            dag_edges: 7_051,
+            max_degree: 887,
+            diameter: 24,
+            median_shortest_path: 5,
+        },
+        DatasetSpec {
+            name: "YAGO",
+            family: Hierarchy,
+            vertices: 6_642,
+            edges: 42_392,
+            dag_vertices: 6_642,
+            dag_edges: 42_392,
+            max_degree: 2_371,
+            diameter: 9,
+            median_shortest_path: 1,
+        },
     ]
 }
 
 /// Looks up a dataset spec by (case-insensitive) name.
 pub fn spec_by_name(name: &str) -> Option<DatasetSpec> {
-    all_specs().into_iter().find(|s| s.name.eq_ignore_ascii_case(name))
+    all_specs()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

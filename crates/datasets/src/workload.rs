@@ -24,7 +24,10 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { queries: 1_000_000, seed: 0x9e37_79b9 }
+        WorkloadConfig {
+            queries: 1_000_000,
+            seed: 0x9e37_79b9,
+        }
     }
 }
 
@@ -43,6 +46,51 @@ impl QueryWorkload {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let pairs = (0..config.queries)
             .map(|_| (VertexId(rng.gen_range(0..n)), VertexId(rng.gen_range(0..n))))
+            .collect();
+        QueryWorkload { pairs }
+    }
+
+    /// Generates a skewed ("celebrity-heavy") workload: with probability
+    /// `hot_fraction` each endpoint is drawn from the `hot_vertices`
+    /// highest-degree vertices instead of uniformly.
+    ///
+    /// This models the serving-time skew the paper motivates in §4.3 — a
+    /// small set of celebrity vertices appears in a disproportionate share
+    /// of real queries — and is what makes a result cache effective: uniform
+    /// pairs over a large graph essentially never repeat, hot pairs do.
+    ///
+    /// # Panics
+    /// Panics if the graph is empty, `hot_vertices == 0`, or `hot_fraction`
+    /// is outside `[0, 1]`.
+    pub fn skewed(
+        g: &DiGraph,
+        config: WorkloadConfig,
+        hot_vertices: usize,
+        hot_fraction: f64,
+    ) -> Self {
+        let n = g.vertex_count() as u32;
+        assert!(n > 0, "cannot generate queries for an empty graph");
+        assert!(
+            hot_vertices > 0,
+            "skewed workload needs at least one hot vertex"
+        );
+        assert!(
+            (0.0..=1.0).contains(&hot_fraction),
+            "hot_fraction must be in [0, 1], got {hot_fraction}"
+        );
+        let mut by_degree: Vec<VertexId> = g.vertices().collect();
+        by_degree.sort_by_key(|&v| std::cmp::Reverse(g.total_degree(v)));
+        let hot = &by_degree[..hot_vertices.min(by_degree.len())];
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let draw = |rng: &mut StdRng| {
+            if rng.gen_bool(hot_fraction) {
+                hot[rng.gen_range(0..hot.len())]
+            } else {
+                VertexId(rng.gen_range(0..n))
+            }
+        };
+        let pairs = (0..config.queries)
+            .map(|_| (draw(&mut rng), draw(&mut rng)))
             .collect();
         QueryWorkload { pairs }
     }
@@ -74,11 +122,17 @@ impl QueryWorkload {
 
     /// Counts queries into four buckets according to `classifier`, which maps
     /// a pair to a case number 1–4 (Algorithm 2 / Table 8).
-    pub fn case_distribution(&self, mut classifier: impl FnMut(VertexId, VertexId) -> u8) -> [usize; 4] {
+    pub fn case_distribution(
+        &self,
+        mut classifier: impl FnMut(VertexId, VertexId) -> u8,
+    ) -> [usize; 4] {
         let mut counts = [0usize; 4];
         for &(s, t) in &self.pairs {
             let case = classifier(s, t);
-            assert!((1..=4).contains(&case), "classifier must return 1..=4, got {case}");
+            assert!(
+                (1..=4).contains(&case),
+                "classifier must return 1..=4, got {case}"
+            );
             counts[case as usize - 1] += 1;
         }
         counts
@@ -97,17 +151,44 @@ mod tests {
     #[test]
     fn generates_requested_number_of_in_range_pairs() {
         let g = graph();
-        let w = QueryWorkload::uniform(&g, WorkloadConfig { queries: 1000, seed: 3 });
+        let w = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 1000,
+                seed: 3,
+            },
+        );
         assert_eq!(w.len(), 1000);
-        assert!(w.pairs().iter().all(|&(s, t)| s.index() < 50 && t.index() < 50));
+        assert!(w
+            .pairs()
+            .iter()
+            .all(|&(s, t)| s.index() < 50 && t.index() < 50));
     }
 
     #[test]
     fn same_seed_same_workload_different_seed_different() {
         let g = graph();
-        let a = QueryWorkload::uniform(&g, WorkloadConfig { queries: 500, seed: 7 });
-        let b = QueryWorkload::uniform(&g, WorkloadConfig { queries: 500, seed: 7 });
-        let c = QueryWorkload::uniform(&g, WorkloadConfig { queries: 500, seed: 8 });
+        let a = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 500,
+                seed: 7,
+            },
+        );
+        let b = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 500,
+                seed: 7,
+            },
+        );
+        let c = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 500,
+                seed: 8,
+            },
+        );
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -115,7 +196,13 @@ mod tests {
     #[test]
     fn fraction_and_distribution_helpers() {
         let g = graph();
-        let w = QueryWorkload::uniform(&g, WorkloadConfig { queries: 2000, seed: 5 });
+        let w = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 2000,
+                seed: 5,
+            },
+        );
         let all = w.fraction_where(|_, _| true);
         assert!((all - 1.0).abs() < 1e-12);
         let none = w.fraction_where(|_, _| false);
@@ -132,27 +219,134 @@ mod tests {
     #[test]
     fn uniform_pairs_are_spread_over_the_vertex_set() {
         let g = graph();
-        let w = QueryWorkload::uniform(&g, WorkloadConfig { queries: 5000, seed: 11 });
-        let mut seen_sources = vec![false; 50];
+        let w = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 5000,
+                seed: 11,
+            },
+        );
+        let mut seen_sources = [false; 50];
         for &(s, _) in w.pairs() {
             seen_sources[s.index()] = true;
         }
         let covered = seen_sources.iter().filter(|&&b| b).count();
-        assert!(covered >= 45, "uniform sampling should touch almost every vertex, got {covered}");
+        assert!(
+            covered >= 45,
+            "uniform sampling should touch almost every vertex, got {covered}"
+        );
+    }
+
+    #[test]
+    fn skewed_workload_concentrates_on_hot_vertices() {
+        let g = graph();
+        let w = QueryWorkload::skewed(
+            &g,
+            WorkloadConfig {
+                queries: 4000,
+                seed: 13,
+            },
+            5,
+            0.8,
+        );
+        assert_eq!(w.len(), 4000);
+        assert!(w
+            .pairs()
+            .iter()
+            .all(|&(s, t)| s.index() < 50 && t.index() < 50));
+        // The 5 hot vertices should dominate: with hot_fraction 0.8 each
+        // endpoint is hot with p = 0.8 + 0.2 * (5/50) ≈ 0.82.
+        let mut counts = std::collections::HashMap::new();
+        for &(s, t) in w.pairs() {
+            *counts.entry(s).or_insert(0usize) += 1;
+            *counts.entry(t).or_insert(0usize) += 1;
+        }
+        let mut by_count: Vec<usize> = counts.values().copied().collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        let top5: usize = by_count.iter().take(5).sum();
+        assert!(
+            top5 as f64 > 0.7 * 8000.0,
+            "top-5 endpoints should absorb most draws, got {top5}/8000"
+        );
+        // Determinism per seed, like the uniform generator.
+        let again = QueryWorkload::skewed(
+            &g,
+            WorkloadConfig {
+                queries: 4000,
+                seed: 13,
+            },
+            5,
+            0.8,
+        );
+        assert_eq!(w, again);
+        // hot_fraction 0 degenerates to a uniform draw over all vertices.
+        let cold = QueryWorkload::skewed(
+            &g,
+            WorkloadConfig {
+                queries: 1000,
+                seed: 3,
+            },
+            5,
+            0.0,
+        );
+        let distinct: std::collections::HashSet<_> = cold.pairs().iter().map(|&(s, _)| s).collect();
+        assert!(distinct.len() > 30, "uniform draw should spread sources");
+    }
+
+    #[test]
+    #[should_panic]
+    fn skewed_rejects_zero_hot_vertices() {
+        let g = graph();
+        QueryWorkload::skewed(
+            &g,
+            WorkloadConfig {
+                queries: 1,
+                seed: 0,
+            },
+            0,
+            0.5,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn skewed_rejects_bad_hot_fraction() {
+        let g = graph();
+        QueryWorkload::skewed(
+            &g,
+            WorkloadConfig {
+                queries: 1,
+                seed: 0,
+            },
+            3,
+            1.5,
+        );
     }
 
     #[test]
     #[should_panic]
     fn empty_graph_is_rejected() {
         let g = DiGraph::from_edges(0, std::iter::empty());
-        QueryWorkload::uniform(&g, WorkloadConfig { queries: 1, seed: 0 });
+        QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 1,
+                seed: 0,
+            },
+        );
     }
 
     #[test]
     #[should_panic]
     fn classifier_out_of_range_is_rejected() {
         let g = graph();
-        let w = QueryWorkload::uniform(&g, WorkloadConfig { queries: 10, seed: 0 });
+        let w = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 10,
+                seed: 0,
+            },
+        );
         w.case_distribution(|_, _| 7);
     }
 }

@@ -1,0 +1,210 @@
+//! Plain-text query workload files.
+//!
+//! The serving engine consumes query workloads from disk so that one
+//! generated workload can be replayed bit-for-bit against different indexes,
+//! worker counts and cache settings. The format mirrors the edge-list style
+//! of [`kreach_graph::io`]: one query per line, whitespace-separated,
+//!
+//! ```text
+//! # source target [k]
+//! 17 4023
+//! 17 4023 6
+//! ```
+//!
+//! with `#`-comments and blank lines ignored. The third column is an
+//! optional per-query hop bound; queries without one take the caller's
+//! default (usually the `k` the served index was built for).
+
+use kreach_graph::VertexId;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// A parsed workload line: source, target, optional per-query hop bound.
+pub type WorkloadEntry = (VertexId, VertexId, Option<u32>);
+
+/// Errors produced while reading a workload file.
+#[derive(Debug)]
+pub enum WorkloadFileError {
+    /// A malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WorkloadFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadFileError::Parse { line, message } => {
+                write!(f, "workload parse error on line {line}: {message}")
+            }
+            WorkloadFileError::Io(e) => write!(f, "workload i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WorkloadFileError {
+    fn from(e: std::io::Error) -> Self {
+        WorkloadFileError::Io(e)
+    }
+}
+
+/// Reads a workload from any reader.
+pub fn read_workload<R: Read>(reader: R) -> Result<Vec<WorkloadEntry>, WorkloadFileError> {
+    let mut entries = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        let text = line.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut fields = text.split_whitespace();
+        let s = parse_field(fields.next(), "source", line_no)?;
+        let t = parse_field(fields.next(), "target", line_no)?;
+        let k = match fields.next() {
+            None => None,
+            Some(raw) => Some(raw.parse::<u32>().map_err(|e| WorkloadFileError::Parse {
+                line: line_no,
+                message: format!("invalid k {raw:?}: {e}"),
+            })?),
+        };
+        if let Some(extra) = fields.next() {
+            return Err(WorkloadFileError::Parse {
+                line: line_no,
+                message: format!("unexpected trailing field {extra:?}"),
+            });
+        }
+        entries.push((VertexId(s), VertexId(t), k));
+    }
+    Ok(entries)
+}
+
+fn parse_field(raw: Option<&str>, what: &str, line: usize) -> Result<u32, WorkloadFileError> {
+    let raw = raw.ok_or_else(|| WorkloadFileError::Parse {
+        line,
+        message: format!("missing {what} vertex"),
+    })?;
+    raw.parse::<u32>().map_err(|e| WorkloadFileError::Parse {
+        line,
+        message: format!("invalid {what} vertex {raw:?}: {e}"),
+    })
+}
+
+/// Reads a workload file from disk.
+pub fn read_workload_file(path: impl AsRef<Path>) -> Result<Vec<WorkloadEntry>, WorkloadFileError> {
+    read_workload(File::open(path)?)
+}
+
+/// Writes query pairs to any writer, one per line, with an optional shared
+/// hop bound as the third column.
+pub fn write_workload<W: Write>(
+    pairs: &[(VertexId, VertexId)],
+    k: Option<u32>,
+    writer: W,
+) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for &(s, t) in pairs {
+        match k {
+            Some(k) => writeln!(w, "{} {} {}", s.0, t.0, k)?,
+            None => writeln!(w, "{} {}", s.0, t.0)?,
+        }
+    }
+    w.flush()
+}
+
+/// Writes query pairs to a file on disk.
+pub fn write_workload_file(
+    pairs: &[(VertexId, VertexId)],
+    k: Option<u32>,
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    write_workload(pairs, k, File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_pairs_without_k() {
+        let pairs = vec![(VertexId(1), VertexId(2)), (VertexId(30), VertexId(0))];
+        let mut buf = Vec::new();
+        write_workload(&pairs, None, &mut buf).unwrap();
+        let entries = read_workload(buf.as_slice()).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                (VertexId(1), VertexId(2), None),
+                (VertexId(30), VertexId(0), None)
+            ]
+        );
+    }
+
+    #[test]
+    fn round_trips_pairs_with_shared_k() {
+        let pairs = vec![(VertexId(5), VertexId(6))];
+        let mut buf = Vec::new();
+        write_workload(&pairs, Some(4), &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf.clone()).unwrap(), "5 6 4\n");
+        let entries = read_workload(buf.as_slice()).unwrap();
+        assert_eq!(entries, vec![(VertexId(5), VertexId(6), Some(4))]);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# a workload\n\n1 2\n   # indented comment\n3 4 5   # trailing\n";
+        let entries = read_workload(text.as_bytes()).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                (VertexId(1), VertexId(2), None),
+                (VertexId(3), VertexId(4), Some(5))
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (text, needle) in [
+            ("1\n", "missing target"),
+            ("x 2\n", "invalid source"),
+            ("1 y\n", "invalid target"),
+            ("1 2 z\n", "invalid k"),
+            ("1 2 3 4\n", "trailing"),
+        ] {
+            let err = read_workload(text.as_bytes()).unwrap_err();
+            let message = err.to_string();
+            assert!(message.contains("line 1"), "{text:?}: {message}");
+            assert!(message.contains(needle), "{text:?}: {message}");
+        }
+        let err = read_workload("1 2\n\nbad\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("kreach-workload-file-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.txt");
+        let pairs = vec![(VertexId(9), VertexId(8))];
+        write_workload_file(&pairs, Some(2), &path).unwrap();
+        let entries = read_workload_file(&path).unwrap();
+        assert_eq!(entries, vec![(VertexId(9), VertexId(8), Some(2))]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,204 @@
+//! The unified query backend trait and its three implementations.
+//!
+//! The engine serves queries against any [`Reachability`] backend: the
+//! k-reach index of §4, the (h,k)-reach index of §5, or an index-free BFS
+//! fallback. Backends own an [`Arc`] of their graph so the trait objects are
+//! `'static` and can be shared across pool workers.
+//!
+//! Note this trait is *k-hop* reachability for serving, distinct from
+//! [`kreach_baselines::Reachability`], which models the paper's classic
+//! (unbounded) reachability baselines for the benchmark tables.
+
+use kreach_baselines::KHopReachability;
+use kreach_core::{HkReachIndex, KReachIndex};
+use kreach_graph::{DiGraph, VertexId};
+use std::sync::Arc;
+
+/// A shareable answerer of k-hop reachability queries.
+pub trait Reachability: Send + Sync {
+    /// Short backend name for stats and reports.
+    fn name(&self) -> &str;
+
+    /// The graph being served (used for query validation).
+    fn graph(&self) -> &DiGraph;
+
+    /// The hop bound this backend answers fastest (its index's `k`); used as
+    /// the default for queries that do not carry their own.
+    fn default_k(&self) -> u32;
+
+    /// Whether `t` is reachable from `s` in at most `k` hops. Must be exact
+    /// for every `k`, falling back to online search when the index does not
+    /// cover the requested bound.
+    fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool;
+}
+
+/// Serves a [`KReachIndex`] (§4 of the paper).
+pub struct KReachBackend {
+    graph: Arc<DiGraph>,
+    index: KReachIndex,
+}
+
+impl KReachBackend {
+    /// Wraps a built index and the graph it was built from.
+    pub fn new(graph: Arc<DiGraph>, index: KReachIndex) -> Self {
+        KReachBackend { graph, index }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &KReachIndex {
+        &self.index
+    }
+}
+
+impl Reachability for KReachBackend {
+    fn name(&self) -> &str {
+        "k-reach"
+    }
+
+    fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    fn default_k(&self) -> u32 {
+        self.index.k()
+    }
+
+    fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool {
+        self.index.query_k(&self.graph, s, t, k)
+    }
+}
+
+/// Serves an [`HkReachIndex`] (§5 of the paper).
+pub struct HkReachBackend {
+    graph: Arc<DiGraph>,
+    index: HkReachIndex,
+}
+
+impl HkReachBackend {
+    /// Wraps a built (h,k)-reach index and its graph.
+    pub fn new(graph: Arc<DiGraph>, index: HkReachIndex) -> Self {
+        HkReachBackend { graph, index }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &HkReachIndex {
+        &self.index
+    }
+}
+
+impl Reachability for HkReachBackend {
+    fn name(&self) -> &str {
+        "hk-reach"
+    }
+
+    fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    fn default_k(&self) -> u32 {
+        self.index.k()
+    }
+
+    fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool {
+        if k == self.index.k() {
+            self.index.query(&self.graph, s, t)
+        } else {
+            // The (h,k)-index answers only its own bound; other bounds fall
+            // back to exact online search.
+            self.graph.khop_reachable(s, t, k)
+        }
+    }
+}
+
+/// Index-free fallback: every query is an online bidirectional BFS. This is
+/// the "no index fits in memory" configuration and the correctness oracle
+/// for the property tests.
+pub struct BfsBackend {
+    graph: Arc<DiGraph>,
+    default_k: u32,
+}
+
+impl BfsBackend {
+    /// Wraps a graph; `default_k` is used for queries without their own bound.
+    pub fn new(graph: Arc<DiGraph>, default_k: u32) -> Self {
+        BfsBackend { graph, default_k }
+    }
+}
+
+impl Reachability for BfsBackend {
+    fn name(&self) -> &str {
+        "online-bfs"
+    }
+
+    fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    fn default_k(&self) -> u32 {
+        self.default_k
+    }
+
+    fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool {
+        self.graph.khop_reachable(s, t, k)
+    }
+}
+
+// Every backend must be shareable as Arc<dyn Reachability> across workers.
+const _: fn() = || {
+    fn assert_backend<T: Reachability + 'static>() {}
+    assert_backend::<KReachBackend>();
+    assert_backend::<HkReachBackend>();
+    assert_backend::<BfsBackend>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_core::BuildOptions;
+    use kreach_graph::traversal::khop_reachable_bfs;
+
+    fn sample() -> Arc<DiGraph> {
+        Arc::new(DiGraph::from_edges(
+            8,
+            [(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 3), (6, 7)],
+        ))
+    }
+
+    #[test]
+    fn all_backends_agree_with_ground_truth_for_every_k() {
+        let g = sample();
+        let k = 3;
+        let kreach = KReachBackend::new(
+            Arc::clone(&g),
+            KReachIndex::build(&g, k, BuildOptions::default()),
+        );
+        let hkreach = HkReachBackend::new(Arc::clone(&g), HkReachIndex::build(&g, 1, k));
+        let bfs = BfsBackend::new(Arc::clone(&g), k);
+        let backends: [&dyn Reachability; 3] = [&kreach, &hkreach, &bfs];
+        for backend in backends {
+            assert_eq!(backend.default_k(), k, "{}", backend.name());
+            for query_k in [1, 2, 3, 5] {
+                for s in g.vertices() {
+                    for t in g.vertices() {
+                        assert_eq!(
+                            backend.query(s, t, query_k),
+                            khop_reachable_bfs(&g, s, t, query_k),
+                            "{} at k={query_k} ({s},{t})",
+                            backend.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backends_are_shareable_trait_objects() {
+        let g = sample();
+        let backend: Arc<dyn Reachability> = Arc::new(BfsBackend::new(Arc::clone(&g), 2));
+        let clone = Arc::clone(&backend);
+        let handle = std::thread::spawn(move || clone.query(VertexId(0), VertexId(3), 2));
+        assert!(handle.join().unwrap());
+        assert_eq!(backend.graph().vertex_count(), 8);
+    }
+}

@@ -1,0 +1,375 @@
+//! Sharded LRU cache of `(s, t, k) → bool` query results.
+//!
+//! Real k-hop workloads are heavily skewed — the "celebrity" vertices of
+//! §4.3 of the paper appear in a disproportionate share of queries — so even
+//! a small exact-result cache absorbs a large fraction of a batch. The cache
+//! is sharded by key hash: each shard is an independent LRU behind its own
+//! mutex, so concurrent workers rarely contend on the same lock.
+//!
+//! Hit/miss counters are global atomics; they are monotone, and callers that
+//! need per-run numbers take a [`ResultCache::counters`] snapshot before and
+//! after a run.
+
+use crate::batch::Query;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const NIL: u32 = u32::MAX;
+
+/// One LRU shard: a hash map into a slab of doubly-linked entries ordered by
+/// recency (head = most recent, tail = eviction candidate).
+struct LruShard {
+    map: HashMap<(u32, u32, u32), u32>,
+    entries: Vec<Entry>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
+}
+
+struct Entry {
+    key: (u32, u32, u32),
+    value: bool,
+    prev: u32,
+    next: u32,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            entries: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let e = &self.entries[i as usize];
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.entries[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.entries[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: u32) {
+        self.entries[i as usize].prev = NIL;
+        self.entries[i as usize].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.entries[h as usize].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: (u32, u32, u32)) -> Option<bool> {
+        let i = *self.map.get(&key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.entries[i as usize].value)
+    }
+
+    fn insert(&mut self, key: (u32, u32, u32), value: bool) {
+        if let Some(&i) = self.map.get(&key) {
+            self.entries[i as usize].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        let i = if self.entries.len() < self.capacity {
+            self.entries.push(Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.entries.len() - 1) as u32
+        } else {
+            // Full: reuse the least-recently-used slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = self.entries[victim as usize].key;
+            self.map.remove(&old_key);
+            self.entries[victim as usize] = Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            };
+            victim
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Snapshot of the cache's hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the backend.
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Hits as a fraction of all lookups (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// A sharded LRU cache of query results, safe to share across workers.
+///
+/// A capacity of 0 disables caching entirely: every lookup misses and
+/// nothing is stored.
+pub struct ResultCache {
+    shards: Vec<Mutex<LruShard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding up to `capacity` results spread over `shards`
+    /// independent LRUs (shard count is clamped to at least 1 and at most
+    /// `capacity`).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shard_count = if capacity == 0 {
+            0
+        } else {
+            shards.clamp(1, capacity)
+        };
+        let per_shard = if shard_count == 0 {
+            0
+        } else {
+            capacity.div_ceil(shard_count)
+        };
+        ResultCache {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A disabled cache (every lookup misses, stores are dropped).
+    pub fn disabled() -> Self {
+        Self::new(0, 0)
+    }
+
+    /// Whether caching is active.
+    pub fn is_enabled(&self) -> bool {
+        !self.shards.is_empty()
+    }
+
+    fn shard_for(&self, key: (u32, u32, u32)) -> &Mutex<LruShard> {
+        // SplitMix-style avalanche over the packed key: adjacent ids must not
+        // land in the same shard or contention returns.
+        let mut h = (key.0 as u64) << 32 | key.1 as u64;
+        h ^= (key.2 as u64) << 17;
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a query, counting a hit or miss.
+    pub fn lookup(&self, q: &Query) -> Option<bool> {
+        if self.shards.is_empty() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let key = q.key();
+        let found = self
+            .shard_for(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a computed answer.
+    pub fn store(&self, q: &Query, answer: bool) {
+        if self.shards.is_empty() {
+            return;
+        }
+        let key = q.key();
+        self.shard_for(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, answer);
+    }
+
+    /// Current hit/miss counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached results across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("shards", &self.shards.len())
+            .field("entries", &self.len())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_graph::VertexId;
+
+    fn q(s: u32, t: u32, k: u32) -> Query {
+        Query {
+            s: VertexId(s),
+            t: VertexId(t),
+            k,
+        }
+    }
+
+    #[test]
+    fn stores_and_retrieves_answers() {
+        let cache = ResultCache::new(64, 4);
+        assert_eq!(cache.lookup(&q(1, 2, 3)), None);
+        cache.store(&q(1, 2, 3), true);
+        cache.store(&q(4, 5, 3), false);
+        assert_eq!(cache.lookup(&q(1, 2, 3)), Some(true));
+        assert_eq!(cache.lookup(&q(4, 5, 3)), Some(false));
+        // Same pair, different k is a distinct key.
+        assert_eq!(cache.lookup(&q(1, 2, 4)), None);
+        let counters = cache.counters();
+        assert_eq!(counters.hits, 2);
+        assert_eq!(counters.misses, 2);
+        assert!((counters.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        // Single shard so the LRU order is fully observable.
+        let cache = ResultCache::new(2, 1);
+        cache.store(&q(1, 1, 1), true);
+        cache.store(&q(2, 2, 2), true);
+        assert_eq!(cache.lookup(&q(1, 1, 1)), Some(true)); // refresh key 1
+        cache.store(&q(3, 3, 3), true); // evicts key 2, the LRU
+        assert_eq!(cache.lookup(&q(1, 1, 1)), Some(true));
+        assert_eq!(cache.lookup(&q(2, 2, 2)), None);
+        assert_eq!(cache.lookup(&q(3, 3, 3)), Some(true));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn updating_an_existing_key_does_not_grow_the_cache() {
+        let cache = ResultCache::new(2, 1);
+        cache.store(&q(1, 1, 1), true);
+        cache.store(&q(1, 1, 1), false);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&q(1, 1, 1)), Some(false));
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = ResultCache::disabled();
+        assert!(!cache.is_enabled());
+        cache.store(&q(1, 2, 3), true);
+        assert_eq!(cache.lookup(&q(1, 2, 3)), None);
+        assert_eq!(cache.counters().hits, 0);
+        assert_eq!(cache.counters().misses, 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn counters_snapshot_deltas() {
+        let cache = ResultCache::new(16, 2);
+        cache.store(&q(1, 2, 3), true);
+        let _ = cache.lookup(&q(1, 2, 3));
+        let before = cache.counters();
+        let _ = cache.lookup(&q(1, 2, 3));
+        let _ = cache.lookup(&q(9, 9, 9));
+        let delta = cache.counters().since(before);
+        assert_eq!(delta, CacheCounters { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn sharded_cache_spreads_keys() {
+        let cache = ResultCache::new(1024, 8);
+        for i in 0..512u32 {
+            cache.store(&q(i, i + 1, 4), i % 2 == 0);
+        }
+        assert_eq!(cache.len(), 512);
+        for i in 0..512u32 {
+            assert_eq!(cache.lookup(&q(i, i + 1, 4)), Some(i % 2 == 0), "key {i}");
+        }
+    }
+
+    #[test]
+    fn heavy_reuse_under_threads_is_consistent() {
+        let cache = std::sync::Arc::new(ResultCache::new(256, 4));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for round in 0..200u32 {
+                        let query = q(round % 32, (round + 1) % 32, 3);
+                        let expected = (round % 32) % 2 == 0;
+                        if let Some(v) = cache.lookup(&query) {
+                            assert_eq!(v, expected);
+                        } else {
+                            cache.store(&query, expected);
+                        }
+                    }
+                });
+            }
+        });
+        let counters = cache.counters();
+        assert_eq!(counters.hits + counters.misses, 800);
+        assert!(counters.hits > 0, "32 hot keys over 800 lookups must hit");
+    }
+}

@@ -1,0 +1,525 @@
+//! The batch engine: splits a [`QueryBatch`] into chunks, fans them out over
+//! the worker pool, and reassembles answers in batch order with serving
+//! statistics.
+
+use crate::backend::Reachability;
+use crate::batch::QueryBatch;
+use crate::cache::ResultCache;
+use crate::histogram::LatencyHistogram;
+use crate::pool::{Job, WorkerPool};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads; `0` uses the number of available CPUs.
+    pub workers: usize,
+    /// Total LRU result-cache capacity across shards; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Number of independent cache shards (clamped to `[1, cache_capacity]`).
+    pub cache_shards: usize,
+    /// Queries per worker job. Small enough to balance load, large enough
+    /// that channel traffic is negligible next to query work.
+    pub chunk_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            cache_capacity: 1 << 16,
+            cache_shards: 16,
+            chunk_size: 256,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// A batch run failed before any query executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A query referenced a vertex outside the backend graph.
+    VertexOutOfRange {
+        /// Index of the offending query within the batch.
+        query_index: usize,
+        /// The offending vertex id.
+        vertex: u32,
+        /// Vertex count of the served graph.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::VertexOutOfRange {
+                query_index,
+                vertex,
+                n,
+            } => write!(
+                f,
+                "query #{query_index} references vertex {vertex}, but the graph has {n} vertices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Serving statistics for one batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Backend that answered the batch.
+    pub backend: String,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Queries answered.
+    pub queries: usize,
+    /// Wall-clock time for the whole batch, in seconds.
+    pub elapsed_secs: f64,
+    /// Throughput in queries per second.
+    pub queries_per_sec: f64,
+    /// Result-cache hits during this run.
+    pub cache_hits: u64,
+    /// Result-cache misses during this run.
+    pub cache_misses: u64,
+    /// Median per-query latency in microseconds (2×-accurate histogram).
+    pub p50_micros: f64,
+    /// 99th-percentile per-query latency in microseconds.
+    pub p99_micros: f64,
+    /// Mean per-query latency in microseconds.
+    pub mean_micros: f64,
+}
+
+impl EngineStats {
+    /// Cache hits as a fraction of all lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The stats as a single JSON object (hand-rolled; no serializer in the
+    /// hermetic build).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"backend\":\"{}\",\"workers\":{},\"queries\":{},",
+                "\"elapsed_secs\":{:.6},\"queries_per_sec\":{:.1},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},",
+                "\"p50_micros\":{:.3},\"p99_micros\":{:.3},\"mean_micros\":{:.3}}}"
+            ),
+            self.backend,
+            self.workers,
+            self.queries,
+            self.elapsed_secs,
+            self.queries_per_sec,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate(),
+            self.p50_micros,
+            self.p99_micros,
+            self.mean_micros,
+        )
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} · {} workers · {} queries in {:.3}s ({:.0} q/s) · \
+             cache {}/{} hits ({:.1}%) · p50 {:.1}µs p99 {:.1}µs",
+            self.backend,
+            self.workers,
+            self.queries,
+            self.elapsed_secs,
+            self.queries_per_sec,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            100.0 * self.cache_hit_rate(),
+            self.p50_micros,
+            self.p99_micros,
+        )
+    }
+}
+
+/// A finished batch: answers in batch order plus the run's statistics.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One answer per query, in the batch's order.
+    pub answers: Vec<bool>,
+    /// Serving statistics for the run.
+    pub stats: EngineStats,
+}
+
+/// The concurrent batch query engine.
+///
+/// Construction spawns the worker pool; [`BatchEngine::run`] then executes
+/// any number of batches against the shared backend, reusing the pool and
+/// the result cache across batches.
+pub struct BatchEngine {
+    backend: Arc<dyn Reachability>,
+    cache: Arc<ResultCache>,
+    pool: WorkerPool,
+    chunk_size: usize,
+}
+
+impl BatchEngine {
+    /// Builds an engine over `backend` with the given configuration.
+    pub fn new(backend: Arc<dyn Reachability>, config: EngineConfig) -> Self {
+        let cache = Arc::new(ResultCache::new(config.cache_capacity, config.cache_shards));
+        let pool = WorkerPool::new(config.effective_workers());
+        BatchEngine {
+            backend,
+            cache,
+            pool,
+            chunk_size: config.chunk_size.max(1),
+        }
+    }
+
+    /// Builds an engine with default configuration.
+    pub fn with_defaults(backend: Arc<dyn Reachability>) -> Self {
+        Self::new(backend, EngineConfig::default())
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The served backend.
+    pub fn backend(&self) -> &Arc<dyn Reachability> {
+        &self.backend
+    }
+
+    /// The shared result cache (its counters are cumulative across runs).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// The backend's preferred hop bound (for building batches from plain
+    /// `(s, t)` pairs).
+    pub fn default_k(&self) -> u32 {
+        self.backend.default_k()
+    }
+
+    /// Executes a batch, returning answers in batch order.
+    ///
+    /// Answers are deterministic: for a fixed backend and batch, the answer
+    /// vector is identical for every worker count and cache configuration
+    /// (the cache stores exact results, so hits and misses agree).
+    pub fn run(&self, batch: &QueryBatch) -> Result<BatchOutcome, EngineError> {
+        let n = self.backend.graph().vertex_count();
+        for (i, q) in batch.queries().iter().enumerate() {
+            let bad = if q.s.index() >= n {
+                Some(q.s.0)
+            } else if q.t.index() >= n {
+                Some(q.t.0)
+            } else {
+                None
+            };
+            if let Some(vertex) = bad {
+                return Err(EngineError::VertexOutOfRange {
+                    query_index: i,
+                    vertex,
+                    n,
+                });
+            }
+        }
+
+        let total = batch.len();
+        let counters_before = self.cache.counters();
+        let started = Instant::now();
+        let mut answers = vec![false; total];
+        let mut latencies = LatencyHistogram::new();
+
+        if total > 0 {
+            let queries = batch.shared_queries();
+            let (reply, results) = mpsc::channel();
+            let mut chunks = 0usize;
+            let mut start = 0usize;
+            while start < total {
+                let end = (start + self.chunk_size).min(total);
+                self.pool.submit(Job {
+                    queries: Arc::clone(&queries),
+                    range: start..end,
+                    backend: Arc::clone(&self.backend),
+                    cache: Arc::clone(&self.cache),
+                    reply: reply.clone(),
+                });
+                chunks += 1;
+                start = end;
+            }
+            drop(reply);
+            for _ in 0..chunks {
+                let chunk = results.recv().expect("pool workers outlive the run");
+                answers[chunk.start..chunk.start + chunk.answers.len()]
+                    .copy_from_slice(&chunk.answers);
+                latencies.merge(&chunk.latencies);
+            }
+        }
+
+        let elapsed_secs = started.elapsed().as_secs_f64();
+        let cache_delta = self.cache.counters().since(counters_before);
+        let stats = EngineStats {
+            backend: self.backend.name().to_string(),
+            workers: self.pool.workers(),
+            queries: total,
+            elapsed_secs,
+            queries_per_sec: if elapsed_secs > 0.0 {
+                total as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            cache_hits: cache_delta.hits,
+            cache_misses: cache_delta.misses,
+            p50_micros: latencies.p50_micros(),
+            p99_micros: latencies.p99_micros(),
+            mean_micros: latencies.mean_nanos() / 1e3,
+        };
+        Ok(BatchOutcome { answers, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BfsBackend, KReachBackend};
+    use crate::batch::Query;
+    use kreach_core::{BuildOptions, KReachIndex};
+    use kreach_graph::generators::GeneratorSpec;
+    use kreach_graph::traversal::khop_reachable_bfs;
+    use kreach_graph::{DiGraph, VertexId};
+
+    fn engine_over(g: &Arc<DiGraph>, k: u32, config: EngineConfig) -> BatchEngine {
+        let index = KReachIndex::build(g, k, BuildOptions::default());
+        BatchEngine::new(Arc::new(KReachBackend::new(Arc::clone(g), index)), config)
+    }
+
+    fn exhaustive_batch(g: &DiGraph, k: u32) -> QueryBatch {
+        let mut queries = Vec::new();
+        for s in g.vertices() {
+            for t in g.vertices() {
+                queries.push(Query { s, t, k });
+            }
+        }
+        QueryBatch::new(queries)
+    }
+
+    #[test]
+    fn answers_match_ground_truth_in_batch_order() {
+        let g = Arc::new(GeneratorSpec::ErdosRenyi { n: 60, m: 240 }.generate(5));
+        let k = 3;
+        let engine = engine_over(
+            &g,
+            k,
+            EngineConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        let batch = exhaustive_batch(&g, k);
+        let outcome = engine.run(&batch).expect("valid batch");
+        assert_eq!(outcome.answers.len(), batch.len());
+        for (q, &answer) in batch.queries().iter().zip(outcome.answers.iter()) {
+            assert_eq!(
+                answer,
+                khop_reachable_bfs(&g, q.s, q.t, k),
+                "({},{})",
+                q.s,
+                q.t
+            );
+        }
+        assert_eq!(outcome.stats.queries, batch.len());
+        assert!(outcome.stats.queries_per_sec > 0.0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_answers() {
+        let g = Arc::new(
+            GeneratorSpec::PowerLaw {
+                n: 120,
+                m: 500,
+                hubs: 3,
+            }
+            .generate(9),
+        );
+        let k = 4;
+        let batch = exhaustive_batch(&g, k);
+        let baseline = engine_over(
+            &g,
+            k,
+            EngineConfig {
+                workers: 1,
+                cache_capacity: 0,
+                ..Default::default()
+            },
+        )
+        .run(&batch)
+        .unwrap();
+        for workers in [2, 4, 8] {
+            let outcome = engine_over(
+                &g,
+                k,
+                EngineConfig {
+                    workers,
+                    chunk_size: 64,
+                    ..Default::default()
+                },
+            )
+            .run(&batch)
+            .unwrap();
+            assert_eq!(outcome.answers, baseline.answers, "workers = {workers}");
+            assert_eq!(outcome.stats.workers, workers);
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let g = Arc::new(GeneratorSpec::ErdosRenyi { n: 30, m: 90 }.generate(3));
+        let engine = engine_over(
+            &g,
+            3,
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let hot = Query {
+            s: VertexId(0),
+            t: VertexId(7),
+            k: 3,
+        };
+        let batch = QueryBatch::new(vec![hot; 500]);
+        let outcome = engine.run(&batch).unwrap();
+        assert!(
+            outcome.stats.cache_hits > 0,
+            "500 copies of one query must hit"
+        );
+        assert_eq!(outcome.stats.cache_hits + outcome.stats.cache_misses, 500);
+        assert!(outcome.stats.cache_hit_rate() > 0.9);
+        assert!(outcome.answers.iter().all(|&a| a == outcome.answers[0]));
+    }
+
+    #[test]
+    fn cache_disabled_still_answers_correctly() {
+        let g = Arc::new(GeneratorSpec::ErdosRenyi { n: 25, m: 70 }.generate(4));
+        let k = 2;
+        let engine = engine_over(
+            &g,
+            k,
+            EngineConfig {
+                workers: 3,
+                cache_capacity: 0,
+                ..Default::default()
+            },
+        );
+        let batch = exhaustive_batch(&g, k);
+        let outcome = engine.run(&batch).unwrap();
+        assert_eq!(outcome.stats.cache_hits, 0);
+        for (q, &answer) in batch.queries().iter().zip(outcome.answers.iter()) {
+            assert_eq!(answer, khop_reachable_bfs(&g, q.s, q.t, k));
+        }
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_outcome() {
+        let g = Arc::new(DiGraph::from_edges(3, [(0, 1)]));
+        let engine = BatchEngine::with_defaults(Arc::new(BfsBackend::new(g, 2)));
+        let outcome = engine.run(&QueryBatch::default()).unwrap();
+        assert!(outcome.answers.is_empty());
+        assert_eq!(outcome.stats.queries, 0);
+        assert_eq!(outcome.stats.p50_micros, 0.0);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_rejected_up_front() {
+        let g = Arc::new(DiGraph::from_edges(3, [(0, 1)]));
+        let engine = BatchEngine::with_defaults(Arc::new(BfsBackend::new(g, 2)));
+        let batch = QueryBatch::new(vec![
+            Query {
+                s: VertexId(0),
+                t: VertexId(1),
+                k: 2,
+            },
+            Query {
+                s: VertexId(0),
+                t: VertexId(9),
+                k: 2,
+            },
+        ]);
+        let err = engine.run(&batch).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::VertexOutOfRange {
+                query_index: 1,
+                vertex: 9,
+                n: 3
+            }
+        );
+        assert!(err.to_string().contains("query #1"));
+    }
+
+    #[test]
+    fn engine_reuses_cache_across_batches() {
+        let g = Arc::new(GeneratorSpec::ErdosRenyi { n: 20, m: 60 }.generate(8));
+        let engine = engine_over(
+            &g,
+            3,
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let batch = exhaustive_batch(&g, 3);
+        let first = engine.run(&batch).unwrap();
+        let second = engine.run(&batch).unwrap();
+        assert_eq!(first.answers, second.answers);
+        // Second pass over identical queries is answered from the cache.
+        assert_eq!(second.stats.cache_misses, 0);
+        assert_eq!(second.stats.cache_hits as usize, batch.len());
+    }
+
+    #[test]
+    fn stats_render_as_json_and_text() {
+        let g = Arc::new(DiGraph::from_edges(4, [(0, 1), (1, 2)]));
+        let engine = engine_over(
+            &g,
+            2,
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let batch = exhaustive_batch(&g, 2);
+        let stats = engine.run(&batch).unwrap().stats;
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for field in [
+            "\"backend\"",
+            "\"workers\":2",
+            "\"queries\":16",
+            "\"cache_hit_rate\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        let text = format!("{stats}");
+        assert!(text.contains("workers") && text.contains("q/s"), "{text}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Power-of-two latency histograms.
+//!
+//! Per-query timings are recorded into log₂-spaced buckets: bucket `i`
+//! covers `[2^(i-1), 2^i)` nanoseconds. That gives a worst-case quantile
+//! error of 2× across a 0 ns – 9 s range with 64 fixed counters — no
+//! allocation on the hot path and O(1) merging of per-worker histograms,
+//! which is all a serving report (p50/p99) needs.
+
+const BUCKETS: usize = 64;
+
+/// A mergeable histogram of latencies in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_nanos: u64,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(nanos: u64) -> usize {
+        // 0 → bucket 0; otherwise 1 + floor(log2(n)), clamped into range.
+        if nanos == 0 {
+            0
+        } else {
+            ((64 - nanos.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[Self::bucket_of(nanos)] += 1;
+        self.count += 1;
+        self.sum_nanos += nanos;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded observation in nanoseconds.
+    pub fn max_nanos(&self) -> u64 {
+        self.max_nanos
+    }
+
+    /// The `q`-quantile in nanoseconds, reported as the upper bound of the
+    /// bucket containing it (so accurate to within 2×). Returns 0 when empty.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket i, capped by the true maximum.
+                let upper = if i == 0 { 1 } else { 1u64 << i };
+                return upper.min(self.max_nanos.max(1));
+            }
+        }
+        self.max_nanos
+    }
+
+    /// Median latency in microseconds.
+    pub fn p50_micros(&self) -> f64 {
+        self.quantile_nanos(0.50) as f64 / 1e3
+    }
+
+    /// 99th-percentile latency in microseconds.
+    pub fn p99_micros(&self) -> f64 {
+        self.quantile_nanos(0.99) as f64 / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_nanos(0.5), 0);
+        assert_eq!(h.mean_nanos(), 0.0);
+        assert_eq!(h.max_nanos(), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(1023), 10);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_true_value_within_2x() {
+        let mut h = LatencyHistogram::new();
+        for nanos in 1..=1000u64 {
+            h.record(nanos);
+        }
+        let p50 = h.quantile_nanos(0.5);
+        // True median 500; bucket upper bound must be within [500, 1000].
+        assert!((500..=1024).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_nanos(0.99);
+        assert!((990..=1024).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile_nanos(1.0), 1000.min(h.max_nanos()));
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean_nanos() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let nanos = i * 37 % 10_000;
+            if i % 2 == 0 {
+                a.record(nanos);
+            } else {
+                b.record(nanos);
+            }
+            combined.record(nanos);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.max_nanos(), combined.max_nanos());
+        assert_eq!(a.quantile_nanos(0.5), combined.quantile_nanos(0.5));
+        assert_eq!(a.quantile_nanos(0.99), combined.quantile_nanos(0.99));
+        assert!((a.mean_nanos() - combined.mean_nanos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn micro_helpers_scale_to_microseconds() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(2_000); // 2 µs
+        }
+        assert!(
+            h.p50_micros() >= 2.0 && h.p50_micros() <= 4.1,
+            "p50 {}",
+            h.p50_micros()
+        );
+        assert!(
+            h.p99_micros() >= 2.0 && h.p99_micros() <= 4.1,
+            "p99 {}",
+            h.p99_micros()
+        );
+    }
+}

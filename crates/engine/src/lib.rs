@@ -1,0 +1,58 @@
+//! # kreach-engine
+//!
+//! A concurrent batch query engine over the K-Reach indexes: the serving
+//! layer that turns the paper's microsecond single-query latency into batch
+//! throughput.
+//!
+//! The paper (Cheng et al., *K-Reach: Who is in Your Small World*, PVLDB
+//! 2012) evaluates its index one query at a time; a production deployment
+//! instead sees large batches of `(s, t, k)` questions against one immutable
+//! index. This crate supplies that layer:
+//!
+//! * [`Reachability`] — the unified k-hop backend trait, implemented by
+//!   [`KReachBackend`] (§4 index), [`HkReachBackend`] (§5 index) and
+//!   [`BfsBackend`] (index-free online search). All are `Send + Sync` and
+//!   served as `Arc<dyn Reachability>`.
+//! * [`BatchEngine`] — a fixed pool of `std::thread` workers fed chunk jobs
+//!   over channels; answers come back **in batch order**, identical for
+//!   every worker count.
+//! * [`ResultCache`] — a sharded LRU of `(s, t, k) → bool` results with
+//!   hit/miss counters, shared by all workers and reused across batches.
+//! * [`EngineStats`] — per-run serving report: throughput, cache hit rate,
+//!   and p50/p99 latency from power-of-two histograms.
+//!
+//! ## Example
+//!
+//! ```
+//! use kreach_core::{BuildOptions, KReachIndex};
+//! use kreach_engine::{BatchEngine, EngineConfig, KReachBackend, QueryBatch};
+//! use kreach_graph::{DiGraph, VertexId};
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]));
+//! let index = KReachIndex::build(&g, 2, BuildOptions::default());
+//! let engine = BatchEngine::new(
+//!     Arc::new(KReachBackend::new(Arc::clone(&g), index)),
+//!     EngineConfig { workers: 2, ..EngineConfig::default() },
+//! );
+//! let pairs = vec![(VertexId(0), VertexId(2)), (VertexId(0), VertexId(4))];
+//! let outcome = engine.run(&QueryBatch::from_pairs(&pairs, 2)).unwrap();
+//! assert_eq!(outcome.answers, vec![true, false]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod histogram;
+mod pool;
+pub mod sweep;
+
+pub use backend::{BfsBackend, HkReachBackend, KReachBackend, Reachability};
+pub use batch::{Query, QueryBatch};
+pub use cache::{CacheCounters, ResultCache};
+pub use engine::{BatchEngine, BatchOutcome, EngineConfig, EngineError, EngineStats};
+pub use histogram::LatencyHistogram;

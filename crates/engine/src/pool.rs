@@ -1,0 +1,186 @@
+//! The fixed worker pool: plain `std::thread` workers pulling chunk jobs
+//! from a shared channel.
+//!
+//! Workers live for the lifetime of the pool (queries are microseconds, so
+//! per-batch thread spawning would dominate). Jobs carry everything they
+//! need — queries, backend, cache, reply channel — as `Arc`s/clones, so the
+//! pool itself is completely generic and a single pool serves many batches.
+
+use crate::backend::Reachability;
+use crate::batch::Query;
+use crate::cache::ResultCache;
+use crate::histogram::LatencyHistogram;
+use std::ops::Range;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One contiguous slice of a batch for a worker to answer.
+pub(crate) struct Job {
+    pub queries: Arc<Vec<Query>>,
+    pub range: Range<usize>,
+    pub backend: Arc<dyn Reachability>,
+    pub cache: Arc<ResultCache>,
+    pub reply: mpsc::Sender<ChunkResult>,
+}
+
+/// A worker's answers for one job, tagged with the chunk's start offset so
+/// the engine can reassemble results in batch order.
+pub(crate) struct ChunkResult {
+    pub start: usize,
+    pub answers: Vec<bool>,
+    pub latencies: LatencyHistogram,
+}
+
+/// A fixed-size pool of query workers.
+pub(crate) struct WorkerPool {
+    sender: Option<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least 1) waiting on the job channel.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("kreach-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while dequeuing; execution runs
+                        // unlocked so workers answer chunks concurrently.
+                        let job = match receiver.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            Ok(job) => run_job(job),
+                            Err(_) => break, // channel closed: pool dropped
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues one job.
+    pub fn submit(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("pool sender alive until drop")
+            .send(job)
+            .expect("pool workers alive until drop");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every worker's recv with Err.
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Answers every query in the job's range, consulting the cache first.
+fn run_job(job: Job) {
+    let mut answers = Vec::with_capacity(job.range.len());
+    let mut latencies = LatencyHistogram::new();
+    for query in &job.queries[job.range.clone()] {
+        let started = Instant::now();
+        let answer = match job.cache.lookup(query) {
+            Some(cached) => cached,
+            None => {
+                let computed = job.backend.query(query.s, query.t, query.k);
+                job.cache.store(query, computed);
+                computed
+            }
+        };
+        latencies.record(started.elapsed().as_nanos() as u64);
+        answers.push(answer);
+    }
+    // The engine may have stopped listening (e.g. an earlier error); a dead
+    // reply channel is not a worker error.
+    let _ = job.reply.send(ChunkResult {
+        start: job.range.start,
+        answers,
+        latencies,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BfsBackend;
+    use kreach_graph::{DiGraph, VertexId};
+
+    #[test]
+    fn pool_answers_jobs_and_shuts_down_cleanly() {
+        let g = Arc::new(DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]));
+        let backend: Arc<dyn Reachability> = Arc::new(BfsBackend::new(g, 3));
+        let queries = Arc::new(vec![
+            Query {
+                s: VertexId(0),
+                t: VertexId(3),
+                k: 3,
+            },
+            Query {
+                s: VertexId(0),
+                t: VertexId(3),
+                k: 2,
+            },
+            Query {
+                s: VertexId(3),
+                t: VertexId(0),
+                k: 3,
+            },
+            Query {
+                s: VertexId(1),
+                t: VertexId(1),
+                k: 1,
+            },
+        ]);
+        let cache = Arc::new(ResultCache::new(16, 2));
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let (reply, results) = mpsc::channel();
+        for start in [0usize, 2] {
+            pool.submit(Job {
+                queries: Arc::clone(&queries),
+                range: start..start + 2,
+                backend: Arc::clone(&backend),
+                cache: Arc::clone(&cache),
+                reply: reply.clone(),
+            });
+        }
+        drop(reply);
+        let mut answers = vec![false; 4];
+        for chunk in results.iter() {
+            answers[chunk.start..chunk.start + chunk.answers.len()].copy_from_slice(&chunk.answers);
+        }
+        assert_eq!(answers, vec![true, false, false, true]);
+        drop(pool); // joins workers; must not hang
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+}

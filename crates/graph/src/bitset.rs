@@ -18,7 +18,10 @@ pub struct FixedBitSet {
 impl FixedBitSet {
     /// Creates a bitset able to hold `len` bits, all initially clear.
     pub fn new(len: usize) -> Self {
-        FixedBitSet { words: vec![0; len.div_ceil(WORD_BITS)], len }
+        FixedBitSet {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
     }
 
     /// Number of bits the set can hold.

@@ -17,12 +17,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder with capacity for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of vertices the resulting graph will have.

@@ -32,9 +32,14 @@ impl DiGraph {
     /// Panics (in debug builds) if the edges are not sorted and unique, or if
     /// an endpoint is `>= n`.
     pub fn from_sorted_unique_edges(n: usize, edges: &[(u32, u32)]) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted and unique");
         debug_assert!(
-            edges.iter().all(|&(u, v)| (u as usize) < n && (v as usize) < n),
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be sorted and unique"
+        );
+        debug_assert!(
+            edges
+                .iter()
+                .all(|&(u, v)| (u as usize) < n && (v as usize) < n),
             "edge endpoint out of range"
         );
         let m = edges.len();
@@ -64,7 +69,12 @@ impl DiGraph {
             cursor[v as usize] += 1;
         }
 
-        DiGraph { out_offsets, out_targets, in_offsets, in_sources }
+        DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
     }
 
     /// Builds a graph from an arbitrary edge list (sorts, dedups, drops self-loops).
@@ -93,7 +103,8 @@ impl DiGraph {
 
     /// Iterator over all edges in `(source, target)` order.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.vertices().flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+        self.vertices()
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// `outNei(v, G)`: out-neighbours of `v`, sorted by id.

@@ -30,7 +30,7 @@ pub fn hub_forest<R: Rng + ?Sized>(n: usize, m: usize, hubs: usize, rng: &mut R)
     // single hub touching ~40% of the vertices). Hub 0 is seeded with extra
     // weight so one dominant hub emerges deterministically.
     let mut hub_targets: Vec<u32> = (0..hubs as u32).collect();
-    hub_targets.extend(std::iter::repeat(0u32).take(hubs));
+    hub_targets.extend(std::iter::repeat_n(0u32, hubs));
 
     for v in hubs as u32..n as u32 {
         let hub = hub_targets[rng.gen_range(0..hub_targets.len())];
@@ -79,7 +79,10 @@ mod tests {
         let g = hub_forest(1000, 1000, hubs, &mut rng);
         // With no extra budget beyond the backbone, every edge is hub–leaf.
         for (u, v) in g.edges() {
-            assert!(u.index() < hubs || v.index() < hubs, "edge ({u},{v}) misses all hubs");
+            assert!(
+                u.index() < hubs || v.index() < hubs,
+                "edge ({u},{v}) misses all hubs"
+            );
         }
     }
 
@@ -100,7 +103,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(73);
         let g = hub_forest(1500, 2100, 45, &mut rng);
         let (_, mu) = distance_profile(&g, StatsConfig::default());
-        assert!(mu <= 4, "hub forests have leaf-hub-leaf distances, got µ = {mu}");
+        assert!(
+            mu <= 4,
+            "hub forests have leaf-hub-leaf distances, got µ = {mu}"
+        );
     }
 
     #[test]
@@ -109,7 +115,11 @@ mod tests {
         let g = hub_forest(800, 1200, 25, &mut rng);
         assert_eq!(g.vertex_count(), 800);
         assert!(g.edge_count() <= 1200);
-        assert!(g.edge_count() >= 1000, "edge count {} too far below budget", g.edge_count());
+        assert!(
+            g.edge_count() >= 1000,
+            "edge count {} too far below budget",
+            g.edge_count()
+        );
         assert!(g.degree(VertexId(0)) > 0);
     }
 

@@ -117,7 +117,11 @@ mod tests {
     fn edge_budget_is_approximately_met() {
         let mut rng = StdRng::seed_from_u64(23);
         let g = layered_dag(1000, 4000, 12, 0.1, &mut rng);
-        assert!(g.edge_count() > 3000, "edge count {} too far below budget", g.edge_count());
+        assert!(
+            g.edge_count() > 3000,
+            "edge count {} too far below budget",
+            g.edge_count()
+        );
         assert!(g.edge_count() <= 4000);
     }
 

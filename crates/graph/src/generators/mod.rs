@@ -92,12 +92,17 @@ impl GeneratorSpec {
             GeneratorSpec::ErdosRenyi { n, m } => erdos_renyi(n, m, &mut rng),
             GeneratorSpec::PowerLaw { n, m, hubs } => power_law(n, m, hubs, &mut rng),
             GeneratorSpec::HubForest { n, m, hubs } => hub_forest(n, m, hubs, &mut rng),
-            GeneratorSpec::LayeredDag { n, m, layers, back_edge_fraction } => {
-                layered_dag(n, m, layers, back_edge_fraction, &mut rng)
-            }
-            GeneratorSpec::SmallWorld { n, degree, rewire_probability } => {
-                small_world(n, degree, rewire_probability, &mut rng)
-            }
+            GeneratorSpec::LayeredDag {
+                n,
+                m,
+                layers,
+                back_edge_fraction,
+            } => layered_dag(n, m, layers, back_edge_fraction, &mut rng),
+            GeneratorSpec::SmallWorld {
+                n,
+                degree,
+                rewire_probability,
+            } => small_world(n, degree, rewire_probability, &mut rng),
         }
     }
 
@@ -119,7 +124,11 @@ mod tests {
 
     #[test]
     fn spec_generation_is_deterministic() {
-        let spec = GeneratorSpec::PowerLaw { n: 500, m: 2000, hubs: 5 };
+        let spec = GeneratorSpec::PowerLaw {
+            n: 500,
+            m: 2000,
+            hubs: 5,
+        };
         let a = spec.generate(7);
         let b = spec.generate(7);
         assert_eq!(a, b);
@@ -131,7 +140,12 @@ mod tests {
     fn spec_reports_vertex_count() {
         assert_eq!(GeneratorSpec::ErdosRenyi { n: 10, m: 5 }.vertex_count(), 10);
         assert_eq!(
-            GeneratorSpec::SmallWorld { n: 42, degree: 3, rewire_probability: 0.1 }.vertex_count(),
+            GeneratorSpec::SmallWorld {
+                n: 42,
+                degree: 3,
+                rewire_probability: 0.1
+            }
+            .vertex_count(),
             42
         );
     }

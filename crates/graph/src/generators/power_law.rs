@@ -33,7 +33,11 @@ pub fn power_law<R: Rng + ?Sized>(n: usize, m: usize, hubs: usize, rng: &mut R) 
 
     for v in 1..n as u32 {
         let other = targets[rng.gen_range(0..targets.len())];
-        let other = if other == v { (v + 1) % n as u32 } else { other };
+        let other = if other == v {
+            (v + 1) % n as u32
+        } else {
+            other
+        };
         // Randomize direction so both in- and out-degree distributions are skewed.
         if rng.gen_bool(0.5) {
             builder.add_edge(v, other);
@@ -80,7 +84,11 @@ mod tests {
         let g = power_law(1000, 5000, 10, &mut rng);
         assert_eq!(g.vertex_count(), 1000);
         // Deduplication and skipped self-pairs lose a few edges; stay within 15%.
-        assert!(g.edge_count() > 4250, "edge count too low: {}", g.edge_count());
+        assert!(
+            g.edge_count() > 4250,
+            "edge count too low: {}",
+            g.edge_count()
+        );
         assert!(g.edge_count() <= 5000);
     }
 
@@ -89,8 +97,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let hubs = 5usize;
         let g = power_law(2000, 10_000, hubs, &mut rng);
-        let mut degs: Vec<usize> = (0..g.vertex_count()).map(|v| g.degree(VertexId(v as u32))).collect();
-        let hub_min = (0..hubs).map(|v| g.degree(VertexId(v as u32))).min().unwrap();
+        let mut degs: Vec<usize> = (0..g.vertex_count())
+            .map(|v| g.degree(VertexId(v as u32)))
+            .collect();
+        let hub_min = (0..hubs)
+            .map(|v| g.degree(VertexId(v as u32)))
+            .min()
+            .unwrap();
         degs.sort_unstable();
         let median = degs[degs.len() / 2];
         assert!(

@@ -55,7 +55,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let g = small_world(200, 2, 0.0, &mut rng);
         let (d, _) = distance_profile(&g, StatsConfig::default());
-        assert!(d >= 90, "pure ring of 200 with degree 2 should have diameter ~100, got {d}");
+        assert!(
+            d >= 90,
+            "pure ring of 200 with degree 2 should have diameter ~100, got {d}"
+        );
     }
 
     #[test]
@@ -75,7 +78,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(33);
         let g = small_world(100, 4, 0.1, &mut rng);
         assert!(g.edge_count() <= 400);
-        assert!(g.edge_count() >= 350, "few edges should be lost: {}", g.edge_count());
+        assert!(
+            g.edge_count() >= 350,
+            "few edges should be lost: {}",
+            g.edge_count()
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl IntervalList {
     /// # Panics
     /// Debug-asserts that the input is sorted and unique.
     pub fn from_sorted_ids(ids: &[u32]) -> Self {
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted and unique");
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be sorted and unique"
+        );
         let mut ranges: Vec<(u32, u32)> = Vec::new();
         for &id in ids {
             match ranges.last_mut() {
@@ -151,7 +154,10 @@ mod tests {
         for i in [3usize, 4, 5, 90] {
             bs.insert(i);
         }
-        assert_eq!(IntervalList::from_bitset(&bs), IntervalList::from_sorted_ids(&[3, 4, 5, 90]));
+        assert_eq!(
+            IntervalList::from_bitset(&bs),
+            IntervalList::from_sorted_ids(&[3, 4, 5, 90])
+        );
     }
 
     #[test]

@@ -55,7 +55,12 @@ pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<DiGraph> {
 /// Writes a graph as an edge list.
 pub fn write_edge_list<W: Write>(g: &DiGraph, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# {} vertices, {} edges", g.vertex_count(), g.edge_count())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{} {}", u.0, v.0)?;
     }

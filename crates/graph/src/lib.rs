@@ -78,7 +78,10 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex id {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex id {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")

@@ -39,7 +39,10 @@ pub struct StatsConfig {
 
 impl Default for StatsConfig {
     fn default() -> Self {
-        StatsConfig { sample_sources: 512, seed: 0x5eed_0001 }
+        StatsConfig {
+            sample_sources: 512,
+            seed: 0x5eed_0001,
+        }
     }
 }
 
@@ -127,7 +130,7 @@ pub fn h_index(g: &DiGraph) -> usize {
     degs.sort_unstable_by(|a, b| b.cmp(a));
     let mut h = 0;
     for (i, &d) in degs.iter().enumerate() {
-        if d >= i + 1 {
+        if d > i {
             h = i + 1;
         } else {
             break;
@@ -183,8 +186,20 @@ mod tests {
     #[test]
     fn sampled_profile_is_close_to_exact_on_small_graph() {
         let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-        let exact = distance_profile(&g, StatsConfig { sample_sources: 1000, seed: 1 });
-        let sampled = distance_profile(&g, StatsConfig { sample_sources: 3, seed: 1 });
+        let exact = distance_profile(
+            &g,
+            StatsConfig {
+                sample_sources: 1000,
+                seed: 1,
+            },
+        );
+        let sampled = distance_profile(
+            &g,
+            StatsConfig {
+                sample_sources: 3,
+                seed: 1,
+            },
+        );
         assert_eq!(exact.0, 5);
         assert!(sampled.0 <= exact.0);
     }

@@ -107,7 +107,10 @@ pub fn strongly_connected_components(g: &DiGraph) -> SccResult {
         }
     }
 
-    SccResult { component, component_count: component_count as usize }
+    SccResult {
+        component,
+        component_count: component_count as usize,
+    }
 }
 
 /// The condensation of a graph: each SCC collapsed to a single super-vertex.
@@ -130,7 +133,10 @@ impl Condensation {
                 builder.add_edge(cu, cv);
             }
         }
-        Condensation { dag: builder.build(), scc }
+        Condensation {
+            dag: builder.build(),
+            scc,
+        }
     }
 
     /// Maps an original vertex to its DAG super-vertex.
@@ -189,10 +195,22 @@ mod tests {
     fn condensation_is_acyclic_and_preserves_reachability() {
         let g = DiGraph::from_edges(
             7,
-            [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5), (5, 6)],
+            [
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 2),
+                (4, 5),
+                (5, 6),
+            ],
         );
         let cond = Condensation::new(&g);
-        assert!(topological_sort(&cond.dag).is_some(), "condensation must be a DAG");
+        assert!(
+            topological_sort(&cond.dag).is_some(),
+            "condensation must be a DAG"
+        );
         // Reachability between vertices is preserved through the mapping.
         for s in 0..7u32 {
             for t in 0..7u32 {

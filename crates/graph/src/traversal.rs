@@ -21,7 +21,7 @@ pub enum Direction {
 
 impl Direction {
     #[inline]
-    fn neighbors<'g>(self, g: &'g DiGraph, v: VertexId) -> &'g [VertexId] {
+    fn neighbors(self, g: &DiGraph, v: VertexId) -> &[VertexId] {
         match self {
             Direction::Forward => g.out_neighbors(v),
             Direction::Backward => g.in_neighbors(v),
@@ -63,13 +63,23 @@ impl BfsResult {
 
     /// Iterator over `(vertex, distance)` pairs for every reached vertex.
     pub fn reached_with_distance(&self) -> impl Iterator<Item = (VertexId, u32)> + '_ {
-        self.order.iter().map(move |&v| (v, self.dist[v.index()].expect("reached vertex has distance")))
+        self.order.iter().map(move |&v| {
+            (
+                v,
+                self.dist[v.index()].expect("reached vertex has distance"),
+            )
+        })
     }
 }
 
 /// Breadth-first search from `source`, following `direction`, visiting only
 /// vertices within `max_hops` hops (`None` = unbounded, i.e. classic BFS).
-pub fn bfs(g: &DiGraph, source: VertexId, direction: Direction, max_hops: Option<u32>) -> BfsResult {
+pub fn bfs(
+    g: &DiGraph,
+    source: VertexId,
+    direction: Direction,
+    max_hops: Option<u32>,
+) -> BfsResult {
     let n = g.vertex_count();
     let mut dist = vec![None; n];
     let mut order = Vec::new();
@@ -195,9 +205,21 @@ pub fn khop_reachable_bidirectional(g: &DiGraph, s: VertexId, t: VertexId, k: u3
         };
         debug_assert!(k - (used_f + used_b) >= 1);
         let (frontier, dist_mine, dist_other, used, dir) = if forward {
-            (&mut frontier_f, &mut dist_f, &dist_b, &mut used_f, Direction::Forward)
+            (
+                &mut frontier_f,
+                &mut dist_f,
+                &dist_b,
+                &mut used_f,
+                Direction::Forward,
+            )
         } else {
-            (&mut frontier_b, &mut dist_b, &dist_f, &mut used_b, Direction::Backward)
+            (
+                &mut frontier_b,
+                &mut dist_b,
+                &dist_f,
+                &mut used_b,
+                Direction::Backward,
+            )
         };
         let mut next = Vec::new();
         for &u in frontier.iter() {
@@ -252,8 +274,7 @@ where
     // Explicit stack of (vertex, next-child-index, children).
     let mut stack: Vec<(VertexId, usize, Vec<VertexId>)> = Vec::new();
 
-    let all_roots: Vec<VertexId> =
-        roots.iter().copied().chain(g.vertices()).collect();
+    let all_roots: Vec<VertexId> = roots.iter().copied().chain(g.vertices()).collect();
 
     for root in all_roots {
         if discovery[root.index()] != u32::MAX {
@@ -278,16 +299,21 @@ where
             }
         }
     }
-    DfsForest { discovery, finish, postorder }
+    DfsForest {
+        discovery,
+        finish,
+        postorder,
+    }
 }
 
 /// Topological order of a DAG (Kahn's algorithm). Returns `None` if the graph
 /// contains a cycle.
 pub fn topological_sort(g: &DiGraph) -> Option<Vec<VertexId>> {
     let n = g.vertex_count();
-    let mut indeg: Vec<u32> = (0..n).map(|v| g.in_degree(VertexId(v as u32)) as u32).collect();
-    let mut queue: VecDeque<VertexId> =
-        g.vertices().filter(|&v| indeg[v.index()] == 0).collect();
+    let mut indeg: Vec<u32> = (0..n)
+        .map(|v| g.in_degree(VertexId(v as u32)) as u32)
+        .collect();
+    let mut queue: VecDeque<VertexId> = g.vertices().filter(|&v| indeg[v.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(u) = queue.pop_front() {
         order.push(u);
@@ -498,9 +524,24 @@ mod tests {
         let small = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
         let large = DiGraph::from_edges(10, (0..9u32).map(|i| (i, i + 1)));
         let mut explorer = NeighborhoodExplorer::new();
-        assert_eq!(explorer.explore(&small, VertexId(0), 5, Direction::Forward).len(), 3);
-        assert_eq!(explorer.explore(&large, VertexId(0), 2, Direction::Forward).len(), 3);
-        assert_eq!(explorer.explore(&large, VertexId(0), 20, Direction::Forward).len(), 10);
+        assert_eq!(
+            explorer
+                .explore(&small, VertexId(0), 5, Direction::Forward)
+                .len(),
+            3
+        );
+        assert_eq!(
+            explorer
+                .explore(&large, VertexId(0), 2, Direction::Forward)
+                .len(),
+            3
+        );
+        assert_eq!(
+            explorer
+                .explore(&large, VertexId(0), 20, Direction::Forward)
+                .len(),
+            10
+        );
     }
 
     #[test]

@@ -1,14 +1,12 @@
 //! Dense vertex identifiers.
 
-use serde::{Deserialize, Serialize};
-
 /// A dense vertex identifier in `0..n`.
 ///
 /// The paper indexes vertices by integer ids; we keep them as `u32` because
 /// every dataset in the evaluation (Table 2) has fewer than 2^32 vertices and
 /// halving the id width keeps adjacency arrays, cover bitmaps and index edges
 /// compact (see "Smaller Integers" guidance for hot types).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VertexId(pub u32);
 
 impl VertexId {

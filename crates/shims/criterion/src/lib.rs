@@ -1,0 +1,208 @@
+//! Minimal offline stand-in for the `criterion` benchmark crate.
+//!
+//! The hermetic build has no crates.io access, so this crate provides just
+//! enough of criterion's API for the workspace's benches to compile and run
+//! under `cargo bench`: [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing is a fixed-budget loop reporting mean wall-clock time per
+//! iteration — adequate for eyeballing relative cost, with none of real
+//! criterion's statistics, warm-up modeling, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: a name plus an optional
+/// parameter rendered as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs closures under a small timing loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_nanos: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to touch caches and faults.
+        black_box(routine());
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        while started.elapsed() < budget {
+            black_box(routine());
+            iterations += 1;
+        }
+        self.iterations = iterations.max(1);
+        self.mean_nanos = started.elapsed().as_nanos() as f64 / self.iterations as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the fixed-budget loop ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the fixed-budget loop ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` under a [`Bencher`] and prints the mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&self.name, &id.id, &b);
+        self
+    }
+
+    /// Like `bench_function`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&self.name, &id.id, &b);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    let (value, unit) = if b.mean_nanos >= 1e9 {
+        (b.mean_nanos / 1e9, "s")
+    } else if b.mean_nanos >= 1e6 {
+        (b.mean_nanos / 1e6, "ms")
+    } else if b.mean_nanos >= 1e3 {
+        (b.mean_nanos / 1e3, "µs")
+    } else {
+        (b.mean_nanos, "ns")
+    };
+    println!(
+        "{group}/{id}: {value:.2} {unit}/iter ({} iterations)",
+        b.iterations
+    );
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup { name }
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        assert!(b.iterations >= 1);
+        assert!(b.mean_nanos > 0.0);
+    }
+
+    #[test]
+    fn ids_render_with_parameters() {
+        let id = BenchmarkId::new("k-reach", 6);
+        assert_eq!(id.id, "k-reach/6");
+        let plain: BenchmarkId = "solo".into();
+        assert_eq!(plain.id, "solo");
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut ran = 0;
+        group.sample_size(10).bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| black_box(0u64));
+        });
+        group.bench_with_input(BenchmarkId::new("with-input", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -11,12 +11,14 @@ fn main() {
     // A CiteSeer-shaped citation DAG (scaled down for a quick run).
     let spec = spec_by_name("CiteSeer").expect("dataset spec").scaled(4);
     let g = spec.generate(3);
-    println!("citation graph: {} papers, {} citations", g.vertex_count(), g.edge_count());
-
-    let stats = kreach::graph::metrics::graph_stats(
-        &g,
-        kreach::graph::metrics::StatsConfig::default(),
+    println!(
+        "citation graph: {} papers, {} citations",
+        g.vertex_count(),
+        g.edge_count()
     );
+
+    let stats =
+        kreach::graph::metrics::graph_stats(&g, kreach::graph::metrics::StatsConfig::default());
     println!(
         "diameter {} and median citation distance {} (paper-shaped: deep, acyclic)",
         stats.diameter, stats.median_shortest_path
@@ -26,7 +28,13 @@ fn main() {
     let transitive = KReachIndex::for_classic_reachability(&g, BuildOptions::default());
     let close = KReachIndex::build(&g, 2, BuildOptions::default());
 
-    let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 50_000, seed: 17 });
+    let workload = QueryWorkload::uniform(
+        &g,
+        WorkloadConfig {
+            queries: 50_000,
+            seed: 17,
+        },
+    );
     let transitive_rate = workload.fraction_where(|s, t| transitive.query(&g, s, t));
     let close_rate = workload.fraction_where(|s, t| close.query(&g, s, t));
     println!(
@@ -55,9 +63,15 @@ fn main() {
         let b = hkreach.query(&g, s, t);
         let c = dist.khop_reachable(s, t, k);
         assert_eq!(a, b, "k-reach and (h,k)-reach disagree on ({s},{t})");
-        assert_eq!(a, c, "k-reach and the distance labeling disagree on ({s},{t})");
+        assert_eq!(
+            a, c,
+            "k-reach and the distance labeling disagree on ({s},{t})"
+        );
     }
-    println!("cross-checked {} pairs across k-reach, (2,{k})-reach and the distance labeling", sample.len());
+    println!(
+        "cross-checked {} pairs across k-reach, (2,{k})-reach and the distance labeling",
+        sample.len()
+    );
 
     // Which case of Algorithm 2 do citation queries fall into?
     let counts = workload.case_distribution(|s, t| kreach.classify(s, t).number());

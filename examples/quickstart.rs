@@ -11,7 +11,11 @@ use kreach::prelude::*;
 fn main() {
     // The ten-vertex graph of Figure 1.
     let g = paper_example::paper_example_graph();
-    println!("example graph: {} vertices, {} edges", g.vertex_count(), g.edge_count());
+    println!(
+        "example graph: {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    );
 
     // Build a 3-reach index with the degree-prioritized vertex cover.
     let index = KReachIndex::build(&g, 3, BuildOptions::default());

@@ -20,13 +20,20 @@ fn main() {
     }
     .generate(99);
     let base_station = VertexId(0);
-    println!("sensor mesh: {} nodes, {} directed links", g.vertex_count(), g.edge_count());
+    println!(
+        "sensor mesh: {} nodes, {} directed links",
+        g.vertex_count(),
+        g.edge_count()
+    );
 
     // Per-hop delivery probability 0.7: after k hops the delivery probability
     // is 0.7^k, so beyond ~6 hops a broadcast is effectively lost.
     let per_hop = 0.7f64;
     let exact = ExactMultiKReach::build(&g, 8, BuildOptions::default());
-    println!("built exact i-reach indexes for i = 1..=8 ({} bytes total)", exact.size_bytes());
+    println!(
+        "built exact i-reach indexes for i = 1..=8 ({} bytes total)",
+        exact.size_bytes()
+    );
 
     for k in [1u32, 2, 4, 6, 8] {
         let reached = g

@@ -38,18 +38,28 @@ fn main() {
     );
 
     // ... and measure the influence sphere of the celebrity.
-    let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 20_000, seed: 7 });
+    let workload = QueryWorkload::uniform(
+        &g,
+        WorkloadConfig {
+            queries: 20_000,
+            seed: 7,
+        },
+    );
     let targets: Vec<VertexId> = workload.pairs().iter().map(|&(_, t)| t).collect();
 
     let started = Instant::now();
-    let reached_index: usize =
-        targets.iter().filter(|&&t| index.query(&g, celebrity, t)).count();
+    let reached_index: usize = targets
+        .iter()
+        .filter(|&&t| index.query(&g, celebrity, t))
+        .count();
     let index_time = started.elapsed();
 
     let bfs = OnlineBfs::new(&g);
     let started = Instant::now();
-    let reached_bfs: usize =
-        targets.iter().filter(|&&t| bfs.khop_reachable(celebrity, t, 3)).count();
+    let reached_bfs: usize = targets
+        .iter()
+        .filter(|&&t| bfs.khop_reachable(celebrity, t, 3))
+        .count();
     let bfs_time = started.elapsed();
 
     assert_eq!(reached_index, reached_bfs, "index and BFS must agree");
@@ -67,7 +77,10 @@ fn main() {
     // Influence decays with k: show the sphere size for k = 1..=4.
     for k in 1..=4u32 {
         let idx = KReachIndex::build(&g, k, BuildOptions::default());
-        let reach = targets.iter().filter(|&&t| idx.query(&g, celebrity, t)).count();
+        let reach = targets
+            .iter()
+            .filter(|&&t| idx.query(&g, celebrity, t))
+            .count();
         println!(
             "  influence sphere at k={k}: {:.1}% of sampled users",
             100.0 * reach as f64 / targets.len() as f64

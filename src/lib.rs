@@ -16,6 +16,8 @@
 //!   and a 2-hop distance labeling.
 //! * [`datasets`] ([`kreach_datasets`]) — synthetic stand-ins for the 15
 //!   evaluation datasets and the random query workloads.
+//! * [`engine`] ([`kreach_engine`]) — the serving layer: a concurrent batch
+//!   query engine with a fixed worker pool and a sharded LRU result cache.
 //!
 //! ## Example
 //!
@@ -36,15 +38,23 @@
 pub use kreach_baselines as baselines;
 pub use kreach_core as core;
 pub use kreach_datasets as datasets;
+pub use kreach_engine as engine;
 pub use kreach_graph as graph;
 
 /// The most commonly used items from every workspace crate.
+///
+/// The engine's backend trait is deliberately *not* glob-exported here: it
+/// shares the name `Reachability` with the classic-reachability baseline
+/// trait. Engine users import from [`crate::engine`] explicitly.
 pub mod prelude {
     pub use kreach_baselines::{
         BidirectionalBfs, DistanceIndex, Grail, IntervalTransitiveClosure, KHopReachability,
         OnlineBfs, Reachability, TreeCover,
     };
     pub use kreach_core::prelude::*;
-    pub use kreach_datasets::{all_specs, spec_by_name, DatasetSpec, QueryWorkload, WorkloadConfig};
+    pub use kreach_datasets::{
+        all_specs, spec_by_name, DatasetSpec, QueryWorkload, WorkloadConfig,
+    };
+    pub use kreach_engine::{BatchEngine, EngineConfig, EngineStats, Query, QueryBatch};
     pub use kreach_graph::{DiGraph, GraphBuilder, VertexId};
 }

@@ -10,11 +10,24 @@
 //! * `kreach query <index-file> <edge-list> <s> <t>` — load an index and
 //!   answer `s →k t`, printing the certificate returned by
 //!   [`kreach::core::kreach::KReachIndex::explain`].
+//! * `kreach workload <edge-list> --queries N --output <file> [--seed S] [--k K]`
+//!   — generate a uniform random query workload file for batch serving.
+//! * `kreach batch <index-file> <edge-list> <queries-file> [--workers N] [--cache C]`
+//!   — answer a whole workload through the concurrent batch engine; answers
+//!   print to stdout (byte-identical for every worker count), the
+//!   [`EngineStats`] serving report goes to stderr.
+//! * `kreach bench-serve [--dataset D] [--scale F] [--k K] [--queries N] [--workers a,b,..]`
+//!   — build an index over a generated dataset, sweep worker counts over one
+//!   workload, and emit throughput (queries/sec) as JSON.
+//!
+//! Unknown `--flags` are rejected with an error rather than ignored.
 
 use kreach::core::kreach::QueryWitness;
 use kreach::core::storage;
+use kreach::engine::{BatchEngine, EngineConfig, KReachBackend, QueryBatch};
 use kreach::prelude::*;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +52,9 @@ fn run(args: &[String]) -> Result<String, String> {
         Some("generate") => cmd_generate(&collect_rest(args)),
         Some("build") => cmd_build(&collect_rest(args)),
         Some("query") => cmd_query(&collect_rest(args)),
+        Some("workload") => cmd_workload(&collect_rest(args)),
+        Some("batch") => cmd_batch(&collect_rest(args)),
+        Some("bench-serve") => cmd_bench_serve(&collect_rest(args)),
         Some("--help") | Some("-h") | None => Ok(usage().to_string()),
         Some(other) => Err(format!("unknown subcommand {other:?}")),
     }
@@ -53,7 +69,13 @@ fn usage() -> &'static str {
      \x20 kreach stats <edge-list>\n\
      \x20 kreach generate <dataset> --output <file> [--scale F] [--seed S]\n\
      \x20 kreach build <edge-list> --k <K> --output <index-file> [--cover random|degree]\n\
-     \x20 kreach query <index-file> <edge-list> <s> <t>"
+     \x20 kreach query <index-file> <edge-list> <s> <t>\n\
+     \x20 kreach workload <edge-list> --queries <N> --output <file> [--seed S] [--k K]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--hot N] [--hot-fraction F]\n\
+     \x20 kreach batch <index-file> <edge-list> <queries-file> [--workers N] [--cache C]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--default-k K] [--stats-json <file>]\n\
+     \x20 kreach bench-serve [--dataset D] [--scale F] [--k K] [--queries N]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--workers a,b,..] [--cache C] [--seed S]"
 }
 
 /// Pulls the value following `flag` out of `args`, if present.
@@ -66,6 +88,28 @@ fn flag_value<'a>(args: &[&'a str], flag: &str) -> Result<Option<&'a str>, Strin
             .map(Some)
             .ok_or_else(|| format!("flag {flag} requires a value")),
     }
+}
+
+/// Rejects any `--flag` token not in `allowed` (every flag takes a value, so
+/// the token after a known flag is skipped as its value).
+fn ensure_known_flags(args: &[&str], allowed: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i];
+        if a.starts_with("--") {
+            if !allowed.contains(&a) {
+                return Err(if allowed.is_empty() {
+                    format!("unknown flag {a:?} (this subcommand takes no flags)")
+                } else {
+                    format!("unknown flag {a:?} (allowed: {})", allowed.join(", "))
+                });
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(())
 }
 
 /// The positional (non-flag, non-flag-value) arguments.
@@ -91,19 +135,29 @@ fn parse_number<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, Strin
 where
     T::Err: std::fmt::Display,
 {
-    text.parse().map_err(|e| format!("invalid {what} {text:?}: {e}"))
+    text.parse()
+        .map_err(|e| format!("invalid {what} {text:?}: {e}"))
+}
+
+fn parse_flag_or<T: std::str::FromStr>(args: &[&str], flag: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, flag)? {
+        Some(v) => parse_number(v, flag),
+        None => Ok(default),
+    }
 }
 
 fn cmd_stats(args: &[&str]) -> Result<String, String> {
+    ensure_known_flags(args, &[])?;
     let paths = positionals(args);
     let [path] = paths.as_slice() else {
         return Err("stats expects exactly one edge-list path".to_string());
     };
     let g = kreach::graph::io::read_edge_list_file(path).map_err(|e| e.to_string())?;
-    let stats = kreach::graph::metrics::graph_stats(
-        &g,
-        kreach::graph::metrics::StatsConfig::default(),
-    );
+    let stats =
+        kreach::graph::metrics::graph_stats(&g, kreach::graph::metrics::StatsConfig::default());
     Ok(format!(
         "graph {path}\n\
          |V|      {}\n\
@@ -124,19 +178,14 @@ fn cmd_stats(args: &[&str]) -> Result<String, String> {
 }
 
 fn cmd_generate(args: &[&str]) -> Result<String, String> {
+    ensure_known_flags(args, &["--scale", "--seed", "--output"])?;
     let names = positionals(args);
     let [name] = names.as_slice() else {
         return Err("generate expects exactly one dataset name".to_string());
     };
     let spec = spec_by_name(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
-    let scale: usize = match flag_value(args, "--scale")? {
-        Some(v) => parse_number(v, "--scale")?,
-        None => 1,
-    };
-    let seed: u64 = match flag_value(args, "--seed")? {
-        Some(v) => parse_number(v, "--seed")?,
-        None => 42,
-    };
+    let scale: usize = parse_flag_or(args, "--scale", 1)?;
+    let seed: u64 = parse_flag_or(args, "--seed", 42)?;
     let output = flag_value(args, "--output")?.ok_or("generate requires --output <file>")?;
     let g = spec.scaled(scale).generate(seed);
     kreach::graph::io::write_edge_list_file(&g, output).map_err(|e| e.to_string())?;
@@ -150,19 +199,34 @@ fn cmd_generate(args: &[&str]) -> Result<String, String> {
 }
 
 fn cmd_build(args: &[&str]) -> Result<String, String> {
+    ensure_known_flags(args, &["--k", "--output", "--cover"])?;
     let paths = positionals(args);
     let [path] = paths.as_slice() else {
         return Err("build expects exactly one edge-list path".to_string());
     };
-    let k: u32 = parse_number(flag_value(args, "--k")?.ok_or("build requires --k <K>")?, "--k")?;
+    let k: u32 = parse_number(
+        flag_value(args, "--k")?.ok_or("build requires --k <K>")?,
+        "--k",
+    )?;
     let output = flag_value(args, "--output")?.ok_or("build requires --output <index-file>")?;
     let strategy = match flag_value(args, "--cover")? {
         None | Some("degree") => CoverStrategy::DegreePriority,
         Some("random") => CoverStrategy::RandomEdge,
-        Some(other) => return Err(format!("unknown cover strategy {other:?} (use random|degree)")),
+        Some(other) => {
+            return Err(format!(
+                "unknown cover strategy {other:?} (use random|degree)"
+            ))
+        }
     };
     let g = kreach::graph::io::read_edge_list_file(path).map_err(|e| e.to_string())?;
-    let index = KReachIndex::build(&g, k, BuildOptions { cover_strategy: strategy, threads: 0 });
+    let index = KReachIndex::build(
+        &g,
+        k,
+        BuildOptions {
+            cover_strategy: strategy,
+            threads: 0,
+        },
+    );
     storage::save_kreach(&index, output).map_err(|e| e.to_string())?;
     Ok(format!(
         "built {k}-reach index for {path}: cover {} vertices, {} index edges, {} bytes -> {output}\n",
@@ -173,6 +237,7 @@ fn cmd_build(args: &[&str]) -> Result<String, String> {
 }
 
 fn cmd_query(args: &[&str]) -> Result<String, String> {
+    ensure_known_flags(args, &[])?;
     let pos = positionals(args);
     let [index_path, graph_path, s, t] = pos.as_slice() else {
         return Err("query expects <index-file> <edge-list> <s> <t>".to_string());
@@ -187,8 +252,189 @@ fn cmd_query(args: &[&str]) -> Result<String, String> {
     let k = index.k();
     match index.explain(&g, s, t) {
         None => Ok(format!("{s} does NOT reach {t} within {k} hops\n")),
-        Some(witness) => Ok(format!("{s} reaches {t} within {k} hops ({})\n", describe(witness))),
+        Some(witness) => Ok(format!(
+            "{s} reaches {t} within {k} hops ({})\n",
+            describe(witness)
+        )),
     }
+}
+
+fn cmd_workload(args: &[&str]) -> Result<String, String> {
+    ensure_known_flags(
+        args,
+        &[
+            "--queries",
+            "--seed",
+            "--k",
+            "--output",
+            "--hot",
+            "--hot-fraction",
+        ],
+    )?;
+    let paths = positionals(args);
+    let [path] = paths.as_slice() else {
+        return Err("workload expects exactly one edge-list path".to_string());
+    };
+    let queries: usize = parse_flag_or(args, "--queries", 1000)?;
+    let seed: u64 = parse_flag_or(args, "--seed", 42)?;
+    let k: Option<u32> = match flag_value(args, "--k")? {
+        Some(v) => Some(parse_number(v, "--k")?),
+        None => None,
+    };
+    let output = flag_value(args, "--output")?.ok_or("workload requires --output <file>")?;
+    let hot: usize = parse_flag_or(args, "--hot", 0)?;
+    let hot_fraction: f64 = parse_flag_or(args, "--hot-fraction", 0.5)?;
+    if !(0.0..=1.0).contains(&hot_fraction) {
+        return Err(format!(
+            "--hot-fraction must be in [0, 1], got {hot_fraction}"
+        ));
+    }
+    let g = kreach::graph::io::read_edge_list_file(path).map_err(|e| e.to_string())?;
+    if g.vertex_count() == 0 {
+        return Err(format!("{path} describes an empty graph; nothing to query"));
+    }
+    let config = WorkloadConfig { queries, seed };
+    // --hot N skews the workload onto the N highest-degree ("celebrity")
+    // vertices, the query shape that makes the batch engine's result cache
+    // effective; without it every pair over a large graph is unique.
+    let workload = if hot > 0 {
+        QueryWorkload::skewed(&g, config, hot, hot_fraction)
+    } else {
+        QueryWorkload::uniform(&g, config)
+    };
+    kreach::datasets::write_workload_file(workload.pairs(), k, output)
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} queries over {} vertices{} -> {}\n",
+        workload.len(),
+        g.vertex_count(),
+        if hot > 0 {
+            format!(" ({hot} hot vertices)")
+        } else {
+            String::new()
+        },
+        output
+    ))
+}
+
+fn cmd_batch(args: &[&str]) -> Result<String, String> {
+    ensure_known_flags(
+        args,
+        &["--workers", "--cache", "--default-k", "--stats-json"],
+    )?;
+    let pos = positionals(args);
+    let [index_path, graph_path, queries_path] = pos.as_slice() else {
+        return Err("batch expects <index-file> <edge-list> <queries-file>".to_string());
+    };
+    let workers: usize = parse_flag_or(args, "--workers", 0)?;
+    let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
+    // Resolved before the (possibly long) run so a malformed flag cannot
+    // discard a finished batch.
+    let stats_json = flag_value(args, "--stats-json")?;
+
+    let g =
+        Arc::new(kreach::graph::io::read_edge_list_file(graph_path).map_err(|e| e.to_string())?);
+    let index = storage::load_kreach(index_path).map_err(|e| e.to_string())?;
+    if index.index_graph().input_vertex_count() != g.vertex_count() {
+        return Err(format!(
+            "index {index_path} was built for a graph with {} vertices, but {graph_path} has {}; \
+             rebuild the index for this edge list",
+            index.index_graph().input_vertex_count(),
+            g.vertex_count()
+        ));
+    }
+    let default_k: u32 = parse_flag_or(args, "--default-k", index.k())?;
+    let entries = kreach::datasets::read_workload_file(queries_path).map_err(|e| e.to_string())?;
+    let batch = QueryBatch::from_triples(&entries, default_k);
+
+    let engine = BatchEngine::new(
+        Arc::new(KReachBackend::new(Arc::clone(&g), index)),
+        EngineConfig {
+            workers,
+            cache_capacity: cache,
+            ..EngineConfig::default()
+        },
+    );
+    let outcome = engine.run(&batch).map_err(|e| e.to_string())?;
+
+    // Answers to stdout (deterministic: byte-identical for every worker
+    // count); the timing-dependent serving report goes to stderr.
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(batch.len() * 20);
+    for (q, &answer) in batch.queries().iter().zip(outcome.answers.iter()) {
+        writeln!(
+            out,
+            "{} {} {} {}",
+            q.s,
+            q.t,
+            q.k,
+            if answer { "reachable" } else { "unreachable" }
+        )
+        .expect("writing to a String cannot fail");
+    }
+    eprintln!("{}", outcome.stats);
+    if let Some(path) = stats_json {
+        std::fs::write(path, outcome.stats.to_json() + "\n").map_err(|e| e.to_string())?;
+    }
+    Ok(out)
+}
+
+fn cmd_bench_serve(args: &[&str]) -> Result<String, String> {
+    ensure_known_flags(
+        args,
+        &[
+            "--dataset",
+            "--scale",
+            "--k",
+            "--queries",
+            "--workers",
+            "--cache",
+            "--seed",
+        ],
+    )?;
+    if !positionals(args).is_empty() {
+        return Err("bench-serve takes only flags".to_string());
+    }
+    let dataset = flag_value(args, "--dataset")?.unwrap_or("AgroCyc");
+    let spec = spec_by_name(dataset).ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
+    let scale: usize = parse_flag_or(args, "--scale", 20)?;
+    let k: u32 = parse_flag_or(args, "--k", 4)?;
+    let queries: usize = parse_flag_or(args, "--queries", 10_000)?;
+    let seed: u64 = parse_flag_or(args, "--seed", 42)?;
+    let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
+    let worker_list: Vec<usize> = match flag_value(args, "--workers")? {
+        None => vec![1, 0],
+        Some(list) => list
+            .split(',')
+            .map(|w| parse_number(w.trim(), "--workers entry"))
+            .collect::<Result<_, _>>()?,
+    };
+    if worker_list.is_empty() {
+        return Err("--workers needs at least one entry".to_string());
+    }
+
+    let g = Arc::new(spec.scaled(scale).generate(seed));
+    let runs = kreach::engine::sweep::serve_sweep(&g, k, queries, seed, &worker_list, cache);
+
+    let base_qps = runs[0].stats.queries_per_sec;
+    let speedup = if runs.len() > 1 && base_qps > 0.0 {
+        runs.last().expect("nonempty").stats.queries_per_sec / base_qps
+    } else {
+        1.0
+    };
+    let run_objects: Vec<String> = runs.iter().map(|p| p.stats.to_json()).collect();
+    Ok(format!(
+        "{{\"dataset\":\"{}\",\"scale\":{},\"k\":{},\"vertices\":{},\"edges\":{},\
+         \"queries\":{},\"runs\":[{}],\"speedup\":{:.3}}}\n",
+        spec.name,
+        scale,
+        k,
+        g.vertex_count(),
+        g.edge_count(),
+        queries,
+        run_objects.join(","),
+        speedup
+    ))
 }
 
 fn describe(witness: QueryWitness) -> String {
@@ -207,7 +453,11 @@ fn describe(witness: QueryWitness) -> String {
         QueryWitness::ThroughSingleCoverVertex { via } => {
             format!("via the shared covered neighbour {via}")
         }
-        QueryWitness::ThroughCoverPair { first, last, weight } => {
+        QueryWitness::ThroughCoverPair {
+            first,
+            last,
+            weight,
+        } => {
             format!("via covered vertices {first} .. {last} (index weight {weight})")
         }
     }
@@ -240,6 +490,19 @@ mod tests {
     }
 
     #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        let err = run(&args("build g.txt --k 3 --output x --bogus 1")).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        assert!(err.contains("allowed"), "{err}");
+        let err = run(&args("stats g.txt --scale 2")).unwrap_err();
+        assert!(err.contains("--scale") && err.contains("no flags"), "{err}");
+        assert!(run(&args("generate GO --output x --frobnicate yes")).is_err());
+        assert!(run(&args("workload g.txt --output x --banana 3")).is_err());
+        assert!(run(&args("batch i g q --turbo on")).is_err());
+        assert!(run(&args("bench-serve --sharding 9")).is_err());
+    }
+
+    #[test]
     fn end_to_end_generate_build_query() {
         let dir = std::env::temp_dir().join("kreach-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -248,18 +511,23 @@ mod tests {
         let graph_arg = graph_path.to_str().unwrap().to_string();
         let index_arg = index_path.to_str().unwrap().to_string();
 
-        let out = run(&args(&format!("generate GO --scale 32 --seed 7 --output {graph_arg}")))
-            .expect("generate succeeds");
+        let out = run(&args(&format!(
+            "generate GO --scale 32 --seed 7 --output {graph_arg}"
+        )))
+        .expect("generate succeeds");
         assert!(out.contains("stand-in for GO"));
 
         let out = run(&args(&format!("stats {graph_arg}"))).expect("stats succeeds");
         assert!(out.contains("|V|"));
 
-        let out = run(&args(&format!("build {graph_arg} --k 4 --output {index_arg}")))
-            .expect("build succeeds");
+        let out = run(&args(&format!(
+            "build {graph_arg} --k 4 --output {index_arg}"
+        )))
+        .expect("build succeeds");
         assert!(out.contains("4-reach index"));
 
-        let out = run(&args(&format!("query {index_arg} {graph_arg} 0 1"))).expect("query succeeds");
+        let out =
+            run(&args(&format!("query {index_arg} {graph_arg} 0 1"))).expect("query succeeds");
         assert!(out.contains("hops"));
 
         // Out-of-range vertices are rejected cleanly.
@@ -267,6 +535,138 @@ mod tests {
 
         std::fs::remove_file(&graph_path).ok();
         std::fs::remove_file(&index_path).ok();
+    }
+
+    #[test]
+    fn end_to_end_workload_and_batch_are_deterministic_across_workers() {
+        let dir = std::env::temp_dir().join("kreach-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_arg = dir.join("g.txt").to_str().unwrap().to_string();
+        let index_arg = dir.join("g.idx").to_str().unwrap().to_string();
+        let queries_arg = dir.join("q.txt").to_str().unwrap().to_string();
+
+        run(&args(&format!(
+            "generate Kegg --scale 40 --seed 3 --output {graph_arg}"
+        )))
+        .expect("generate succeeds");
+        run(&args(&format!(
+            "build {graph_arg} --k 3 --output {index_arg}"
+        )))
+        .expect("build succeeds");
+        let out = run(&args(&format!(
+            "workload {graph_arg} --queries 2000 --seed 9 --output {queries_arg}"
+        )))
+        .expect("workload succeeds");
+        assert!(out.contains("2000 queries"), "{out}");
+
+        let serial = run(&args(&format!(
+            "batch {index_arg} {graph_arg} {queries_arg} --workers 1"
+        )))
+        .expect("1-worker batch succeeds");
+        let parallel = run(&args(&format!(
+            "batch {index_arg} {graph_arg} {queries_arg} --workers 4"
+        )))
+        .expect("4-worker batch succeeds");
+        assert_eq!(serial, parallel, "answers must not depend on worker count");
+        assert_eq!(serial.lines().count(), 2000);
+        assert!(serial.lines().all(|l| l.ends_with("reachable")));
+        assert!(serial.contains(" 3 "), "per-line k column present");
+
+        // A mismatched edge list is rejected instead of answered wrongly.
+        let other_arg = dir.join("other.txt").to_str().unwrap().to_string();
+        run(&args(&format!(
+            "generate Xmark --scale 60 --seed 1 --output {other_arg}"
+        )))
+        .expect("second generate succeeds");
+        let err = run(&args(&format!(
+            "batch {index_arg} {other_arg} {queries_arg}"
+        )))
+        .unwrap_err();
+        assert!(err.contains("rebuild the index"), "{err}");
+        std::fs::remove_file(dir.join("other.txt")).ok();
+
+        // Honors an explicit per-query k column over the index default.
+        std::fs::write(dir.join("q.txt"), "0 1 1\n0 1\n").unwrap();
+        let two = run(&args(&format!(
+            "batch {index_arg} {graph_arg} {queries_arg}"
+        )))
+        .expect("mixed-k batch succeeds");
+        let lines: Vec<&str> = two.lines().collect();
+        assert!(lines[0].starts_with("0 1 1 "));
+        assert!(lines[1].starts_with("0 1 3 "));
+
+        for f in ["g.txt", "g.idx", "q.txt"] {
+            std::fs::remove_file(dir.join(f)).ok();
+        }
+    }
+
+    #[test]
+    fn skewed_workload_produces_cache_hits_in_batch() {
+        let dir = std::env::temp_dir().join("kreach-cli-skew-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_arg = dir.join("g.txt").to_str().unwrap().to_string();
+        let index_arg = dir.join("g.idx").to_str().unwrap().to_string();
+        let queries_arg = dir.join("q.txt").to_str().unwrap().to_string();
+        let stats_arg = dir.join("stats.json").to_str().unwrap().to_string();
+
+        run(&args(&format!(
+            "generate AgroCyc --scale 10 --seed 5 --output {graph_arg}"
+        )))
+        .expect("generate succeeds");
+        run(&args(&format!(
+            "build {graph_arg} --k 4 --output {index_arg}"
+        )))
+        .expect("build succeeds");
+        let out = run(&args(&format!(
+            "workload {graph_arg} --queries 3000 --seed 2 --hot 16 --hot-fraction 0.9 \
+             --output {queries_arg}"
+        )))
+        .expect("skewed workload succeeds");
+        assert!(out.contains("16 hot vertices"), "{out}");
+        run(&args(&format!(
+            "batch {index_arg} {graph_arg} {queries_arg} --workers 4 --stats-json {stats_arg}"
+        )))
+        .expect("batch succeeds");
+        let stats = std::fs::read_to_string(&stats_arg).unwrap();
+        assert!(stats.contains("\"cache_hits\":"), "{stats}");
+        let hits: u64 = stats
+            .split("\"cache_hits\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|num| num.parse().ok())
+            .expect("cache_hits field parses");
+        assert!(hits > 0, "skewed workload must hit the cache: {stats}");
+
+        assert!(run(&args(&format!(
+            "workload {graph_arg} --queries 10 --hot 4 --hot-fraction 1.5 --output {queries_arg}"
+        )))
+        .is_err());
+        for f in ["g.txt", "g.idx", "q.txt", "stats.json"] {
+            std::fs::remove_file(dir.join(f)).ok();
+        }
+    }
+
+    #[test]
+    fn bench_serve_emits_json_with_runs_and_speedup() {
+        let out = run(&args(
+            "bench-serve --dataset AgroCyc --scale 60 --k 3 --queries 800 --workers 1,2",
+        ))
+        .expect("bench-serve succeeds");
+        for needle in [
+            "\"dataset\":\"AgroCyc\"",
+            "\"runs\":[",
+            "\"queries_per_sec\"",
+            "\"speedup\"",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in {out}");
+        }
+        assert_eq!(
+            out.matches("\"workers\"").count(),
+            2,
+            "two sweep entries: {out}"
+        );
+        assert!(run(&args("bench-serve --dataset NotADataset")).is_err());
+        assert!(run(&args("bench-serve extra-positional")).is_err());
     }
 
     #[test]
@@ -282,9 +682,11 @@ mod tests {
         assert!(describe(QueryWitness::Identity).contains("equals"));
         assert!(describe(QueryWitness::DirectEdge).contains("direct"));
         assert!(describe(QueryWitness::IndexEdge { weight: 2 }).contains("weight 2"));
-        assert!(
-            describe(QueryWitness::ThroughCoverPair { first: VertexId(1), last: VertexId(2), weight: 1 })
-                .contains("1 .. 2")
-        );
+        assert!(describe(QueryWitness::ThroughCoverPair {
+            first: VertexId(1),
+            last: VertexId(2),
+            weight: 1
+        })
+        .contains("1 .. 2"));
     }
 }

@@ -7,7 +7,10 @@ use kreach_graph::traversal::{khop_reachable_bfs, reachable_bfs};
 
 /// Builds a small version of a named dataset for fast tests.
 fn dataset(name: &str, scale: usize, seed: u64) -> DiGraph {
-    spec_by_name(name).expect("known dataset").scaled(scale).generate(seed)
+    spec_by_name(name)
+        .expect("known dataset")
+        .scaled(scale)
+        .generate(seed)
 }
 
 #[test]
@@ -15,7 +18,13 @@ fn kreach_matches_bfs_on_every_dataset_family() {
     for (name, k) in [("AgroCyc", 3u32), ("CiteSeer", 4), ("Xmark", 6)] {
         let g = dataset(name, 40, 11);
         let index = KReachIndex::build(&g, k, BuildOptions::default());
-        let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 3_000, seed: 5 });
+        let workload = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 3_000,
+                seed: 5,
+            },
+        );
         for &(s, t) in workload.pairs() {
             assert_eq!(
                 index.query(&g, s, t),
@@ -33,7 +42,13 @@ fn hkreach_matches_kreach_on_datasets() {
         let k = 6u32;
         let kreach = KReachIndex::build(&g, k, BuildOptions::default());
         let hkreach = HkReachIndex::build(&g, 2, k);
-        let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 2_000, seed: 3 });
+        let workload = QueryWorkload::uniform(
+            &g,
+            WorkloadConfig {
+                queries: 2_000,
+                seed: 3,
+            },
+        );
         for &(s, t) in workload.pairs() {
             assert_eq!(
                 kreach.query(&g, s, t),
@@ -52,7 +67,13 @@ fn all_classic_reachability_indexes_agree() {
     let tc = IntervalTransitiveClosure::build(&g);
     let tree = TreeCover::build(&g);
     let dist = DistanceIndex::build(&g);
-    let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 2_000, seed: 23 });
+    let workload = QueryWorkload::uniform(
+        &g,
+        WorkloadConfig {
+            queries: 2_000,
+            seed: 23,
+        },
+    );
     for &(s, t) in workload.pairs() {
         let expected = reachable_bfs(&g, s, t);
         assert_eq!(nreach.query(&g, s, t), expected, "n-reach ({s},{t})");
@@ -69,9 +90,19 @@ fn distance_index_answers_khop_like_kreach() {
     let k = 5u32;
     let kreach = KReachIndex::build(&g, k, BuildOptions::default());
     let dist = DistanceIndex::build(&g);
-    let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 2_000, seed: 31 });
+    let workload = QueryWorkload::uniform(
+        &g,
+        WorkloadConfig {
+            queries: 2_000,
+            seed: 31,
+        },
+    );
     for &(s, t) in workload.pairs() {
-        assert_eq!(kreach.query(&g, s, t), dist.khop_reachable(s, t, k), "({s},{t})");
+        assert_eq!(
+            kreach.query(&g, s, t),
+            dist.khop_reachable(s, t, k),
+            "({s},{t})"
+        );
     }
 }
 
@@ -97,7 +128,13 @@ fn case_four_dominates_random_workloads_on_metabolic_graphs() {
     // majority of random queries have neither endpoint in the cover.
     let g = dataset("AgroCyc", 20, 41);
     let index = KReachIndex::build(&g, 3, BuildOptions::default());
-    let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 20_000, seed: 43 });
+    let workload = QueryWorkload::uniform(
+        &g,
+        WorkloadConfig {
+            queries: 20_000,
+            seed: 43,
+        },
+    );
     let counts = workload.case_distribution(|s, t| index.classify(s, t).number());
     let case4 = counts[3] as f64 / workload.len() as f64;
     assert!(
@@ -136,7 +173,13 @@ fn serialized_index_answers_dataset_queries() {
     let mut buf = Vec::new();
     kreach::core::storage::write_kreach(&index, &mut buf).expect("serialize");
     let restored = kreach::core::storage::read_kreach(buf.as_slice()).expect("deserialize");
-    let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 2_000, seed: 59 });
+    let workload = QueryWorkload::uniform(
+        &g,
+        WorkloadConfig {
+            queries: 2_000,
+            seed: 59,
+        },
+    );
     for &(s, t) in workload.pairs() {
         assert_eq!(index.query(&g, s, t), restored.query(&g, s, t));
     }
@@ -146,11 +189,21 @@ fn serialized_index_answers_dataset_queries() {
 fn multi_k_family_is_consistent_with_dedicated_indexes_on_datasets() {
     let g = dataset("GO", 40, 61);
     let family = ExactMultiKReach::build(&g, 6, BuildOptions::default());
-    let workload = QueryWorkload::uniform(&g, WorkloadConfig { queries: 1_000, seed: 67 });
+    let workload = QueryWorkload::uniform(
+        &g,
+        WorkloadConfig {
+            queries: 1_000,
+            seed: 67,
+        },
+    );
     for k in 1..=6u32 {
         let dedicated = KReachIndex::build(&g, k, BuildOptions::default());
         for &(s, t) in workload.pairs() {
-            assert_eq!(family.query(&g, s, t, k), dedicated.query(&g, s, t), "k={k} ({s},{t})");
+            assert_eq!(
+                family.query(&g, s, t, k),
+                dedicated.query(&g, s, t),
+                "k={k} ({s},{t})"
+            );
         }
     }
 }

@@ -5,13 +5,16 @@
 //! it) answers exactly like a ground-truth BFS. The remaining properties pin
 //! down the covers, the baselines, and the serialization format.
 
+use kreach::engine::{BfsBackend, KReachBackend};
 use kreach::prelude::*;
 use kreach_core::hop_cover::HopVertexCover;
+use kreach_graph::generators::GeneratorSpec;
 use kreach_graph::traversal::{
     khop_reachable_bfs, khop_reachable_bidirectional, reachable_bfs, shortest_distance,
 };
 use kreach_graph::IntervalList;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Strategy: a random directed graph with up to `max_n` vertices and a
 /// density-controlled edge list, plus interesting degenerate shapes.
@@ -171,6 +174,47 @@ proptest! {
                 let condensed = cs == ct || reachable_bfs(&cond.dag, cs, ct);
                 prop_assert_eq!(original, condensed, "({},{})", s, t);
             }
+        }
+    }
+
+    #[test]
+    fn batch_engine_matches_sequential_index_and_bfs_at_every_worker_count(
+        n in 8usize..48,
+        m in 0usize..160,
+        k in 1u32..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = Arc::new(GeneratorSpec::ErdosRenyi { n, m }.generate(seed));
+        let index = KReachIndex::build(&g, k, BuildOptions::default());
+
+        // Ground truth twice over: the sequential index and an online BFS.
+        let mut queries = Vec::new();
+        for s in g.vertices() {
+            for t in g.vertices() {
+                queries.push(Query { s, t, k });
+            }
+        }
+        let batch = QueryBatch::new(queries);
+        let sequential: Vec<bool> =
+            batch.queries().iter().map(|q| index.query(&g, q.s, q.t)).collect();
+        for (q, &answer) in batch.queries().iter().zip(sequential.iter()) {
+            prop_assert_eq!(answer, khop_reachable_bfs(&g, q.s, q.t, q.k), "({},{})", q.s, q.t);
+        }
+
+        for workers in [1usize, 2, 8] {
+            let config = EngineConfig { workers, chunk_size: 32, ..EngineConfig::default() };
+            let engine = BatchEngine::new(
+                Arc::new(KReachBackend::new(Arc::clone(&g), index.clone())),
+                config,
+            );
+            let outcome = engine.run(&batch).expect("all queries in range");
+            prop_assert_eq!(&outcome.answers, &sequential, "k-reach backend, {} workers", workers);
+            prop_assert_eq!(outcome.stats.queries, batch.len());
+
+            let bfs_engine =
+                BatchEngine::new(Arc::new(BfsBackend::new(Arc::clone(&g), k)), config);
+            let bfs_outcome = bfs_engine.run(&batch).expect("all queries in range");
+            prop_assert_eq!(&bfs_outcome.answers, &sequential, "bfs backend, {} workers", workers);
         }
     }
 
