@@ -1,0 +1,555 @@
+//! Incremental maintenance of a [`KReachIndex`] under edge updates.
+//!
+//! Algorithm 1 builds the index by (a) computing a vertex cover and (b)
+//! running one k-hop BFS per cover vertex. Both steps are global, so naively
+//! supporting a mutation stream means a full rebuild per edge change. This
+//! module maintains the index incrementally instead, patching only what an
+//! update can actually touch:
+//!
+//! * **Cover repair.** Removing an edge never invalidates a vertex cover.
+//!   Inserting `(u, v)` invalidates it only when *neither* endpoint is
+//!   covered; the repair adds one endpoint (the higher-degree one, echoing
+//!   the degree-priority heuristic of §4.3) to the cover, computing its
+//!   index row with one forward k-BFS and splicing it into every other row
+//!   with one backward k-BFS.
+//! * **Row patching.** An edge change `(u, v)` can alter the k-hop row of a
+//!   cover vertex `w` only if `w` reaches `u` within `k − 1` hops (any
+//!   ≤ k-hop path through the edge spends one hop on it). One backward
+//!   `(k−1)`-BFS from `u` finds the affected cover vertices; each affected
+//!   row is recomputed with a forward k-BFS. For removals the affected set
+//!   is taken in the *pre-removal* graph, because that is where paths used
+//!   the edge.
+//! * **Rebuild threshold.** Incremental cover repair only ever grows the
+//!   cover, so it drifts away from the 2-approximation (and the index grows
+//!   with it). When the cover has grown past a configurable fraction since
+//!   the last full build, the maintainer lazily re-covers: a fresh vertex
+//!   cover and a fresh BFS sweep, exactly as Algorithm 1.
+//!
+//! The correctness story is differential: `tests/dynamic_differential.rs`
+//! replays random mutation sequences and asserts this maintainer answers
+//! byte-identically to a from-scratch [`KReachIndex::build`] and to an
+//! online BFS at every step.
+
+use crate::index_graph::CoverIndexGraph;
+use crate::kreach::{BuildOptions, KReachIndex};
+use crate::vertex_cover::VertexCover;
+use crate::weights::PackedWeights;
+use kreach_graph::dynamic::{DynamicGraph, EdgeUpdate};
+use kreach_graph::traversal::{bfs, Direction};
+use kreach_graph::{DiGraph, VertexId};
+use std::sync::Arc;
+
+/// Sentinel for "vertex is not in the cover".
+const NOT_COVERED: u32 = u32::MAX;
+
+/// Tuning knobs for incremental maintenance.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicOptions {
+    /// Options forwarded to full (re)builds.
+    pub build: BuildOptions,
+    /// Fraction of the cover size at the last full build by which incremental
+    /// repair may grow the cover before a lazy re-cover + rebuild triggers.
+    pub max_cover_growth: f64,
+    /// Absolute growth floor so small covers do not rebuild on every insert.
+    pub min_cover_growth: usize,
+}
+
+impl Default for DynamicOptions {
+    fn default() -> Self {
+        DynamicOptions {
+            build: BuildOptions::default(),
+            max_cover_growth: 0.25,
+            min_cover_growth: 16,
+        }
+    }
+}
+
+/// Cumulative counters describing the work the maintainer has done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateStats {
+    /// Edge insertions that changed the graph.
+    pub inserts: u64,
+    /// Edge removals that changed the graph.
+    pub removes: u64,
+    /// Updates that were no-ops (duplicate insert, absent removal, self-loop).
+    pub noops: u64,
+    /// Index rows recomputed by a forward k-BFS.
+    pub rows_patched: u64,
+    /// Vertices added to the cover by incremental repair.
+    pub cover_additions: u64,
+    /// Lazy full rebuilds (fresh cover + BFS sweep) triggered by growth.
+    pub full_rebuilds: u64,
+}
+
+impl UpdateStats {
+    /// Updates that changed the graph (inserts + removes).
+    pub fn applied(&self) -> u64 {
+        self.inserts + self.removes
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: UpdateStats) -> UpdateStats {
+        UpdateStats {
+            inserts: self.inserts - earlier.inserts,
+            removes: self.removes - earlier.removes,
+            noops: self.noops - earlier.noops,
+            rows_patched: self.rows_patched - earlier.rows_patched,
+            cover_additions: self.cover_additions - earlier.cover_additions,
+            full_rebuilds: self.full_rebuilds - earlier.full_rebuilds,
+        }
+    }
+}
+
+/// A [`KReachIndex`] kept consistent with a mutating graph.
+///
+/// The maintainer owns the graph (as a [`DynamicGraph`] overlay plus an
+/// always-current CSR snapshot behind an [`Arc`]) and the index state (cover
+/// members, per-cover-vertex rows, the assembled index). After every
+/// [`DynamicKReach::apply_all`] the assembled index and snapshot are
+/// consistent, so queries need only `&self`.
+#[derive(Debug, Clone)]
+pub struct DynamicKReach {
+    k: u32,
+    options: DynamicOptions,
+    graph: DynamicGraph,
+    snapshot: Arc<DiGraph>,
+    /// Cover vertices in position order; repair only ever appends, so
+    /// existing positions are stable between rebuilds.
+    members: Vec<VertexId>,
+    /// Dense vertex → cover-position map (`NOT_COVERED` when absent).
+    pos_of: Vec<u32>,
+    /// Per-cover-position rows of `(target position, true distance ≤ k)`;
+    /// clamping to the paper's {k−2, k−1, k} happens at assembly.
+    rows: Vec<Vec<(u32, u32)>>,
+    index: KReachIndex,
+    /// Whether `index` reflects the current rows/snapshot (rebuilds assemble
+    /// eagerly; row patches defer assembly to the end of the batch).
+    index_fresh: bool,
+    cover_at_rebuild: usize,
+    stats: UpdateStats,
+}
+
+impl DynamicKReach {
+    /// Builds the initial index over `g` (a full Algorithm-1 build).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, like [`KReachIndex::build`].
+    pub fn new(g: DiGraph, k: u32, options: DynamicOptions) -> Self {
+        assert!(k >= 1, "k-reach requires k >= 1");
+        let graph = DynamicGraph::new(g);
+        let snapshot = graph.shared_base();
+        let mut this = DynamicKReach {
+            k,
+            options,
+            graph,
+            snapshot,
+            members: Vec::new(),
+            pos_of: Vec::new(),
+            rows: Vec::new(),
+            // Placeholder; rebuild() installs the real index below.
+            index: KReachIndex::from_parts(
+                k,
+                options.build.cover_strategy,
+                CoverIndexGraph::assemble(0, Vec::new(), Vec::new(), k.saturating_sub(2)),
+            ),
+            index_fresh: false,
+            cover_at_rebuild: 0,
+            stats: UpdateStats::default(),
+        };
+        this.rebuild();
+        this.stats.full_rebuilds = 0; // the initial build is not a rebuild
+        this
+    }
+
+    /// The hop bound `k` the maintained index answers.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The current graph snapshot (always consistent with the index).
+    pub fn graph(&self) -> &Arc<DiGraph> {
+        &self.snapshot
+    }
+
+    /// The maintained index (always consistent with [`DynamicKReach::graph`]).
+    pub fn index(&self) -> &KReachIndex {
+        &self.index
+    }
+
+    /// Current number of cover vertices.
+    pub fn cover_size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Cumulative maintenance counters.
+    pub fn stats(&self) -> UpdateStats {
+        self.stats
+    }
+
+    /// Answers `s →k t` at the maintained hop bound.
+    pub fn query(&self, s: VertexId, t: VertexId) -> bool {
+        self.index.query(&self.snapshot, s, t)
+    }
+
+    /// Answers `s →k t` for an arbitrary hop bound (index for its own bound,
+    /// exact online search otherwise), mirroring [`KReachIndex::query_k`].
+    pub fn query_k(&self, s: VertexId, t: VertexId, k: u32) -> bool {
+        self.index.query_k(&self.snapshot, s, t, k)
+    }
+
+    /// Inserts one edge; returns whether the graph changed.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.apply_all(&[EdgeUpdate::Insert(u, v)]).inserts == 1
+    }
+
+    /// Removes one edge; returns whether the graph changed.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.apply_all(&[EdgeUpdate::Remove(u, v)]).removes == 1
+    }
+
+    /// Applies a batch of updates in order, patching the index after each
+    /// one, and reassembles the queryable index once at the end. Returns the
+    /// counter deltas for this call.
+    pub fn apply_all(&mut self, updates: &[EdgeUpdate]) -> UpdateStats {
+        let before = self.stats;
+        for &update in updates {
+            self.apply_one(update);
+        }
+        if !self.index_fresh {
+            self.index = self.assemble();
+            self.index_fresh = true;
+        }
+        self.stats.since(before)
+    }
+
+    /// Applies one update to the graph and patches the row state (but not the
+    /// assembled index, unless a rebuild fires). Returns whether the graph
+    /// changed.
+    fn apply_one(&mut self, update: EdgeUpdate) -> bool {
+        match update {
+            EdgeUpdate::Insert(u, v) => {
+                if !self.graph.insert_edge(u, v) {
+                    self.stats.noops += 1;
+                    return false;
+                }
+                self.refresh_snapshot();
+                self.stats.inserts += 1;
+                self.index_fresh = false;
+                // Cover repair: the new edge must have a covered endpoint.
+                let repaired = if !self.in_cover(u) && !self.in_cover(v) {
+                    let w = if self.snapshot.total_degree(u) >= self.snapshot.total_degree(v) {
+                        u
+                    } else {
+                        v
+                    };
+                    Some(self.add_to_cover(w))
+                } else {
+                    None
+                };
+                let snapshot = Arc::clone(&self.snapshot);
+                // The freshly repaired row was computed on this snapshot
+                // already; skip it instead of recomputing it.
+                self.patch_rows_affected_by(u, &snapshot, repaired);
+                self.maybe_rebuild();
+                true
+            }
+            EdgeUpdate::Remove(u, v) => {
+                if !self.graph.has_edge(u, v) {
+                    self.stats.noops += 1;
+                    return false;
+                }
+                // Affected rows are found in the PRE-removal graph: only
+                // paths that existed there can have used the edge.
+                let old_snapshot = Arc::clone(&self.snapshot);
+                let removed = self.graph.remove_edge(u, v);
+                debug_assert!(removed);
+                self.refresh_snapshot();
+                self.stats.removes += 1;
+                self.index_fresh = false;
+                self.patch_rows_affected_by(u, &old_snapshot, None);
+                true
+            }
+        }
+    }
+
+    /// Re-materializes the CSR snapshot after a graph change and keeps the
+    /// overlay compact so every snapshot is an `O(m)` merge, not a re-sort.
+    /// The compacted base is shared, not copied: one CSR build per update.
+    fn refresh_snapshot(&mut self) {
+        self.graph.compact();
+        self.snapshot = self.graph.shared_base();
+        if self.pos_of.len() < self.snapshot.vertex_count() {
+            self.pos_of
+                .resize(self.snapshot.vertex_count(), NOT_COVERED);
+        }
+    }
+
+    fn in_cover(&self, v: VertexId) -> bool {
+        self.pos_of
+            .get(v.index())
+            .is_some_and(|&p| p != NOT_COVERED)
+    }
+
+    /// Recomputes the rows of every cover vertex whose k-hop reach can have
+    /// changed because of an edge update out of `u`: exactly the cover
+    /// vertices within `k − 1` backward hops of `u` in `graph` (paths through
+    /// the edge spend one hop on it), plus `u` itself when covered. A row at
+    /// position `skip` (just computed on the current snapshot) is left alone.
+    fn patch_rows_affected_by(&mut self, u: VertexId, graph: &Arc<DiGraph>, skip: Option<u32>) {
+        if u.index() >= graph.vertex_count() {
+            return;
+        }
+        let reach = bfs(graph, u, Direction::Backward, Some(self.k - 1));
+        let affected: Vec<u32> = reach
+            .reached_with_distance()
+            .filter_map(|(w, _)| match self.pos_of.get(w.index()) {
+                Some(&p) if p != NOT_COVERED && Some(p) != skip => Some(p),
+                _ => None,
+            })
+            .collect();
+        for p in affected {
+            self.rows[p as usize] = self.compute_row(self.members[p as usize]);
+            self.stats.rows_patched += 1;
+        }
+    }
+
+    /// One forward k-hop BFS from `w`, keeping reached cover vertices
+    /// (Algorithm 1, Lines 4–13) — the row of `w` in the index graph.
+    fn compute_row(&self, w: VertexId) -> Vec<(u32, u32)> {
+        let reach = bfs(&self.snapshot, w, Direction::Forward, Some(self.k));
+        reach
+            .reached_with_distance()
+            .filter(|&(v, _)| v != w)
+            .filter_map(|(v, d)| match self.pos_of[v.index()] {
+                NOT_COVERED => None,
+                p => Some((p, d)),
+            })
+            .collect()
+    }
+
+    /// Appends `w` to the cover: computes its row with one forward k-BFS and
+    /// splices `w` into every row that reaches it with one backward k-BFS.
+    /// Returns the new cover position.
+    fn add_to_cover(&mut self, w: VertexId) -> u32 {
+        debug_assert!(!self.in_cover(w));
+        let p = self.members.len() as u32;
+        self.members.push(w);
+        self.pos_of[w.index()] = p;
+        // Existing cover vertices that reach w gain the edge (them → w).
+        let back = bfs(&self.snapshot, w, Direction::Backward, Some(self.k));
+        for (x, d) in back.reached_with_distance() {
+            if x == w {
+                continue;
+            }
+            if let Some(&px) = self.pos_of.get(x.index()) {
+                if px != NOT_COVERED {
+                    self.rows[px as usize].push((p, d));
+                }
+            }
+        }
+        let row = self.compute_row(w);
+        self.rows.push(row);
+        self.stats.cover_additions += 1;
+        self.stats.rows_patched += 1;
+        p
+    }
+
+    /// Lazily re-covers once incremental repair has grown the cover past the
+    /// configured threshold since the last full build.
+    fn maybe_rebuild(&mut self) {
+        let grown = self.members.len().saturating_sub(self.cover_at_rebuild);
+        let allowed = self
+            .options
+            .min_cover_growth
+            .max((self.cover_at_rebuild as f64 * self.options.max_cover_growth).ceil() as usize);
+        if grown > allowed {
+            self.rebuild();
+        }
+    }
+
+    /// Full Algorithm-1 build: fresh vertex cover, fresh BFS sweep.
+    fn rebuild(&mut self) {
+        let cover = VertexCover::compute(&self.snapshot, self.options.build.cover_strategy);
+        self.members = cover.members().to_vec();
+        self.pos_of = vec![NOT_COVERED; self.snapshot.vertex_count()];
+        for (p, &v) in self.members.iter().enumerate() {
+            self.pos_of[v.index()] = p as u32;
+        }
+        self.rows = self.members.iter().map(|&w| self.compute_row(w)).collect();
+        self.index = self.assemble();
+        self.index_fresh = true;
+        self.cover_at_rebuild = self.members.len();
+        self.stats.full_rebuilds += 1;
+    }
+
+    /// Assembles the queryable [`KReachIndex`] from the row state, clamping
+    /// distances into the paper's {k−2, k−1, k} packed weights.
+    fn assemble(&self) -> KReachIndex {
+        let index = CoverIndexGraph::<PackedWeights>::assemble(
+            self.snapshot.vertex_count(),
+            self.members.clone(),
+            self.rows.clone(),
+            self.k.saturating_sub(2),
+        );
+        KReachIndex::from_parts(self.k, self.options.build.cover_strategy, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_graph::traversal::khop_reachable_bfs;
+
+    fn check_exact(dynk: &DynamicKReach) {
+        let g = dynk.graph();
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(
+                    dynk.query(s, t),
+                    khop_reachable_bfs(g, s, t, dynk.k()),
+                    "k={} ({s},{t})",
+                    dynk.k()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_opens_new_paths() {
+        let g = DiGraph::from_edges(5, [(0, 1), (2, 3)]);
+        for k in [1, 2, 3] {
+            let mut dynk = DynamicKReach::new(g.clone(), k, DynamicOptions::default());
+            check_exact(&dynk);
+            assert!(dynk.insert_edge(VertexId(1), VertexId(2)));
+            check_exact(&dynk);
+            assert!(dynk.insert_edge(VertexId(3), VertexId(4)));
+            check_exact(&dynk);
+            assert_eq!(dynk.stats().inserts, 2);
+        }
+    }
+
+    #[test]
+    fn remove_closes_paths() {
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 3), (4, 5)]);
+        for k in [1, 2, 3, 5] {
+            let mut dynk = DynamicKReach::new(g.clone(), k, DynamicOptions::default());
+            assert!(dynk.remove_edge(VertexId(0), VertexId(3)));
+            check_exact(&dynk);
+            assert!(dynk.remove_edge(VertexId(2), VertexId(3)));
+            check_exact(&dynk);
+            assert!(!dynk.remove_edge(VertexId(2), VertexId(3)));
+            assert_eq!(dynk.stats().removes, 2);
+            assert_eq!(dynk.stats().noops, 1);
+        }
+    }
+
+    #[test]
+    fn insert_between_uncovered_endpoints_repairs_the_cover() {
+        // A path 0→1→2 puts 1 in the cover; vertices 3 and 4 are isolated
+        // and uncovered, so inserting (3, 4) must repair the cover.
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2)]);
+        let mut dynk = DynamicKReach::new(g, 2, DynamicOptions::default());
+        assert!(!dynk.index().in_cover(VertexId(3)));
+        assert!(!dynk.index().in_cover(VertexId(4)));
+        assert!(dynk.insert_edge(VertexId(3), VertexId(4)));
+        assert!(dynk.index().in_cover(VertexId(3)) || dynk.index().in_cover(VertexId(4)));
+        assert_eq!(dynk.stats().cover_additions, 1);
+        check_exact(&dynk);
+    }
+
+    #[test]
+    fn vertex_growth_is_supported() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut dynk = DynamicKReach::new(g, 3, DynamicOptions::default());
+        assert!(dynk.insert_edge(VertexId(2), VertexId(6)));
+        assert_eq!(dynk.graph().vertex_count(), 7);
+        assert!(dynk.query(VertexId(0), VertexId(6))); // 0→1→2→6, 3 hops
+        assert!(!dynk.query(VertexId(0), VertexId(5))); // 5 is isolated
+        check_exact(&dynk);
+    }
+
+    #[test]
+    fn interleaved_updates_stay_exact_and_match_fresh_builds() {
+        let g = DiGraph::from_edges(8, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]);
+        let mut dynk = DynamicKReach::new(g, 3, DynamicOptions::default());
+        let script = [
+            EdgeUpdate::Insert(VertexId(3), VertexId(4)),
+            EdgeUpdate::Remove(VertexId(1), VertexId(2)),
+            EdgeUpdate::Insert(VertexId(0), VertexId(2)),
+            EdgeUpdate::Insert(VertexId(7), VertexId(0)),
+            EdgeUpdate::Remove(VertexId(5), VertexId(6)),
+            EdgeUpdate::Insert(VertexId(2), VertexId(2)), // self-loop no-op
+        ];
+        for update in script {
+            dynk.apply_all(&[update]);
+            check_exact(&dynk);
+            let fresh = KReachIndex::build(dynk.graph(), 3, BuildOptions::default());
+            let g = dynk.graph();
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    assert_eq!(dynk.query(s, t), fresh.query(g, s, t), "({s},{t})");
+                }
+            }
+        }
+        assert_eq!(dynk.stats().noops, 1);
+    }
+
+    #[test]
+    fn cover_growth_triggers_lazy_rebuild() {
+        // Start from a single edge (tiny cover), then keep inserting edges
+        // between fresh uncovered endpoint pairs; each insert repairs the
+        // cover until the growth threshold forces a full re-cover.
+        let g = DiGraph::from_edges(2, [(0, 1)]);
+        let mut dynk = DynamicKReach::new(
+            g,
+            2,
+            DynamicOptions {
+                min_cover_growth: 4,
+                max_cover_growth: 0.0,
+                ..DynamicOptions::default()
+            },
+        );
+        for i in 0..6u32 {
+            let u = VertexId(2 + 2 * i);
+            let v = VertexId(3 + 2 * i);
+            assert!(dynk.insert_edge(u, v));
+            check_exact(&dynk);
+        }
+        assert!(
+            dynk.stats().full_rebuilds >= 1,
+            "growth must trigger a rebuild: {:?}",
+            dynk.stats()
+        );
+    }
+
+    #[test]
+    fn batch_apply_coalesces_assembly_and_reports_deltas() {
+        let g = DiGraph::from_edges(4, [(0, 1)]);
+        let mut dynk = DynamicKReach::new(g, 2, DynamicOptions::default());
+        let delta = dynk.apply_all(&[
+            EdgeUpdate::Insert(VertexId(1), VertexId(2)),
+            EdgeUpdate::Insert(VertexId(1), VertexId(2)), // duplicate no-op
+            EdgeUpdate::Insert(VertexId(2), VertexId(3)),
+            EdgeUpdate::Remove(VertexId(0), VertexId(1)),
+        ]);
+        assert_eq!(delta.inserts, 2);
+        assert_eq!(delta.removes, 1);
+        assert_eq!(delta.noops, 1);
+        assert_eq!(delta.applied(), 3);
+        check_exact(&dynk);
+        // A pure-no-op batch leaves the index untouched.
+        let delta = dynk.apply_all(&[EdgeUpdate::Remove(VertexId(0), VertexId(1))]);
+        assert_eq!(delta.applied(), 0);
+        assert_eq!(delta.noops, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_is_rejected() {
+        DynamicKReach::new(
+            DiGraph::from_edges(2, [(0, 1)]),
+            0,
+            DynamicOptions::default(),
+        );
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`general_k`] — the two schemes of §4.4 for supporting queries with
 //!   arbitrary k: a set of i-reach indexes at powers of two (approximate for
 //!   non-power-of-two k) and an exact per-k family.
+//! * [`dynamic`] — incremental maintenance of the k-reach index under edge
+//!   insertions and removals: cover repair, bounded-BFS row patching, and a
+//!   lazy re-cover threshold (the "dynamic updates" direction the paper
+//!   leaves open).
 //! * [`storage`] — compact binary on-disk serialization of the index (the
 //!   paper stores the constructed index on disk).
 //! * [`stats`] — index size / construction statistics used by the benchmark
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod compact;
+pub mod dynamic;
 pub mod general_k;
 pub mod hkreach;
 pub mod hop_cover;
@@ -59,6 +64,7 @@ pub mod vertex_cover;
 pub mod weights;
 
 pub use compact::CompactKReachIndex;
+pub use dynamic::{DynamicKReach, DynamicOptions, UpdateStats};
 pub use general_k::{ExactMultiKReach, MultiKReach};
 pub use hkreach::HkReachIndex;
 pub use kreach::{BuildOptions, KReachIndex, QueryCase};
@@ -75,11 +81,13 @@ const _: fn() = || {
     assert_send_sync::<CompactKReachIndex>();
     assert_send_sync::<MultiKReach>();
     assert_send_sync::<ExactMultiKReach>();
+    assert_send_sync::<DynamicKReach>();
 };
 
 /// Commonly used items, for glob import in examples and benchmarks.
 pub mod prelude {
     pub use crate::compact::CompactKReachIndex;
+    pub use crate::dynamic::{DynamicKReach, DynamicOptions, UpdateStats};
     pub use crate::general_k::{ExactMultiKReach, MultiKReach};
     pub use crate::hkreach::HkReachIndex;
     pub use crate::hop_cover::HopVertexCover;

@@ -24,5 +24,6 @@ pub mod workload_file;
 pub use registry::{all_specs, spec_by_name, DatasetFamily, DatasetSpec};
 pub use workload::{QueryWorkload, WorkloadConfig};
 pub use workload_file::{
-    read_workload_file, write_workload_file, WorkloadEntry, WorkloadFileError,
+    read_update_workload_file, read_workload_file, write_update_workload_file, write_workload_file,
+    UpdateOp, WorkloadEntry, WorkloadFileError,
 };

@@ -74,24 +74,42 @@ pub fn read_workload<R: Read>(reader: R) -> Result<Vec<WorkloadEntry>, WorkloadF
             continue;
         }
         let mut fields = text.split_whitespace();
-        let s = parse_field(fields.next(), "source", line_no)?;
-        let t = parse_field(fields.next(), "target", line_no)?;
-        let k = match fields.next() {
-            None => None,
-            Some(raw) => Some(raw.parse::<u32>().map_err(|e| WorkloadFileError::Parse {
-                line: line_no,
-                message: format!("invalid k {raw:?}: {e}"),
-            })?),
-        };
-        if let Some(extra) = fields.next() {
-            return Err(WorkloadFileError::Parse {
-                line: line_no,
-                message: format!("unexpected trailing field {extra:?}"),
-            });
-        }
-        entries.push((VertexId(s), VertexId(t), k));
+        let entry = parse_query_fields(&mut fields, line_no)?;
+        reject_trailing(&mut fields, line_no)?;
+        entries.push(entry);
     }
     Ok(entries)
+}
+
+/// Parses the `s t [k]` tail shared by plain and mixed workload lines.
+fn parse_query_fields<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    line_no: usize,
+) -> Result<WorkloadEntry, WorkloadFileError> {
+    let s = parse_field(fields.next(), "source", line_no)?;
+    let t = parse_field(fields.next(), "target", line_no)?;
+    let k = match fields.next() {
+        None => None,
+        Some(raw) => Some(raw.parse::<u32>().map_err(|e| WorkloadFileError::Parse {
+            line: line_no,
+            message: format!("invalid k {raw:?}: {e}"),
+        })?),
+    };
+    Ok((VertexId(s), VertexId(t), k))
+}
+
+/// Errors if the line has unparsed fields left.
+fn reject_trailing<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    line_no: usize,
+) -> Result<(), WorkloadFileError> {
+    match fields.next() {
+        None => Ok(()),
+        Some(extra) => Err(WorkloadFileError::Parse {
+            line: line_no,
+            message: format!("unexpected trailing field {extra:?}"),
+        }),
+    }
 }
 
 fn parse_field(raw: Option<&str>, what: &str, line: usize) -> Result<u32, WorkloadFileError> {
@@ -134,6 +152,105 @@ pub fn write_workload_file(
     path: impl AsRef<Path>,
 ) -> std::io::Result<()> {
     write_workload(pairs, k, File::create(path)?)
+}
+
+/// One line of a mixed query/mutation ("update") workload.
+///
+/// The file format extends the plain query format with mutation lines:
+///
+/// ```text
+/// 17 4023 3      # query: s t [k]
+/// q 17 4023 3    # query, explicit form
+/// + 17 9000      # insert edge (17, 9000)
+/// - 17 4023      # remove edge (17, 4023)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// A reachability query `s →k t` (k optional, caller default applies).
+    Query {
+        /// Source vertex.
+        s: VertexId,
+        /// Target vertex.
+        t: VertexId,
+        /// Optional per-query hop bound.
+        k: Option<u32>,
+    },
+    /// Insert the directed edge `(u, v)`.
+    Insert {
+        /// Edge source.
+        u: VertexId,
+        /// Edge target.
+        v: VertexId,
+    },
+    /// Remove the directed edge `(u, v)`.
+    Remove {
+        /// Edge source.
+        u: VertexId,
+        /// Edge target.
+        v: VertexId,
+    },
+}
+
+/// Reads a mixed query/mutation workload from any reader.
+pub fn read_update_workload<R: Read>(reader: R) -> Result<Vec<UpdateOp>, WorkloadFileError> {
+    let mut ops = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        let text = line.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut fields = text.split_whitespace().peekable();
+        let op = match fields.peek().copied() {
+            Some("+") | Some("-") => {
+                let marker = fields.next().expect("peeked");
+                let u = VertexId(parse_field(fields.next(), "edge source", line_no)?);
+                let v = VertexId(parse_field(fields.next(), "edge target", line_no)?);
+                if marker == "+" {
+                    UpdateOp::Insert { u, v }
+                } else {
+                    UpdateOp::Remove { u, v }
+                }
+            }
+            other => {
+                if other == Some("q") {
+                    fields.next();
+                }
+                let (s, t, k) = parse_query_fields(&mut fields, line_no)?;
+                UpdateOp::Query { s, t, k }
+            }
+        };
+        reject_trailing(&mut fields, line_no)?;
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+/// Reads a mixed query/mutation workload file from disk.
+pub fn read_update_workload_file(
+    path: impl AsRef<Path>,
+) -> Result<Vec<UpdateOp>, WorkloadFileError> {
+    read_update_workload(File::open(path)?)
+}
+
+/// Writes a mixed query/mutation workload to any writer.
+pub fn write_update_workload<W: Write>(ops: &[UpdateOp], writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for op in ops {
+        match *op {
+            UpdateOp::Query { s, t, k: Some(k) } => writeln!(w, "{} {} {}", s.0, t.0, k)?,
+            UpdateOp::Query { s, t, k: None } => writeln!(w, "{} {}", s.0, t.0)?,
+            UpdateOp::Insert { u, v } => writeln!(w, "+ {} {}", u.0, v.0)?,
+            UpdateOp::Remove { u, v } => writeln!(w, "- {} {}", u.0, v.0)?,
+        }
+    }
+    w.flush()
+}
+
+/// Writes a mixed query/mutation workload to a file on disk.
+pub fn write_update_workload_file(ops: &[UpdateOp], path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_update_workload(ops, File::create(path)?)
 }
 
 #[cfg(test)]
@@ -194,6 +311,76 @@ mod tests {
         }
         let err = read_workload("1 2\n\nbad\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn update_workload_round_trips_all_op_kinds() {
+        let ops = vec![
+            UpdateOp::Query {
+                s: VertexId(1),
+                t: VertexId(2),
+                k: Some(3),
+            },
+            UpdateOp::Insert {
+                u: VertexId(4),
+                v: VertexId(5),
+            },
+            UpdateOp::Query {
+                s: VertexId(1),
+                t: VertexId(2),
+                k: None,
+            },
+            UpdateOp::Remove {
+                u: VertexId(4),
+                v: VertexId(5),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_update_workload(&ops, &mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8(buf.clone()).unwrap(),
+            "1 2 3\n+ 4 5\n1 2\n- 4 5\n"
+        );
+        assert_eq!(read_update_workload(buf.as_slice()).unwrap(), ops);
+    }
+
+    #[test]
+    fn update_workload_accepts_explicit_q_prefix_and_comments() {
+        let text = "# mixed workload\nq 7 8 2\n+ 1 2  # open a path\n- 3 4\n9 10\n";
+        let ops = read_update_workload(text.as_bytes()).unwrap();
+        assert_eq!(ops.len(), 4);
+        assert_eq!(
+            ops[0],
+            UpdateOp::Query {
+                s: VertexId(7),
+                t: VertexId(8),
+                k: Some(2)
+            }
+        );
+        assert_eq!(
+            ops[1],
+            UpdateOp::Insert {
+                u: VertexId(1),
+                v: VertexId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn update_workload_rejects_malformed_lines() {
+        for (text, needle) in [
+            ("+\n", "missing edge source"),
+            ("+ 1\n", "missing edge target"),
+            ("- 1 x\n", "invalid edge target"),
+            ("+ 1 2 3\n", "trailing"),
+            ("q 1\n", "missing target"),
+            ("q 1 2 3 4\n", "trailing"),
+        ] {
+            let err = read_update_workload(text.as_bytes()).unwrap_err();
+            let message = err.to_string();
+            assert!(message.contains("line 1"), "{text:?}: {message}");
+            assert!(message.contains(needle), "{text:?}: {message}");
+        }
     }
 
     #[test]

@@ -1,26 +1,70 @@
-//! The unified query backend trait and its three implementations.
+//! The unified query backend trait and its implementations.
 //!
 //! The engine serves queries against any [`Reachability`] backend: the
-//! k-reach index of §4, the (h,k)-reach index of §5, or an index-free BFS
-//! fallback. Backends own an [`Arc`] of their graph so the trait objects are
-//! `'static` and can be shared across pool workers.
+//! k-reach index of §4, the (h,k)-reach index of §5, an index-free BFS
+//! fallback, or the incrementally maintained [`DynamicKReachBackend`], the
+//! only one that accepts graph mutations ([`Reachability::apply_updates`]).
+//! Backends own their graph (directly or behind a lock) so the trait objects
+//! are `'static` and can be shared across pool workers.
 //!
 //! Note this trait is *k-hop* reachability for serving, distinct from
 //! [`kreach_baselines::Reachability`], which models the paper's classic
 //! (unbounded) reachability baselines for the benchmark tables.
 
 use kreach_baselines::KHopReachability;
+use kreach_core::dynamic::{DynamicKReach, DynamicOptions, UpdateStats};
 use kreach_core::{HkReachIndex, KReachIndex};
+use kreach_graph::dynamic::EdgeUpdate;
 use kreach_graph::{DiGraph, VertexId};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+
+/// A batch of graph mutations failed to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The backend serves an immutable index and cannot apply updates.
+    Unsupported {
+        /// Name of the backend that rejected the updates.
+        backend: String,
+    },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::Unsupported { backend } => {
+                write!(
+                    f,
+                    "backend {backend:?} serves an immutable index and cannot apply graph updates"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// The result of applying a batch of graph mutations through a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Maintenance counter deltas for this batch (inserts, removes, no-ops,
+    /// rows patched, cover additions, rebuilds).
+    pub stats: UpdateStats,
+    /// Vertex count after the batch (inserts may grow the vertex set).
+    pub vertex_count: usize,
+    /// The cache epoch in force after the batch. Backends report 0; the
+    /// engine fills this in after bumping its result-cache epoch.
+    pub epoch: u64,
+}
 
 /// A shareable answerer of k-hop reachability queries.
 pub trait Reachability: Send + Sync {
     /// Short backend name for stats and reports.
     fn name(&self) -> &str;
 
-    /// The graph being served (used for query validation).
-    fn graph(&self) -> &DiGraph;
+    /// Number of vertices of the served graph (used for query validation;
+    /// a method rather than a `&DiGraph` accessor because mutable backends
+    /// keep their graph behind a lock and grow it under updates).
+    fn vertex_count(&self) -> usize;
 
     /// The hop bound this backend answers fastest (its index's `k`); used as
     /// the default for queries that do not carry their own.
@@ -30,6 +74,20 @@ pub trait Reachability: Send + Sync {
     /// for every `k`, falling back to online search when the index does not
     /// cover the requested bound.
     fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool;
+
+    /// Applies a batch of edge mutations, updating whatever index the
+    /// backend serves so subsequent queries reflect the new graph.
+    ///
+    /// The default implementation rejects updates: backends over immutable
+    /// indexes are the common case. Callers go through
+    /// [`crate::BatchEngine::apply_updates`], which also invalidates the
+    /// result cache.
+    fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<UpdateOutcome, UpdateError> {
+        let _ = updates;
+        Err(UpdateError::Unsupported {
+            backend: self.name().to_string(),
+        })
+    }
 }
 
 /// Serves a [`KReachIndex`] (§4 of the paper).
@@ -55,8 +113,8 @@ impl Reachability for KReachBackend {
         "k-reach"
     }
 
-    fn graph(&self) -> &DiGraph {
-        &self.graph
+    fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
     }
 
     fn default_k(&self) -> u32 {
@@ -91,8 +149,8 @@ impl Reachability for HkReachBackend {
         "hk-reach"
     }
 
-    fn graph(&self) -> &DiGraph {
-        &self.graph
+    fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
     }
 
     fn default_k(&self) -> u32 {
@@ -130,8 +188,8 @@ impl Reachability for BfsBackend {
         "online-bfs"
     }
 
-    fn graph(&self) -> &DiGraph {
-        &self.graph
+    fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
     }
 
     fn default_k(&self) -> u32 {
@@ -143,12 +201,75 @@ impl Reachability for BfsBackend {
     }
 }
 
+/// Serves an incrementally maintained [`DynamicKReach`] and accepts graph
+/// mutations through [`Reachability::apply_updates`].
+///
+/// Queries take a read lock (shared across pool workers); updates take the
+/// write lock, patch the index, and leave it fully assembled, so readers
+/// never observe a half-updated index.
+pub struct DynamicKReachBackend {
+    state: RwLock<DynamicKReach>,
+}
+
+impl DynamicKReachBackend {
+    /// Builds the initial index over `g` for hop bound `k`.
+    pub fn new(g: DiGraph, k: u32, options: DynamicOptions) -> Self {
+        DynamicKReachBackend {
+            state: RwLock::new(DynamicKReach::new(g, k, options)),
+        }
+    }
+
+    /// A cheap handle to the current graph snapshot (consistent with the
+    /// index as of the moment of the call).
+    pub fn snapshot(&self) -> Arc<DiGraph> {
+        Arc::clone(self.read().graph())
+    }
+
+    /// Runs `f` against the maintainer state (for stats and tests).
+    pub fn with_state<R>(&self, f: impl FnOnce(&DynamicKReach) -> R) -> R {
+        f(&self.read())
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, DynamicKReach> {
+        self.state.read().expect("dynamic index lock poisoned")
+    }
+}
+
+impl Reachability for DynamicKReachBackend {
+    fn name(&self) -> &str {
+        "dynamic-k-reach"
+    }
+
+    fn vertex_count(&self) -> usize {
+        self.read().graph().vertex_count()
+    }
+
+    fn default_k(&self) -> u32 {
+        self.read().k()
+    }
+
+    fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool {
+        self.read().query_k(s, t, k)
+    }
+
+    fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<UpdateOutcome, UpdateError> {
+        let mut state = self.state.write().expect("dynamic index lock poisoned");
+        let stats = state.apply_all(updates);
+        Ok(UpdateOutcome {
+            stats,
+            vertex_count: state.graph().vertex_count(),
+            epoch: 0,
+        })
+    }
+}
+
 // Every backend must be shareable as Arc<dyn Reachability> across workers.
 const _: fn() = || {
     fn assert_backend<T: Reachability + 'static>() {}
     assert_backend::<KReachBackend>();
     assert_backend::<HkReachBackend>();
     assert_backend::<BfsBackend>();
+    assert_backend::<DynamicKReachBackend>();
 };
 
 #[cfg(test)]
@@ -174,7 +295,8 @@ mod tests {
         );
         let hkreach = HkReachBackend::new(Arc::clone(&g), HkReachIndex::build(&g, 1, k));
         let bfs = BfsBackend::new(Arc::clone(&g), k);
-        let backends: [&dyn Reachability; 3] = [&kreach, &hkreach, &bfs];
+        let dynamic = DynamicKReachBackend::new((*g).clone(), k, DynamicOptions::default());
+        let backends: [&dyn Reachability; 4] = [&kreach, &hkreach, &bfs, &dynamic];
         for backend in backends {
             assert_eq!(backend.default_k(), k, "{}", backend.name());
             for query_k in [1, 2, 3, 5] {
@@ -199,6 +321,46 @@ mod tests {
         let clone = Arc::clone(&backend);
         let handle = std::thread::spawn(move || clone.query(VertexId(0), VertexId(3), 2));
         assert!(handle.join().unwrap());
-        assert_eq!(backend.graph().vertex_count(), 8);
+        assert_eq!(backend.vertex_count(), 8);
+    }
+
+    #[test]
+    fn immutable_backends_reject_updates() {
+        let g = sample();
+        let backend = BfsBackend::new(Arc::clone(&g), 2);
+        let err = backend
+            .apply_updates(&[EdgeUpdate::Insert(VertexId(0), VertexId(7))])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            UpdateError::Unsupported {
+                backend: "online-bfs".to_string()
+            }
+        );
+        assert!(err.to_string().contains("online-bfs"), "{err}");
+    }
+
+    #[test]
+    fn dynamic_backend_applies_updates_and_answers_fresh() {
+        let g = sample();
+        let backend = DynamicKReachBackend::new((*g).clone(), 3, DynamicOptions::default());
+        assert!(!backend.query(VertexId(5), VertexId(7), 3));
+        let outcome = backend
+            .apply_updates(&[
+                EdgeUpdate::Insert(VertexId(5), VertexId(6)),
+                EdgeUpdate::Insert(VertexId(5), VertexId(6)), // duplicate no-op
+            ])
+            .expect("dynamic backend applies updates");
+        assert_eq!(outcome.stats.inserts, 1);
+        assert_eq!(outcome.stats.noops, 1);
+        assert_eq!(outcome.vertex_count, 8);
+        assert!(backend.query(VertexId(5), VertexId(7), 3)); // 5→6→7
+                                                             // Vertex growth is visible through the trait.
+        backend
+            .apply_updates(&[EdgeUpdate::Insert(VertexId(7), VertexId(11))])
+            .unwrap();
+        assert_eq!(backend.vertex_count(), 12);
+        assert_eq!(backend.snapshot().vertex_count(), 12);
+        assert!(backend.with_state(|s| s.stats().inserts) == 2);
     }
 }

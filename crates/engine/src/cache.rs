@@ -9,6 +9,15 @@
 //! Hit/miss counters are global atomics; they are monotone, and callers that
 //! need per-run numbers take a [`ResultCache::counters`] snapshot before and
 //! after a run.
+//!
+//! ## Epoch-based invalidation
+//!
+//! When the served graph mutates, every cached answer is potentially stale.
+//! Rather than draining all shards under their locks (a stop-the-world pause
+//! proportional to cache size), the cache stamps an **epoch** into every key:
+//! [`ResultCache::bump_epoch`] is one atomic increment, after which lookups
+//! (which always use the current epoch) can no longer see pre-mutation
+//! entries. Stale entries age out of the LRU naturally.
 
 use crate::batch::Query;
 use std::collections::HashMap;
@@ -17,10 +26,13 @@ use std::sync::Mutex;
 
 const NIL: u32 = u32::MAX;
 
+/// A cache key: the current epoch plus the query's `(s, t, k)`.
+type Key = (u64, u32, u32, u32);
+
 /// One LRU shard: a hash map into a slab of doubly-linked entries ordered by
 /// recency (head = most recent, tail = eviction candidate).
 struct LruShard {
-    map: HashMap<(u32, u32, u32), u32>,
+    map: HashMap<Key, u32>,
     entries: Vec<Entry>,
     head: u32,
     tail: u32,
@@ -28,7 +40,7 @@ struct LruShard {
 }
 
 struct Entry {
-    key: (u32, u32, u32),
+    key: Key,
     value: bool,
     prev: u32,
     next: u32,
@@ -70,14 +82,14 @@ impl LruShard {
         self.head = i;
     }
 
-    fn get(&mut self, key: (u32, u32, u32)) -> Option<bool> {
+    fn get(&mut self, key: Key) -> Option<bool> {
         let i = *self.map.get(&key)?;
         self.unlink(i);
         self.push_front(i);
         Some(self.entries[i as usize].value)
     }
 
-    fn insert(&mut self, key: (u32, u32, u32), value: bool) {
+    fn insert(&mut self, key: Key, value: bool) {
         if let Some(&i) = self.map.get(&key) {
             self.entries[i as usize].value = value;
             self.unlink(i);
@@ -152,6 +164,9 @@ pub struct ResultCache {
     shards: Vec<Mutex<LruShard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Mutation epoch stamped into every key; bumping it invalidates all
+    /// earlier entries without touching a shard lock.
+    epoch: AtomicU64,
 }
 
 impl ResultCache {
@@ -175,6 +190,7 @@ impl ResultCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -188,24 +204,53 @@ impl ResultCache {
         !self.shards.is_empty()
     }
 
-    fn shard_for(&self, key: (u32, u32, u32)) -> &Mutex<LruShard> {
+    /// The current mutation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Advances the mutation epoch, logically invalidating every cached
+    /// entry in O(1). Returns the new epoch.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Stamps an epoch into a query key.
+    fn stamped(epoch: u64, q: &Query) -> Key {
+        let (s, t, k) = q.key();
+        (epoch, s, t, k)
+    }
+
+    fn shard_for(&self, key: Key) -> &Mutex<LruShard> {
         // SplitMix-style avalanche over the packed key: adjacent ids must not
         // land in the same shard or contention returns.
-        let mut h = (key.0 as u64) << 32 | key.1 as u64;
-        h ^= (key.2 as u64) << 17;
+        let mut h = (key.1 as u64) << 32 | key.2 as u64;
+        h ^= (key.3 as u64) << 17;
+        h ^= key.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         h ^= h >> 31;
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
-    /// Looks up a query, counting a hit or miss.
+    /// Looks up a query at the current epoch, counting a hit or miss.
     pub fn lookup(&self, q: &Query) -> Option<bool> {
+        self.lookup_at(self.epoch(), q)
+    }
+
+    /// Looks up a query at a caller-captured epoch.
+    ///
+    /// Workers capture the epoch once per query *before* consulting the
+    /// backend and store the computed answer under that same epoch
+    /// ([`ResultCache::store_at`]). An answer computed against the
+    /// pre-mutation graph can then never be stored under the post-mutation
+    /// epoch, even if the bump lands mid-computation.
+    pub fn lookup_at(&self, epoch: u64, q: &Query) -> Option<bool> {
         if self.shards.is_empty() {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let key = q.key();
+        let key = Self::stamped(epoch, q);
         let found = self
             .shard_for(key)
             .lock()
@@ -218,12 +263,18 @@ impl ResultCache {
         found
     }
 
-    /// Stores a computed answer.
+    /// Stores a computed answer under the current epoch.
     pub fn store(&self, q: &Query, answer: bool) {
+        self.store_at(self.epoch(), q, answer);
+    }
+
+    /// Stores a computed answer under a caller-captured epoch (see
+    /// [`ResultCache::lookup_at`]).
+    pub fn store_at(&self, epoch: u64, q: &Query, answer: bool) {
         if self.shards.is_empty() {
             return;
         }
-        let key = q.key();
+        let key = Self::stamped(epoch, q);
         self.shard_for(key)
             .lock()
             .expect("cache shard poisoned")
@@ -335,6 +386,42 @@ mod tests {
         let _ = cache.lookup(&q(9, 9, 9));
         let delta = cache.counters().since(before);
         assert_eq!(delta, CacheCounters { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn hit_rate_with_zero_lookups_is_zero_not_nan() {
+        let counters = CacheCounters::default();
+        assert_eq!(counters.hits + counters.misses, 0);
+        let rate = counters.hit_rate();
+        assert_eq!(rate, 0.0);
+        assert!(!rate.is_nan());
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_previous_entries() {
+        let cache = ResultCache::new(64, 4);
+        cache.store(&q(1, 2, 3), true);
+        assert_eq!(cache.lookup(&q(1, 2, 3)), Some(true));
+        assert_eq!(cache.epoch(), 0);
+        assert_eq!(cache.bump_epoch(), 1);
+        assert_eq!(cache.epoch(), 1);
+        // The pre-bump entry is unreachable; a fresh store at the new epoch
+        // can carry the opposite answer.
+        assert_eq!(cache.lookup(&q(1, 2, 3)), None);
+        cache.store(&q(1, 2, 3), false);
+        assert_eq!(cache.lookup(&q(1, 2, 3)), Some(false));
+    }
+
+    #[test]
+    fn stores_at_a_stale_epoch_never_surface_after_a_bump() {
+        let cache = ResultCache::new(64, 4);
+        let old_epoch = cache.epoch();
+        // A slow worker computed against the pre-mutation graph...
+        cache.bump_epoch();
+        // ...and lands its store after the bump, stamped with its epoch.
+        cache.store_at(old_epoch, &q(7, 8, 2), true);
+        assert_eq!(cache.lookup(&q(7, 8, 2)), None);
+        assert_eq!(cache.lookup_at(old_epoch, &q(7, 8, 2)), Some(true));
     }
 
     #[test]

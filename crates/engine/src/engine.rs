@@ -2,11 +2,12 @@
 //! the worker pool, and reassembles answers in batch order with serving
 //! statistics.
 
-use crate::backend::Reachability;
+use crate::backend::{Reachability, UpdateError, UpdateOutcome};
 use crate::batch::QueryBatch;
 use crate::cache::ResultCache;
 use crate::histogram::LatencyHistogram;
 use crate::pool::{Job, WorkerPool};
+use kreach_graph::dynamic::EdgeUpdate;
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
@@ -219,13 +220,33 @@ impl BatchEngine {
         self.backend.default_k()
     }
 
+    /// The current mutation epoch of the result cache.
+    pub fn epoch(&self) -> u64 {
+        self.cache.epoch()
+    }
+
+    /// Applies a batch of edge mutations through the backend and, if any of
+    /// them changed the graph, bumps the result cache's epoch so no
+    /// post-mutation lookup can serve a pre-mutation answer.
+    ///
+    /// Errors with [`UpdateError::Unsupported`] when the backend serves an
+    /// immutable index (every backend except the dynamic one).
+    pub fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<UpdateOutcome, UpdateError> {
+        let mut outcome = self.backend.apply_updates(updates)?;
+        if outcome.stats.applied() > 0 {
+            self.cache.bump_epoch();
+        }
+        outcome.epoch = self.cache.epoch();
+        Ok(outcome)
+    }
+
     /// Executes a batch, returning answers in batch order.
     ///
     /// Answers are deterministic: for a fixed backend and batch, the answer
     /// vector is identical for every worker count and cache configuration
     /// (the cache stores exact results, so hits and misses agree).
     pub fn run(&self, batch: &QueryBatch) -> Result<BatchOutcome, EngineError> {
-        let n = self.backend.graph().vertex_count();
+        let n = self.backend.vertex_count();
         for (i, q) in batch.queries().iter().enumerate() {
             let bad = if q.s.index() >= n {
                 Some(q.s.0)
@@ -494,6 +515,78 @@ mod tests {
         // Second pass over identical queries is answered from the cache.
         assert_eq!(second.stats.cache_misses, 0);
         assert_eq!(second.stats.cache_hits as usize, batch.len());
+    }
+
+    #[test]
+    fn immutable_backend_rejects_updates_through_the_engine() {
+        let g = Arc::new(DiGraph::from_edges(3, [(0, 1)]));
+        let engine = BatchEngine::with_defaults(Arc::new(BfsBackend::new(g, 2)));
+        let err = engine
+            .apply_updates(&[EdgeUpdate::Insert(VertexId(1), VertexId(2))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::backend::UpdateError::Unsupported { .. }
+        ));
+        // A failed update must not invalidate the cache.
+        assert_eq!(engine.epoch(), 0);
+    }
+
+    #[test]
+    fn cached_answers_are_never_served_stale_across_mutations() {
+        use crate::backend::DynamicKReachBackend;
+        use kreach_core::dynamic::DynamicOptions;
+
+        // 0→1 and an isolated vertex 2: (0, 2) is unreachable at k = 2.
+        let g = DiGraph::from_edges(3, [(0, 1)]);
+        let engine = BatchEngine::new(
+            Arc::new(DynamicKReachBackend::new(g, 2, DynamicOptions::default())),
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let probe = QueryBatch::new(vec![
+            Query {
+                s: VertexId(0),
+                t: VertexId(2),
+                k: 2,
+            };
+            64
+        ]);
+        let before = engine.run(&probe).unwrap();
+        assert!(before.answers.iter().all(|&a| !a));
+        assert!(before.stats.cache_hits > 0, "the answer was cached");
+
+        // Inserting (1, 2) flips the answer: 0→1→2 within 2 hops. The engine
+        // must reflect it immediately — a cached pre-mutation answer served
+        // now would be a correctness bug.
+        let outcome = engine
+            .apply_updates(&[EdgeUpdate::Insert(VertexId(1), VertexId(2))])
+            .expect("dynamic backend applies updates");
+        assert_eq!(outcome.stats.inserts, 1);
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(engine.epoch(), 1);
+        let after = engine.run(&probe).unwrap();
+        assert!(
+            after.answers.iter().all(|&a| a),
+            "post-mutation lookups must not serve the stale `false`"
+        );
+
+        // Removing the edge flips it back; the epoch advances again.
+        engine
+            .apply_updates(&[EdgeUpdate::Remove(VertexId(1), VertexId(2))])
+            .unwrap();
+        assert_eq!(engine.epoch(), 2);
+        assert!(engine.run(&probe).unwrap().answers.iter().all(|&a| !a));
+
+        // A no-op batch leaves the epoch (and the warm cache) alone.
+        engine
+            .apply_updates(&[EdgeUpdate::Remove(VertexId(1), VertexId(2))])
+            .unwrap();
+        assert_eq!(engine.epoch(), 2);
+        let warm = engine.run(&probe).unwrap();
+        assert_eq!(warm.stats.cache_misses, 0, "no-op must not drop the cache");
     }
 
     #[test]

@@ -154,6 +154,49 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_p50_p99_are_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50_micros(), 0.0);
+        assert_eq!(h.p99_micros(), 0.0);
+        assert_eq!(h.quantile_nanos(0.99), 0);
+        assert_eq!(h.quantile_nanos(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample_p50_and_p99_report_that_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(5_000); // 5 µs
+        assert_eq!(h.count(), 1);
+        // Every quantile of a one-sample histogram is that sample (the bucket
+        // upper bound is capped by the true maximum).
+        assert_eq!(h.quantile_nanos(0.0), 5_000);
+        assert_eq!(h.quantile_nanos(0.5), 5_000);
+        assert_eq!(h.quantile_nanos(0.99), 5_000);
+        assert_eq!(h.p50_micros(), 5.0);
+        assert_eq!(h.p99_micros(), 5.0);
+        assert_eq!(h.mean_nanos(), 5_000.0);
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_collapse_p50_and_p99() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1_000 {
+            h.record(700); // all land in bucket [512, 1024)
+        }
+        assert_eq!(h.quantile_nanos(0.5), h.quantile_nanos(0.99));
+        // The cap by max_nanos makes the reported value exact here.
+        assert_eq!(h.quantile_nanos(0.5), 700);
+        assert_eq!(h.p50_micros(), h.p99_micros());
+        // Zero-valued observations stay in bucket 0 and report 0 µs... but a
+        // zero-only histogram still has count > 0 and quantile 1 (bucket 0's
+        // upper bound) capped by max(1).
+        let mut zeros = LatencyHistogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.quantile_nanos(0.5), 1);
+        assert_eq!(zeros.max_nanos(), 0);
+    }
+
+    #[test]
     fn merge_equals_recording_everything_in_one() {
         let mut a = LatencyHistogram::new();
         let mut b = LatencyHistogram::new();

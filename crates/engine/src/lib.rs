@@ -10,14 +10,18 @@
 //! index. This crate supplies that layer:
 //!
 //! * [`Reachability`] — the unified k-hop backend trait, implemented by
-//!   [`KReachBackend`] (§4 index), [`HkReachBackend`] (§5 index) and
-//!   [`BfsBackend`] (index-free online search). All are `Send + Sync` and
-//!   served as `Arc<dyn Reachability>`.
+//!   [`KReachBackend`] (§4 index), [`HkReachBackend`] (§5 index),
+//!   [`BfsBackend`] (index-free online search) and [`DynamicKReachBackend`]
+//!   (incrementally maintained index accepting edge mutations). All are
+//!   `Send + Sync` and served as `Arc<dyn Reachability>`.
 //! * [`BatchEngine`] — a fixed pool of `std::thread` workers fed chunk jobs
 //!   over channels; answers come back **in batch order**, identical for
-//!   every worker count.
+//!   every worker count. [`BatchEngine::apply_updates`] routes graph
+//!   mutations through the backend and invalidates the result cache.
 //! * [`ResultCache`] — a sharded LRU of `(s, t, k) → bool` results with
 //!   hit/miss counters, shared by all workers and reused across batches.
+//!   Mutations bump an **epoch** stamped into every key instead of draining
+//!   shards, so invalidation is one atomic increment.
 //! * [`EngineStats`] — per-run serving report: throughput, cache hit rate,
 //!   and p50/p99 latency from power-of-two histograms.
 //!
@@ -51,7 +55,10 @@ pub mod histogram;
 mod pool;
 pub mod sweep;
 
-pub use backend::{BfsBackend, HkReachBackend, KReachBackend, Reachability};
+pub use backend::{
+    BfsBackend, DynamicKReachBackend, HkReachBackend, KReachBackend, Reachability, UpdateError,
+    UpdateOutcome,
+};
 pub use batch::{Query, QueryBatch};
 pub use cache::{CacheCounters, ResultCache};
 pub use engine::{BatchEngine, BatchOutcome, EngineConfig, EngineError, EngineStats};

@@ -104,11 +104,15 @@ fn run_job(job: Job) {
     let mut latencies = LatencyHistogram::new();
     for query in &job.queries[job.range.clone()] {
         let started = Instant::now();
-        let answer = match job.cache.lookup(query) {
+        // The epoch is captured per query, before the backend runs: if a
+        // mutation bumps the epoch mid-computation, this answer is stored
+        // under the pre-mutation epoch and can never be served as fresh.
+        let epoch = job.cache.epoch();
+        let answer = match job.cache.lookup_at(epoch, query) {
             Some(cached) => cached,
             None => {
                 let computed = job.backend.query(query.s, query.t, query.k);
-                job.cache.store(query, computed);
+                job.cache.store_at(epoch, query, computed);
                 computed
             }
         };

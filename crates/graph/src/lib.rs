@@ -26,6 +26,9 @@
 //!   the building blocks of the compressed transitive-closure baseline and
 //!   of the compact high-degree adjacency described in Section 4.3.
 //! * [`io`] — plain edge-list reading/writing.
+//! * [`dynamic`] — a mutable delta-overlay + edge-update log over the frozen
+//!   CSR, the substrate for incremental index maintenance under live edge
+//!   insertions and removals.
 //!
 //! All vertex identifiers are dense `u32` values wrapped in [`VertexId`].
 
@@ -35,6 +38,7 @@
 pub mod bitset;
 pub mod builder;
 pub mod csr;
+pub mod dynamic;
 pub mod generators;
 pub mod interval;
 pub mod io;
@@ -46,6 +50,7 @@ pub mod vertex;
 pub use bitset::FixedBitSet;
 pub use builder::GraphBuilder;
 pub use csr::DiGraph;
+pub use dynamic::{DynamicGraph, EdgeUpdate};
 pub use interval::IntervalList;
 pub use scc::{Condensation, SccResult};
 pub use vertex::VertexId;

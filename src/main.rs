@@ -19,12 +19,20 @@
 //! * `kreach bench-serve [--dataset D] [--scale F] [--k K] [--queries N] [--workers a,b,..]`
 //!   — build an index over a generated dataset, sweep worker counts over one
 //!   workload, and emit throughput (queries/sec) as JSON.
+//! * `kreach update <edge-list> <update-workload> [--k K] [--workers N] [--cache C]`
+//!   — serve a *mixed* workload that interleaves query batches with edge
+//!   insertions/removals (`+ u v` / `- u v` lines): the k-reach index is
+//!   maintained incrementally and the result cache is epoch-invalidated, so
+//!   every answer reflects all mutations before it.
 //!
 //! Unknown `--flags` are rejected with an error rather than ignored.
 
 use kreach::core::kreach::QueryWitness;
 use kreach::core::storage;
-use kreach::engine::{BatchEngine, EngineConfig, KReachBackend, QueryBatch};
+use kreach::engine::{
+    BatchEngine, DynamicKReachBackend, EngineConfig, KReachBackend, Query, QueryBatch,
+};
+use kreach::graph::dynamic::EdgeUpdate;
 use kreach::prelude::*;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -54,6 +62,7 @@ fn run(args: &[String]) -> Result<String, String> {
         Some("query") => cmd_query(&collect_rest(args)),
         Some("workload") => cmd_workload(&collect_rest(args)),
         Some("batch") => cmd_batch(&collect_rest(args)),
+        Some("update") => cmd_update(&collect_rest(args)),
         Some("bench-serve") => cmd_bench_serve(&collect_rest(args)),
         Some("--help") | Some("-h") | None => Ok(usage().to_string()),
         Some(other) => Err(format!("unknown subcommand {other:?}")),
@@ -74,6 +83,8 @@ fn usage() -> &'static str {
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--hot N] [--hot-fraction F]\n\
      \x20 kreach batch <index-file> <edge-list> <queries-file> [--workers N] [--cache C]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--default-k K] [--stats-json <file>]\n\
+     \x20 kreach update <edge-list> <update-workload> [--k K] [--workers N] [--cache C]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--stats-json <file>]\n\
      \x20 kreach bench-serve [--dataset D] [--scale F] [--k K] [--queries N]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--workers a,b,..] [--cache C] [--seed S]"
 }
@@ -379,6 +390,174 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_update(args: &[&str]) -> Result<String, String> {
+    ensure_known_flags(args, &["--k", "--workers", "--cache", "--stats-json"])?;
+    let pos = positionals(args);
+    let [graph_path, workload_path] = pos.as_slice() else {
+        return Err("update expects <edge-list> <update-workload>".to_string());
+    };
+    let k: u32 = parse_flag_or(args, "--k", 3)?;
+    if k == 0 {
+        return Err("--k must be at least 1".to_string());
+    }
+    let workers: usize = parse_flag_or(args, "--workers", 0)?;
+    let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
+    let stats_json = flag_value(args, "--stats-json")?;
+
+    let g = kreach::graph::io::read_edge_list_file(graph_path).map_err(|e| e.to_string())?;
+    let ops =
+        kreach::datasets::read_update_workload_file(workload_path).map_err(|e| e.to_string())?;
+    let backend = Arc::new(DynamicKReachBackend::new(
+        g,
+        k,
+        kreach::core::dynamic::DynamicOptions::default(),
+    ));
+    let engine = BatchEngine::new(
+        Arc::clone(&backend) as Arc<dyn kreach::engine::Reachability>,
+        EngineConfig {
+            workers,
+            cache_capacity: cache,
+            ..EngineConfig::default()
+        },
+    );
+
+    use std::fmt::Write as _;
+    let started = std::time::Instant::now();
+    let mut out = String::new();
+    let mut pending: Vec<Query> = Vec::new();
+    let mut total_queries = 0usize;
+    let mut query_secs = 0.0f64;
+    let mut update_secs = 0.0f64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut mutations = 0usize;
+
+    let flush =
+        |pending: &mut Vec<Query>, out: &mut String| -> Result<(usize, f64, u64, u64), String> {
+            if pending.is_empty() {
+                return Ok((0, 0.0, 0, 0));
+            }
+            let batch = QueryBatch::new(std::mem::take(pending));
+            let outcome = engine.run(&batch).map_err(|e| e.to_string())?;
+            for (q, &answer) in batch.queries().iter().zip(outcome.answers.iter()) {
+                writeln!(
+                    out,
+                    "{} {} {} {}",
+                    q.s,
+                    q.t,
+                    q.k,
+                    if answer { "reachable" } else { "unreachable" }
+                )
+                .expect("writing to a String cannot fail");
+            }
+            Ok((
+                outcome.stats.queries,
+                outcome.stats.elapsed_secs,
+                outcome.stats.cache_hits,
+                outcome.stats.cache_misses,
+            ))
+        };
+
+    for op in &ops {
+        match *op {
+            kreach::datasets::UpdateOp::Query { s, t, k: qk } => {
+                pending.push(Query {
+                    s,
+                    t,
+                    k: qk.unwrap_or(k),
+                });
+            }
+            kreach::datasets::UpdateOp::Insert { u, v }
+            | kreach::datasets::UpdateOp::Remove { u, v } => {
+                let (queries, secs, hits, misses) = flush(&mut pending, &mut out)?;
+                total_queries += queries;
+                query_secs += secs;
+                cache_hits += hits;
+                cache_misses += misses;
+                let insert = matches!(op, kreach::datasets::UpdateOp::Insert { .. });
+                let update = if insert {
+                    EdgeUpdate::Insert(u, v)
+                } else {
+                    EdgeUpdate::Remove(u, v)
+                };
+                let apply_started = std::time::Instant::now();
+                let outcome = engine.apply_updates(&[update]).map_err(|e| e.to_string())?;
+                update_secs += apply_started.elapsed().as_secs_f64();
+                mutations += 1;
+                writeln!(
+                    out,
+                    "{} {} {} {} epoch={}",
+                    if insert { "+" } else { "-" },
+                    u,
+                    v,
+                    if outcome.stats.applied() > 0 {
+                        "applied"
+                    } else {
+                        "noop"
+                    },
+                    outcome.epoch
+                )
+                .expect("writing to a String cannot fail");
+            }
+        }
+    }
+    let (queries, secs, hits, misses) = flush(&mut pending, &mut out)?;
+    total_queries += queries;
+    query_secs += secs;
+    cache_hits += hits;
+    cache_misses += misses;
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = backend.with_state(|s| s.stats());
+    // Timed directly around the apply_updates calls, not inferred from the
+    // wall clock, so query-heavy workloads do not distort the figure.
+    let updates_per_sec = if update_secs > 0.0 && mutations > 0 {
+        mutations as f64 / update_secs
+    } else {
+        0.0
+    };
+    let summary = format!(
+        "dynamic-k-reach · {total_queries} queries · {mutations} mutations \
+         ({} applied, {} noops) in {elapsed:.3}s · {updates_per_sec:.0} updates/s · \
+         cache {cache_hits}/{} hits · {} rows patched · {} cover additions · {} rebuilds · epoch {}",
+        stats.applied(),
+        stats.noops,
+        cache_hits + cache_misses,
+        stats.rows_patched,
+        stats.cover_additions,
+        stats.full_rebuilds,
+        engine.epoch(),
+    );
+    eprintln!("{summary}");
+    if let Some(path) = stats_json {
+        let json = format!(
+            concat!(
+                "{{\"queries\":{},\"mutations\":{},\"applied\":{},\"noops\":{},",
+                "\"rows_patched\":{},\"cover_additions\":{},\"full_rebuilds\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"epoch\":{},",
+                "\"elapsed_secs\":{:.6},\"query_secs\":{:.6},\"update_secs\":{:.6},",
+                "\"updates_per_sec\":{:.1}}}\n"
+            ),
+            total_queries,
+            mutations,
+            stats.applied(),
+            stats.noops,
+            stats.rows_patched,
+            stats.cover_additions,
+            stats.full_rebuilds,
+            cache_hits,
+            cache_misses,
+            engine.epoch(),
+            elapsed,
+            query_secs,
+            update_secs,
+            updates_per_sec,
+        );
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+    }
+    Ok(out)
+}
+
 fn cmd_bench_serve(args: &[&str]) -> Result<String, String> {
     ensure_known_flags(
         args,
@@ -642,6 +821,63 @@ mod tests {
         )))
         .is_err());
         for f in ["g.txt", "g.idx", "q.txt", "stats.json"] {
+            std::fs::remove_file(dir.join(f)).ok();
+        }
+    }
+
+    #[test]
+    fn end_to_end_update_workload_reflects_mutations() {
+        let dir = std::env::temp_dir().join("kreach-cli-update-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_arg = dir.join("g.txt").to_str().unwrap().to_string();
+        let ops_arg = dir.join("ops.txt").to_str().unwrap().to_string();
+        let stats_arg = dir.join("stats.json").to_str().unwrap().to_string();
+
+        // Edges 0→1 and 3→2: vertex 2 has no path from 0.
+        std::fs::write(dir.join("g.txt"), "0 1\n3 2\n").unwrap();
+        // Query, open the path, re-query, close it, re-query. The repeated
+        // (0, 2, 2) query is the cache-staleness probe: its answer must
+        // track the mutations.
+        std::fs::write(
+            dir.join("ops.txt"),
+            "0 2 2\n+ 1 2\n0 2 2\n+ 1 2\n- 1 2\n0 2 2\n",
+        )
+        .unwrap();
+
+        let out = run(&args(&format!(
+            "update {graph_arg} {ops_arg} --k 2 --workers 2 --stats-json {stats_arg}"
+        )))
+        .expect("update succeeds");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "0 2 2 unreachable",
+                "+ 1 2 applied epoch=1",
+                "0 2 2 reachable",
+                "+ 1 2 noop epoch=1",
+                "- 1 2 applied epoch=2",
+                "0 2 2 unreachable",
+            ],
+            "{out}"
+        );
+        let stats = std::fs::read_to_string(&stats_arg).unwrap();
+        for needle in [
+            "\"queries\":3",
+            "\"mutations\":3",
+            "\"applied\":2",
+            "\"noops\":1",
+            "\"epoch\":2",
+        ] {
+            assert!(stats.contains(needle), "missing {needle} in {stats}");
+        }
+
+        // Out-of-range query vertices are rejected; unknown flags too.
+        std::fs::write(dir.join("ops.txt"), "0 99 2\n").unwrap();
+        assert!(run(&args(&format!("update {graph_arg} {ops_arg}"))).is_err());
+        assert!(run(&args(&format!("update {graph_arg} {ops_arg} --frob 1"))).is_err());
+        assert!(run(&args(&format!("update {graph_arg} {ops_arg} --k 0"))).is_err());
+        for f in ["g.txt", "ops.txt", "stats.json"] {
             std::fs::remove_file(dir.join(f)).ok();
         }
     }

@@ -1,0 +1,361 @@
+//! Differential test harness for incremental k-reach index maintenance.
+//!
+//! The headline correctness claim of the dynamic update path is replayed
+//! here: for random mutation sequences over several generated graph shapes,
+//! the incrementally maintained index ([`DynamicKReach`]) must answer
+//! **byte-identically** to a from-scratch [`KReachIndex::build`] over the
+//! mutated graph and to a ground-truth online BFS — at every step — and a
+//! result-cache lookup after a mutation must never serve a pre-mutation
+//! answer.
+//!
+//! Three layers of checking:
+//!
+//! 1. [`differential_replay`] — the core harness: replay a seeded random
+//!    mutation sequence, asserting (a) the maintained graph's edge set is
+//!    exactly the oracle edge set, and (b) incremental == rebuilt == BFS on
+//!    a query sample after every step.
+//! 2. Engine-level replays — the same discipline through [`BatchEngine`]
+//!    with a warm sharded LRU cache at 1 and 8 workers, which is what proves
+//!    epoch invalidation (stale cached answers would differ from BFS).
+//! 3. A `#[ignore]`d soak variant with a larger step count (tunable via
+//!    `KREACH_SOAK_STEPS`) for the scheduled long-sequence CI job.
+
+use kreach_core::dynamic::{DynamicKReach, DynamicOptions};
+use kreach_core::{BuildOptions, KReachIndex};
+use kreach_engine::{BatchEngine, DynamicKReachBackend, EngineConfig, Query, QueryBatch};
+use kreach_graph::dynamic::EdgeUpdate;
+use kreach_graph::generators::GeneratorSpec;
+use kreach_graph::traversal::khop_reachable_bfs;
+use kreach_graph::{DiGraph, VertexId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The three generated graph shapes the harness replays over: dense-ish
+/// random, hub-skewed, and layered-DAG-with-cycles.
+fn shapes() -> [(GeneratorSpec, u32); 3] {
+    [
+        (GeneratorSpec::ErdosRenyi { n: 28, m: 90 }, 2),
+        (
+            GeneratorSpec::PowerLaw {
+                n: 32,
+                m: 110,
+                hubs: 3,
+            },
+            3,
+        ),
+        (
+            GeneratorSpec::LayeredDag {
+                n: 30,
+                m: 80,
+                layers: 5,
+                back_edge_fraction: 0.1,
+            },
+            5,
+        ),
+    ]
+}
+
+/// Oracle state: the plain edge set the incremental index must agree with.
+struct Oracle {
+    n: usize,
+    edges: BTreeSet<(u32, u32)>,
+}
+
+impl Oracle {
+    fn of(g: &DiGraph) -> Self {
+        Oracle {
+            n: g.vertex_count(),
+            edges: g.edges().map(|(u, v)| (u.0, v.0)).collect(),
+        }
+    }
+
+    fn apply(&mut self, update: EdgeUpdate) -> bool {
+        let (u, v) = update.endpoints();
+        if u == v {
+            return false;
+        }
+        match update {
+            EdgeUpdate::Insert(..) => {
+                self.n = self.n.max(u.index() + 1).max(v.index() + 1);
+                self.edges.insert((u.0, v.0))
+            }
+            EdgeUpdate::Remove(..) => self.edges.remove(&(u.0, v.0)),
+        }
+    }
+
+    fn graph(&self) -> DiGraph {
+        let edges: Vec<(u32, u32)> = self.edges.iter().copied().collect();
+        DiGraph::from_sorted_unique_edges(self.n, &edges)
+    }
+}
+
+/// Draws the next random mutation: mostly inserts/removes between existing
+/// vertices, occasionally a vertex-growing insert or a deliberate no-op.
+fn random_update(rng: &mut StdRng, oracle: &Oracle) -> EdgeUpdate {
+    let n = oracle.n as u32;
+    let roll: u32 = rng.gen_range(0u32..100);
+    if roll < 40 {
+        // Insert between existing vertices (may collide with an existing
+        // edge, exercising the duplicate-insert no-op path).
+        EdgeUpdate::Insert(
+            VertexId(rng.gen_range(0u32..n)),
+            VertexId(rng.gen_range(0u32..n)),
+        )
+    } else if roll < 45 {
+        // Vertex-growing insert.
+        EdgeUpdate::Insert(VertexId(rng.gen_range(0u32..n)), VertexId(n))
+    } else if roll < 85 {
+        // Remove a random existing edge, if any.
+        if oracle.edges.is_empty() {
+            EdgeUpdate::Insert(VertexId(0), VertexId(1.min(n.saturating_sub(1))))
+        } else {
+            let i = rng.gen_range(0usize..oracle.edges.len());
+            let &(u, v) = oracle.edges.iter().nth(i).expect("index in range");
+            EdgeUpdate::Remove(VertexId(u), VertexId(v))
+        }
+    } else {
+        // Remove a random (likely absent) pair — the absent-removal no-op.
+        EdgeUpdate::Remove(
+            VertexId(rng.gen_range(0u32..n)),
+            VertexId(rng.gen_range(0u32..n)),
+        )
+    }
+}
+
+/// A deterministic sample of query pairs over the current vertex range.
+fn sample_pairs(rng: &mut StdRng, n: usize, count: usize) -> Vec<(VertexId, VertexId)> {
+    (0..count)
+        .map(|_| {
+            (
+                VertexId(rng.gen_range(0u32..n as u32)),
+                VertexId(rng.gen_range(0u32..n as u32)),
+            )
+        })
+        .collect()
+}
+
+/// The core differential harness: replay `steps` random mutations over the
+/// shape's generated graph, asserting after every step that the incremental
+/// index, a from-scratch rebuild, and online BFS agree on `sample` random
+/// query pairs (plus, every `exhaustive_every` steps, on *all* pairs).
+fn differential_replay(
+    shape: GeneratorSpec,
+    k: u32,
+    seed: u64,
+    steps: usize,
+    sample: usize,
+    exhaustive_every: usize,
+) {
+    let g0 = shape.generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+    let mut oracle = Oracle::of(&g0);
+    let mut dynk = DynamicKReach::new(g0, k, DynamicOptions::default());
+
+    for step in 0..steps {
+        let update = random_update(&mut rng, &oracle);
+        let expected_change = oracle.apply(update);
+        let delta = dynk.apply_all(&[update]);
+        assert_eq!(
+            delta.applied() > 0,
+            expected_change,
+            "step {step}: {update} change disagreement"
+        );
+
+        // Structural agreement: the maintained snapshot IS the oracle graph.
+        let oracle_graph = oracle.graph();
+        let snapshot = dynk.graph();
+        assert_eq!(snapshot.vertex_count(), oracle_graph.vertex_count());
+        assert_eq!(
+            snapshot.edges().collect::<Vec<_>>(),
+            oracle_graph.edges().collect::<Vec<_>>(),
+            "step {step}: edge sets diverged"
+        );
+
+        // Answer agreement: incremental == from-scratch rebuild == BFS.
+        let rebuilt = KReachIndex::build(&oracle_graph, k, BuildOptions::default());
+        let pairs = if exhaustive_every > 0 && step % exhaustive_every == 0 {
+            let mut all = Vec::new();
+            for s in oracle_graph.vertices() {
+                for t in oracle_graph.vertices() {
+                    all.push((s, t));
+                }
+            }
+            all
+        } else {
+            sample_pairs(&mut rng, oracle.n, sample)
+        };
+        for (s, t) in pairs {
+            let truth = khop_reachable_bfs(&oracle_graph, s, t, k);
+            assert_eq!(
+                dynk.query(s, t),
+                truth,
+                "step {step}: incremental vs BFS at k={k} ({s},{t}) after {update}"
+            );
+            assert_eq!(
+                rebuilt.query(&oracle_graph, s, t),
+                truth,
+                "step {step}: rebuild vs BFS at k={k} ({s},{t})"
+            );
+        }
+    }
+    // The replay must actually have exercised the interesting paths.
+    let stats = dynk.stats();
+    assert!(stats.inserts > 0 && stats.removes > 0 && stats.noops > 0);
+    assert!(stats.rows_patched > 0);
+}
+
+#[test]
+fn differential_replay_over_three_shapes() {
+    for (i, (shape, k)) in shapes().into_iter().enumerate() {
+        differential_replay(shape, k, 1000 + i as u64, 110, 30, 25);
+    }
+}
+
+/// Long-sequence soak variant for the scheduled CI job:
+/// `cargo test --release -- --ignored`, step count tunable via
+/// `KREACH_SOAK_STEPS` (default 400).
+#[test]
+#[ignore = "long-running soak; exercised by the CI --ignored job"]
+fn differential_soak_long_sequences() {
+    let steps: usize = std::env::var("KREACH_SOAK_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    for (i, (shape, k)) in shapes().into_iter().enumerate() {
+        for seed in 0..3u64 {
+            differential_replay(shape, k, 7_000 + 31 * i as u64 + seed, steps, 40, 50);
+        }
+    }
+}
+
+/// Engine-level freshness: replaying mutations through [`BatchEngine`] with
+/// a warm cache must stay consistent with BFS over the live snapshot — if a
+/// post-mutation lookup ever served a pre-mutation answer, it would diverge.
+fn engine_replay(workers: usize, k: u32, seed: u64, steps: usize) {
+    let g0 = GeneratorSpec::ErdosRenyi { n: 24, m: 70 }.generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE1);
+    let mut oracle = Oracle::of(&g0);
+    let backend = Arc::new(DynamicKReachBackend::new(g0, k, DynamicOptions::default()));
+    let engine = BatchEngine::new(
+        Arc::clone(&backend) as Arc<dyn kreach_engine::Reachability>,
+        EngineConfig {
+            workers,
+            chunk_size: 8,
+            ..EngineConfig::default()
+        },
+    );
+
+    for step in 0..steps {
+        // Seed the cache with pre-mutation answers for a fixed probe set.
+        let probes = sample_pairs(&mut rng, oracle.n, 24);
+        let batch = QueryBatch::new(probes.iter().map(|&(s, t)| Query { s, t, k }).collect());
+        engine.run(&batch).expect("probe batch in range");
+
+        let update = random_update(&mut rng, &oracle);
+        oracle.apply(update);
+        engine
+            .apply_updates(&[update])
+            .expect("dynamic backend applies updates");
+
+        // Post-mutation: the same probes must match BFS on the new graph,
+        // cache notwithstanding.
+        let oracle_graph = oracle.graph();
+        let outcome = engine.run(&batch).expect("probe batch in range");
+        for (&(s, t), &answer) in probes.iter().zip(outcome.answers.iter()) {
+            assert_eq!(
+                answer,
+                khop_reachable_bfs(&oracle_graph, s, t, k),
+                "step {step}, workers {workers}: stale or wrong answer at k={k} ({s},{t}) after {update}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_replay_is_fresh_at_one_and_eight_workers() {
+    for workers in [1usize, 8] {
+        for k in [2u32, 3, 5] {
+            engine_replay(workers, k, 42 + k as u64, 40);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    // Satellite property: random interleaved insert/remove/query sequences
+    // keep the incremental index, a from-scratch rebuild, and the BFS
+    // oracle in agreement for k ∈ {2, 3, 5}, at 1 and 8 engine workers.
+    #[test]
+    fn random_interleavings_agree_across_backends_and_workers(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec((0u32..3, (0u32..20, 0u32..20)), 1..40),
+    ) {
+        let g0 = GeneratorSpec::ErdosRenyi { n: 20, m: 50 }.generate(seed);
+        for k in [2u32, 3, 5] {
+            for workers in [1usize, 8] {
+                let mut oracle = Oracle::of(&g0);
+                let backend = Arc::new(DynamicKReachBackend::new(
+                    g0.clone(),
+                    k,
+                    DynamicOptions::default(),
+                ));
+                let engine = BatchEngine::new(
+                    Arc::clone(&backend) as Arc<dyn kreach_engine::Reachability>,
+                    EngineConfig { workers, chunk_size: 4, ..EngineConfig::default() },
+                );
+                for &(kind, (a, b)) in &ops {
+                    let (s, t) = (VertexId(a), VertexId(b));
+                    match kind {
+                        0 => {
+                            oracle.apply(EdgeUpdate::Insert(s, t));
+                            engine.apply_updates(&[EdgeUpdate::Insert(s, t)]).expect("dynamic");
+                        }
+                        1 => {
+                            oracle.apply(EdgeUpdate::Remove(s, t));
+                            engine.apply_updates(&[EdgeUpdate::Remove(s, t)]).expect("dynamic");
+                        }
+                        _ => {
+                            // A query burst: the probed pair plus its reverse,
+                            // answered through the engine (cache + pool) and
+                            // checked against BFS and a fresh rebuild.
+                            let oracle_graph = oracle.graph();
+                            let rebuilt =
+                                KReachIndex::build(&oracle_graph, k, BuildOptions::default());
+                            let batch = QueryBatch::new(vec![
+                                Query { s, t, k },
+                                Query { s: t, t: s, k },
+                            ]);
+                            let outcome = engine.run(&batch).expect("in range");
+                            for (q, &answer) in batch.queries().iter().zip(outcome.answers.iter()) {
+                                let truth = khop_reachable_bfs(&oracle_graph, q.s, q.t, k);
+                                prop_assert_eq!(
+                                    answer, truth,
+                                    "engine vs BFS, k={} workers={} ({},{})", k, workers, q.s, q.t
+                                );
+                                prop_assert_eq!(
+                                    rebuilt.query(&oracle_graph, q.s, q.t), truth,
+                                    "rebuild vs BFS, k={} ({},{})", k, q.s, q.t
+                                );
+                            }
+                        }
+                    }
+                }
+                // Final exhaustive sweep over the end state.
+                let oracle_graph = oracle.graph();
+                for s in oracle_graph.vertices() {
+                    for t in oracle_graph.vertices() {
+                        prop_assert_eq!(
+                            backend.with_state(|state| state.query(s, t)),
+                            khop_reachable_bfs(&oracle_graph, s, t, k),
+                            "final sweep, k={} workers={} ({},{})", k, workers, s, t
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
