@@ -7,27 +7,27 @@
 
 use crate::{KHopReachability, Reachability};
 use kreach_graph::traversal::{khop_reachable_bfs, khop_reachable_bidirectional, reachable_bfs};
-use kreach_graph::{DiGraph, VertexId};
+use kreach_graph::{DiGraph, GraphView, VersionedAdjGraph, VertexId};
 
-/// Index-free forward BFS.
+/// Index-free forward BFS over any [`GraphView`] backend.
 #[derive(Debug, Clone)]
-pub struct OnlineBfs<'g> {
-    graph: &'g DiGraph,
+pub struct OnlineBfs<'g, G: GraphView = DiGraph> {
+    graph: &'g G,
 }
 
-impl<'g> OnlineBfs<'g> {
+impl<'g, G: GraphView> OnlineBfs<'g, G> {
     /// Wraps a graph; nothing is precomputed.
-    pub fn new(graph: &'g DiGraph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         OnlineBfs { graph }
     }
 
     /// The wrapped graph.
-    pub fn graph(&self) -> &DiGraph {
+    pub fn graph(&self) -> &G {
         self.graph
     }
 }
 
-impl Reachability for OnlineBfs<'_> {
+impl<G: GraphView> Reachability for OnlineBfs<'_, G> {
     fn name(&self) -> &'static str {
         "online-bfs"
     }
@@ -45,7 +45,7 @@ impl Reachability for OnlineBfs<'_> {
     }
 }
 
-impl KHopReachability for OnlineBfs<'_> {
+impl<G: GraphView> KHopReachability for OnlineBfs<'_, G> {
     fn khop_reachable(&self, s: VertexId, t: VertexId, k: u32) -> bool {
         khop_reachable_bfs(self.graph, s, t, k)
     }
@@ -53,18 +53,18 @@ impl KHopReachability for OnlineBfs<'_> {
 
 /// Index-free bidirectional BFS: expands the smaller frontier from both ends.
 #[derive(Debug, Clone)]
-pub struct BidirectionalBfs<'g> {
-    graph: &'g DiGraph,
+pub struct BidirectionalBfs<'g, G: GraphView = DiGraph> {
+    graph: &'g G,
 }
 
-impl<'g> BidirectionalBfs<'g> {
+impl<'g, G: GraphView> BidirectionalBfs<'g, G> {
     /// Wraps a graph; nothing is precomputed.
-    pub fn new(graph: &'g DiGraph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         BidirectionalBfs { graph }
     }
 }
 
-impl Reachability for BidirectionalBfs<'_> {
+impl<G: GraphView> Reachability for BidirectionalBfs<'_, G> {
     fn name(&self) -> &'static str {
         "bidirectional-bfs"
     }
@@ -83,7 +83,7 @@ impl Reachability for BidirectionalBfs<'_> {
     }
 }
 
-impl KHopReachability for BidirectionalBfs<'_> {
+impl<G: GraphView> KHopReachability for BidirectionalBfs<'_, G> {
     fn khop_reachable(&self, s: VertexId, t: VertexId, k: u32) -> bool {
         khop_reachable_bidirectional(self.graph, s, t, k)
     }
@@ -93,6 +93,14 @@ impl KHopReachability for BidirectionalBfs<'_> {
 /// k-hop search per query. This is the BFS fallback the serving engine wraps
 /// when no index has been built.
 impl KHopReachability for DiGraph {
+    fn khop_reachable(&self, s: VertexId, t: VertexId, k: u32) -> bool {
+        khop_reachable_bidirectional(self, s, t, k)
+    }
+}
+
+/// The versioned backend answers k-hop queries the same way, over its live
+/// edge set.
+impl KHopReachability for VersionedAdjGraph {
     fn khop_reachable(&self, s: VertexId, t: VertexId, k: u32) -> bool {
         khop_reachable_bidirectional(self, s, t, k)
     }

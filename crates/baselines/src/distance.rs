@@ -13,7 +13,7 @@
 //! entries `w`, which is the canonical 2-hop distance query.
 
 use crate::{KHopReachability, Reachability};
-use kreach_graph::{DiGraph, VertexId};
+use kreach_graph::{GraphView, VertexId};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -36,7 +36,7 @@ impl DistanceIndex {
     /// Builds the labeling. Landmarks are processed in decreasing order of
     /// total degree, which is the standard heuristic that keeps labels small
     /// on skewed-degree graphs.
-    pub fn build(g: &DiGraph) -> Self {
+    pub fn build<G: GraphView>(g: &G) -> Self {
         let started = Instant::now();
         let n = g.vertex_count();
         let mut order: Vec<VertexId> = g.vertices().collect();
@@ -97,8 +97,8 @@ impl DistanceIndex {
     /// pruned by the labels built so far; returns `(v, d)` for every vertex
     /// that survives pruning (including the landmark itself at d=0).
     #[allow(clippy::too_many_arguments)]
-    fn pruned_bfs(
-        g: &DiGraph,
+    fn pruned_bfs<G: GraphView>(
+        g: &G,
         landmark: VertexId,
         forward: bool,
         label_out: &[Vec<LabelEntry>],
@@ -221,6 +221,7 @@ mod tests {
     use super::*;
     use kreach_graph::generators::GeneratorSpec;
     use kreach_graph::traversal::shortest_distance;
+    use kreach_graph::DiGraph;
 
     #[test]
     fn exact_distances_on_small_graph() {

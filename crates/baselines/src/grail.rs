@@ -10,7 +10,7 @@
 
 use crate::Reachability;
 use kreach_graph::scc::Condensation;
-use kreach_graph::{DiGraph, FixedBitSet, VertexId};
+use kreach_graph::{DiGraph, FixedBitSet, GraphView, VertexId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -45,12 +45,12 @@ impl Grail {
     pub const DEFAULT_TRAVERSALS: usize = 3;
 
     /// Builds a GRAIL index with the default number of traversals.
-    pub fn build(g: &DiGraph) -> Self {
+    pub fn build<G: GraphView>(g: &G) -> Self {
         Self::build_with(g, Self::DEFAULT_TRAVERSALS, 0x0006_a411)
     }
 
     /// Builds a GRAIL index with `traversals` randomized labelings.
-    pub fn build_with(g: &DiGraph, traversals: usize, seed: u64) -> Self {
+    pub fn build_with<G: GraphView>(g: &G, traversals: usize, seed: u64) -> Self {
         assert!(traversals >= 1, "GRAIL needs at least one traversal");
         let started = Instant::now();
         let condensation = Condensation::new(g);

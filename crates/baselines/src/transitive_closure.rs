@@ -12,7 +12,7 @@
 use crate::Reachability;
 use kreach_graph::scc::Condensation;
 use kreach_graph::traversal::topological_sort;
-use kreach_graph::{DiGraph, FixedBitSet, IntervalList, VertexId};
+use kreach_graph::{FixedBitSet, GraphView, IntervalList, VertexId};
 use std::time::Instant;
 
 /// Compressed transitive closure over the condensation of the input graph.
@@ -29,7 +29,7 @@ pub struct IntervalTransitiveClosure {
 
 impl IntervalTransitiveClosure {
     /// Builds the compressed transitive closure of `g`.
-    pub fn build(g: &DiGraph) -> Self {
+    pub fn build<G: GraphView>(g: &G) -> Self {
         let started = Instant::now();
         let condensation = Condensation::new(g);
         let dag = &condensation.dag;
@@ -120,6 +120,7 @@ mod tests {
     use super::*;
     use kreach_graph::generators::GeneratorSpec;
     use kreach_graph::traversal::reachable_bfs;
+    use kreach_graph::DiGraph;
 
     fn check_against_bfs(g: &DiGraph, idx: &IntervalTransitiveClosure) {
         for s in g.vertices() {

@@ -13,7 +13,7 @@
 use crate::Reachability;
 use kreach_graph::scc::Condensation;
 use kreach_graph::traversal::{dfs_forest, topological_sort};
-use kreach_graph::{DiGraph, VertexId};
+use kreach_graph::{GraphView, VertexId};
 use std::time::Instant;
 
 /// A closed interval of post-order ranks `[lo, hi]`.
@@ -33,7 +33,7 @@ pub struct TreeCover {
 
 impl TreeCover {
     /// Builds the tree cover of `g`.
-    pub fn build(g: &DiGraph) -> Self {
+    pub fn build<G: GraphView>(g: &G) -> Self {
         let started = Instant::now();
         let condensation = Condensation::new(g);
         let dag = &condensation.dag;
@@ -153,6 +153,7 @@ mod tests {
     use super::*;
     use kreach_graph::generators::GeneratorSpec;
     use kreach_graph::traversal::reachable_bfs;
+    use kreach_graph::DiGraph;
 
     fn check_against_bfs(g: &DiGraph, idx: &TreeCover) {
         for s in g.vertices() {

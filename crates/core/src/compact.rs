@@ -18,7 +18,7 @@ use crate::index_graph::CoverIndexGraph;
 use crate::kreach::{BuildOptions, KReachIndex, QueryCase};
 use crate::stats::IndexStats;
 use crate::weights::PackedWeights;
-use kreach_graph::{DiGraph, IntervalList, VertexId};
+use kreach_graph::{GraphView, IntervalList, VertexId};
 use std::time::Instant;
 
 /// Number of distinct weight classes of a k-reach index ({k−2, k−1, k}).
@@ -41,7 +41,7 @@ pub struct CompactKReachIndex {
 impl CompactKReachIndex {
     /// Builds the compact index directly from a graph (constructs an ordinary
     /// [`KReachIndex`] first and re-encodes it).
-    pub fn build(g: &DiGraph, k: u32, options: BuildOptions) -> Self {
+    pub fn build<G: GraphView>(g: &G, k: u32, options: BuildOptions) -> Self {
         let plain = KReachIndex::build(g, k, options);
         Self::from_index(&plain)
     }
@@ -134,7 +134,7 @@ impl CompactKReachIndex {
 
     /// Answers the k-hop reachability query `s →k t` (Algorithm 2 over the
     /// compact representation).
-    pub fn query(&self, g: &DiGraph, s: VertexId, t: VertexId) -> bool {
+    pub fn query<G: GraphView>(&self, g: &G, s: VertexId, t: VertexId) -> bool {
         if s == t {
             return true;
         }

@@ -1,4 +1,4 @@
-//! Incremental maintenance of a [`KReachIndex`] under edge updates.
+//! Incremental maintenance of a k-reach index under edge updates.
 //!
 //! Algorithm 1 builds the index by (a) computing a vertex cover and (b)
 //! running one k-hop BFS per cover vertex. Both steps are global, so naively
@@ -6,24 +6,40 @@
 //! module maintains the index incrementally instead, patching only what an
 //! update can actually touch:
 //!
+//! * **Versioned storage.** The graph lives in a
+//!   [`VersionedAdjGraph`] — per-vertex sorted adjacency with copy-on-write
+//!   segments — so an edge change costs `O(degree)` and queries read the live
+//!   view directly. There is no `O(m)` CSR re-materialization anywhere on
+//!   the update path.
 //! * **Cover repair.** Removing an edge never invalidates a vertex cover.
 //!   Inserting `(u, v)` invalidates it only when *neither* endpoint is
 //!   covered; the repair adds one endpoint (the higher-degree one, echoing
 //!   the degree-priority heuristic of §4.3) to the cover, computing its
 //!   index row with one forward k-BFS and splicing it into every other row
 //!   with one backward k-BFS.
-//! * **Row patching.** An edge change `(u, v)` can alter the k-hop row of a
-//!   cover vertex `w` only if `w` reaches `u` within `k − 1` hops (any
-//!   ≤ k-hop path through the edge spends one hop on it). One backward
-//!   `(k−1)`-BFS from `u` finds the affected cover vertices; each affected
-//!   row is recomputed with a forward k-BFS. For removals the affected set
-//!   is taken in the *pre-removal* graph, because that is where paths used
-//!   the edge.
-//! * **Rebuild threshold.** Incremental cover repair only ever grows the
-//!   cover, so it drifts away from the 2-approximation (and the index grows
-//!   with it). When the cover has grown past a configurable fraction since
-//!   the last full build, the maintainer lazily re-covers: a fresh vertex
-//!   cover and a fresh BFS sweep, exactly as Algorithm 1.
+//! * **Coalesced row patching.** An edge change `(u, v)` can alter the k-hop
+//!   row of a cover vertex `w` only if `w` reaches `u` within `k − 1` hops
+//!   (any ≤ k-hop path through the edge spends one hop on it). One backward
+//!   `(k−1)`-BFS per update finds the affected cover vertices, but the rows
+//!   themselves are recomputed **once per batch**: affected positions are
+//!   collected into a deduplicated pending set, so overlapping patches from
+//!   different updates in the same batch collapse into one forward k-BFS per
+//!   row ([`UpdateStats::rows_coalesced`] counts the recomputations saved).
+//!   For removals the affected set is taken in the *pre-removal* graph,
+//!   because that is where paths used the edge.
+//! * **Rebuild thresholds.** Incremental cover repair only ever grows the
+//!   cover, and deletions leave dead weight behind (a removed edge's
+//!   endpoints stay covered forever). When the cover has grown past a
+//!   configurable fraction since the last full build — or enough edges have
+//!   been *deleted* that a fresh cover could be substantially smaller — the
+//!   maintainer lazily re-covers: a fresh vertex cover and a fresh BFS
+//!   sweep, exactly as Algorithm 1. The deletion trigger is what lets the
+//!   cover (and with it the index) *shrink* under sustained removals.
+//!
+//! Queries are answered straight from the maintained row state (true
+//! distances, binary-searched per row), so no queryable index has to be
+//! re-assembled after a batch either; [`DynamicKReach::to_index`] still
+//! materializes a paper-shaped [`KReachIndex`] on demand.
 //!
 //! The correctness story is differential: `tests/dynamic_differential.rs`
 //! replays random mutation sequences and asserts this maintainer answers
@@ -34,10 +50,10 @@ use crate::index_graph::CoverIndexGraph;
 use crate::kreach::{BuildOptions, KReachIndex};
 use crate::vertex_cover::VertexCover;
 use crate::weights::PackedWeights;
-use kreach_graph::dynamic::{DynamicGraph, EdgeUpdate};
-use kreach_graph::traversal::{bfs, Direction};
-use kreach_graph::{DiGraph, VertexId};
-use std::sync::Arc;
+use kreach_graph::traversal::{bfs, khop_reachable_bidirectional, Direction};
+use kreach_graph::versioned::{EdgeUpdate, VersionedAdjGraph};
+use kreach_graph::{DiGraph, GraphView, VertexId};
+use std::collections::BTreeSet;
 
 /// Sentinel for "vertex is not in the cover".
 const NOT_COVERED: u32 = u32::MAX;
@@ -52,6 +68,13 @@ pub struct DynamicOptions {
     pub max_cover_growth: f64,
     /// Absolute growth floor so small covers do not rebuild on every insert.
     pub min_cover_growth: usize,
+    /// Fraction of the edge count at the last full build that may be
+    /// *removed* before a lazy re-cover triggers — the path by which
+    /// deletions shrink the cover (incremental repair alone never removes a
+    /// cover vertex).
+    pub max_removal_fraction: f64,
+    /// Absolute removal floor so small graphs do not rebuild on every delete.
+    pub min_removal_trigger: usize,
 }
 
 impl Default for DynamicOptions {
@@ -60,6 +83,8 @@ impl Default for DynamicOptions {
             build: BuildOptions::default(),
             max_cover_growth: 0.25,
             min_cover_growth: 16,
+            max_removal_fraction: 0.25,
+            min_removal_trigger: 32,
         }
     }
 }
@@ -75,9 +100,13 @@ pub struct UpdateStats {
     pub noops: u64,
     /// Index rows recomputed by a forward k-BFS.
     pub rows_patched: u64,
+    /// Row recomputations *avoided* because several updates in one batch
+    /// affected the same cover row (deduplicated before recomputation).
+    pub rows_coalesced: u64,
     /// Vertices added to the cover by incremental repair.
     pub cover_additions: u64,
-    /// Lazy full rebuilds (fresh cover + BFS sweep) triggered by growth.
+    /// Lazy full rebuilds (fresh cover + BFS sweep) triggered by cover
+    /// growth or by the deletion threshold.
     pub full_rebuilds: u64,
 }
 
@@ -94,38 +123,36 @@ impl UpdateStats {
             removes: self.removes - earlier.removes,
             noops: self.noops - earlier.noops,
             rows_patched: self.rows_patched - earlier.rows_patched,
+            rows_coalesced: self.rows_coalesced - earlier.rows_coalesced,
             cover_additions: self.cover_additions - earlier.cover_additions,
             full_rebuilds: self.full_rebuilds - earlier.full_rebuilds,
         }
     }
 }
 
-/// A [`KReachIndex`] kept consistent with a mutating graph.
+/// A k-reach index kept consistent with a mutating graph.
 ///
-/// The maintainer owns the graph (as a [`DynamicGraph`] overlay plus an
-/// always-current CSR snapshot behind an [`Arc`]) and the index state (cover
-/// members, per-cover-vertex rows, the assembled index). After every
-/// [`DynamicKReach::apply_all`] the assembled index and snapshot are
-/// consistent, so queries need only `&self`.
+/// The maintainer owns the graph (a [`VersionedAdjGraph`]) and the index
+/// state (cover members, per-cover-vertex rows). Queries read the row state
+/// and the live graph view directly, so they need only `&self` and are always
+/// consistent with every update applied so far.
 #[derive(Debug, Clone)]
 pub struct DynamicKReach {
     k: u32,
     options: DynamicOptions,
-    graph: DynamicGraph,
-    snapshot: Arc<DiGraph>,
+    graph: VersionedAdjGraph,
     /// Cover vertices in position order; repair only ever appends, so
     /// existing positions are stable between rebuilds.
     members: Vec<VertexId>,
     /// Dense vertex → cover-position map (`NOT_COVERED` when absent).
     pos_of: Vec<u32>,
-    /// Per-cover-position rows of `(target position, true distance ≤ k)`;
-    /// clamping to the paper's {k−2, k−1, k} happens at assembly.
+    /// Per-cover-position rows of `(target position, true distance ≤ k)`,
+    /// sorted by target position; clamping to the paper's {k−2, k−1, k}
+    /// happens only when materializing a [`KReachIndex`].
     rows: Vec<Vec<(u32, u32)>>,
-    index: KReachIndex,
-    /// Whether `index` reflects the current rows/snapshot (rebuilds assemble
-    /// eagerly; row patches defer assembly to the end of the batch).
-    index_fresh: bool,
     cover_at_rebuild: usize,
+    edges_at_rebuild: usize,
+    removals_since_rebuild: usize,
     stats: UpdateStats,
 }
 
@@ -135,25 +162,25 @@ impl DynamicKReach {
     /// # Panics
     /// Panics if `k == 0`, like [`KReachIndex::build`].
     pub fn new(g: DiGraph, k: u32, options: DynamicOptions) -> Self {
+        Self::from_view(VersionedAdjGraph::from_csr(&g), k, options)
+    }
+
+    /// Builds the initial index over an existing versioned graph.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, like [`KReachIndex::build`].
+    pub fn from_view(graph: VersionedAdjGraph, k: u32, options: DynamicOptions) -> Self {
         assert!(k >= 1, "k-reach requires k >= 1");
-        let graph = DynamicGraph::new(g);
-        let snapshot = graph.shared_base();
         let mut this = DynamicKReach {
             k,
             options,
             graph,
-            snapshot,
             members: Vec::new(),
             pos_of: Vec::new(),
             rows: Vec::new(),
-            // Placeholder; rebuild() installs the real index below.
-            index: KReachIndex::from_parts(
-                k,
-                options.build.cover_strategy,
-                CoverIndexGraph::assemble(0, Vec::new(), Vec::new(), k.saturating_sub(2)),
-            ),
-            index_fresh: false,
             cover_at_rebuild: 0,
+            edges_at_rebuild: 0,
+            removals_since_rebuild: 0,
             stats: UpdateStats::default(),
         };
         this.rebuild();
@@ -166,14 +193,28 @@ impl DynamicKReach {
         self.k
     }
 
-    /// The current graph snapshot (always consistent with the index).
-    pub fn graph(&self) -> &Arc<DiGraph> {
-        &self.snapshot
+    /// The live graph view (always consistent with the index).
+    pub fn graph(&self) -> &VersionedAdjGraph {
+        &self.graph
     }
 
-    /// The maintained index (always consistent with [`DynamicKReach::graph`]).
-    pub fn index(&self) -> &KReachIndex {
-        &self.index
+    /// Materializes the current graph as a frozen CSR (`O(n + m)`; for
+    /// persistence or hand-off, not the serving path).
+    pub fn snapshot_csr(&self) -> DiGraph {
+        self.graph.to_csr()
+    }
+
+    /// Materializes the maintained state as a paper-shaped [`KReachIndex`]
+    /// (`O(index size)`; queries do not need this — they read the row state
+    /// directly).
+    pub fn to_index(&self) -> KReachIndex {
+        let index = CoverIndexGraph::<PackedWeights>::assemble(
+            self.graph.vertex_count(),
+            self.members.clone(),
+            self.rows.clone(),
+            self.k.saturating_sub(2),
+        );
+        KReachIndex::from_parts(self.k, self.options.build.cover_strategy, index)
     }
 
     /// Current number of cover vertices.
@@ -181,20 +222,98 @@ impl DynamicKReach {
         self.members.len()
     }
 
+    /// Whether `v` is currently a cover vertex.
+    pub fn in_cover(&self, v: VertexId) -> bool {
+        self.position(v).is_some()
+    }
+
     /// Cumulative maintenance counters.
     pub fn stats(&self) -> UpdateStats {
         self.stats
     }
 
-    /// Answers `s →k t` at the maintained hop bound.
-    pub fn query(&self, s: VertexId, t: VertexId) -> bool {
-        self.index.query(&self.snapshot, s, t)
+    #[inline]
+    fn position(&self, v: VertexId) -> Option<u32> {
+        match self.pos_of.get(v.index()) {
+            Some(&p) if p != NOT_COVERED => Some(p),
+            _ => None,
+        }
     }
 
-    /// Answers `s →k t` for an arbitrary hop bound (index for its own bound,
-    /// exact online search otherwise), mirroring [`KReachIndex::query_k`].
+    /// True distance of the index edge between cover positions, if any
+    /// (binary search on the sorted row).
+    #[inline]
+    fn row_dist(&self, ps: u32, pt: u32) -> Option<u32> {
+        let row = &self.rows[ps as usize];
+        row.binary_search_by_key(&pt, |&(p, _)| p)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// Answers `s →k t` at the maintained hop bound (Algorithm 2, evaluated
+    /// directly over the row state and the live graph view).
+    pub fn query(&self, s: VertexId, t: VertexId) -> bool {
+        if s == t {
+            return true;
+        }
+        let k = self.k;
+        let g = &self.graph;
+        match (self.position(s), self.position(t)) {
+            // Case 1: both in the cover — the row entry exists iff s →k t.
+            (Some(ps), Some(pt)) => self.row_dist(ps, pt).is_some(),
+            // Case 2: s in the cover. Every in-neighbour of t is covered, and
+            // any path s ⇝ t of length ≤ k enters t through one of them with
+            // at most k−1 hops used — or is the single edge (s, t).
+            (Some(ps), None) => g.in_neighbors(t).iter().any(|&v| {
+                if v == s {
+                    return k >= 1;
+                }
+                self.position(v)
+                    .and_then(|pv| self.row_dist(ps, pv))
+                    .is_some_and(|d| d < k)
+            }),
+            // Case 3: mirror image of Case 2 through outNei(s, G).
+            (None, Some(pt)) => g.out_neighbors(s).iter().any(|&u| {
+                if u == t {
+                    return k >= 1;
+                }
+                self.position(u)
+                    .and_then(|pu| self.row_dist(pu, pt))
+                    .is_some_and(|d| d < k)
+            }),
+            // Case 4: neither endpoint is covered; the path must leave s into
+            // a covered out-neighbour and enter t from a covered in-neighbour,
+            // spending two hops on those steps.
+            (None, None) => {
+                let inn = g.in_neighbors(t);
+                g.out_neighbors(s).iter().any(|&u| {
+                    let Some(pu) = self.position(u) else {
+                        // An uncovered out-neighbour can only happen if (s, u)
+                        // were uncovered, which the cover forbids; defensive.
+                        return false;
+                    };
+                    inn.iter().any(|&v| {
+                        if u == v {
+                            return k >= 2;
+                        }
+                        self.position(v)
+                            .and_then(|pv| self.row_dist(pu, pv))
+                            .is_some_and(|d| d + 2 <= k)
+                    })
+                })
+            }
+        }
+    }
+
+    /// Answers `s →k t` for an arbitrary hop bound (row state for the
+    /// maintained bound, exact online search otherwise), mirroring
+    /// [`KReachIndex::query_k`].
     pub fn query_k(&self, s: VertexId, t: VertexId, k: u32) -> bool {
-        self.index.query_k(&self.snapshot, s, t, k)
+        if k == self.k {
+            self.query(s, t)
+        } else {
+            khop_reachable_bidirectional(&self.graph, s, t, k)
+        }
     }
 
     /// Inserts one edge; returns whether the graph changed.
@@ -207,37 +326,41 @@ impl DynamicKReach {
         self.apply_all(&[EdgeUpdate::Remove(u, v)]).removes == 1
     }
 
-    /// Applies a batch of updates in order, patching the index after each
-    /// one, and reassembles the queryable index once at the end. Returns the
-    /// counter deltas for this call.
+    /// Applies a batch of updates in order. Graph mutations and cover
+    /// repairs happen immediately; affected cover rows are collected into a
+    /// deduplicated pending set and recomputed **once** at the end of the
+    /// batch, so overlapping row patches coalesce. Returns the counter
+    /// deltas for this call.
     pub fn apply_all(&mut self, updates: &[EdgeUpdate]) -> UpdateStats {
         let before = self.stats;
+        let mut pending: BTreeSet<u32> = BTreeSet::new();
         for &update in updates {
-            self.apply_one(update);
+            self.apply_one(update, &mut pending);
         }
-        if !self.index_fresh {
-            self.index = self.assemble();
-            self.index_fresh = true;
+        for p in pending {
+            self.rows[p as usize] = self.compute_row(self.members[p as usize]);
+            self.stats.rows_patched += 1;
         }
         self.stats.since(before)
     }
 
-    /// Applies one update to the graph and patches the row state (but not the
-    /// assembled index, unless a rebuild fires). Returns whether the graph
-    /// changed.
-    fn apply_one(&mut self, update: EdgeUpdate) -> bool {
+    /// Applies one update to the graph, repairs the cover if needed, and
+    /// schedules the affected rows. A rebuild (threshold hit) recomputes
+    /// everything, so it drains the pending set.
+    fn apply_one(&mut self, update: EdgeUpdate, pending: &mut BTreeSet<u32>) {
         match update {
             EdgeUpdate::Insert(u, v) => {
                 if !self.graph.insert_edge(u, v) {
                     self.stats.noops += 1;
-                    return false;
+                    return;
                 }
-                self.refresh_snapshot();
+                if self.pos_of.len() < self.graph.vertex_count() {
+                    self.pos_of.resize(self.graph.vertex_count(), NOT_COVERED);
+                }
                 self.stats.inserts += 1;
-                self.index_fresh = false;
                 // Cover repair: the new edge must have a covered endpoint.
                 let repaired = if !self.in_cover(u) && !self.in_cover(v) {
-                    let w = if self.snapshot.total_degree(u) >= self.snapshot.total_degree(v) {
+                    let w = if self.graph.total_degree(u) >= self.graph.total_degree(v) {
                         u
                     } else {
                         v
@@ -246,89 +369,67 @@ impl DynamicKReach {
                 } else {
                     None
                 };
-                let snapshot = Arc::clone(&self.snapshot);
-                // The freshly repaired row was computed on this snapshot
-                // already; skip it instead of recomputing it.
-                self.patch_rows_affected_by(u, &snapshot, repaired);
-                self.maybe_rebuild();
-                true
+                // The freshly repaired row was computed post-insert already;
+                // skip it instead of scheduling a redundant recomputation.
+                self.schedule_affected(u, repaired, pending);
+                if self.maybe_rebuild() {
+                    pending.clear();
+                }
             }
             EdgeUpdate::Remove(u, v) => {
-                if !self.graph.has_edge(u, v) {
-                    self.stats.noops += 1;
-                    return false;
-                }
                 // Affected rows are found in the PRE-removal graph: only
                 // paths that existed there can have used the edge.
-                let old_snapshot = Arc::clone(&self.snapshot);
+                if !self.graph.has_edge(u, v) {
+                    self.stats.noops += 1;
+                    return;
+                }
+                self.schedule_affected(u, None, pending);
                 let removed = self.graph.remove_edge(u, v);
                 debug_assert!(removed);
-                self.refresh_snapshot();
                 self.stats.removes += 1;
-                self.index_fresh = false;
-                self.patch_rows_affected_by(u, &old_snapshot, None);
-                true
+                self.removals_since_rebuild += 1;
+                if self.maybe_rebuild() {
+                    pending.clear();
+                }
             }
         }
     }
 
-    /// Re-materializes the CSR snapshot after a graph change and keeps the
-    /// overlay compact so every snapshot is an `O(m)` merge, not a re-sort.
-    /// The compacted base is shared, not copied: one CSR build per update.
-    fn refresh_snapshot(&mut self) {
-        self.graph.compact();
-        self.snapshot = self.graph.shared_base();
-        if self.pos_of.len() < self.snapshot.vertex_count() {
-            self.pos_of
-                .resize(self.snapshot.vertex_count(), NOT_COVERED);
-        }
-    }
-
-    fn in_cover(&self, v: VertexId) -> bool {
-        self.pos_of
-            .get(v.index())
-            .is_some_and(|&p| p != NOT_COVERED)
-    }
-
-    /// Recomputes the rows of every cover vertex whose k-hop reach can have
-    /// changed because of an edge update out of `u`: exactly the cover
-    /// vertices within `k − 1` backward hops of `u` in `graph` (paths through
-    /// the edge spend one hop on it), plus `u` itself when covered. A row at
-    /// position `skip` (just computed on the current snapshot) is left alone.
-    fn patch_rows_affected_by(&mut self, u: VertexId, graph: &Arc<DiGraph>, skip: Option<u32>) {
-        if u.index() >= graph.vertex_count() {
+    /// Schedules recomputation of every cover row an edge update out of `u`
+    /// can have changed: exactly the cover vertices within `k − 1` backward
+    /// hops of `u` (paths through the edge spend one hop on it), plus `u`
+    /// itself when covered. A row at position `skip` (just computed on the
+    /// current graph) is left alone. Already-pending rows count as coalesced.
+    fn schedule_affected(&mut self, u: VertexId, skip: Option<u32>, pending: &mut BTreeSet<u32>) {
+        if u.index() >= self.graph.vertex_count() {
             return;
         }
-        let reach = bfs(graph, u, Direction::Backward, Some(self.k - 1));
-        let affected: Vec<u32> = reach
-            .reached_with_distance()
-            .filter_map(|(w, _)| match self.pos_of.get(w.index()) {
-                Some(&p) if p != NOT_COVERED && Some(p) != skip => Some(p),
-                _ => None,
-            })
-            .collect();
-        for p in affected {
-            self.rows[p as usize] = self.compute_row(self.members[p as usize]);
-            self.stats.rows_patched += 1;
+        let reach = bfs(&self.graph, u, Direction::Backward, Some(self.k - 1));
+        for (w, _) in reach.reached_with_distance() {
+            if let Some(p) = self.position(w) {
+                if Some(p) != skip && !pending.insert(p) {
+                    self.stats.rows_coalesced += 1;
+                }
+            }
         }
     }
 
     /// One forward k-hop BFS from `w`, keeping reached cover vertices
-    /// (Algorithm 1, Lines 4–13) — the row of `w` in the index graph.
+    /// (Algorithm 1, Lines 4–13) — the row of `w`, sorted by target position.
     fn compute_row(&self, w: VertexId) -> Vec<(u32, u32)> {
-        let reach = bfs(&self.snapshot, w, Direction::Forward, Some(self.k));
-        reach
+        let reach = bfs(&self.graph, w, Direction::Forward, Some(self.k));
+        let mut row: Vec<(u32, u32)> = reach
             .reached_with_distance()
             .filter(|&(v, _)| v != w)
-            .filter_map(|(v, d)| match self.pos_of[v.index()] {
-                NOT_COVERED => None,
-                p => Some((p, d)),
-            })
-            .collect()
+            .filter_map(|(v, d)| self.position(v).map(|p| (p, d)))
+            .collect();
+        row.sort_unstable_by_key(|&(p, _)| p);
+        row
     }
 
     /// Appends `w` to the cover: computes its row with one forward k-BFS and
     /// splices `w` into every row that reaches it with one backward k-BFS.
+    /// Rows stay sorted because the new position is the largest so far.
     /// Returns the new cover position.
     fn add_to_cover(&mut self, w: VertexId) -> u32 {
         debug_assert!(!self.in_cover(w));
@@ -336,15 +437,13 @@ impl DynamicKReach {
         self.members.push(w);
         self.pos_of[w.index()] = p;
         // Existing cover vertices that reach w gain the edge (them → w).
-        let back = bfs(&self.snapshot, w, Direction::Backward, Some(self.k));
+        let back = bfs(&self.graph, w, Direction::Backward, Some(self.k));
         for (x, d) in back.reached_with_distance() {
             if x == w {
                 continue;
             }
-            if let Some(&px) = self.pos_of.get(x.index()) {
-                if px != NOT_COVERED {
-                    self.rows[px as usize].push((p, d));
-                }
+            if let Some(px) = self.position(x) {
+                self.rows[px as usize].push((p, d));
             }
         }
         let row = self.compute_row(w);
@@ -355,43 +454,39 @@ impl DynamicKReach {
     }
 
     /// Lazily re-covers once incremental repair has grown the cover past the
-    /// configured threshold since the last full build.
-    fn maybe_rebuild(&mut self) {
+    /// configured threshold since the last full build, or once enough edges
+    /// have been removed that a fresh (smaller) cover is worth computing.
+    /// Returns whether a rebuild happened.
+    fn maybe_rebuild(&mut self) -> bool {
         let grown = self.members.len().saturating_sub(self.cover_at_rebuild);
-        let allowed = self
+        let growth_allowed = self
             .options
             .min_cover_growth
             .max((self.cover_at_rebuild as f64 * self.options.max_cover_growth).ceil() as usize);
-        if grown > allowed {
+        let removals_allowed = self.options.min_removal_trigger.max(
+            (self.edges_at_rebuild as f64 * self.options.max_removal_fraction).ceil() as usize,
+        );
+        if grown > growth_allowed || self.removals_since_rebuild > removals_allowed {
             self.rebuild();
+            true
+        } else {
+            false
         }
     }
 
     /// Full Algorithm-1 build: fresh vertex cover, fresh BFS sweep.
     fn rebuild(&mut self) {
-        let cover = VertexCover::compute(&self.snapshot, self.options.build.cover_strategy);
+        let cover = VertexCover::compute(&self.graph, self.options.build.cover_strategy);
         self.members = cover.members().to_vec();
-        self.pos_of = vec![NOT_COVERED; self.snapshot.vertex_count()];
+        self.pos_of = vec![NOT_COVERED; self.graph.vertex_count()];
         for (p, &v) in self.members.iter().enumerate() {
             self.pos_of[v.index()] = p as u32;
         }
         self.rows = self.members.iter().map(|&w| self.compute_row(w)).collect();
-        self.index = self.assemble();
-        self.index_fresh = true;
         self.cover_at_rebuild = self.members.len();
+        self.edges_at_rebuild = self.graph.edge_count();
+        self.removals_since_rebuild = 0;
         self.stats.full_rebuilds += 1;
-    }
-
-    /// Assembles the queryable [`KReachIndex`] from the row state, clamping
-    /// distances into the paper's {k−2, k−1, k} packed weights.
-    fn assemble(&self) -> KReachIndex {
-        let index = CoverIndexGraph::<PackedWeights>::assemble(
-            self.snapshot.vertex_count(),
-            self.members.clone(),
-            self.rows.clone(),
-            self.k.saturating_sub(2),
-        );
-        KReachIndex::from_parts(self.k, self.options.build.cover_strategy, index)
     }
 }
 
@@ -449,10 +544,10 @@ mod tests {
         // and uncovered, so inserting (3, 4) must repair the cover.
         let g = DiGraph::from_edges(5, [(0, 1), (1, 2)]);
         let mut dynk = DynamicKReach::new(g, 2, DynamicOptions::default());
-        assert!(!dynk.index().in_cover(VertexId(3)));
-        assert!(!dynk.index().in_cover(VertexId(4)));
+        assert!(!dynk.in_cover(VertexId(3)));
+        assert!(!dynk.in_cover(VertexId(4)));
         assert!(dynk.insert_edge(VertexId(3), VertexId(4)));
-        assert!(dynk.index().in_cover(VertexId(3)) || dynk.index().in_cover(VertexId(4)));
+        assert!(dynk.in_cover(VertexId(3)) || dynk.in_cover(VertexId(4)));
         assert_eq!(dynk.stats().cover_additions, 1);
         check_exact(&dynk);
     }
@@ -483,11 +578,11 @@ mod tests {
         for update in script {
             dynk.apply_all(&[update]);
             check_exact(&dynk);
-            let fresh = KReachIndex::build(dynk.graph(), 3, BuildOptions::default());
-            let g = dynk.graph();
-            for s in g.vertices() {
-                for t in g.vertices() {
-                    assert_eq!(dynk.query(s, t), fresh.query(g, s, t), "({s},{t})");
+            let csr = dynk.snapshot_csr();
+            let fresh = KReachIndex::build(&csr, 3, BuildOptions::default());
+            for s in csr.vertices() {
+                for t in csr.vertices() {
+                    assert_eq!(dynk.query(s, t), fresh.query(&csr, s, t), "({s},{t})");
                 }
             }
         }
@@ -523,7 +618,83 @@ mod tests {
     }
 
     #[test]
-    fn batch_apply_coalesces_assembly_and_reports_deltas() {
+    fn deletions_trigger_re_cover_and_shrink_the_cover() {
+        // A long path: every interior vertex is matched into the cover.
+        // Deleting most edges leaves the old cover full of dead weight; the
+        // removal threshold must fire a re-cover that shrinks it.
+        let n = 40u32;
+        let g = DiGraph::from_edges(n as usize, (0..n - 1).map(|i| (i, i + 1)));
+        let mut dynk = DynamicKReach::new(
+            g,
+            2,
+            DynamicOptions {
+                max_removal_fraction: 0.25,
+                min_removal_trigger: 4,
+                ..DynamicOptions::default()
+            },
+        );
+        let before = dynk.cover_size();
+        // Remove every other edge: no new cover vertices are ever needed,
+        // yet the graph loses half its edges.
+        for i in (0..n - 1).step_by(2) {
+            assert!(dynk.remove_edge(VertexId(i), VertexId(i + 1)));
+            check_exact(&dynk);
+        }
+        let stats = dynk.stats();
+        assert!(
+            stats.full_rebuilds >= 1,
+            "deletions must trigger a re-cover: {stats:?}"
+        );
+        assert!(
+            dynk.cover_size() < before,
+            "re-cover must shrink the cover: {} -> {}",
+            before,
+            dynk.cover_size()
+        );
+    }
+
+    #[test]
+    fn batch_apply_coalesces_overlapping_row_patches() {
+        // A hub graph where every update lands in the same k-neighbourhood:
+        // applying the updates one per batch patches rows repeatedly, while
+        // one big batch dedupes the affected set.
+        let n = 16u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|i| (0, i)).collect();
+        let g = DiGraph::from_edges(n as usize, edges);
+        let script: Vec<EdgeUpdate> = (1..8u32)
+            .map(|i| EdgeUpdate::Insert(VertexId(i), VertexId(i + 8)))
+            .collect();
+
+        let mut one_by_one = DynamicKReach::new(g.clone(), 3, DynamicOptions::default());
+        for &u in &script {
+            one_by_one.apply_all(&[u]);
+        }
+        let mut batched = DynamicKReach::new(g, 3, DynamicOptions::default());
+        let delta = batched.apply_all(&script);
+
+        assert_eq!(delta.inserts, 7);
+        assert!(
+            delta.rows_coalesced > 0,
+            "overlapping patches must coalesce: {delta:?}"
+        );
+        assert!(
+            batched.stats().rows_patched < one_by_one.stats().rows_patched,
+            "batching must patch fewer rows ({} vs {})",
+            batched.stats().rows_patched,
+            one_by_one.stats().rows_patched
+        );
+        // Both end states answer identically.
+        check_exact(&batched);
+        check_exact(&one_by_one);
+        for s in batched.graph().vertices() {
+            for t in batched.graph().vertices() {
+                assert_eq!(batched.query(s, t), one_by_one.query(s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_apply_reports_deltas() {
         let g = DiGraph::from_edges(4, [(0, 1)]);
         let mut dynk = DynamicKReach::new(g, 2, DynamicOptions::default());
         let delta = dynk.apply_all(&[
@@ -541,6 +712,40 @@ mod tests {
         let delta = dynk.apply_all(&[EdgeUpdate::Remove(VertexId(0), VertexId(1))]);
         assert_eq!(delta.applied(), 0);
         assert_eq!(delta.noops, 1);
+    }
+
+    #[test]
+    fn to_index_matches_live_queries() {
+        let g = DiGraph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 3)]);
+        let mut dynk = DynamicKReach::new(g, 3, DynamicOptions::default());
+        dynk.apply_all(&[
+            EdgeUpdate::Insert(VertexId(4), VertexId(6)),
+            EdgeUpdate::Remove(VertexId(0), VertexId(5)),
+        ]);
+        let index = dynk.to_index();
+        let csr = dynk.snapshot_csr();
+        assert_eq!(index.cover_size(), dynk.cover_size());
+        for s in csr.vertices() {
+            for t in csr.vertices() {
+                assert_eq!(dynk.query(s, t), index.query(&csr, s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn updates_do_not_rematerialize_storage() {
+        // The graph's version advances exactly once per applied mutation and
+        // queries observe each stamp — there is no snapshot generation.
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2)]);
+        let mut dynk = DynamicKReach::new(g, 2, DynamicOptions::default());
+        assert_eq!(dynk.graph().version(), 0);
+        dynk.insert_edge(VertexId(2), VertexId(3));
+        assert_eq!(dynk.graph().version(), 1);
+        dynk.remove_edge(VertexId(0), VertexId(1));
+        assert_eq!(dynk.graph().version(), 2);
+        dynk.insert_edge(VertexId(2), VertexId(3)); // no-op
+        assert_eq!(dynk.graph().version(), 2);
+        check_exact(&dynk);
     }
 
     #[test]

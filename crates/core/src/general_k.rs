@@ -15,7 +15,7 @@
 
 use crate::kreach::{BuildOptions, KReachIndex};
 use crate::vertex_cover::VertexCover;
-use kreach_graph::{DiGraph, VertexId};
+use kreach_graph::{GraphView, VertexId};
 
 /// The answer of an approximate multi-index query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +57,7 @@ impl MultiKReach {
     ///
     /// # Panics
     /// Panics if `max_k < 2`.
-    pub fn build(g: &DiGraph, max_k: u32, options: BuildOptions) -> Self {
+    pub fn build<G: GraphView>(g: &G, max_k: u32, options: BuildOptions) -> Self {
         assert!(max_k >= 2, "MultiKReach requires max_k >= 2");
         let cover = VertexCover::compute(g, options.cover_strategy);
         let mut indexes = Vec::new();
@@ -91,7 +91,7 @@ impl MultiKReach {
     ///
     /// # Panics
     /// Panics if `k` exceeds the largest built hop bound.
-    pub fn query(&self, g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> GeneralKAnswer {
+    pub fn query<G: GraphView>(&self, g: &G, s: VertexId, t: VertexId, k: u32) -> GeneralKAnswer {
         assert!(k >= 1, "k must be at least 1");
         assert!(
             k <= self.max_k(),
@@ -136,7 +136,7 @@ impl ExactMultiKReach {
     /// are answered by the classic index and are exact provided `k_max` is at
     /// least the diameter of the graph (choose `k_max` accordingly, e.g. from
     /// [`kreach_graph::metrics::graph_stats`]).
-    pub fn build(g: &DiGraph, k_max: u32, options: BuildOptions) -> Self {
+    pub fn build<G: GraphView>(g: &G, k_max: u32, options: BuildOptions) -> Self {
         assert!(k_max >= 1, "ExactMultiKReach requires k_max >= 1");
         let cover = VertexCover::compute(g, options.cover_strategy);
         let indexes = (1..=k_max)
@@ -159,7 +159,7 @@ impl ExactMultiKReach {
 
     /// Answers `s →k t` exactly for any `k ≤ k_max` (and for larger `k`
     /// answers classic reachability).
-    pub fn query(&self, g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> bool {
+    pub fn query<G: GraphView>(&self, g: &G, s: VertexId, t: VertexId, k: u32) -> bool {
         if k == 0 {
             return s == t;
         }
@@ -175,6 +175,7 @@ mod tests {
     use super::*;
     use kreach_graph::generators::GeneratorSpec;
     use kreach_graph::traversal::khop_reachable_bfs;
+    use kreach_graph::DiGraph;
 
     fn test_graph() -> DiGraph {
         GeneratorSpec::SmallWorld {

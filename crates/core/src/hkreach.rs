@@ -6,7 +6,7 @@ use crate::index_graph::CoverIndexGraph;
 use crate::stats::IndexStats;
 use crate::weights::PlainWeights;
 use kreach_graph::traversal::{bfs, Direction, NeighborhoodExplorer};
-use kreach_graph::{DiGraph, VertexId};
+use kreach_graph::{GraphView, VertexId};
 use std::time::Instant;
 
 /// The (h,k)-reach index of Definition 2.
@@ -32,7 +32,7 @@ impl HkReachIndex {
     ///
     /// # Panics
     /// Panics unless `h ≥ 1` and `2h < k` (Definition 2 requires `h < k/2`).
-    pub fn build(g: &DiGraph, h: u32, k: u32) -> Self {
+    pub fn build<G: GraphView>(g: &G, h: u32, k: u32) -> Self {
         assert!(h >= 1, "(h,k)-reach requires h >= 1");
         assert!(2 * h < k, "(h,k)-reach requires h < k/2 (got h={h}, k={k})");
         let started = Instant::now();
@@ -46,7 +46,7 @@ impl HkReachIndex {
     ///
     /// # Panics
     /// Panics unless `2 * cover.h() < k`.
-    pub fn build_with_cover(g: &DiGraph, k: u32, cover: &HopVertexCover) -> Self {
+    pub fn build_with_cover<G: GraphView>(g: &G, k: u32, cover: &HopVertexCover) -> Self {
         let h = cover.h();
         assert!(2 * h < k, "(h,k)-reach requires h < k/2 (got h={h}, k={k})");
         let started = Instant::now();
@@ -136,7 +136,7 @@ impl HkReachIndex {
     /// Query-time neighbourhood exploration reuses a thread-local
     /// [`NeighborhoodExplorer`], so a query costs time proportional to the
     /// h-hop neighbourhoods actually visited, not to `|V|`.
-    pub fn query(&self, g: &DiGraph, s: VertexId, t: VertexId) -> bool {
+    pub fn query<G: GraphView>(&self, g: &G, s: VertexId, t: VertexId) -> bool {
         if s == t {
             return true;
         }
@@ -256,6 +256,7 @@ mod tests {
     use super::*;
     use kreach_graph::generators::GeneratorSpec;
     use kreach_graph::traversal::khop_reachable_bfs;
+    use kreach_graph::DiGraph;
 
     fn brute_force_check(g: &DiGraph, index: &HkReachIndex) {
         let k = index.k();

@@ -11,7 +11,7 @@
 //! cover, and delete them; at least one of those vertices belongs to any
 //! optimal cover, hence the approximation factor.
 
-use kreach_graph::{DiGraph, FixedBitSet, VertexId};
+use kreach_graph::{FixedBitSet, GraphView, VertexId};
 
 /// An h-hop vertex cover with O(1) membership tests.
 #[derive(Debug, Clone)]
@@ -33,7 +33,7 @@ impl HopVertexCover {
     /// # Panics
     /// Panics if `h == 0`; use [`crate::VertexCover`] for the 1-hop case
     /// (`h = 1` is accepted here and produces an ordinary vertex cover).
-    pub fn compute(g: &DiGraph, h: u32) -> Self {
+    pub fn compute<G: GraphView>(g: &G, h: u32) -> Self {
         let path_based = Self::compute_path_based(g, h);
         if h == 1 {
             return path_based;
@@ -51,7 +51,7 @@ impl HopVertexCover {
 
     /// The pure path-based (h+1)-approximation of §5.1.1, without the
     /// Corollary 1 fallback.
-    pub fn compute_path_based(g: &DiGraph, h: u32) -> Self {
+    pub fn compute_path_based<G: GraphView>(g: &G, h: u32) -> Self {
         assert!(h >= 1, "h-hop vertex cover requires h >= 1");
         let n = g.vertex_count();
         let mut removed = FixedBitSet::new(n);
@@ -144,7 +144,7 @@ impl HopVertexCover {
     /// Exhaustively verifies the covering property: every directed simple
     /// path of length `h` contains a cover vertex. Exponential in `h`; meant
     /// for tests on small graphs.
-    pub fn covers_all_paths(&self, g: &DiGraph) -> bool {
+    pub fn covers_all_paths<G: GraphView>(&self, g: &G) -> bool {
         let mut path = Vec::with_capacity(self.h as usize + 1);
         for start in g.vertices() {
             path.clear();
@@ -158,9 +158,9 @@ impl HopVertexCover {
 
     /// DFS for a simple path of length `remaining` starting at `path.last()`
     /// that avoids every cover vertex. Returns true if one exists.
-    fn exists_uncovered_path(
+    fn exists_uncovered_path<G: GraphView>(
         &self,
-        g: &DiGraph,
+        g: &G,
         path: &mut Vec<VertexId>,
         remaining: usize,
     ) -> bool {
@@ -188,8 +188,8 @@ impl HopVertexCover {
 /// Extends `path` (whose vertices are not removed) to a simple directed path
 /// of length `target_len` using DFS with backtracking. Returns true on
 /// success, leaving the full path in `path`.
-fn extend_path(
-    g: &DiGraph,
+fn extend_path<G: GraphView>(
+    g: &G,
     removed: &FixedBitSet,
     path: &mut Vec<VertexId>,
     target_len: usize,
@@ -215,6 +215,7 @@ fn extend_path(
 mod tests {
     use super::*;
     use crate::vertex_cover::{CoverStrategy, VertexCover};
+    use kreach_graph::DiGraph;
 
     fn path_graph(n: usize) -> DiGraph {
         DiGraph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1)))

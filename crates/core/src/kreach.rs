@@ -6,7 +6,7 @@ use crate::stats::IndexStats;
 use crate::vertex_cover::{CoverStrategy, VertexCover};
 use crate::weights::PackedWeights;
 use kreach_graph::traversal::{bfs, Direction};
-use kreach_graph::{DiGraph, VertexId};
+use kreach_graph::{GraphView, VertexId};
 use std::time::Instant;
 
 /// Options controlling index construction.
@@ -135,7 +135,7 @@ impl KReachIndex {
     /// # Panics
     /// Panics if `k == 0`; a 0-hop query is just an identity test and needs
     /// no index.
-    pub fn build(g: &DiGraph, k: u32, options: BuildOptions) -> Self {
+    pub fn build<G: GraphView>(g: &G, k: u32, options: BuildOptions) -> Self {
         assert!(k >= 1, "k-reach requires k >= 1");
         let started = Instant::now();
         let cover = VertexCover::compute(g, options.cover_strategy);
@@ -152,8 +152,8 @@ impl KReachIndex {
     /// benchmark harness can reuse one cover across several values of `k`
     /// (Table 7) and so callers can supply covers with application-specific
     /// vertices forced in (the "include all celebrities" idea of §4.3).
-    pub fn build_with_cover(
-        g: &DiGraph,
+    pub fn build_with_cover<G: GraphView>(
+        g: &G,
         k: u32,
         cover: &VertexCover,
         options: BuildOptions,
@@ -172,13 +172,13 @@ impl KReachIndex {
     /// Builds an index answering *classic* reachability queries (`k = ∞`),
     /// called n-reach in the paper's evaluation (Section 6.2). Internally the
     /// hop bound is `n`, which no simple path can exceed.
-    pub fn for_classic_reachability(g: &DiGraph, options: BuildOptions) -> Self {
+    pub fn for_classic_reachability<G: GraphView>(g: &G, options: BuildOptions) -> Self {
         let k = (g.vertex_count() as u32).max(1);
         Self::build(g, k, options)
     }
 
-    fn build_index_graph(
-        g: &DiGraph,
+    fn build_index_graph<G: GraphView>(
+        g: &G,
         k: u32,
         cover: &VertexCover,
         threads: usize,
@@ -281,7 +281,7 @@ impl KReachIndex {
     }
 
     /// Answers the k-hop reachability query `s →k t` (Algorithm 2).
-    pub fn query(&self, g: &DiGraph, s: VertexId, t: VertexId) -> bool {
+    pub fn query<G: GraphView>(&self, g: &G, s: VertexId, t: VertexId) -> bool {
         self.query_with_case(g, s, t).0
     }
 
@@ -289,7 +289,7 @@ impl KReachIndex {
     /// point used by the serving engine: the index answers its own bound
     /// (Algorithm 2), and any other bound falls back to an exact online
     /// bidirectional search, so the answer is correct for every `k`.
-    pub fn query_k(&self, g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> bool {
+    pub fn query_k<G: GraphView>(&self, g: &G, s: VertexId, t: VertexId, k: u32) -> bool {
         if k == self.k {
             self.query(g, s, t)
         } else {
@@ -298,7 +298,12 @@ impl KReachIndex {
     }
 
     /// Answers the query and reports which of the four cases was executed.
-    pub fn query_with_case(&self, g: &DiGraph, s: VertexId, t: VertexId) -> (bool, QueryCase) {
+    pub fn query_with_case<G: GraphView>(
+        &self,
+        g: &G,
+        s: VertexId,
+        t: VertexId,
+    ) -> (bool, QueryCase) {
         let case = self.classify(s, t);
         if s == t {
             return (true, case);
@@ -382,7 +387,7 @@ impl KReachIndex {
     /// The witness is a certificate, not a path: it names the cover
     /// vertices through which a path of length ≤ k is guaranteed to exist,
     /// together with the index weight that bounds the interior distance.
-    pub fn explain(&self, g: &DiGraph, s: VertexId, t: VertexId) -> Option<QueryWitness> {
+    pub fn explain<G: GraphView>(&self, g: &G, s: VertexId, t: VertexId) -> Option<QueryWitness> {
         let k = self.k;
         if s == t {
             return Some(QueryWitness::Identity);
@@ -501,6 +506,7 @@ where
 mod tests {
     use super::*;
     use kreach_graph::traversal::khop_reachable_bfs;
+    use kreach_graph::DiGraph;
 
     fn brute_force_check(g: &DiGraph, index: &KReachIndex) {
         let k = index.k();

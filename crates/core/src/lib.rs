@@ -24,9 +24,10 @@
 //!   arbitrary k: a set of i-reach indexes at powers of two (approximate for
 //!   non-power-of-two k) and an exact per-k family.
 //! * [`dynamic`] — incremental maintenance of the k-reach index under edge
-//!   insertions and removals: cover repair, bounded-BFS row patching, and a
-//!   lazy re-cover threshold (the "dynamic updates" direction the paper
-//!   leaves open).
+//!   insertions and removals over versioned adjacency storage: cover repair,
+//!   batch-coalesced bounded-BFS row patching, and lazy re-cover thresholds
+//!   for both cover growth and deletions (the "dynamic updates" direction
+//!   the paper leaves open).
 //! * [`storage`] — compact binary on-disk serialization of the index (the
 //!   paper stores the constructed index on disk).
 //! * [`stats`] — index size / construction statistics used by the benchmark

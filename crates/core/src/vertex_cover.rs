@@ -9,7 +9,7 @@
 //! incident to high-degree vertices so that "celebrity" vertices end up in
 //! the cover and their queries hit the cheap Case 1 of Algorithm 2.
 
-use kreach_graph::{DiGraph, FixedBitSet, VertexId};
+use kreach_graph::{FixedBitSet, GraphView, VertexId};
 
 /// Strategy used when picking the next uncovered edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,7 +38,7 @@ impl VertexCover {
     /// Edge directions are ignored (§4.1.1: "we may simply ignore the
     /// direction of the edges in computing a 2-approximate minimum vertex
     /// cover").
-    pub fn compute(g: &DiGraph, strategy: CoverStrategy) -> Self {
+    pub fn compute<G: GraphView>(g: &G, strategy: CoverStrategy) -> Self {
         let n = g.vertex_count();
         let mut in_cover = FixedBitSet::new(n);
         let mut members = Vec::new();
@@ -167,13 +167,13 @@ impl VertexCover {
     }
 
     /// Verifies the defining property: every edge has an endpoint in the cover.
-    pub fn covers_all_edges(&self, g: &DiGraph) -> bool {
+    pub fn covers_all_edges<G: GraphView>(&self, g: &G) -> bool {
         g.edges().all(|(u, v)| self.contains(u) || self.contains(v))
     }
 
     /// Fraction of cover vertices among all vertices (the paper observes this
     /// is small for real graphs, which is what makes the index compact).
-    pub fn coverage_ratio(&self, g: &DiGraph) -> f64 {
+    pub fn coverage_ratio<G: GraphView>(&self, g: &G) -> f64 {
         if g.vertex_count() == 0 {
             return 0.0;
         }
@@ -184,6 +184,7 @@ impl VertexCover {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kreach_graph::DiGraph;
 
     fn path(n: usize) -> DiGraph {
         DiGraph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1)))

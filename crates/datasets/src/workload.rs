@@ -8,7 +8,7 @@
 //! case and to compute the positive-answer rate, both of which the harness
 //! reports.
 
-use kreach_graph::{DiGraph, VertexId};
+use kreach_graph::{GraphView, VertexId};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -40,7 +40,7 @@ pub struct QueryWorkload {
 impl QueryWorkload {
     /// Generates `config.queries` uniform random ordered pairs over the
     /// vertices of `g` (self-pairs allowed, exactly as a uniform draw would).
-    pub fn uniform(g: &DiGraph, config: WorkloadConfig) -> Self {
+    pub fn uniform<G: GraphView>(g: &G, config: WorkloadConfig) -> Self {
         let n = g.vertex_count() as u32;
         assert!(n > 0, "cannot generate queries for an empty graph");
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -62,8 +62,8 @@ impl QueryWorkload {
     /// # Panics
     /// Panics if the graph is empty, `hot_vertices == 0`, or `hot_fraction`
     /// is outside `[0, 1]`.
-    pub fn skewed(
-        g: &DiGraph,
+    pub fn skewed<G: GraphView>(
+        g: &G,
         config: WorkloadConfig,
         hot_vertices: usize,
         hot_fraction: f64,
@@ -143,6 +143,7 @@ impl QueryWorkload {
 mod tests {
     use super::*;
     use kreach_graph::generators::GeneratorSpec;
+    use kreach_graph::DiGraph;
 
     fn graph() -> DiGraph {
         GeneratorSpec::ErdosRenyi { n: 50, m: 120 }.generate(1)

@@ -7,15 +7,21 @@
 //! Backends own their graph (directly or behind a lock) so the trait objects
 //! are `'static` and can be shared across pool workers.
 //!
+//! The index-serving backends are generic over the [`GraphView`] storage
+//! backend — a frozen CSR [`DiGraph`] for static serving, or a
+//! [`kreach_graph::VersionedAdjGraph`] when the same storage instance also
+//! feeds a mutation path — so the physical layout is chosen at construction
+//! and the serving layer never cares.
+//!
 //! Note this trait is *k-hop* reachability for serving, distinct from
 //! [`kreach_baselines::Reachability`], which models the paper's classic
 //! (unbounded) reachability baselines for the benchmark tables.
 
-use kreach_baselines::KHopReachability;
 use kreach_core::dynamic::{DynamicKReach, DynamicOptions, UpdateStats};
 use kreach_core::{HkReachIndex, KReachIndex};
 use kreach_graph::dynamic::EdgeUpdate;
-use kreach_graph::{DiGraph, VertexId};
+use kreach_graph::traversal::khop_reachable_bidirectional;
+use kreach_graph::{DiGraph, GraphView, VertexId};
 use std::sync::{Arc, RwLock};
 
 /// A batch of graph mutations failed to apply.
@@ -26,6 +32,18 @@ pub enum UpdateError {
         /// Name of the backend that rejected the updates.
         backend: String,
     },
+    /// An update named a vertex at or past the engine's configured vertex
+    /// limit (rejected before applying anything: vertex growth allocates
+    /// per-vertex state, so an absurd id would commit memory proportional
+    /// to the id itself).
+    VertexLimitExceeded {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The effective limit: [`crate::EngineConfig::max_vertices`] or the
+        /// backend's current vertex count, whichever is larger (edges among
+        /// existing vertices are never growth).
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for UpdateError {
@@ -35,6 +53,13 @@ impl std::fmt::Display for UpdateError {
                 write!(
                     f,
                     "backend {backend:?} serves an immutable index and cannot apply graph updates"
+                )
+            }
+            UpdateError::VertexLimitExceeded { vertex, limit } => {
+                write!(
+                    f,
+                    "update names vertex {vertex}, at or past the engine's vertex limit \
+                     {limit} (raise EngineConfig::max_vertices if this growth is intended)"
                 )
             }
         }
@@ -90,15 +115,15 @@ pub trait Reachability: Send + Sync {
     }
 }
 
-/// Serves a [`KReachIndex`] (§4 of the paper).
-pub struct KReachBackend {
-    graph: Arc<DiGraph>,
+/// Serves a [`KReachIndex`] (§4 of the paper) over any storage backend.
+pub struct KReachBackend<G: GraphView = DiGraph> {
+    graph: Arc<G>,
     index: KReachIndex,
 }
 
-impl KReachBackend {
-    /// Wraps a built index and the graph it was built from.
-    pub fn new(graph: Arc<DiGraph>, index: KReachIndex) -> Self {
+impl<G: GraphView + 'static> KReachBackend<G> {
+    /// Wraps a built index and the graph view it was built from.
+    pub fn new(graph: Arc<G>, index: KReachIndex) -> Self {
         KReachBackend { graph, index }
     }
 
@@ -108,7 +133,7 @@ impl KReachBackend {
     }
 }
 
-impl Reachability for KReachBackend {
+impl<G: GraphView + 'static> Reachability for KReachBackend<G> {
     fn name(&self) -> &str {
         "k-reach"
     }
@@ -122,19 +147,19 @@ impl Reachability for KReachBackend {
     }
 
     fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool {
-        self.index.query_k(&self.graph, s, t, k)
+        self.index.query_k(self.graph.as_ref(), s, t, k)
     }
 }
 
-/// Serves an [`HkReachIndex`] (§5 of the paper).
-pub struct HkReachBackend {
-    graph: Arc<DiGraph>,
+/// Serves an [`HkReachIndex`] (§5 of the paper) over any storage backend.
+pub struct HkReachBackend<G: GraphView = DiGraph> {
+    graph: Arc<G>,
     index: HkReachIndex,
 }
 
-impl HkReachBackend {
-    /// Wraps a built (h,k)-reach index and its graph.
-    pub fn new(graph: Arc<DiGraph>, index: HkReachIndex) -> Self {
+impl<G: GraphView + 'static> HkReachBackend<G> {
+    /// Wraps a built (h,k)-reach index and its graph view.
+    pub fn new(graph: Arc<G>, index: HkReachIndex) -> Self {
         HkReachBackend { graph, index }
     }
 
@@ -144,7 +169,7 @@ impl HkReachBackend {
     }
 }
 
-impl Reachability for HkReachBackend {
+impl<G: GraphView + 'static> Reachability for HkReachBackend<G> {
     fn name(&self) -> &str {
         "hk-reach"
     }
@@ -159,11 +184,11 @@ impl Reachability for HkReachBackend {
 
     fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool {
         if k == self.index.k() {
-            self.index.query(&self.graph, s, t)
+            self.index.query(self.graph.as_ref(), s, t)
         } else {
             // The (h,k)-index answers only its own bound; other bounds fall
             // back to exact online search.
-            self.graph.khop_reachable(s, t, k)
+            khop_reachable_bidirectional(self.graph.as_ref(), s, t, k)
         }
     }
 }
@@ -171,19 +196,20 @@ impl Reachability for HkReachBackend {
 /// Index-free fallback: every query is an online bidirectional BFS. This is
 /// the "no index fits in memory" configuration and the correctness oracle
 /// for the property tests.
-pub struct BfsBackend {
-    graph: Arc<DiGraph>,
+pub struct BfsBackend<G: GraphView = DiGraph> {
+    graph: Arc<G>,
     default_k: u32,
 }
 
-impl BfsBackend {
-    /// Wraps a graph; `default_k` is used for queries without their own bound.
-    pub fn new(graph: Arc<DiGraph>, default_k: u32) -> Self {
+impl<G: GraphView + 'static> BfsBackend<G> {
+    /// Wraps a graph view; `default_k` is used for queries without their own
+    /// bound.
+    pub fn new(graph: Arc<G>, default_k: u32) -> Self {
         BfsBackend { graph, default_k }
     }
 }
 
-impl Reachability for BfsBackend {
+impl<G: GraphView + 'static> Reachability for BfsBackend<G> {
     fn name(&self) -> &str {
         "online-bfs"
     }
@@ -197,7 +223,7 @@ impl Reachability for BfsBackend {
     }
 
     fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool {
-        self.graph.khop_reachable(s, t, k)
+        khop_reachable_bidirectional(self.graph.as_ref(), s, t, k)
     }
 }
 
@@ -219,10 +245,11 @@ impl DynamicKReachBackend {
         }
     }
 
-    /// A cheap handle to the current graph snapshot (consistent with the
-    /// index as of the moment of the call).
-    pub fn snapshot(&self) -> Arc<DiGraph> {
-        Arc::clone(self.read().graph())
+    /// Materializes the current graph as a frozen CSR (`O(n + m)`; for
+    /// inspection and persistence — the serving path reads the maintainer's
+    /// versioned storage directly and never materializes anything).
+    pub fn snapshot_csr(&self) -> DiGraph {
+        self.read().snapshot_csr()
     }
 
     /// Runs `f` against the maintainer state (for stats and tests).
@@ -263,12 +290,16 @@ impl Reachability for DynamicKReachBackend {
     }
 }
 
-// Every backend must be shareable as Arc<dyn Reachability> across workers.
+// Every backend must be shareable as Arc<dyn Reachability> across workers,
+// over either storage backend.
 const _: fn() = || {
     fn assert_backend<T: Reachability + 'static>() {}
     assert_backend::<KReachBackend>();
+    assert_backend::<KReachBackend<kreach_graph::VersionedAdjGraph>>();
     assert_backend::<HkReachBackend>();
+    assert_backend::<HkReachBackend<kreach_graph::VersionedAdjGraph>>();
     assert_backend::<BfsBackend>();
+    assert_backend::<BfsBackend<kreach_graph::VersionedAdjGraph>>();
     assert_backend::<DynamicKReachBackend>();
 };
 
@@ -360,7 +391,7 @@ mod tests {
             .apply_updates(&[EdgeUpdate::Insert(VertexId(7), VertexId(11))])
             .unwrap();
         assert_eq!(backend.vertex_count(), 12);
-        assert_eq!(backend.snapshot().vertex_count(), 12);
+        assert_eq!(backend.snapshot_csr().vertex_count(), 12);
         assert!(backend.with_state(|s| s.stats().inserts) == 2);
     }
 }

@@ -23,6 +23,13 @@ pub struct EngineConfig {
     /// Queries per worker job. Small enough to balance load, large enough
     /// that channel traffic is negligible next to query work.
     pub chunk_size: usize,
+    /// Largest vertex set a mutation batch may grow the graph to. Vertex
+    /// growth allocates per-vertex adjacency state, so one hostile update
+    /// line (`+ 0 4294967295`) would otherwise commit gigabytes before the
+    /// backend could object; updates naming a vertex at or past this limit
+    /// are rejected with [`UpdateError::VertexLimitExceeded`] before
+    /// anything is applied.
+    pub max_vertices: usize,
 }
 
 impl Default for EngineConfig {
@@ -32,6 +39,7 @@ impl Default for EngineConfig {
             cache_capacity: 1 << 16,
             cache_shards: 16,
             chunk_size: 256,
+            max_vertices: 1 << 24,
         }
     }
 }
@@ -179,6 +187,7 @@ pub struct BatchEngine {
     cache: Arc<ResultCache>,
     pool: WorkerPool,
     chunk_size: usize,
+    max_vertices: usize,
 }
 
 impl BatchEngine {
@@ -191,6 +200,7 @@ impl BatchEngine {
             cache,
             pool,
             chunk_size: config.chunk_size.max(1),
+            max_vertices: config.max_vertices.max(1),
         }
     }
 
@@ -230,8 +240,29 @@ impl BatchEngine {
     /// post-mutation lookup can serve a pre-mutation answer.
     ///
     /// Errors with [`UpdateError::Unsupported`] when the backend serves an
-    /// immutable index (every backend except the dynamic one).
+    /// immutable index (every backend except the dynamic one), and with
+    /// [`UpdateError::VertexLimitExceeded`] — before anything is applied —
+    /// when an update names a vertex at or past
+    /// [`EngineConfig::max_vertices`] (vertex growth allocates per-vertex
+    /// state, so an absurd id must not reach the storage layer).
     pub fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<UpdateOutcome, UpdateError> {
+        // Edges among already-existing vertices are always legitimate, so
+        // the guard only rejects *growth* past the limit.
+        let limit = self.max_vertices.max(self.backend.vertex_count());
+        for update in updates {
+            // Only inserts grow the vertex set; a remove naming an absurd id
+            // is an ordinary absent-edge no-op and must stay one.
+            if !update.is_insert() {
+                continue;
+            }
+            let (u, v) = update.endpoints();
+            if u.index().max(v.index()) >= limit {
+                return Err(UpdateError::VertexLimitExceeded {
+                    vertex: u.0.max(v.0),
+                    limit,
+                });
+            }
+        }
         let mut outcome = self.backend.apply_updates(updates)?;
         if outcome.stats.applied() > 0 {
             self.cache.bump_epoch();
@@ -587,6 +618,49 @@ mod tests {
         assert_eq!(engine.epoch(), 2);
         let warm = engine.run(&probe).unwrap();
         assert_eq!(warm.stats.cache_misses, 0, "no-op must not drop the cache");
+    }
+
+    #[test]
+    fn absurd_vertex_growth_is_rejected_before_allocation() {
+        use crate::backend::DynamicKReachBackend;
+        use crate::backend::UpdateError;
+        use kreach_core::dynamic::DynamicOptions;
+
+        let g = DiGraph::from_edges(3, [(0, 1)]);
+        let engine = BatchEngine::new(
+            Arc::new(DynamicKReachBackend::new(g, 2, DynamicOptions::default())),
+            EngineConfig {
+                workers: 1,
+                max_vertices: 1000,
+                ..Default::default()
+            },
+        );
+        // A hostile update line naming u32::MAX must error, not allocate
+        // per-vertex state proportional to the id.
+        let err = engine
+            .apply_updates(&[EdgeUpdate::Insert(VertexId(0), VertexId(u32::MAX))])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            UpdateError::VertexLimitExceeded {
+                vertex: u32::MAX,
+                limit: 1000
+            }
+        );
+        assert!(err.to_string().contains("vertex limit"), "{err}");
+        // Nothing was applied: the graph and epoch are untouched.
+        assert_eq!(engine.epoch(), 0);
+        // A remove naming an absurd id cannot allocate, so it stays an
+        // ordinary absent-edge no-op rather than becoming an error.
+        let outcome = engine
+            .apply_updates(&[EdgeUpdate::Remove(VertexId(0), VertexId(u32::MAX))])
+            .expect("out-of-range remove is a no-op");
+        assert_eq!(outcome.stats.noops, 1);
+        // Growth below the limit still works.
+        let outcome = engine
+            .apply_updates(&[EdgeUpdate::Insert(VertexId(0), VertexId(999))])
+            .expect("in-limit growth applies");
+        assert_eq!(outcome.vertex_count, 1000);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::{BatchEngine, EngineConfig, EngineStats, KReachBackend, QueryBatch, Reachability};
 use kreach_core::{BuildOptions, KReachIndex};
 use kreach_datasets::{QueryWorkload, WorkloadConfig};
-use kreach_graph::DiGraph;
+use kreach_graph::GraphView;
 use std::sync::Arc;
 
 /// One sweep entry: an engine run at a fixed worker count.
@@ -23,8 +23,8 @@ pub struct SweepPoint {
 /// The backend (graph + index) is shared across all runs; each run gets a
 /// fresh engine — and therefore a cold cache of `cache_capacity` results —
 /// so the sweep entries are comparable.
-pub fn serve_sweep(
-    g: &Arc<DiGraph>,
+pub fn serve_sweep<G: GraphView + 'static>(
+    g: &Arc<G>,
     k: u32,
     queries: usize,
     seed: u64,

@@ -8,7 +8,7 @@ const WORD_BITS: usize = 64;
 ///
 /// Used as the "visited" set of every traversal and as the raw representation
 /// of per-source reachable sets before interval compression (the transitive
-/// closure baseline of Section 3.6 / PWAH [28]).
+/// closure baseline of Section 3.6 / PWAH \[28\]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FixedBitSet {
     words: Vec<u64>,

@@ -191,10 +191,13 @@ impl DiGraph {
     }
 
     /// Whether the directed edge `(u, v)` exists (binary search on the sorted
-    /// out-adjacency of `u`).
+    /// out-adjacency of `u`). Out-of-range vertices have no edges, matching
+    /// [`crate::GraphView::has_edge`].
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.out_neighbors(u).binary_search(&v).is_ok()
+        u.index() < self.vertex_count()
+            && v.index() < self.vertex_count()
+            && self.out_neighbors(u).binary_search(&v).is_ok()
     }
 
     /// The graph with every edge reversed.
@@ -220,6 +223,27 @@ impl DiGraph {
     /// Maximum undirected degree, `Degmax` of Table 2.
     pub fn max_degree(&self) -> usize {
         self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+/// The frozen CSR is the immutable [`GraphView`](crate::view::GraphView)
+/// backend: `version()` is
+/// always 0 because the edge set cannot change.
+impl crate::view::GraphView for DiGraph {
+    fn vertex_count(&self) -> usize {
+        DiGraph::vertex_count(self)
+    }
+    fn edge_count(&self) -> usize {
+        DiGraph::edge_count(self)
+    }
+    fn version(&self) -> u64 {
+        0
+    }
+    fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        DiGraph::out_neighbors(self, v)
+    }
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        DiGraph::in_neighbors(self, v)
     }
 }
 

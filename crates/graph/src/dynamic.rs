@@ -1,119 +1,60 @@
-//! Mutable delta-overlay over an immutable CSR [`DiGraph`].
+//! Compatibility wrapper: a mutable graph plus an edge-update log.
 //!
-//! The paper's index is built once over a static graph, but a serving system
-//! sees a mutation stream. [`DynamicGraph`] layers an edge-update log and a
-//! delta overlay (inserted / removed edge sets) on top of a frozen CSR base:
-//! adjacency questions merge the base with the overlay, and
-//! [`DynamicGraph::snapshot`] / [`DynamicGraph::compact`] re-materialize a
-//! CSR in `O(m + Δ)` by merging the base's sorted edge stream with the
-//! (sorted) overlay — no global re-sort.
+//! Earlier revisions implemented mutation as a delta overlay over a frozen
+//! CSR, which forced an `O(m)` snapshot merge per applied update.
+//! [`DynamicGraph`] is now a thin wrapper over [`VersionedAdjGraph`] — the
+//! copy-on-write adjacency backend with `O(degree)` mutations — that keeps
+//! the one extra piece of state the old type offered: an application-order
+//! log of applied updates ([`DynamicGraph::log`] / [`DynamicGraph::take_log`]).
 //!
-//! Vertex growth is supported: inserting an edge whose endpoint is outside
-//! the current vertex range grows the vertex set, exactly like
-//! [`crate::GraphBuilder::add_edge`].
+//! New code that does not need the log should use [`VersionedAdjGraph`]
+//! directly (or stay generic over [`GraphView`]).
 
 use crate::csr::DiGraph;
+use crate::versioned::VersionedAdjGraph;
 use crate::vertex::VertexId;
-use std::collections::BTreeSet;
-use std::sync::Arc;
+use crate::view::GraphView;
 
-/// One logged change to the edge set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum EdgeUpdate {
-    /// Insert the directed edge `(u, v)`.
-    Insert(VertexId, VertexId),
-    /// Remove the directed edge `(u, v)`.
-    Remove(VertexId, VertexId),
-}
+pub use crate::versioned::EdgeUpdate;
 
-impl EdgeUpdate {
-    /// The edge endpoints `(u, v)` of this update.
-    pub fn endpoints(self) -> (VertexId, VertexId) {
-        match self {
-            EdgeUpdate::Insert(u, v) | EdgeUpdate::Remove(u, v) => (u, v),
-        }
-    }
-
-    /// True for [`EdgeUpdate::Insert`].
-    pub fn is_insert(self) -> bool {
-        matches!(self, EdgeUpdate::Insert(..))
-    }
-}
-
-impl std::fmt::Display for EdgeUpdate {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            EdgeUpdate::Insert(u, v) => write!(f, "+ {u} {v}"),
-            EdgeUpdate::Remove(u, v) => write!(f, "- {u} {v}"),
-        }
-    }
-}
-
-/// A directed graph that accepts edge insertions and removals by keeping a
-/// delta overlay over an immutable CSR base.
+/// A directed graph that accepts edge insertions and removals, logging every
+/// applied (non-no-op) update.
 ///
-/// Self-loops are rejected (the paper's graphs are simple) and duplicate
-/// inserts / removals of absent edges are no-ops, so the structure always
-/// describes a simple directed graph.
-#[derive(Debug, Clone)]
+/// All adjacency questions read straight through to the versioned backend;
+/// there is no overlay and nothing to compact.
+#[derive(Debug, Clone, Default)]
 pub struct DynamicGraph {
-    /// The frozen CSR base, shared so compaction can hand out the compacted
-    /// graph without copying it (readers hold the `Arc`).
-    base: Arc<DiGraph>,
-    /// Vertex count; may exceed the base's when inserts grew the vertex set.
-    n: usize,
-    /// Edges present in the overlay but not the base, as `(u, v)`.
-    added: BTreeSet<(u32, u32)>,
-    /// The same added edges keyed `(v, u)` for in-neighbour merges.
-    added_rev: BTreeSet<(u32, u32)>,
-    /// Base edges masked out by the overlay, as `(u, v)`.
-    removed: BTreeSet<(u32, u32)>,
-    /// The same removed edges keyed `(v, u)`.
-    removed_rev: BTreeSet<(u32, u32)>,
-    /// Every applied (non-no-op) update since construction or the last
+    view: VersionedAdjGraph,
+    /// Every applied update since construction or the last
     /// [`DynamicGraph::take_log`], in application order.
     log: Vec<EdgeUpdate>,
 }
 
 impl DynamicGraph {
-    /// Wraps a frozen CSR graph with an empty overlay.
+    /// Copies a frozen CSR graph into mutable storage with an empty log.
     pub fn new(base: DiGraph) -> Self {
-        let n = base.vertex_count();
         DynamicGraph {
-            base: Arc::new(base),
-            n,
-            added: BTreeSet::new(),
-            added_rev: BTreeSet::new(),
-            removed: BTreeSet::new(),
-            removed_rev: BTreeSet::new(),
+            view: VersionedAdjGraph::from_csr(&base),
             log: Vec::new(),
         }
     }
 
-    /// Current number of vertices (base plus growth from inserts).
-    pub fn vertex_count(&self) -> usize {
-        self.n
+    /// Wraps an existing versioned graph with an empty log.
+    pub fn from_view(view: VersionedAdjGraph) -> Self {
+        DynamicGraph {
+            view,
+            log: Vec::new(),
+        }
     }
 
-    /// Current number of edges (base minus removed plus added).
-    pub fn edge_count(&self) -> usize {
-        self.base.edge_count() - self.removed.len() + self.added.len()
+    /// The underlying versioned storage (read-only).
+    pub fn view(&self) -> &VersionedAdjGraph {
+        &self.view
     }
 
-    /// Number of overlay entries not yet folded into the base.
-    pub fn delta_len(&self) -> usize {
-        self.added.len() + self.removed.len()
-    }
-
-    /// The frozen base graph the overlay applies to.
-    pub fn base(&self) -> &DiGraph {
-        &self.base
-    }
-
-    /// A shared handle to the frozen base — after [`DynamicGraph::compact`],
-    /// this is the materialized current graph, with no extra copy.
-    pub fn shared_base(&self) -> Arc<DiGraph> {
-        Arc::clone(&self.base)
+    /// Consumes the wrapper, returning the underlying storage.
+    pub fn into_view(self) -> VersionedAdjGraph {
+        self.view
     }
 
     /// The applied-update log since construction or the last
@@ -129,60 +70,30 @@ impl DynamicGraph {
 
     /// Grows the vertex set to at least `n` vertices.
     pub fn ensure_vertices(&mut self, n: usize) {
-        if n > self.n {
-            self.n = n;
-        }
-    }
-
-    /// Whether the directed edge `(u, v)` currently exists.
-    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        if self.added.contains(&(u.0, v.0)) {
-            return true;
-        }
-        if self.removed.contains(&(u.0, v.0)) {
-            return false;
-        }
-        u.index() < self.base.vertex_count()
-            && v.index() < self.base.vertex_count()
-            && self.base.has_edge(u, v)
+        self.view.ensure_vertices(n);
     }
 
     /// Inserts the directed edge `(u, v)`, growing the vertex set on demand.
     ///
-    /// Returns `false` (a no-op) for self-loops and edges already present.
+    /// Returns `false` (a no-op, unlogged) for self-loops and edges already
+    /// present.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
-        if u == v {
-            return false;
+        let applied = self.view.insert_edge(u, v);
+        if applied {
+            self.log.push(EdgeUpdate::Insert(u, v));
         }
-        self.ensure_vertices(u.index().max(v.index()) + 1);
-        if self.has_edge(u, v) {
-            return false;
-        }
-        if !self.removed.remove(&(u.0, v.0)) {
-            self.added.insert((u.0, v.0));
-            self.added_rev.insert((v.0, u.0));
-        } else {
-            self.removed_rev.remove(&(v.0, u.0));
-        }
-        self.log.push(EdgeUpdate::Insert(u, v));
-        true
+        applied
     }
 
     /// Removes the directed edge `(u, v)`.
     ///
-    /// Returns `false` (a no-op) if the edge is not present.
+    /// Returns `false` (a no-op, unlogged) if the edge is not present.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
-        if !self.has_edge(u, v) {
-            return false;
+        let applied = self.view.remove_edge(u, v);
+        if applied {
+            self.log.push(EdgeUpdate::Remove(u, v));
         }
-        if !self.added.remove(&(u.0, v.0)) {
-            self.removed.insert((u.0, v.0));
-            self.removed_rev.insert((v.0, u.0));
-        } else {
-            self.added_rev.remove(&(v.0, u.0));
-        }
-        self.log.push(EdgeUpdate::Remove(u, v));
-        true
+        applied
     }
 
     /// Applies one logged update, returning whether it changed the edge set.
@@ -193,92 +104,30 @@ impl DynamicGraph {
         }
     }
 
-    /// Out-neighbours of `v` under the overlay, sorted by id.
-    pub fn out_neighbors(&self, v: VertexId) -> Vec<VertexId> {
-        self.merged_neighbors(v, true)
-    }
-
-    /// In-neighbours of `v` under the overlay, sorted by id.
-    pub fn in_neighbors(&self, v: VertexId) -> Vec<VertexId> {
-        self.merged_neighbors(v, false)
-    }
-
-    fn merged_neighbors(&self, v: VertexId, forward: bool) -> Vec<VertexId> {
-        let (base_list, added, removed) = if forward {
-            (
-                if v.index() < self.base.vertex_count() {
-                    self.base.out_neighbors(v)
-                } else {
-                    &[]
-                },
-                &self.added,
-                &self.removed,
-            )
-        } else {
-            (
-                if v.index() < self.base.vertex_count() {
-                    self.base.in_neighbors(v)
-                } else {
-                    &[]
-                },
-                &self.added_rev,
-                &self.removed_rev,
-            )
-        };
-        let overlay = added
-            .range((v.0, 0)..=(v.0, u32::MAX))
-            .map(|&(_, w)| VertexId(w));
-        let kept = base_list
-            .iter()
-            .copied()
-            .filter(|&w| !removed.contains(&(v.0, w.0)));
-        // Both streams are sorted; merge them (they are disjoint by
-        // construction: an added edge is never also a base edge).
-        let mut out = Vec::with_capacity(base_list.len());
-        let mut overlay = overlay.peekable();
-        for w in kept {
-            while overlay.peek().is_some_and(|&o| o < w) {
-                out.push(overlay.next().expect("peeked"));
-            }
-            out.push(w);
-        }
-        out.extend(overlay);
-        out
-    }
-
-    /// Materializes the current edge set as a fresh CSR [`DiGraph`] in
-    /// `O(m + Δ)` by merging the base's sorted edge stream with the overlay.
+    /// Materializes the current edge set as a fresh CSR [`DiGraph`]
+    /// (`O(n + m)`); for callers that want a frozen copy, not the hot path.
     pub fn snapshot(&self) -> DiGraph {
-        if self.delta_len() == 0 && self.n == self.base.vertex_count() {
-            return (*self.base).clone();
-        }
-        let mut edges = Vec::with_capacity(self.edge_count());
-        let mut added = self.added.iter().copied().peekable();
-        for (u, v) in self.base.edges() {
-            let e = (u.0, v.0);
-            if self.removed.contains(&e) {
-                continue;
-            }
-            while added.peek().is_some_and(|&a| a < e) {
-                edges.push(added.next().expect("peeked"));
-            }
-            edges.push(e);
-        }
-        edges.extend(added);
-        DiGraph::from_sorted_unique_edges(self.n, &edges)
+        self.view.to_csr()
     }
+}
 
-    /// Folds the overlay into the base, leaving an empty delta. The update
-    /// log is preserved.
-    pub fn compact(&mut self) {
-        if self.delta_len() == 0 && self.n == self.base.vertex_count() {
-            return;
-        }
-        self.base = Arc::new(self.snapshot());
-        self.added.clear();
-        self.added_rev.clear();
-        self.removed.clear();
-        self.removed_rev.clear();
+/// Counts, adjacency, and `has_edge` come from the [`GraphView`] impl —
+/// the wrapper adds only mutation, the log, and snapshotting on top.
+impl GraphView for DynamicGraph {
+    fn vertex_count(&self) -> usize {
+        self.view.vertex_count()
+    }
+    fn edge_count(&self) -> usize {
+        self.view.edge_count()
+    }
+    fn version(&self) -> u64 {
+        self.view.version()
+    }
+    fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.view.out_neighbors(v)
+    }
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.view.in_neighbors(v)
     }
 }
 
@@ -303,10 +152,8 @@ mod tests {
         assert!(g.remove_edge(VertexId(3), VertexId(0)));
         assert!(!g.has_edge(VertexId(3), VertexId(0)));
         assert_eq!(g.edge_count(), 4);
-        // The removed-then-reinserted base edge cancels out of the overlay.
         assert!(g.remove_edge(VertexId(0), VertexId(1)));
         assert!(g.insert_edge(VertexId(0), VertexId(1)));
-        assert_eq!(g.delta_len(), 0);
         assert_eq!(g.log().len(), 4);
     }
 
@@ -325,26 +172,26 @@ mod tests {
         let mut g = diamond();
         assert!(g.insert_edge(VertexId(3), VertexId(6)));
         assert_eq!(g.vertex_count(), 7);
-        assert_eq!(ids(&g.out_neighbors(VertexId(3))), vec![6]);
-        assert_eq!(ids(&g.in_neighbors(VertexId(6))), vec![3]);
+        assert_eq!(ids(g.out_neighbors(VertexId(3))), vec![6]);
+        assert_eq!(ids(g.in_neighbors(VertexId(6))), vec![3]);
         let snap = g.snapshot();
         assert_eq!(snap.vertex_count(), 7);
         assert!(snap.has_edge(VertexId(3), VertexId(6)));
     }
 
     #[test]
-    fn merged_adjacency_is_sorted_and_masked() {
+    fn adjacency_is_sorted_and_masked() {
         let mut g = diamond();
         g.insert_edge(VertexId(0), VertexId(3));
         g.remove_edge(VertexId(0), VertexId(2));
-        assert_eq!(ids(&g.out_neighbors(VertexId(0))), vec![1, 3]);
-        assert_eq!(ids(&g.in_neighbors(VertexId(3))), vec![0, 1, 2]);
+        assert_eq!(ids(g.out_neighbors(VertexId(0))), vec![1, 3]);
+        assert_eq!(ids(g.in_neighbors(VertexId(3))), vec![0, 1, 2]);
         g.remove_edge(VertexId(2), VertexId(3));
-        assert_eq!(ids(&g.in_neighbors(VertexId(3))), vec![0, 1]);
+        assert_eq!(ids(g.in_neighbors(VertexId(3))), vec![0, 1]);
     }
 
     #[test]
-    fn snapshot_matches_overlay_adjacency() {
+    fn snapshot_matches_live_adjacency() {
         let mut g = diamond();
         g.insert_edge(VertexId(3), VertexId(5));
         g.insert_edge(VertexId(0), VertexId(3));
@@ -353,34 +200,39 @@ mod tests {
         assert_eq!(snap.vertex_count(), g.vertex_count());
         assert_eq!(snap.edge_count(), g.edge_count());
         for v in snap.vertices() {
-            assert_eq!(snap.out_neighbors(v), g.out_neighbors(v).as_slice(), "{v}");
-            assert_eq!(snap.in_neighbors(v), g.in_neighbors(v).as_slice(), "{v}");
+            assert_eq!(snap.out_neighbors(v), g.out_neighbors(v), "{v}");
+            assert_eq!(snap.in_neighbors(v), g.in_neighbors(v), "{v}");
         }
     }
 
     #[test]
-    fn compact_folds_overlay_and_keeps_log() {
+    fn log_drains_and_version_tracks_mutations() {
         let mut g = diamond();
         g.insert_edge(VertexId(2), VertexId(1));
         g.remove_edge(VertexId(0), VertexId(1));
-        g.compact();
-        assert_eq!(g.delta_len(), 0);
-        assert_eq!(g.log().len(), 2);
-        assert!(g.has_edge(VertexId(2), VertexId(1)));
-        assert!(!g.has_edge(VertexId(0), VertexId(1)));
+        assert_eq!(g.view().version(), 2);
         assert_eq!(g.take_log().len(), 2);
         assert!(g.log().is_empty());
+        assert!(g.has_edge(VertexId(2), VertexId(1)));
+        assert!(!g.has_edge(VertexId(0), VertexId(1)));
+        // apply() routes through the same logged paths.
+        assert!(g.apply(EdgeUpdate::Insert(VertexId(0), VertexId(1))));
+        assert!(!g.apply(EdgeUpdate::Remove(VertexId(3), VertexId(0))));
+        assert_eq!(g.log().len(), 1);
     }
 
     #[test]
-    fn update_display_and_accessors() {
-        let up = EdgeUpdate::Insert(VertexId(1), VertexId(2));
-        assert!(up.is_insert());
-        assert_eq!(up.endpoints(), (VertexId(1), VertexId(2)));
-        assert_eq!(up.to_string(), "+ 1 2");
-        assert_eq!(
-            EdgeUpdate::Remove(VertexId(3), VertexId(4)).to_string(),
-            "- 3 4"
-        );
+    fn wrapper_is_a_graph_view() {
+        fn reaches<G: GraphView>(g: &G, s: VertexId, t: VertexId) -> bool {
+            crate::traversal::reachable_bfs(g, s, t)
+        }
+        let mut g = diamond();
+        assert!(reaches(&g, VertexId(0), VertexId(3)));
+        g.remove_edge(VertexId(1), VertexId(3));
+        g.remove_edge(VertexId(2), VertexId(3));
+        assert!(!reaches(&g, VertexId(0), VertexId(3)));
+        let inner = g.clone().into_view();
+        assert_eq!(inner.edge_count(), g.edge_count());
+        assert_eq!(DynamicGraph::from_view(inner).edge_count(), g.edge_count());
     }
 }

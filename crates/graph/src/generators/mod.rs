@@ -5,12 +5,12 @@
 //! matching size, degree skew and distance profile using the generators in
 //! this module:
 //!
-//! * [`erdos_renyi`] — uniform random directed graphs `G(n, m)`.
-//! * [`power_law`] — directed preferential-attachment graphs with a small
+//! * [`erdos_renyi()`] — uniform random directed graphs `G(n, m)`.
+//! * [`power_law()`] — directed preferential-attachment graphs with a small
 //!   number of very-high-degree hubs (the "Lady Gaga" vertices of §4.3).
-//! * [`layered_dag`] — layered DAG-like graphs resembling the XML/ontology
+//! * [`layered_dag()`] — layered DAG-like graphs resembling the XML/ontology
 //!   and metabolic datasets (mostly acyclic, small depth).
-//! * [`small_world`] — directed Watts–Strogatz-style graphs with a small
+//! * [`small_world()`] — directed Watts–Strogatz-style graphs with a small
 //!   diameter, resembling the citation networks.
 //!
 //! All generators are deterministic given a seed, so every experiment in the

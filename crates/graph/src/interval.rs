@@ -4,7 +4,7 @@
 //! high-degree vertices "in a more compact way, such as interval lists or
 //! partitioned word aligned hybrid compression". This module provides the
 //! interval-list representation, which is also the backbone of the
-//! compressed-transitive-closure baseline (a stand-in for PWAH [28]).
+//! compressed-transitive-closure baseline (a stand-in for PWAH \[28\]).
 
 use crate::bitset::FixedBitSet;
 

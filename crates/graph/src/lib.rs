@@ -26,9 +26,14 @@
 //!   the building blocks of the compressed transitive-closure baseline and
 //!   of the compact high-degree adjacency described in Section 4.3.
 //! * [`io`] — plain edge-list reading/writing.
-//! * [`dynamic`] — a mutable delta-overlay + edge-update log over the frozen
-//!   CSR, the substrate for incremental index maintenance under live edge
-//!   insertions and removals.
+//! * [`view`] — [`GraphView`], the logical graph-access seam every consumer
+//!   (index construction, traversals, covers, baselines, the engine) is
+//!   generic over, decoupling *what* is read from *how* it is stored.
+//! * [`versioned`] — [`VersionedAdjGraph`], per-vertex sorted adjacency with
+//!   copy-on-write segments: `O(degree)` edge insertion/removal and a version
+//!   stamp, the mutable storage backend behind incremental index maintenance.
+//! * [`dynamic`] — [`DynamicGraph`], a thin wrapper over the versioned
+//!   backend that additionally keeps an edge-update log.
 //!
 //! All vertex identifiers are dense `u32` values wrapped in [`VertexId`].
 
@@ -45,15 +50,19 @@ pub mod io;
 pub mod metrics;
 pub mod scc;
 pub mod traversal;
+pub mod versioned;
 pub mod vertex;
+pub mod view;
 
 pub use bitset::FixedBitSet;
 pub use builder::GraphBuilder;
 pub use csr::DiGraph;
-pub use dynamic::{DynamicGraph, EdgeUpdate};
+pub use dynamic::DynamicGraph;
 pub use interval::IntervalList;
 pub use scc::{Condensation, SccResult};
+pub use versioned::{EdgeUpdate, VersionedAdjGraph};
 pub use vertex::VertexId;
+pub use view::GraphView;
 
 /// Result alias used by fallible graph operations (currently only I/O).
 pub type Result<T> = std::result::Result<T, GraphError>;

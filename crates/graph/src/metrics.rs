@@ -1,10 +1,10 @@
 //! Graph statistics reported in Table 2 of the paper: degree distribution,
 //! maximum degree, diameter `d` and median shortest-path length `µ`.
 
-use crate::csr::DiGraph;
 use crate::scc::Condensation;
 use crate::traversal::{bfs, Direction};
 use crate::vertex::VertexId;
+use crate::view::GraphView;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -53,7 +53,7 @@ impl Default for StatsConfig {
 /// random sample; this matches how these statistics are customarily estimated
 /// for the datasets of Table 2 (whose exact values we only need to *match in
 /// shape*, not reproduce digit-for-digit).
-pub fn graph_stats(g: &DiGraph, config: StatsConfig) -> GraphStats {
+pub fn graph_stats<G: GraphView>(g: &G, config: StatsConfig) -> GraphStats {
     let cond = Condensation::new(g);
     let (diameter, median) = distance_profile(g, config);
     GraphStats {
@@ -69,7 +69,7 @@ pub fn graph_stats(g: &DiGraph, config: StatsConfig) -> GraphStats {
 
 /// Returns `(diameter, median shortest-path length)` from full or sampled
 /// single-source BFS sweeps.
-pub fn distance_profile(g: &DiGraph, config: StatsConfig) -> (u32, u32) {
+pub fn distance_profile<G: GraphView>(g: &G, config: StatsConfig) -> (u32, u32) {
     let n = g.vertex_count();
     if n == 0 {
         return (0, 0);
@@ -118,14 +118,14 @@ pub fn distance_profile(g: &DiGraph, config: StatsConfig) -> (u32, u32) {
 }
 
 /// The undirected degree of every vertex, useful for inspecting degree skew.
-pub fn degree_sequence(g: &DiGraph) -> Vec<usize> {
+pub fn degree_sequence<G: GraphView>(g: &G) -> Vec<usize> {
     g.vertices().map(|v| g.degree(v)).collect()
 }
 
 /// The `h`-index of the graph: the largest `h` such that at least `h`
 /// vertices have degree at least `h`. Section 4.3 cites the h-index to argue
 /// that real graphs contain only a few hundred high-degree vertices.
-pub fn h_index(g: &DiGraph) -> usize {
+pub fn h_index<G: GraphView>(g: &G) -> usize {
     let mut degs = degree_sequence(g);
     degs.sort_unstable_by(|a, b| b.cmp(a));
     let mut h = 0;
@@ -142,6 +142,7 @@ pub fn h_index(g: &DiGraph) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::DiGraph;
 
     #[test]
     fn stats_of_a_simple_path() {

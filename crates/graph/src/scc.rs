@@ -9,6 +9,7 @@
 use crate::builder::GraphBuilder;
 use crate::csr::DiGraph;
 use crate::vertex::VertexId;
+use crate::view::GraphView;
 
 /// Assignment of every vertex to a strongly connected component.
 #[derive(Debug, Clone)]
@@ -46,7 +47,7 @@ impl SccResult {
 
 /// Tarjan's algorithm, implemented iteratively so that deep recursion on
 /// path-like graphs cannot overflow the stack.
-pub fn strongly_connected_components(g: &DiGraph) -> SccResult {
+pub fn strongly_connected_components<G: GraphView>(g: &G) -> SccResult {
     let n = g.vertex_count();
     const UNVISITED: u32 = u32::MAX;
     let mut index = vec![UNVISITED; n];
@@ -123,8 +124,9 @@ pub struct Condensation {
 }
 
 impl Condensation {
-    /// Computes the condensation of `g`.
-    pub fn new(g: &DiGraph) -> Self {
+    /// Computes the condensation of `g` (any [`GraphView`] backend; the
+    /// condensed DAG itself is always produced as a frozen CSR).
+    pub fn new<G: GraphView>(g: &G) -> Self {
         let scc = strongly_connected_components(g);
         let mut builder = GraphBuilder::new(scc.component_count);
         for (u, v) in g.edges() {

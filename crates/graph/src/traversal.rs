@@ -6,11 +6,11 @@
 //! traversals live here.
 
 use crate::bitset::FixedBitSet;
-use crate::csr::DiGraph;
 use crate::vertex::VertexId;
+use crate::view::GraphView;
 use std::collections::VecDeque;
 
-/// Direction of a traversal over a [`DiGraph`].
+/// Direction of a traversal over a graph view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Follow edges from source to target (`outNei`).
@@ -21,7 +21,7 @@ pub enum Direction {
 
 impl Direction {
     #[inline]
-    fn neighbors(self, g: &DiGraph, v: VertexId) -> &[VertexId] {
+    fn neighbors<G: GraphView>(self, g: &G, v: VertexId) -> &[VertexId] {
         match self {
             Direction::Forward => g.out_neighbors(v),
             Direction::Backward => g.in_neighbors(v),
@@ -74,8 +74,8 @@ impl BfsResult {
 
 /// Breadth-first search from `source`, following `direction`, visiting only
 /// vertices within `max_hops` hops (`None` = unbounded, i.e. classic BFS).
-pub fn bfs(
-    g: &DiGraph,
+pub fn bfs<G: GraphView>(
+    g: &G,
     source: VertexId,
     direction: Direction,
     max_hops: Option<u32>,
@@ -109,7 +109,7 @@ pub fn bfs(
 
 /// Exact shortest-path hop distance from `s` to `t` (forward BFS that stops
 /// as soon as `t` is settled). `None` if `t` is unreachable.
-pub fn shortest_distance(g: &DiGraph, s: VertexId, t: VertexId) -> Option<u32> {
+pub fn shortest_distance<G: GraphView>(g: &G, s: VertexId, t: VertexId) -> Option<u32> {
     if s == t {
         return Some(0);
     }
@@ -137,7 +137,7 @@ pub fn shortest_distance(g: &DiGraph, s: VertexId, t: VertexId) -> Option<u32> {
 /// This is the naive method the introduction argues against ("a BFS from a
 /// celebrity ... is clearly out of the question for online query processing")
 /// and the µ-BFS baseline of Table 7.
-pub fn khop_reachable_bfs(g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> bool {
+pub fn khop_reachable_bfs<G: GraphView>(g: &G, s: VertexId, t: VertexId, k: u32) -> bool {
     if s == t {
         return true;
     }
@@ -169,14 +169,14 @@ pub fn khop_reachable_bfs(g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> bool
 }
 
 /// Classic (unbounded) reachability by forward BFS.
-pub fn reachable_bfs(g: &DiGraph, s: VertexId, t: VertexId) -> bool {
+pub fn reachable_bfs<G: GraphView>(g: &G, s: VertexId, t: VertexId) -> bool {
     shortest_distance(g, s, t).is_some()
 }
 
 /// Bidirectional hop-bounded reachability: expands the smaller frontier from
 /// both ends, up to `k` total hops. Exact, and often far cheaper than a
 /// one-sided k-hop BFS on graphs with hub vertices.
-pub fn khop_reachable_bidirectional(g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> bool {
+pub fn khop_reachable_bidirectional<G: GraphView>(g: &G, s: VertexId, t: VertexId, k: u32) -> bool {
     if s == t {
         return true;
     }
@@ -261,7 +261,7 @@ pub struct DfsForest {
 /// `roots` (falling back to id order for unvisited vertices). Children are
 /// visited in the order produced by `child_order`, which lets GRAIL use a
 /// different random permutation per traversal.
-pub fn dfs_forest<F>(g: &DiGraph, roots: &[VertexId], mut child_order: F) -> DfsForest
+pub fn dfs_forest<G: GraphView, F>(g: &G, roots: &[VertexId], mut child_order: F) -> DfsForest
 where
     F: FnMut(&[VertexId]) -> Vec<VertexId>,
 {
@@ -308,7 +308,7 @@ where
 
 /// Topological order of a DAG (Kahn's algorithm). Returns `None` if the graph
 /// contains a cycle.
-pub fn topological_sort(g: &DiGraph) -> Option<Vec<VertexId>> {
+pub fn topological_sort<G: GraphView>(g: &G) -> Option<Vec<VertexId>> {
     let n = g.vertex_count();
     let mut indeg: Vec<u32> = (0..n)
         .map(|v| g.in_degree(VertexId(v as u32)) as u32)
@@ -331,7 +331,12 @@ pub fn topological_sort(g: &DiGraph) -> Option<Vec<VertexId>> {
 /// (including the source itself), together with their distances.
 ///
 /// This is `Gk(u)` of Section 4.1.3 and the workhorse of Algorithm 1, Line 5.
-pub fn khop_neighborhood(g: &DiGraph, source: VertexId, k: u32, direction: Direction) -> BfsResult {
+pub fn khop_neighborhood<G: GraphView>(
+    g: &G,
+    source: VertexId,
+    k: u32,
+    direction: Direction,
+) -> BfsResult {
     bfs(g, source, direction, Some(k))
 }
 
@@ -361,9 +366,9 @@ impl NeighborhoodExplorer {
     /// Returns every vertex within `max_hops` of `start` in the given
     /// direction, paired with its hop distance (the start vertex appears with
     /// distance 0). The slice is valid until the next call.
-    pub fn explore(
+    pub fn explore<G: GraphView>(
         &mut self,
-        g: &DiGraph,
+        g: &G,
         start: VertexId,
         max_hops: u32,
         direction: Direction,
@@ -403,6 +408,7 @@ impl NeighborhoodExplorer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::DiGraph;
 
     /// A directed path 0 -> 1 -> 2 -> 3 -> 4 plus a shortcut 0 -> 3.
     fn path_with_shortcut() -> DiGraph {

@@ -1,0 +1,365 @@
+//! Versioned adjacency storage: the mutable [`GraphView`](crate::view::GraphView)
+//! backend.
+//!
+//! [`VersionedAdjGraph`] stores each vertex's in- and out-adjacency as its
+//! own sorted segment behind an [`Arc`] (copy-on-write). An edge insertion or
+//! removal touches exactly two segments — `O(outDeg(u) + inDeg(v))` — and
+//! bumps a version stamp; there is **no** `O(m)` snapshot or re-sort anywhere
+//! on the mutation path, which is what makes per-update index maintenance
+//! cost independent of the total edge count.
+//!
+//! Cloning the graph is `O(n)` pointer copies that *share* every segment;
+//! a later mutation on either clone copies only the segments it touches.
+//! Untouched (degree-0) vertices all share one empty segment.
+
+use crate::csr::DiGraph;
+use crate::vertex::VertexId;
+use std::sync::Arc;
+
+/// One logged change to the edge set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeUpdate {
+    /// Insert the directed edge `(u, v)`.
+    Insert(VertexId, VertexId),
+    /// Remove the directed edge `(u, v)`.
+    Remove(VertexId, VertexId),
+}
+
+impl EdgeUpdate {
+    /// The edge endpoints `(u, v)` of this update.
+    pub fn endpoints(self) -> (VertexId, VertexId) {
+        match self {
+            EdgeUpdate::Insert(u, v) | EdgeUpdate::Remove(u, v) => (u, v),
+        }
+    }
+
+    /// True for [`EdgeUpdate::Insert`].
+    pub fn is_insert(self) -> bool {
+        matches!(self, EdgeUpdate::Insert(..))
+    }
+}
+
+impl std::fmt::Display for EdgeUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeUpdate::Insert(u, v) => write!(f, "+ {u} {v}"),
+            EdgeUpdate::Remove(u, v) => write!(f, "- {u} {v}"),
+        }
+    }
+}
+
+/// A mutable directed graph with per-vertex sorted adjacency segments under
+/// copy-on-write, and a version stamp that bumps on every applied mutation.
+///
+/// Self-loops are rejected (the paper's graphs are simple) and duplicate
+/// inserts / removals of absent edges are no-ops, so the structure always
+/// describes a simple directed graph. Vertex growth is supported: inserting
+/// an edge whose endpoint is outside the current range grows the vertex set.
+#[derive(Debug, Clone)]
+pub struct VersionedAdjGraph {
+    /// Sorted out-adjacency of each vertex, one copy-on-write segment each.
+    out: Vec<Arc<Vec<VertexId>>>,
+    /// Sorted in-adjacency, symmetric to `out`.
+    inn: Vec<Arc<Vec<VertexId>>>,
+    /// Shared empty segment handed to fresh vertices.
+    empty: Arc<Vec<VertexId>>,
+    /// Number of edges.
+    m: usize,
+    /// Bumped on every applied (non-no-op) mutation.
+    version: u64,
+}
+
+impl VersionedAdjGraph {
+    /// An edgeless graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let empty = Arc::new(Vec::new());
+        VersionedAdjGraph {
+            out: vec![Arc::clone(&empty); n],
+            inn: vec![Arc::clone(&empty); n],
+            empty,
+            m: 0,
+            version: 0,
+        }
+    }
+
+    /// Copies a frozen CSR graph into versioned segments (`O(n + m)`).
+    pub fn from_csr(g: &DiGraph) -> Self {
+        let n = g.vertex_count();
+        let empty = Arc::new(Vec::new());
+        let segment = |list: &[VertexId]| {
+            if list.is_empty() {
+                Arc::clone(&empty)
+            } else {
+                Arc::new(list.to_vec())
+            }
+        };
+        VersionedAdjGraph {
+            out: (0..n)
+                .map(|v| segment(g.out_neighbors(VertexId(v as u32))))
+                .collect(),
+            inn: (0..n)
+                .map(|v| segment(g.in_neighbors(VertexId(v as u32))))
+                .collect(),
+            empty,
+            m: g.edge_count(),
+            version: 0,
+        }
+    }
+
+    /// Builds from an arbitrary edge list (sorts, dedups, drops self-loops).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        Self::from_csr(&DiGraph::from_edges(n, edges))
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// The version stamp: bumped by every applied mutation, so equal stamps
+    /// identify an identical edge set.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Sorted out-neighbours of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.out[v.index()]
+    }
+
+    /// Sorted in-neighbours of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.inn[v.index()]
+    }
+
+    /// Grows the vertex set to at least `n` vertices (fresh vertices share
+    /// the empty segment; no per-vertex allocation). Growth is an applied
+    /// mutation: the version stamp bumps, so version-keyed consumers cannot
+    /// miss the larger vertex range.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.out.len() {
+            self.grow(n);
+            self.version += 1;
+        }
+    }
+
+    /// Vertex growth without a version bump — for the mutation paths that
+    /// bump exactly once per applied edge change.
+    fn grow(&mut self, n: usize) {
+        if n > self.out.len() {
+            self.out.resize_with(n, || Arc::clone(&self.empty));
+            self.inn.resize_with(n, || Arc::clone(&self.empty));
+        }
+    }
+
+    /// Inserts the directed edge `(u, v)`, growing the vertex set on demand.
+    ///
+    /// `O(outDeg(u) + inDeg(v))`. Returns `false` (a no-op, version
+    /// unchanged) for self-loops and edges already present.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        self.grow(u.index().max(v.index()) + 1);
+        let pos = match self.out[u.index()].binary_search(&v) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        Arc::make_mut(&mut self.out[u.index()]).insert(pos, v);
+        let rpos = self.inn[v.index()]
+            .binary_search(&u)
+            .expect_err("in-adjacency must mirror out-adjacency");
+        Arc::make_mut(&mut self.inn[v.index()]).insert(rpos, u);
+        self.m += 1;
+        self.version += 1;
+        true
+    }
+
+    /// Removes the directed edge `(u, v)`.
+    ///
+    /// `O(outDeg(u) + inDeg(v))`. Returns `false` (a no-op, version
+    /// unchanged) if the edge is not present.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u.index() >= self.out.len() || v.index() >= self.out.len() {
+            return false;
+        }
+        let pos = match self.out[u.index()].binary_search(&v) {
+            Ok(pos) => pos,
+            Err(_) => return false,
+        };
+        Arc::make_mut(&mut self.out[u.index()]).remove(pos);
+        let rpos = self.inn[v.index()]
+            .binary_search(&u)
+            .expect("in-adjacency must mirror out-adjacency");
+        Arc::make_mut(&mut self.inn[v.index()]).remove(rpos);
+        self.m -= 1;
+        self.version += 1;
+        true
+    }
+
+    /// Applies one update, returning whether it changed the edge set.
+    pub fn apply(&mut self, update: EdgeUpdate) -> bool {
+        match update {
+            EdgeUpdate::Insert(u, v) => self.insert_edge(u, v),
+            EdgeUpdate::Remove(u, v) => self.remove_edge(u, v),
+        }
+    }
+
+    /// Approximate heap footprint of the segments in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let handles = (self.out.len() + self.inn.len()) * std::mem::size_of::<Arc<Vec<VertexId>>>();
+        let segments = 2 * self.m * std::mem::size_of::<VertexId>();
+        handles + segments
+    }
+}
+
+impl Default for VersionedAdjGraph {
+    /// An empty graph (0 vertices, 0 edges).
+    fn default() -> Self {
+        VersionedAdjGraph::new(0)
+    }
+}
+
+impl crate::view::GraphView for VersionedAdjGraph {
+    fn vertex_count(&self) -> usize {
+        VersionedAdjGraph::vertex_count(self)
+    }
+    fn edge_count(&self) -> usize {
+        VersionedAdjGraph::edge_count(self)
+    }
+    fn version(&self) -> u64 {
+        VersionedAdjGraph::version(self)
+    }
+    fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        VersionedAdjGraph::out_neighbors(self, v)
+    }
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        VersionedAdjGraph::in_neighbors(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::GraphView;
+
+    fn diamond() -> VersionedAdjGraph {
+        VersionedAdjGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    fn ids(list: &[VertexId]) -> Vec<u32> {
+        list.iter().map(|v| v.0).collect()
+    }
+
+    #[test]
+    fn from_csr_round_trips() {
+        let csr = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (0, 3), (4, 0)]);
+        let v = VersionedAdjGraph::from_csr(&csr);
+        assert_eq!(v.vertex_count(), 5);
+        assert_eq!(v.edge_count(), 5);
+        assert_eq!(v.version(), 0);
+        assert_eq!(v.to_csr(), csr);
+        for u in csr.vertices() {
+            assert_eq!(v.out_neighbors(u), csr.out_neighbors(u));
+            assert_eq!(v.in_neighbors(u), csr.in_neighbors(u));
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_bump_version_and_stay_sorted() {
+        let mut g = diamond();
+        assert!(g.insert_edge(VertexId(3), VertexId(0)));
+        assert_eq!(g.version(), 1);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.has_edge(VertexId(3), VertexId(0)));
+        assert!(g.remove_edge(VertexId(3), VertexId(0)));
+        assert_eq!(g.version(), 2);
+        assert_eq!(g.edge_count(), 4);
+        g.insert_edge(VertexId(0), VertexId(3));
+        assert_eq!(ids(g.out_neighbors(VertexId(0))), vec![1, 2, 3]);
+        assert_eq!(ids(g.in_neighbors(VertexId(3))), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn noops_leave_version_unchanged() {
+        let mut g = diamond();
+        assert!(!g.insert_edge(VertexId(0), VertexId(1))); // present
+        assert!(!g.insert_edge(VertexId(2), VertexId(2))); // self-loop
+        assert!(!g.remove_edge(VertexId(3), VertexId(0))); // absent
+        assert!(!g.remove_edge(VertexId(9), VertexId(0))); // out of range
+        assert_eq!(g.version(), 0);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn vertex_growth_on_insert() {
+        let mut g = diamond();
+        assert!(g.insert_edge(VertexId(3), VertexId(6)));
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.version(), 1); // one applied mutation, one bump
+        assert_eq!(ids(g.out_neighbors(VertexId(3))), vec![6]);
+        assert_eq!(ids(g.in_neighbors(VertexId(6))), vec![3]);
+        assert!(g.out_neighbors(VertexId(5)).is_empty());
+    }
+
+    #[test]
+    fn explicit_vertex_growth_bumps_the_version() {
+        let mut g = diamond();
+        g.ensure_vertices(2); // already larger: no growth, no bump
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.version(), 0);
+        g.ensure_vertices(9);
+        assert_eq!(g.vertex_count(), 9);
+        assert_eq!(g.version(), 1);
+    }
+
+    #[test]
+    fn clones_share_segments_copy_on_write() {
+        let mut g = diamond();
+        let frozen = g.clone();
+        let before = frozen.version();
+        g.insert_edge(VertexId(1), VertexId(0));
+        g.remove_edge(VertexId(2), VertexId(3));
+        // The clone still observes the pre-mutation edge set.
+        assert_eq!(frozen.version(), before);
+        assert!(!frozen.has_edge(VertexId(1), VertexId(0)));
+        assert!(frozen.has_edge(VertexId(2), VertexId(3)));
+        assert!(g.has_edge(VertexId(1), VertexId(0)));
+        assert!(!g.has_edge(VertexId(2), VertexId(3)));
+    }
+
+    #[test]
+    fn apply_matches_direct_mutation_and_snapshot_agrees() {
+        let mut g = VersionedAdjGraph::new(3);
+        assert!(g.apply(EdgeUpdate::Insert(VertexId(0), VertexId(1))));
+        assert!(g.apply(EdgeUpdate::Insert(VertexId(1), VertexId(2))));
+        assert!(g.apply(EdgeUpdate::Remove(VertexId(0), VertexId(1))));
+        assert!(!g.apply(EdgeUpdate::Remove(VertexId(0), VertexId(1))));
+        let csr = g.to_csr();
+        assert_eq!(csr.edge_count(), 1);
+        assert!(csr.has_edge(VertexId(1), VertexId(2)));
+        assert!(g.size_bytes() > 0);
+    }
+
+    #[test]
+    fn update_display_and_accessors() {
+        let up = EdgeUpdate::Insert(VertexId(1), VertexId(2));
+        assert!(up.is_insert());
+        assert_eq!(up.endpoints(), (VertexId(1), VertexId(2)));
+        assert_eq!(up.to_string(), "+ 1 2");
+        assert_eq!(
+            EdgeUpdate::Remove(VertexId(3), VertexId(4)).to_string(),
+            "- 3 4"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! The logical graph-access seam: [`GraphView`].
+//!
+//! Everything that *reads* a graph — index construction (Algorithm 1), query
+//! processing (Algorithms 2/3), the online baselines, vertex covers, SCC,
+//! metrics — needs only a handful of primitives: vertex/edge counts and
+//! sorted in/out adjacency slices. [`GraphView`] names exactly that surface,
+//! decoupling the logical access interface from the physical layout so that
+//! consumers are generic over the storage backend:
+//!
+//! * [`crate::DiGraph`] — the frozen CSR of the paper: densest layout,
+//!   immutable, `version()` is always 0.
+//! * [`crate::VersionedAdjGraph`] — per-vertex sorted adjacency with
+//!   copy-on-write segments: `O(degree)` edge insertion/removal with no
+//!   `O(m)` re-materialization, `version()` bumps on every mutation.
+//!
+//! The trait is deliberately *slice-based*: both backends store each
+//! adjacency list contiguously and sorted by id, so membership tests stay
+//! `O(log deg)` (the edge-lookup cost analysed in §4.2.2 of the paper) and
+//! the merge-based degree/neighbour helpers work unchanged. Provided methods
+//! that return iterators require `Self: Sized`; the trait is meant to be used
+//! as a generic bound, not as a trait object.
+
+use crate::csr::DiGraph;
+use crate::vertex::VertexId;
+use std::sync::Arc;
+
+/// Read access to a directed graph with sorted adjacency, the notation of
+/// Table 1 of the paper (`outNei`, `inNei`, `outDeg`, `inDeg`, `Nei`, `Deg`)
+/// plus a version stamp identifying the observed edge set.
+pub trait GraphView: Send + Sync {
+    /// Number of vertices `n = |V|`.
+    fn vertex_count(&self) -> usize;
+
+    /// Number of edges `m = |E|`.
+    fn edge_count(&self) -> usize;
+
+    /// Monotonic stamp of the observed edge set. Frozen backends return a
+    /// constant; mutable backends bump it on every applied mutation, so two
+    /// equal stamps from the same backend guarantee an identical graph.
+    fn version(&self) -> u64;
+
+    /// `outNei(v, G)`: out-neighbours of `v`, sorted by id.
+    fn out_neighbors(&self, v: VertexId) -> &[VertexId];
+
+    /// `inNei(v, G)`: in-neighbours of `v`, sorted by id.
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId];
+
+    /// `outDeg(v, G)`.
+    #[inline]
+    fn out_degree(&self, v: VertexId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// `inDeg(v, G)`.
+    #[inline]
+    fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Total degree `inDeg + outDeg` (counts a mutual edge twice).
+    #[inline]
+    fn total_degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// `Deg(v, G) = |inNei(v) ∪ outNei(v)|` — the undirected degree used by
+    /// the vertex-cover computation (§4.1.1 ignores edge direction).
+    fn degree(&self, v: VertexId) -> usize {
+        let (a, b) = (self.out_neighbors(v), self.in_neighbors(v));
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+            count += 1;
+        }
+        count + (a.len() - i) + (b.len() - j)
+    }
+
+    /// Union of in- and out-neighbours, `Nei(v, G)`, sorted and deduplicated.
+    fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let (a, b) = (self.out_neighbors(v), self.in_neighbors(v));
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        out
+    }
+
+    /// Whether the directed edge `(u, v)` exists (binary search on the sorted
+    /// out-adjacency of `u`). Vertices outside the current range have no
+    /// edges, so the answer is `false` rather than a panic — mutation
+    /// streams routinely probe edges whose endpoints were never inserted.
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u.index() < self.vertex_count()
+            && v.index() < self.vertex_count()
+            && self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    fn vertices(&self) -> impl Iterator<Item = VertexId> + '_
+    where
+        Self: Sized,
+    {
+        (0..self.vertex_count() as u32).map(VertexId)
+    }
+
+    /// Iterator over all edges in `(source, target)` order.
+    fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_
+    where
+        Self: Sized,
+    {
+        self.vertices()
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Maximum undirected degree, `Degmax` of Table 2.
+    fn max_degree(&self) -> usize
+    where
+        Self: Sized,
+    {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Materializes the observed edge set as a frozen CSR [`DiGraph`]
+    /// (`O(n + m)`; the edge stream of a view is already sorted and unique).
+    fn to_csr(&self) -> DiGraph
+    where
+        Self: Sized,
+    {
+        let edges: Vec<(u32, u32)> = self.edges().map(|(u, v)| (u.0, v.0)).collect();
+        DiGraph::from_sorted_unique_edges(self.vertex_count(), &edges)
+    }
+}
+
+/// Shared references to a view are views (lets generic consumers take either
+/// `&G` or an owned handle without extra bounds).
+impl<G: GraphView + ?Sized> GraphView for &G {
+    fn vertex_count(&self) -> usize {
+        (**self).vertex_count()
+    }
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+    fn version(&self) -> u64 {
+        (**self).version()
+    }
+    fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        (**self).out_neighbors(v)
+    }
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        (**self).in_neighbors(v)
+    }
+}
+
+/// `Arc` handles are views, so engine backends can share one storage
+/// instance across worker threads and still call generic consumers directly.
+impl<G: GraphView + ?Sized> GraphView for Arc<G> {
+    fn vertex_count(&self) -> usize {
+        (**self).vertex_count()
+    }
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+    fn version(&self) -> u64 {
+        (**self).version()
+    }
+    fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        (**self).out_neighbors(v)
+    }
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        (**self).in_neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    /// A generic consumer compiles against the trait surface alone.
+    fn sum_degrees<G: GraphView>(g: &G) -> usize {
+        g.vertices().map(|v| g.total_degree(v)).sum()
+    }
+
+    #[test]
+    fn csr_satisfies_the_view_contract() {
+        let g = diamond();
+        assert_eq!(GraphView::vertex_count(&g), 4);
+        assert_eq!(GraphView::edge_count(&g), 4);
+        assert_eq!(g.version(), 0);
+        assert_eq!(sum_degrees(&g), 8);
+        assert_eq!(
+            GraphView::out_neighbors(&g, VertexId(0)),
+            &[VertexId(1), VertexId(2)]
+        );
+        assert!(GraphView::has_edge(&g, VertexId(1), VertexId(3)));
+        assert!(!GraphView::has_edge(&g, VertexId(3), VertexId(1)));
+    }
+
+    #[test]
+    fn reference_and_arc_delegation() {
+        let g = Arc::new(diamond());
+        assert_eq!(sum_degrees(&g), 8);
+        let by_ref: &DiGraph = &g;
+        assert_eq!(sum_degrees(&by_ref), 8);
+        assert_eq!(g.to_csr(), *g);
+    }
+
+    #[test]
+    fn round_trip_through_to_csr_preserves_edges() {
+        let g = diamond();
+        let copied = GraphView::to_csr(&g);
+        assert_eq!(copied, g);
+    }
+}

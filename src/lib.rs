@@ -7,8 +7,12 @@
 //!
 //! This crate is a thin facade over the workspace members:
 //!
-//! * [`graph`] ([`kreach_graph`]) — the graph substrate: CSR storage,
-//!   traversals, SCC/DAG condensation, metrics, generators, edge-list I/O.
+//! * [`graph`] ([`kreach_graph`]) — the graph substrate: the [`GraphView`]
+//!   storage seam with its two backends (frozen CSR and copy-on-write
+//!   versioned adjacency), traversals, SCC/DAG condensation, metrics,
+//!   generators, edge-list I/O.
+//!
+//! [`GraphView`]: kreach_graph::GraphView
 //! * [`core`] ([`kreach_core`]) — the paper's contribution: the k-reach and
 //!   (h,k)-reach indexes, vertex covers, general-k families, serialization.
 //! * [`baselines`] ([`kreach_baselines`]) — the systems the paper compares
@@ -56,5 +60,5 @@ pub mod prelude {
         all_specs, spec_by_name, DatasetSpec, QueryWorkload, WorkloadConfig,
     };
     pub use kreach_engine::{BatchEngine, EngineConfig, EngineStats, Query, QueryBatch};
-    pub use kreach_graph::{DiGraph, GraphBuilder, VertexId};
+    pub use kreach_graph::{DiGraph, GraphBuilder, GraphView, VersionedAdjGraph, VertexId};
 }

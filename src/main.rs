@@ -516,14 +516,19 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
     } else {
         0.0
     };
+    // Per-update maintenance cost: the headline number for the versioned
+    // storage path (independent of |E|, unlike the old snapshot-per-update).
+    let rows_per_update = stats.rows_patched as f64 / stats.applied().max(1) as f64;
     let summary = format!(
         "dynamic-k-reach · {total_queries} queries · {mutations} mutations \
          ({} applied, {} noops) in {elapsed:.3}s · {updates_per_sec:.0} updates/s · \
-         cache {cache_hits}/{} hits · {} rows patched · {} cover additions · {} rebuilds · epoch {}",
+         {rows_per_update:.2} rows patched/update ({} total, {} coalesced) · \
+         cache {cache_hits}/{} hits · {} cover additions · {} rebuilds · epoch {}",
         stats.applied(),
         stats.noops,
-        cache_hits + cache_misses,
         stats.rows_patched,
+        stats.rows_coalesced,
+        cache_hits + cache_misses,
         stats.cover_additions,
         stats.full_rebuilds,
         engine.epoch(),
@@ -533,7 +538,8 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
         let json = format!(
             concat!(
                 "{{\"queries\":{},\"mutations\":{},\"applied\":{},\"noops\":{},",
-                "\"rows_patched\":{},\"cover_additions\":{},\"full_rebuilds\":{},",
+                "\"rows_patched\":{},\"rows_coalesced\":{},\"rows_per_update\":{:.3},",
+                "\"cover_additions\":{},\"full_rebuilds\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"epoch\":{},",
                 "\"elapsed_secs\":{:.6},\"query_secs\":{:.6},\"update_secs\":{:.6},",
                 "\"updates_per_sec\":{:.1}}}\n"
@@ -543,6 +549,8 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
             stats.applied(),
             stats.noops,
             stats.rows_patched,
+            stats.rows_coalesced,
+            rows_per_update,
             stats.cover_additions,
             stats.full_rebuilds,
             cache_hits,
@@ -868,6 +876,9 @@ mod tests {
             "\"applied\":2",
             "\"noops\":1",
             "\"epoch\":2",
+            "\"rows_per_update\":",
+            "\"rows_coalesced\":",
+            "\"updates_per_sec\":",
         ] {
             assert!(stats.contains(needle), "missing {needle} in {stats}");
         }

@@ -17,16 +17,23 @@
 //! 2. Engine-level replays — the same discipline through [`BatchEngine`]
 //!    with a warm sharded LRU cache at 1 and 8 workers, which is what proves
 //!    epoch invalidation (stale cached answers would differ from BFS).
-//! 3. A `#[ignore]`d soak variant with a larger step count (tunable via
+//! 3. Storage-backend equivalence — a property test asserting the frozen
+//!    CSR and the [`VersionedAdjGraph`] `GraphView` implementations answer
+//!    identical adjacency and reachability questions under random mutation
+//!    sequences, and that the engine serves byte-identical answers over
+//!    either backend.
+//! 4. A `#[ignore]`d soak variant with a larger step count (tunable via
 //!    `KREACH_SOAK_STEPS`) for the scheduled long-sequence CI job.
 
 use kreach_core::dynamic::{DynamicKReach, DynamicOptions};
 use kreach_core::{BuildOptions, KReachIndex};
-use kreach_engine::{BatchEngine, DynamicKReachBackend, EngineConfig, Query, QueryBatch};
+use kreach_engine::{
+    BatchEngine, DynamicKReachBackend, EngineConfig, KReachBackend, Query, QueryBatch,
+};
 use kreach_graph::dynamic::EdgeUpdate;
 use kreach_graph::generators::GeneratorSpec;
 use kreach_graph::traversal::khop_reachable_bfs;
-use kreach_graph::{DiGraph, VertexId};
+use kreach_graph::{DiGraph, GraphView, VersionedAdjGraph, VertexId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -283,8 +290,162 @@ fn engine_replay_is_fresh_at_one_and_eight_workers() {
     }
 }
 
+/// The engine must serve byte-identical answers whichever [`GraphView`]
+/// implementation backs the k-reach backend: a frozen CSR or versioned
+/// adjacency storage of the same edge set.
+#[test]
+fn engine_serves_identically_over_csr_and_versioned_backends() {
+    let g = GeneratorSpec::PowerLaw {
+        n: 60,
+        m: 200,
+        hubs: 4,
+    }
+    .generate(7);
+    let k = 3;
+    let index = KReachIndex::build(&g, k, BuildOptions::default());
+    let versioned = Arc::new(VersionedAdjGraph::from_csr(&g));
+    let csr = Arc::new(g);
+
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let batch = QueryBatch::new(
+        sample_pairs(&mut rng, csr.vertex_count(), 500)
+            .into_iter()
+            .map(|(s, t)| Query { s, t, k })
+            .collect(),
+    );
+
+    let over_csr = BatchEngine::new(
+        Arc::new(KReachBackend::new(Arc::clone(&csr), index.clone())),
+        EngineConfig::default(),
+    );
+    let over_versioned = BatchEngine::new(
+        Arc::new(KReachBackend::new(Arc::clone(&versioned), index)),
+        EngineConfig::default(),
+    );
+    let a = over_csr.run(&batch).expect("csr batch in range");
+    let b = over_versioned
+        .run(&batch)
+        .expect("versioned batch in range");
+    assert_eq!(a.answers, b.answers, "answers must not depend on storage");
+    for (q, &answer) in batch.queries().iter().zip(a.answers.iter()) {
+        assert_eq!(
+            answer,
+            khop_reachable_bfs(csr.as_ref(), q.s, q.t, k),
+            "({}, {})",
+            q.s,
+            q.t
+        );
+    }
+}
+
+/// Satellite property: the frozen-CSR and versioned-adjacency [`GraphView`]
+/// implementations stay *structurally and semantically identical* under
+/// random mutation sequences — same counts, same sorted adjacency per
+/// vertex, same degrees, same k-hop reachability — and the version stamp
+/// advances exactly once per applied mutation.
+fn storage_equivalence_replay(seed: u64, steps: usize) {
+    let g0 = GeneratorSpec::PowerLaw {
+        n: 26,
+        m: 80,
+        hubs: 3,
+    }
+    .generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x570_0A6E);
+    let mut oracle = Oracle::of(&g0);
+    let mut view = VersionedAdjGraph::from_csr(&g0);
+
+    for step in 0..steps {
+        let update = random_update(&mut rng, &oracle);
+        let expected_change = oracle.apply(update);
+        let version_before = view.version();
+        let applied = view.apply(update);
+        assert_eq!(applied, expected_change, "step {step}: {update}");
+        assert_eq!(
+            view.version(),
+            version_before + u64::from(applied),
+            "step {step}: version must advance exactly on applied changes"
+        );
+
+        let csr = oracle.graph();
+        assert_eq!(view.vertex_count(), csr.vertex_count(), "step {step}");
+        assert_eq!(view.edge_count(), csr.edge_count(), "step {step}");
+        for v in csr.vertices() {
+            assert_eq!(
+                view.out_neighbors(v),
+                csr.out_neighbors(v),
+                "step {step}: out({v})"
+            );
+            assert_eq!(
+                view.in_neighbors(v),
+                csr.in_neighbors(v),
+                "step {step}: in({v})"
+            );
+            assert_eq!(
+                GraphView::degree(&view, v),
+                csr.degree(v),
+                "step {step}: deg({v})"
+            );
+        }
+        for (s, t) in sample_pairs(&mut rng, oracle.n, 20) {
+            for k in [2u32, 4] {
+                assert_eq!(
+                    khop_reachable_bfs(&view, s, t, k),
+                    khop_reachable_bfs(&csr, s, t, k),
+                    "step {step}: k={k} ({s},{t})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn storage_backends_agree_under_random_mutations() {
+    for seed in [11u64, 12, 13] {
+        storage_equivalence_replay(seed, 90);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    // Satellite property: under arbitrary interleaved mutation sequences the
+    // CSR and versioned-adjacency `GraphView` implementations expose
+    // identical adjacency and answer identical reachability questions.
+    #[test]
+    fn csr_and_versioned_views_answer_identically(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec((proptest::bool::ANY, (0u32..18, 0u32..18)), 1..50),
+    ) {
+        let g0 = GeneratorSpec::ErdosRenyi { n: 16, m: 40 }.generate(seed);
+        let mut oracle = Oracle::of(&g0);
+        let mut view = VersionedAdjGraph::from_csr(&g0);
+        for &(insert, (a, b)) in &ops {
+            let update = if insert {
+                EdgeUpdate::Insert(VertexId(a), VertexId(b))
+            } else {
+                EdgeUpdate::Remove(VertexId(a), VertexId(b))
+            };
+            prop_assert_eq!(view.apply(update), oracle.apply(update), "{}", update);
+            let csr = oracle.graph();
+            prop_assert_eq!(view.vertex_count(), csr.vertex_count());
+            prop_assert_eq!(view.edge_count(), csr.edge_count());
+            for v in csr.vertices() {
+                prop_assert_eq!(view.out_neighbors(v), csr.out_neighbors(v), "out({})", v);
+                prop_assert_eq!(view.in_neighbors(v), csr.in_neighbors(v), "in({})", v);
+            }
+            for s in csr.vertices() {
+                for t in csr.vertices() {
+                    for k in [1u32, 3] {
+                        prop_assert_eq!(
+                            khop_reachable_bfs(&view, s, t, k),
+                            khop_reachable_bfs(&csr, s, t, k),
+                            "k={} ({},{})", k, s, t
+                        );
+                    }
+                }
+            }
+        }
+    }
 
     // Satellite property: random interleaved insert/remove/query sequences
     // keep the incremental index, a from-scratch rebuild, and the BFS
