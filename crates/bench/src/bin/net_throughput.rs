@@ -1,0 +1,480 @@
+//! Network loadgen: client threads against a live `kreach serve` instance,
+//! reporting end-to-end qps and p50/p99 latency.
+//!
+//! Two modes:
+//!
+//! * `--addr HOST:PORT` drives an already-running server (what the CI smoke
+//!   job does against a `kreach serve --backend dynamic` process).
+//! * Without `--addr`, it self-hosts: generates a dataset, builds the
+//!   dynamic backend and an in-process server on an ephemeral port, then
+//!   drives that — a self-contained network benchmark.
+//!
+//! Each client thread keeps one connection alive and issues `GET /reach`
+//! requests (or `POST /batch` pipelines with `--batch N`), reconnecting
+//! when the server sheds it with a 503. `--updates N` mixes in N mutation
+//! posts per client (requires a `dynamic` backend server). `--smoke` runs a
+//! small deterministic load and **fails the process** on any response that
+//! is neither 2xx nor a deliberate admission-control 503, on malformed
+//! answer lines, or on a batch answered out of order.
+//!
+//! ```text
+//! net_throughput --addr 127.0.0.1:7199 --clients 8 --requests 2000
+//! net_throughput --smoke --addr 127.0.0.1:7199 --updates 8
+//! net_throughput --dataset AgroCyc --scale 40 --clients 4   # self-hosted
+//! ```
+
+use kreach_core::dynamic::DynamicOptions;
+use kreach_datasets::{parse_answer_line, spec_by_name};
+use kreach_engine::{BatchEngine, DynamicKReachBackend, EngineConfig, LatencyHistogram};
+use kreach_server::client::BlockingClient;
+use kreach_server::{start, ServerConfig, ServerHandle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct LoadgenConfig {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    batch: usize,
+    updates: usize,
+    dataset: String,
+    scale: usize,
+    k: u32,
+    seed: u64,
+    smoke: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: None,
+            clients: 4,
+            requests: 1_000,
+            batch: 0,
+            updates: 0,
+            dataset: "AgroCyc".to_string(),
+            scale: 40,
+            k: 3,
+            seed: 42,
+            smoke: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: net_throughput [--addr HOST:PORT] [--clients C] [--requests N]\n\
+    \x20      [--batch B] [--updates U] [--dataset D] [--scale F] [--k K] [--seed S] [--smoke]\n\
+    \n\
+    --addr A      drive a running server (default: self-host an in-process one)\n\
+    --clients C   concurrent client threads (default 4)\n\
+    --requests N  requests per client (default 1000; 50 under --smoke)\n\
+    --batch B     send POST /batch pipelines of B queries instead of single GETs\n\
+    --updates U   mutation POSTs per client (needs a dynamic backend server)\n\
+    --dataset D   dataset for self-hosting / vertex-range fallback (default AgroCyc)\n\
+    --scale F     dataset scale divisor for self-hosting (default 40)\n\
+    --k K         hop bound for generated queries (default 3)\n\
+    --seed S      RNG seed (default 42)\n\
+    --smoke       small deterministic run; exit 1 on any non-2xx/non-503 or\n\
+                  malformed/misordered answer";
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<LoadgenConfig, String> {
+    let mut config = LoadgenConfig::default();
+    let mut requests_set = false;
+    let mut iter = args.into_iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .ok_or_else(|| format!("flag {flag} requires a value"))
+        };
+        fn number<T: std::str::FromStr>(raw: String, flag: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            raw.parse().map_err(|e| format!("invalid {flag}: {e}"))
+        }
+        match flag.as_str() {
+            "--addr" => config.addr = Some(value()?),
+            "--clients" => config.clients = number(value()?, "--clients")?,
+            "--requests" => {
+                config.requests = number(value()?, "--requests")?;
+                requests_set = true;
+            }
+            "--batch" => config.batch = number(value()?, "--batch")?,
+            "--updates" => config.updates = number(value()?, "--updates")?,
+            "--dataset" => config.dataset = value()?,
+            "--scale" => config.scale = number(value()?, "--scale")?,
+            "--k" => config.k = number(value()?, "--k")?,
+            "--seed" => config.seed = number(value()?, "--seed")?,
+            "--smoke" => config.smoke = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if config.smoke && !requests_set {
+        config.requests = 50;
+    }
+    if config.clients == 0 || config.requests == 0 {
+        return Err("--clients and --requests must be at least 1".to_string());
+    }
+    Ok(config)
+}
+
+/// Per-thread tallies, merged at the end.
+#[derive(Default)]
+struct ClientResult {
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    queries: u64,
+    latencies: LatencyHistogram,
+    failures: Vec<String>,
+}
+
+fn main() {
+    let config = match parse_args(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    // Self-host when no address was given.
+    let mut hosted: Option<ServerHandle> = None;
+    let addr = match &config.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let handle = self_host(&config);
+            let addr = handle.addr().to_string();
+            eprintln!("self-hosted dynamic backend at {addr}");
+            hosted = Some(handle);
+            addr
+        }
+    };
+
+    // Learn the served graph's vertex range from /stats so generated
+    // queries are in range; fall back to the dataset spec if unreadable.
+    let vertex_count = probe_vertex_count(&addr).unwrap_or_else(|e| {
+        eprintln!("warning: could not read /stats ({e}); using --dataset vertex count");
+        spec_by_name(&config.dataset)
+            .map(|spec| spec.scaled(config.scale).vertices)
+            .unwrap_or(1000)
+    });
+    if vertex_count == 0 {
+        eprintln!("server reports an empty graph; nothing to query");
+        std::process::exit(2);
+    }
+
+    let started = Instant::now();
+    let results: Vec<ClientResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|idx| {
+                let config = config.clone();
+                let addr = addr.clone();
+                scope.spawn(move || drive_client(&config, &addr, idx, vertex_count))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut total = ClientResult::default();
+    for result in results {
+        total.ok += result.ok;
+        total.shed += result.shed;
+        total.errors += result.errors;
+        total.queries += result.queries;
+        total.latencies.merge(&result.latencies);
+        total.failures.extend(result.failures);
+    }
+
+    let qps = if elapsed > 0.0 {
+        total.queries as f64 / elapsed
+    } else {
+        0.0
+    };
+    println!(
+        "net_throughput · {} clients × {} requests → {} queries \
+         ({} ok, {} shed, {} errors) in {elapsed:.3}s",
+        config.clients, config.requests, total.queries, total.ok, total.shed, total.errors,
+    );
+    println!(
+        "  {qps:.0} q/s end-to-end · p50 {:.1}µs · p99 {:.1}µs · mean {:.1}µs",
+        total.latencies.p50_micros(),
+        total.latencies.p99_micros(),
+        total.latencies.mean_nanos() / 1e3,
+    );
+    println!(
+        "{{\"clients\":{},\"requests_per_client\":{},\"queries\":{},\"ok\":{},\"shed\":{},\
+         \"errors\":{},\"elapsed_secs\":{elapsed:.6},\"qps\":{qps:.1},\
+         \"p50_micros\":{:.3},\"p99_micros\":{:.3}}}",
+        config.clients,
+        config.requests,
+        total.queries,
+        total.ok,
+        total.shed,
+        total.errors,
+        total.latencies.p50_micros(),
+        total.latencies.p99_micros(),
+    );
+
+    if let Some(handle) = hosted {
+        handle.shutdown();
+        let report = handle.join();
+        eprintln!(
+            "self-hosted server drained clean={} ({} admitted, {} shed)",
+            report.clean, report.metrics.admitted, report.metrics.shed
+        );
+    }
+
+    if config.smoke {
+        let mut failed = false;
+        if total.errors > 0 {
+            eprintln!("SMOKE FAIL: {} non-2xx/non-503 responses", total.errors);
+            failed = true;
+        }
+        if total.ok == 0 {
+            eprintln!("SMOKE FAIL: no successful responses at all");
+            failed = true;
+        }
+        for failure in total.failures.iter().take(10) {
+            eprintln!("SMOKE FAIL: {failure}");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("SMOKE OK");
+    }
+}
+
+/// Generates a dataset graph and starts an in-process dynamic-backend
+/// server on an ephemeral port.
+fn self_host(config: &LoadgenConfig) -> ServerHandle {
+    let spec = spec_by_name(&config.dataset).unwrap_or_else(|| {
+        eprintln!("unknown dataset {:?}", config.dataset);
+        std::process::exit(2);
+    });
+    let g = spec.scaled(config.scale).generate(config.seed);
+    let engine = Arc::new(BatchEngine::new(
+        Arc::new(DynamicKReachBackend::new(
+            g,
+            config.k,
+            DynamicOptions::default(),
+        )),
+        EngineConfig::default(),
+    ));
+    start(
+        engine,
+        ServerConfig {
+            max_inflight: (config.clients * 4).max(64),
+            handlers: config.clients.max(4),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("failed to self-host: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Reads `"vertex_count":N` out of `/stats`.
+fn probe_vertex_count(addr: &str) -> Result<usize, String> {
+    let mut client = BlockingClient::connect(addr).map_err(|e| e.to_string())?;
+    client
+        .set_timeout(Duration::from_secs(10))
+        .map_err(|e| e.to_string())?;
+    let response = client.get("/stats").map_err(|e| e.to_string())?;
+    if !response.is_ok() {
+        return Err(format!("/stats returned {}", response.status));
+    }
+    let body = response.body_text();
+    body.split("\"vertex_count\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|digits| digits.parse().ok())
+        })
+        .ok_or_else(|| format!("no vertex_count in {body}"))
+}
+
+/// One client thread: keep-alive requests with reconnect-on-shed.
+fn drive_client(
+    config: &LoadgenConfig,
+    addr: &str,
+    idx: usize,
+    vertex_count: usize,
+) -> ClientResult {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (0x9E3779B9 * (idx as u64 + 1)));
+    let n = vertex_count as u32;
+    let mut result = ClientResult::default();
+    let mut client: Option<BlockingClient> = None;
+
+    let connect = |result: &mut ClientResult| -> Option<BlockingClient> {
+        for _ in 0..50 {
+            match BlockingClient::connect(addr) {
+                Ok(client) => {
+                    let _ = client.set_timeout(Duration::from_secs(30));
+                    return Some(client);
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        result
+            .failures
+            .push(format!("client {idx}: could not connect to {addr}"));
+        None
+    };
+
+    for _ in 0..config.requests {
+        if client.is_none() {
+            client = connect(&mut result);
+            if client.is_none() {
+                return result;
+            }
+        }
+        let conn = client.as_mut().expect("connected");
+        let queries_in_request = config.batch.max(1) as u64;
+        // The queries this request carries, kept so --smoke can verify the
+        // response echoes them back in order.
+        let mut sent: Vec<(u32, u32)> = Vec::with_capacity(config.batch.max(1));
+        let started = Instant::now();
+        let response = if config.batch > 0 {
+            let mut body = String::with_capacity(config.batch * 12);
+            for _ in 0..config.batch {
+                let s = rng.gen_range(0u32..n);
+                let t = rng.gen_range(0u32..n);
+                sent.push((s, t));
+                body.push_str(&format!("{s} {t} {}\n", config.k));
+            }
+            conn.post("/batch", body.as_bytes())
+        } else {
+            let s = rng.gen_range(0u32..n);
+            let t = rng.gen_range(0u32..n);
+            sent.push((s, t));
+            conn.get(&format!("/reach?s={s}&t={t}&k={}", config.k))
+        };
+        match response {
+            Ok(response) => {
+                result.latencies.record(started.elapsed().as_nanos() as u64);
+                match response.status {
+                    200 => {
+                        result.ok += 1;
+                        result.queries += queries_in_request;
+                        if config.smoke {
+                            check_answer_echo(
+                                &sent,
+                                config.k,
+                                &response.body_text(),
+                                idx,
+                                &mut result,
+                            );
+                        }
+                    }
+                    503 => result.shed += 1,
+                    other => {
+                        result.errors += 1;
+                        if result.failures.len() < 10 {
+                            result.failures.push(format!(
+                                "client {idx}: status {other}: {}",
+                                response.body_text().trim_end()
+                            ));
+                        }
+                    }
+                }
+                if response.close {
+                    client = None;
+                }
+            }
+            Err(_) => {
+                // Connection died (shed race, server drain): reconnect and
+                // keep going; the request is not counted.
+                client = None;
+            }
+        }
+    }
+
+    for _ in 0..config.updates {
+        if client.is_none() {
+            client = connect(&mut result);
+            if client.is_none() {
+                return result;
+            }
+        }
+        let conn = client.as_mut().expect("connected");
+        let u = rng.gen_range(0u32..n);
+        let v = rng.gen_range(0u32..n);
+        let op = if rng.gen_range(0u32..2) == 0 {
+            "+"
+        } else {
+            "-"
+        };
+        match conn.post("/update", format!("{op} {u} {v}\n").as_bytes()) {
+            Ok(response) => {
+                match response.status {
+                    200 => result.ok += 1,
+                    503 => result.shed += 1,
+                    other => {
+                        result.errors += 1;
+                        if result.failures.len() < 10 {
+                            result.failures.push(format!(
+                                "client {idx}: update status {other}: {}",
+                                response.body_text().trim_end()
+                            ));
+                        }
+                    }
+                }
+                if response.close {
+                    client = None;
+                }
+            }
+            Err(_) => client = None,
+        }
+    }
+    result
+}
+
+/// Smoke-mode response validation: the body must contain exactly one
+/// well-formed answer line per query sent, echoing `(s, t, k)` back **in
+/// request order** — this is what catches a server that reorders, drops,
+/// or duplicates pipelined batch answers.
+fn check_answer_echo(
+    sent: &[(u32, u32)],
+    k: u32,
+    body: &str,
+    idx: usize,
+    result: &mut ClientResult,
+) {
+    let mut push = |message: String| {
+        if result.failures.len() < 10 {
+            result.failures.push(message);
+        }
+    };
+    let lines: Vec<&str> = body.lines().collect();
+    if lines.len() != sent.len() {
+        push(format!(
+            "client {idx}: sent {} queries, got {} answer lines",
+            sent.len(),
+            lines.len()
+        ));
+        return;
+    }
+    for (i, (&(s, t), line)) in sent.iter().zip(lines.iter()).enumerate() {
+        match parse_answer_line(line, i + 1) {
+            Ok((rs, rt, rk, _)) => {
+                if (rs.0, rt.0, rk) != (s, t, k) {
+                    push(format!(
+                        "client {idx}: answer #{i} out of order: sent ({s}, {t}, {k}), got {line:?}"
+                    ));
+                }
+            }
+            Err(_) => push(format!("client {idx}: malformed answer line {line:?}")),
+        }
+    }
+}

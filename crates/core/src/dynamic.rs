@@ -13,10 +13,14 @@
 //!   the update path.
 //! * **Cover repair.** Removing an edge never invalidates a vertex cover.
 //!   Inserting `(u, v)` invalidates it only when *neither* endpoint is
-//!   covered; the repair adds one endpoint (the higher-degree one, echoing
-//!   the degree-priority heuristic of §4.3) to the cover, computing its
+//!   covered; the repair adds one endpoint to the cover, computing its
 //!   index row with one forward k-BFS and splicing it into every other row
-//!   with one backward k-BFS.
+//!   with one backward k-BFS. Either endpoint restores the invariant, so
+//!   the choice is purely a cost call: the repair picks the endpoint with
+//!   the **smaller out-degree**, whose forward k-BFS row is the cheaper one
+//!   to compute and to keep patching for the rest of its life
+//!   ([`UpdateStats::repairs_picked_source`] /
+//!   [`UpdateStats::repairs_picked_target`] count which arm won).
 //! * **Coalesced row patching.** An edge change `(u, v)` can alter the k-hop
 //!   row of a cover vertex `w` only if `w` reaches `u` within `k − 1` hops
 //!   (any ≤ k-hop path through the edge spends one hop on it). One backward
@@ -105,6 +109,12 @@ pub struct UpdateStats {
     pub rows_coalesced: u64,
     /// Vertices added to the cover by incremental repair.
     pub cover_additions: u64,
+    /// Cover repairs that picked the inserted edge's *source* endpoint (its
+    /// out-degree was no larger than the target's, so its forward-BFS row
+    /// was the cheaper arm).
+    pub repairs_picked_source: u64,
+    /// Cover repairs that picked the inserted edge's *target* endpoint.
+    pub repairs_picked_target: u64,
     /// Lazy full rebuilds (fresh cover + BFS sweep) triggered by cover
     /// growth or by the deletion threshold.
     pub full_rebuilds: u64,
@@ -125,6 +135,8 @@ impl UpdateStats {
             rows_patched: self.rows_patched - earlier.rows_patched,
             rows_coalesced: self.rows_coalesced - earlier.rows_coalesced,
             cover_additions: self.cover_additions - earlier.cover_additions,
+            repairs_picked_source: self.repairs_picked_source - earlier.repairs_picked_source,
+            repairs_picked_target: self.repairs_picked_target - earlier.repairs_picked_target,
             full_rebuilds: self.full_rebuilds - earlier.full_rebuilds,
         }
     }
@@ -359,10 +371,15 @@ impl DynamicKReach {
                 }
                 self.stats.inserts += 1;
                 // Cover repair: the new edge must have a covered endpoint.
+                // Either endpoint restores the invariant, so pick the one
+                // whose forward k-BFS row is cheaper to compute and maintain:
+                // the smaller out-degree (ties go to the source).
                 let repaired = if !self.in_cover(u) && !self.in_cover(v) {
-                    let w = if self.graph.total_degree(u) >= self.graph.total_degree(v) {
+                    let w = if self.graph.out_degree(u) <= self.graph.out_degree(v) {
+                        self.stats.repairs_picked_source += 1;
                         u
                     } else {
+                        self.stats.repairs_picked_target += 1;
                         v
                     };
                     Some(self.add_to_cover(w))
@@ -550,6 +567,53 @@ mod tests {
         assert!(dynk.in_cover(VertexId(3)) || dynk.in_cover(VertexId(4)));
         assert_eq!(dynk.stats().cover_additions, 1);
         check_exact(&dynk);
+    }
+
+    #[test]
+    fn cover_repair_picks_the_cheaper_forward_bfs_arm() {
+        // Start with no edges: the cover is empty, so every insert between
+        // uncovered endpoints forces a repair. Out-degrees are observed
+        // post-insert (the source always counts the new edge).
+        let g = DiGraph::from_edges(8, []);
+        let mut dynk = DynamicKReach::new(g, 2, DynamicOptions::default());
+
+        // (2, 3): out(2) = 1 > out(3) = 0 → the target's row is cheaper.
+        assert!(dynk.insert_edge(VertexId(2), VertexId(3)));
+        assert!(dynk.in_cover(VertexId(3)));
+        assert!(!dynk.in_cover(VertexId(2)));
+        assert_eq!(dynk.stats().repairs_picked_target, 1);
+        assert_eq!(dynk.stats().repairs_picked_source, 0);
+
+        // (4, 3): target already covered → no repair, but out(4) becomes 1.
+        assert!(dynk.insert_edge(VertexId(4), VertexId(3)));
+        // (1, 4): out(1) = 1 = out(4) → tie breaks to the source.
+        assert!(dynk.insert_edge(VertexId(1), VertexId(4)));
+        assert!(dynk.in_cover(VertexId(1)));
+        assert!(!dynk.in_cover(VertexId(4)));
+        assert_eq!(dynk.stats().repairs_picked_source, 1);
+
+        // (5, 1): target covered → no repair; out(5) becomes 1. Then
+        // (5, 6): out(5) = 2 > out(6) = 0 → target again.
+        assert!(dynk.insert_edge(VertexId(5), VertexId(1)));
+        assert!(dynk.insert_edge(VertexId(5), VertexId(6)));
+        assert!(dynk.in_cover(VertexId(6)));
+        assert!(!dynk.in_cover(VertexId(5)));
+        assert_eq!(dynk.stats().repairs_picked_target, 2);
+
+        // Every repair is attributed to exactly one arm.
+        let stats = dynk.stats();
+        assert_eq!(
+            stats.cover_additions,
+            stats.repairs_picked_source + stats.repairs_picked_target
+        );
+        check_exact(&dynk);
+
+        // The arm counters report as deltas too.
+        let mut fresh =
+            DynamicKReach::new(DiGraph::from_edges(4, []), 2, DynamicOptions::default());
+        let delta = fresh.apply_all(&[EdgeUpdate::Insert(VertexId(0), VertexId(1))]);
+        assert_eq!(delta.repairs_picked_source + delta.repairs_picked_target, 1);
+        assert_eq!(delta.cover_additions, 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod workload_file;
 pub use registry::{all_specs, spec_by_name, DatasetFamily, DatasetSpec};
 pub use workload::{QueryWorkload, WorkloadConfig};
 pub use workload_file::{
-    read_update_workload_file, read_workload_file, write_update_workload_file, write_workload_file,
-    UpdateOp, WorkloadEntry, WorkloadFileError,
+    parse_answer_line, read_update_workload, read_update_workload_file, read_workload,
+    read_workload_file, render_answer_line, render_answer_lines, render_update_ack,
+    write_update_workload_file, write_workload_file, UpdateOp, WorkloadEntry, WorkloadFileError,
 };

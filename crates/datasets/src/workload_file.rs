@@ -115,11 +115,11 @@ fn reject_trailing<'a>(
 fn parse_field(raw: Option<&str>, what: &str, line: usize) -> Result<u32, WorkloadFileError> {
     let raw = raw.ok_or_else(|| WorkloadFileError::Parse {
         line,
-        message: format!("missing {what} vertex"),
+        message: format!("missing {what}"),
     })?;
     raw.parse::<u32>().map_err(|e| WorkloadFileError::Parse {
         line,
-        message: format!("invalid {what} vertex {raw:?}: {e}"),
+        message: format!("invalid {what} {raw:?}: {e}"),
     })
 }
 
@@ -253,6 +253,102 @@ pub fn write_update_workload_file(ops: &[UpdateOp], path: impl AsRef<Path>) -> s
     write_update_workload(ops, File::create(path)?)
 }
 
+/// Renders one answered query in the canonical response format:
+///
+/// ```text
+/// 17 4023 3 reachable
+/// ```
+///
+/// This is the single source of truth for the *response* side of the wire
+/// format: `kreach batch`, `kreach update`, and the network server all emit
+/// exactly these lines, which is what lets the integration tests assert that
+/// answers served over a socket are byte-identical to the offline workload
+/// path.
+pub fn render_answer_line(s: VertexId, t: VertexId, k: u32, reachable: bool) -> String {
+    format!(
+        "{} {} {} {}",
+        s.0,
+        t.0,
+        k,
+        if reachable {
+            "reachable"
+        } else {
+            "unreachable"
+        }
+    )
+}
+
+/// Renders one mutation acknowledgement in the canonical response format:
+///
+/// ```text
+/// + 17 9000 applied epoch=3
+/// - 17 4023 noop epoch=3
+/// ```
+pub fn render_update_ack(
+    insert: bool,
+    u: VertexId,
+    v: VertexId,
+    applied: bool,
+    epoch: u64,
+) -> String {
+    format!(
+        "{} {} {} {} epoch={}",
+        if insert { "+" } else { "-" },
+        u.0,
+        v.0,
+        if applied { "applied" } else { "noop" },
+        epoch
+    )
+}
+
+/// Renders a whole answered batch: one [`render_answer_line`] per query,
+/// newline-terminated, in iteration order.
+///
+/// This is the single loop behind `kreach batch`, `kreach update`, and the
+/// network server's `/batch` and `/update` bodies — keeping it in one place
+/// is what makes "network answers are byte-identical to the offline path" a
+/// structural guarantee rather than a convention.
+pub fn render_answer_lines(
+    answered: impl IntoIterator<Item = (VertexId, VertexId, u32, bool)>,
+) -> String {
+    let mut out = String::new();
+    for (s, t, k, reachable) in answered {
+        out.push_str(&render_answer_line(s, t, k, reachable));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one canonical answer line back into `(s, t, k, reachable)`.
+///
+/// The inverse of [`render_answer_line`]; clients (the `net_throughput`
+/// loadgen, tests) use it to validate server responses.
+pub fn parse_answer_line(
+    line: &str,
+    line_no: usize,
+) -> Result<(VertexId, VertexId, u32, bool), WorkloadFileError> {
+    let mut fields = line.split_whitespace();
+    let s = parse_field(fields.next(), "source", line_no)?;
+    let t = parse_field(fields.next(), "target", line_no)?;
+    let k = parse_field(fields.next(), "k", line_no)?;
+    let verdict = fields.next().ok_or_else(|| WorkloadFileError::Parse {
+        line: line_no,
+        message: "missing verdict".to_string(),
+    })?;
+    let reachable = match verdict {
+        "reachable" => true,
+        "unreachable" => false,
+        other => {
+            return Err(WorkloadFileError::Parse {
+                line: line_no,
+                message: format!("invalid verdict {other:?}"),
+            })
+        }
+    };
+    reject_trailing(&mut fields, line_no)?;
+    Ok((VertexId(s), VertexId(t), k, reachable))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +477,51 @@ mod tests {
             assert!(message.contains("line 1"), "{text:?}: {message}");
             assert!(message.contains(needle), "{text:?}: {message}");
         }
+    }
+
+    #[test]
+    fn answer_lines_render_and_parse_round_trip() {
+        let line = render_answer_line(VertexId(17), VertexId(4023), 3, true);
+        assert_eq!(line, "17 4023 3 reachable");
+        assert_eq!(
+            parse_answer_line(&line, 1).unwrap(),
+            (VertexId(17), VertexId(4023), 3, true)
+        );
+        let line = render_answer_line(VertexId(0), VertexId(9), 2, false);
+        assert_eq!(line, "0 9 2 unreachable");
+        assert_eq!(
+            parse_answer_line(&line, 5).unwrap(),
+            (VertexId(0), VertexId(9), 2, false)
+        );
+    }
+
+    #[test]
+    fn answer_line_parse_rejects_malformed_input() {
+        for (text, needle) in [
+            ("", "missing source"),
+            ("1 2", "missing k"),
+            ("1 2 3", "missing verdict"),
+            ("1 2 3 maybe", "invalid verdict"),
+            ("1 2 3 reachable extra", "trailing"),
+            ("x 2 3 reachable", "invalid source"),
+        ] {
+            let err = parse_answer_line(text, 7).unwrap_err();
+            let message = err.to_string();
+            assert!(message.contains("line 7"), "{text:?}: {message}");
+            assert!(message.contains(needle), "{text:?}: {message}");
+        }
+    }
+
+    #[test]
+    fn update_acks_render_both_arms() {
+        assert_eq!(
+            render_update_ack(true, VertexId(17), VertexId(9000), true, 3),
+            "+ 17 9000 applied epoch=3"
+        );
+        assert_eq!(
+            render_update_ack(false, VertexId(17), VertexId(4023), false, 3),
+            "- 17 4023 noop epoch=3"
+        );
     }
 
     #[test]

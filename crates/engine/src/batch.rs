@@ -66,6 +66,20 @@ impl QueryBatch {
         &self.queries
     }
 
+    /// Pairs the batch's queries with their answers, in batch order — the
+    /// shape the shared wire-format renderer
+    /// (`kreach_datasets::render_answer_lines`) consumes, used by the CLI
+    /// and the network server alike.
+    pub fn answered<'a>(
+        &'a self,
+        answers: &'a [bool],
+    ) -> impl Iterator<Item = (VertexId, VertexId, u32, bool)> + 'a {
+        self.queries
+            .iter()
+            .zip(answers.iter())
+            .map(|(q, &answer)| (q.s, q.t, q.k, answer))
+    }
+
     /// The shared query list, for zero-copy fan-out to workers.
     pub(crate) fn shared_queries(&self) -> Arc<Vec<Query>> {
         Arc::clone(&self.queries)

@@ -18,11 +18,26 @@
 //! [`ResultCache::bump_epoch`] is one atomic increment, after which lookups
 //! (which always use the current epoch) can no longer see pre-mutation
 //! entries. Stale entries age out of the LRU naturally.
+//!
+//! ## Negative-result TTL
+//!
+//! §4.3-style celebrity workloads make *negative* answers the risky thing to
+//! cache: when the graph is mutated outside the engine's own update path (a
+//! replica applying someone else's epoch, an operator swapping the edge
+//! list), a cached `false` silently pins "not reachable" even though an
+//! inserted edge may have flipped it — a cached `true` at worst over-reports
+//! a path that existed moments ago. An optional **negative TTL**
+//! ([`ResultCache::with_neg_ttl`]) bounds that window: `false` entries older
+//! than the TTL are treated as misses (counted in
+//! [`CacheCounters::neg_expired`]) and recomputed, even without an epoch
+//! bump. `true` entries never expire by time; epochs remain the sole
+//! invalidation for them.
 
 use crate::batch::Query;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 const NIL: u32 = u32::MAX;
 
@@ -42,8 +57,23 @@ struct LruShard {
 struct Entry {
     key: Key,
     value: bool,
+    /// When the value was stored — recorded only for `false` values when a
+    /// negative TTL is configured, so the default configuration pays no
+    /// clock read on the store path.
+    stored_at: Option<Instant>,
     prev: u32,
     next: u32,
+}
+
+/// Outcome of a shard lookup, distinguishing TTL expiry from a plain miss so
+/// the cache can count it.
+enum Found {
+    Hit(bool),
+    /// A `false` entry was present but older than the negative TTL. The slot
+    /// is left in place (a fresh store overwrites it in place) so the slab
+    /// never grows holes.
+    NegExpired,
+    Miss,
 }
 
 impl LruShard {
@@ -82,16 +112,29 @@ impl LruShard {
         self.head = i;
     }
 
-    fn get(&mut self, key: Key) -> Option<bool> {
-        let i = *self.map.get(&key)?;
+    fn get(&mut self, key: Key, neg_ttl: Option<Duration>) -> Found {
+        let Some(&i) = self.map.get(&key) else {
+            return Found::Miss;
+        };
+        let entry = &self.entries[i as usize];
+        if let Some(ttl) = neg_ttl {
+            // Only negative answers expire: an expired `false` is reported as
+            // a miss without refreshing its recency, so the caller recomputes
+            // and overwrites it in place (or the LRU evicts it).
+            if !entry.value && entry.stored_at.is_some_and(|at| at.elapsed() > ttl) {
+                return Found::NegExpired;
+            }
+        }
+        let value = entry.value;
         self.unlink(i);
         self.push_front(i);
-        Some(self.entries[i as usize].value)
+        Found::Hit(value)
     }
 
-    fn insert(&mut self, key: Key, value: bool) {
+    fn insert(&mut self, key: Key, value: bool, stored_at: Option<Instant>) {
         if let Some(&i) = self.map.get(&key) {
             self.entries[i as usize].value = value;
+            self.entries[i as usize].stored_at = stored_at;
             self.unlink(i);
             self.push_front(i);
             return;
@@ -100,6 +143,7 @@ impl LruShard {
             self.entries.push(Entry {
                 key,
                 value,
+                stored_at,
                 prev: NIL,
                 next: NIL,
             });
@@ -113,6 +157,7 @@ impl LruShard {
             self.entries[victim as usize] = Entry {
                 key,
                 value,
+                stored_at,
                 prev: NIL,
                 next: NIL,
             };
@@ -134,6 +179,9 @@ pub struct CacheCounters {
     pub hits: u64,
     /// Lookups that fell through to the backend.
     pub misses: u64,
+    /// The subset of misses caused by a negative (`false`) entry outliving
+    /// the configured TTL (always 0 when no TTL is set).
+    pub neg_expired: u64,
 }
 
 impl CacheCounters {
@@ -152,6 +200,7 @@ impl CacheCounters {
         CacheCounters {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
+            neg_expired: self.neg_expired - earlier.neg_expired,
         }
     }
 }
@@ -164,6 +213,10 @@ pub struct ResultCache {
     shards: Vec<Mutex<LruShard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    neg_expired: AtomicU64,
+    /// TTL for negative (`false`) entries; `None` means negatives live as
+    /// long as positives.
+    neg_ttl: Option<Duration>,
     /// Mutation epoch stamped into every key; bumping it invalidates all
     /// earlier entries without touching a shard lock.
     epoch: AtomicU64,
@@ -174,6 +227,13 @@ impl ResultCache {
     /// independent LRUs (shard count is clamped to at least 1 and at most
     /// `capacity`).
     pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::with_neg_ttl(capacity, shards, None)
+    }
+
+    /// Like [`ResultCache::new`], additionally expiring negative (`false`)
+    /// results older than `neg_ttl` — see the module docs for why only
+    /// negatives get a time bound.
+    pub fn with_neg_ttl(capacity: usize, shards: usize, neg_ttl: Option<Duration>) -> Self {
         let shard_count = if capacity == 0 {
             0
         } else {
@@ -190,6 +250,8 @@ impl ResultCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            neg_expired: AtomicU64::new(0),
+            neg_ttl,
             epoch: AtomicU64::new(0),
         }
     }
@@ -255,12 +317,22 @@ impl ResultCache {
             .shard_for(key)
             .lock()
             .expect("cache shard poisoned")
-            .get(key);
+            .get(key, self.neg_ttl);
         match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+            Found::Hit(value) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            Found::NegExpired => {
+                self.neg_expired.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Found::Miss => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Stores a computed answer under the current epoch.
@@ -274,11 +346,18 @@ impl ResultCache {
         if self.shards.is_empty() {
             return;
         }
+        // The clock is read only when this entry can ever expire: a negative
+        // answer under a configured TTL.
+        let stored_at = if !answer && self.neg_ttl.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let key = Self::stamped(epoch, q);
         self.shard_for(key)
             .lock()
             .expect("cache shard poisoned")
-            .insert(key, answer);
+            .insert(key, answer, stored_at);
     }
 
     /// Current hit/miss counters.
@@ -286,7 +365,13 @@ impl ResultCache {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            neg_expired: self.neg_expired.load(Ordering::Relaxed),
         }
+    }
+
+    /// The configured negative-result TTL, if any.
+    pub fn neg_ttl(&self) -> Option<Duration> {
+        self.neg_ttl
     }
 
     /// Number of cached results across all shards.
@@ -385,7 +470,61 @@ mod tests {
         let _ = cache.lookup(&q(1, 2, 3));
         let _ = cache.lookup(&q(9, 9, 9));
         let delta = cache.counters().since(before);
-        assert_eq!(delta, CacheCounters { hits: 1, misses: 1 });
+        assert_eq!(
+            delta,
+            CacheCounters {
+                hits: 1,
+                misses: 1,
+                neg_expired: 0
+            }
+        );
+    }
+
+    #[test]
+    fn negative_results_expire_after_the_ttl_but_positives_do_not() {
+        let cache = ResultCache::with_neg_ttl(64, 4, Some(Duration::from_millis(30)));
+        assert_eq!(cache.neg_ttl(), Some(Duration::from_millis(30)));
+        cache.store(&q(1, 2, 3), false);
+        cache.store(&q(4, 5, 3), true);
+        // Fresh entries hit regardless of sign.
+        assert_eq!(cache.lookup(&q(1, 2, 3)), Some(false));
+        assert_eq!(cache.lookup(&q(4, 5, 3)), Some(true));
+        std::thread::sleep(Duration::from_millis(60));
+        // The negative answer has aged out; the positive one has not.
+        assert_eq!(cache.lookup(&q(1, 2, 3)), None);
+        assert_eq!(cache.lookup(&q(4, 5, 3)), Some(true));
+        let counters = cache.counters();
+        assert_eq!(counters.neg_expired, 1);
+        assert_eq!(counters.misses, 1);
+        // Recomputing stores a fresh value in place; it hits again.
+        cache.store(&q(1, 2, 3), true);
+        assert_eq!(cache.lookup(&q(1, 2, 3)), Some(true));
+        assert_eq!(cache.len(), 2, "expiry must not grow or hole the slab");
+    }
+
+    #[test]
+    fn expired_negative_is_overwritten_in_place_and_can_expire_again() {
+        // Single shard, capacity 2: expiry must never leak slots.
+        let cache = ResultCache::with_neg_ttl(2, 1, Some(Duration::from_millis(10)));
+        cache.store(&q(1, 1, 1), false);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(cache.lookup(&q(1, 1, 1)), None);
+        cache.store(&q(1, 1, 1), false); // fresh negative, new clock
+        assert_eq!(cache.lookup(&q(1, 1, 1)), Some(false));
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(cache.lookup(&q(1, 1, 1)), None);
+        assert_eq!(cache.counters().neg_expired, 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn without_a_ttl_negative_results_never_expire() {
+        let cache = ResultCache::new(16, 2);
+        assert_eq!(cache.neg_ttl(), None);
+        cache.store(&q(1, 2, 3), false);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(cache.lookup(&q(1, 2, 3)), Some(false));
+        assert_eq!(cache.counters().neg_expired, 0);
     }
 
     #[test]

@@ -4,12 +4,12 @@
 
 use crate::backend::{Reachability, UpdateError, UpdateOutcome};
 use crate::batch::QueryBatch;
-use crate::cache::ResultCache;
+use crate::cache::{CacheCounters, ResultCache};
 use crate::histogram::LatencyHistogram;
 use crate::pool::{Job, WorkerPool};
 use kreach_graph::dynamic::EdgeUpdate;
 use std::sync::{mpsc, Arc};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +20,10 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Number of independent cache shards (clamped to `[1, cache_capacity]`).
     pub cache_shards: usize,
+    /// TTL for cached negative (`false`) answers; `None` keeps them until
+    /// eviction or an epoch bump. See the `cache` module docs for why only
+    /// negatives get a time bound.
+    pub neg_ttl: Option<Duration>,
     /// Queries per worker job. Small enough to balance load, large enough
     /// that channel traffic is negligible next to query work.
     pub chunk_size: usize,
@@ -38,6 +42,7 @@ impl Default for EngineConfig {
             workers: 0,
             cache_capacity: 1 << 16,
             cache_shards: 16,
+            neg_ttl: None,
             chunk_size: 256,
             max_vertices: 1 << 24,
         }
@@ -104,6 +109,8 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Result-cache misses during this run.
     pub cache_misses: u64,
+    /// Misses caused by a negative entry outliving the configured TTL.
+    pub cache_neg_expired: u64,
     /// Median per-query latency in microseconds (2×-accurate histogram).
     pub p50_micros: f64,
     /// 99th-percentile per-query latency in microseconds.
@@ -130,7 +137,8 @@ impl EngineStats {
             concat!(
                 "{{\"backend\":\"{}\",\"workers\":{},\"queries\":{},",
                 "\"elapsed_secs\":{:.6},\"queries_per_sec\":{:.1},",
-                "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_neg_expired\":{},",
+                "\"cache_hit_rate\":{:.4},",
                 "\"p50_micros\":{:.3},\"p99_micros\":{:.3},\"mean_micros\":{:.3}}}"
             ),
             self.backend,
@@ -140,6 +148,7 @@ impl EngineStats {
             self.queries_per_sec,
             self.cache_hits,
             self.cache_misses,
+            self.cache_neg_expired,
             self.cache_hit_rate(),
             self.p50_micros,
             self.p99_micros,
@@ -177,6 +186,28 @@ pub struct BatchOutcome {
     pub stats: EngineStats,
 }
 
+/// A point-in-time snapshot of the engine's serving state, independent of
+/// any single batch run — what a live `/stats` endpoint reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineInfo {
+    /// Backend name.
+    pub backend: String,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Vertex count of the served graph (may grow under mutations).
+    pub vertex_count: usize,
+    /// The backend's preferred hop bound.
+    pub default_k: u32,
+    /// Current mutation epoch.
+    pub epoch: u64,
+    /// Cumulative cache counters across all runs.
+    pub cache: CacheCounters,
+    /// Results currently cached across all shards.
+    pub cache_entries: usize,
+    /// Whether caching is active.
+    pub cache_enabled: bool,
+}
+
 /// The concurrent batch query engine.
 ///
 /// Construction spawns the worker pool; [`BatchEngine::run`] then executes
@@ -193,7 +224,11 @@ pub struct BatchEngine {
 impl BatchEngine {
     /// Builds an engine over `backend` with the given configuration.
     pub fn new(backend: Arc<dyn Reachability>, config: EngineConfig) -> Self {
-        let cache = Arc::new(ResultCache::new(config.cache_capacity, config.cache_shards));
+        let cache = Arc::new(ResultCache::with_neg_ttl(
+            config.cache_capacity,
+            config.cache_shards,
+            config.neg_ttl,
+        ));
         let pool = WorkerPool::new(config.effective_workers());
         BatchEngine {
             backend,
@@ -233,6 +268,26 @@ impl BatchEngine {
     /// The current mutation epoch of the result cache.
     pub fn epoch(&self) -> u64 {
         self.cache.epoch()
+    }
+
+    /// Snapshot of the engine's cumulative serving state (backend, workers,
+    /// epoch, cache counters) — run-independent, for live `/stats`-style
+    /// reporting by a network front end.
+    ///
+    /// Dropping the engine is the drain hook: in-flight [`BatchEngine::run`]
+    /// calls are synchronous, so once every caller has returned, dropping
+    /// the engine joins the worker pool with nothing left in flight.
+    pub fn info(&self) -> EngineInfo {
+        EngineInfo {
+            backend: self.backend.name().to_string(),
+            workers: self.pool.workers(),
+            vertex_count: self.backend.vertex_count(),
+            default_k: self.backend.default_k(),
+            epoch: self.cache.epoch(),
+            cache: self.cache.counters(),
+            cache_entries: self.cache.len(),
+            cache_enabled: self.cache.is_enabled(),
+        }
     }
 
     /// Applies a batch of edge mutations through the backend and, if any of
@@ -341,6 +396,7 @@ impl BatchEngine {
             },
             cache_hits: cache_delta.hits,
             cache_misses: cache_delta.misses,
+            cache_neg_expired: cache_delta.neg_expired,
             p50_micros: latencies.p50_micros(),
             p99_micros: latencies.p99_micros(),
             mean_micros: latencies.mean_nanos() / 1e3,
@@ -661,6 +717,66 @@ mod tests {
             .apply_updates(&[EdgeUpdate::Insert(VertexId(0), VertexId(999))])
             .expect("in-limit growth applies");
         assert_eq!(outcome.vertex_count, 1000);
+    }
+
+    #[test]
+    fn negative_ttl_expires_false_answers_between_batches() {
+        let g = Arc::new(DiGraph::from_edges(3, [(0, 1)]));
+        let engine = BatchEngine::new(
+            Arc::new(BfsBackend::new(g, 2)),
+            EngineConfig {
+                workers: 1,
+                neg_ttl: Some(Duration::from_millis(20)),
+                ..Default::default()
+            },
+        );
+        let negative = QueryBatch::new(vec![Query {
+            s: VertexId(0),
+            t: VertexId(2),
+            k: 2,
+        }]);
+        let positive = QueryBatch::new(vec![Query {
+            s: VertexId(0),
+            t: VertexId(1),
+            k: 2,
+        }]);
+        engine.run(&negative).unwrap();
+        engine.run(&positive).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // The negative answer aged out; the positive one still hits.
+        let outcome = engine.run(&negative).unwrap();
+        assert_eq!(outcome.stats.cache_hits, 0);
+        assert_eq!(outcome.stats.cache_neg_expired, 1);
+        assert!(!outcome.answers[0]);
+        let outcome = engine.run(&positive).unwrap();
+        assert_eq!(outcome.stats.cache_hits, 1);
+        assert_eq!(outcome.stats.cache_neg_expired, 0);
+        assert!(outcome.stats.to_json().contains("\"cache_neg_expired\":0"));
+    }
+
+    #[test]
+    fn engine_info_snapshots_serving_state() {
+        let g = Arc::new(DiGraph::from_edges(4, [(0, 1), (1, 2)]));
+        let engine = engine_over(
+            &g,
+            2,
+            EngineConfig {
+                workers: 3,
+                ..Default::default()
+            },
+        );
+        let info = engine.info();
+        assert_eq!(info.backend, "k-reach");
+        assert_eq!(info.workers, 3);
+        assert_eq!(info.vertex_count, 4);
+        assert_eq!(info.default_k, 2);
+        assert_eq!(info.epoch, 0);
+        assert!(info.cache_enabled);
+        assert_eq!(info.cache_entries, 0);
+        engine.run(&exhaustive_batch(&g, 2)).unwrap();
+        let info = engine.info();
+        assert_eq!(info.cache.misses, 16);
+        assert_eq!(info.cache_entries, 16);
     }
 
     #[test]

@@ -61,5 +61,5 @@ pub use backend::{
 };
 pub use batch::{Query, QueryBatch};
 pub use cache::{CacheCounters, ResultCache};
-pub use engine::{BatchEngine, BatchOutcome, EngineConfig, EngineError, EngineStats};
+pub use engine::{BatchEngine, BatchOutcome, EngineConfig, EngineError, EngineInfo, EngineStats};
 pub use histogram::LatencyHistogram;

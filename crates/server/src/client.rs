@@ -1,0 +1,160 @@
+//! A tiny blocking HTTP/1.1 client for the k-reach protocol.
+//!
+//! Just enough to drive [`crate::start`]-style servers from the
+//! `net_throughput` loadgen and the integration tests: keep-alive request /
+//! response round-trips with `Content-Length` bodies. Not a general HTTP
+//! client.
+
+use crate::http::{read_line_bounded, RequestError, MAX_LINE_BYTES};
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Whether the server announced `Connection: close` (the caller must
+    /// reconnect before the next request).
+    pub close: bool,
+}
+
+impl HttpResponse {
+    /// The body as UTF-8 text (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Whether the status is 2xx.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A blocking keep-alive connection to a k-reach server.
+pub struct BlockingClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl BlockingClient {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wraps an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
+        // Request/response round-trips are latency-bound (see the server's
+        // matching setting).
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        Ok(BlockingClient {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// Applies a read/write timeout to the underlying socket.
+    pub fn set_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.writer.set_read_timeout(Some(timeout))?;
+        self.writer.set_write_timeout(Some(timeout))
+    }
+
+    /// Sends a `GET` and reads the response.
+    pub fn get(&mut self, target: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", target, &[])
+    }
+
+    /// Sends a `POST` with a body and reads the response.
+    pub fn post(&mut self, target: &str, body: &[u8]) -> std::io::Result<HttpResponse> {
+        self.request("POST", target, body)
+    }
+
+    /// One request / response round-trip on the kept-alive connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> std::io::Result<HttpResponse> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: kreach\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let status_line = read_one_line(&mut self.reader)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the stream",
+            )
+        })?;
+        // "HTTP/1.1 200 OK"
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed status line {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let line = read_one_line(&mut self.reader)?.ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof inside headers")
+            })?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("bad content-length {value:?}"),
+                        )
+                    })?;
+                } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(HttpResponse {
+            status,
+            body,
+            close,
+        })
+    }
+}
+
+fn read_one_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<String>> {
+    match read_line_bounded(reader, MAX_LINE_BYTES, None) {
+        Ok(line) => Ok(line),
+        Err(RequestError::Io(e)) => Err(e),
+        Err(RequestError::Timeout) => Err(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "read timed out",
+        )),
+        Err(other) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            other.to_string(),
+        )),
+    }
+}

@@ -1,0 +1,484 @@
+//! Minimal HTTP/1.1 request parsing and response writing over blocking I/O.
+//!
+//! This is deliberately not a general HTTP implementation: it parses exactly
+//! the request shapes the k-reach protocol uses (a request line, a bounded
+//! header block, an optional `Content-Length` body) and rejects everything
+//! else early with the right status code. Every read is bounded — request
+//! line, header block, and body all have byte caps — so a hostile or broken
+//! client can never make a handler allocate without limit.
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+/// Cap on the request line and on any single header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Cap on the total header block, in bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Cap on the number of headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The socket read timed out — a slow or stalled client.
+    Timeout,
+    /// The request is malformed; respond 400 with the message.
+    Bad(String),
+    /// The declared body exceeds the configured cap; respond 413 without
+    /// reading the body.
+    TooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Some other I/O failure (client reset, broken pipe); just drop the
+    /// connection.
+    Io(std::io::Error),
+}
+
+impl RequestError {
+    fn from_io(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RequestError::Timeout,
+            _ => RequestError::Io(e),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Timeout => write!(f, "read timed out"),
+            RequestError::Bad(message) => write!(f, "{message}"),
+            RequestError::TooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "request body of {declared} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            RequestError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line (CR stripped), erroring once it exceeds
+/// `max` bytes. Returns `Ok(None)` on clean EOF before any byte.
+///
+/// `deadline` bounds the *whole* line, not just each read: the per-read
+/// socket timeout alone cannot stop a client trickling one byte per
+/// almost-timeout (which would stretch an 8 KB line into hours of pinned
+/// handler time), so the loop re-checks the deadline between reads and
+/// reports [`RequestError::Timeout`] once it has passed.
+pub fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+    deadline: Option<Instant>,
+) -> Result<Option<String>, RequestError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if deadline.is_some_and(|at| Instant::now() > at) {
+            return Err(RequestError::Timeout);
+        }
+        let (done, used) = {
+            let buf = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(e) => return Err(RequestError::from_io(e)),
+            };
+            if buf.is_empty() {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(RequestError::Bad("stream ended mid-line".to_string()));
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    line.extend_from_slice(&buf[..i]);
+                    (true, i + 1)
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    (false, buf.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if line.len() > max {
+            return Err(RequestError::Bad(format!("line exceeds {max} bytes")));
+        }
+        if done {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| RequestError::Bad("line is not valid UTF-8".to_string()));
+        }
+    }
+}
+
+/// Whether a first line announces an HTTP request (as opposed to the plain
+/// line protocol): its last space-separated token is an `HTTP/x` version.
+/// Unsupported versions still sniff as HTTP so they draw a proper `400`
+/// instead of a line-protocol parse error.
+pub fn is_http_request_line(line: &str) -> bool {
+    line.rsplit(' ')
+        .next()
+        .is_some_and(|token| token.starts_with("HTTP/"))
+}
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this request
+    /// (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub close: bool,
+    /// Bytes consumed by the header block (for traffic accounting).
+    pub head_bytes: usize,
+}
+
+impl Request {
+    /// Parses the remainder of a request whose request line has already been
+    /// read (the listener reads it first to sniff HTTP vs. line protocol).
+    /// `deadline` bounds the whole header block and body against trickling
+    /// clients (see [`read_line_bounded`]).
+    pub fn parse<R: BufRead>(
+        request_line: &str,
+        reader: &mut R,
+        max_body: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Request, RequestError> {
+        let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) => (m, t, v),
+                _ => {
+                    return Err(RequestError::Bad(format!(
+                        "malformed request line {request_line:?}"
+                    )))
+                }
+            };
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(RequestError::Bad(format!(
+                "unsupported protocol version {version:?}"
+            )));
+        }
+        if !target.starts_with('/') {
+            return Err(RequestError::Bad(format!(
+                "request target {target:?} must be an absolute path"
+            )));
+        }
+        let (path, query_text) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let query: Vec<(String, String)> = query_text
+            .split('&')
+            .filter(|pair| !pair.is_empty())
+            .map(|pair| match pair.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (pair.to_string(), String::new()),
+            })
+            .collect();
+
+        let mut headers = Vec::new();
+        let mut head_bytes = 0usize;
+        let mut content_length = 0usize;
+        let mut close = version == "HTTP/1.0";
+        loop {
+            let line = read_line_bounded(reader, MAX_LINE_BYTES, deadline)?
+                .ok_or_else(|| RequestError::Bad("stream ended inside headers".to_string()))?;
+            head_bytes += line.len() + 2;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS || head_bytes > MAX_HEADER_BYTES {
+                return Err(RequestError::Bad("header block too large".to_string()));
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(RequestError::Bad(format!("malformed header {line:?}")));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            match name.as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| {
+                        RequestError::Bad(format!("invalid content-length {value:?}"))
+                    })?;
+                }
+                "transfer-encoding" => {
+                    return Err(RequestError::Bad(
+                        "transfer-encoding is not supported; send a content-length body"
+                            .to_string(),
+                    ));
+                }
+                "connection" => {
+                    let v = value.to_ascii_lowercase();
+                    if v.contains("close") {
+                        close = true;
+                    } else if v.contains("keep-alive") {
+                        close = false;
+                    }
+                }
+                _ => {}
+            }
+            headers.push((name, value));
+        }
+
+        let body = if content_length == 0 {
+            Vec::new()
+        } else {
+            if content_length > max_body {
+                return Err(RequestError::TooLarge {
+                    declared: content_length,
+                    limit: max_body,
+                });
+            }
+            // Single `read` calls with a deadline check between them: each
+            // read is bounded by the socket timeout, and the deadline stops
+            // a trickling client from stretching the body out indefinitely.
+            let mut body = vec![0u8; content_length];
+            let mut filled = 0usize;
+            while filled < content_length {
+                if deadline.is_some_and(|at| Instant::now() > at) {
+                    return Err(RequestError::Timeout);
+                }
+                match reader.read(&mut body[filled..]) {
+                    Ok(0) => {
+                        return Err(RequestError::Bad(format!(
+                            "request body truncated (content-length {content_length})"
+                        )))
+                    }
+                    Ok(n) => filled += n,
+                    Err(e) => return Err(RequestError::from_io(e)),
+                }
+            }
+            body
+        };
+
+        Ok(Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query,
+            headers,
+            body,
+            close,
+            head_bytes,
+        })
+    }
+
+    /// First value of a (lower-case) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response (status line, headers, body) and flushes.
+/// Returns the number of bytes written.
+///
+/// Head and body go out as **one** write: two small writes per response
+/// interact with Nagle + delayed ACK into ~40 ms of added latency per
+/// request on loopback, swamping the µs-scale query underneath.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<usize> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    let mut message = Vec::with_capacity(head.len() + body.len());
+    message.extend_from_slice(head.as_bytes());
+    message.extend_from_slice(body);
+    writer.write_all(&message)?;
+    writer.flush()?;
+    Ok(message.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str, max_body: usize) -> Result<Request, RequestError> {
+        let mut reader = BufReader::new(text.as_bytes());
+        let line = read_line_bounded(&mut reader, MAX_LINE_BYTES, None)
+            .unwrap()
+            .expect("request line");
+        Request::parse(&line, &mut reader, max_body, None)
+    }
+
+    #[test]
+    fn parses_a_get_with_query_string() {
+        let req = parse(
+            "GET /reach?s=17&t=4023&k=3 HTTP/1.1\r\nHost: x\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/reach");
+        assert_eq!(
+            req.query,
+            vec![
+                ("s".to_string(), "17".to_string()),
+                ("t".to_string(), "4023".to_string()),
+                ("k".to_string(), "3".to_string())
+            ]
+        );
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req = parse(
+            "POST /batch HTTP/1.1\r\nContent-Length: 8\r\n\r\n1 2 3\n4 ",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.body, b"1 2 3\n4 ");
+    }
+
+    #[test]
+    fn http_10_and_connection_close_request_closing() {
+        assert!(parse("GET / HTTP/1.0\r\n\r\n", 0).unwrap().close);
+        assert!(
+            parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", 0)
+                .unwrap()
+                .close
+        );
+        assert!(
+            !parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", 0)
+                .unwrap()
+                .close
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for line in [
+            "GET HTTP/1.1\r\n\r\n",            // missing target
+            "GET / nonsense HTTP/1.1\r\n\r\n", // four tokens
+            "GET / HTTP/2.0\r\n\r\n",          // unsupported version
+            "GET reach HTTP/1.1\r\n\r\n",      // relative target
+        ] {
+            assert!(
+                matches!(parse(line, 0), Err(RequestError::Bad(_))),
+                "{line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let err = parse("POST /batch HTTP/1.1\r\nContent-Length: 4096\r\n\r\n", 100).unwrap_err();
+        match err {
+            RequestError::TooLarge { declared, limit } => {
+                assert_eq!(declared, 4096);
+                assert_eq!(limit, 100);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_bodies_and_bad_headers() {
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort", 1024).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        let err = parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 0).unwrap_err();
+        assert!(err.to_string().contains("malformed header"), "{err}");
+        let err = parse("GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 0).unwrap_err();
+        assert!(err.to_string().contains("invalid content-length"), "{err}");
+        let err = parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 0).unwrap_err();
+        assert!(err.to_string().contains("transfer-encoding"), "{err}");
+    }
+
+    #[test]
+    fn bounded_line_reading_enforces_the_cap() {
+        let long = format!("GET /{} HTTP/1.1\r\n", "x".repeat(2 * MAX_LINE_BYTES));
+        let mut reader = BufReader::new(long.as_bytes());
+        let err = read_line_bounded(&mut reader, MAX_LINE_BYTES, None).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        // Clean EOF is None, not an error.
+        let mut empty = BufReader::new(&b""[..]);
+        assert!(read_line_bounded(&mut empty, 16, None).unwrap().is_none());
+        // EOF mid-line is an error.
+        let mut partial = BufReader::new(&b"no newline"[..]);
+        assert!(read_line_bounded(&mut partial, 1024, None).is_err());
+        // An already-passed deadline times the read out before any byte.
+        let mut ready = BufReader::new(&b"data\n"[..]);
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        assert!(matches!(
+            read_line_bounded(&mut ready, 1024, Some(past)),
+            Err(RequestError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn sniffs_http_request_lines_from_line_protocol() {
+        assert!(is_http_request_line("GET /healthz HTTP/1.1"));
+        assert!(is_http_request_line("POST /batch HTTP/1.0"));
+        // Unsupported versions still route to HTTP for a clean 400.
+        assert!(is_http_request_line("GET / HTTP/9.9"));
+        assert!(!is_http_request_line("17 4023 3"));
+        assert!(!is_http_request_line("+ 17 9000"));
+        assert!(!is_http_request_line("stats"));
+        assert!(!is_http_request_line(""));
+    }
+
+    #[test]
+    fn responses_render_with_length_and_connection_header() {
+        let mut out = Vec::new();
+        let n = write_response(&mut out, 200, "text/plain", b"ok\n", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nok\n"), "{text}");
+        assert_eq!(n, text.len());
+        let mut out = Vec::new();
+        write_response(&mut out, 503, "text/plain", b"shed\n", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("503 Service Unavailable"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Aggregated connection- and request-level serving metrics.
+//!
+//! Counters are lock-free atomics bumped on the handler threads; the
+//! end-to-end request latency histogram sits behind one mutex taken once per
+//! request (µs-scale work next to socket I/O). `/stats` renders a
+//! [`MetricsSnapshot`] alongside the engine's own
+//! [`kreach_engine::EngineInfo`].
+
+use kreach_engine::LatencyHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Live counters shared by the acceptor and every connection handler.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Connections accepted from the listener.
+    pub accepted: AtomicU64,
+    /// Connections admitted past the in-flight budget.
+    pub admitted: AtomicU64,
+    /// Connections shed with a fast 503 because the budget was exhausted.
+    pub shed: AtomicU64,
+    /// HTTP requests parsed (across all endpoints).
+    pub http_requests: AtomicU64,
+    /// Line-protocol operations answered.
+    pub line_ops: AtomicU64,
+    /// Responses with a 2xx status.
+    pub ok: AtomicU64,
+    /// Responses with a 4xx status (malformed requests, bad parameters).
+    pub client_errors: AtomicU64,
+    /// Responses with a 5xx status (including admission-control 503s sent
+    /// from handler context; acceptor-side sheds are only in `shed`).
+    pub server_errors: AtomicU64,
+    /// Reachability questions answered (single, batch, and line-mode).
+    pub queries: AtomicU64,
+    /// Edge mutations routed through the engine.
+    pub mutations: AtomicU64,
+    /// Request bytes read (request lines, headers, bodies).
+    pub bytes_in: AtomicU64,
+    /// Response bytes written.
+    pub bytes_out: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+    started: Instant,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        ServerMetrics {
+            accepted: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            line_ops: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            server_errors: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            latency: Mutex::new(LatencyHistogram::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Counts a finished response by its status class.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.ok,
+            400..=499 => &self.client_errors,
+            _ => &self.server_errors,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's end-to-end latency (first byte read to last
+    /// byte written).
+    pub fn record_latency(&self, elapsed: Duration) {
+        self.latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(elapsed.as_nanos() as u64);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter. `active`
+    /// (connections currently in service) is owned by the caller's
+    /// admission control, not by this struct, so it is passed in.
+    pub fn snapshot(&self, active: u64) -> MetricsSnapshot {
+        let latency = self
+            .latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .clone();
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            active,
+            http_requests: self.http_requests.load(Ordering::Relaxed),
+            line_ops: self.line_ops.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            server_errors: self.server_errors.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            mutations: self.mutations.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            p50_micros: latency.p50_micros(),
+            p99_micros: latency.p99_micros(),
+            mean_micros: latency.mean_nanos() / 1e3,
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Snapshot of [`ServerMetrics`] counters, plus latency quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections admitted past the budget.
+    pub admitted: u64,
+    /// Connections shed with a fast 503.
+    pub shed: u64,
+    /// Connections currently in service.
+    pub active: u64,
+    /// HTTP requests parsed.
+    pub http_requests: u64,
+    /// Line-protocol operations answered.
+    pub line_ops: u64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// 4xx responses.
+    pub client_errors: u64,
+    /// 5xx responses from handler context.
+    pub server_errors: u64,
+    /// Reachability questions answered.
+    pub queries: u64,
+    /// Edge mutations routed through the engine.
+    pub mutations: u64,
+    /// Request bytes read.
+    pub bytes_in: u64,
+    /// Response bytes written.
+    pub bytes_out: u64,
+    /// Median request latency in microseconds.
+    pub p50_micros: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_micros: f64,
+    /// Mean request latency in microseconds.
+    pub mean_micros: f64,
+    /// Seconds since the metrics (and so the server) started.
+    pub uptime_secs: f64,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot as one JSON object (hand-rolled; the build is hermetic).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"accepted\":{},\"admitted\":{},\"shed\":{},\"active\":{},",
+                "\"http_requests\":{},\"line_ops\":{},",
+                "\"ok\":{},\"client_errors\":{},\"server_errors\":{},",
+                "\"queries\":{},\"mutations\":{},",
+                "\"bytes_in\":{},\"bytes_out\":{},",
+                "\"p50_micros\":{:.3},\"p99_micros\":{:.3},\"mean_micros\":{:.3},",
+                "\"uptime_secs\":{:.3}}}"
+            ),
+            self.accepted,
+            self.admitted,
+            self.shed,
+            self.active,
+            self.http_requests,
+            self.line_ops,
+            self.ok,
+            self.client_errors,
+            self.server_errors,
+            self.queries,
+            self.mutations,
+            self.bytes_in,
+            self.bytes_out,
+            self.p50_micros,
+            self.p99_micros,
+            self.mean_micros,
+            self.uptime_secs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_land_in_their_class_counters() {
+        let m = ServerMetrics::new();
+        m.record_status(200);
+        m.record_status(202);
+        m.record_status(404);
+        m.record_status(503);
+        m.record_latency(Duration::from_micros(5));
+        let snap = m.snapshot(0);
+        assert_eq!(snap.ok, 2);
+        assert_eq!(snap.client_errors, 1);
+        assert_eq!(snap.server_errors, 1);
+        assert!(snap.p50_micros > 0.0);
+        assert!(snap.uptime_secs >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_renders_as_json() {
+        let m = ServerMetrics::new();
+        m.accepted.fetch_add(3, Ordering::Relaxed);
+        m.shed.fetch_add(1, Ordering::Relaxed);
+        let json = m.snapshot(2).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for field in [
+            "\"accepted\":3",
+            "\"shed\":1",
+            "\"p99_micros\"",
+            "\"uptime_secs\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+}

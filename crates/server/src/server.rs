@@ -1,0 +1,1156 @@
+//! The listener: an acceptor thread, a bounded connection-handler pool,
+//! admission control, and graceful drain.
+//!
+//! ## Life of a connection
+//!
+//! The acceptor thread owns the [`TcpListener`]. Each accepted connection is
+//! checked against the **in-flight budget** ([`ServerConfig::max_inflight`]:
+//! connections admitted and not yet finished, queued ones included). Over
+//! budget, the acceptor writes a one-line `503 Service Unavailable` and
+//! closes — shedding costs one syscall-bounded write and never touches the
+//! engine, so overload degrades into fast refusals instead of unbounded
+//! queueing. Within budget, the connection is queued to a fixed pool of
+//! handler threads.
+//!
+//! A handler sniffs the first line: an `HTTP/1.x` request line selects the
+//! HTTP protocol (keep-alive supported), anything else selects the **line
+//! protocol** — each line is one operation in the same grammar as the
+//! `kreach update` workload files (`s t [k]`, `+ u v`, `- u v`), answered
+//! with one line in the shared response format of
+//! [`kreach_datasets::render_answer_line`].
+//!
+//! ## Graceful drain
+//!
+//! [`ServerHandle::shutdown`] (or `POST /shutdown`) flips a flag and wakes
+//! the acceptor, which stops admitting and drops the queue's sender.
+//! Handlers finish every admitted connection — in-flight batches run to
+//! completion because [`kreach_engine::BatchEngine::run`] is synchronous —
+//! then exit; [`ServerHandle::join`] joins them all and reports the final
+//! counters.
+
+use crate::http::{self, Request, RequestError};
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use kreach_datasets::{
+    read_update_workload, read_workload, render_answer_line, render_answer_lines,
+    render_update_ack, UpdateOp,
+};
+use kreach_engine::{BatchEngine, Query, QueryBatch, UpdateError};
+use kreach_graph::dynamic::EdgeUpdate;
+use kreach_graph::VertexId;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const TEXT: &str = "text/plain; charset=utf-8";
+const JSON: &str = "application/json";
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Interface to bind.
+    pub host: String,
+    /// Port to bind; `0` picks an ephemeral port (read it back from
+    /// [`ServerHandle::port`]).
+    pub port: u16,
+    /// Connection-handler threads (clamped to at least 1). This bounds how
+    /// many connections make progress concurrently; the engine's own worker
+    /// pool bounds query parallelism within a batch.
+    pub handlers: usize,
+    /// Admission budget: connections admitted (queued + in service) before
+    /// the acceptor starts shedding with fast 503s. Clamped to at least 1.
+    pub max_inflight: usize,
+    /// Largest accepted request body, in bytes; bigger declared bodies are
+    /// refused with `413` before any body byte is read.
+    pub max_body_bytes: usize,
+    /// Slow-client guard, applied twice over: as the socket read/write
+    /// timeout bounding each individual read, and as a whole-request
+    /// deadline bounding their sum — so neither a stalled client nor one
+    /// trickling a byte at a time can pin a handler past roughly twice
+    /// this duration per request.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            handlers: 4,
+            max_inflight: 64,
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<BatchEngine>,
+    metrics: ServerMetrics,
+    config: ServerConfig,
+    addr: SocketAddr,
+    inflight: AtomicUsize,
+    shutting_down: AtomicBool,
+}
+
+impl Shared {
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Flips the drain flag and wakes the acceptor with a loopback
+    /// connection so a quiet listener notices immediately. Idempotent.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // When bound to the unspecified address (0.0.0.0 / ::), connecting
+        // to it is not portable — aim the wake-up at loopback instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(if wake.is_ipv4() {
+                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+            } else {
+                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+    }
+
+    /// Metrics snapshot with the admission gauge filled in (the in-flight
+    /// count lives on `Shared`, not in `ServerMetrics`, because admission
+    /// control is its consumer of record).
+    fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot(self.inflight.load(Ordering::Acquire) as u64)
+    }
+}
+
+/// Final report returned by [`ServerHandle::join`] after a drain.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Metrics at the moment every thread had exited.
+    pub metrics: MetricsSnapshot,
+    /// Whether every server thread exited without panicking.
+    pub clean: bool,
+}
+
+/// A running server. Dropping the handle shuts the server down and joins
+/// its threads; call [`ServerHandle::join`] to do that explicitly and get
+/// the [`DrainReport`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when `port: 0` was asked).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.shared.addr.port()
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &Arc<BatchEngine> {
+        &self.shared.engine
+    }
+
+    /// Point-in-time copy of the serving metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Whether a drain has been requested (by [`ServerHandle::shutdown`] or
+    /// `POST /shutdown`).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.is_shutting_down()
+    }
+
+    /// Requests a graceful drain: stop admitting, finish every admitted
+    /// connection, then let the threads exit. Returns immediately;
+    /// [`ServerHandle::join`] waits for completion.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the server has fully drained (every thread joined) and
+    /// reports the final counters. Does **not** initiate the drain — callers
+    /// that want to stop the server call [`ServerHandle::shutdown`] first;
+    /// callers serving until an external `POST /shutdown` just call `join`.
+    pub fn join(mut self) -> DrainReport {
+        self.join_threads()
+    }
+
+    fn join_threads(&mut self) -> DrainReport {
+        let mut clean = true;
+        if let Some(acceptor) = self.acceptor.take() {
+            clean &= acceptor.join().is_ok();
+        }
+        for handle in self.handlers.drain(..) {
+            clean &= handle.join().is_ok();
+        }
+        DrainReport {
+            metrics: self.shared.snapshot(),
+            clean,
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.handlers.is_empty() {
+            self.shared.begin_shutdown();
+            let _ = self.join_threads();
+        }
+    }
+}
+
+/// Binds the listener and spawns the acceptor and handler threads, serving
+/// `engine` until a shutdown is requested.
+pub fn start(engine: Arc<BatchEngine>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine,
+        metrics: ServerMetrics::new(),
+        config: ServerConfig {
+            handlers: config.handlers.max(1),
+            max_inflight: config.max_inflight.max(1),
+            ..config
+        },
+        addr,
+        inflight: AtomicUsize::new(0),
+        shutting_down: AtomicBool::new(false),
+    });
+
+    let (sender, receiver) = mpsc::channel::<TcpStream>();
+    let receiver = Arc::new(Mutex::new(receiver));
+    let handlers = (0..shared.config.handlers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let receiver = Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("kreach-conn-{i}"))
+                .spawn(move || loop {
+                    // Hold the lock only while dequeuing, exactly like the
+                    // engine's worker pool.
+                    let conn = match receiver.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break,
+                    };
+                    match conn {
+                        Ok(stream) => {
+                            handle_connection(&shared, stream);
+                            shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        Err(_) => break, // acceptor gone and queue drained
+                    }
+                })
+                .expect("failed to spawn connection handler")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("kreach-acceptor".to_string())
+            .spawn(move || {
+                accept_loop(&shared, listener, sender);
+            })
+            .expect("failed to spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+        handlers,
+    })
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener, sender: mpsc::Sender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => {
+                if shared.is_shutting_down() {
+                    break;
+                }
+                // Persistent accept errors (EMFILE under fd exhaustion being
+                // the classic) must not turn the acceptor into a busy-spin:
+                // back off briefly so handlers can finish and free fds.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.is_shutting_down() {
+            // The shutdown wake-up itself, or a straggler racing it: either
+            // way nothing new is admitted during a drain.
+            drop(stream);
+            break;
+        }
+        shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        // The acceptor is the only incrementer, so load-then-add cannot
+        // over-admit; concurrent handler decrements only make room.
+        if shared.inflight.load(Ordering::Acquire) >= shared.config.max_inflight {
+            shed(shared, stream);
+            continue;
+        }
+        shared.inflight.fetch_add(1, Ordering::AcqRel);
+        shared.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        if sender.send(stream).is_err() {
+            break;
+        }
+    }
+    // Dropping the sender lets handlers drain the queue and exit.
+}
+
+/// Fast 503: one bounded write on the acceptor thread, never touching the
+/// engine or the handler pool.
+fn shed(shared: &Arc<Shared>, mut stream: TcpStream) {
+    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let body = format!(
+        "overloaded: {} connections in flight (budget {}); retry\n",
+        shared.inflight.load(Ordering::Relaxed),
+        shared.config.max_inflight
+    );
+    if let Ok(n) = http::write_response(&mut stream, 503, TEXT, body.as_bytes(), true) {
+        shared
+            .metrics
+            .bytes_out
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
+    // Request/response round-trips are latency-bound: never wait for ACKs
+    // to coalesce segments.
+    let _ = stream.set_nodelay(true);
+    // Loopback peers may request a drain; remote ones may not (see route).
+    let peer_is_loopback = stream
+        .peer_addr()
+        .map(|peer| peer.ip().is_loopback())
+        .unwrap_or(false);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        // One whole-request budget: the socket timeout bounds each read,
+        // the deadline bounds their sum (trickling clients).
+        let deadline = Instant::now() + shared.config.read_timeout;
+        let line = match http::read_line_bounded(&mut reader, http::MAX_LINE_BYTES, Some(deadline))
+        {
+            Ok(None) => break, // client closed between requests
+            Ok(Some(line)) => line,
+            Err(RequestError::Timeout) => {
+                // Slow or stalled client: time it out explicitly so the
+                // handler slot is reclaimed.
+                respond(shared, &mut writer, 408, TEXT, b"request timed out\n", true);
+                break;
+            }
+            Err(RequestError::Bad(message)) => {
+                respond(
+                    shared,
+                    &mut writer,
+                    400,
+                    TEXT,
+                    format!("{message}\n").as_bytes(),
+                    true,
+                );
+                break;
+            }
+            Err(_) => break,
+        };
+        if line.is_empty() {
+            continue; // stray blank line between requests
+        }
+        // The clock starts once a request line has arrived: the idle gap a
+        // keep-alive client leaves between requests is its think time, not
+        // serving latency, and must not pollute the /stats histogram.
+        let started = Instant::now();
+        if http::is_http_request_line(&line) {
+            // Headers + body get their own whole-request budget from here.
+            if !serve_http_request(
+                shared,
+                &line,
+                &mut reader,
+                &mut writer,
+                started,
+                started + shared.config.read_timeout,
+                peer_is_loopback,
+            ) {
+                break;
+            }
+        } else {
+            serve_line_session(shared, line, &mut reader, &mut writer);
+            break;
+        }
+        if shared.is_shutting_down() {
+            break;
+        }
+    }
+}
+
+/// Writes a response, charging byte and status counters. Used for protocol
+/// errors discovered outside normal routing.
+fn respond(
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) {
+    if let Ok(n) = http::write_response(writer, status, content_type, body, close) {
+        shared
+            .metrics
+            .bytes_out
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+    shared.metrics.record_status(status);
+}
+
+/// Parses and answers one HTTP request; returns whether the connection may
+/// serve another.
+#[allow(clippy::too_many_arguments)]
+fn serve_http_request(
+    shared: &Arc<Shared>,
+    request_line: &str,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    started: Instant,
+    deadline: Instant,
+    peer_is_loopback: bool,
+) -> bool {
+    let request = match Request::parse(
+        request_line,
+        reader,
+        shared.config.max_body_bytes,
+        Some(deadline),
+    ) {
+        Ok(request) => request,
+        Err(RequestError::Timeout) => {
+            respond(shared, writer, 408, TEXT, b"request timed out\n", true);
+            return false;
+        }
+        Err(RequestError::Bad(message)) => {
+            respond(
+                shared,
+                writer,
+                400,
+                TEXT,
+                format!("{message}\n").as_bytes(),
+                true,
+            );
+            return false;
+        }
+        Err(err @ RequestError::TooLarge { .. }) => {
+            // The body was never read, so the connection is out of sync:
+            // refuse and close.
+            respond(
+                shared,
+                writer,
+                413,
+                TEXT,
+                format!("{err}\n").as_bytes(),
+                true,
+            );
+            return false;
+        }
+        Err(RequestError::Io(_)) => return false,
+    };
+    shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.bytes_in.fetch_add(
+        (request_line.len() + request.head_bytes + request.body.len()) as u64,
+        Ordering::Relaxed,
+    );
+
+    let (status, content_type, body) = route(shared, &request, peer_is_loopback);
+    // A HEAD client will not read a response body, so any body bytes would
+    // bleed into its next response: always close after answering one.
+    let close = request.close || shared.is_shutting_down() || request.method == "HEAD";
+    if let Ok(n) = http::write_response(writer, status, content_type, &body, close) {
+        shared
+            .metrics
+            .bytes_out
+            .fetch_add(n as u64, Ordering::Relaxed);
+    } else {
+        return false;
+    }
+    shared.metrics.record_status(status);
+    shared.metrics.record_latency(started.elapsed());
+    !close
+}
+
+/// Dispatches one parsed request to its endpoint.
+fn route(
+    shared: &Arc<Shared>,
+    request: &Request,
+    peer_is_loopback: bool,
+) -> (u16, &'static str, Vec<u8>) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, TEXT, b"ok\n".to_vec()),
+        ("GET", "/stats") => (200, JSON, stats_json(shared).into_bytes()),
+        ("GET", "/reach") => endpoint_reach(shared, request),
+        ("POST", "/batch") => endpoint_batch(shared, request),
+        ("POST", "/update") => endpoint_update(shared, request),
+        ("POST", "/shutdown") => {
+            // The drain endpoint is an operator control, not a data-plane
+            // one: when the listener is bound beyond loopback (--host
+            // 0.0.0.0), a remote peer must not be able to kill the server
+            // with one unauthenticated request.
+            if !peer_is_loopback {
+                return (
+                    403,
+                    TEXT,
+                    b"shutdown is only accepted from loopback clients\n".to_vec(),
+                );
+            }
+            shared.begin_shutdown();
+            (202, TEXT, b"draining\n".to_vec())
+        }
+        ("GET" | "POST", path) => (
+            404,
+            TEXT,
+            format!("no route for {} {path}\n", request.method).into_bytes(),
+        ),
+        (method, _) => (
+            405,
+            TEXT,
+            format!("method {method:?} not allowed\n").into_bytes(),
+        ),
+    }
+}
+
+/// `GET /reach?s=..&t=..[&k=..]` — one query through the batch path.
+fn endpoint_reach(shared: &Arc<Shared>, request: &Request) -> (u16, &'static str, Vec<u8>) {
+    let mut s = None;
+    let mut t = None;
+    let mut k = None;
+    for (key, value) in &request.query {
+        let slot = match key.as_str() {
+            "s" => &mut s,
+            "t" => &mut t,
+            "k" => &mut k,
+            other => {
+                return (
+                    400,
+                    TEXT,
+                    format!("unknown query parameter {other:?} (use s, t, k)\n").into_bytes(),
+                )
+            }
+        };
+        match value.parse::<u32>() {
+            Ok(parsed) => *slot = Some(parsed),
+            Err(e) => {
+                return (
+                    400,
+                    TEXT,
+                    format!("invalid {key} value {value:?}: {e}\n").into_bytes(),
+                )
+            }
+        }
+    }
+    let (Some(s), Some(t)) = (s, t) else {
+        return (
+            400,
+            TEXT,
+            b"missing required parameters: /reach?s=<u32>&t=<u32>[&k=<u32>]\n".to_vec(),
+        );
+    };
+    let query = Query {
+        s: VertexId(s),
+        t: VertexId(t),
+        k: k.unwrap_or_else(|| shared.engine.default_k()),
+    };
+    match shared.engine.run(&QueryBatch::new(vec![query])) {
+        Ok(outcome) => {
+            shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
+            let mut line = render_answer_line(query.s, query.t, query.k, outcome.answers[0]);
+            line.push('\n');
+            (200, TEXT, line.into_bytes())
+        }
+        Err(e) => (400, TEXT, format!("{e}\n").into_bytes()),
+    }
+}
+
+/// `POST /batch` — a pipelined batch: the body is a query workload file
+/// (`s t [k]` lines), answered in order via the batch path. The response
+/// body is byte-identical to what `kreach batch` prints for the same
+/// workload.
+fn endpoint_batch(shared: &Arc<Shared>, request: &Request) -> (u16, &'static str, Vec<u8>) {
+    let entries = match read_workload(request.body.as_slice()) {
+        Ok(entries) => entries,
+        Err(e) => return (400, TEXT, format!("{e}\n").into_bytes()),
+    };
+    let batch = QueryBatch::from_triples(&entries, shared.engine.default_k());
+    match shared.engine.run(&batch) {
+        Ok(outcome) => {
+            shared
+                .metrics
+                .queries
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            let body = render_answer_lines(batch.answered(&outcome.answers));
+            (200, TEXT, body.into_bytes())
+        }
+        Err(e) => (400, TEXT, format!("{e}\n").into_bytes()),
+    }
+}
+
+/// `POST /update` — a mixed mutation/query stream in the `kreach update`
+/// workload grammar. Mutations bump the engine epoch; queries are answered
+/// against all mutations before them in the body. On an error mid-stream
+/// the mutations already applied stay applied (the response says how far it
+/// got).
+fn endpoint_update(shared: &Arc<Shared>, request: &Request) -> (u16, &'static str, Vec<u8>) {
+    let ops = match read_update_workload(request.body.as_slice()) {
+        Ok(ops) => ops,
+        Err(e) => return (400, TEXT, format!("{e}\n").into_bytes()),
+    };
+    let mut body = String::new();
+    let mut pending: Vec<Query> = Vec::new();
+    for op in &ops {
+        match *op {
+            UpdateOp::Query { s, t, k } => pending.push(Query {
+                s,
+                t,
+                k: k.unwrap_or_else(|| shared.engine.default_k()),
+            }),
+            UpdateOp::Insert { u, v } | UpdateOp::Remove { u, v } => {
+                if let Err(resp) = flush_queries(shared, &mut pending, &mut body) {
+                    return resp;
+                }
+                let insert = matches!(op, UpdateOp::Insert { .. });
+                let update = if insert {
+                    EdgeUpdate::Insert(u, v)
+                } else {
+                    EdgeUpdate::Remove(u, v)
+                };
+                match shared.engine.apply_updates(&[update]) {
+                    Ok(outcome) => {
+                        shared.metrics.mutations.fetch_add(1, Ordering::Relaxed);
+                        body.push_str(&render_update_ack(
+                            insert,
+                            u,
+                            v,
+                            outcome.stats.applied() > 0,
+                            outcome.epoch,
+                        ));
+                        body.push('\n');
+                    }
+                    Err(e @ UpdateError::Unsupported { .. }) => {
+                        return (409, TEXT, format!("{body}error: {e}\n").into_bytes())
+                    }
+                    Err(e) => return (400, TEXT, format!("{body}error: {e}\n").into_bytes()),
+                }
+            }
+        }
+    }
+    if let Err(resp) = flush_queries(shared, &mut pending, &mut body) {
+        return resp;
+    }
+    (200, TEXT, body.into_bytes())
+}
+
+/// Runs the queued queries of an `/update` stream as one batch, appending
+/// their answer lines.
+#[allow(clippy::type_complexity)]
+fn flush_queries(
+    shared: &Arc<Shared>,
+    pending: &mut Vec<Query>,
+    body: &mut String,
+) -> Result<(), (u16, &'static str, Vec<u8>)> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let batch = QueryBatch::new(std::mem::take(pending));
+    match shared.engine.run(&batch) {
+        Ok(outcome) => {
+            shared
+                .metrics
+                .queries
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            body.push_str(&render_answer_lines(batch.answered(&outcome.answers)));
+            Ok(())
+        }
+        Err(e) => Err((400, TEXT, format!("{body}error: {e}\n").into_bytes())),
+    }
+}
+
+/// The `/stats` document: engine snapshot + cache counters + server
+/// metrics, as one JSON object.
+fn stats_json(shared: &Arc<Shared>) -> String {
+    let info = shared.engine.info();
+    let metrics = shared.snapshot();
+    format!(
+        concat!(
+            "{{\"backend\":\"{}\",\"workers\":{},\"vertex_count\":{},\"default_k\":{},",
+            "\"epoch\":{},",
+            "\"cache\":{{\"enabled\":{},\"entries\":{},\"hits\":{},\"misses\":{},",
+            "\"neg_expired\":{},\"hit_rate\":{:.4}}},",
+            "\"admission\":{{\"max_inflight\":{},\"handlers\":{},\"shutting_down\":{}}},",
+            "\"server\":{}}}"
+        ),
+        info.backend,
+        info.workers,
+        info.vertex_count,
+        info.default_k,
+        info.epoch,
+        info.cache_enabled,
+        info.cache_entries,
+        info.cache.hits,
+        info.cache.misses,
+        info.cache.neg_expired,
+        info.cache.hit_rate(),
+        shared.config.max_inflight,
+        shared.config.handlers,
+        shared.is_shutting_down(),
+        metrics.to_json(),
+    )
+}
+
+/// The line protocol: one operation per line in the mixed-workload grammar,
+/// one response line per operation, streamed as they arrive. `stats` prints
+/// the `/stats` JSON, `quit` closes the session.
+fn serve_line_session(
+    shared: &Arc<Shared>,
+    first_line: String,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+) {
+    let mut next = Some(first_line);
+    loop {
+        let line = match next.take() {
+            Some(line) => line,
+            None => match http::read_line_bounded(
+                reader,
+                http::MAX_LINE_BYTES,
+                Some(Instant::now() + shared.config.read_timeout),
+            ) {
+                Ok(Some(line)) => line,
+                Ok(None) => break,
+                Err(RequestError::Timeout) => {
+                    let _ = writeln!(writer, "error: read timed out");
+                    break;
+                }
+                Err(_) => break,
+            },
+        };
+        shared
+            .metrics
+            .bytes_in
+            .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+        let trimmed = line.split('#').next().unwrap_or("").trim();
+        if trimmed.is_empty() {
+            continue; // comments and blank lines, like the file format
+        }
+        if trimmed == "quit" {
+            break;
+        }
+        let reply = if trimmed == "stats" {
+            stats_json(shared)
+        } else {
+            line_op_reply(shared, trimmed)
+        };
+        shared.metrics.line_ops.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .bytes_out
+            .fetch_add(reply.len() as u64 + 1, Ordering::Relaxed);
+        if writeln!(writer, "{reply}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if shared.is_shutting_down() {
+            break;
+        }
+    }
+}
+
+/// Answers one line-protocol operation, never panicking on bad input.
+fn line_op_reply(shared: &Arc<Shared>, trimmed: &str) -> String {
+    let ops = match read_update_workload(trimmed.as_bytes()) {
+        Ok(ops) => ops,
+        Err(e) => return format!("error: {e}"),
+    };
+    let Some(op) = ops.first() else {
+        return "error: empty operation".to_string();
+    };
+    match *op {
+        UpdateOp::Query { s, t, k } => {
+            let query = Query {
+                s,
+                t,
+                k: k.unwrap_or_else(|| shared.engine.default_k()),
+            };
+            match shared.engine.run(&QueryBatch::new(vec![query])) {
+                Ok(outcome) => {
+                    shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
+                    render_answer_line(query.s, query.t, query.k, outcome.answers[0])
+                }
+                Err(e) => format!("error: {e}"),
+            }
+        }
+        UpdateOp::Insert { u, v } | UpdateOp::Remove { u, v } => {
+            let insert = matches!(op, UpdateOp::Insert { .. });
+            let update = if insert {
+                EdgeUpdate::Insert(u, v)
+            } else {
+                EdgeUpdate::Remove(u, v)
+            };
+            match shared.engine.apply_updates(&[update]) {
+                Ok(outcome) => {
+                    shared.metrics.mutations.fetch_add(1, Ordering::Relaxed);
+                    render_update_ack(insert, u, v, outcome.stats.applied() > 0, outcome.epoch)
+                }
+                Err(e) => format!("error: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::BlockingClient;
+    use kreach_core::dynamic::DynamicOptions;
+    use kreach_engine::{BfsBackend, DynamicKReachBackend, EngineConfig};
+    use kreach_graph::DiGraph;
+    use std::io::{BufRead, Read};
+
+    fn tiny_config() -> ServerConfig {
+        ServerConfig {
+            handlers: 2,
+            max_inflight: 8,
+            read_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        }
+    }
+
+    fn bfs_server() -> ServerHandle {
+        // 0→1→2, isolated 3.
+        let g = Arc::new(DiGraph::from_edges(4, [(0, 1), (1, 2)]));
+        let engine = Arc::new(BatchEngine::new(
+            Arc::new(BfsBackend::new(g, 2)),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        ));
+        start(engine, tiny_config()).expect("bind")
+    }
+
+    fn dynamic_server() -> ServerHandle {
+        let g = DiGraph::from_edges(3, [(0, 1)]);
+        let engine = Arc::new(BatchEngine::new(
+            Arc::new(DynamicKReachBackend::new(g, 2, DynamicOptions::default())),
+            EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        ));
+        start(engine, tiny_config()).expect("bind")
+    }
+
+    #[test]
+    fn healthz_stats_and_routing() {
+        let server = bfs_server();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().body_text(), "ok\n");
+        let stats = client.get("/stats").unwrap();
+        assert!(stats.is_ok());
+        let json = stats.body_text();
+        for field in [
+            "\"backend\":\"online-bfs\"",
+            "\"vertex_count\":4",
+            "\"cache\":{",
+            "\"admission\":{\"max_inflight\":8",
+            "\"server\":{\"accepted\":",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        assert_eq!(client.get("/nope").unwrap().status, 404);
+        assert_eq!(client.request("PATCH", "/reach", &[]).unwrap().status, 405);
+        // HEAD is unsupported (a body-less client would desync on our
+        // bodies), and the connection closes after answering it.
+        let mut head_client = BlockingClient::connect(server.addr()).unwrap();
+        let response = head_client.request("HEAD", "/healthz", &[]).unwrap();
+        assert_eq!(response.status, 405);
+        assert!(response.close);
+        // Everything except the HEAD probe rode one keep-alive connection.
+        assert_eq!(server.metrics().admitted, 2);
+        assert_eq!(server.metrics().http_requests, 5);
+    }
+
+    #[test]
+    fn reach_endpoint_answers_and_validates() {
+        let server = bfs_server();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        assert_eq!(
+            client.get("/reach?s=0&t=2").unwrap().body_text(),
+            "0 2 2 reachable\n"
+        );
+        assert_eq!(
+            client.get("/reach?s=0&t=3&k=2").unwrap().body_text(),
+            "0 3 2 unreachable\n"
+        );
+        assert_eq!(
+            client.get("/reach?s=0&t=2&k=1").unwrap().body_text(),
+            "0 2 1 unreachable\n"
+        );
+        for bad in [
+            "/reach?s=0",          // missing t
+            "/reach?s=a&t=1",      // non-numeric
+            "/reach?s=0&t=99",     // out of range
+            "/reach?s=0&t=1&qq=3", // unknown parameter
+        ] {
+            let response = client.get(bad).unwrap();
+            assert_eq!(response.status, 400, "{bad}: {}", response.body_text());
+        }
+    }
+
+    #[test]
+    fn batch_endpoint_answers_in_order_and_rejects_bad_bodies() {
+        let server = bfs_server();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        let response = client
+            .post("/batch", b"0 2\n0 3 2\n0 2 1\n# comment\n2 0\n")
+            .unwrap();
+        assert!(response.is_ok());
+        assert_eq!(
+            response.body_text(),
+            "0 2 2 reachable\n0 3 2 unreachable\n0 2 1 unreachable\n2 0 2 unreachable\n"
+        );
+        let response = client.post("/batch", b"0 zebra\n").unwrap();
+        assert_eq!(response.status, 400);
+        assert!(
+            response.body_text().contains("line 1"),
+            "{}",
+            response.body_text()
+        );
+        let response = client.post("/batch", b"0 99\n").unwrap();
+        assert_eq!(response.status, 400);
+        assert!(
+            response.body_text().contains("99"),
+            "{}",
+            response.body_text()
+        );
+    }
+
+    #[test]
+    fn update_endpoint_mutates_on_dynamic_and_conflicts_on_frozen() {
+        let dynamic = dynamic_server();
+        let mut client = BlockingClient::connect(dynamic.addr()).unwrap();
+        let response = client
+            .post("/update", b"0 2 2\n+ 1 2\n0 2 2\n- 1 2\n0 2 2\n")
+            .unwrap();
+        assert!(response.is_ok(), "{}", response.body_text());
+        assert_eq!(
+            response.body_text(),
+            "0 2 2 unreachable\n+ 1 2 applied epoch=1\n0 2 2 reachable\n\
+             - 1 2 applied epoch=2\n0 2 2 unreachable\n"
+        );
+        assert_eq!(dynamic.metrics().mutations, 2);
+        assert_eq!(dynamic.engine().epoch(), 2);
+
+        let frozen = bfs_server();
+        let mut client = BlockingClient::connect(frozen.addr()).unwrap();
+        let response = client.post("/update", b"+ 0 3\n").unwrap();
+        assert_eq!(response.status, 409);
+        assert!(
+            response.body_text().contains("immutable"),
+            "{}",
+            response.body_text()
+        );
+    }
+
+    #[test]
+    fn line_protocol_streams_answers_and_mutations() {
+        let server = dynamic_server();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut say = |text: &str, reader: &mut std::io::BufReader<TcpStream>| {
+            writer.write_all(text.as_bytes()).unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line.trim_end().to_string()
+        };
+        assert_eq!(say("0 2 2\n", &mut reader), "0 2 2 unreachable");
+        assert_eq!(say("+ 1 2\n", &mut reader), "+ 1 2 applied epoch=1");
+        assert_eq!(say("0 2 2\n", &mut reader), "0 2 2 reachable");
+        assert_eq!(say("q 0 2 1\n", &mut reader), "0 2 1 unreachable");
+        assert!(say("wat is this\n", &mut reader).starts_with("error:"));
+        assert!(say("stats\n", &mut reader).contains("\"backend\":\"dynamic-k-reach\""));
+        // Comments draw no response; quit closes the session.
+        writer.write_all(b"# just a comment\nquit\n").unwrap();
+        writer.flush().unwrap();
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "{rest:?}");
+        assert!(server.metrics().line_ops >= 6);
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_and_stops_accepting() {
+        let server = bfs_server();
+        let addr = server.addr();
+        let mut client = BlockingClient::connect(addr).unwrap();
+        let response = client.post("/shutdown", &[]).unwrap();
+        assert_eq!(response.status, 202);
+        assert!(response.close, "a draining server closes the connection");
+        assert!(server.is_shutting_down());
+        let report = server.join();
+        assert!(report.clean);
+        assert!(report.metrics.ok >= 1);
+        // The listener is gone: new connections are refused.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+    }
+
+    #[test]
+    fn admission_budget_sheds_with_fast_503() {
+        let g = Arc::new(DiGraph::from_edges(2, [(0, 1)]));
+        let engine = Arc::new(BatchEngine::new(
+            Arc::new(BfsBackend::new(g, 1)),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        ));
+        let server = start(
+            engine,
+            ServerConfig {
+                handlers: 1,
+                max_inflight: 1,
+                read_timeout: Duration::from_secs(2),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // A holder occupies the whole budget with a half-sent request.
+        let mut holder = TcpStream::connect(server.addr()).unwrap();
+        holder.write_all(b"GET /re").unwrap();
+        holder.flush().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.metrics().admitted < 1 {
+            assert!(Instant::now() < deadline, "holder never admitted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The next connection is shed without waiting on the holder.
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        let response = client.get("/healthz").unwrap();
+        assert_eq!(response.status, 503);
+        assert!(response.close);
+        assert!(response.body_text().contains("overloaded"));
+        assert_eq!(server.metrics().shed, 1);
+        // Releasing the holder frees the budget; service resumes.
+        drop(holder);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut retry = BlockingClient::connect(server.addr()).unwrap();
+            if retry.get("/healthz").unwrap().status == 200 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "budget never freed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn oversized_and_truncated_bodies_are_refused_cleanly() {
+        let g = Arc::new(DiGraph::from_edges(2, [(0, 1)]));
+        let engine = Arc::new(BatchEngine::with_defaults(Arc::new(BfsBackend::new(g, 1))));
+        let server = start(
+            engine,
+            ServerConfig {
+                max_body_bytes: 64,
+                read_timeout: Duration::from_millis(300),
+                ..tiny_config()
+            },
+        )
+        .unwrap();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        let response = client.post("/batch", &vec![b'0'; 1024]).unwrap();
+        assert_eq!(response.status, 413);
+        assert!(response.close, "an unread body desynchronizes the stream");
+
+        // Truncated body: declared 60 bytes (within the cap), then silence →
+        // the read times out and the request is refused with 408.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /batch HTTP/1.1\r\nContent-Length: 60\r\n\r\n0 1")
+            .unwrap();
+        stream.flush().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut text = String::new();
+        let _ = stream.read_to_string(&mut text);
+        assert!(text.contains("408"), "{text:?}");
+
+        // And the server still serves.
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        assert!(client.get("/healthz").unwrap().is_ok());
+    }
+
+    #[test]
+    fn trickling_client_is_cut_off_by_the_request_deadline() {
+        let g = Arc::new(DiGraph::from_edges(2, [(0, 1)]));
+        let engine = Arc::new(BatchEngine::with_defaults(Arc::new(BfsBackend::new(g, 1))));
+        let server = start(
+            engine,
+            ServerConfig {
+                read_timeout: Duration::from_millis(300),
+                ..tiny_config()
+            },
+        )
+        .unwrap();
+        // One byte every 100 ms keeps each individual read alive, so only
+        // the whole-request deadline can stop it.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let started = Instant::now();
+        for byte in b"GET /healthz HT" {
+            if stream.write_all(&[*byte]).is_err() {
+                break; // server already cut us off
+            }
+            let _ = stream.flush();
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let mut text = String::new();
+        let _ = std::io::Read::read_to_string(&mut stream, &mut text);
+        // The server responded 408 (or just closed) well before the bytes
+        // could have finished arriving at trickle pace.
+        assert!(
+            text.is_empty() || text.contains("408"),
+            "unexpected response {text:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "deadline must fire, not wait out the trickle"
+        );
+        // The handler slot came back: a normal client is served.
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        assert!(client.get("/healthz").unwrap().is_ok());
+    }
+}

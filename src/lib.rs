@@ -22,6 +22,9 @@
 //!   evaluation datasets and the random query workloads.
 //! * [`engine`] ([`kreach_engine`]) — the serving layer: a concurrent batch
 //!   query engine with a fixed worker pool and a sharded LRU result cache.
+//! * [`server`] ([`kreach_server`]) — the network front end: an HTTP/1.1 +
+//!   line-protocol listener over the batch engine with admission control
+//!   and graceful drain (`kreach serve`).
 //!
 //! ## Example
 //!
@@ -44,6 +47,7 @@ pub use kreach_core as core;
 pub use kreach_datasets as datasets;
 pub use kreach_engine as engine;
 pub use kreach_graph as graph;
+pub use kreach_server as server;
 
 /// The most commonly used items from every workspace crate.
 ///

@@ -24,6 +24,13 @@
 //!   insertions/removals (`+ u v` / `- u v` lines): the k-reach index is
 //!   maintained incrementally and the result cache is epoch-invalidated, so
 //!   every answer reflects all mutations before it.
+//! * `kreach serve <edge-list> --port P [--workers N] [--backend kreach|hk|bfs|dynamic]`
+//!   — serve live network traffic: an HTTP/1.1 + line-protocol front end
+//!   over the batch engine with admission control (`--max-inflight`,
+//!   `--max-body`) and graceful drain (`POST /shutdown`).
+//!
+//! The serving commands (`batch`, `update`, `serve`) accept `--neg-ttl MS`,
+//! a time-to-live in milliseconds for cached *negative* answers.
 //!
 //! Unknown `--flags` are rejected with an error rather than ignored.
 
@@ -63,6 +70,7 @@ fn run(args: &[String]) -> Result<String, String> {
         Some("workload") => cmd_workload(&collect_rest(args)),
         Some("batch") => cmd_batch(&collect_rest(args)),
         Some("update") => cmd_update(&collect_rest(args)),
+        Some("serve") => cmd_serve(&collect_rest(args)),
         Some("bench-serve") => cmd_bench_serve(&collect_rest(args)),
         Some("--help") | Some("-h") | None => Ok(usage().to_string()),
         Some(other) => Err(format!("unknown subcommand {other:?}")),
@@ -82,9 +90,12 @@ fn usage() -> &'static str {
      \x20 kreach workload <edge-list> --queries <N> --output <file> [--seed S] [--k K]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--hot N] [--hot-fraction F]\n\
      \x20 kreach batch <index-file> <edge-list> <queries-file> [--workers N] [--cache C]\n\
-     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--default-k K] [--stats-json <file>]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--neg-ttl MS] [--default-k K] [--stats-json <file>]\n\
      \x20 kreach update <edge-list> <update-workload> [--k K] [--workers N] [--cache C]\n\
-     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--stats-json <file>]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--neg-ttl MS] [--stats-json <file>]\n\
+     \x20 kreach serve <edge-list> [--port P] [--host H] [--backend kreach|hk|bfs|dynamic]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--k K] [--h H] [--workers N] [--cache C] [--neg-ttl MS]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--handlers N] [--max-inflight N] [--max-body BYTES]\n\
      \x20 kreach bench-serve [--dataset D] [--scale F] [--k K] [--queries N]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--workers a,b,..] [--cache C] [--seed S]"
 }
@@ -328,10 +339,22 @@ fn cmd_workload(args: &[&str]) -> Result<String, String> {
     ))
 }
 
+/// Parses `--neg-ttl MS` (milliseconds; 0 or absent disables it).
+fn parse_neg_ttl(args: &[&str]) -> Result<Option<std::time::Duration>, String> {
+    let millis: u64 = parse_flag_or(args, "--neg-ttl", 0)?;
+    Ok((millis > 0).then(|| std::time::Duration::from_millis(millis)))
+}
+
 fn cmd_batch(args: &[&str]) -> Result<String, String> {
     ensure_known_flags(
         args,
-        &["--workers", "--cache", "--default-k", "--stats-json"],
+        &[
+            "--workers",
+            "--cache",
+            "--neg-ttl",
+            "--default-k",
+            "--stats-json",
+        ],
     )?;
     let pos = positionals(args);
     let [index_path, graph_path, queries_path] = pos.as_slice() else {
@@ -339,6 +362,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
     };
     let workers: usize = parse_flag_or(args, "--workers", 0)?;
     let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
+    let neg_ttl = parse_neg_ttl(args)?;
     // Resolved before the (possibly long) run so a malformed flag cannot
     // discard a finished batch.
     let stats_json = flag_value(args, "--stats-json")?;
@@ -363,26 +387,16 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
         EngineConfig {
             workers,
             cache_capacity: cache,
+            neg_ttl,
             ..EngineConfig::default()
         },
     );
     let outcome = engine.run(&batch).map_err(|e| e.to_string())?;
 
     // Answers to stdout (deterministic: byte-identical for every worker
-    // count); the timing-dependent serving report goes to stderr.
-    use std::fmt::Write as _;
-    let mut out = String::with_capacity(batch.len() * 20);
-    for (q, &answer) in batch.queries().iter().zip(outcome.answers.iter()) {
-        writeln!(
-            out,
-            "{} {} {} {}",
-            q.s,
-            q.t,
-            q.k,
-            if answer { "reachable" } else { "unreachable" }
-        )
-        .expect("writing to a String cannot fail");
-    }
+    // count, and for the network server's POST /batch — both go through
+    // the shared renderer); the timing-dependent report goes to stderr.
+    let out = kreach::datasets::render_answer_lines(batch.answered(&outcome.answers));
     eprintln!("{}", outcome.stats);
     if let Some(path) = stats_json {
         std::fs::write(path, outcome.stats.to_json() + "\n").map_err(|e| e.to_string())?;
@@ -391,7 +405,10 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
 }
 
 fn cmd_update(args: &[&str]) -> Result<String, String> {
-    ensure_known_flags(args, &["--k", "--workers", "--cache", "--stats-json"])?;
+    ensure_known_flags(
+        args,
+        &["--k", "--workers", "--cache", "--neg-ttl", "--stats-json"],
+    )?;
     let pos = positionals(args);
     let [graph_path, workload_path] = pos.as_slice() else {
         return Err("update expects <edge-list> <update-workload>".to_string());
@@ -402,6 +419,7 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
     }
     let workers: usize = parse_flag_or(args, "--workers", 0)?;
     let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
+    let neg_ttl = parse_neg_ttl(args)?;
     let stats_json = flag_value(args, "--stats-json")?;
 
     let g = kreach::graph::io::read_edge_list_file(graph_path).map_err(|e| e.to_string())?;
@@ -417,11 +435,11 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
         EngineConfig {
             workers,
             cache_capacity: cache,
+            neg_ttl,
             ..EngineConfig::default()
         },
     );
 
-    use std::fmt::Write as _;
     let started = std::time::Instant::now();
     let mut out = String::new();
     let mut pending: Vec<Query> = Vec::new();
@@ -439,17 +457,9 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
             }
             let batch = QueryBatch::new(std::mem::take(pending));
             let outcome = engine.run(&batch).map_err(|e| e.to_string())?;
-            for (q, &answer) in batch.queries().iter().zip(outcome.answers.iter()) {
-                writeln!(
-                    out,
-                    "{} {} {} {}",
-                    q.s,
-                    q.t,
-                    q.k,
-                    if answer { "reachable" } else { "unreachable" }
-                )
-                .expect("writing to a String cannot fail");
-            }
+            out.push_str(&kreach::datasets::render_answer_lines(
+                batch.answered(&outcome.answers),
+            ));
             Ok((
                 outcome.stats.queries,
                 outcome.stats.elapsed_secs,
@@ -484,20 +494,14 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
                 let outcome = engine.apply_updates(&[update]).map_err(|e| e.to_string())?;
                 update_secs += apply_started.elapsed().as_secs_f64();
                 mutations += 1;
-                writeln!(
-                    out,
-                    "{} {} {} {} epoch={}",
-                    if insert { "+" } else { "-" },
+                out.push_str(&kreach::datasets::render_update_ack(
+                    insert,
                     u,
                     v,
-                    if outcome.stats.applied() > 0 {
-                        "applied"
-                    } else {
-                        "noop"
-                    },
-                    outcome.epoch
-                )
-                .expect("writing to a String cannot fail");
+                    outcome.stats.applied() > 0,
+                    outcome.epoch,
+                ));
+                out.push('\n');
             }
         }
     }
@@ -564,6 +568,135 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
         std::fs::write(path, json).map_err(|e| e.to_string())?;
     }
     Ok(out)
+}
+
+/// Builds the requested serving backend over an already-loaded graph.
+fn build_backend(
+    name: &str,
+    g: &Arc<DiGraph>,
+    k: u32,
+    h: u32,
+) -> Result<Arc<dyn kreach::engine::Reachability>, String> {
+    Ok(match name {
+        "kreach" => {
+            let index = KReachIndex::build(g.as_ref(), k, BuildOptions::default());
+            Arc::new(kreach::engine::KReachBackend::new(Arc::clone(g), index))
+        }
+        "hk" => {
+            let index = HkReachIndex::build(g.as_ref(), h, k);
+            Arc::new(kreach::engine::HkReachBackend::new(Arc::clone(g), index))
+        }
+        "bfs" => Arc::new(kreach::engine::BfsBackend::new(Arc::clone(g), k)),
+        "dynamic" => Arc::new(DynamicKReachBackend::new(
+            (**g).clone(),
+            k,
+            kreach::core::dynamic::DynamicOptions::default(),
+        )),
+        other => {
+            return Err(format!(
+                "unknown backend {other:?} (use kreach|hk|bfs|dynamic)"
+            ))
+        }
+    })
+}
+
+fn cmd_serve(args: &[&str]) -> Result<String, String> {
+    ensure_known_flags(
+        args,
+        &[
+            "--port",
+            "--host",
+            "--backend",
+            "--k",
+            "--h",
+            "--workers",
+            "--cache",
+            "--neg-ttl",
+            "--handlers",
+            "--max-inflight",
+            "--max-body",
+        ],
+    )?;
+    let pos = positionals(args);
+    let [graph_path] = pos.as_slice() else {
+        return Err("serve expects exactly one edge-list path".to_string());
+    };
+    let port: u16 = parse_flag_or(args, "--port", 7199)?;
+    let host = flag_value(args, "--host")?
+        .unwrap_or("127.0.0.1")
+        .to_string();
+    let backend_name = flag_value(args, "--backend")?.unwrap_or("kreach");
+    let k: u32 = parse_flag_or(args, "--k", 3)?;
+    if k == 0 {
+        return Err("--k must be at least 1".to_string());
+    }
+    let h: u32 = parse_flag_or(args, "--h", 1)?;
+    let workers: usize = parse_flag_or(args, "--workers", 0)?;
+    let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
+    let neg_ttl = parse_neg_ttl(args)?;
+    let server_defaults = kreach::server::ServerConfig::default();
+    let handlers: usize = parse_flag_or(args, "--handlers", server_defaults.handlers)?;
+    let max_inflight: usize = parse_flag_or(args, "--max-inflight", server_defaults.max_inflight)?;
+    let max_body: usize = parse_flag_or(args, "--max-body", server_defaults.max_body_bytes)?;
+
+    let g =
+        Arc::new(kreach::graph::io::read_edge_list_file(graph_path).map_err(|e| e.to_string())?);
+    let backend = build_backend(backend_name, &g, k, h)?;
+    let engine = Arc::new(BatchEngine::new(
+        backend,
+        EngineConfig {
+            workers,
+            cache_capacity: cache,
+            neg_ttl,
+            ..EngineConfig::default()
+        },
+    ));
+    let info = engine.info();
+    let handle = kreach::server::start(
+        engine,
+        kreach::server::ServerConfig {
+            host,
+            port,
+            handlers,
+            max_inflight,
+            max_body_bytes: max_body,
+            ..server_defaults
+        },
+    )
+    .map_err(|e| format!("failed to bind: {e}"))?;
+
+    // Printed before blocking (stdout is line-buffered) so scripts can read
+    // the actual port back even with --port 0.
+    println!(
+        "kreach-server listening on http://{} · backend {} · k={} · {} engine workers · \
+         {} handlers · in-flight budget {} (POST /shutdown to drain)",
+        handle.addr(),
+        info.backend,
+        info.default_k,
+        info.workers,
+        handlers,
+        max_inflight,
+    );
+
+    // Blocks until a drain is requested over the wire (POST /shutdown).
+    let report = handle.join();
+    let m = &report.metrics;
+    Ok(format!(
+        "drained clean={} · {} connections admitted ({} shed, {} accepted) · \
+         {} http requests · {} line ops · {} queries · {} mutations · \
+         {} ok / {} client errors / {} server errors\n",
+        report.clean,
+        m.admitted,
+        m.shed,
+        m.accepted,
+        m.http_requests,
+        m.line_ops,
+        m.queries,
+        m.mutations,
+        m.ok,
+        m.client_errors,
+        m.server_errors,
+    ))
 }
 
 fn cmd_bench_serve(args: &[&str]) -> Result<String, String> {
@@ -891,6 +1024,80 @@ mod tests {
         for f in ["g.txt", "ops.txt", "stats.json"] {
             std::fs::remove_file(dir.join(f)).ok();
         }
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags_and_backends_before_binding() {
+        assert!(run(&args("serve")).is_err());
+        assert!(run(&args("serve g.txt extra.txt")).is_err());
+        assert!(run(&args("serve g.txt --turbo on")).is_err());
+        let err = run(&args("serve missing-file.txt --backend nonsense")).unwrap_err();
+        // The graph is read before the backend is built, so a missing file
+        // errors first; a bad backend errors on a real graph.
+        assert!(!err.is_empty());
+        let dir = std::env::temp_dir().join("kreach-cli-serve-flags");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_arg = dir.join("g.txt").to_str().unwrap().to_string();
+        std::fs::write(dir.join("g.txt"), "0 1\n").unwrap();
+        let err = run(&args(&format!("serve {graph_arg} --backend nonsense"))).unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+        assert!(run(&args(&format!("serve {graph_arg} --k 0"))).is_err());
+        std::fs::remove_file(dir.join("g.txt")).ok();
+    }
+
+    #[test]
+    fn serve_answers_over_the_wire_and_drains_on_shutdown() {
+        use kreach::server::client::BlockingClient;
+
+        let dir = std::env::temp_dir().join("kreach-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_arg = dir.join("g.txt").to_str().unwrap().to_string();
+        std::fs::write(dir.join("g.txt"), "0 1\n1 2\n").unwrap();
+
+        // Derive a port from the PID to avoid collisions across test
+        // processes; retry a few times in case it is taken.
+        let base = 21000 + (std::process::id() % 20000) as u16;
+        let mut served = None;
+        for attempt in 0..10u16 {
+            let port = base.wrapping_add(attempt * 7).max(1024);
+            let command = format!(
+                "serve {graph_arg} --port {port} --backend dynamic --k 2 --workers 1 \
+                 --handlers 2 --max-inflight 8 --neg-ttl 60000"
+            );
+            let thread = std::thread::spawn(move || run(&args(&command)));
+            // Wait for the listener to come up (or the thread to fail).
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            let client = loop {
+                match BlockingClient::connect(("127.0.0.1", port)) {
+                    Ok(client) => break Some(client),
+                    Err(_) if thread.is_finished() || std::time::Instant::now() > deadline => {
+                        break None
+                    }
+                    Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+                }
+            };
+            match client {
+                Some(client) => {
+                    served = Some((thread, client));
+                    break;
+                }
+                None => {
+                    let _ = thread.join(); // bind failed; try the next port
+                }
+            }
+        }
+        let (thread, mut client) = served.expect("no bindable port found");
+        assert_eq!(
+            client.get("/reach?s=0&t=2&k=2").unwrap().body_text(),
+            "0 2 2 reachable\n"
+        );
+        let response = client.post("/update", b"+ 2 0\n0 0 2\n").unwrap();
+        assert!(response.is_ok(), "{}", response.body_text());
+        assert_eq!(client.post("/shutdown", &[]).unwrap().status, 202);
+        let output = thread.join().unwrap().expect("serve exits cleanly");
+        assert!(output.contains("drained clean=true"), "{output}");
+        assert!(output.contains("mutations"), "{output}");
+        std::fs::remove_file(dir.join("g.txt")).ok();
     }
 
     #[test]
