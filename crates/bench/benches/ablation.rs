@@ -34,6 +34,7 @@ fn ablations(c: &mut Criterion) {
                     BuildOptions {
                         cover_strategy: strategy,
                         threads: 1,
+                        ..BuildOptions::default()
                     },
                 )
             })
@@ -53,6 +54,7 @@ fn ablations(c: &mut Criterion) {
             BuildOptions {
                 cover_strategy: strategy,
                 threads: 1,
+                ..BuildOptions::default()
             },
         );
         group.bench_function(BenchmarkId::new("k6", label), |b| {

@@ -40,6 +40,7 @@ fn construction(c: &mut Criterion) {
                     BuildOptions {
                         cover_strategy: CoverStrategy::RandomEdge,
                         threads: 1,
+                        ..BuildOptions::default()
                     },
                 )
             })

@@ -26,6 +26,7 @@ fn measure(
         BuildOptions {
             cover_strategy: strategy,
             threads: 1,
+            ..BuildOptions::default()
         },
     );
     let started = Instant::now();

@@ -1,0 +1,488 @@
+//! Query-path throughput suite: the Algorithm-2 fast path vs. the naive
+//! nested-loop formulation, per query case, plus engine batch throughput.
+//!
+//! Two workloads:
+//!
+//! * **hub-fanout** — a synthetic celebrity graph built for the worst Case 4
+//!   of §4.2.2: every query endpoint is an *uncovered* vertex with a large
+//!   covered neighbourhood (fan `f`), so the naive path pays
+//!   `O(f² · log outDeg_I)` binary-search probes per query while the hybrid
+//!   path answers with bitset-ANDs over distance-bucketed cover rows.
+//!   Negative cross-partition pairs are included deliberately: they force
+//!   full scans on both paths (no early exit), which is where the asymptotic
+//!   gap actually shows.
+//! * **uniform** — a generated power-law graph with uniform random pairs,
+//!   reporting the query-case (cover-hit) distribution of Table 8 and
+//!   guarding against regressions on the common Cases 1–3.
+//!
+//! Emits a human table per workload and a machine-readable
+//! `BENCH_query.json` (override with `--output`) with before/after
+//! microseconds per case, speedups, the case distribution, and engine
+//! queries/sec — the perf-trajectory artifact CI uploads per PR.
+//!
+//! `--smoke` shrinks everything for CI; the JSON shape is identical.
+
+use kreach_bench::Table;
+use kreach_core::{BuildOptions, KReachIndex, QueryCase, VertexCover};
+use kreach_engine::{BatchEngine, EngineConfig, KReachBackend, Query, QueryBatch};
+use kreach_graph::generators::GeneratorSpec;
+use kreach_graph::{DiGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    smoke: bool,
+    seed: u64,
+    queries: usize,
+    output: String,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        smoke: false,
+        seed: 42,
+        queries: 2_000,
+        output: "BENCH_query.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("flag {flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => config.smoke = true,
+            "--seed" => config.seed = value("--seed").parse().expect("--seed"),
+            "--queries" => config.queries = value("--queries").parse().expect("--queries"),
+            "--output" => config.output = value("--output"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: query_throughput [--smoke] [--seed S] [--queries N] [--output FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if config.smoke {
+        config.queries = config.queries.min(300);
+    }
+    config
+}
+
+/// Per-case measurement: the naive nested-loop path vs. the hybrid fast path
+/// over the same query list, with answers cross-checked.
+struct CaseReport {
+    case: QueryCase,
+    queries: usize,
+    naive_micros: f64,
+    fast_micros: f64,
+}
+
+impl CaseReport {
+    fn speedup(&self) -> f64 {
+        if self.fast_micros > 0.0 {
+            self.naive_micros / self.fast_micros
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"case\":{},\"queries\":{},\"naive_us\":{:.4},\"fast_us\":{:.4},\"speedup\":{:.2}}}",
+            self.case.number(),
+            self.queries,
+            self.naive_micros,
+            self.fast_micros,
+            self.speedup()
+        )
+    }
+}
+
+/// Times `f` over enough repetitions of the query list to cross `min_nanos`,
+/// returning microseconds per query.
+fn time_per_query(
+    queries: &[(VertexId, VertexId)],
+    min_nanos: u128,
+    mut f: impl FnMut(VertexId, VertexId) -> bool,
+) -> f64 {
+    assert!(!queries.is_empty());
+    let mut reps = 0u32;
+    let started = Instant::now();
+    loop {
+        let mut sink = 0usize;
+        for &(s, t) in queries {
+            sink += f(s, t) as usize;
+        }
+        std::hint::black_box(sink);
+        reps += 1;
+        if started.elapsed().as_nanos() >= min_nanos || reps >= 1_000 {
+            break;
+        }
+    }
+    started.elapsed().as_secs_f64() * 1e6 / (reps as usize * queries.len()) as f64
+}
+
+fn measure_case(
+    g: &DiGraph,
+    index: &KReachIndex,
+    case: QueryCase,
+    queries: &[(VertexId, VertexId)],
+    min_nanos: u128,
+) -> CaseReport {
+    // Answers must be byte-identical before anything is timed.
+    for &(s, t) in queries {
+        let (fast, fast_case) = index.query_with_case(g, s, t);
+        let (naive, _) = index.query_with_case_naive(g, s, t);
+        assert_eq!(fast_case, case, "workload bucket mislabeled ({s},{t})");
+        assert_eq!(fast, naive, "fast/naive divergence on ({s},{t})");
+    }
+    let naive_micros = time_per_query(queries, min_nanos, |s, t| {
+        index.query_with_case_naive(g, s, t).0
+    });
+    let fast_micros = time_per_query(queries, min_nanos, |s, t| index.query_with_case(g, s, t).0);
+    CaseReport {
+        case,
+        queries: queries.len(),
+        naive_micros,
+        fast_micros,
+    }
+}
+
+struct WorkloadReport {
+    name: String,
+    vertices: usize,
+    edges: usize,
+    k: u32,
+    cover_size: usize,
+    dense_rows: usize,
+    dense_threshold: usize,
+    accel_bytes: usize,
+    /// Fraction of uniform random pairs classified into each case (the
+    /// Table-8 "cover-hit" distribution).
+    case_distribution: [f64; 4],
+    cases: Vec<CaseReport>,
+    engine_qps: f64,
+}
+
+impl WorkloadReport {
+    fn to_json(&self) -> String {
+        let cases: Vec<String> = self.cases.iter().map(CaseReport::to_json).collect();
+        format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},",
+                "\"cover_size\":{},\"dense_rows\":{},\"dense_threshold\":{},",
+                "\"accel_bytes\":{},",
+                "\"case_distribution\":[{:.4},{:.4},{:.4},{:.4}],",
+                "\"cases\":[{}],\"engine_qps\":{:.1}}}"
+            ),
+            self.name,
+            self.vertices,
+            self.edges,
+            self.k,
+            self.cover_size,
+            self.dense_rows,
+            self.dense_threshold,
+            self.accel_bytes,
+            self.case_distribution[0],
+            self.case_distribution[1],
+            self.case_distribution[2],
+            self.case_distribution[3],
+            cases.join(","),
+            self.engine_qps,
+        )
+    }
+
+    fn print(&self) {
+        let mut table = Table::new(["case", "queries", "naive µs", "fast µs", "speedup"]);
+        for report in &self.cases {
+            table.row([
+                format!("case {}", report.case.number()),
+                report.queries.to_string(),
+                format!("{:.3}", report.naive_micros),
+                format!("{:.3}", report.fast_micros),
+                format!("{:.2}x", report.speedup()),
+            ]);
+        }
+        table.print(&format!(
+            "{} (|V| = {}, |E| = {}, k = {}, cover {}, {} bitset rows @ threshold {}, \
+             case mix {:.0}/{:.0}/{:.0}/{:.0}%, engine {:.0} q/s)",
+            self.name,
+            self.vertices,
+            self.edges,
+            self.k,
+            self.cover_size,
+            self.dense_rows,
+            self.dense_threshold,
+            100.0 * self.case_distribution[0],
+            100.0 * self.case_distribution[1],
+            100.0 * self.case_distribution[2],
+            100.0 * self.case_distribution[3],
+            self.engine_qps,
+        ));
+    }
+}
+
+/// The hub-fanout graph: `mids` cover vertices split into two halves that
+/// are densely connected internally (random forward mid→mid edges) but never
+/// across; uncovered sources fan into the lower half and uncovered targets
+/// are fed from either half. Every source/target query is Case 4 with `fan`
+/// covered neighbours a side; pairs fed from the upper half are negatives
+/// that force full scans.
+struct HubFanout {
+    graph: DiGraph,
+    mids: usize,
+    sources: usize,
+    targets: usize,
+}
+
+impl HubFanout {
+    fn build(mids: usize, sources: usize, targets: usize, fan: usize, rng: &mut StdRng) -> Self {
+        assert!(mids % 2 == 0);
+        let half = mids / 2;
+        let n = mids + sources + targets;
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        // Dense intra-half connectivity: ~4 forward random edges per mid keep
+        // index rows large (a mid reaches a big slice of its half within k).
+        for m in 0..mids {
+            let (lo, hi) = if m < half { (0, half) } else { (half, mids) };
+            edges.push((m as u32, (lo + (m + 1 - lo) % (hi - lo)) as u32));
+            for _ in 0..4 {
+                let to = rng.gen_range(lo as u32..hi as u32);
+                if to as usize != m {
+                    edges.push((m as u32, to));
+                }
+            }
+        }
+        // Sources fan into the lower half; targets are fed half from the
+        // lower half (reachable pairs) and half from the upper (negatives).
+        for s in 0..sources {
+            let sv = (mids + s) as u32;
+            for _ in 0..fan {
+                edges.push((sv, rng.gen_range(0u32..half as u32)));
+            }
+        }
+        for t in 0..targets {
+            let tv = (mids + sources + t) as u32;
+            let (lo, hi) = if t % 2 == 0 {
+                (half as u32, mids as u32)
+            } else {
+                (0u32, half as u32)
+            };
+            for _ in 0..fan {
+                edges.push((rng.gen_range(lo..hi), tv));
+            }
+        }
+        HubFanout {
+            graph: DiGraph::from_edges(n, edges),
+            mids,
+            sources,
+            targets,
+        }
+    }
+
+    fn mid(&self, i: usize) -> VertexId {
+        VertexId((i % self.mids) as u32)
+    }
+
+    fn source(&self, i: usize) -> VertexId {
+        VertexId((self.mids + i % self.sources) as u32)
+    }
+
+    fn target(&self, i: usize) -> VertexId {
+        VertexId((self.mids + self.sources + i % self.targets) as u32)
+    }
+}
+
+/// Uniform random pairs bucketed by query case, capped per bucket.
+fn bucket_uniform(
+    g: &DiGraph,
+    index: &KReachIndex,
+    per_case: usize,
+    rng: &mut StdRng,
+) -> ([Vec<(VertexId, VertexId)>; 4], [f64; 4]) {
+    let n = g.vertex_count() as u32;
+    let mut buckets: [Vec<(VertexId, VertexId)>; 4] = Default::default();
+    let mut seen = [0usize; 4];
+    let mut sampled = 0usize;
+    let budget = per_case * 400;
+    while sampled < budget && buckets.iter().any(|b| b.len() < per_case) {
+        let s = VertexId(rng.gen_range(0u32..n));
+        let t = VertexId(rng.gen_range(0u32..n));
+        let case = index.classify(s, t).number() as usize - 1;
+        seen[case] += 1;
+        sampled += 1;
+        if buckets[case].len() < per_case {
+            buckets[case].push((s, t));
+        }
+    }
+    let total: usize = seen.iter().sum();
+    let mut distribution = [0.0f64; 4];
+    for (slot, &count) in distribution.iter_mut().zip(seen.iter()) {
+        *slot = count as f64 / total.max(1) as f64;
+    }
+    (buckets, distribution)
+}
+
+fn engine_qps(g: &Arc<DiGraph>, index: &KReachIndex, queries: &[(VertexId, VertexId)]) -> f64 {
+    let batch = QueryBatch::new(
+        queries
+            .iter()
+            .map(|&(s, t)| Query { s, t, k: index.k() })
+            .collect(),
+    );
+    let engine = BatchEngine::new(
+        Arc::new(KReachBackend::new(Arc::clone(g), index.clone())),
+        EngineConfig {
+            // The cache would absorb every repeat; this measures the query
+            // path itself.
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        },
+    );
+    engine
+        .run(&batch)
+        .expect("workload in range")
+        .stats
+        .queries_per_sec
+}
+
+fn hub_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x48_55_42);
+    let (mids, endpoints, fan) = if config.smoke {
+        (256, 48, 16)
+    } else {
+        (2048, 192, 64)
+    };
+    let hub = HubFanout::build(mids, endpoints, endpoints, fan, &mut rng);
+    let g = Arc::new(hub.graph.clone());
+    let k = 3;
+    let cover = VertexCover::from_members(g.vertex_count(), (0..mids as u32).map(VertexId));
+    assert!(
+        cover.covers_all_edges(g.as_ref()),
+        "mids must cover all edges"
+    );
+    let index = KReachIndex::build_with_cover(g.as_ref(), k, &cover, BuildOptions::default());
+
+    let per_case = config.queries.max(64);
+    let mut case4 = Vec::with_capacity(per_case);
+    let mut case3 = Vec::with_capacity(per_case);
+    let mut case2 = Vec::with_capacity(per_case);
+    let mut case1 = Vec::with_capacity(per_case);
+    for i in 0..per_case {
+        case4.push((hub.source(i), hub.target(i * 7 + 1)));
+        case3.push((
+            hub.source(i),
+            hub.mid(rng.gen_range(0..mids as u32) as usize),
+        ));
+        case2.push((
+            hub.mid(rng.gen_range(0..mids as u32) as usize),
+            hub.target(i),
+        ));
+        case1.push((
+            hub.mid(rng.gen_range(0..mids as u32) as usize),
+            hub.mid(rng.gen_range(0..mids as u32) as usize),
+        ));
+    }
+
+    let ig = index.index_graph();
+    WorkloadReport {
+        name: "hub-fanout".to_string(),
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        k,
+        cover_size: index.cover_size(),
+        dense_rows: ig.dense_row_count(),
+        dense_threshold: ig.dense_threshold(),
+        accel_bytes: ig.accel_size_bytes(),
+        // The crafted workload is balanced by construction.
+        case_distribution: [0.25, 0.25, 0.25, 0.25],
+        cases: vec![
+            measure_case(&g, &index, QueryCase::BothInCover, &case1, min_nanos),
+            measure_case(&g, &index, QueryCase::SourceInCover, &case2, min_nanos),
+            measure_case(&g, &index, QueryCase::TargetInCover, &case3, min_nanos),
+            measure_case(&g, &index, QueryCase::NeitherInCover, &case4, min_nanos),
+        ],
+        engine_qps: engine_qps(&g, &index, &case4),
+    }
+}
+
+fn uniform_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x554E49);
+    let (n, m, hubs) = if config.smoke {
+        (2_000, 8_000, 6)
+    } else {
+        (20_000, 90_000, 12)
+    };
+    let g = Arc::new(GeneratorSpec::PowerLaw { n, m, hubs }.generate(config.seed));
+    let k = 3;
+    let index = KReachIndex::build(g.as_ref(), k, BuildOptions::default());
+    let per_case = config.queries.max(64);
+    let (buckets, distribution) = bucket_uniform(&g, &index, per_case, &mut rng);
+    let cases = [
+        QueryCase::BothInCover,
+        QueryCase::SourceInCover,
+        QueryCase::TargetInCover,
+        QueryCase::NeitherInCover,
+    ];
+    let mut reports = Vec::new();
+    let mut engine_queries = Vec::new();
+    for (case, bucket) in cases.into_iter().zip(buckets.iter()) {
+        if bucket.is_empty() {
+            continue;
+        }
+        engine_queries.extend_from_slice(bucket);
+        reports.push(measure_case(&g, &index, case, bucket, min_nanos));
+    }
+    let ig = index.index_graph();
+    WorkloadReport {
+        name: "uniform".to_string(),
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        k,
+        cover_size: index.cover_size(),
+        dense_rows: ig.dense_row_count(),
+        dense_threshold: ig.dense_threshold(),
+        accel_bytes: ig.accel_size_bytes(),
+        case_distribution: distribution,
+        cases: reports,
+        engine_qps: engine_qps(&g, &index, &engine_queries),
+    }
+}
+
+fn main() {
+    let config = parse_args();
+    let min_nanos: u128 = if config.smoke { 2_000_000 } else { 40_000_000 };
+    let workloads = vec![
+        hub_workload(&config, min_nanos),
+        uniform_workload(&config, min_nanos),
+    ];
+    for workload in &workloads {
+        workload.print();
+    }
+    let objects: Vec<String> = workloads.iter().map(WorkloadReport::to_json).collect();
+    let json = format!(
+        "{{\"bench\":\"query_throughput\",\"smoke\":{},\"seed\":{},\"workloads\":[{}]}}\n",
+        config.smoke,
+        config.seed,
+        objects.join(","),
+    );
+    std::fs::write(&config.output, &json).expect("write BENCH_query.json");
+    eprintln!("wrote {}", config.output);
+
+    // The headline claim this bench exists to track: Case 4 on the
+    // hub-fanout workload must not regress below par with the naive path.
+    let case4 = &workloads[0].cases[3];
+    eprintln!(
+        "hub-fanout case-4 speedup: {:.2}x (naive {:.3} µs -> fast {:.3} µs)",
+        case4.speedup(),
+        case4.naive_micros,
+        case4.fast_micros
+    );
+}

@@ -52,6 +52,7 @@ fn main() {
             BuildOptions {
                 cover_strategy: CoverStrategy::RandomEdge,
                 threads: 1,
+                ..BuildOptions::default()
             },
         );
         let hkreach = HkReachIndex::build_with_cover(&g, k, &hop_cover);

@@ -116,6 +116,29 @@ impl CompactKReachIndex {
             .map(|c| clamp_min + c)
     }
 
+    /// Whether the index edge `(pu, pv)` exists with weight ≤ `bound` —
+    /// probing only the weight classes the bound admits, so the Case-4 test
+    /// (`w ≤ k − 2`) is a single interval probe instead of three.
+    #[inline]
+    fn edge_weight_le(&self, pu: u32, pv: u32, bound: u32) -> bool {
+        let clamp_min = self.k.saturating_sub(2);
+        let Some(top) = bound.checked_sub(clamp_min) else {
+            return false;
+        };
+        let lists = &self.classes[pu as usize];
+        lists[..=(top.min(2)) as usize]
+            .iter()
+            .any(|list| list.contains(pv))
+    }
+
+    /// Whether the index edge `(pu, pv)` exists at all (any weight class).
+    #[inline]
+    fn edge_exists_by_pos(&self, pu: u32, pv: u32) -> bool {
+        self.classes[pu as usize]
+            .iter()
+            .any(|list| list.contains(pv))
+    }
+
     /// Weight of the index edge `(u, v)` for input-graph vertices.
     pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<u32> {
         let (pu, pv) = (self.position(u)?, self.position(v)?);
@@ -134,54 +157,45 @@ impl CompactKReachIndex {
 
     /// Answers the k-hop reachability query `s →k t` (Algorithm 2 over the
     /// compact representation).
+    ///
+    /// Probes are weight-bounded from the start: Case 2/3 test `w ≤ k − 1`
+    /// (at most two interval probes) and Case 4 tests `w ≤ k − 2` (one),
+    /// instead of resolving the full weight and comparing afterwards.
+    /// Identity checks use cover positions, saving the duplicate
+    /// `cover_pos[]` round-trip per neighbour.
     pub fn query<G: GraphView>(&self, g: &G, s: VertexId, t: VertexId) -> bool {
         if s == t {
             return true;
         }
         let k = self.k;
         match (self.position(s), self.position(t)) {
-            (Some(ps), Some(pt)) => self.edge_weight_by_pos(ps, pt).is_some(),
+            (Some(ps), Some(pt)) => self.edge_exists_by_pos(ps, pt),
             (Some(ps), None) => g.in_neighbors(t).iter().any(|&v| {
-                if v == s {
-                    return k >= 1;
-                }
-                match self
-                    .position(v)
-                    .and_then(|pv| self.edge_weight_by_pos(ps, pv))
-                {
-                    Some(w) => w < k,
+                // t is uncovered, so every in-neighbour is covered; v == s
+                // iff their positions coincide (k ≥ 1 always holds).
+                match self.position(v) {
+                    Some(pv) => pv == ps || self.edge_weight_le(ps, pv, k - 1),
                     None => false,
                 }
             }),
-            (None, Some(pt)) => g.out_neighbors(s).iter().any(|&u| {
-                if u == t {
-                    return k >= 1;
-                }
-                match self
-                    .position(u)
-                    .and_then(|pu| self.edge_weight_by_pos(pu, pt))
-                {
-                    Some(w) => w < k,
-                    None => false,
-                }
+            (None, Some(pt)) => g.out_neighbors(s).iter().any(|&u| match self.position(u) {
+                Some(pu) => pu == pt || self.edge_weight_le(pu, pt, k - 1),
+                None => false,
             }),
             (None, None) => {
+                if k < 2 {
+                    // A 1-hop path would be an uncovered edge, which the
+                    // cover property forbids.
+                    return false;
+                }
                 let inn = g.in_neighbors(t);
                 g.out_neighbors(s).iter().any(|&u| {
                     let Some(pu) = self.position(u) else {
                         return false;
                     };
-                    inn.iter().any(|&v| {
-                        if u == v {
-                            return k >= 2;
-                        }
-                        match self
-                            .position(v)
-                            .and_then(|pv| self.edge_weight_by_pos(pu, pv))
-                        {
-                            Some(w) => w + 2 <= k,
-                            None => false,
-                        }
+                    inn.iter().any(|&v| match self.position(v) {
+                        Some(pv) => pv == pu || self.edge_weight_le(pu, pv, k - 2),
+                        None => false,
                     })
                 })
             }

@@ -50,7 +50,7 @@
 //! byte-identically to a from-scratch [`KReachIndex::build`] and to an
 //! online BFS at every step.
 
-use crate::index_graph::CoverIndexGraph;
+use crate::index_graph::{row_any_dist_le, sorted_any_common, CoverIndexGraph};
 use crate::kreach::{BuildOptions, KReachIndex};
 use crate::vertex_cover::VertexCover;
 use crate::weights::PackedWeights;
@@ -61,6 +61,13 @@ use std::collections::BTreeSet;
 
 /// Sentinel for "vertex is not in the cover".
 const NOT_COVERED: u32 = u32::MAX;
+
+thread_local! {
+    /// Scratch position lists for the query path: Case 4 needs the out- and
+    /// in-neighbourhood translations alive at once, Cases 2/3 use the first.
+    static QUERY_SCRATCH: std::cell::RefCell<(Vec<u32>, Vec<u32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// Tuning knobs for incremental maintenance.
 #[derive(Debug, Clone, Copy)]
@@ -262,8 +269,32 @@ impl DynamicKReach {
             .map(|i| row[i].1)
     }
 
+    /// Translates a neighbour list into sorted cover positions inside `buf`,
+    /// returning whether `watch` (a position to spot, e.g. the covered query
+    /// endpoint certifying a direct edge) appeared. Uncovered neighbours are
+    /// skipped — the cover invariant says a neighbour of an uncovered vertex
+    /// cannot be uncovered, so this is purely defensive.
+    fn translate_sorted(&self, neighbors: &[VertexId], watch: u32, buf: &mut Vec<u32>) -> bool {
+        buf.clear();
+        let mut watched = false;
+        for &v in neighbors {
+            if let Some(p) = self.position(v) {
+                watched |= p == watch;
+                buf.push(p);
+            }
+        }
+        buf.sort_unstable();
+        watched
+    }
+
     /// Answers `s →k t` at the maintained hop bound (Algorithm 2, evaluated
     /// directly over the row state and the live graph view).
+    ///
+    /// Cases 2–4 translate the uncovered endpoint's neighbour list into a
+    /// sorted position list once (thread-local scratch) and run galloping
+    /// merge-intersections against the maintained rows —
+    /// [`crate::index_graph::row_any_dist_le`] — instead of one binary
+    /// search per neighbour.
     pub fn query(&self, s: VertexId, t: VertexId) -> bool {
         if s == t {
             return true;
@@ -276,42 +307,38 @@ impl DynamicKReach {
             // Case 2: s in the cover. Every in-neighbour of t is covered, and
             // any path s ⇝ t of length ≤ k enters t through one of them with
             // at most k−1 hops used — or is the single edge (s, t).
-            (Some(ps), None) => g.in_neighbors(t).iter().any(|&v| {
-                if v == s {
-                    return k >= 1;
-                }
-                self.position(v)
-                    .and_then(|pv| self.row_dist(ps, pv))
-                    .is_some_and(|d| d < k)
+            (Some(ps), None) => QUERY_SCRATCH.with(|cell| {
+                let (inn, _) = &mut *cell.borrow_mut();
+                // k ≥ 1 always (asserted at build), so spotting ps among the
+                // in-neighbour positions certifies the direct edge.
+                self.translate_sorted(g.in_neighbors(t), ps, inn)
+                    || row_any_dist_le(&self.rows[ps as usize], inn, k - 1)
             }),
-            // Case 3: mirror image of Case 2 through outNei(s, G).
-            (None, Some(pt)) => g.out_neighbors(s).iter().any(|&u| {
-                if u == t {
-                    return k >= 1;
-                }
-                self.position(u)
-                    .and_then(|pu| self.row_dist(pu, pt))
-                    .is_some_and(|d| d < k)
+            // Case 3: mirror image of Case 2 through outNei(s, G). Each
+            // probe targets the single position pt, so the neighbour list is
+            // scanned directly — no sorted translation needed.
+            (None, Some(pt)) => g.out_neighbors(s).iter().any(|&u| match self.position(u) {
+                Some(pu) => pu == pt || self.row_dist(pu, pt).is_some_and(|d| d < k),
+                None => false,
             }),
             // Case 4: neither endpoint is covered; the path must leave s into
             // a covered out-neighbour and enter t from a covered in-neighbour,
             // spending two hops on those steps.
             (None, None) => {
-                let inn = g.in_neighbors(t);
-                g.out_neighbors(s).iter().any(|&u| {
-                    let Some(pu) = self.position(u) else {
-                        // An uncovered out-neighbour can only happen if (s, u)
-                        // were uncovered, which the cover forbids; defensive.
-                        return false;
-                    };
-                    inn.iter().any(|&v| {
-                        if u == v {
-                            return k >= 2;
-                        }
-                        self.position(v)
-                            .and_then(|pv| self.row_dist(pu, pv))
-                            .is_some_and(|d| d + 2 <= k)
-                    })
+                if k < 2 {
+                    // A 1-hop path would be an uncovered edge, which the
+                    // cover invariant forbids.
+                    return false;
+                }
+                QUERY_SCRATCH.with(|cell| {
+                    let (out, inn) = &mut *cell.borrow_mut();
+                    self.translate_sorted(g.out_neighbors(s), NOT_COVERED, out);
+                    self.translate_sorted(g.in_neighbors(t), NOT_COVERED, inn);
+                    // Shared covered neighbour: s → u → t in two hops.
+                    sorted_any_common(out, inn)
+                        || out
+                            .iter()
+                            .any(|&pu| row_any_dist_le(&self.rows[pu as usize], inn, k - 2))
                 })
             }
         }

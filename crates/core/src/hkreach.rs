@@ -135,7 +135,10 @@ impl HkReachIndex {
     ///
     /// Query-time neighbourhood exploration reuses a thread-local
     /// [`NeighborhoodExplorer`], so a query costs time proportional to the
-    /// h-hop neighbourhoods actually visited, not to `|V|`.
+    /// h-hop neighbourhoods actually visited, not to `|V|`. Index probes go
+    /// through the hybrid-row primitives of [`crate::index_graph`]: a
+    /// weight-bounded membership test on a high-degree (dense) cover row is
+    /// one word probe instead of a binary search.
     pub fn query<G: GraphView>(&self, g: &G, s: VertexId, t: VertexId) -> bool {
         if s == t {
             return true;
@@ -144,7 +147,7 @@ impl HkReachIndex {
         let h = self.h;
         match (self.index.position(s), self.index.position(t)) {
             // Case 1: both in the cover.
-            (Some(ps), Some(pt)) => self.index.edge_weight_by_pos(ps, pt).is_some(),
+            (Some(ps), Some(pt)) => self.index.edge_exists_by_pos(ps, pt),
             // Case 2: only s in the cover — walk up to h hops backwards from t.
             (Some(ps), None) => with_explorer(|explorer| {
                 explorer
@@ -157,14 +160,10 @@ impl HkReachIndex {
                         if v == s {
                             return i <= k;
                         }
-                        match self
-                            .index
+                        // i ≤ h < k, so k − i never underflows.
+                        self.index
                             .position(v)
-                            .and_then(|pv| self.index.edge_weight_by_pos(ps, pv))
-                        {
-                            Some(w) => w + i <= k,
-                            None => false,
-                        }
+                            .is_some_and(|pv| self.index.edge_weight_le(ps, pv, k - i))
                     })
             }),
             // Case 3: only t in the cover — walk up to h hops forwards from s.
@@ -179,14 +178,9 @@ impl HkReachIndex {
                         if u == t {
                             return i <= k;
                         }
-                        match self
-                            .index
+                        self.index
                             .position(u)
-                            .and_then(|pu| self.index.edge_weight_by_pos(pu, pt))
-                        {
-                            Some(w) => w + i <= k,
-                            None => false,
-                        }
+                            .is_some_and(|pu| self.index.edge_weight_le(pu, pt, k - i))
                     })
             }),
             // Case 4: neither in the cover — combine the h-hop out-neighbourhood
@@ -218,10 +212,8 @@ impl HkReachIndex {
                             if pu == pv {
                                 i + j <= k
                             } else {
-                                match self.index.edge_weight_by_pos(pu, pv) {
-                                    Some(w) => w + i + j <= k,
-                                    None => false,
-                                }
+                                // i + j ≤ 2h < k, so k − i − j ≥ 1.
+                                self.index.edge_weight_le(pu, pv, k - i - j)
                             }
                         })
                     })

@@ -5,14 +5,160 @@
 //! records that `v` is k-hop reachable from `u` in the input graph, weighted
 //! by the clamped shortest-path distance (Definition 1 / Definition 2). The
 //! adjacency is CSR with per-source target lists sorted by id, so an edge
-//! lookup costs `O(log outDeg(u, I))` exactly as analysed in §4.2.2.
+//! lookup costs `O(log outDeg(u, I))` exactly as analysed in §4.2.2 — and on
+//! top of the CSR a **hybrid successor representation** accelerates the hot
+//! query paths:
+//!
+//! * **Dense rows.** Cover vertices whose index out-degree reaches a
+//!   threshold (hubs) additionally store one bitset per weight class,
+//!   *cumulative by distance*: bitset `c` holds every target with clamped
+//!   weight `≤ clamp_min + c`. A weight-bounded membership test
+//!   ([`CoverIndexGraph::edge_weight_le`]) is then a single word probe, and
+//!   the Case-4 inner loop of Algorithm 2 becomes a bitset-AND between a
+//!   hub row and the query's candidate set
+//!   ([`CoverIndexGraph::any_pair_edge_le`]).
+//! * **Sparse rows.** Everything below the threshold keeps the sorted CSR
+//!   slice, probed by galloping merge-intersection
+//!   ([`kreach_graph::intersect`]) instead of one binary search per
+//!   candidate.
+//!
+//! The bitsets are derived from the CSR (they are rebuilt on deserialize),
+//! so the paper-shaped index — cover, offsets, targets, packed weights — is
+//! still the single source of truth.
 
 use crate::weights::WeightStore;
-use kreach_graph::VertexId;
+use kreach_graph::intersect::{gallop_lower_bound, merge_any_match};
+use kreach_graph::{FixedBitSet, VertexId};
+use std::cell::RefCell;
 use std::fmt;
 
 /// Sentinel for "vertex is not in the cover".
 const NOT_COVERED: u32 = u32::MAX;
+
+/// Sentinel for "row has no dense (bitset) form".
+const NOT_DENSE: u32 = u32::MAX;
+
+/// Weight spans wider than this get no dense rows (each dense row stores one
+/// bitset per class; k-reach always has 3 classes, (h,k)-reach `2h + 1`).
+const MAX_DENSE_CLASSES: u32 = 9;
+
+/// Default dense-row degree threshold for a cover of `cover_size` vertices:
+/// a row qualifies once its bitset form (`classes · cover_size / 8` bytes)
+/// is within a small constant of its sorted-slice form.
+pub fn default_dense_threshold(cover_size: usize) -> usize {
+    (cover_size / 16).max(64)
+}
+
+/// The hybrid successor acceleration: distance-bucketed bitsets for
+/// high-out-degree cover rows, stored as **one flat word array** indexed by
+/// `(slot, class)` stride math so a probe is a single dependent load (a
+/// nested `Vec<Vec<FixedBitSet>>` costs three). Derived from the CSR at
+/// assembly time.
+#[derive(Clone, Default)]
+struct RowAccel {
+    /// Degree threshold at/above which a row gets bitset form.
+    threshold: usize,
+    /// Number of weight classes (`max stored offset + 1`); class bitset `c`
+    /// of a dense row holds targets with weight `≤ clamp_min + c`.
+    classes: u32,
+    /// `u64` words per class bitset (`ceil(cover_size / 64)`).
+    words_per_class: usize,
+    /// Maps a cover position to its dense slot, or `NOT_DENSE`.
+    dense_of: Vec<u32>,
+    /// Class bitsets of every dense row, laid out `[slot][class][word]`.
+    dense_words: Vec<u64>,
+    /// Number of dense rows.
+    dense_rows: usize,
+}
+
+impl RowAccel {
+    /// Builds the acceleration structure over an assembled CSR.
+    fn build<W: WeightStore>(
+        cover_size: usize,
+        offsets: &[u32],
+        targets: &[u32],
+        weights: &W,
+        threshold: usize,
+    ) -> RowAccel {
+        let clamp_min = weights.clamp_min();
+        let classes = (0..weights.len())
+            .map(|i| weights.get(i) - clamp_min + 1)
+            .max()
+            .unwrap_or(1);
+        let mut accel = RowAccel {
+            threshold,
+            classes,
+            words_per_class: cover_size.div_ceil(64),
+            dense_of: vec![NOT_DENSE; cover_size],
+            dense_words: Vec::new(),
+            dense_rows: 0,
+        };
+        if classes > MAX_DENSE_CLASSES || threshold == usize::MAX {
+            return accel;
+        }
+        let row_words = accel.classes as usize * accel.words_per_class;
+        for p in 0..cover_size {
+            let lo = offsets[p] as usize;
+            let hi = offsets[p + 1] as usize;
+            if hi - lo < threshold {
+                continue;
+            }
+            let base = accel.dense_words.len();
+            accel.dense_words.resize(base + row_words, 0);
+            for (i, &target) in targets.iter().enumerate().take(hi).skip(lo) {
+                let offset = weights.get(i) - clamp_min;
+                let (word, bit) = (target as usize / 64, target as usize % 64);
+                // Cumulative: the target is visible from its own class up.
+                for c in offset as usize..classes as usize {
+                    accel.dense_words[base + c * accel.words_per_class + word] |= 1u64 << bit;
+                }
+            }
+            accel.dense_of[p] = accel.dense_rows as u32;
+            accel.dense_rows += 1;
+        }
+        accel
+    }
+
+    /// The dense-row slot of a cover position, if it has one.
+    #[inline]
+    fn slot(&self, p: u32) -> Option<usize> {
+        match self.dense_of.get(p as usize) {
+            Some(&s) if s != NOT_DENSE => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// The class bitset answering "weight ≤ bound" probes for a dense row,
+    /// or `None` when the bound is below every stored weight.
+    #[inline]
+    fn class_words(&self, slot: usize, bound: u32, clamp_min: u32) -> Option<&[u64]> {
+        let c = bound.checked_sub(clamp_min)?.min(self.classes - 1) as usize;
+        let base = (slot * self.classes as usize + c) * self.words_per_class;
+        Some(&self.dense_words[base..base + self.words_per_class])
+    }
+
+    /// Single-bit probe into a class bitset slice.
+    #[inline]
+    fn probe(words: &[u64], pv: u32) -> bool {
+        words[pv as usize / 64] & (1u64 << (pv as usize % 64)) != 0
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.dense_of.len() * std::mem::size_of::<u32>()
+            + self.dense_words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+thread_local! {
+    /// Scratch bitset holding a query's candidate positions during
+    /// [`CoverIndexGraph::any_pair_edge_le`]; grown to the largest cover seen
+    /// on this thread and cleared sparsely after each use.
+    static CANDIDATE_SCRATCH: RefCell<FixedBitSet> = RefCell::new(FixedBitSet::new(0));
+}
+
+/// Candidate count below which a dense row is probed per candidate instead
+/// of AND-ed against the scratch bitset.
+const SCRATCH_MIN_CANDIDATES: usize = 8;
 
 /// A weighted directed graph over the cover vertices, generic in how the
 /// per-edge weights are stored (2-bit packed for k-reach, plain `u16` for
@@ -29,10 +175,12 @@ pub struct CoverIndexGraph<W> {
     targets: Vec<u32>,
     /// Per-edge clamped distances, parallel to `targets`.
     weights: W,
+    /// Hybrid successor acceleration (derived from the CSR).
+    accel: RowAccel,
 }
 
 impl<W: WeightStore> CoverIndexGraph<W> {
-    /// Assembles the index graph.
+    /// Assembles the index graph with the default dense-row threshold.
     ///
     /// * `n` — number of vertices of the input graph.
     /// * `cover` — the cover vertices; their order defines cover positions.
@@ -43,8 +191,22 @@ impl<W: WeightStore> CoverIndexGraph<W> {
     pub fn assemble(
         n: usize,
         cover: Vec<VertexId>,
+        edges_per_source: Vec<Vec<(u32, u32)>>,
+        clamp_min: u32,
+    ) -> Self {
+        Self::assemble_with_threshold(n, cover, edges_per_source, clamp_min, None)
+    }
+
+    /// [`CoverIndexGraph::assemble`] with an explicit dense-row degree
+    /// threshold: rows with at least `threshold` index out-edges get the
+    /// bitset form (`usize::MAX` disables it; `None` picks
+    /// [`default_dense_threshold`]).
+    pub fn assemble_with_threshold(
+        n: usize,
+        cover: Vec<VertexId>,
         mut edges_per_source: Vec<Vec<(u32, u32)>>,
         clamp_min: u32,
+        threshold: Option<usize>,
     ) -> Self {
         assert_eq!(
             cover.len(),
@@ -68,16 +230,21 @@ impl<W: WeightStore> CoverIndexGraph<W> {
             }
             offsets.push(targets.len() as u32);
         }
+        let threshold = threshold.unwrap_or_else(|| default_dense_threshold(cover.len()));
+        let accel = RowAccel::build(cover.len(), &offsets, &targets, &weights, threshold);
         CoverIndexGraph {
             cover_pos,
             cover,
             offsets,
             targets,
             weights,
+            accel,
         }
     }
 
-    /// Reassembles an index graph from previously serialized raw parts.
+    /// Reassembles an index graph from previously serialized raw parts,
+    /// rebuilding the (derived) hybrid acceleration with the default
+    /// threshold.
     ///
     /// # Panics
     /// Panics if the CSR pieces are inconsistent (offset/target/weight length
@@ -88,6 +255,19 @@ impl<W: WeightStore> CoverIndexGraph<W> {
         offsets: Vec<u32>,
         targets: Vec<u32>,
         weights: W,
+    ) -> Self {
+        Self::from_raw_parts_with_threshold(n, cover, offsets, targets, weights, None)
+    }
+
+    /// [`CoverIndexGraph::from_raw_parts`] with an explicit dense-row
+    /// threshold (see [`CoverIndexGraph::assemble_with_threshold`]).
+    pub fn from_raw_parts_with_threshold(
+        n: usize,
+        cover: Vec<VertexId>,
+        offsets: Vec<u32>,
+        targets: Vec<u32>,
+        weights: W,
+        threshold: Option<usize>,
     ) -> Self {
         assert_eq!(
             offsets.len(),
@@ -105,12 +285,15 @@ impl<W: WeightStore> CoverIndexGraph<W> {
             assert!(v.index() < n, "cover vertex {v} out of range");
             cover_pos[v.index()] = p as u32;
         }
+        let threshold = threshold.unwrap_or_else(|| default_dense_threshold(cover.len()));
+        let accel = RowAccel::build(cover.len(), &offsets, &targets, &weights, threshold);
         CoverIndexGraph {
             cover_pos,
             cover,
             offsets,
             targets,
             weights,
+            accel,
         }
     }
 
@@ -132,6 +315,23 @@ impl<W: WeightStore> CoverIndexGraph<W> {
     /// The cover vertices in position order.
     pub fn cover_vertices(&self) -> &[VertexId] {
         &self.cover
+    }
+
+    /// The dense-row degree threshold in force.
+    pub fn dense_threshold(&self) -> usize {
+        self.accel.threshold
+    }
+
+    /// Number of cover rows stored in bitset (dense) form.
+    pub fn dense_row_count(&self) -> usize {
+        self.accel.dense_rows
+    }
+
+    /// Heap footprint of the hybrid acceleration (position map excluded from
+    /// [`CoverIndexGraph::size_bytes`], which reports the paper-shaped index
+    /// alone).
+    pub fn accel_size_bytes(&self) -> usize {
+        self.accel.size_bytes()
     }
 
     /// The cover position of `v`, or `None` if `v` is not in the cover.
@@ -160,6 +360,139 @@ impl<W: WeightStore> CoverIndexGraph<W> {
             .binary_search(&pv)
             .ok()
             .map(|i| self.weights.get(lo + i))
+    }
+
+    /// Whether the index edge `(pu, pv)` exists: one word probe on a dense
+    /// row, a binary search on a sparse one.
+    #[inline]
+    pub fn edge_exists_by_pos(&self, pu: u32, pv: u32) -> bool {
+        match self.accel.slot(pu) {
+            Some(slot) => {
+                let words = self
+                    .accel
+                    .class_words(slot, u32::MAX, self.weights.clamp_min())
+                    .expect("top class always admits u32::MAX");
+                RowAccel::probe(words, pv)
+            }
+            None => {
+                let lo = self.offsets[pu as usize] as usize;
+                let hi = self.offsets[pu as usize + 1] as usize;
+                self.targets[lo..hi].binary_search(&pv).is_ok()
+            }
+        }
+    }
+
+    /// Whether the index edge `(pu, pv)` exists with weight ≤ `bound`
+    /// (clamped weights, like everything the paper's query cases compare):
+    /// one word probe on a dense row, binary search + weight fetch on a
+    /// sparse one.
+    #[inline]
+    pub fn edge_weight_le(&self, pu: u32, pv: u32, bound: u32) -> bool {
+        match self.accel.slot(pu) {
+            Some(slot) => match self
+                .accel
+                .class_words(slot, bound, self.weights.clamp_min())
+            {
+                Some(words) => RowAccel::probe(words, pv),
+                None => false,
+            },
+            None => match self.edge_weight_by_pos(pu, pv) {
+                Some(w) => w <= bound,
+                None => false,
+            },
+        }
+    }
+
+    /// Whether any candidate in the **sorted** position list has an edge from
+    /// `pu` with weight ≤ `bound` — the Case 2/3 core of Algorithm 2. Dense
+    /// rows probe each candidate in O(1); sparse rows run a galloping
+    /// merge-intersection against the row slice.
+    pub fn any_edge_le(&self, pu: u32, candidates: &[u32], bound: u32) -> bool {
+        match self.accel.slot(pu) {
+            Some(slot) => match self
+                .accel
+                .class_words(slot, bound, self.weights.clamp_min())
+            {
+                Some(words) => candidates.iter().any(|&pv| RowAccel::probe(words, pv)),
+                None => false,
+            },
+            None => self.sparse_any_le(pu, candidates, bound),
+        }
+    }
+
+    /// Whether any `(pu, pv) ∈ sources × targets` index edge has weight ≤
+    /// `bound` — the Case-4 core of Algorithm 2 (both lists sorted by
+    /// position). Sparse source rows gallop against `targets`; dense rows
+    /// AND their weight-bucket bitset with a scratch bitset of the targets,
+    /// built at most once per call.
+    pub fn any_pair_edge_le(&self, sources: &[u32], targets: &[u32], bound: u32) -> bool {
+        if sources.is_empty() || targets.is_empty() {
+            return false;
+        }
+        if bound < self.weights.clamp_min() {
+            return false;
+        }
+        let use_scratch = targets.len() >= SCRATCH_MIN_CANDIDATES
+            && sources.iter().any(|&pu| self.accel.slot(pu).is_some());
+        if !use_scratch {
+            return sources
+                .iter()
+                .any(|&pu| self.any_edge_le(pu, targets, bound));
+        }
+        CANDIDATE_SCRATCH.with(|cell| {
+            // The scratch must be cleared even if a probe below panics: the
+            // engine's pool contains worker panics and keeps the thread
+            // serving, so stale bits would silently corrupt a later query's
+            // Case-4 answer on this thread. The drop guard clears on every
+            // exit path, unwinding included.
+            struct ClearOnDrop<'a>(std::cell::RefMut<'a, FixedBitSet>, &'a [u32]);
+            impl Drop for ClearOnDrop<'_> {
+                fn drop(&mut self) {
+                    self.0.remove_ids(self.1);
+                }
+            }
+            let mut scratch = cell.borrow_mut();
+            scratch.grow(self.cover.len());
+            scratch.insert_ids(targets);
+            let guard = ClearOnDrop(scratch, targets);
+            sources.iter().any(|&pu| match self.accel.slot(pu) {
+                Some(slot) => match self
+                    .accel
+                    .class_words(slot, bound, self.weights.clamp_min())
+                {
+                    Some(words) => words
+                        .iter()
+                        .zip(guard.0.words())
+                        .any(|(&row, &cand)| row & cand != 0),
+                    None => false,
+                },
+                None => self.sparse_any_le(pu, targets, bound),
+            })
+        })
+    }
+
+    /// Galloping merge of a sparse row against a sorted candidate list,
+    /// accepting the first common target with weight ≤ `bound`.
+    fn sparse_any_le(&self, pu: u32, candidates: &[u32], bound: u32) -> bool {
+        let lo = self.offsets[pu as usize] as usize;
+        let hi = self.offsets[pu as usize + 1] as usize;
+        let row = &self.targets[lo..hi];
+        // Indices into the row recover the parallel weight entries.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < row.len() && j < candidates.len() {
+            match row[i].cmp(&candidates[j]) {
+                std::cmp::Ordering::Equal => {
+                    if self.weights.get(lo + i) <= bound {
+                        return true;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => i = gallop_lower_bound(row, i + 1, candidates[j]),
+                std::cmp::Ordering::Greater => j = gallop_lower_bound(candidates, j + 1, row[i]),
+            }
+        }
+        false
     }
 
     /// Weight of the index edge `(u, v)` for input-graph vertices, if both are
@@ -191,8 +524,10 @@ impl<W: WeightStore> CoverIndexGraph<W> {
         })
     }
 
-    /// Heap footprint of the index structure in bytes: position map, cover
-    /// list, CSR offsets, targets and weights. This is what Table 4 reports.
+    /// Heap footprint of the paper-shaped index structure in bytes: position
+    /// map, cover list, CSR offsets, targets and weights. This is what
+    /// Table 4 reports; the derived hybrid acceleration is accounted
+    /// separately by [`CoverIndexGraph::accel_size_bytes`].
     pub fn size_bytes(&self) -> usize {
         self.cover_pos.len() * std::mem::size_of::<u32>()
             + self.cover.len() * std::mem::size_of::<VertexId>()
@@ -212,12 +547,25 @@ impl<W: WeightStore> CoverIndexGraph<W> {
     }
 }
 
+/// Re-export for row-state consumers ([`crate::dynamic`]) that keep sorted
+/// `(position, distance)` rows outside a [`CoverIndexGraph`].
+pub use kreach_graph::intersect::sorted_any_common;
+
+/// Whether any entry of a sorted `(position, distance)` row matches a sorted
+/// candidate list with distance ≤ `bound` (galloping merge; shared by the
+/// dynamic maintainer's Case 2–4 paths).
+pub fn row_any_dist_le(row: &[(u32, u32)], candidates: &[u32], bound: u32) -> bool {
+    merge_any_match(row, candidates, |e| e.0, |e| e.1 <= bound)
+}
+
 impl<W: WeightStore> fmt::Debug for CoverIndexGraph<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CoverIndexGraph")
             .field("cover_size", &self.cover_size())
             .field("edge_count", &self.edge_count())
             .field("input_vertex_count", &self.input_vertex_count())
+            .field("dense_rows", &self.dense_row_count())
+            .field("dense_threshold", &self.dense_threshold())
             .finish()
     }
 }
@@ -235,6 +583,17 @@ mod tests {
             vec![VertexId(1), VertexId(3), VertexId(4)],
             vec![vec![(2, 5), (1, 2)], vec![], vec![(0, 3)]],
             0,
+        )
+    }
+
+    /// The sample graph with every non-empty row forced dense.
+    fn sample_graph_dense() -> CoverIndexGraph<PlainWeights> {
+        CoverIndexGraph::assemble_with_threshold(
+            6,
+            vec![VertexId(1), VertexId(3), VertexId(4)],
+            vec![vec![(2, 5), (1, 2)], vec![], vec![(0, 3)]],
+            0,
+            Some(1),
         )
     }
 
@@ -296,6 +655,103 @@ mod tests {
         let g = sample_graph();
         // 6 u32 positions + 3 u32 cover + 4 u32 offsets + 3 u32 targets + 3 u16 weights.
         assert_eq!(g.size_bytes(), 6 * 4 + 3 * 4 + 4 * 4 + 3 * 4 + 3 * 2);
+        // No dense rows at default threshold: accel is just the slot map.
+        assert_eq!(g.dense_row_count(), 0);
+        assert_eq!(g.accel_size_bytes(), 3 * 4);
+    }
+
+    #[test]
+    fn dense_and_sparse_probes_agree() {
+        let sparse = sample_graph();
+        let dense = sample_graph_dense();
+        assert_eq!(dense.dense_row_count(), 2, "rows 0 and 2 are non-empty");
+        assert!(dense.accel_size_bytes() > sparse.accel_size_bytes());
+        for pu in 0..3u32 {
+            for pv in 0..3u32 {
+                assert_eq!(
+                    sparse.edge_exists_by_pos(pu, pv),
+                    dense.edge_exists_by_pos(pu, pv),
+                    "exists ({pu},{pv})"
+                );
+                for bound in 0..7u32 {
+                    let expected = sparse
+                        .edge_weight_by_pos(pu, pv)
+                        .is_some_and(|w| w <= bound);
+                    assert_eq!(
+                        sparse.edge_weight_le(pu, pv, bound),
+                        expected,
+                        "sparse ({pu},{pv}) ≤ {bound}"
+                    );
+                    assert_eq!(
+                        dense.edge_weight_le(pu, pv, bound),
+                        expected,
+                        "dense ({pu},{pv}) ≤ {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_set_probes_agree_with_naive() {
+        let variants = [sample_graph(), sample_graph_dense()];
+        let candidate_sets: &[&[u32]] = &[&[], &[0], &[1, 2], &[0, 1, 2]];
+        for g in &variants {
+            for pu in 0..3u32 {
+                for &cands in candidate_sets {
+                    for bound in 0..7u32 {
+                        let expected = cands
+                            .iter()
+                            .any(|&pv| g.edge_weight_by_pos(pu, pv).is_some_and(|w| w <= bound));
+                        assert_eq!(
+                            g.any_edge_le(pu, cands, bound),
+                            expected,
+                            "any_edge_le pu={pu} cands={cands:?} bound={bound}"
+                        );
+                    }
+                }
+            }
+            // Pairwise form over every source/target subset pair.
+            for &sources in candidate_sets {
+                for &targets in candidate_sets {
+                    for bound in 0..7u32 {
+                        let expected = sources.iter().any(|&pu| {
+                            targets
+                                .iter()
+                                .any(|&pv| g.edge_weight_by_pos(pu, pv).is_some_and(|w| w <= bound))
+                        });
+                        assert_eq!(
+                            g.any_pair_edge_le(sources, targets, bound),
+                            expected,
+                            "any_pair sources={sources:?} targets={targets:?} bound={bound}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_path_is_exercised_and_cleared() {
+        // A hub row over a 40-vertex cover with enough candidates to cross
+        // SCRATCH_MIN_CANDIDATES; two calls in a row verify the sparse clear
+        // leaves no stale bits behind.
+        let cover: Vec<VertexId> = (0..40u32).map(VertexId).collect();
+        let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); 40];
+        rows[0] = (1..40u32).map(|t| (t, 1 + (t % 3))).collect();
+        let g: CoverIndexGraph<PlainWeights> =
+            CoverIndexGraph::assemble_with_threshold(40, cover, rows, 1, Some(4));
+        assert_eq!(g.dense_row_count(), 1);
+        let targets: Vec<u32> = (10..30).collect();
+        assert!(g.any_pair_edge_le(&[0], &targets, 3));
+        assert!(!g.any_pair_edge_le(&[0], &targets, 0));
+        // Candidates that never matched must not linger in the scratch.
+        let miss_targets: Vec<u32> = (1..20).collect();
+        assert!(
+            !g.any_pair_edge_le(&[5], &miss_targets, 3),
+            "row 5 is empty"
+        );
+        assert!(g.any_pair_edge_le(&[0, 5], &targets, 2));
     }
 
     #[test]

@@ -5,8 +5,10 @@ use crate::index_graph::CoverIndexGraph;
 use crate::stats::IndexStats;
 use crate::vertex_cover::{CoverStrategy, VertexCover};
 use crate::weights::PackedWeights;
+use kreach_graph::intersect::{sorted_any_common, sorted_contains};
 use kreach_graph::traversal::{bfs, Direction};
 use kreach_graph::{GraphView, VertexId};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Options controlling index construction.
@@ -19,6 +21,12 @@ pub struct BuildOptions {
     /// parallelizable). `1` forces sequential construction; `0` uses the
     /// number of available CPUs.
     pub threads: usize,
+    /// Index out-degree at/above which a cover row is additionally stored as
+    /// distance-bucketed bitsets (the hybrid fast path of
+    /// [`crate::index_graph`]); `None` picks
+    /// [`crate::index_graph::default_dense_threshold`], `Some(usize::MAX)`
+    /// keeps every row sorted-slice only.
+    pub dense_row_threshold: Option<usize>,
 }
 
 impl Default for BuildOptions {
@@ -26,6 +34,7 @@ impl Default for BuildOptions {
         BuildOptions {
             cover_strategy: CoverStrategy::DegreePriority,
             threads: 1,
+            dense_row_threshold: None,
         }
     }
 }
@@ -116,6 +125,62 @@ pub enum QueryWitness {
     },
 }
 
+/// Cover-position-translated adjacency of the *uncovered* input vertices:
+/// for each such vertex, the sorted cover positions of its in- and
+/// out-neighbours. Cases 2–4 of Algorithm 2 only ever scan the neighbour
+/// list of an uncovered endpoint — and by the cover property every such
+/// neighbour *is* covered — so queries can intersect these pre-translated
+/// sorted lists against index rows directly instead of round-tripping
+/// through `cover_pos[]` once per neighbour per query.
+///
+/// Covered vertices get empty ranges (their lists are never consulted).
+#[derive(Debug, Clone, Default)]
+struct PosAdjacency {
+    out_off: Vec<u32>,
+    out_pos: Vec<u32>,
+    in_off: Vec<u32>,
+    in_pos: Vec<u32>,
+}
+
+impl PosAdjacency {
+    fn build<G: GraphView>(g: &G, index: &CoverIndexGraph<PackedWeights>) -> Self {
+        let n = g.vertex_count();
+        let mut adj = PosAdjacency {
+            out_off: Vec::with_capacity(n + 1),
+            out_pos: Vec::new(),
+            in_off: Vec::with_capacity(n + 1),
+            in_pos: Vec::new(),
+        };
+        adj.out_off.push(0);
+        adj.in_off.push(0);
+        for v in g.vertices() {
+            if !index.in_cover(v) {
+                let start = adj.out_pos.len();
+                adj.out_pos
+                    .extend(g.out_neighbors(v).iter().filter_map(|&u| index.position(u)));
+                adj.out_pos[start..].sort_unstable();
+                let start = adj.in_pos.len();
+                adj.in_pos
+                    .extend(g.in_neighbors(v).iter().filter_map(|&u| index.position(u)));
+                adj.in_pos[start..].sort_unstable();
+            }
+            adj.out_off.push(adj.out_pos.len() as u32);
+            adj.in_off.push(adj.in_pos.len() as u32);
+        }
+        adj
+    }
+
+    #[inline]
+    fn out_pos(&self, v: VertexId) -> &[u32] {
+        &self.out_pos[self.out_off[v.index()] as usize..self.out_off[v.index() + 1] as usize]
+    }
+
+    #[inline]
+    fn in_pos(&self, v: VertexId) -> &[u32] {
+        &self.in_pos[self.in_off[v.index()] as usize..self.in_off[v.index() + 1] as usize]
+    }
+}
+
 /// The k-reach index of Definition 1.
 ///
 /// `I = (V_I, E_I, ω_I)` where `V_I` is a vertex cover of the input graph,
@@ -127,6 +192,9 @@ pub struct KReachIndex {
     index: CoverIndexGraph<PackedWeights>,
     build_millis: f64,
     cover_strategy: CoverStrategy,
+    /// Cover-position-translated adjacency, built from the queried graph on
+    /// first use (deserialized indexes see their graph only at query time).
+    pos_adj: OnceLock<PosAdjacency>,
 }
 
 impl KReachIndex {
@@ -139,13 +207,19 @@ impl KReachIndex {
         assert!(k >= 1, "k-reach requires k >= 1");
         let started = Instant::now();
         let cover = VertexCover::compute(g, options.cover_strategy);
-        let index = Self::build_index_graph(g, k, &cover, options.effective_threads());
-        KReachIndex {
+        let index = Self::build_index_graph(g, k, &cover, options);
+        let built = KReachIndex {
             k,
             index,
             build_millis: started.elapsed().as_secs_f64() * 1e3,
             cover_strategy: options.cover_strategy,
-        }
+            pos_adj: OnceLock::new(),
+        };
+        // The graph is in hand: translate eagerly so the first live query
+        // doesn't pay the O(n + m) build (lazy init remains only for
+        // deserialized indexes, which see their graph at query time).
+        built.pos_adj(g);
+        built
     }
 
     /// Builds the index for a pre-computed vertex cover. Exposed so that the
@@ -160,13 +234,16 @@ impl KReachIndex {
     ) -> Self {
         assert!(k >= 1, "k-reach requires k >= 1");
         let started = Instant::now();
-        let index = Self::build_index_graph(g, k, cover, options.effective_threads());
-        KReachIndex {
+        let index = Self::build_index_graph(g, k, cover, options);
+        let built = KReachIndex {
             k,
             index,
             build_millis: started.elapsed().as_secs_f64() * 1e3,
             cover_strategy: cover.strategy(),
-        }
+            pos_adj: OnceLock::new(),
+        };
+        built.pos_adj(g);
+        built
     }
 
     /// Builds an index answering *classic* reachability queries (`k = ∞`),
@@ -181,8 +258,9 @@ impl KReachIndex {
         g: &G,
         k: u32,
         cover: &VertexCover,
-        threads: usize,
+        options: BuildOptions,
     ) -> CoverIndexGraph<PackedWeights> {
+        let threads = options.effective_threads();
         let members = cover.members();
         let clamp_min = k.saturating_sub(2);
         let positions: Vec<u32> = (0..members.len() as u32).collect();
@@ -217,11 +295,12 @@ impl KReachIndex {
             parallel_map(&positions, threads, scan_source)
         };
 
-        CoverIndexGraph::assemble(
+        CoverIndexGraph::assemble_with_threshold(
             g.vertex_count(),
             members.to_vec(),
             edges_per_source,
             clamp_min,
+            options.dense_row_threshold,
         )
     }
 
@@ -236,6 +315,7 @@ impl KReachIndex {
             index,
             build_millis: 0.0,
             cover_strategy,
+            pos_adj: OnceLock::new(),
         }
     }
 
@@ -297,8 +377,91 @@ impl KReachIndex {
         }
     }
 
+    /// The cover-position-translated adjacency, built from `g` on first use.
+    ///
+    /// The translation is derived from the first graph a query sees; an
+    /// index only ever answers for the graph it was built from (the
+    /// long-standing contract — a different graph would already desynchronize
+    /// the cover), so caching it is safe.
+    fn pos_adj<G: GraphView>(&self, g: &G) -> &PosAdjacency {
+        debug_assert_eq!(
+            g.vertex_count(),
+            self.index.input_vertex_count(),
+            "queried graph must be the graph the index was built from"
+        );
+        self.pos_adj
+            .get_or_init(|| PosAdjacency::build(g, &self.index))
+    }
+
     /// Answers the query and reports which of the four cases was executed.
+    ///
+    /// This is the hybrid fast path: Cases 2–4 intersect pre-translated
+    /// sorted neighbour-position lists against the index rows (bitset probes
+    /// on dense rows, galloping merges on sparse ones) instead of one
+    /// `cover_pos[]` load plus binary search per neighbour. The original
+    /// nested-loop formulation is retained as
+    /// [`KReachIndex::query_with_case_naive`] and the two are asserted
+    /// equivalent by the differential property tests.
     pub fn query_with_case<G: GraphView>(
+        &self,
+        g: &G,
+        s: VertexId,
+        t: VertexId,
+    ) -> (bool, QueryCase) {
+        let case = self.classify(s, t);
+        if s == t {
+            return (true, case);
+        }
+        let k = self.k;
+        let ig = &self.index;
+        let answer = match case {
+            // Case 1: both in the cover — the edge (s, t) exists iff s →k t.
+            QueryCase::BothInCover => {
+                let ps = ig.position(s).expect("case 1 source is covered");
+                let pt = ig.position(t).expect("case 1 target is covered");
+                ig.edge_exists_by_pos(ps, pt)
+            }
+            // Case 2: s in the cover, t not — so every in-neighbour of t is
+            // covered, and any path s ⇝ t of length ≤ k enters t through one
+            // of them with at most k−1 hops used, or is the edge (s, t).
+            QueryCase::SourceInCover => {
+                let ps = ig.position(s).expect("case 2 source is covered");
+                let inn = self.pos_adj(g).in_pos(t);
+                // k ≥ 1 always holds (asserted at build), so a direct edge —
+                // ps appearing among t's in-neighbour positions — answers.
+                sorted_contains(inn, ps) || ig.any_edge_le(ps, inn, k - 1)
+            }
+            // Case 3: mirror image of Case 2 through outNei(s, G).
+            QueryCase::TargetInCover => {
+                let pt = ig.position(t).expect("case 3 target is covered");
+                let out = self.pos_adj(g).out_pos(s);
+                sorted_contains(out, pt) || out.iter().any(|&pu| ig.edge_weight_le(pu, pt, k - 1))
+            }
+            // Case 4: neither endpoint is covered; the path must leave s into
+            // a covered out-neighbour and enter t from a covered in-neighbour,
+            // spending two hops on those steps.
+            QueryCase::NeitherInCover => {
+                if k < 2 {
+                    // A 1-hop path would be an uncovered edge, which the
+                    // cover property forbids.
+                    false
+                } else {
+                    let adj = self.pos_adj(g);
+                    let out = adj.out_pos(s);
+                    let inn = adj.in_pos(t);
+                    // Shared covered neighbour: s → u → t in two hops.
+                    sorted_any_common(out, inn) || ig.any_pair_edge_le(out, inn, k - 2)
+                }
+            }
+        };
+        (answer, case)
+    }
+
+    /// The original Algorithm-2 formulation — one `cover_pos[]` lookup plus
+    /// binary search per scanned neighbour (the §4.2.2 cost model) — kept as
+    /// the differential reference for the fast path and as the "before"
+    /// measurement of the `query_throughput` bench.
+    pub fn query_with_case_naive<G: GraphView>(
         &self,
         g: &G,
         s: VertexId,
@@ -515,6 +678,9 @@ mod tests {
                 let expected = khop_reachable_bfs(g, s, t, k);
                 let got = index.query(g, s, t);
                 assert_eq!(got, expected, "k={k} query ({s}, {t})");
+                let (naive, naive_case) = index.query_with_case_naive(g, s, t);
+                assert_eq!(naive, expected, "k={k} naive query ({s}, {t})");
+                assert_eq!(naive_case, index.classify(s, t));
             }
         }
     }
@@ -538,6 +704,7 @@ mod tests {
                 BuildOptions {
                     cover_strategy: strategy,
                     threads: 1,
+                    ..BuildOptions::default()
                 },
             );
             brute_force_check(&g, &index);

@@ -16,8 +16,11 @@ use std::path::Path;
 
 /// Magic number identifying a k-reach index file ("KRCH").
 const MAGIC: u32 = 0x4b52_4348;
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version. Version 2 added the dense-row degree threshold of
+/// the hybrid successor representation, so a reloaded index rebuilds its
+/// (derived) distance-bucketed bitsets with the same knob it was built with;
+/// version-1 files load with the default threshold.
+const VERSION: u32 = 2;
 
 /// Errors produced while loading an index.
 #[derive(Debug)]
@@ -55,6 +58,7 @@ pub fn write_kreach<W: Write>(index: &KReachIndex, mut w: W) -> Result<(), Stora
     write_u32(&mut w, VERSION)?;
     write_u32(&mut w, index.k())?;
     write_u32(&mut w, strategy_code(index.cover_strategy()))?;
+    write_u64(&mut w, ig.dense_threshold() as u64)?;
     write_u64(&mut w, ig.input_vertex_count() as u64)?;
 
     write_u64(&mut w, cover.len() as u64)?;
@@ -83,13 +87,18 @@ pub fn read_kreach<R: Read>(mut r: R) -> Result<KReachIndex, StorageError> {
         return Err(StorageError::Format(format!("bad magic 0x{magic:08x}")));
     }
     let version = read_u32(&mut r)?;
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return Err(StorageError::Format(format!(
             "unsupported version {version}"
         )));
     }
     let k = read_u32(&mut r)?;
     let strategy = strategy_from_code(read_u32(&mut r)?)?;
+    let threshold = if version >= 2 {
+        Some(read_u64(&mut r)? as usize)
+    } else {
+        None
+    };
     let n = read_u64(&mut r)? as usize;
 
     let cover_len = read_u64(&mut r)? as usize;
@@ -130,7 +139,9 @@ pub fn read_kreach<R: Read>(mut r: R) -> Result<KReachIndex, StorageError> {
     }
 
     let weights = PackedWeights::from_raw(clamp_min, weight_count, packed);
-    let index = CoverIndexGraph::from_raw_parts(n, cover, offsets, targets, weights);
+    let index = CoverIndexGraph::from_raw_parts_with_threshold(
+        n, cover, offsets, targets, weights, threshold,
+    );
     Ok(KReachIndex::from_parts(k, strategy, index))
 }
 
@@ -223,6 +234,38 @@ mod tests {
         for s in g.vertices().step_by(13) {
             for t in g.vertices().step_by(17) {
                 assert_eq!(restored.query(&g, s, t), index.query(&g, s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_dense_threshold_and_hybrid_rows() {
+        let g = GeneratorSpec::HubForest {
+            n: 400,
+            m: 900,
+            hubs: 6,
+        }
+        .generate(11);
+        let index = KReachIndex::build(
+            &g,
+            3,
+            BuildOptions {
+                dense_row_threshold: Some(4),
+                ..BuildOptions::default()
+            },
+        );
+        assert!(index.index_graph().dense_row_count() > 0);
+        let mut buf = Vec::new();
+        write_kreach(&index, &mut buf).expect("serializes");
+        let restored = read_kreach(buf.as_slice()).expect("deserializes");
+        assert_eq!(restored.index_graph().dense_threshold(), 4);
+        assert_eq!(
+            restored.index_graph().dense_row_count(),
+            index.index_graph().dense_row_count()
+        );
+        for s in g.vertices().step_by(7) {
+            for t in g.vertices().step_by(5) {
+                assert_eq!(restored.query(&g, s, t), index.query(&g, s, t), "({s},{t})");
             }
         }
     }

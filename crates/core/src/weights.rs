@@ -16,6 +16,8 @@
 pub trait WeightStore {
     /// Creates an empty store for weights with the given lower clamp value.
     fn with_clamp(clamp_min: u32) -> Self;
+    /// The lower clamp every stored weight respects.
+    fn clamp_min(&self) -> u32;
     /// Appends a weight (already clamped by the caller to `>= clamp_min`).
     fn push(&mut self, weight: u32);
     /// Weight of the `i`-th edge.
@@ -48,6 +50,10 @@ impl WeightStore for PackedWeights {
             len: 0,
             packed: Vec::new(),
         }
+    }
+
+    fn clamp_min(&self) -> u32 {
+        self.clamp_min
     }
 
     fn push(&mut self, weight: u32) {
@@ -124,6 +130,10 @@ impl WeightStore for PlainWeights {
             clamp_min,
             weights: Vec::new(),
         }
+    }
+
+    fn clamp_min(&self) -> u32 {
+        self.clamp_min
     }
 
     fn push(&mut self, weight: u32) {

@@ -113,6 +113,36 @@ pub trait Reachability: Send + Sync {
             backend: self.name().to_string(),
         })
     }
+
+    /// The `n` highest out-degree vertices of the served graph — the
+    /// "celebrity" sources of §4.3, used by the engine's hot-vertex cache
+    /// prefetch ([`crate::EngineConfig::prefetch_hot`]). Ties break towards
+    /// smaller ids so the set is deterministic. The default returns no
+    /// vertices (prefetching becomes a no-op).
+    fn top_sources(&self, n: usize) -> Vec<VertexId> {
+        let _ = n;
+        Vec::new()
+    }
+}
+
+/// The `n` highest out-degree vertices of a graph view, ties towards
+/// smaller ids. `O(|V|)` selection plus an `O(n log n)` sort of the winners
+/// — this runs on every prefetch re-warm (after each applied mutation
+/// batch), so a full-vertex sort would dominate update latency on large
+/// graphs.
+fn top_out_degree<G: GraphView>(g: &G, n: usize) -> Vec<VertexId> {
+    let mut vertices: Vec<VertexId> = g.vertices().collect();
+    let n = n.min(vertices.len());
+    if n == 0 {
+        return Vec::new();
+    }
+    let key = |v: &VertexId| (std::cmp::Reverse(g.out_degree(*v)), v.0);
+    if n < vertices.len() {
+        vertices.select_nth_unstable_by_key(n - 1, key);
+        vertices.truncate(n);
+    }
+    vertices.sort_unstable_by_key(key);
+    vertices
 }
 
 /// Serves a [`KReachIndex`] (§4 of the paper) over any storage backend.
@@ -148,6 +178,10 @@ impl<G: GraphView + 'static> Reachability for KReachBackend<G> {
 
     fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool {
         self.index.query_k(self.graph.as_ref(), s, t, k)
+    }
+
+    fn top_sources(&self, n: usize) -> Vec<VertexId> {
+        top_out_degree(self.graph.as_ref(), n)
     }
 }
 
@@ -191,6 +225,10 @@ impl<G: GraphView + 'static> Reachability for HkReachBackend<G> {
             khop_reachable_bidirectional(self.graph.as_ref(), s, t, k)
         }
     }
+
+    fn top_sources(&self, n: usize) -> Vec<VertexId> {
+        top_out_degree(self.graph.as_ref(), n)
+    }
 }
 
 /// Index-free fallback: every query is an online bidirectional BFS. This is
@@ -224,6 +262,10 @@ impl<G: GraphView + 'static> Reachability for BfsBackend<G> {
 
     fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool {
         khop_reachable_bidirectional(self.graph.as_ref(), s, t, k)
+    }
+
+    fn top_sources(&self, n: usize) -> Vec<VertexId> {
+        top_out_degree(self.graph.as_ref(), n)
     }
 }
 
@@ -287,6 +329,10 @@ impl Reachability for DynamicKReachBackend {
             vertex_count: state.graph().vertex_count(),
             epoch: 0,
         })
+    }
+
+    fn top_sources(&self, n: usize) -> Vec<VertexId> {
+        top_out_degree(self.read().graph(), n)
     }
 }
 

@@ -182,6 +182,9 @@ pub struct CacheCounters {
     /// The subset of misses caused by a negative (`false`) entry outliving
     /// the configured TTL (always 0 when no TTL is set).
     pub neg_expired: u64,
+    /// Entries stored by hot-vertex prefetching
+    /// ([`crate::EngineConfig::prefetch_hot`]) rather than by query traffic.
+    pub prefetched: u64,
 }
 
 impl CacheCounters {
@@ -201,6 +204,7 @@ impl CacheCounters {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             neg_expired: self.neg_expired - earlier.neg_expired,
+            prefetched: self.prefetched - earlier.prefetched,
         }
     }
 }
@@ -211,9 +215,12 @@ impl CacheCounters {
 /// nothing is stored.
 pub struct ResultCache {
     shards: Vec<Mutex<LruShard>>,
+    /// Result capacity of each shard (for [`ResultCache::capacity`]).
+    per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     neg_expired: AtomicU64,
+    prefetched: AtomicU64,
     /// TTL for negative (`false`) entries; `None` means negatives live as
     /// long as positives.
     neg_ttl: Option<Duration>,
@@ -248,9 +255,11 @@ impl ResultCache {
             shards: (0..shard_count)
                 .map(|_| Mutex::new(LruShard::new(per_shard)))
                 .collect(),
+            per_shard,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             neg_expired: AtomicU64::new(0),
+            prefetched: AtomicU64::new(0),
             neg_ttl,
             epoch: AtomicU64::new(0),
         }
@@ -264,6 +273,11 @@ impl ResultCache {
     /// Whether caching is active.
     pub fn is_enabled(&self) -> bool {
         !self.shards.is_empty()
+    }
+
+    /// Total result capacity across all shards (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.per_shard
     }
 
     /// The current mutation epoch.
@@ -360,12 +374,20 @@ impl ResultCache {
             .insert(key, answer, stored_at);
     }
 
+    /// Records `count` entries stored by prefetching (the stores themselves
+    /// go through [`ResultCache::store_at`], which touches no traffic
+    /// counters).
+    pub fn note_prefetched(&self, count: u64) {
+        self.prefetched.fetch_add(count, Ordering::Relaxed);
+    }
+
     /// Current hit/miss counters.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             neg_expired: self.neg_expired.load(Ordering::Relaxed),
+            prefetched: self.prefetched.load(Ordering::Relaxed),
         }
     }
 
@@ -475,7 +497,8 @@ mod tests {
             CacheCounters {
                 hits: 1,
                 misses: 1,
-                neg_expired: 0
+                neg_expired: 0,
+                prefetched: 0
             }
         );
     }

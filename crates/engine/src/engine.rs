@@ -1,14 +1,16 @@
-//! The batch engine: splits a [`QueryBatch`] into chunks, fans them out over
-//! the worker pool, and reassembles answers in batch order with serving
-//! statistics.
+//! The batch engine: publishes a [`QueryBatch`] as one shared chunk-claiming
+//! task on the worker pool and reassembles answers in batch order with
+//! serving statistics. Dispatch costs `O(workers)` channel operations per
+//! batch — workers claim chunks from an atomic cursor and write each chunk's
+//! answers back in a single locked copy (see the `pool` module).
 
 use crate::backend::{Reachability, UpdateError, UpdateOutcome};
-use crate::batch::QueryBatch;
+use crate::batch::{Query, QueryBatch};
 use crate::cache::{CacheCounters, ResultCache};
 use crate::histogram::LatencyHistogram;
-use crate::pool::{Job, WorkerPool};
+use crate::pool::{BatchTask, TaskKind, WorkerPool};
 use kreach_graph::dynamic::EdgeUpdate;
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine tuning knobs.
@@ -24,9 +26,15 @@ pub struct EngineConfig {
     /// eviction or an epoch bump. See the `cache` module docs for why only
     /// negatives get a time bound.
     pub neg_ttl: Option<Duration>,
-    /// Queries per worker job. Small enough to balance load, large enough
-    /// that channel traffic is negligible next to query work.
+    /// Queries per claimed chunk. Small enough to balance load, large enough
+    /// that the per-chunk write-back lock is negligible next to query work.
     pub chunk_size: usize,
+    /// Warm the result cache with the top-n out-degree ("celebrity", §4.3)
+    /// sources at startup and after every applied mutation batch: all
+    /// hot-pair `(s, t, default_k)` answers among those n vertices are
+    /// precomputed and stored ([`CacheCounters::prefetched`] counts them).
+    /// `0` disables prefetching.
+    pub prefetch_hot: usize,
     /// Largest vertex set a mutation batch may grow the graph to. Vertex
     /// growth allocates per-vertex adjacency state, so one hostile update
     /// line (`+ 0 4294967295`) would otherwise commit gigabytes before the
@@ -44,6 +52,7 @@ impl Default for EngineConfig {
             cache_shards: 16,
             neg_ttl: None,
             chunk_size: 256,
+            prefetch_hot: 0,
             max_vertices: 1 << 24,
         }
     }
@@ -218,11 +227,14 @@ pub struct BatchEngine {
     cache: Arc<ResultCache>,
     pool: WorkerPool,
     chunk_size: usize,
+    prefetch_hot: usize,
     max_vertices: usize,
 }
 
 impl BatchEngine {
-    /// Builds an engine over `backend` with the given configuration.
+    /// Builds an engine over `backend` with the given configuration. When
+    /// [`EngineConfig::prefetch_hot`] is set the cache is warmed before the
+    /// constructor returns.
     pub fn new(backend: Arc<dyn Reachability>, config: EngineConfig) -> Self {
         let cache = Arc::new(ResultCache::with_neg_ttl(
             config.cache_capacity,
@@ -230,13 +242,57 @@ impl BatchEngine {
             config.neg_ttl,
         ));
         let pool = WorkerPool::new(config.effective_workers());
-        BatchEngine {
+        let engine = BatchEngine {
             backend,
             cache,
             pool,
             chunk_size: config.chunk_size.max(1),
+            prefetch_hot: config.prefetch_hot,
             max_vertices: config.max_vertices.max(1),
+        };
+        engine.prefetch_hot_pairs();
+        engine
+    }
+
+    /// Warms the result cache with every `(s, t, default_k)` pair among the
+    /// backend's top-`prefetch_hot` out-degree sources — the §4.3 celebrity
+    /// workload's hottest keys. The pairs are answered through the worker
+    /// pool like any batch (so an n² warm set is computed in parallel, not
+    /// serially on the caller), but stores bypass the hit/miss counters
+    /// (prefetching is not traffic) and are counted in
+    /// [`CacheCounters::prefetched`]. Returns the number of entries warmed.
+    fn prefetch_hot_pairs(&self) -> u64 {
+        if self.prefetch_hot == 0 || !self.cache.is_enabled() {
+            return 0;
         }
+        // An n² warm set larger than the cache would self-evict: later
+        // stores cycle out earlier ones and the warm ends up arbitrary.
+        // Clamp the hot set so every warmed pair actually fits.
+        let fits = (self.cache.capacity() as f64).sqrt() as usize;
+        let hot = self.backend.top_sources(self.prefetch_hot.min(fits.max(1)));
+        let k = self.backend.default_k();
+        let queries: Vec<Query> = hot
+            .iter()
+            .flat_map(|&s| hot.iter().map(move |&t| Query { s, t, k }))
+            // The s == s diagonal is the identity — trivially true and
+            // answered without the cache; warming it wastes slots.
+            .filter(|q| q.s != q.t)
+            .collect();
+        if queries.is_empty() {
+            return 0;
+        }
+        let warmed = queries.len() as u64;
+        let task = Arc::new(BatchTask::new(
+            Arc::new(queries),
+            Arc::clone(&self.backend),
+            Arc::clone(&self.cache),
+            TaskKind::Prefetch,
+            self.chunk_size,
+        ));
+        self.pool.dispatch(&task);
+        task.wait();
+        self.cache.note_prefetched(warmed);
+        warmed
     }
 
     /// Builds an engine with default configuration.
@@ -321,6 +377,9 @@ impl BatchEngine {
         let mut outcome = self.backend.apply_updates(updates)?;
         if outcome.stats.applied() > 0 {
             self.cache.bump_epoch();
+            // The mutation may have reshuffled the hot set; re-warm the new
+            // epoch so celebrity traffic does not pay the invalidation.
+            self.prefetch_hot_pairs();
         }
         outcome.epoch = self.cache.epoch();
         Ok(outcome)
@@ -353,34 +412,21 @@ impl BatchEngine {
         let total = batch.len();
         let counters_before = self.cache.counters();
         let started = Instant::now();
-        let mut answers = vec![false; total];
-        let mut latencies = LatencyHistogram::new();
-
-        if total > 0 {
-            let queries = batch.shared_queries();
-            let (reply, results) = mpsc::channel();
-            let mut chunks = 0usize;
-            let mut start = 0usize;
-            while start < total {
-                let end = (start + self.chunk_size).min(total);
-                self.pool.submit(Job {
-                    queries: Arc::clone(&queries),
-                    range: start..end,
-                    backend: Arc::clone(&self.backend),
-                    cache: Arc::clone(&self.cache),
-                    reply: reply.clone(),
-                });
-                chunks += 1;
-                start = end;
-            }
-            drop(reply);
-            for _ in 0..chunks {
-                let chunk = results.recv().expect("pool workers outlive the run");
-                answers[chunk.start..chunk.start + chunk.answers.len()]
-                    .copy_from_slice(&chunk.answers);
-                latencies.merge(&chunk.latencies);
-            }
-        }
+        let (answers, latencies) = if total > 0 {
+            // One shared task; each worker gets a handle and claims chunks
+            // off the atomic cursor, writing back once per chunk.
+            let task = Arc::new(BatchTask::new(
+                batch.shared_queries(),
+                Arc::clone(&self.backend),
+                Arc::clone(&self.cache),
+                TaskKind::Serve,
+                self.chunk_size,
+            ));
+            self.pool.dispatch(&task);
+            task.wait()
+        } else {
+            (Vec::new(), LatencyHistogram::new())
+        };
 
         let elapsed_secs = started.elapsed().as_secs_f64();
         let cache_delta = self.cache.counters().since(counters_before);
@@ -777,6 +823,79 @@ mod tests {
         let info = engine.info();
         assert_eq!(info.cache.misses, 16);
         assert_eq!(info.cache_entries, 16);
+    }
+
+    #[test]
+    fn prefetch_warms_hot_pairs_at_startup() {
+        // Vertex 0 is the hub: the top-2 out-degree sources are {0, 1}.
+        let g = Arc::new(DiGraph::from_edges(
+            6,
+            [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (2, 3)],
+        ));
+        let engine = engine_over(
+            &g,
+            2,
+            EngineConfig {
+                workers: 1,
+                prefetch_hot: 2,
+                ..Default::default()
+            },
+        );
+        let info = engine.info();
+        assert_eq!(
+            info.cache.prefetched, 2,
+            "2x2 hot pairs minus the trivial diagonal"
+        );
+        assert_eq!(info.cache_entries, 2);
+        // Prefetching is not traffic: the counters see no lookups yet.
+        assert_eq!(info.cache.hits + info.cache.misses, 0);
+        // A batch over the hot pairs is answered entirely from the cache.
+        let hot = QueryBatch::new(vec![
+            Query {
+                s: VertexId(0),
+                t: VertexId(1),
+                k: 2,
+            },
+            Query {
+                s: VertexId(1),
+                t: VertexId(0),
+                k: 2,
+            },
+        ]);
+        let outcome = engine.run(&hot).unwrap();
+        assert_eq!(outcome.stats.cache_hits, 2);
+        assert_eq!(outcome.stats.cache_misses, 0);
+        assert_eq!(outcome.answers, vec![true, false]);
+    }
+
+    #[test]
+    fn prefetch_rewarms_after_applied_updates() {
+        use crate::backend::DynamicKReachBackend;
+        use kreach_core::dynamic::DynamicOptions;
+
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 2)]);
+        let engine = BatchEngine::new(
+            Arc::new(DynamicKReachBackend::new(g, 2, DynamicOptions::default())),
+            EngineConfig {
+                workers: 1,
+                prefetch_hot: 2,
+                ..Default::default()
+            },
+        );
+        let warmed_at_start = engine.info().cache.prefetched;
+        assert!(warmed_at_start > 0);
+        // An applied mutation bumps the epoch and re-warms the new epoch.
+        engine
+            .apply_updates(&[EdgeUpdate::Insert(VertexId(2), VertexId(3))])
+            .unwrap();
+        let info = engine.info();
+        assert!(info.cache.prefetched > warmed_at_start);
+        // A no-op batch leaves the warm set alone.
+        let before = engine.info().cache.prefetched;
+        engine
+            .apply_updates(&[EdgeUpdate::Insert(VertexId(2), VertexId(3))])
+            .unwrap();
+        assert_eq!(engine.info().cache.prefetched, before);
     }
 
     #[test]

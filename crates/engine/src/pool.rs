@@ -1,50 +1,193 @@
-//! The fixed worker pool: plain `std::thread` workers pulling chunk jobs
-//! from a shared channel.
+//! The fixed worker pool: plain `std::thread` workers executing shared
+//! batch tasks.
 //!
 //! Workers live for the lifetime of the pool (queries are microseconds, so
-//! per-batch thread spawning would dominate). Jobs carry everything they
-//! need — queries, backend, cache, reply channel — as `Arc`s/clones, so the
-//! pool itself is completely generic and a single pool serves many batches.
+//! per-batch thread spawning would dominate). Dispatch is **chunk-claiming**:
+//! a batch run publishes one shared [`BatchTask`] — the query list, backend,
+//! cache, and an atomic chunk cursor — and the engine hands each worker one
+//! handle to it. Workers claim chunks with a `fetch_add` on the cursor and
+//! write each finished chunk's answers back into the shared answer buffer in
+//! a single locked copy. Compared to the earlier one-channel-message-per-
+//! chunk design, a batch costs `O(workers)` channel operations instead of
+//! `O(chunks)` send/recv pairs, and results never traverse a channel at all.
 
 use crate::backend::Reachability;
 use crate::batch::Query;
 use crate::cache::ResultCache;
 use crate::histogram::LatencyHistogram;
-use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// One contiguous slice of a batch for a worker to answer.
-pub(crate) struct Job {
-    pub queries: Arc<Vec<Query>>,
-    pub range: Range<usize>,
-    pub backend: Arc<dyn Reachability>,
-    pub cache: Arc<ResultCache>,
-    pub reply: mpsc::Sender<ChunkResult>,
+/// How a task's queries interact with the result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TaskKind {
+    /// Normal serving: consult the cache first, store misses, count traffic.
+    Serve,
+    /// Cache warming: always compute and store, touching no traffic
+    /// counters (prefetching is not traffic).
+    Prefetch,
 }
 
-/// A worker's answers for one job, tagged with the chunk's start offset so
-/// the engine can reassemble results in batch order.
-pub(crate) struct ChunkResult {
-    pub start: usize,
-    pub answers: Vec<bool>,
-    pub latencies: LatencyHistogram,
+/// Shared state of one in-flight batch: claimed chunk by chunk, completed
+/// when every chunk's answers have been written back.
+pub(crate) struct BatchTask {
+    queries: Arc<Vec<Query>>,
+    backend: Arc<dyn Reachability>,
+    cache: Arc<ResultCache>,
+    kind: TaskKind,
+    chunk_size: usize,
+    /// Next unclaimed query offset; workers `fetch_add(chunk_size)` to claim.
+    cursor: AtomicUsize,
+    /// Answer buffer plus completion count, written once per chunk.
+    progress: Mutex<TaskProgress>,
+    finished: Condvar,
+    total_chunks: usize,
+}
+
+struct TaskProgress {
+    answers: Vec<bool>,
+    latencies: LatencyHistogram,
+    completed_chunks: usize,
+    /// Set when a chunk's execution panicked (backend bug, poisoned backend
+    /// lock). The batch still completes — `wait` propagates the failure
+    /// loudly instead of hanging or returning silently-false answers.
+    failed: bool,
+}
+
+impl BatchTask {
+    /// Prepares a task over `queries` (must be non-empty).
+    pub fn new(
+        queries: Arc<Vec<Query>>,
+        backend: Arc<dyn Reachability>,
+        cache: Arc<ResultCache>,
+        kind: TaskKind,
+        chunk_size: usize,
+    ) -> Self {
+        let chunk_size = chunk_size.max(1);
+        let total = queries.len();
+        BatchTask {
+            backend,
+            cache,
+            kind,
+            chunk_size,
+            cursor: AtomicUsize::new(0),
+            progress: Mutex::new(TaskProgress {
+                answers: vec![false; total],
+                latencies: LatencyHistogram::new(),
+                completed_chunks: 0,
+                failed: false,
+            }),
+            finished: Condvar::new(),
+            total_chunks: total.div_ceil(chunk_size),
+            queries,
+        }
+    }
+
+    /// Claims and answers chunks until the cursor is exhausted. Run by every
+    /// worker handed this task; safe to call from any number of threads. A
+    /// panic inside a chunk (a backend bug) is contained: the chunk is
+    /// marked failed-but-complete so [`BatchTask::wait`] can report it
+    /// instead of hanging, and the worker survives for future batches.
+    fn drive(&self) {
+        let total = self.queries.len();
+        loop {
+            let start = self.cursor.fetch_add(self.chunk_size, Ordering::Relaxed);
+            if start >= total {
+                return;
+            }
+            let end = (start + self.chunk_size).min(total);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.answer_chunk(start, end)
+            }));
+            // Single write-back per chunk: one lock, one slice copy. The
+            // guard around the chunk body means no lock is ever poisoned.
+            let mut progress = self.progress.lock().expect("task progress poisoned");
+            match result {
+                Ok((chunk_answers, latencies)) => {
+                    progress.answers[start..end].copy_from_slice(&chunk_answers);
+                    progress.latencies.merge(&latencies);
+                }
+                Err(_) => progress.failed = true,
+            }
+            progress.completed_chunks += 1;
+            if progress.completed_chunks == self.total_chunks {
+                self.finished.notify_all();
+            }
+        }
+    }
+
+    /// Answers the queries in `[start, end)`, returning their answers and
+    /// latency histogram.
+    fn answer_chunk(&self, start: usize, end: usize) -> (Vec<bool>, LatencyHistogram) {
+        let mut chunk_answers = Vec::with_capacity(end - start);
+        let mut latencies = LatencyHistogram::new();
+        for query in &self.queries[start..end] {
+            let started = Instant::now();
+            // The epoch is captured per query, before the backend runs: if a
+            // mutation bumps the epoch mid-computation, this answer is
+            // stored under the pre-mutation epoch and can never be served
+            // as fresh.
+            let epoch = self.cache.epoch();
+            let answer = match self.kind {
+                TaskKind::Serve => match self.cache.lookup_at(epoch, query) {
+                    Some(cached) => cached,
+                    None => {
+                        let computed = self.backend.query(query.s, query.t, query.k);
+                        self.cache.store_at(epoch, query, computed);
+                        computed
+                    }
+                },
+                TaskKind::Prefetch => {
+                    let computed = self.backend.query(query.s, query.t, query.k);
+                    self.cache.store_at(epoch, query, computed);
+                    computed
+                }
+            };
+            latencies.record(started.elapsed().as_nanos() as u64);
+            chunk_answers.push(answer);
+        }
+        (chunk_answers, latencies)
+    }
+
+    /// Blocks until every chunk is written back, then takes the results.
+    ///
+    /// # Panics
+    /// Panics if any chunk's execution panicked in a worker — the batch's
+    /// answers would otherwise be silently wrong.
+    pub fn wait(&self) -> (Vec<bool>, LatencyHistogram) {
+        let mut progress = self.progress.lock().expect("task progress poisoned");
+        while progress.completed_chunks < self.total_chunks {
+            progress = self
+                .finished
+                .wait(progress)
+                .expect("task progress poisoned");
+        }
+        assert!(
+            !progress.failed,
+            "pool worker panicked while answering a batch chunk"
+        );
+        (
+            std::mem::take(&mut progress.answers),
+            std::mem::take(&mut progress.latencies),
+        )
+    }
 }
 
 /// A fixed-size pool of query workers.
 pub(crate) struct WorkerPool {
-    sender: Option<mpsc::Sender<Job>>,
+    sender: Option<mpsc::Sender<Arc<BatchTask>>>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads (at least 1) waiting on the job channel.
+    /// Spawns `workers` threads (at least 1) waiting on the task channel.
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
-        let (sender, receiver) = mpsc::channel::<Job>();
+        let (sender, receiver) = mpsc::channel::<Arc<BatchTask>>();
         let receiver = Arc::new(Mutex::new(receiver));
         let handles = (0..workers)
             .map(|i| {
@@ -52,14 +195,14 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("kreach-worker-{i}"))
                     .spawn(move || loop {
-                        // Hold the lock only while dequeuing; execution runs
-                        // unlocked so workers answer chunks concurrently.
-                        let job = match receiver.lock() {
+                        // Hold the lock only while dequeuing; chunk claiming
+                        // runs unlocked on the task's atomic cursor.
+                        let task = match receiver.lock() {
                             Ok(rx) => rx.recv(),
                             Err(_) => break,
                         };
-                        match job {
-                            Ok(job) => run_job(job),
+                        match task {
+                            Ok(task) => task.drive(),
                             Err(_) => break, // channel closed: pool dropped
                         }
                     })
@@ -78,13 +221,15 @@ impl WorkerPool {
         self.workers
     }
 
-    /// Enqueues one job.
-    pub fn submit(&self, job: Job) {
-        self.sender
-            .as_ref()
-            .expect("pool sender alive until drop")
-            .send(job)
-            .expect("pool workers alive until drop");
+    /// Hands every worker one handle to the task (a task with fewer chunks
+    /// than workers is handed out only as often as it can be claimed).
+    pub fn dispatch(&self, task: &Arc<BatchTask>) {
+        let sender = self.sender.as_ref().expect("pool sender alive until drop");
+        for _ in 0..self.workers.min(task.total_chunks) {
+            sender
+                .send(Arc::clone(task))
+                .expect("pool workers alive until drop");
+        }
     }
 }
 
@@ -98,36 +243,6 @@ impl Drop for WorkerPool {
     }
 }
 
-/// Answers every query in the job's range, consulting the cache first.
-fn run_job(job: Job) {
-    let mut answers = Vec::with_capacity(job.range.len());
-    let mut latencies = LatencyHistogram::new();
-    for query in &job.queries[job.range.clone()] {
-        let started = Instant::now();
-        // The epoch is captured per query, before the backend runs: if a
-        // mutation bumps the epoch mid-computation, this answer is stored
-        // under the pre-mutation epoch and can never be served as fresh.
-        let epoch = job.cache.epoch();
-        let answer = match job.cache.lookup_at(epoch, query) {
-            Some(cached) => cached,
-            None => {
-                let computed = job.backend.query(query.s, query.t, query.k);
-                job.cache.store_at(epoch, query, computed);
-                computed
-            }
-        };
-        latencies.record(started.elapsed().as_nanos() as u64);
-        answers.push(answer);
-    }
-    // The engine may have stopped listening (e.g. an earlier error); a dead
-    // reply channel is not a worker error.
-    let _ = job.reply.send(ChunkResult {
-        start: job.range.start,
-        answers,
-        latencies,
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,7 +250,7 @@ mod tests {
     use kreach_graph::{DiGraph, VertexId};
 
     #[test]
-    fn pool_answers_jobs_and_shuts_down_cleanly() {
+    fn pool_answers_tasks_and_shuts_down_cleanly() {
         let g = Arc::new(DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]));
         let backend: Arc<dyn Reachability> = Arc::new(BfsBackend::new(g, 3));
         let queries = Arc::new(vec![
@@ -163,23 +278,95 @@ mod tests {
         let cache = Arc::new(ResultCache::new(16, 2));
         let pool = WorkerPool::new(3);
         assert_eq!(pool.workers(), 3);
-        let (reply, results) = mpsc::channel();
-        for start in [0usize, 2] {
-            pool.submit(Job {
-                queries: Arc::clone(&queries),
-                range: start..start + 2,
-                backend: Arc::clone(&backend),
-                cache: Arc::clone(&cache),
-                reply: reply.clone(),
-            });
-        }
-        drop(reply);
-        let mut answers = vec![false; 4];
-        for chunk in results.iter() {
-            answers[chunk.start..chunk.start + chunk.answers.len()].copy_from_slice(&chunk.answers);
-        }
+        // Chunk size 2 over 4 queries: two chunks, claimed by up to 2 workers.
+        let task = Arc::new(BatchTask::new(queries, backend, cache, TaskKind::Serve, 2));
+        pool.dispatch(&task);
+        let (answers, latencies) = task.wait();
         assert_eq!(answers, vec![true, false, false, true]);
+        assert_eq!(latencies.count(), 4);
         drop(pool); // joins workers; must not hang
+    }
+
+    #[test]
+    fn single_chunk_task_completes_with_many_workers() {
+        let g = Arc::new(DiGraph::from_edges(2, [(0, 1)]));
+        let backend: Arc<dyn Reachability> = Arc::new(BfsBackend::new(g, 1));
+        let queries = Arc::new(vec![Query {
+            s: VertexId(0),
+            t: VertexId(1),
+            k: 1,
+        }]);
+        let pool = WorkerPool::new(8);
+        let task = Arc::new(BatchTask::new(
+            queries,
+            backend,
+            Arc::new(ResultCache::disabled()),
+            TaskKind::Serve,
+            1024,
+        ));
+        pool.dispatch(&task);
+        assert_eq!(task.wait().0, vec![true]);
+    }
+
+    #[test]
+    fn panicking_backend_fails_the_batch_loudly_and_workers_survive() {
+        /// A backend that panics on one poisoned pair.
+        struct Trap;
+        impl Reachability for Trap {
+            fn name(&self) -> &str {
+                "trap"
+            }
+            fn vertex_count(&self) -> usize {
+                8
+            }
+            fn default_k(&self) -> u32 {
+                1
+            }
+            fn query(&self, s: VertexId, t: VertexId, _k: u32) -> bool {
+                assert!(!(s == VertexId(3) && t == VertexId(3)), "trap sprung");
+                true
+            }
+        }
+        let backend: Arc<dyn Reachability> = Arc::new(Trap);
+        let pool = WorkerPool::new(2);
+        let poisoned = Arc::new(vec![
+            Query {
+                s: VertexId(0),
+                t: VertexId(1),
+                k: 1,
+            },
+            Query {
+                s: VertexId(3),
+                t: VertexId(3),
+                k: 1,
+            },
+        ]);
+        let task = Arc::new(BatchTask::new(
+            Arc::clone(&poisoned),
+            Arc::clone(&backend),
+            Arc::new(ResultCache::disabled()),
+            TaskKind::Serve,
+            1,
+        ));
+        pool.dispatch(&task);
+        // The batch completes (no hang) and reports the failure loudly.
+        let failed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.wait()));
+        assert!(failed.is_err(), "a panicked chunk must fail the batch");
+        // The workers survived the contained panic and answer a clean batch.
+        let clean = Arc::new(vec![Query {
+            s: VertexId(0),
+            t: VertexId(1),
+            k: 1,
+        }]);
+        let task = Arc::new(BatchTask::new(
+            clean,
+            backend,
+            Arc::new(ResultCache::disabled()),
+            TaskKind::Serve,
+            1,
+        ));
+        pool.dispatch(&task);
+        assert_eq!(task.wait().0, vec![true]);
     }
 
     #[test]

@@ -102,6 +102,32 @@ impl FixedBitSet {
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
+    /// Grows the capacity to at least `len` bits, preserving existing bits
+    /// (no-op when already large enough). This is what lets a thread-local
+    /// scratch bitset be reused across graphs of different sizes.
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.words.resize(len.div_ceil(WORD_BITS), 0);
+            self.len = len;
+        }
+    }
+
+    /// Sets the bit for every id in `ids`.
+    pub fn insert_ids(&mut self, ids: &[u32]) {
+        for &i in ids {
+            self.insert(i as usize);
+        }
+    }
+
+    /// Clears the bit for every id in `ids` — the sparse counterpart of
+    /// [`FixedBitSet::clear`] for scratch bitsets whose set positions are
+    /// known, costing `O(|ids|)` instead of `O(capacity)`.
+    pub fn remove_ids(&mut self, ids: &[u32]) {
+        for &i in ids {
+            self.remove(i as usize);
+        }
+    }
+
     /// Iterator over the indices of set bits in increasing order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &word)| {
@@ -116,6 +142,15 @@ impl FixedBitSet {
                 }
             })
         })
+    }
+
+    /// The backing words, least-significant bit first (bit `i` lives at
+    /// `words()[i / 64] & (1 << (i % 64))`). Exposed so flat bitset layouts
+    /// (e.g. stride-indexed row stores) can intersect against a scratch
+    /// bitset without materializing one `FixedBitSet` per row.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Heap footprint in bytes.
@@ -177,6 +212,34 @@ mod tests {
         assert!(bs.insert_vertex(VertexId(9)));
         assert!(bs.contains_vertex(VertexId(9)));
         assert!(!bs.contains_vertex(VertexId(0)));
+    }
+
+    #[test]
+    fn grow_preserves_bits_and_sparse_ops_round_trip() {
+        let mut bs = FixedBitSet::new(10);
+        bs.insert(9);
+        bs.grow(200);
+        assert_eq!(bs.len(), 200);
+        assert!(bs.contains(9));
+        bs.grow(50); // shrinking is a no-op
+        assert_eq!(bs.len(), 200);
+        bs.insert_ids(&[3, 64, 199]);
+        assert_eq!(bs.count_ones(), 4);
+        bs.remove_ids(&[3, 64, 199, 9]);
+        assert_eq!(bs.count_ones(), 0);
+    }
+
+    #[test]
+    fn intersects_tolerates_capacity_mismatch() {
+        // A grown scratch bitset may be longer than a row bitset; the common
+        // prefix decides.
+        let mut long = FixedBitSet::new(200);
+        let mut short = FixedBitSet::new(100);
+        long.insert(42);
+        assert!(!short.intersects(&long));
+        short.insert(42);
+        assert!(short.intersects(&long));
+        assert!(long.intersects(&short));
     }
 
     #[test]

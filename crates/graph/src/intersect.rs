@@ -1,0 +1,172 @@
+//! Galloping (exponential-probe) intersection over sorted id slices.
+//!
+//! Algorithm 2's Case 2–4 reduce to "does this sorted successor row share an
+//! element with this sorted candidate list (subject to a weight bound)?".
+//! Per-candidate binary search costs `O(|cand| · log |row|)`; a galloping
+//! merge costs `O(min · log(max / min))`, which wins whenever the two sides
+//! are skewed — exactly the hub-row vs. small-neighbourhood shape of the
+//! paper's celebrity workloads. These helpers are shared by the k-reach
+//! index graph, the dynamic row state, and anything else holding sorted
+//! position lists.
+
+/// First index `i >= from` with `key(s[i]) >= x`, found by exponential
+/// probing from `from` followed by a binary search of the bracketed range.
+/// Returns `s.len()` when every remaining key is smaller.
+///
+/// `s` must be sorted (non-decreasing) under `key` from `from` onward.
+#[inline]
+pub fn gallop_lower_bound_by<T>(s: &[T], from: usize, x: u32, key: impl Fn(&T) -> u32) -> usize {
+    if from >= s.len() || key(&s[from]) >= x {
+        return from.min(s.len());
+    }
+    // Invariant: key(s[lo]) < x.
+    let mut lo = from;
+    let mut step = 1usize;
+    loop {
+        let probe = lo + step;
+        if probe >= s.len() || key(&s[probe]) >= x {
+            break;
+        }
+        lo = probe;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(s.len());
+    lo + 1 + s[lo + 1..hi].partition_point(|e| key(e) < x)
+}
+
+/// [`gallop_lower_bound_by`] specialised to plain id slices.
+#[inline]
+pub fn gallop_lower_bound(s: &[u32], from: usize, x: u32) -> usize {
+    gallop_lower_bound_by(s, from, x, |&v| v)
+}
+
+/// True if two sorted id slices share any element (galloping merge, so a
+/// tiny list against a huge one costs roughly `|tiny| · log |huge|`).
+pub fn sorted_any_common(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => i = gallop_lower_bound(a, i + 1, b[j]),
+            std::cmp::Ordering::Greater => j = gallop_lower_bound(b, j + 1, a[i]),
+        }
+    }
+    false
+}
+
+/// Binary membership test in a sorted id slice.
+#[inline]
+pub fn sorted_contains(s: &[u32], x: u32) -> bool {
+    s.binary_search(&x).is_ok()
+}
+
+/// Galloping merge of a sorted row (keyed by `key`) against a sorted
+/// candidate id list, invoking `hit` on every common element. Returns `true`
+/// as soon as `hit` does (early exit), `false` when the lists are exhausted.
+pub fn merge_any_match<T>(
+    row: &[T],
+    candidates: &[u32],
+    key: impl Fn(&T) -> u32,
+    mut hit: impl FnMut(&T) -> bool,
+) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < row.len() && j < candidates.len() {
+        let ki = key(&row[i]);
+        match ki.cmp(&candidates[j]) {
+            std::cmp::Ordering::Equal => {
+                if hit(&row[i]) {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i = gallop_lower_bound_by(row, i + 1, candidates[j], &key),
+            std::cmp::Ordering::Greater => j = gallop_lower_bound(candidates, j + 1, ki),
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gallop_lower_bound_matches_partition_point() {
+        let s: Vec<u32> = vec![1, 3, 3, 7, 9, 12, 40, 41, 90];
+        for from in 0..=s.len() {
+            for x in 0..95u32 {
+                let expected = from + s[from.min(s.len())..].partition_point(|&v| v < x);
+                assert_eq!(
+                    gallop_lower_bound(&s, from, x),
+                    expected,
+                    "from={from} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn any_common_agrees_with_naive_on_random_slices() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move |m: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as u32) % m
+        };
+        for round in 0..200 {
+            let la = (next(40) + 1) as usize;
+            let lb = (next(40) + 1) as usize;
+            let mut a: Vec<u32> = (0..la).map(|_| next(60)).collect();
+            let mut b: Vec<u32> = (0..lb).map(|_| next(60)).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let naive = a.iter().any(|x| b.contains(x));
+            assert_eq!(sorted_any_common(&a, &b), naive, "round {round}");
+        }
+    }
+
+    #[test]
+    fn merge_any_match_visits_common_elements_in_order() {
+        let row: Vec<(u32, u32)> = vec![(1, 10), (4, 11), (9, 12), (30, 13), (77, 14)];
+        let candidates = vec![0, 4, 9, 30, 80];
+        let mut seen = Vec::new();
+        let matched = merge_any_match(
+            &row,
+            &candidates,
+            |e| e.0,
+            |e| {
+                seen.push(*e);
+                false
+            },
+        );
+        assert!(!matched);
+        assert_eq!(seen, vec![(4, 11), (9, 12), (30, 13)]);
+
+        // Early exit: stops on the first hit the callback accepts.
+        let mut visited = 0;
+        let matched = merge_any_match(
+            &row,
+            &candidates,
+            |e| e.0,
+            |e| {
+                visited += 1;
+                e.1 >= 12
+            },
+        );
+        assert!(matched);
+        assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn skewed_sizes_and_edges() {
+        let huge: Vec<u32> = (0..10_000).map(|i| i * 2).collect();
+        assert!(sorted_any_common(&huge, &[9_998]));
+        assert!(!sorted_any_common(&huge, &[9_999]));
+        assert!(!sorted_any_common(&huge, &[]));
+        assert!(!sorted_any_common(&[], &huge));
+        assert!(sorted_contains(&huge, 1_000));
+        assert!(!sorted_contains(&huge, 1_001));
+    }
+}

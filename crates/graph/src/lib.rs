@@ -25,6 +25,8 @@
 //! * [`bitset`] / [`interval`] — fixed bitsets and sorted interval lists,
 //!   the building blocks of the compressed transitive-closure baseline and
 //!   of the compact high-degree adjacency described in Section 4.3.
+//! * [`intersect`] — galloping intersection over sorted id slices, the
+//!   shared primitive behind the index's Case 2–4 fast paths.
 //! * [`io`] — plain edge-list reading/writing.
 //! * [`view`] — [`GraphView`], the logical graph-access seam every consumer
 //!   (index construction, traversals, covers, baselines, the engine) is
@@ -45,6 +47,7 @@ pub mod builder;
 pub mod csr;
 pub mod dynamic;
 pub mod generators;
+pub mod intersect;
 pub mod interval;
 pub mod io;
 pub mod metrics;

@@ -173,9 +173,63 @@ pub fn reachable_bfs<G: GraphView>(g: &G, s: VertexId, t: VertexId) -> bool {
     shortest_distance(g, s, t).is_some()
 }
 
+/// Reusable per-thread scratch for [`khop_reachable_bidirectional`].
+///
+/// The engine's off-bound query fallback runs one bidirectional search per
+/// query; allocating two `O(n)` distance arrays plus frontier vectors per
+/// call churned the allocator under fallback-heavy traffic. The scratch
+/// keeps the buffers alive across calls, invalidating stale distances with
+/// an epoch stamp (the trick [`NeighborhoodExplorer`] already uses) so a
+/// query costs only the vertices it actually touches.
+#[derive(Debug, Default)]
+struct BidirScratch {
+    epoch: u32,
+    /// `mark_*[v] == epoch` iff `dist_*[v]` is valid for the current call.
+    mark_f: Vec<u32>,
+    mark_b: Vec<u32>,
+    dist_f: Vec<u32>,
+    dist_b: Vec<u32>,
+    frontier_f: Vec<VertexId>,
+    frontier_b: Vec<VertexId>,
+    next: Vec<VertexId>,
+}
+
+impl BidirScratch {
+    /// Prepares the scratch for a graph of `n` vertices and returns the
+    /// epoch stamp valid for this call.
+    fn begin(&mut self, n: usize) -> u32 {
+        if self.mark_f.len() < n {
+            self.mark_f.resize(n, 0);
+            self.mark_b.resize(n, 0);
+            self.dist_f.resize(n, 0);
+            self.dist_b.resize(n, 0);
+        }
+        // Epoch 0 is the "never visited" value, so skip it on wrap-around.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark_f.iter_mut().for_each(|m| *m = 0);
+            self.mark_b.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 1;
+        }
+        self.frontier_f.clear();
+        self.frontier_b.clear();
+        self.next.clear();
+        self.epoch
+    }
+}
+
+thread_local! {
+    static BIDIR_SCRATCH: std::cell::RefCell<BidirScratch> =
+        std::cell::RefCell::new(BidirScratch::default());
+}
+
 /// Bidirectional hop-bounded reachability: expands the smaller frontier from
 /// both ends, up to `k` total hops. Exact, and often far cheaper than a
 /// one-sided k-hop BFS on graphs with hub vertices.
+///
+/// Visited/frontier buffers live in thread-local scratch reused across
+/// calls, so repeated queries (the engine's off-bound fallback path) do not
+/// allocate.
 pub fn khop_reachable_bidirectional<G: GraphView>(g: &G, s: VertexId, t: VertexId, k: u32) -> bool {
     if s == t {
         return true;
@@ -183,67 +237,84 @@ pub fn khop_reachable_bidirectional<G: GraphView>(g: &G, s: VertexId, t: VertexI
     if k == 0 {
         return false;
     }
-    let n = g.vertex_count();
-    // dist_f[v] = hops from s going forward; dist_b[v] = hops to t going backward.
-    let mut dist_f = vec![u32::MAX; n];
-    let mut dist_b = vec![u32::MAX; n];
-    dist_f[s.index()] = 0;
-    dist_b[t.index()] = 0;
-    let mut frontier_f = vec![s];
-    let mut frontier_b = vec![t];
-    let mut used_f = 0u32;
-    let mut used_b = 0u32;
+    BIDIR_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let epoch = scratch.begin(g.vertex_count());
+        let BidirScratch {
+            mark_f,
+            mark_b,
+            dist_f,
+            dist_b,
+            frontier_f,
+            frontier_b,
+            next,
+            ..
+        } = scratch;
+        // dist_f[v] = hops from s going forward; dist_b[v] = hops to t backward.
+        mark_f[s.index()] = epoch;
+        dist_f[s.index()] = 0;
+        mark_b[t.index()] = epoch;
+        dist_b[t.index()] = 0;
+        frontier_f.push(s);
+        frontier_b.push(t);
+        let mut used_f = 0u32;
+        let mut used_b = 0u32;
 
-    while used_f + used_b < k && (!frontier_f.is_empty() || !frontier_b.is_empty()) {
-        // Expand the smaller non-empty frontier.
-        let forward = if frontier_b.is_empty() {
-            true
-        } else if frontier_f.is_empty() {
-            false
-        } else {
-            frontier_f.len() <= frontier_b.len()
-        };
-        debug_assert!(k - (used_f + used_b) >= 1);
-        let (frontier, dist_mine, dist_other, used, dir) = if forward {
-            (
-                &mut frontier_f,
-                &mut dist_f,
-                &dist_b,
-                &mut used_f,
-                Direction::Forward,
-            )
-        } else {
-            (
-                &mut frontier_b,
-                &mut dist_b,
-                &dist_f,
-                &mut used_b,
-                Direction::Backward,
-            )
-        };
-        let mut next = Vec::new();
-        for &u in frontier.iter() {
-            let du = dist_mine[u.index()];
-            for &v in dir.neighbors(g, u) {
-                if dist_mine[v.index()] != u32::MAX {
-                    continue;
-                }
-                dist_mine[v.index()] = du + 1;
-                // Meeting point: total path length must fit within k.
-                if dist_other[v.index()] != u32::MAX {
-                    let other = dist_other[v.index()];
-                    let total = du + 1 + other;
-                    if total <= k {
-                        return true;
+        while used_f + used_b < k && (!frontier_f.is_empty() || !frontier_b.is_empty()) {
+            // Expand the smaller non-empty frontier.
+            let forward = if frontier_b.is_empty() {
+                true
+            } else if frontier_f.is_empty() {
+                false
+            } else {
+                frontier_f.len() <= frontier_b.len()
+            };
+            debug_assert!(k - (used_f + used_b) >= 1);
+            let (frontier, mark_mine, dist_mine, mark_other, dist_other, used, dir) = if forward {
+                (
+                    &mut *frontier_f,
+                    &mut *mark_f,
+                    &mut *dist_f,
+                    &*mark_b,
+                    &*dist_b,
+                    &mut used_f,
+                    Direction::Forward,
+                )
+            } else {
+                (
+                    &mut *frontier_b,
+                    &mut *mark_b,
+                    &mut *dist_b,
+                    &*mark_f,
+                    &*dist_f,
+                    &mut used_b,
+                    Direction::Backward,
+                )
+            };
+            next.clear();
+            for &u in frontier.iter() {
+                let du = dist_mine[u.index()];
+                for &v in dir.neighbors(g, u) {
+                    if mark_mine[v.index()] == epoch {
+                        continue;
                     }
+                    mark_mine[v.index()] = epoch;
+                    dist_mine[v.index()] = du + 1;
+                    // Meeting point: total path length must fit within k.
+                    if mark_other[v.index()] == epoch {
+                        let total = du + 1 + dist_other[v.index()];
+                        if total <= k {
+                            return true;
+                        }
+                    }
+                    next.push(v);
                 }
-                next.push(v);
             }
+            std::mem::swap(frontier, next);
+            *used += 1;
         }
-        *frontier = next;
-        *used += 1;
-    }
-    false
+        false
+    })
 }
 
 /// Result of a depth-first search over the whole graph.
@@ -471,6 +542,41 @@ mod tests {
                     assert_eq!(a, b, "mismatch for s={s} t={t} k={k}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn bidirectional_scratch_survives_graph_switches_and_many_calls() {
+        // The thread-local scratch must stay correct across interleaved
+        // graphs of different sizes and enough calls to exercise epoch
+        // advancement.
+        let small = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let large = DiGraph::from_edges(12, (0..11u32).map(|i| (i, i + 1)));
+        for _ in 0..50 {
+            assert!(khop_reachable_bidirectional(
+                &small,
+                VertexId(0),
+                VertexId(2),
+                2
+            ));
+            assert!(!khop_reachable_bidirectional(
+                &small,
+                VertexId(2),
+                VertexId(0),
+                3
+            ));
+            assert!(khop_reachable_bidirectional(
+                &large,
+                VertexId(0),
+                VertexId(11),
+                11
+            ));
+            assert!(!khop_reachable_bidirectional(
+                &large,
+                VertexId(0),
+                VertexId(11),
+                10
+            ));
         }
     }
 

@@ -699,7 +699,7 @@ fn stats_json(shared: &Arc<Shared>) -> String {
             "{{\"backend\":\"{}\",\"workers\":{},\"vertex_count\":{},\"default_k\":{},",
             "\"epoch\":{},",
             "\"cache\":{{\"enabled\":{},\"entries\":{},\"hits\":{},\"misses\":{},",
-            "\"neg_expired\":{},\"hit_rate\":{:.4}}},",
+            "\"neg_expired\":{},\"prefetched\":{},\"hit_rate\":{:.4}}},",
             "\"admission\":{{\"max_inflight\":{},\"handlers\":{},\"shutting_down\":{}}},",
             "\"server\":{}}}"
         ),
@@ -713,6 +713,7 @@ fn stats_json(shared: &Arc<Shared>) -> String {
         info.cache.hits,
         info.cache.misses,
         info.cache.neg_expired,
+        info.cache.prefetched,
         info.cache.hit_rate(),
         shared.config.max_inflight,
         shared.config.handlers,

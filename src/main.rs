@@ -30,7 +30,9 @@
 //!   `--max-body`) and graceful drain (`POST /shutdown`).
 //!
 //! The serving commands (`batch`, `update`, `serve`) accept `--neg-ttl MS`,
-//! a time-to-live in milliseconds for cached *negative* answers.
+//! a time-to-live in milliseconds for cached *negative* answers, and
+//! `--prefetch-hot N`, which warms the result cache with all pairs among the
+//! top-N out-degree ("celebrity") vertices at startup and after mutations.
 //!
 //! Unknown `--flags` are rejected with an error rather than ignored.
 
@@ -86,16 +88,19 @@ fn usage() -> &'static str {
      \x20 kreach stats <edge-list>\n\
      \x20 kreach generate <dataset> --output <file> [--scale F] [--seed S]\n\
      \x20 kreach build <edge-list> --k <K> --output <index-file> [--cover random|degree]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--dense-threshold D]\n\
      \x20 kreach query <index-file> <edge-list> <s> <t>\n\
      \x20 kreach workload <edge-list> --queries <N> --output <file> [--seed S] [--k K]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--hot N] [--hot-fraction F]\n\
      \x20 kreach batch <index-file> <edge-list> <queries-file> [--workers N] [--cache C]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--neg-ttl MS] [--default-k K] [--stats-json <file>]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N]\n\
      \x20 kreach update <edge-list> <update-workload> [--k K] [--workers N] [--cache C]\n\
-     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--neg-ttl MS] [--stats-json <file>]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--neg-ttl MS] [--stats-json <file>] [--prefetch-hot N]\n\
      \x20 kreach serve <edge-list> [--port P] [--host H] [--backend kreach|hk|bfs|dynamic]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--k K] [--h H] [--workers N] [--cache C] [--neg-ttl MS]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--handlers N] [--max-inflight N] [--max-body BYTES]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N]\n\
      \x20 kreach bench-serve [--dataset D] [--scale F] [--k K] [--queries N]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--workers a,b,..] [--cache C] [--seed S]"
 }
@@ -221,7 +226,7 @@ fn cmd_generate(args: &[&str]) -> Result<String, String> {
 }
 
 fn cmd_build(args: &[&str]) -> Result<String, String> {
-    ensure_known_flags(args, &["--k", "--output", "--cover"])?;
+    ensure_known_flags(args, &["--k", "--output", "--cover", "--dense-threshold"])?;
     let paths = positionals(args);
     let [path] = paths.as_slice() else {
         return Err("build expects exactly one edge-list path".to_string());
@@ -240,6 +245,15 @@ fn cmd_build(args: &[&str]) -> Result<String, String> {
             ))
         }
     };
+    // Dense-row degree threshold for the hybrid successor representation
+    // (0 disables bitset rows entirely; absent picks the built-in default).
+    let dense_row_threshold = match flag_value(args, "--dense-threshold")? {
+        None => None,
+        Some(v) => match parse_number::<usize>(v, "--dense-threshold")? {
+            0 => Some(usize::MAX),
+            t => Some(t),
+        },
+    };
     let g = kreach::graph::io::read_edge_list_file(path).map_err(|e| e.to_string())?;
     let index = KReachIndex::build(
         &g,
@@ -247,14 +261,20 @@ fn cmd_build(args: &[&str]) -> Result<String, String> {
         BuildOptions {
             cover_strategy: strategy,
             threads: 0,
+            dense_row_threshold,
         },
     );
     storage::save_kreach(&index, output).map_err(|e| e.to_string())?;
     Ok(format!(
-        "built {k}-reach index for {path}: cover {} vertices, {} index edges, {} bytes -> {output}\n",
+        "built {k}-reach index for {path}: cover {} vertices, {} index edges \
+         ({} bitset rows at threshold {}), {} bytes (+{} bytes bitset accel, in-memory only) \
+         -> {output}\n",
         index.cover_size(),
         index.index_edge_count(),
-        index.size_bytes()
+        index.index_graph().dense_row_count(),
+        index.index_graph().dense_threshold(),
+        index.size_bytes(),
+        index.index_graph().accel_size_bytes()
     ))
 }
 
@@ -354,6 +374,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
             "--neg-ttl",
             "--default-k",
             "--stats-json",
+            "--prefetch-hot",
         ],
     )?;
     let pos = positionals(args);
@@ -363,6 +384,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
     let workers: usize = parse_flag_or(args, "--workers", 0)?;
     let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
     let neg_ttl = parse_neg_ttl(args)?;
+    let prefetch_hot: usize = parse_flag_or(args, "--prefetch-hot", 0)?;
     // Resolved before the (possibly long) run so a malformed flag cannot
     // discard a finished batch.
     let stats_json = flag_value(args, "--stats-json")?;
@@ -388,6 +410,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
             workers,
             cache_capacity: cache,
             neg_ttl,
+            prefetch_hot,
             ..EngineConfig::default()
         },
     );
@@ -407,7 +430,14 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
 fn cmd_update(args: &[&str]) -> Result<String, String> {
     ensure_known_flags(
         args,
-        &["--k", "--workers", "--cache", "--neg-ttl", "--stats-json"],
+        &[
+            "--k",
+            "--workers",
+            "--cache",
+            "--neg-ttl",
+            "--stats-json",
+            "--prefetch-hot",
+        ],
     )?;
     let pos = positionals(args);
     let [graph_path, workload_path] = pos.as_slice() else {
@@ -420,6 +450,7 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
     let workers: usize = parse_flag_or(args, "--workers", 0)?;
     let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
     let neg_ttl = parse_neg_ttl(args)?;
+    let prefetch_hot: usize = parse_flag_or(args, "--prefetch-hot", 0)?;
     let stats_json = flag_value(args, "--stats-json")?;
 
     let g = kreach::graph::io::read_edge_list_file(graph_path).map_err(|e| e.to_string())?;
@@ -436,6 +467,7 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
             workers,
             cache_capacity: cache,
             neg_ttl,
+            prefetch_hot,
             ..EngineConfig::default()
         },
     );
@@ -615,6 +647,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             "--handlers",
             "--max-inflight",
             "--max-body",
+            "--prefetch-hot",
         ],
     )?;
     let pos = positionals(args);
@@ -634,6 +667,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
     let workers: usize = parse_flag_or(args, "--workers", 0)?;
     let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
     let neg_ttl = parse_neg_ttl(args)?;
+    let prefetch_hot: usize = parse_flag_or(args, "--prefetch-hot", 0)?;
     let server_defaults = kreach::server::ServerConfig::default();
     let handlers: usize = parse_flag_or(args, "--handlers", server_defaults.handlers)?;
     let max_inflight: usize = parse_flag_or(args, "--max-inflight", server_defaults.max_inflight)?;
@@ -648,6 +682,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             workers,
             cache_capacity: cache,
             neg_ttl,
+            prefetch_hot,
             ..EngineConfig::default()
         },
     ));

@@ -39,7 +39,7 @@ proptest! {
         } else {
             CoverStrategy::RandomEdge
         };
-        let index = KReachIndex::build(&g, k, BuildOptions { cover_strategy: strategy, threads: 1 });
+        let index = KReachIndex::build(&g, k, BuildOptions { cover_strategy: strategy, threads: 1, ..BuildOptions::default() });
         for s in g.vertices() {
             for t in g.vertices() {
                 prop_assert_eq!(
