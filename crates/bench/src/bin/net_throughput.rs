@@ -24,7 +24,7 @@
 //! ```
 
 use kreach_core::dynamic::DynamicOptions;
-use kreach_datasets::{parse_answer_line, spec_by_name};
+use kreach_datasets::{parse_answer_line, spec_by_name, PromScrape};
 use kreach_engine::{BatchEngine, DynamicKReachBackend, EngineConfig, LatencyHistogram};
 use kreach_server::client::BlockingClient;
 use kreach_server::{start, ServerConfig, ServerHandle};
@@ -223,17 +223,80 @@ fn main() {
         total.latencies.p99_micros(),
     );
 
+    // Final /metrics scrape: validates the Prometheus exposition end-to-end
+    // and yields the server's own view of the run — shed rate, slow-query
+    // count, and the live Table-8 case mix.
+    let final_scrape = scrape_metrics(&addr);
+    match &final_scrape {
+        Ok(scrape) => {
+            let accepted = scrape
+                .value("kreach_connections_accepted_total")
+                .unwrap_or(0.0);
+            let shed = scrape.value("kreach_connections_shed_total").unwrap_or(0.0);
+            let shed_rate = if accepted > 0.0 {
+                100.0 * shed / accepted
+            } else {
+                0.0
+            };
+            let slow = scrape.value("kreach_slow_queries_total").unwrap_or(0.0);
+            let engine_queries = scrape.value("kreach_engine_queries_total").unwrap_or(0.0);
+            println!(
+                "  server scrape: {engine_queries:.0} engine queries · \
+                 shed rate {shed_rate:.2}% ({shed:.0}/{accepted:.0}) · {slow:.0} slow queries"
+            );
+            let cases: Vec<String> = scrape
+                .samples()
+                .iter()
+                .filter(|s| s.name == "kreach_engine_queries_by_case_total" && s.value > 0.0)
+                .map(|s| format!("{}={:.0}", s.label("case").unwrap_or("?"), s.value))
+                .collect();
+            if !cases.is_empty() {
+                println!("  case mix: {}", cases.join(" "));
+            }
+        }
+        Err(e) => eprintln!("warning: final /metrics scrape failed: {e}"),
+    }
+
+    let hosted_run = hosted.is_some();
     if let Some(handle) = hosted {
         handle.shutdown();
         let report = handle.join();
         eprintln!(
-            "self-hosted server drained clean={} ({} admitted, {} shed)",
-            report.clean, report.metrics.admitted, report.metrics.shed
+            "self-hosted server drained clean={} ({} admitted, {} shed, {} slow)",
+            report.clean, report.metrics.admitted, report.metrics.shed, report.slow_queries
         );
     }
 
     if config.smoke {
         let mut failed = false;
+        match &final_scrape {
+            Ok(scrape) => {
+                let case_sum = scrape.sum_of("kreach_engine_queries_by_case_total");
+                let engine_queries = scrape.value("kreach_engine_queries_total").unwrap_or(-1.0);
+                if case_sum != engine_queries {
+                    eprintln!(
+                        "SMOKE FAIL: per-case counters sum to {case_sum}, \
+                         kreach_engine_queries_total says {engine_queries}"
+                    );
+                    failed = true;
+                }
+                // Self-hosted: nothing else talked to the server, so the
+                // engine's case breakdown must account for exactly the
+                // queries this loadgen got 200s for.
+                if hosted_run && case_sum != total.queries as f64 {
+                    eprintln!(
+                        "SMOKE FAIL: per-case counters sum to {case_sum}, \
+                         loadgen had {} queries answered",
+                        total.queries
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("SMOKE FAIL: final /metrics scrape: {e}");
+                failed = true;
+            }
+        }
         if total.errors > 0 {
             eprintln!("SMOKE FAIL: {} non-2xx/non-503 responses", total.errors);
             failed = true;
@@ -281,6 +344,19 @@ fn self_host(config: &LoadgenConfig) -> ServerHandle {
         eprintln!("failed to self-host: {e}");
         std::process::exit(2);
     })
+}
+
+/// Scrapes `GET /metrics` and parses the full exposition (every line).
+fn scrape_metrics(addr: &str) -> Result<PromScrape, String> {
+    let mut client = BlockingClient::connect(addr).map_err(|e| e.to_string())?;
+    client
+        .set_timeout(Duration::from_secs(10))
+        .map_err(|e| e.to_string())?;
+    let response = client.get("/metrics").map_err(|e| e.to_string())?;
+    if !response.is_ok() {
+        return Err(format!("/metrics returned {}", response.status));
+    }
+    PromScrape::parse(&response.body_text()).map_err(|e| e.to_string())
 }
 
 /// Reads `"vertex_count":N` out of `/stats`.

@@ -24,9 +24,10 @@
 
 use kreach_bench::Table;
 use kreach_core::{BuildOptions, KReachIndex, QueryCase, VertexCover};
-use kreach_engine::{BatchEngine, EngineConfig, KReachBackend, Query, QueryBatch};
+use kreach_engine::{BatchEngine, EngineConfig, EngineStats, KReachBackend, Query, QueryBatch};
 use kreach_graph::generators::GeneratorSpec;
 use kreach_graph::{DiGraph, VertexId};
+use kreach_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -168,7 +169,11 @@ struct WorkloadReport {
     /// Table-8 "cover-hit" distribution).
     case_distribution: [f64; 4],
     cases: Vec<CaseReport>,
-    engine_qps: f64,
+    /// Engine batch run with the production no-op recorder.
+    engine: EngineStats,
+    /// The same batch fully traced, to keep the instrumentation overhead
+    /// honest (before/after p50 in one artifact).
+    engine_traced: EngineStats,
 }
 
 impl WorkloadReport {
@@ -180,7 +185,11 @@ impl WorkloadReport {
                 "\"cover_size\":{},\"dense_rows\":{},\"dense_threshold\":{},",
                 "\"accel_bytes\":{},",
                 "\"case_distribution\":[{:.4},{:.4},{:.4},{:.4}],",
-                "\"cases\":[{}],\"engine_qps\":{:.1}}}"
+                "\"cases\":[{}],\"engine_qps\":{:.1},",
+                // The engine objects share EngineStats' JSON schema — the
+                // same "cases"/"resolutions" labeled-count objects the
+                // serving path reports.
+                "\"engine\":{},\"engine_traced\":{}}}"
             ),
             self.name,
             self.vertices,
@@ -195,7 +204,9 @@ impl WorkloadReport {
             self.case_distribution[2],
             self.case_distribution[3],
             cases.join(","),
-            self.engine_qps,
+            self.engine.queries_per_sec,
+            self.engine.to_json(),
+            self.engine_traced.to_json(),
         )
     }
 
@@ -224,8 +235,13 @@ impl WorkloadReport {
             100.0 * self.case_distribution[1],
             100.0 * self.case_distribution[2],
             100.0 * self.case_distribution[3],
-            self.engine_qps,
+            self.engine.queries_per_sec,
         ));
+        println!(
+            "  engine p50 {:.3} µs (no-op recorder) vs {:.3} µs traced · \
+             batch case mix {:?}",
+            self.engine.p50_micros, self.engine_traced.p50_micros, self.engine.case_counts,
+        );
     }
 }
 
@@ -330,27 +346,34 @@ fn bucket_uniform(
     (buckets, distribution)
 }
 
-fn engine_qps(g: &Arc<DiGraph>, index: &KReachIndex, queries: &[(VertexId, VertexId)]) -> f64 {
+/// Runs the query list through the batch engine twice — once with the
+/// production no-op recorder and once fully traced — so the artifact
+/// records both the fast-path p50 and the cost of turning tracing on.
+fn engine_runs(
+    g: &Arc<DiGraph>,
+    index: &KReachIndex,
+    queries: &[(VertexId, VertexId)],
+) -> (EngineStats, EngineStats) {
     let batch = QueryBatch::new(
         queries
             .iter()
             .map(|&(s, t)| Query { s, t, k: index.k() })
             .collect(),
     );
-    let engine = BatchEngine::new(
-        Arc::new(KReachBackend::new(Arc::clone(g), index.clone())),
-        EngineConfig {
-            // The cache would absorb every repeat; this measures the query
-            // path itself.
-            cache_capacity: 0,
-            ..EngineConfig::default()
-        },
-    );
-    engine
-        .run(&batch)
-        .expect("workload in range")
-        .stats
-        .queries_per_sec
+    let run = |recorder: Recorder| {
+        let engine = BatchEngine::with_recorder(
+            Arc::new(KReachBackend::new(Arc::clone(g), index.clone())),
+            EngineConfig {
+                // The cache would absorb every repeat; this measures the
+                // query path itself.
+                cache_capacity: 0,
+                ..EngineConfig::default()
+            },
+            recorder,
+        );
+        engine.run(&batch).expect("workload in range").stats
+    };
+    (run(Recorder::disabled()), run(Recorder::new(4096)))
 }
 
 fn hub_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
@@ -391,6 +414,7 @@ fn hub_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
         ));
     }
 
+    let (engine, engine_traced) = engine_runs(&g, &index, &case4);
     let ig = index.index_graph();
     WorkloadReport {
         name: "hub-fanout".to_string(),
@@ -409,7 +433,8 @@ fn hub_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
             measure_case(&g, &index, QueryCase::TargetInCover, &case3, min_nanos),
             measure_case(&g, &index, QueryCase::NeitherInCover, &case4, min_nanos),
         ],
-        engine_qps: engine_qps(&g, &index, &case4),
+        engine,
+        engine_traced,
     }
 }
 
@@ -440,6 +465,7 @@ fn uniform_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
         engine_queries.extend_from_slice(bucket);
         reports.push(measure_case(&g, &index, case, bucket, min_nanos));
     }
+    let (engine, engine_traced) = engine_runs(&g, &index, &engine_queries);
     let ig = index.index_graph();
     WorkloadReport {
         name: "uniform".to_string(),
@@ -452,7 +478,8 @@ fn uniform_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
         accel_bytes: ig.accel_size_bytes(),
         case_distribution: distribution,
         cases: reports,
-        engine_qps: engine_qps(&g, &index, &engine_queries),
+        engine,
+        engine_traced,
     }
 }
 

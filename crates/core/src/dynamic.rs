@@ -58,6 +58,7 @@ use kreach_graph::traversal::{bfs, khop_reachable_bidirectional, Direction};
 use kreach_graph::versioned::{EdgeUpdate, VersionedAdjGraph};
 use kreach_graph::{DiGraph, GraphView, VertexId};
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Sentinel for "vertex is not in the cover".
 const NOT_COVERED: u32 = u32::MAX;
@@ -125,6 +126,14 @@ pub struct UpdateStats {
     /// Lazy full rebuilds (fresh cover + BFS sweep) triggered by cover
     /// growth or by the deletion threshold.
     pub full_rebuilds: u64,
+    /// Nanoseconds spent recomputing rows at batch end (the coalesced
+    /// pending-set drain of [`DynamicKReach::apply_all`]).
+    pub patch_nanos: u64,
+    /// Nanoseconds spent on incremental cover repairs (forward row compute
+    /// plus the backward splice of [`UpdateStats::cover_additions`]).
+    pub repair_nanos: u64,
+    /// Nanoseconds spent in lazy full rebuilds.
+    pub rebuild_nanos: u64,
 }
 
 impl UpdateStats {
@@ -145,7 +154,27 @@ impl UpdateStats {
             repairs_picked_source: self.repairs_picked_source - earlier.repairs_picked_source,
             repairs_picked_target: self.repairs_picked_target - earlier.repairs_picked_target,
             full_rebuilds: self.full_rebuilds - earlier.full_rebuilds,
+            patch_nanos: self.patch_nanos - earlier.patch_nanos,
+            repair_nanos: self.repair_nanos - earlier.repair_nanos,
+            rebuild_nanos: self.rebuild_nanos - earlier.rebuild_nanos,
         }
+    }
+
+    /// Folds a batch's counter deltas into this accumulator — how the
+    /// engine keeps lifetime update totals across mutation batches.
+    pub fn absorb(&mut self, delta: &UpdateStats) {
+        self.inserts += delta.inserts;
+        self.removes += delta.removes;
+        self.noops += delta.noops;
+        self.rows_patched += delta.rows_patched;
+        self.rows_coalesced += delta.rows_coalesced;
+        self.cover_additions += delta.cover_additions;
+        self.repairs_picked_source += delta.repairs_picked_source;
+        self.repairs_picked_target += delta.repairs_picked_target;
+        self.full_rebuilds += delta.full_rebuilds;
+        self.patch_nanos += delta.patch_nanos;
+        self.repair_nanos += delta.repair_nanos;
+        self.rebuild_nanos += delta.rebuild_nanos;
     }
 }
 
@@ -203,7 +232,7 @@ impl DynamicKReach {
             stats: UpdateStats::default(),
         };
         this.rebuild();
-        this.stats.full_rebuilds = 0; // the initial build is not a rebuild
+        this.stats = UpdateStats::default(); // the initial build is not a rebuild
         this
     }
 
@@ -296,12 +325,19 @@ impl DynamicKReach {
     /// [`crate::index_graph::row_any_dist_le`] — instead of one binary
     /// search per neighbour.
     pub fn query(&self, s: VertexId, t: VertexId) -> bool {
+        let (ps, pt) = (self.position(s), self.position(t));
+        kreach_obs::observe::note_case(match (ps.is_some(), pt.is_some()) {
+            (true, true) => 1,
+            (true, false) => 2,
+            (false, true) => 3,
+            (false, false) => 4,
+        });
         if s == t {
             return true;
         }
         let k = self.k;
         let g = &self.graph;
-        match (self.position(s), self.position(t)) {
+        match (ps, pt) {
             // Case 1: both in the cover — the row entry exists iff s →k t.
             (Some(ps), Some(pt)) => self.row_dist(ps, pt).is_some(),
             // Case 2: s in the cover. Every in-neighbour of t is covered, and
@@ -351,6 +387,7 @@ impl DynamicKReach {
         if k == self.k {
             self.query(s, t)
         } else {
+            kreach_obs::observe::note_bfs_fallback();
             khop_reachable_bidirectional(&self.graph, s, t, k)
         }
     }
@@ -376,9 +413,13 @@ impl DynamicKReach {
         for &update in updates {
             self.apply_one(update, &mut pending);
         }
-        for p in pending {
-            self.rows[p as usize] = self.compute_row(self.members[p as usize]);
-            self.stats.rows_patched += 1;
+        if !pending.is_empty() {
+            let started = Instant::now();
+            for p in pending {
+                self.rows[p as usize] = self.compute_row(self.members[p as usize]);
+                self.stats.rows_patched += 1;
+            }
+            self.stats.patch_nanos += started.elapsed().as_nanos() as u64;
         }
         self.stats.since(before)
     }
@@ -477,6 +518,7 @@ impl DynamicKReach {
     /// Returns the new cover position.
     fn add_to_cover(&mut self, w: VertexId) -> u32 {
         debug_assert!(!self.in_cover(w));
+        let started = Instant::now();
         let p = self.members.len() as u32;
         self.members.push(w);
         self.pos_of[w.index()] = p;
@@ -494,6 +536,7 @@ impl DynamicKReach {
         self.rows.push(row);
         self.stats.cover_additions += 1;
         self.stats.rows_patched += 1;
+        self.stats.repair_nanos += started.elapsed().as_nanos() as u64;
         p
     }
 
@@ -520,6 +563,7 @@ impl DynamicKReach {
 
     /// Full Algorithm-1 build: fresh vertex cover, fresh BFS sweep.
     fn rebuild(&mut self) {
+        let started = Instant::now();
         let cover = VertexCover::compute(&self.graph, self.options.build.cover_strategy);
         self.members = cover.members().to_vec();
         self.pos_of = vec![NOT_COVERED; self.graph.vertex_count()];
@@ -531,6 +575,7 @@ impl DynamicKReach {
         self.edges_at_rebuild = self.graph.edge_count();
         self.removals_since_rebuild = 0;
         self.stats.full_rebuilds += 1;
+        self.stats.rebuild_nanos += started.elapsed().as_nanos() as u64;
     }
 }
 
@@ -593,6 +638,11 @@ mod tests {
         assert!(dynk.insert_edge(VertexId(3), VertexId(4)));
         assert!(dynk.in_cover(VertexId(3)) || dynk.in_cover(VertexId(4)));
         assert_eq!(dynk.stats().cover_additions, 1);
+        assert!(
+            dynk.stats().repair_nanos > 0,
+            "repairs are timed: {:?}",
+            dynk.stats()
+        );
         check_exact(&dynk);
     }
 
@@ -704,6 +754,11 @@ mod tests {
         assert!(
             dynk.stats().full_rebuilds >= 1,
             "growth must trigger a rebuild: {:?}",
+            dynk.stats()
+        );
+        assert!(
+            dynk.stats().rebuild_nanos > 0,
+            "rebuilds are timed: {:?}",
             dynk.stats()
         );
     }

@@ -368,6 +368,7 @@ impl<W: WeightStore> CoverIndexGraph<W> {
     pub fn edge_exists_by_pos(&self, pu: u32, pv: u32) -> bool {
         match self.accel.slot(pu) {
             Some(slot) => {
+                kreach_obs::observe::note_dense_probe();
                 let words = self
                     .accel
                     .class_words(slot, u32::MAX, self.weights.clamp_min())
@@ -389,13 +390,16 @@ impl<W: WeightStore> CoverIndexGraph<W> {
     #[inline]
     pub fn edge_weight_le(&self, pu: u32, pv: u32, bound: u32) -> bool {
         match self.accel.slot(pu) {
-            Some(slot) => match self
-                .accel
-                .class_words(slot, bound, self.weights.clamp_min())
-            {
-                Some(words) => RowAccel::probe(words, pv),
-                None => false,
-            },
+            Some(slot) => {
+                kreach_obs::observe::note_dense_probe();
+                match self
+                    .accel
+                    .class_words(slot, bound, self.weights.clamp_min())
+                {
+                    Some(words) => RowAccel::probe(words, pv),
+                    None => false,
+                }
+            }
             None => match self.edge_weight_by_pos(pu, pv) {
                 Some(w) => w <= bound,
                 None => false,
@@ -409,13 +413,16 @@ impl<W: WeightStore> CoverIndexGraph<W> {
     /// merge-intersection against the row slice.
     pub fn any_edge_le(&self, pu: u32, candidates: &[u32], bound: u32) -> bool {
         match self.accel.slot(pu) {
-            Some(slot) => match self
-                .accel
-                .class_words(slot, bound, self.weights.clamp_min())
-            {
-                Some(words) => candidates.iter().any(|&pv| RowAccel::probe(words, pv)),
-                None => false,
-            },
+            Some(slot) => {
+                kreach_obs::observe::note_dense_probe();
+                match self
+                    .accel
+                    .class_words(slot, bound, self.weights.clamp_min())
+                {
+                    Some(words) => candidates.iter().any(|&pv| RowAccel::probe(words, pv)),
+                    None => false,
+                }
+            }
             None => self.sparse_any_le(pu, candidates, bound),
         }
     }
@@ -456,16 +463,19 @@ impl<W: WeightStore> CoverIndexGraph<W> {
             scratch.insert_ids(targets);
             let guard = ClearOnDrop(scratch, targets);
             sources.iter().any(|&pu| match self.accel.slot(pu) {
-                Some(slot) => match self
-                    .accel
-                    .class_words(slot, bound, self.weights.clamp_min())
-                {
-                    Some(words) => words
-                        .iter()
-                        .zip(guard.0.words())
-                        .any(|(&row, &cand)| row & cand != 0),
-                    None => false,
-                },
+                Some(slot) => {
+                    kreach_obs::observe::note_dense_probe();
+                    match self
+                        .accel
+                        .class_words(slot, bound, self.weights.clamp_min())
+                    {
+                        Some(words) => words
+                            .iter()
+                            .zip(guard.0.words())
+                            .any(|(&row, &cand)| row & cand != 0),
+                        None => false,
+                    }
+                }
                 None => self.sparse_any_le(pu, targets, bound),
             })
         })
@@ -474,6 +484,7 @@ impl<W: WeightStore> CoverIndexGraph<W> {
     /// Galloping merge of a sparse row against a sorted candidate list,
     /// accepting the first common target with weight ≤ `bound`.
     fn sparse_any_le(&self, pu: u32, candidates: &[u32], bound: u32) -> bool {
+        kreach_obs::observe::note_sparse_gallop();
         let lo = self.offsets[pu as usize] as usize;
         let hi = self.offsets[pu as usize + 1] as usize;
         let row = &self.targets[lo..hi];

@@ -373,6 +373,7 @@ impl KReachIndex {
         if k == self.k {
             self.query(g, s, t)
         } else {
+            kreach_obs::observe::note_bfs_fallback();
             kreach_graph::traversal::khop_reachable_bidirectional(g, s, t, k)
         }
     }
@@ -409,6 +410,7 @@ impl KReachIndex {
         t: VertexId,
     ) -> (bool, QueryCase) {
         let case = self.classify(s, t);
+        kreach_obs::observe::note_case(case.number());
         if s == t {
             return (true, case);
         }

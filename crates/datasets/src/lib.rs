@@ -17,10 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod promscrape;
 pub mod registry;
 pub mod workload;
 pub mod workload_file;
 
+pub use promscrape::{PromParseError, PromSample, PromScrape};
 pub use registry::{all_specs, spec_by_name, DatasetFamily, DatasetSpec};
 pub use workload::{QueryWorkload, WorkloadConfig};
 pub use workload_file::{

@@ -1,0 +1,348 @@
+//! Prometheus text exposition parsing (version 0.0.4).
+//!
+//! The counterpart of `kreach-obs`'s renderer: the server renders
+//! `GET /metrics` with `PromText`, and the load generator, the CI smoke
+//! check, and the server's own round-trip tests parse the scrape with this
+//! module — one wire schema, checked from both sides.
+//!
+//! The parser accepts the subset the server emits — `# HELP` / `# TYPE`
+//! comment lines, and sample lines `name{labels} value` — and rejects
+//! anything else with a line-numbered error, so a malformed exposition
+//! fails a scrape loudly instead of silently dropping series.
+
+use std::collections::HashMap;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in source order; empty for unlabeled samples.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of the label named `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for PromParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "metrics line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PromParseError {}
+
+/// A parsed `/metrics` document.
+#[derive(Debug, Clone, Default)]
+pub struct PromScrape {
+    samples: Vec<PromSample>,
+    types: HashMap<String, String>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Label pairs plus the unparsed remainder of a sample line.
+type LabelsAndRest<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parses the `{key="value",...}` label block (`rest` starts just past the
+/// opening brace); returns the pairs and the remainder after the closing
+/// brace. Label values may contain `\\`, `\"`, and `\n` escapes.
+fn parse_labels(rest: &str) -> Result<LabelsAndRest<'_>, String> {
+    let mut labels = Vec::new();
+    let mut chars = rest.char_indices().peekable();
+    loop {
+        // Key up to '='.
+        let start = match chars.peek() {
+            Some(&(i, '}')) => {
+                let _ = i;
+                chars.next();
+                let consumed = rest.len() - chars.clone().map(|(_, c)| c.len_utf8()).sum::<usize>();
+                return Ok((labels, &rest[consumed..]));
+            }
+            Some(&(i, _)) => i,
+            None => return Err("unterminated label block".to_string()),
+        };
+        let mut eq = None;
+        for (i, c) in chars.by_ref() {
+            if c == '=' {
+                eq = Some(i);
+                break;
+            }
+        }
+        let Some(eq) = eq else {
+            return Err("label without '='".to_string());
+        };
+        let key = rest[start..eq].trim().to_string();
+        if !valid_name(&key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label {key} value is not quoted")),
+        }
+        // Quoted value with escapes.
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("bad escape after \\ in label {key}: {other:?}")),
+                },
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated value for label {key}"));
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((i, '}')) => return Ok((labels, &rest[i + 1..])),
+            other => {
+                return Err(format!(
+                    "expected ',' or '}}' after label value, got {other:?}"
+                ))
+            }
+        }
+    }
+}
+
+impl PromScrape {
+    /// Parses a full exposition document, validating every line.
+    pub fn parse(text: &str) -> Result<PromScrape, PromParseError> {
+        let mut scrape = PromScrape::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let fail = |message: String| PromParseError {
+                line: idx + 1,
+                message,
+            };
+            let line = raw.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                let mut parts = comment.trim_start().splitn(3, ' ');
+                match parts.next() {
+                    Some("HELP") => {
+                        let name = parts
+                            .next()
+                            .ok_or_else(|| fail("HELP without metric name".into()))?;
+                        if !valid_name(name) {
+                            return Err(fail(format!("invalid metric name {name:?} in HELP")));
+                        }
+                    }
+                    Some("TYPE") => {
+                        let name = parts
+                            .next()
+                            .ok_or_else(|| fail("TYPE without metric name".into()))?;
+                        let kind = parts
+                            .next()
+                            .ok_or_else(|| fail("TYPE without a kind".into()))?;
+                        if !valid_name(name) {
+                            return Err(fail(format!("invalid metric name {name:?} in TYPE")));
+                        }
+                        if !matches!(
+                            kind,
+                            "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                        ) {
+                            return Err(fail(format!("unknown metric type {kind:?}")));
+                        }
+                        scrape.types.insert(name.to_string(), kind.to_string());
+                    }
+                    // Other comments are legal exposition; ignore them.
+                    _ => {}
+                }
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let name_end = line
+                .find(|c: char| c == '{' || c.is_whitespace())
+                .ok_or_else(|| fail("sample line without a value".into()))?;
+            let name = &line[..name_end];
+            if !valid_name(name) {
+                return Err(fail(format!("invalid metric name {name:?}")));
+            }
+            let (labels, rest) = if line[name_end..].starts_with('{') {
+                parse_labels(&line[name_end + 1..]).map_err(&fail)?
+            } else {
+                (Vec::new(), &line[name_end..])
+            };
+            let value_text = rest.trim();
+            if value_text.is_empty() {
+                return Err(fail(format!("sample {name} has no value")));
+            }
+            // Timestamps (a second field) are not in our schema.
+            let mut fields = value_text.split_whitespace();
+            let value_field = fields.next().expect("non-empty after trim");
+            if fields.next().is_some() {
+                return Err(fail(format!("unexpected trailing fields in {line:?}")));
+            }
+            let value = match value_field {
+                "+Inf" => f64::INFINITY,
+                "-Inf" => f64::NEG_INFINITY,
+                "NaN" => f64::NAN,
+                v => v
+                    .parse::<f64>()
+                    .map_err(|e| fail(format!("bad value {v:?} for {name}: {e}")))?,
+            };
+            scrape.samples.push(PromSample {
+                name: name.to_string(),
+                labels,
+                value,
+            });
+        }
+        Ok(scrape)
+    }
+
+    /// Every parsed sample, in document order.
+    pub fn samples(&self) -> &[PromSample] {
+        &self.samples
+    }
+
+    /// The declared `# TYPE` of a metric family, if any.
+    pub fn type_of(&self, name: &str) -> Option<&str> {
+        self.types.get(name).map(String::as_str)
+    }
+
+    /// The value of an unlabeled (or single-series) sample, if present.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+    }
+
+    /// The value of the series of `name` whose label `key` equals `value`.
+    pub fn labeled(&self, name: &str, key: &str, value: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.label(key) == Some(value))
+            .map(|s| s.value)
+    }
+
+    /// Sum of every series of `name` (0.0 when the family is absent).
+    pub fn sum_of(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "\
+# HELP kreach_queries_total Queries answered.
+# TYPE kreach_queries_total counter
+kreach_queries_total 42
+# HELP kreach_engine_queries_by_case_total Served queries by case.
+# TYPE kreach_engine_queries_by_case_total counter
+kreach_engine_queries_by_case_total{case=\"case1\"} 30
+kreach_engine_queries_by_case_total{case=\"case4\"} 12
+# TYPE kreach_request_duration_seconds histogram
+kreach_request_duration_seconds_bucket{le=\"0.000001\"} 7
+kreach_request_duration_seconds_bucket{le=\"+Inf\"} 9
+kreach_request_duration_seconds_sum 0.001
+kreach_request_duration_seconds_count 9
+# TYPE kreach_uptime_seconds gauge
+kreach_uptime_seconds 1.5
+";
+
+    #[test]
+    fn parses_counters_gauges_and_histograms() {
+        let scrape = PromScrape::parse(DOC).unwrap();
+        assert_eq!(scrape.value("kreach_queries_total"), Some(42.0));
+        assert_eq!(scrape.type_of("kreach_queries_total"), Some("counter"));
+        assert_eq!(
+            scrape.labeled("kreach_engine_queries_by_case_total", "case", "case1"),
+            Some(30.0)
+        );
+        assert_eq!(scrape.sum_of("kreach_engine_queries_by_case_total"), 42.0);
+        assert_eq!(
+            scrape.labeled("kreach_request_duration_seconds_bucket", "le", "+Inf"),
+            Some(9.0)
+        );
+        assert_eq!(
+            scrape.value("kreach_request_duration_seconds_count"),
+            Some(9.0)
+        );
+        assert_eq!(scrape.value("kreach_uptime_seconds"), Some(1.5));
+        assert_eq!(scrape.value("kreach_missing"), None);
+        assert_eq!(scrape.sum_of("kreach_missing"), 0.0);
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let doc = "m{a=\"say \\\"hi\\\"\",b=\"back\\\\slash\"} 1\n";
+        let scrape = PromScrape::parse(doc).unwrap();
+        let sample = &scrape.samples()[0];
+        assert_eq!(sample.label("a"), Some("say \"hi\""));
+        assert_eq!(sample.label("b"), Some("back\\slash"));
+    }
+
+    #[test]
+    fn special_values_parse() {
+        let scrape = PromScrape::parse("a +Inf\nb -Inf\nc NaN\nd 1e-9\n").unwrap();
+        assert_eq!(scrape.value("a"), Some(f64::INFINITY));
+        assert_eq!(scrape.value("b"), Some(f64::NEG_INFINITY));
+        assert!(scrape.value("c").unwrap().is_nan());
+        assert_eq!(scrape.value("d"), Some(1e-9));
+    }
+
+    #[test]
+    fn malformed_lines_fail_with_line_numbers() {
+        for (doc, needle) in [
+            ("ok 1\n9bad 2\n", "invalid metric name"),
+            ("m{x=1} 2\n", "not quoted"),
+            ("m{x=\"unterminated} 2\n", "unterminated"),
+            ("m{x=\"v\"\n", "expected ',' or '}'"),
+            ("m\n", "without a value"),
+            ("m zebra\n", "bad value"),
+            ("m 1 1700000000\n", "trailing fields"),
+            ("# TYPE m wat\n", "unknown metric type"),
+        ] {
+            let err = PromScrape::parse(doc).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{doc:?} → {err} (wanted {needle:?})"
+            );
+            assert!(err.to_string().contains("metrics line"), "{err}");
+        }
+        // The error names the right line.
+        let err = PromScrape::parse("ok 1\nok 2\nbroken\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

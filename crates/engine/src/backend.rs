@@ -123,6 +123,17 @@ pub trait Reachability: Send + Sync {
         let _ = n;
         Vec::new()
     }
+
+    /// The Algorithm-2 case (1–4) this backend *would* execute for the
+    /// query, or `None` when the notion does not apply (index-free backends,
+    /// or a hop bound the index answers by online fallback). An O(1) cover
+    /// membership classification — the engine uses it to attribute
+    /// result-cache hits to their case, so the per-case query counters on
+    /// `/metrics` sum to the total query count. The default reports `None`.
+    fn case_of(&self, s: VertexId, t: VertexId, k: u32) -> Option<u8> {
+        let _ = (s, t, k);
+        None
+    }
 }
 
 /// The `n` highest out-degree vertices of a graph view, ties towards
@@ -182,6 +193,10 @@ impl<G: GraphView + 'static> Reachability for KReachBackend<G> {
 
     fn top_sources(&self, n: usize) -> Vec<VertexId> {
         top_out_degree(self.graph.as_ref(), n)
+    }
+
+    fn case_of(&self, s: VertexId, t: VertexId, k: u32) -> Option<u8> {
+        (k == self.index.k()).then(|| self.index.classify(s, t).number())
     }
 }
 
@@ -333,6 +348,16 @@ impl Reachability for DynamicKReachBackend {
 
     fn top_sources(&self, n: usize) -> Vec<VertexId> {
         top_out_degree(self.read().graph(), n)
+    }
+
+    fn case_of(&self, s: VertexId, t: VertexId, k: u32) -> Option<u8> {
+        let state = self.read();
+        (k == state.k()).then(|| match (state.in_cover(s), state.in_cover(t)) {
+            (true, true) => 1,
+            (true, false) => 2,
+            (false, true) => 3,
+            (false, false) => 4,
+        })
     }
 }
 

@@ -1,0 +1,198 @@
+//! Per-case query accounting: the live Table-8 breakdown.
+//!
+//! Every query the engine serves is classified by the hot path into one of
+//! [`CLASSES`] classes — Algorithm-2 cases 1–4, BFS fallback, or unknown —
+//! plus a [`Resolution`](kreach_obs::observe::Resolution) saying *how* the
+//! answer was produced (cache hit,
+//! dense bitset probe, sparse galloping merge, BFS, other). Workers
+//! accumulate a [`CaseTally`] per chunk and merge it into shared totals
+//! under the same lock that already guards chunk write-back, so the hot
+//! path never takes an extra lock per query.
+//!
+//! The invariant consumers rely on (and `GET /metrics` exposes): the class
+//! counts always sum to the number of served queries.
+
+use crate::histogram::LatencyHistogram;
+use kreach_obs::observe::{
+    QueryObservation, CLASSES, CLASS_LABELS, RESOLUTIONS, RESOLUTION_LABELS,
+};
+
+/// Per-class query counts, latency histograms, and resolution counters.
+#[derive(Debug, Clone)]
+pub struct CaseTally {
+    counts: [u64; CLASSES],
+    hists: [LatencyHistogram; CLASSES],
+    resolutions: [u64; RESOLUTIONS],
+    dense_probes: u64,
+    sparse_gallops: u64,
+}
+
+impl Default for CaseTally {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CaseTally {
+    /// An empty tally.
+    pub fn new() -> CaseTally {
+        CaseTally {
+            counts: [0; CLASSES],
+            hists: std::array::from_fn(|_| LatencyHistogram::new()),
+            resolutions: [0; RESOLUTIONS],
+            dense_probes: 0,
+            sparse_gallops: 0,
+        }
+    }
+
+    /// Records one served query: its class, latency, resolution, and probe
+    /// counts.
+    pub fn observe(&mut self, obs: &QueryObservation, nanos: u64) {
+        let class = obs.class_index();
+        self.counts[class] += 1;
+        self.hists[class].record(nanos);
+        self.resolutions[obs.resolution.index()] += 1;
+        self.dense_probes += obs.dense_probes;
+        self.sparse_gallops += obs.sparse_gallops;
+    }
+
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &CaseTally) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.hists.iter_mut().zip(other.hists.iter()) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.resolutions.iter_mut().zip(other.resolutions.iter()) {
+            *mine += theirs;
+        }
+        self.dense_probes += other.dense_probes;
+        self.sparse_gallops += other.sparse_gallops;
+    }
+
+    /// Query counts per class, index-aligned with [`CLASS_LABELS`].
+    pub fn counts(&self) -> &[u64; CLASSES] {
+        &self.counts
+    }
+
+    /// Latency histograms per class, index-aligned with [`CLASS_LABELS`].
+    pub fn histograms(&self) -> &[LatencyHistogram; CLASSES] {
+        &self.hists
+    }
+
+    /// Query counts per resolution, index-aligned with
+    /// [`RESOLUTION_LABELS`].
+    pub fn resolutions(&self) -> &[u64; RESOLUTIONS] {
+        &self.resolutions
+    }
+
+    /// Total dense bitset words probed across all observed queries.
+    pub fn dense_probes(&self) -> u64 {
+        self.dense_probes
+    }
+
+    /// Total sparse galloping intersections across all observed queries.
+    pub fn sparse_gallops(&self) -> u64 {
+        self.sparse_gallops
+    }
+
+    /// Total observed queries (the sum of the per-class counts — which by
+    /// construction also equals the sum of the per-resolution counts).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(label, count)` rows for every non-empty class, in label order.
+    pub fn class_rows(&self) -> Vec<(&'static str, u64)> {
+        CLASS_LABELS
+            .iter()
+            .zip(self.counts.iter())
+            .filter(|(_, &n)| n > 0)
+            .map(|(&label, &n)| (label, n))
+            .collect()
+    }
+
+    /// `(label, count)` rows for every non-empty resolution, in label order.
+    pub fn resolution_rows(&self) -> Vec<(&'static str, u64)> {
+        RESOLUTION_LABELS
+            .iter()
+            .zip(self.resolutions.iter())
+            .filter(|(_, &n)| n > 0)
+            .map(|(&label, &n)| (label, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_obs::observe::Resolution;
+
+    fn obs(case: u8, resolution: Resolution, dense: u64, sparse: u64) -> QueryObservation {
+        QueryObservation {
+            case,
+            resolution,
+            dense_probes: dense,
+            sparse_gallops: sparse,
+        }
+    }
+
+    #[test]
+    fn tally_sums_match_total_across_classes_and_resolutions() {
+        let mut t = CaseTally::new();
+        t.observe(&obs(1, Resolution::DenseBitset, 3, 0), 100);
+        t.observe(&obs(2, Resolution::SparseGallop, 0, 2), 200);
+        t.observe(&obs(4, Resolution::DenseBitset, 1, 1), 300);
+        t.observe(&QueryObservation::cache_hit(Some(1)), 50);
+        t.observe(&obs(0, Resolution::BfsFallback, 0, 0), 5_000);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.counts().iter().sum::<u64>(), 5);
+        assert_eq!(t.resolutions().iter().sum::<u64>(), 5);
+        // Cache hit with case attribution counts under case1, not unknown.
+        assert_eq!(t.counts()[0], 2);
+        assert_eq!(t.dense_probes(), 4);
+        assert_eq!(t.sparse_gallops(), 3);
+        // Histogram counts line up with class counts.
+        let hist_total: u64 = t.histograms().iter().map(|h| h.count()).sum();
+        assert_eq!(hist_total, 5);
+    }
+
+    #[test]
+    fn merge_equals_observing_everything_in_one() {
+        let mut a = CaseTally::new();
+        let mut b = CaseTally::new();
+        let mut combined = CaseTally::new();
+        for i in 0..100u64 {
+            let o = obs((i % 4 + 1) as u8, Resolution::SparseGallop, 0, i % 3);
+            let nanos = i * 17;
+            if i % 2 == 0 {
+                a.observe(&o, nanos);
+            } else {
+                b.observe(&o, nanos);
+            }
+            combined.observe(&o, nanos);
+        }
+        a.merge(&b);
+        assert_eq!(a.counts(), combined.counts());
+        assert_eq!(a.resolutions(), combined.resolutions());
+        assert_eq!(a.dense_probes(), combined.dense_probes());
+        assert_eq!(a.sparse_gallops(), combined.sparse_gallops());
+        assert_eq!(a.total(), 100);
+        for (ha, hc) in a.histograms().iter().zip(combined.histograms().iter()) {
+            assert_eq!(ha.count(), hc.count());
+            assert_eq!(ha.sum_nanos(), hc.sum_nanos());
+        }
+    }
+
+    #[test]
+    fn rows_skip_empty_classes() {
+        let mut t = CaseTally::new();
+        t.observe(&obs(3, Resolution::DenseBitset, 1, 0), 10);
+        assert_eq!(t.class_rows(), vec![("case3", 1)]);
+        assert_eq!(t.resolution_rows(), vec![("dense_bitset", 1)]);
+        let empty = CaseTally::new();
+        assert!(empty.class_rows().is_empty());
+        assert_eq!(empty.total(), 0);
+    }
+}

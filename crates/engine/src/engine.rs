@@ -7,10 +7,14 @@
 use crate::backend::{Reachability, UpdateError, UpdateOutcome};
 use crate::batch::{Query, QueryBatch};
 use crate::cache::{CacheCounters, ResultCache};
+use crate::casestats::CaseTally;
 use crate::histogram::LatencyHistogram;
 use crate::pool::{BatchTask, TaskKind, WorkerPool};
+use kreach_core::dynamic::UpdateStats;
 use kreach_graph::dynamic::EdgeUpdate;
-use std::sync::Arc;
+use kreach_obs::observe::{CLASSES, CLASS_LABELS, RESOLUTIONS, RESOLUTION_LABELS};
+use kreach_obs::Recorder;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Engine tuning knobs.
@@ -126,6 +130,24 @@ pub struct EngineStats {
     pub p99_micros: f64,
     /// Mean per-query latency in microseconds.
     pub mean_micros: f64,
+    /// Served queries by Algorithm-2 class, index-aligned with
+    /// [`CLASS_LABELS`] — the run's live Table-8 distribution. Sums to
+    /// `queries`.
+    pub case_counts: [u64; CLASSES],
+    /// Served queries by resolution (cache hit, dense bitset, sparse
+    /// gallop, BFS, other), index-aligned with [`RESOLUTION_LABELS`].
+    pub resolution_counts: [u64; RESOLUTIONS],
+}
+
+/// Renders parallel label/count arrays as one JSON object, e.g.
+/// `{"case1":12,"case4":3}`.
+fn labeled_counts_json(labels: &[&str], counts: &[u64]) -> String {
+    let fields: Vec<String> = labels
+        .iter()
+        .zip(counts.iter())
+        .map(|(label, count)| format!("\"{label}\":{count}"))
+        .collect();
+    format!("{{{}}}", fields.join(","))
 }
 
 impl EngineStats {
@@ -148,7 +170,8 @@ impl EngineStats {
                 "\"elapsed_secs\":{:.6},\"queries_per_sec\":{:.1},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"cache_neg_expired\":{},",
                 "\"cache_hit_rate\":{:.4},",
-                "\"p50_micros\":{:.3},\"p99_micros\":{:.3},\"mean_micros\":{:.3}}}"
+                "\"p50_micros\":{:.3},\"p99_micros\":{:.3},\"mean_micros\":{:.3},",
+                "\"cases\":{},\"resolutions\":{}}}"
             ),
             self.backend,
             self.workers,
@@ -162,6 +185,8 @@ impl EngineStats {
             self.p50_micros,
             self.p99_micros,
             self.mean_micros,
+            labeled_counts_json(&CLASS_LABELS, &self.case_counts),
+            labeled_counts_json(&RESOLUTION_LABELS, &self.resolution_counts),
         )
     }
 }
@@ -182,7 +207,18 @@ impl std::fmt::Display for EngineStats {
             100.0 * self.cache_hit_rate(),
             self.p50_micros,
             self.p99_micros,
-        )
+        )?;
+        // The live Table-8 distribution, non-empty classes only.
+        let cases: Vec<String> = CLASS_LABELS
+            .iter()
+            .zip(self.case_counts.iter())
+            .filter(|(_, &n)| n > 0)
+            .map(|(label, n)| format!("{label}={n}"))
+            .collect();
+        if !cases.is_empty() {
+            write!(f, " · {}", cases.join(" "))?;
+        }
+        Ok(())
     }
 }
 
@@ -193,6 +229,10 @@ pub struct BatchOutcome {
     pub answers: Vec<bool>,
     /// Serving statistics for the run.
     pub stats: EngineStats,
+    /// Per-case counts, latency histograms, and resolution counters for
+    /// this run (the counts also appear in [`EngineStats::case_counts`];
+    /// the tally adds the per-case latency distributions).
+    pub tally: CaseTally,
 }
 
 /// A point-in-time snapshot of the engine's serving state, independent of
@@ -215,6 +255,23 @@ pub struct EngineInfo {
     pub cache_entries: usize,
     /// Whether caching is active.
     pub cache_enabled: bool,
+    /// Queries served across the engine's lifetime (sum of
+    /// [`EngineInfo::case_counts`]).
+    pub served_queries: u64,
+    /// Lifetime served queries by Algorithm-2 class, index-aligned with
+    /// [`CLASS_LABELS`].
+    pub case_counts: [u64; CLASSES],
+    /// Lifetime served queries by resolution, index-aligned with
+    /// [`RESOLUTION_LABELS`].
+    pub resolution_counts: [u64; RESOLUTIONS],
+    /// Lifetime dense bitset words probed by served queries.
+    pub dense_probes: u64,
+    /// Lifetime sparse galloping intersections run by served queries.
+    pub sparse_gallops: u64,
+    /// Lifetime update-path counters accumulated over every mutation batch
+    /// applied through the engine (rows patched/coalesced, cover repairs by
+    /// arm, rebuild triggers, and the nanoseconds each arm spent).
+    pub update_stats: UpdateStats,
 }
 
 /// The concurrent batch query engine.
@@ -229,6 +286,13 @@ pub struct BatchEngine {
     chunk_size: usize,
     prefetch_hot: usize,
     max_vertices: usize,
+    /// Tracing handle threaded into every batch task; the disabled recorder
+    /// in the common untraced case.
+    recorder: Recorder,
+    /// Lifetime per-case totals across every served batch.
+    totals: Mutex<CaseTally>,
+    /// Lifetime update-path totals across every applied mutation batch.
+    update_totals: Mutex<UpdateStats>,
 }
 
 impl BatchEngine {
@@ -236,6 +300,18 @@ impl BatchEngine {
     /// [`EngineConfig::prefetch_hot`] is set the cache is warmed before the
     /// constructor returns.
     pub fn new(backend: Arc<dyn Reachability>, config: EngineConfig) -> Self {
+        Self::with_recorder(backend, config, Recorder::disabled())
+    }
+
+    /// Like [`BatchEngine::new`], with a tracing recorder: every served
+    /// query opens a span (nesting under the submitting thread's trace when
+    /// one is active). The recorder stays out of [`EngineConfig`] so the
+    /// config remains a plain comparable value.
+    pub fn with_recorder(
+        backend: Arc<dyn Reachability>,
+        config: EngineConfig,
+        recorder: Recorder,
+    ) -> Self {
         let cache = Arc::new(ResultCache::with_neg_ttl(
             config.cache_capacity,
             config.cache_shards,
@@ -249,6 +325,9 @@ impl BatchEngine {
             chunk_size: config.chunk_size.max(1),
             prefetch_hot: config.prefetch_hot,
             max_vertices: config.max_vertices.max(1),
+            recorder,
+            totals: Mutex::new(CaseTally::new()),
+            update_totals: Mutex::new(UpdateStats::default()),
         };
         engine.prefetch_hot_pairs();
         engine
@@ -282,12 +361,14 @@ impl BatchEngine {
             return 0;
         }
         let warmed = queries.len() as u64;
+        // Warming is not served traffic: no tracing, no tally.
         let task = Arc::new(BatchTask::new(
             Arc::new(queries),
             Arc::clone(&self.backend),
             Arc::clone(&self.cache),
             TaskKind::Prefetch,
             self.chunk_size,
+            Recorder::disabled(),
         ));
         self.pool.dispatch(&task);
         task.wait();
@@ -321,6 +402,24 @@ impl BatchEngine {
         self.backend.default_k()
     }
 
+    /// The engine's tracing recorder (disabled unless the engine was built
+    /// with [`BatchEngine::with_recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Snapshot of the lifetime per-case totals — counts, per-case latency
+    /// histograms, resolution counters, probe totals — for `/metrics`.
+    pub fn case_tally(&self) -> CaseTally {
+        self.totals.lock().expect("case totals poisoned").clone()
+    }
+
+    /// Snapshot of the lifetime update-path counters accumulated by
+    /// [`BatchEngine::apply_updates`].
+    pub fn update_totals(&self) -> UpdateStats {
+        *self.update_totals.lock().expect("update totals poisoned")
+    }
+
     /// The current mutation epoch of the result cache.
     pub fn epoch(&self) -> u64 {
         self.cache.epoch()
@@ -334,6 +433,7 @@ impl BatchEngine {
     /// calls are synchronous, so once every caller has returned, dropping
     /// the engine joins the worker pool with nothing left in flight.
     pub fn info(&self) -> EngineInfo {
+        let totals = self.totals.lock().expect("case totals poisoned");
         EngineInfo {
             backend: self.backend.name().to_string(),
             workers: self.pool.workers(),
@@ -343,6 +443,12 @@ impl BatchEngine {
             cache: self.cache.counters(),
             cache_entries: self.cache.len(),
             cache_enabled: self.cache.is_enabled(),
+            served_queries: totals.total(),
+            case_counts: *totals.counts(),
+            resolution_counts: *totals.resolutions(),
+            dense_probes: totals.dense_probes(),
+            sparse_gallops: totals.sparse_gallops(),
+            update_stats: self.update_totals(),
         }
     }
 
@@ -374,7 +480,12 @@ impl BatchEngine {
                 });
             }
         }
+        let mut span = self.recorder.span("engine.update");
         let mut outcome = self.backend.apply_updates(updates)?;
+        self.update_totals
+            .lock()
+            .expect("update totals poisoned")
+            .absorb(&outcome.stats);
         if outcome.stats.applied() > 0 {
             self.cache.bump_epoch();
             // The mutation may have reshuffled the hot set; re-warm the new
@@ -382,6 +493,16 @@ impl BatchEngine {
             self.prefetch_hot_pairs();
         }
         outcome.epoch = self.cache.epoch();
+        if span.is_recording() {
+            span.note(format!(
+                "applied={} noops={} rows_patched={} rebuilds={} epoch={}",
+                outcome.stats.applied(),
+                outcome.stats.noops,
+                outcome.stats.rows_patched,
+                outcome.stats.full_rebuilds,
+                outcome.epoch,
+            ));
+        }
         Ok(outcome)
     }
 
@@ -412,7 +533,11 @@ impl BatchEngine {
         let total = batch.len();
         let counters_before = self.cache.counters();
         let started = Instant::now();
-        let (answers, latencies) = if total > 0 {
+        // The batch span nests under the caller's active trace (a server
+        // request) when one exists; worker spans attach below it via the
+        // context captured inside `BatchTask::new`.
+        let mut span = self.recorder.span("engine.batch");
+        let (answers, latencies, tally) = if total > 0 {
             // One shared task; each worker gets a handle and claims chunks
             // off the atomic cursor, writing back once per chunk.
             let task = Arc::new(BatchTask::new(
@@ -421,12 +546,21 @@ impl BatchEngine {
                 Arc::clone(&self.cache),
                 TaskKind::Serve,
                 self.chunk_size,
+                self.recorder.clone(),
             ));
             self.pool.dispatch(&task);
             task.wait()
         } else {
-            (Vec::new(), LatencyHistogram::new())
+            (Vec::new(), LatencyHistogram::new(), CaseTally::new())
         };
+        if span.is_recording() {
+            span.note(format!("backend={} queries={total}", self.backend.name()));
+        }
+        drop(span);
+        self.totals
+            .lock()
+            .expect("case totals poisoned")
+            .merge(&tally);
 
         let elapsed_secs = started.elapsed().as_secs_f64();
         let cache_delta = self.cache.counters().since(counters_before);
@@ -446,8 +580,14 @@ impl BatchEngine {
             p50_micros: latencies.p50_micros(),
             p99_micros: latencies.p99_micros(),
             mean_micros: latencies.mean_nanos() / 1e3,
+            case_counts: *tally.counts(),
+            resolution_counts: *tally.resolutions(),
         };
-        Ok(BatchOutcome { answers, stats })
+        Ok(BatchOutcome {
+            answers,
+            stats,
+            tally,
+        })
     }
 }
 
@@ -896,6 +1036,121 @@ mod tests {
             .apply_updates(&[EdgeUpdate::Insert(VertexId(2), VertexId(3))])
             .unwrap();
         assert_eq!(engine.info().cache.prefetched, before);
+    }
+
+    #[test]
+    fn case_counts_sum_to_the_query_count_including_cache_hits() {
+        let g = Arc::new(GeneratorSpec::ErdosRenyi { n: 40, m: 160 }.generate(11));
+        let k = 3;
+        let engine = engine_over(
+            &g,
+            k,
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let batch = exhaustive_batch(&g, k);
+        let total = batch.len() as u64;
+
+        let first = engine.run(&batch).unwrap();
+        assert_eq!(first.stats.case_counts.iter().sum::<u64>(), total);
+        assert_eq!(first.stats.resolution_counts.iter().sum::<u64>(), total);
+        assert_eq!(first.tally.total(), total);
+
+        // The second pass is answered from the cache, but the backend's O(1)
+        // classifier still attributes every hit to its Algorithm-2 case:
+        // nothing lands in "unknown" and the sum invariant holds.
+        let second = engine.run(&batch).unwrap();
+        assert_eq!(second.stats.cache_hits, total);
+        assert_eq!(second.stats.case_counts.iter().sum::<u64>(), total);
+        assert_eq!(second.stats.case_counts[5], 0, "no unknown on cache hits");
+        assert_eq!(second.stats.resolution_counts[0], total, "all cache hits");
+
+        // Lifetime totals accumulate across runs.
+        let info = engine.info();
+        assert_eq!(info.served_queries, 2 * total);
+        assert_eq!(info.case_counts.iter().sum::<u64>(), 2 * total);
+        assert!(
+            info.dense_probes + info.sparse_gallops > 0,
+            "an exhaustive batch must exercise the successor representation"
+        );
+        assert_eq!(engine.case_tally().total(), 2 * total);
+
+        let json = second.stats.to_json();
+        assert!(json.contains("\"cases\":{\"case1\":"), "{json}");
+        assert!(json.contains("\"resolutions\":{\"cache_hit\":"), "{json}");
+        let text = format!("{}", second.stats);
+        assert!(text.contains("case"), "{text}");
+    }
+
+    #[test]
+    fn traced_engine_records_per_query_spans_under_one_trace() {
+        let g = Arc::new(DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]));
+        let index = KReachIndex::build(&g, 2, BuildOptions::default());
+        let recorder = Recorder::new(4096);
+        let engine = BatchEngine::with_recorder(
+            Arc::new(KReachBackend::new(Arc::clone(&g), index)),
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            recorder.clone(),
+        );
+        assert!(engine.recorder().is_enabled());
+        let batch = exhaustive_batch(&g, 2);
+        let root_id = {
+            let root = recorder.trace("request");
+            let id = root.trace_id();
+            engine.run(&batch).unwrap();
+            id
+        };
+        let spans = recorder.drain();
+        assert!(
+            spans.iter().any(|s| s.name == "engine.batch"),
+            "batch span missing: {spans:?}"
+        );
+        let query_spans: Vec<_> = spans.iter().filter(|s| s.name == "engine.query").collect();
+        assert_eq!(query_spans.len(), batch.len());
+        // Worker spans joined the caller's trace instead of opening roots.
+        assert!(spans.iter().all(|s| s.trace_id == root_id), "{spans:?}");
+        assert!(
+            query_spans
+                .iter()
+                .all(|s| s.detail.contains("case=") && s.detail.contains("resolution=")),
+            "{query_spans:?}"
+        );
+    }
+
+    #[test]
+    fn update_totals_accumulate_across_mutation_batches() {
+        use crate::backend::DynamicKReachBackend;
+        use kreach_core::dynamic::DynamicOptions;
+
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2)]);
+        let engine = BatchEngine::new(
+            Arc::new(DynamicKReachBackend::new(g, 2, DynamicOptions::default())),
+            EngineConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(engine.update_totals(), UpdateStats::default());
+        engine
+            .apply_updates(&[EdgeUpdate::Insert(VertexId(2), VertexId(3))])
+            .unwrap();
+        engine
+            .apply_updates(&[
+                EdgeUpdate::Remove(VertexId(2), VertexId(3)),
+                EdgeUpdate::Remove(VertexId(2), VertexId(3)),
+            ])
+            .unwrap();
+        let totals = engine.update_totals();
+        assert_eq!(totals.inserts, 1);
+        assert_eq!(totals.removes, 1);
+        assert_eq!(totals.noops, 1);
+        assert_eq!(totals.applied(), 2);
+        assert_eq!(engine.info().update_stats, totals);
     }
 
     #[test]

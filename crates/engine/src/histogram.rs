@@ -44,12 +44,14 @@ impl LatencyHistogram {
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. Observations beyond the top bucket's range
+    /// saturate into it, and the running sum saturates at `u64::MAX` rather
+    /// than wrapping, so a hostile duration can never corrupt the totals.
     #[inline]
     pub fn record(&mut self, nanos: u64) {
         self.buckets[Self::bucket_of(nanos)] += 1;
         self.count += 1;
-        self.sum_nanos += nanos;
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
         self.max_nanos = self.max_nanos.max(nanos);
     }
 
@@ -59,13 +61,25 @@ impl LatencyHistogram {
             *mine += theirs;
         }
         self.count += other.count;
-        self.sum_nanos += other.sum_nanos;
+        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
         self.max_nanos = self.max_nanos.max(other.max_nanos);
     }
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Per-bucket counts; bucket `i` covers `(2^(i-1), 2^i]` nanoseconds
+    /// (bucket 0 holds zero-duration observations). This is the raw series
+    /// behind the Prometheus histogram exposition.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Sum of all recorded observations in nanoseconds (saturating).
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos
     }
 
     /// Mean latency in nanoseconds (0 when empty).
@@ -106,9 +120,19 @@ impl LatencyHistogram {
         self.quantile_nanos(0.50) as f64 / 1e3
     }
 
+    /// 90th-percentile latency in microseconds.
+    pub fn p90_micros(&self) -> f64 {
+        self.quantile_nanos(0.90) as f64 / 1e3
+    }
+
     /// 99th-percentile latency in microseconds.
     pub fn p99_micros(&self) -> f64 {
         self.quantile_nanos(0.99) as f64 / 1e3
+    }
+
+    /// 99.9th-percentile latency in microseconds.
+    pub fn p999_micros(&self) -> f64 {
+        self.quantile_nanos(0.999) as f64 / 1e3
     }
 }
 
@@ -216,6 +240,66 @@ mod tests {
         assert_eq!(a.quantile_nanos(0.5), combined.quantile_nanos(0.5));
         assert_eq!(a.quantile_nanos(0.99), combined.quantile_nanos(0.99));
         assert!((a.mean_nanos() - combined.mean_nanos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p90_and_p999_sit_between_their_neighbours() {
+        let mut h = LatencyHistogram::new();
+        // 1 ns .. 100 000 ns uniformly: quantiles must be ordered and each
+        // within 2× of the true value.
+        for nanos in 1..=100_000u64 {
+            h.record(nanos);
+        }
+        let p50 = h.quantile_nanos(0.50);
+        let p90 = h.quantile_nanos(0.90);
+        let p99 = h.quantile_nanos(0.99);
+        let p999 = h.quantile_nanos(0.999);
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= p999,
+            "{p50} {p90} {p99} {p999}"
+        );
+        assert!((90_000..=180_000).contains(&p90), "p90 = {p90}");
+        assert!((99_900..=200_000).contains(&p999), "p999 = {p999}");
+        assert_eq!(h.p90_micros(), p90 as f64 / 1e3);
+        assert_eq!(h.p999_micros(), p999 as f64 / 1e3);
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        let mut h = LatencyHistogram::new();
+        // Two pathological observations: both land in the top bucket, the
+        // sum saturates instead of wrapping, and every quantile is capped by
+        // the recorded maximum (no `1 << 64` style overflow).
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 2);
+        assert_eq!(h.sum_nanos(), u64::MAX);
+        assert_eq!(h.max_nanos(), u64::MAX);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.quantile_nanos(q);
+            assert!(v >= 1u64 << 62, "q={q} v={v}");
+        }
+        // Merging two saturated histograms also saturates.
+        let other = h.clone();
+        h.merge(&other);
+        assert_eq!(h.sum_nanos(), u64::MAX);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn bucket_counts_expose_the_full_series() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // bucket 0
+        h.record(3); // bucket 2
+        h.record(700); // bucket 10
+        let counts = h.bucket_counts();
+        assert_eq!(counts.len(), BUCKETS);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[2], 1);
+        assert_eq!(counts[10], 1);
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+        assert_eq!(h.sum_nanos(), 703);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 pub mod backend;
 pub mod batch;
 pub mod cache;
+pub mod casestats;
 pub mod engine;
 pub mod histogram;
 mod pool;
@@ -61,5 +62,6 @@ pub use backend::{
 };
 pub use batch::{Query, QueryBatch};
 pub use cache::{CacheCounters, ResultCache};
+pub use casestats::CaseTally;
 pub use engine::{BatchEngine, BatchOutcome, EngineConfig, EngineError, EngineInfo, EngineStats};
 pub use histogram::LatencyHistogram;

@@ -14,7 +14,10 @@
 use crate::backend::Reachability;
 use crate::batch::Query;
 use crate::cache::ResultCache;
+use crate::casestats::CaseTally;
 use crate::histogram::LatencyHistogram;
+use kreach_obs::observe::{ProbeMark, QueryObservation};
+use kreach_obs::Recorder;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -39,6 +42,12 @@ pub(crate) struct BatchTask {
     cache: Arc<ResultCache>,
     kind: TaskKind,
     chunk_size: usize,
+    /// Tracing handle; [`Recorder::disabled`] in the common untraced case.
+    recorder: Recorder,
+    /// The submitting thread's span context, captured at task creation so
+    /// worker spans attach to the request's trace instead of opening fresh
+    /// roots (see `Recorder::span_in`).
+    context: Option<(u64, u32)>,
     /// Next unclaimed query offset; workers `fetch_add(chunk_size)` to claim.
     cursor: AtomicUsize,
     /// Answer buffer plus completion count, written once per chunk.
@@ -50,6 +59,7 @@ pub(crate) struct BatchTask {
 struct TaskProgress {
     answers: Vec<bool>,
     latencies: LatencyHistogram,
+    tally: CaseTally,
     completed_chunks: usize,
     /// Set when a chunk's execution panicked (backend bug, poisoned backend
     /// lock). The batch still completes — `wait` propagates the failure
@@ -58,25 +68,31 @@ struct TaskProgress {
 }
 
 impl BatchTask {
-    /// Prepares a task over `queries` (must be non-empty).
+    /// Prepares a task over `queries` (must be non-empty). The recorder's
+    /// current span context is captured here, on the submitting thread.
     pub fn new(
         queries: Arc<Vec<Query>>,
         backend: Arc<dyn Reachability>,
         cache: Arc<ResultCache>,
         kind: TaskKind,
         chunk_size: usize,
+        recorder: Recorder,
     ) -> Self {
         let chunk_size = chunk_size.max(1);
         let total = queries.len();
+        let context = recorder.current();
         BatchTask {
             backend,
             cache,
             kind,
             chunk_size,
+            recorder,
+            context,
             cursor: AtomicUsize::new(0),
             progress: Mutex::new(TaskProgress {
                 answers: vec![false; total],
                 latencies: LatencyHistogram::new(),
+                tally: CaseTally::new(),
                 completed_chunks: 0,
                 failed: false,
             }),
@@ -106,9 +122,10 @@ impl BatchTask {
             // guard around the chunk body means no lock is ever poisoned.
             let mut progress = self.progress.lock().expect("task progress poisoned");
             match result {
-                Ok((chunk_answers, latencies)) => {
+                Ok((chunk_answers, latencies, tally)) => {
                     progress.answers[start..end].copy_from_slice(&chunk_answers);
                     progress.latencies.merge(&latencies);
+                    progress.tally.merge(&tally);
                 }
                 Err(_) => progress.failed = true,
             }
@@ -119,12 +136,16 @@ impl BatchTask {
         }
     }
 
-    /// Answers the queries in `[start, end)`, returning their answers and
-    /// latency histogram.
-    fn answer_chunk(&self, start: usize, end: usize) -> (Vec<bool>, LatencyHistogram) {
+    /// Answers the queries in `[start, end)`, returning their answers,
+    /// latency histogram, and per-case tally (empty for prefetch tasks —
+    /// warming is not served traffic).
+    fn answer_chunk(&self, start: usize, end: usize) -> (Vec<bool>, LatencyHistogram, CaseTally) {
         let mut chunk_answers = Vec::with_capacity(end - start);
         let mut latencies = LatencyHistogram::new();
+        let mut tally = CaseTally::new();
+        let tracing = self.recorder.is_enabled();
         for query in &self.queries[start..end] {
+            let mut span = tracing.then(|| self.recorder.span_in(self.context, "engine.query"));
             let started = Instant::now();
             // The epoch is captured per query, before the backend runs: if a
             // mutation bumps the epoch mid-computation, this answer is
@@ -132,24 +153,51 @@ impl BatchTask {
             // as fresh.
             let epoch = self.cache.epoch();
             let answer = match self.kind {
-                TaskKind::Serve => match self.cache.lookup_at(epoch, query) {
-                    Some(cached) => cached,
-                    None => {
-                        let computed = self.backend.query(query.s, query.t, query.k);
-                        self.cache.store_at(epoch, query, computed);
-                        computed
+                TaskKind::Serve => {
+                    let mark = ProbeMark::begin();
+                    let (answer, obs) = match self.cache.lookup_at(epoch, query) {
+                        // A cache hit never reaches the backend, so the hot
+                        // path emits no signals; the backend's O(1)
+                        // classifier attributes the case instead, keeping
+                        // the per-case counters summing to the query count.
+                        Some(cached) => (
+                            cached,
+                            QueryObservation::cache_hit(
+                                self.backend.case_of(query.s, query.t, query.k),
+                            ),
+                        ),
+                        None => {
+                            let computed = self.backend.query(query.s, query.t, query.k);
+                            self.cache.store_at(epoch, query, computed);
+                            (computed, mark.observe())
+                        }
+                    };
+                    let nanos = started.elapsed().as_nanos() as u64;
+                    latencies.record(nanos);
+                    tally.observe(&obs, nanos);
+                    if let Some(span) = span.as_mut() {
+                        span.note(format!(
+                            "s={} t={} k={} case={} resolution={} answer={}",
+                            query.s.0,
+                            query.t.0,
+                            query.k,
+                            obs.case,
+                            obs.resolution.label(),
+                            answer
+                        ));
                     }
-                },
+                    answer
+                }
                 TaskKind::Prefetch => {
                     let computed = self.backend.query(query.s, query.t, query.k);
                     self.cache.store_at(epoch, query, computed);
+                    latencies.record(started.elapsed().as_nanos() as u64);
                     computed
                 }
             };
-            latencies.record(started.elapsed().as_nanos() as u64);
             chunk_answers.push(answer);
         }
-        (chunk_answers, latencies)
+        (chunk_answers, latencies, tally)
     }
 
     /// Blocks until every chunk is written back, then takes the results.
@@ -157,7 +205,7 @@ impl BatchTask {
     /// # Panics
     /// Panics if any chunk's execution panicked in a worker — the batch's
     /// answers would otherwise be silently wrong.
-    pub fn wait(&self) -> (Vec<bool>, LatencyHistogram) {
+    pub fn wait(&self) -> (Vec<bool>, LatencyHistogram, CaseTally) {
         let mut progress = self.progress.lock().expect("task progress poisoned");
         while progress.completed_chunks < self.total_chunks {
             progress = self
@@ -172,6 +220,7 @@ impl BatchTask {
         (
             std::mem::take(&mut progress.answers),
             std::mem::take(&mut progress.latencies),
+            std::mem::take(&mut progress.tally),
         )
     }
 }
@@ -279,11 +328,20 @@ mod tests {
         let pool = WorkerPool::new(3);
         assert_eq!(pool.workers(), 3);
         // Chunk size 2 over 4 queries: two chunks, claimed by up to 2 workers.
-        let task = Arc::new(BatchTask::new(queries, backend, cache, TaskKind::Serve, 2));
+        let task = Arc::new(BatchTask::new(
+            queries,
+            backend,
+            cache,
+            TaskKind::Serve,
+            2,
+            Recorder::disabled(),
+        ));
         pool.dispatch(&task);
-        let (answers, latencies) = task.wait();
+        let (answers, latencies, tally) = task.wait();
         assert_eq!(answers, vec![true, false, false, true]);
         assert_eq!(latencies.count(), 4);
+        // Every served query lands in exactly one class.
+        assert_eq!(tally.total(), 4);
         drop(pool); // joins workers; must not hang
     }
 
@@ -303,6 +361,7 @@ mod tests {
             Arc::new(ResultCache::disabled()),
             TaskKind::Serve,
             1024,
+            Recorder::disabled(),
         ));
         pool.dispatch(&task);
         assert_eq!(task.wait().0, vec![true]);
@@ -347,6 +406,7 @@ mod tests {
             Arc::new(ResultCache::disabled()),
             TaskKind::Serve,
             1,
+            Recorder::disabled(),
         ));
         pool.dispatch(&task);
         // The batch completes (no hang) and reports the failure loudly.
@@ -364,6 +424,7 @@ mod tests {
             Arc::new(ResultCache::disabled()),
             TaskKind::Serve,
             1,
+            Recorder::disabled(),
         ));
         pool.dispatch(&task);
         assert_eq!(task.wait().0, vec![true]);

@@ -43,6 +43,7 @@ pub fn gallop_lower_bound(s: &[u32], from: usize, x: u32) -> usize {
 /// True if two sorted id slices share any element (galloping merge, so a
 /// tiny list against a huge one costs roughly `|tiny| · log |huge|`).
 pub fn sorted_any_common(a: &[u32], b: &[u32]) -> bool {
+    kreach_obs::observe::note_sparse_gallop();
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -69,6 +70,7 @@ pub fn merge_any_match<T>(
     key: impl Fn(&T) -> u32,
     mut hit: impl FnMut(&T) -> bool,
 ) -> bool {
+    kreach_obs::observe::note_sparse_gallop();
     let (mut i, mut j) = (0usize, 0usize);
     while i < row.len() && j < candidates.len() {
         let ki = key(&row[i]);

@@ -1,0 +1,244 @@
+//! Prometheus text exposition rendering (version 0.0.4).
+//!
+//! A tiny writer for the subset of the format the k-reach server exposes:
+//! counters, gauges, and histograms, each with one `# HELP`/`# TYPE` header
+//! per metric family and optional label sets per series. Histogram buckets
+//! come straight from the engine's log2 [`LatencyHistogram`] — bucket `i`
+//! holds samples in `(2^(i-1), 2^i]` nanoseconds — rendered as cumulative
+//! `le` buckets in **seconds** (the Prometheus convention for duration
+//! histograms), trailing empty buckets collapsed into `+Inf`.
+//!
+//! The renderer lives here (and the matching parser in `kreach-datasets`)
+//! so the server, the load generator, and the tests all agree on one wire
+//! schema.
+//!
+//! [`LatencyHistogram`]: https://docs.rs/kreach-engine
+
+use std::fmt::Write as _;
+
+/// A Prometheus text document under construction.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+/// One histogram series: a label set (possibly empty) plus the log2
+/// nanosecond bucket counts and the total observed sum.
+#[derive(Debug, Clone)]
+pub struct HistogramSeries<'a> {
+    /// Rendered label pairs without braces (`case="case1"`); empty for an
+    /// unlabeled series.
+    pub labels: String,
+    /// Per-bucket (non-cumulative) counts; bucket `i` covers
+    /// `(2^(i-1), 2^i]` nanoseconds.
+    pub bucket_counts: &'a [u64],
+    /// Sum of all observed values, in nanoseconds.
+    pub sum_nanos: u64,
+}
+
+/// Formats one `key="value"` label pair (values escaped per the format).
+pub fn label(key: &str, value: &str) -> String {
+    let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+    format!("{key}=\"{escaped}\"")
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// One unlabeled counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// One counter family with a series per label set.
+    pub fn counter_vec(&mut self, name: &str, help: &str, series: &[(String, u64)]) {
+        self.header(name, help, "counter");
+        for (labels, value) in series {
+            let _ = writeln!(self.out, "{name}{{{labels}}} {value}");
+        }
+    }
+
+    /// One unlabeled gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// One histogram family of nanosecond-bucketed series, rendered in
+    /// seconds. Empty series (zero observations) still render their
+    /// `+Inf`/`_sum`/`_count` lines so scrapes always see the family.
+    pub fn histogram_vec(&mut self, name: &str, help: &str, series: &[HistogramSeries<'_>]) {
+        self.header(name, help, "histogram");
+        for h in series {
+            let sep = if h.labels.is_empty() { "" } else { "," };
+            // Collapse the empty tail: every bucket past the last non-empty
+            // one adds nothing beyond +Inf.
+            let last = h
+                .bucket_counts
+                .iter()
+                .rposition(|&c| c > 0)
+                .map_or(0, |i| i + 1);
+            let mut cumulative = 0u64;
+            for (i, &count) in h.bucket_counts.iter().enumerate().take(last) {
+                cumulative += count;
+                let le = 2f64.powi(i as i32) / 1e9;
+                let _ = writeln!(
+                    self.out,
+                    "{name}_bucket{{{}{sep}le=\"{le}\"}} {cumulative}",
+                    h.labels
+                );
+            }
+            let total: u64 = h.bucket_counts.iter().sum();
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{{{}{sep}le=\"+Inf\"}} {total}",
+                h.labels
+            );
+            let suffix_labels = if h.labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", h.labels)
+            };
+            let _ = writeln!(
+                self.out,
+                "{name}_sum{suffix_labels} {}",
+                h.sum_nanos as f64 / 1e9
+            );
+            let _ = writeln!(self.out, "{name}_count{suffix_labels} {total}");
+        }
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_with_headers() {
+        let mut text = PromText::new();
+        text.counter("kreach_queries_total", "Queries answered.", 42);
+        text.gauge("kreach_uptime_seconds", "Uptime.", 1.5);
+        text.counter_vec(
+            "kreach_responses_total",
+            "Responses by class.",
+            &[(label("class", "2xx"), 40), (label("class", "5xx"), 2)],
+        );
+        let doc = text.finish();
+        for line in [
+            "# HELP kreach_queries_total Queries answered.",
+            "# TYPE kreach_queries_total counter",
+            "kreach_queries_total 42",
+            "# TYPE kreach_uptime_seconds gauge",
+            "kreach_uptime_seconds 1.5",
+            "kreach_responses_total{class=\"2xx\"} 40",
+            "kreach_responses_total{class=\"5xx\"} 2",
+        ] {
+            assert!(
+                doc.contains(&format!("{line}\n")),
+                "missing {line:?} in {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn histograms_render_cumulative_seconds_buckets() {
+        // Buckets 0..4 with counts [1, 0, 2, 0, 5] and a long empty tail.
+        let mut counts = vec![1u64, 0, 2, 0, 5];
+        counts.resize(64, 0);
+        let mut text = PromText::new();
+        text.histogram_vec(
+            "kreach_request_duration_seconds",
+            "Latency.",
+            &[HistogramSeries {
+                labels: String::new(),
+                bucket_counts: &counts,
+                sum_nanos: 100,
+            }],
+        );
+        let doc = text.finish();
+        // Cumulative counts at each rendered le, with 2^i ns in seconds.
+        assert!(doc.contains("le=\"0.000000001\"} 1"), "{doc}");
+        assert!(doc.contains("le=\"0.000000004\"} 3"), "{doc}");
+        assert!(doc.contains("le=\"0.000000016\"} 8"), "{doc}");
+        assert!(doc.contains("le=\"+Inf\"} 8"), "{doc}");
+        assert!(
+            doc.contains("kreach_request_duration_seconds_sum 0.0000001"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("kreach_request_duration_seconds_count 8"),
+            "{doc}"
+        );
+        // The empty tail collapsed: buckets 0..=4 plus +Inf, nothing past
+        // the last non-empty bucket.
+        assert_eq!(doc.matches("_bucket{").count(), 6, "{doc}");
+    }
+
+    #[test]
+    fn labeled_and_empty_histograms_render() {
+        let counts = vec![0u64; 64];
+        let some = {
+            let mut c = vec![0u64; 64];
+            c[10] = 3;
+            c
+        };
+        let mut text = PromText::new();
+        text.histogram_vec(
+            "kreach_engine_query_duration_seconds",
+            "Per-case latency.",
+            &[
+                HistogramSeries {
+                    labels: label("case", "case1"),
+                    bucket_counts: &some,
+                    sum_nanos: 3_000,
+                },
+                HistogramSeries {
+                    labels: label("case", "case2"),
+                    bucket_counts: &counts,
+                    sum_nanos: 0,
+                },
+            ],
+        );
+        let doc = text.finish();
+        assert!(
+            doc.contains("kreach_engine_query_duration_seconds_bucket{case=\"case1\",le="),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("kreach_engine_query_duration_seconds_count{case=\"case1\"} 3"),
+            "{doc}"
+        );
+        // The empty series still exposes its family lines.
+        assert!(
+            doc.contains(
+                "kreach_engine_query_duration_seconds_bucket{case=\"case2\",le=\"+Inf\"} 0"
+            ),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("kreach_engine_query_duration_seconds_count{case=\"case2\"} 0"),
+            "{doc}"
+        );
+    }
+
+    #[test]
+    fn label_values_escape_quotes_and_backslashes() {
+        assert_eq!(label("a", "b"), "a=\"b\"");
+        assert_eq!(label("a", "say \"hi\""), "a=\"say \\\"hi\\\"\"");
+        assert_eq!(label("a", "back\\slash"), "a=\"back\\\\slash\"");
+    }
+}

@@ -1,0 +1,226 @@
+//! Bounded ring buffer of requests that exceeded a latency threshold.
+//!
+//! The log is shared by every server handler thread. The fast path — a
+//! request under the threshold — is one relaxed load (the enabled check is
+//! `threshold > 0` captured at construction) plus the caller's own elapsed
+//! measurement; only requests already slower than the threshold take the
+//! ring's mutex. Entries carry their request's trace ID and span timings
+//! (when tracing is on), so a slow entry can be correlated with a
+//! `--trace` tree.
+
+use crate::trace::SpanRecord;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One logged slow request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQueryEntry {
+    /// The request's trace ID (0 when tracing was disabled).
+    pub trace_id: u64,
+    /// What ran: `GET /reach?s=0&t=9`, `line:17 4023 3`, ...
+    pub op: String,
+    /// Response status (HTTP status code; 200 for line-protocol answers).
+    pub status: u16,
+    /// End-to-end latency in microseconds.
+    pub micros: u64,
+    /// Span timings of the request's trace as `(name, microseconds)`
+    /// pairs, in start order; empty when tracing was off.
+    pub spans: Vec<(String, u64)>,
+}
+
+impl SlowQueryEntry {
+    /// The entry as one JSON object (hand-rolled; the build is hermetic).
+    pub fn to_json(&self) -> String {
+        let spans = self
+            .spans
+            .iter()
+            .map(|(name, micros)| format!("{{\"span\":{:?},\"micros\":{micros}}}", name))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"trace_id\":{},\"op\":{:?},\"status\":{},\"micros\":{},\"spans\":[{spans}]}}",
+            self.trace_id, self.op, self.status, self.micros
+        )
+    }
+}
+
+/// The shared slow-query ring; see the module docs.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    /// Latency threshold in microseconds; 0 disables the log entirely.
+    threshold_micros: u64,
+    capacity: usize,
+    total: AtomicU64,
+    ring: Mutex<VecDeque<SlowQueryEntry>>,
+}
+
+impl SlowQueryLog {
+    /// A log keeping the most recent `capacity` entries over
+    /// `threshold_micros`. A zero threshold disables recording (the ring
+    /// stays empty and [`SlowQueryLog::is_slow`] is always false).
+    pub fn new(threshold_micros: u64, capacity: usize) -> Self {
+        SlowQueryLog {
+            threshold_micros,
+            capacity: capacity.max(1),
+            total: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// A disabled log (zero threshold).
+    pub fn disabled() -> Self {
+        Self::new(0, 1)
+    }
+
+    /// The configured threshold in microseconds (0 = disabled).
+    pub fn threshold_micros(&self) -> u64 {
+        self.threshold_micros
+    }
+
+    /// Whether a request of `micros` end-to-end latency should be logged.
+    #[inline]
+    pub fn is_slow(&self, micros: u64) -> bool {
+        self.threshold_micros > 0 && micros >= self.threshold_micros
+    }
+
+    /// Records one slow request (the caller checks [`SlowQueryLog::is_slow`]
+    /// first so fast requests never reach the lock). `spans` come from
+    /// [`crate::Recorder::spans_for_trace`], already start-ordered.
+    pub fn record(
+        &self,
+        trace_id: u64,
+        op: String,
+        status: u16,
+        micros: u64,
+        spans: &[SpanRecord],
+    ) {
+        if self.threshold_micros == 0 {
+            return;
+        }
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let entry = SlowQueryEntry {
+            trace_id,
+            op,
+            status,
+            micros,
+            spans: spans
+                .iter()
+                .map(|s| {
+                    let name = if s.detail.is_empty() {
+                        s.name.to_string()
+                    } else {
+                        format!("{} ({})", s.name, s.detail)
+                    };
+                    (name, s.duration_nanos / 1_000)
+                })
+                .collect(),
+        };
+        let mut ring = self.ring.lock().expect("slow-query ring poisoned");
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Slow requests seen since startup (monotone; unlike the bounded ring,
+    /// never forgets) — the `kreach_slow_queries_total` counter.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQueryEntry> {
+        self.ring
+            .lock()
+            .expect("slow-query ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The retained entries as one JSON array.
+    pub fn to_json(&self) -> String {
+        let entries = self
+            .entries()
+            .iter()
+            .map(SlowQueryEntry::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("[{entries}]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, micros: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: 1,
+            name,
+            detail: String::new(),
+            depth: 0,
+            start_nanos: 0,
+            duration_nanos: micros * 1_000,
+        }
+    }
+
+    #[test]
+    fn threshold_gates_recording() {
+        let log = SlowQueryLog::new(100, 8);
+        assert!(!log.is_slow(99));
+        assert!(log.is_slow(100));
+        assert!(log.is_slow(5_000));
+        log.record(7, "GET /reach".into(), 200, 150, &[span("request", 150)]);
+        assert_eq!(log.total(), 1);
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].trace_id, 7);
+        assert_eq!(entries[0].spans, vec![("request".to_string(), 150)]);
+    }
+
+    #[test]
+    fn disabled_log_never_marks_or_records() {
+        let log = SlowQueryLog::disabled();
+        assert_eq!(log.threshold_micros(), 0);
+        assert!(!log.is_slow(u64::MAX));
+        log.record(1, "x".into(), 200, u64::MAX, &[]);
+        assert_eq!(log.total(), 0);
+        assert!(log.entries().is_empty());
+        assert_eq!(log.to_json(), "[]");
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_entries_but_total_is_monotone() {
+        let log = SlowQueryLog::new(1, 2);
+        for i in 0..5u64 {
+            log.record(i, format!("op{i}"), 200, 10 + i, &[]);
+        }
+        assert_eq!(log.total(), 5);
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].op, "op3");
+        assert_eq!(entries[1].op, "op4");
+    }
+
+    #[test]
+    fn entries_render_as_json() {
+        let log = SlowQueryLog::new(1, 4);
+        let mut with_detail = span("backend.query", 42);
+        with_detail.detail = "case=4".to_string();
+        log.record(9, "GET /reach?s=0&t=1".into(), 200, 55, &[with_detail]);
+        let json = log.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        for field in [
+            "\"trace_id\":9",
+            "\"op\":\"GET /reach?s=0&t=1\"",
+            "\"status\":200",
+            "\"micros\":55",
+            "\"span\":\"backend.query (case=4)\"",
+            "\"micros\":42",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+}

@@ -89,6 +89,16 @@ impl ServerMetrics {
             .record(elapsed.as_nanos() as u64);
     }
 
+    /// A point-in-time copy of the end-to-end request latency histogram —
+    /// the raw log2 buckets behind the `/metrics` duration histogram, where
+    /// the snapshot's quantiles are not enough.
+    pub fn latency_histogram(&self) -> LatencyHistogram {
+        self.latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .clone()
+    }
+
     /// A consistent-enough point-in-time copy of every counter. `active`
     /// (connections currently in service) is owned by the caller's
     /// admission control, not by this struct, so it is passed in.

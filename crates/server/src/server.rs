@@ -37,6 +37,9 @@ use kreach_datasets::{
 use kreach_engine::{BatchEngine, Query, QueryBatch, UpdateError};
 use kreach_graph::dynamic::EdgeUpdate;
 use kreach_graph::VertexId;
+use kreach_obs::observe::{CLASS_LABELS, RESOLUTION_LABELS};
+use kreach_obs::prom::{label, HistogramSeries, PromText};
+use kreach_obs::{Recorder, SlowQueryLog};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -47,6 +50,11 @@ use std::time::{Duration, Instant};
 
 const TEXT: &str = "text/plain; charset=utf-8";
 const JSON: &str = "application/json";
+const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Slow-query entries retained (newest win); the monotone total keeps
+/// counting past this.
+const SLOW_LOG_CAPACITY: usize = 128;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +80,11 @@ pub struct ServerConfig {
     /// trickling a byte at a time can pin a handler past roughly twice
     /// this duration per request.
     pub read_timeout: Duration,
+    /// Slow-query threshold in microseconds: requests whose end-to-end
+    /// latency reaches it land in the slow-query ring (dumped by
+    /// `GET /stats?slow=1` and counted by `kreach_slow_queries_total`).
+    /// `0` disables the log.
+    pub slow_query_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +96,7 @@ impl Default for ServerConfig {
             max_inflight: 64,
             max_body_bytes: 1 << 20,
             read_timeout: Duration::from_secs(10),
+            slow_query_us: 0,
         }
     }
 }
@@ -94,6 +108,11 @@ struct Shared {
     addr: SocketAddr,
     inflight: AtomicUsize,
     shutting_down: AtomicBool,
+    /// The engine's recorder, cloned so handlers can open `server.request`
+    /// spans that the engine's own spans nest under. Disabled recorders
+    /// make every span call a single branch.
+    recorder: Recorder,
+    slow_log: SlowQueryLog,
 }
 
 impl Shared {
@@ -136,6 +155,9 @@ pub struct DrainReport {
     pub metrics: MetricsSnapshot,
     /// Whether every server thread exited without panicking.
     pub clean: bool,
+    /// Requests that crossed the slow-query threshold over the server's
+    /// lifetime (0 when the log was disabled).
+    pub slow_queries: u64,
 }
 
 /// A running server. Dropping the handle shuts the server down and joins
@@ -166,6 +188,17 @@ impl ServerHandle {
     /// Point-in-time copy of the serving metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.snapshot()
+    }
+
+    /// Requests that crossed the slow-query threshold so far (monotone).
+    pub fn slow_queries(&self) -> u64 {
+        self.shared.slow_log.total()
+    }
+
+    /// The retained slow-query entries as one JSON array — the same
+    /// document `GET /stats?slow=1` serves.
+    pub fn slow_log_json(&self) -> String {
+        self.shared.slow_log.to_json()
     }
 
     /// Whether a drain has been requested (by [`ServerHandle::shutdown`] or
@@ -200,6 +233,7 @@ impl ServerHandle {
         DrainReport {
             metrics: self.shared.snapshot(),
             clean,
+            slow_queries: self.shared.slow_log.total(),
         }
     }
 }
@@ -218,6 +252,8 @@ impl Drop for ServerHandle {
 pub fn start(engine: Arc<BatchEngine>, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     let addr = listener.local_addr()?;
+    let recorder = engine.recorder().clone();
+    let slow_log = SlowQueryLog::new(config.slow_query_us, SLOW_LOG_CAPACITY);
     let shared = Arc::new(Shared {
         engine,
         metrics: ServerMetrics::new(),
@@ -229,6 +265,8 @@ pub fn start(engine: Arc<BatchEngine>, config: ServerConfig) -> std::io::Result<
         addr,
         inflight: AtomicUsize::new(0),
         shutting_down: AtomicBool::new(false),
+        recorder,
+        slow_log,
     });
 
     let (sender, receiver) = mpsc::channel::<TcpStream>();
@@ -477,7 +515,17 @@ fn serve_http_request(
         Ordering::Relaxed,
     );
 
+    // The request span is the trace root: the engine's own spans
+    // (engine.batch → engine.query → backend probes) nest under it because
+    // `shared.recorder` is the engine's recorder.
+    let mut span = shared.recorder.span("server.request");
+    let trace_id = span.trace_id();
     let (status, content_type, body) = route(shared, &request, peer_is_loopback);
+    span.note(format!(
+        "{} {} status={status}",
+        request.method, request.path
+    ));
+    drop(span);
     // A HEAD client will not read a response body, so any body bytes would
     // bleed into its next response: always close after answering one.
     let close = request.close || shared.is_shutting_down() || request.method == "HEAD";
@@ -490,7 +538,18 @@ fn serve_http_request(
         return false;
     }
     shared.metrics.record_status(status);
-    shared.metrics.record_latency(started.elapsed());
+    let elapsed = started.elapsed();
+    shared.metrics.record_latency(elapsed);
+    let micros = elapsed.as_micros() as u64;
+    if shared.slow_log.is_slow(micros) {
+        shared.slow_log.record(
+            trace_id,
+            format!("{} {}", request.method, request.path),
+            status,
+            micros,
+            &shared.recorder.spans_for_trace(trace_id),
+        );
+    }
     !close
 }
 
@@ -501,8 +560,18 @@ fn route(
     peer_is_loopback: bool,
 ) -> (u16, &'static str, Vec<u8>) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, TEXT, b"ok\n".to_vec()),
-        ("GET", "/stats") => (200, JSON, stats_json(shared).into_bytes()),
+        ("GET", "/healthz") => (200, JSON, healthz_json(shared).into_bytes()),
+        ("GET", "/metrics") => (200, PROM, metrics_text(shared).into_bytes()),
+        ("GET", "/stats") => {
+            // `?slow=1` swaps the stats document for the slow-query ring.
+            if request.query.iter().any(|(k, v)| k == "slow" && v == "1") {
+                let mut body = shared.slow_log.to_json();
+                body.push('\n');
+                (200, JSON, body.into_bytes())
+            } else {
+                (200, JSON, stats_json(shared).into_bytes())
+            }
+        }
         ("GET", "/reach") => endpoint_reach(shared, request),
         ("POST", "/batch") => endpoint_batch(shared, request),
         ("POST", "/update") => endpoint_update(shared, request),
@@ -722,6 +791,248 @@ fn stats_json(shared: &Arc<Shared>) -> String {
     )
 }
 
+/// The `/healthz` document: liveness plus just enough identity to tell
+/// *which* engine is healthy — backend name, mutation epoch, uptime.
+fn healthz_json(shared: &Arc<Shared>) -> String {
+    let info = shared.engine.info();
+    format!(
+        "{{\"status\":\"ok\",\"backend\":\"{}\",\"epoch\":{},\"uptime_secs\":{:.3}}}\n",
+        info.backend,
+        info.epoch,
+        shared.snapshot().uptime_secs,
+    )
+}
+
+/// The `/metrics` document: every serving counter in Prometheus text
+/// exposition format (`kreach_` prefix). Counters and histograms are
+/// cumulative since server start, so consecutive scrapes are monotone; the
+/// engine's per-case series sum to the number of queries it served (the
+/// live Table-8 breakdown).
+fn metrics_text(shared: &Arc<Shared>) -> String {
+    let info = shared.engine.info();
+    let tally = shared.engine.case_tally();
+    let metrics = shared.snapshot();
+    let latency = shared.metrics.latency_histogram();
+    let mut text = PromText::new();
+
+    // Connection and request plumbing.
+    text.counter(
+        "kreach_connections_accepted_total",
+        "Connections accepted from the listener.",
+        metrics.accepted,
+    );
+    text.counter(
+        "kreach_connections_admitted_total",
+        "Connections admitted past the in-flight budget.",
+        metrics.admitted,
+    );
+    text.counter(
+        "kreach_connections_shed_total",
+        "Connections shed with a fast 503 (admission control).",
+        metrics.shed,
+    );
+    text.gauge(
+        "kreach_inflight_connections",
+        "Connections admitted and not yet finished.",
+        metrics.active as f64,
+    );
+    text.counter(
+        "kreach_http_requests_total",
+        "HTTP requests parsed.",
+        metrics.http_requests,
+    );
+    text.counter(
+        "kreach_line_ops_total",
+        "Line-protocol operations answered.",
+        metrics.line_ops,
+    );
+    text.counter_vec(
+        "kreach_responses_total",
+        "Responses by status class.",
+        &[
+            (label("class", "2xx"), metrics.ok),
+            (label("class", "4xx"), metrics.client_errors),
+            (label("class", "5xx"), metrics.server_errors),
+        ],
+    );
+    text.counter(
+        "kreach_queries_total",
+        "Reachability questions answered (HTTP and line protocol).",
+        metrics.queries,
+    );
+    text.counter(
+        "kreach_mutations_total",
+        "Edge mutations routed through the engine.",
+        metrics.mutations,
+    );
+    text.counter(
+        "kreach_bytes_in_total",
+        "Request bytes read.",
+        metrics.bytes_in,
+    );
+    text.counter(
+        "kreach_bytes_out_total",
+        "Response bytes written.",
+        metrics.bytes_out,
+    );
+    text.histogram_vec(
+        "kreach_request_duration_seconds",
+        "End-to-end HTTP request latency.",
+        &[HistogramSeries {
+            labels: String::new(),
+            bucket_counts: latency.bucket_counts(),
+            sum_nanos: latency.sum_nanos(),
+        }],
+    );
+
+    // Engine: the live Table-8 case breakdown and how queries resolved.
+    let case_series: Vec<(String, u64)> = CLASS_LABELS
+        .iter()
+        .zip(tally.counts().iter())
+        .map(|(name, &count)| (label("case", name), count))
+        .collect();
+    text.counter_vec(
+        "kreach_engine_queries_by_case_total",
+        "Engine-served queries by Algorithm 2 case (paper Table 8).",
+        &case_series,
+    );
+    let resolution_series: Vec<(String, u64)> = RESOLUTION_LABELS
+        .iter()
+        .zip(tally.resolutions().iter())
+        .map(|(name, &count)| (label("resolution", name), count))
+        .collect();
+    text.counter_vec(
+        "kreach_engine_queries_by_resolution_total",
+        "Engine-served queries by resolution path.",
+        &resolution_series,
+    );
+    let case_hists: Vec<HistogramSeries<'_>> = CLASS_LABELS
+        .iter()
+        .zip(tally.histograms().iter())
+        .map(|(name, hist)| HistogramSeries {
+            labels: label("case", name),
+            bucket_counts: hist.bucket_counts(),
+            sum_nanos: hist.sum_nanos(),
+        })
+        .collect();
+    text.histogram_vec(
+        "kreach_engine_query_duration_seconds",
+        "Engine query latency by Algorithm 2 case.",
+        &case_hists,
+    );
+    // From the same tally snapshot as the per-case series, so the sum
+    // invariant holds within one scrape even while batches are landing.
+    text.counter(
+        "kreach_engine_queries_total",
+        "Queries served by the engine (sum of the per-case series).",
+        tally.total(),
+    );
+    text.counter(
+        "kreach_engine_dense_probes_total",
+        "Distance-bucketed cover bitset probes.",
+        tally.dense_probes(),
+    );
+    text.counter(
+        "kreach_engine_sparse_gallops_total",
+        "Sparse gallop intersections.",
+        tally.sparse_gallops(),
+    );
+
+    // Result cache and mutation epoch.
+    text.counter(
+        "kreach_cache_hits_total",
+        "Result-cache hits.",
+        info.cache.hits,
+    );
+    text.counter(
+        "kreach_cache_misses_total",
+        "Result-cache misses.",
+        info.cache.misses,
+    );
+    text.counter(
+        "kreach_cache_prefetched_total",
+        "Results inserted by hot-pair prefetch.",
+        info.cache.prefetched,
+    );
+    text.counter(
+        "kreach_cache_neg_expired_total",
+        "Negative entries expired by TTL.",
+        info.cache.neg_expired,
+    );
+    text.gauge(
+        "kreach_cache_entries",
+        "Entries resident in the result cache.",
+        info.cache_entries as f64,
+    );
+    text.gauge(
+        "kreach_engine_epoch",
+        "Mutation epoch (bumped by every applied update batch).",
+        info.epoch as f64,
+    );
+
+    // Update path: mutation outcomes, index maintenance work, stage timing.
+    let updates = info.update_stats;
+    text.counter_vec(
+        "kreach_updates_total",
+        "Edge mutations by outcome.",
+        &[
+            (label("kind", "insert"), updates.inserts),
+            (label("kind", "remove"), updates.removes),
+            (label("kind", "noop"), updates.noops),
+        ],
+    );
+    text.counter(
+        "kreach_update_rows_patched_total",
+        "Index rows patched in place by updates.",
+        updates.rows_patched,
+    );
+    text.counter(
+        "kreach_update_rows_coalesced_total",
+        "Pending row patches coalesced before application.",
+        updates.rows_coalesced,
+    );
+    text.counter(
+        "kreach_update_cover_additions_total",
+        "Vertices added to the cover by repairs.",
+        updates.cover_additions,
+    );
+    text.counter_vec(
+        "kreach_update_repairs_total",
+        "Cover repairs by the endpoint chosen to join the cover.",
+        &[
+            (label("arm", "source"), updates.repairs_picked_source),
+            (label("arm", "target"), updates.repairs_picked_target),
+        ],
+    );
+    text.counter(
+        "kreach_update_full_rebuilds_total",
+        "Full index rebuilds triggered by updates.",
+        updates.full_rebuilds,
+    );
+    text.counter_vec(
+        "kreach_update_stage_nanoseconds_total",
+        "Time spent in the update path by stage, in nanoseconds.",
+        &[
+            (label("stage", "patch"), updates.patch_nanos),
+            (label("stage", "repair"), updates.repair_nanos),
+            (label("stage", "rebuild"), updates.rebuild_nanos),
+        ],
+    );
+
+    // Slow-query log and liveness.
+    text.counter(
+        "kreach_slow_queries_total",
+        "Requests at or over the slow-query threshold.",
+        shared.slow_log.total(),
+    );
+    text.gauge(
+        "kreach_uptime_seconds",
+        "Seconds since the server started.",
+        metrics.uptime_secs,
+    );
+    text.finish()
+}
+
 /// The line protocol: one operation per line in the mixed-workload grammar,
 /// one response line per operation, streamed as they arrive. `stats` prints
 /// the `/stats` JSON, `quit` closes the session.
@@ -760,11 +1071,26 @@ fn serve_line_session(
         if trimmed == "quit" {
             break;
         }
+        let op_started = Instant::now();
+        let mut span = shared.recorder.span("server.line_op");
+        let trace_id = span.trace_id();
         let reply = if trimmed == "stats" {
             stats_json(shared)
         } else {
             line_op_reply(shared, trimmed)
         };
+        span.note(trimmed.to_string());
+        drop(span);
+        let micros = op_started.elapsed().as_micros() as u64;
+        if shared.slow_log.is_slow(micros) {
+            shared.slow_log.record(
+                trace_id,
+                format!("line: {trimmed}"),
+                200,
+                micros,
+                &shared.recorder.spans_for_trace(trace_id),
+            );
+        }
         shared.metrics.line_ops.fetch_add(1, Ordering::Relaxed);
         shared
             .metrics
@@ -871,7 +1197,20 @@ mod tests {
     fn healthz_stats_and_routing() {
         let server = bfs_server();
         let mut client = BlockingClient::connect(server.addr()).unwrap();
-        assert_eq!(client.get("/healthz").unwrap().body_text(), "ok\n");
+        let health = client.get("/healthz").unwrap();
+        assert!(health.is_ok());
+        let health_json = health.body_text();
+        for field in [
+            "\"status\":\"ok\"",
+            "\"backend\":\"online-bfs\"",
+            "\"epoch\":0",
+            "\"uptime_secs\":",
+        ] {
+            assert!(
+                health_json.contains(field),
+                "missing {field} in {health_json}"
+            );
+        }
         let stats = client.get("/stats").unwrap();
         assert!(stats.is_ok());
         let json = stats.body_text();
@@ -1153,5 +1492,195 @@ mod tests {
         // The handler slot came back: a normal client is served.
         let mut client = BlockingClient::connect(server.addr()).unwrap();
         assert!(client.get("/healthz").unwrap().is_ok());
+    }
+
+    fn scrape(client: &mut BlockingClient) -> kreach_datasets::PromScrape {
+        let response = client.get("/metrics").unwrap();
+        assert!(response.is_ok());
+        kreach_datasets::PromScrape::parse(&response.body_text())
+            .expect("exposition must parse line by line")
+    }
+
+    #[test]
+    fn healthz_tracks_the_mutation_epoch() {
+        let server = dynamic_server();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        assert!(client
+            .get("/healthz")
+            .unwrap()
+            .body_text()
+            .contains("\"epoch\":0"));
+        assert!(client.post("/update", b"+ 1 2\n").unwrap().is_ok());
+        let health = client.get("/healthz").unwrap().body_text();
+        assert!(
+            health.contains("\"backend\":\"dynamic-k-reach\""),
+            "{health}"
+        );
+        assert!(health.contains("\"epoch\":1"), "{health}");
+    }
+
+    #[test]
+    fn metrics_round_trip_parses_and_counters_are_monotone() {
+        let server = dynamic_server();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        let before = scrape(&mut client);
+        assert_eq!(before.type_of("kreach_queries_total"), Some("counter"));
+        assert_eq!(
+            before.type_of("kreach_request_duration_seconds"),
+            Some("histogram")
+        );
+        assert_eq!(before.type_of("kreach_uptime_seconds"), Some("gauge"));
+        assert_eq!(before.sum_of("kreach_engine_queries_by_case_total"), 0.0);
+
+        // Straddle a batch: four batch queries plus one single-query GET.
+        assert!(client
+            .post("/batch", b"0 1\n0 2\n1 2\n2 0\n")
+            .unwrap()
+            .is_ok());
+        assert!(client.get("/reach?s=0&t=1").unwrap().is_ok());
+        let after = scrape(&mut client);
+
+        // The per-case counters sum to the request count (Table 8 live).
+        assert_eq!(after.value("kreach_queries_total"), Some(5.0));
+        assert_eq!(after.value("kreach_engine_queries_total"), Some(5.0));
+        assert_eq!(after.sum_of("kreach_engine_queries_by_case_total"), 5.0);
+        assert_eq!(
+            after.sum_of("kreach_engine_queries_by_resolution_total"),
+            5.0
+        );
+        // Every query classified: nothing fell into the unknown bucket.
+        assert_eq!(
+            after.labeled("kreach_engine_queries_by_case_total", "case", "unknown"),
+            Some(0.0)
+        );
+
+        // Cumulative series never move backwards across scrapes.
+        let mut compared = 0;
+        for sample in before.samples() {
+            let cumulative = sample.name.ends_with("_total")
+                || sample.name.ends_with("_bucket")
+                || sample.name.ends_with("_sum")
+                || sample.name.ends_with("_count");
+            if !cumulative {
+                continue;
+            }
+            let now = after
+                .samples()
+                .iter()
+                .find(|s| s.name == sample.name && s.labels == sample.labels)
+                .unwrap_or_else(|| panic!("series {}{:?} vanished", sample.name, sample.labels));
+            assert!(
+                now.value >= sample.value,
+                "{}{:?} went backwards: {} -> {}",
+                sample.name,
+                sample.labels,
+                sample.value,
+                now.value
+            );
+            compared += 1;
+        }
+        assert!(compared > 20, "only {compared} cumulative series compared");
+    }
+
+    #[test]
+    fn concurrent_scrapes_under_load_stay_valid() {
+        let g = DiGraph::from_edges(3, [(0, 1)]);
+        let engine = Arc::new(BatchEngine::new(
+            Arc::new(DynamicKReachBackend::new(g, 2, DynamicOptions::default())),
+            EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        ));
+        // Handlers own a keep-alive connection for its lifetime: three
+        // held-open clients (two loaders + the scraper) need headroom.
+        let server = start(
+            engine,
+            ServerConfig {
+                handlers: 4,
+                ..tiny_config()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let loaders: Vec<_> = (0..2)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut client = BlockingClient::connect(addr).unwrap();
+                    let mut sent = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        assert!(client.post("/batch", b"0 1\n1 2\n0 2\n").unwrap().is_ok());
+                        sent += 3;
+                    }
+                    sent
+                })
+            })
+            .collect();
+        let mut client = BlockingClient::connect(addr).unwrap();
+        let mut last = 0.0;
+        for _ in 0..10 {
+            let mid = scrape(&mut client);
+            let queries = mid.value("kreach_queries_total").unwrap();
+            assert!(queries >= last, "queries went backwards under load");
+            // One scrape is internally consistent even while batches land.
+            assert_eq!(
+                mid.sum_of("kreach_engine_queries_by_case_total"),
+                mid.value("kreach_engine_queries_total").unwrap()
+            );
+            last = queries;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let sent: u64 = loaders.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(sent > 0);
+        let final_scrape = scrape(&mut client);
+        assert_eq!(
+            final_scrape.value("kreach_queries_total"),
+            Some(sent as f64)
+        );
+    }
+
+    #[test]
+    fn slow_queries_land_in_the_log_with_their_spans() {
+        let g = Arc::new(DiGraph::from_edges(4, [(0, 1), (1, 2)]));
+        let engine = Arc::new(BatchEngine::with_recorder(
+            Arc::new(BfsBackend::new(g, 2)),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+            Recorder::new(1024),
+        ));
+        let server = start(
+            engine,
+            ServerConfig {
+                slow_query_us: 1, // everything is slow at a 1µs threshold
+                ..tiny_config()
+            },
+        )
+        .unwrap();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        assert!(client.get("/reach?s=0&t=2").unwrap().is_ok());
+        assert!(client.get("/healthz").unwrap().is_ok());
+        // The slow entry is recorded after the response is written, so only
+        // requests *before* the latest one are guaranteed logged: on a
+        // keep-alive connection the server finishes request N before it
+        // reads request N+1.
+        let dump = client.get("/stats?slow=1").unwrap();
+        assert!(dump.is_ok());
+        assert!(server.slow_queries() >= 2);
+        let json = dump.body_text();
+        assert!(json.trim_end().starts_with('['), "{json}");
+        assert!(json.contains("\"op\":\"GET /reach\""), "{json}");
+        assert!(json.contains("server.request"), "{json}");
+        assert!(json.contains("engine.query"), "{json}");
+        // The handle-side dump sees the same ring (plus the /stats request
+        // itself, which also crossed the threshold by now).
+        assert!(server.slow_log_json().contains("\"op\":\"GET /reach\""));
+        server.shutdown();
+        let report = server.join();
+        assert!(report.clean);
+        assert!(report.slow_queries >= 2);
     }
 }

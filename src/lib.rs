@@ -20,6 +20,9 @@
 //!   and a 2-hop distance labeling.
 //! * [`datasets`] ([`kreach_datasets`]) — synthetic stand-ins for the 15
 //!   evaluation datasets and the random query workloads.
+//! * [`obs`] ([`kreach_obs`]) — the observability layer: structured query
+//!   tracing, per-case latency accounting, the slow-query log, and the
+//!   Prometheus text renderer behind `GET /metrics`.
 //! * [`engine`] ([`kreach_engine`]) — the serving layer: a concurrent batch
 //!   query engine with a fixed worker pool and a sharded LRU result cache.
 //! * [`server`] ([`kreach_server`]) — the network front end: an HTTP/1.1 +
@@ -47,6 +50,7 @@ pub use kreach_core as core;
 pub use kreach_datasets as datasets;
 pub use kreach_engine as engine;
 pub use kreach_graph as graph;
+pub use kreach_obs as obs;
 pub use kreach_server as server;
 
 /// The most commonly used items from every workspace crate.

@@ -33,6 +33,11 @@
 //! a time-to-live in milliseconds for cached *negative* answers, and
 //! `--prefetch-hot N`, which warms the result cache with all pairs among the
 //! top-N out-degree ("celebrity") vertices at startup and after mutations.
+//! They also accept `--trace N`, which turns on the structured span recorder
+//! ([`kreach::obs::Recorder`]) and prints the N slowest traces as indented
+//! span trees on stderr after the run; `serve` additionally takes
+//! `--slow-query-us US`, logging every request slower than US microseconds
+//! to an in-memory ring dumped by `GET /stats?slow=1`.
 //!
 //! Unknown `--flags` are rejected with an error rather than ignored.
 
@@ -42,6 +47,7 @@ use kreach::engine::{
     BatchEngine, DynamicKReachBackend, EngineConfig, KReachBackend, Query, QueryBatch,
 };
 use kreach::graph::dynamic::EdgeUpdate;
+use kreach::obs::{Recorder, Trace};
 use kreach::prelude::*;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -94,13 +100,14 @@ fn usage() -> &'static str {
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--hot N] [--hot-fraction F]\n\
      \x20 kreach batch <index-file> <edge-list> <queries-file> [--workers N] [--cache C]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--neg-ttl MS] [--default-k K] [--stats-json <file>]\n\
-     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N] [--trace N]\n\
      \x20 kreach update <edge-list> <update-workload> [--k K] [--workers N] [--cache C]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--neg-ttl MS] [--stats-json <file>] [--prefetch-hot N]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--trace N]\n\
      \x20 kreach serve <edge-list> [--port P] [--host H] [--backend kreach|hk|bfs|dynamic]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--k K] [--h H] [--workers N] [--cache C] [--neg-ttl MS]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--handlers N] [--max-inflight N] [--max-body BYTES]\n\
-     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N] [--trace N] [--slow-query-us US]\n\
      \x20 kreach bench-serve [--dataset D] [--scale F] [--k K] [--queries N]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--workers a,b,..] [--cache C] [--seed S]"
 }
@@ -365,6 +372,45 @@ fn parse_neg_ttl(args: &[&str]) -> Result<Option<std::time::Duration>, String> {
     Ok((millis > 0).then(|| std::time::Duration::from_millis(millis)))
 }
 
+/// Per-thread span-ring capacity when `--trace` is on. Sized so a serving
+/// run keeps a few thousand recent spans per worker without unbounded
+/// growth — the slowest traces of interest are always recent ones.
+const TRACE_RING_CAPACITY: usize = 4096;
+
+/// Parses `--trace N` and builds the recorder it implies: the production
+/// no-op recorder when absent or 0, a real span recorder otherwise.
+fn parse_trace(args: &[&str]) -> Result<(usize, Recorder), String> {
+    let trace: usize = parse_flag_or(args, "--trace", 0)?;
+    let recorder = if trace > 0 {
+        Recorder::new(TRACE_RING_CAPACITY)
+    } else {
+        Recorder::disabled()
+    };
+    Ok((trace, recorder))
+}
+
+/// Drains the recorder and prints the `n` slowest traces as indented span
+/// trees on stderr (answers on stdout stay byte-identical regardless).
+fn print_slowest_traces(recorder: &Recorder, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let traces = Trace::group(recorder.drain());
+    if traces.is_empty() {
+        eprintln!("--trace: no spans recorded");
+        return;
+    }
+    eprintln!(
+        "--trace: {} slowest of {} traces (ring keeps the most recent \
+         {TRACE_RING_CAPACITY} spans per thread):",
+        n.min(traces.len()),
+        traces.len()
+    );
+    for trace in traces.iter().take(n) {
+        eprint!("{}", trace.render_tree());
+    }
+}
+
 fn cmd_batch(args: &[&str]) -> Result<String, String> {
     ensure_known_flags(
         args,
@@ -375,6 +421,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
             "--default-k",
             "--stats-json",
             "--prefetch-hot",
+            "--trace",
         ],
     )?;
     let pos = positionals(args);
@@ -385,6 +432,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
     let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
     let neg_ttl = parse_neg_ttl(args)?;
     let prefetch_hot: usize = parse_flag_or(args, "--prefetch-hot", 0)?;
+    let (trace, recorder) = parse_trace(args)?;
     // Resolved before the (possibly long) run so a malformed flag cannot
     // discard a finished batch.
     let stats_json = flag_value(args, "--stats-json")?;
@@ -404,7 +452,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
     let entries = kreach::datasets::read_workload_file(queries_path).map_err(|e| e.to_string())?;
     let batch = QueryBatch::from_triples(&entries, default_k);
 
-    let engine = BatchEngine::new(
+    let engine = BatchEngine::with_recorder(
         Arc::new(KReachBackend::new(Arc::clone(&g), index)),
         EngineConfig {
             workers,
@@ -413,6 +461,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
             prefetch_hot,
             ..EngineConfig::default()
         },
+        recorder.clone(),
     );
     let outcome = engine.run(&batch).map_err(|e| e.to_string())?;
 
@@ -421,6 +470,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
     // the shared renderer); the timing-dependent report goes to stderr.
     let out = kreach::datasets::render_answer_lines(batch.answered(&outcome.answers));
     eprintln!("{}", outcome.stats);
+    print_slowest_traces(&recorder, trace);
     if let Some(path) = stats_json {
         std::fs::write(path, outcome.stats.to_json() + "\n").map_err(|e| e.to_string())?;
     }
@@ -437,6 +487,7 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
             "--neg-ttl",
             "--stats-json",
             "--prefetch-hot",
+            "--trace",
         ],
     )?;
     let pos = positionals(args);
@@ -451,6 +502,7 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
     let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
     let neg_ttl = parse_neg_ttl(args)?;
     let prefetch_hot: usize = parse_flag_or(args, "--prefetch-hot", 0)?;
+    let (trace, recorder) = parse_trace(args)?;
     let stats_json = flag_value(args, "--stats-json")?;
 
     let g = kreach::graph::io::read_edge_list_file(graph_path).map_err(|e| e.to_string())?;
@@ -461,7 +513,7 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
         k,
         kreach::core::dynamic::DynamicOptions::default(),
     ));
-    let engine = BatchEngine::new(
+    let engine = BatchEngine::with_recorder(
         Arc::clone(&backend) as Arc<dyn kreach::engine::Reachability>,
         EngineConfig {
             workers,
@@ -470,6 +522,7 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
             prefetch_hot,
             ..EngineConfig::default()
         },
+        recorder.clone(),
     );
 
     let started = std::time::Instant::now();
@@ -570,6 +623,7 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
         engine.epoch(),
     );
     eprintln!("{summary}");
+    print_slowest_traces(&recorder, trace);
     if let Some(path) = stats_json {
         let json = format!(
             concat!(
@@ -648,6 +702,8 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             "--max-inflight",
             "--max-body",
             "--prefetch-hot",
+            "--trace",
+            "--slow-query-us",
         ],
     )?;
     let pos = positionals(args);
@@ -672,11 +728,20 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
     let handlers: usize = parse_flag_or(args, "--handlers", server_defaults.handlers)?;
     let max_inflight: usize = parse_flag_or(args, "--max-inflight", server_defaults.max_inflight)?;
     let max_body: usize = parse_flag_or(args, "--max-body", server_defaults.max_body_bytes)?;
+    let slow_query_us: u64 = parse_flag_or(args, "--slow-query-us", server_defaults.slow_query_us)?;
+    let (trace, recorder) = parse_trace(args)?;
+    // The slow-query log stores span trees per entry, so it needs a live
+    // recorder even when --trace itself was not requested.
+    let recorder = if slow_query_us > 0 && !recorder.is_enabled() {
+        Recorder::new(TRACE_RING_CAPACITY)
+    } else {
+        recorder
+    };
 
     let g =
         Arc::new(kreach::graph::io::read_edge_list_file(graph_path).map_err(|e| e.to_string())?);
     let backend = build_backend(backend_name, &g, k, h)?;
-    let engine = Arc::new(BatchEngine::new(
+    let engine = Arc::new(BatchEngine::with_recorder(
         backend,
         EngineConfig {
             workers,
@@ -685,6 +750,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             prefetch_hot,
             ..EngineConfig::default()
         },
+        recorder.clone(),
     ));
     let info = engine.info();
     let handle = kreach::server::start(
@@ -695,6 +761,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             handlers,
             max_inflight,
             max_body_bytes: max_body,
+            slow_query_us,
             ..server_defaults
         },
     )
@@ -715,11 +782,12 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
 
     // Blocks until a drain is requested over the wire (POST /shutdown).
     let report = handle.join();
+    print_slowest_traces(&recorder, trace);
     let m = &report.metrics;
     Ok(format!(
         "drained clean={} · {} connections admitted ({} shed, {} accepted) · \
          {} http requests · {} line ops · {} queries · {} mutations · \
-         {} ok / {} client errors / {} server errors\n",
+         {} ok / {} client errors / {} server errors · {} slow queries\n",
         report.clean,
         m.admitted,
         m.shed,
@@ -731,6 +799,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
         m.ok,
         m.client_errors,
         m.server_errors,
+        report.slow_queries,
     ))
 }
 
@@ -923,6 +992,12 @@ mod tests {
         )))
         .expect("4-worker batch succeeds");
         assert_eq!(serial, parallel, "answers must not depend on worker count");
+        // Tracing is an observer: answers stay byte-identical under --trace.
+        let traced = run(&args(&format!(
+            "batch {index_arg} {graph_arg} {queries_arg} --workers 4 --trace 3"
+        )))
+        .expect("traced batch succeeds");
+        assert_eq!(serial, traced, "tracing must not change answers");
         assert_eq!(serial.lines().count(), 2000);
         assert!(serial.lines().all(|l| l.ends_with("reachable")));
         assert!(serial.contains(" 3 "), "per-line k column present");
@@ -1021,7 +1096,7 @@ mod tests {
         .unwrap();
 
         let out = run(&args(&format!(
-            "update {graph_arg} {ops_arg} --k 2 --workers 2 --stats-json {stats_arg}"
+            "update {graph_arg} {ops_arg} --k 2 --workers 2 --stats-json {stats_arg} --trace 2"
         )))
         .expect("update succeeds");
         let lines: Vec<&str> = out.lines().collect();
@@ -1097,7 +1172,7 @@ mod tests {
             let port = base.wrapping_add(attempt * 7).max(1024);
             let command = format!(
                 "serve {graph_arg} --port {port} --backend dynamic --k 2 --workers 1 \
-                 --handlers 2 --max-inflight 8 --neg-ttl 60000"
+                 --handlers 2 --max-inflight 8 --neg-ttl 60000 --trace 2 --slow-query-us 1"
             );
             let thread = std::thread::spawn(move || run(&args(&command)));
             // Wait for the listener to come up (or the thread to fail).
@@ -1132,6 +1207,10 @@ mod tests {
         let output = thread.join().unwrap().expect("serve exits cleanly");
         assert!(output.contains("drained clean=true"), "{output}");
         assert!(output.contains("mutations"), "{output}");
+        // With a 1µs threshold every request is slow, so the drain summary
+        // must report a non-zero slow-query count.
+        assert!(output.contains("slow queries"), "{output}");
+        assert!(!output.contains(" 0 slow queries"), "{output}");
         std::fs::remove_file(dir.join("g.txt")).ok();
     }
 
