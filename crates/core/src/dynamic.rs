@@ -236,6 +236,83 @@ impl DynamicKReach {
         this
     }
 
+    /// Borrows the maintainer's raw index state — cover members in position
+    /// order and the per-position rows of `(target position, true distance)`
+    /// — for checkpointing. Together with the graph view this is the entire
+    /// mutable state: a checkpoint of these pieces restores the maintainer
+    /// bit-for-bit via [`DynamicKReach::from_raw_state`].
+    #[allow(clippy::type_complexity)]
+    pub fn raw_state(&self) -> (&[VertexId], &[Vec<(u32, u32)>]) {
+        (&self.members, &self.rows)
+    }
+
+    /// Reconstructs a maintainer from checkpointed raw state without
+    /// rebuilding anything — the restore path of `kreach serve --data-dir`.
+    ///
+    /// Structural invariants are validated (member ranges and uniqueness,
+    /// row sort order, target-position and distance bounds) and violations
+    /// return `Err` rather than panicking, so a corrupt checkpoint can never
+    /// produce a maintainer that faults at query time. Rebuild bookkeeping is
+    /// reset as if the restored state had just been built.
+    pub fn from_raw_state(
+        graph: VersionedAdjGraph,
+        k: u32,
+        options: DynamicOptions,
+        members: Vec<VertexId>,
+        rows: Vec<Vec<(u32, u32)>>,
+    ) -> Result<Self, String> {
+        if k == 0 {
+            return Err("k-reach requires k >= 1".to_string());
+        }
+        let n = graph.vertex_count();
+        if members.len() != rows.len() {
+            return Err(format!(
+                "{} cover members but {} rows",
+                members.len(),
+                rows.len()
+            ));
+        }
+        let mut pos_of = vec![NOT_COVERED; n];
+        for (p, &v) in members.iter().enumerate() {
+            if v.index() >= n {
+                return Err(format!("cover member {v} out of range (n = {n})"));
+            }
+            if pos_of[v.index()] != NOT_COVERED {
+                return Err(format!("duplicate cover member {v}"));
+            }
+            pos_of[v.index()] = p as u32;
+        }
+        let cover_len = members.len() as u32;
+        for (p, row) in rows.iter().enumerate() {
+            if row.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(format!("row {p} is not strictly sorted by target position"));
+            }
+            for &(t, d) in row {
+                if t >= cover_len {
+                    return Err(format!(
+                        "row {p} targets position {t} outside the cover ({cover_len})"
+                    ));
+                }
+                if d > k {
+                    return Err(format!("row {p} stores distance {d} past the bound {k}"));
+                }
+            }
+        }
+        let (cover_at_rebuild, edges_at_rebuild) = (members.len(), graph.edge_count());
+        Ok(DynamicKReach {
+            k,
+            options,
+            graph,
+            members,
+            pos_of,
+            rows,
+            cover_at_rebuild,
+            edges_at_rebuild,
+            removals_since_rebuild: 0,
+            stats: UpdateStats::default(),
+        })
+    }
+
     /// The hop bound `k` the maintained index answers.
     pub fn k(&self) -> u32 {
         self.k

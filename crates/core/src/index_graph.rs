@@ -149,6 +149,24 @@ impl RowAccel {
     }
 }
 
+/// Borrowed raw pieces of the hybrid successor acceleration
+/// ([`CoverIndexGraph::accel_parts`]), exactly as laid out in memory.
+#[derive(Debug, Clone, Copy)]
+pub struct AccelParts<'a> {
+    /// Dense-row degree threshold in force.
+    pub threshold: usize,
+    /// Number of weight classes per dense row.
+    pub classes: u32,
+    /// `u64` words per class bitset (`ceil(cover_size / 64)`).
+    pub words_per_class: usize,
+    /// Cover position → dense slot map (`u32::MAX` marks a sparse row).
+    pub dense_of: &'a [u32],
+    /// Flat class bitset words, laid out `[slot][class][word]`.
+    pub dense_words: &'a [u64],
+    /// Number of dense rows.
+    pub dense_rows: usize,
+}
+
 thread_local! {
     /// Scratch bitset holding a query's candidate positions during
     /// [`CoverIndexGraph::any_pair_edge_le`]; grown to the largest cover seen
@@ -294,6 +312,132 @@ impl<W: WeightStore> CoverIndexGraph<W> {
             targets,
             weights,
             accel,
+        }
+    }
+
+    /// Reassembles an index graph from raw parts **including** the hybrid
+    /// acceleration, installing the serialized bitset words directly instead
+    /// of rebuilding them — the load path of the v3 on-disk format, whose
+    /// layout is exactly the in-memory layout.
+    ///
+    /// All structural invariants are validated (CSR consistency, cover and
+    /// target ranges, acceleration dimensions and slot assignment) and
+    /// violations return `Err` rather than panicking, so a corrupt file can
+    /// never produce an index that faults at query time. The bitset *words*
+    /// themselves are trusted; the caller is expected to have verified a
+    /// content checksum over them (the v3 section table does).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts_with_accel(
+        n: usize,
+        cover: Vec<VertexId>,
+        offsets: Vec<u32>,
+        targets: Vec<u32>,
+        weights: W,
+        threshold: usize,
+        classes: u32,
+        dense_of: Vec<u32>,
+        dense_words: Vec<u64>,
+    ) -> Result<Self, String> {
+        if n > u32::MAX as usize {
+            return Err(format!("vertex count {n} exceeds the u32 id space"));
+        }
+        if offsets.len() != cover.len() + 1 {
+            return Err(format!(
+                "offsets must have cover_size + 1 entries (got {} for cover {})",
+                offsets.len(),
+                cover.len()
+            ));
+        }
+        if offsets.first().copied().unwrap_or(0) != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be non-decreasing from 0".to_string());
+        }
+        if *offsets.last().unwrap_or(&0) as usize != targets.len() {
+            return Err("last offset must equal the number of targets".to_string());
+        }
+        if targets.len() != weights.len() {
+            return Err("one weight per target required".to_string());
+        }
+        let cover_len = cover.len() as u32;
+        if targets.iter().any(|&t| t >= cover_len) {
+            return Err(format!("target position out of range (cover {cover_len})"));
+        }
+        let mut cover_pos = vec![NOT_COVERED; n];
+        for (p, &v) in cover.iter().enumerate() {
+            if v.index() >= n {
+                return Err(format!("cover vertex {v} out of range (n = {n})"));
+            }
+            if cover_pos[v.index()] != NOT_COVERED {
+                return Err(format!("duplicate cover vertex {v}"));
+            }
+            cover_pos[v.index()] = p as u32;
+        }
+        // Acceleration dimensions: slots must be assigned densely in cover
+        // position order (exactly how `RowAccel::build` lays them out), and
+        // the flat word array must match `dense_rows × classes × words`.
+        if classes == 0 {
+            return Err("acceleration needs at least one weight class".to_string());
+        }
+        if dense_of.len() != cover.len() {
+            return Err(format!(
+                "dense slot map has {} entries for a cover of {}",
+                dense_of.len(),
+                cover.len()
+            ));
+        }
+        let words_per_class = cover.len().div_ceil(64);
+        let mut dense_rows = 0usize;
+        for &slot in &dense_of {
+            if slot == NOT_DENSE {
+                continue;
+            }
+            if slot as usize != dense_rows {
+                return Err(format!(
+                    "dense slots must be assigned in cover order (slot {slot} at row {dense_rows})"
+                ));
+            }
+            dense_rows += 1;
+        }
+        let expected_words = dense_rows
+            .checked_mul(classes as usize)
+            .and_then(|x| x.checked_mul(words_per_class))
+            .ok_or_else(|| "acceleration word count overflows".to_string())?;
+        if dense_words.len() != expected_words {
+            return Err(format!(
+                "acceleration has {} words, expected {expected_words} \
+                 ({dense_rows} rows × {classes} classes × {words_per_class} words)",
+                dense_words.len()
+            ));
+        }
+        let accel = RowAccel {
+            threshold,
+            classes,
+            words_per_class,
+            dense_of,
+            dense_words,
+            dense_rows,
+        };
+        Ok(CoverIndexGraph {
+            cover_pos,
+            cover,
+            offsets,
+            targets,
+            weights,
+            accel,
+        })
+    }
+
+    /// Borrows the raw pieces of the hybrid acceleration exactly as laid out
+    /// in memory — what the v3 on-disk format serializes so a later load can
+    /// validate-into-place ([`CoverIndexGraph::from_raw_parts_with_accel`])
+    /// instead of rebuilding the bitsets.
+    pub fn accel_parts(&self) -> AccelParts<'_> {
+        AccelParts {
+            threshold: self.accel.threshold,
+            classes: self.accel.classes,
+            words_per_class: self.accel.words_per_class,
+            dense_of: &self.accel.dense_of,
+            dense_words: &self.accel.dense_words,
+            dense_rows: self.accel.dense_rows,
         }
     }
 

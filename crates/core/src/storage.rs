@@ -80,7 +80,90 @@ pub fn write_kreach<W: Write>(index: &KReachIndex, mut w: W) -> Result<(), Stora
     Ok(())
 }
 
+/// Upper bound on speculative `Vec::with_capacity` pre-allocation while the
+/// stream is still untrusted. A corrupted or hostile length field may claim
+/// billions of elements; allocation past this cap only happens as actual
+/// bytes arrive from the reader, so a lying header hits EOF (an `Io` error)
+/// long before it can abort the process on OOM.
+const PREALLOC_CAP: usize = 1 << 16;
+
+/// Reads `len` little-endian `u32`s with pre-allocation capped against
+/// hostile length fields (see [`PREALLOC_CAP`]).
+fn read_u32s<R: Read>(r: &mut R, len: usize) -> Result<Vec<u32>, StorageError> {
+    let mut out = Vec::with_capacity(len.min(PREALLOC_CAP));
+    for _ in 0..len {
+        out.push(read_u32(r)?);
+    }
+    Ok(out)
+}
+
+/// Validates the structural invariants of a deserialized index CSR so a
+/// corrupt file is rejected here with [`StorageError::Format`] instead of
+/// panicking later inside [`CoverIndexGraph::from_raw_parts_with_threshold`]
+/// or at query time (non-monotone offsets, out-of-range cover vertices or
+/// target positions).
+pub(crate) fn validate_index_csr(
+    n: usize,
+    cover: &[VertexId],
+    offsets: &[u32],
+    targets: &[u32],
+) -> Result<(), StorageError> {
+    if n > u32::MAX as usize {
+        return Err(StorageError::Format(format!(
+            "vertex count {n} exceeds the u32 vertex-id space"
+        )));
+    }
+    if cover.len() > n {
+        return Err(StorageError::Format(format!(
+            "cover size {} exceeds vertex count {n}",
+            cover.len()
+        )));
+    }
+    if offsets.len() != cover.len() + 1 {
+        return Err(StorageError::Format(format!(
+            "offset count {} does not match cover size {}",
+            offsets.len(),
+            cover.len()
+        )));
+    }
+    for &v in cover {
+        if v.index() >= n {
+            return Err(StorageError::Format(format!(
+                "cover vertex {v} out of range (n = {n})"
+            )));
+        }
+    }
+    if offsets.first().copied().unwrap_or(0) != 0 {
+        return Err(StorageError::Format("offsets must start at 0".to_string()));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(StorageError::Format(
+            "offsets must be non-decreasing".to_string(),
+        ));
+    }
+    if *offsets.last().unwrap_or(&0) as usize != targets.len() {
+        return Err(StorageError::Format(format!(
+            "last offset {} does not match target count {}",
+            offsets.last().unwrap_or(&0),
+            targets.len()
+        )));
+    }
+    let cover_len = cover.len() as u32;
+    if targets.iter().any(|&t| t >= cover_len) {
+        return Err(StorageError::Format(format!(
+            "target position out of range (cover size {cover_len})"
+        )));
+    }
+    Ok(())
+}
+
 /// Deserializes a k-reach index from a reader.
+///
+/// Every length field is treated as untrusted until the corresponding bytes
+/// have actually been read, and the loaded sections are cross-validated
+/// (offset monotonicity, cover/target ranges) before the index is assembled,
+/// so corrupt or hostile input yields [`StorageError`] — never a panic, an
+/// abort, or an index that panics later at query time.
 pub fn read_kreach<R: Read>(mut r: R) -> Result<KReachIndex, StorageError> {
     let magic = read_u32(&mut r)?;
     if magic != MAGIC {
@@ -100,43 +183,64 @@ pub fn read_kreach<R: Read>(mut r: R) -> Result<KReachIndex, StorageError> {
         None
     };
     let n = read_u64(&mut r)? as usize;
-
-    let cover_len = read_u64(&mut r)? as usize;
-    let mut cover = Vec::with_capacity(cover_len);
-    for _ in 0..cover_len {
-        cover.push(VertexId(read_u32(&mut r)?));
-    }
-    let offsets_len = read_u64(&mut r)? as usize;
-    let mut offsets = Vec::with_capacity(offsets_len);
-    for _ in 0..offsets_len {
-        offsets.push(read_u32(&mut r)?);
-    }
-    let targets_len = read_u64(&mut r)? as usize;
-    let mut targets = Vec::with_capacity(targets_len);
-    for _ in 0..targets_len {
-        targets.push(read_u32(&mut r)?);
-    }
-    let clamp_min = read_u32(&mut r)?;
-    let weight_count = read_u64(&mut r)? as usize;
-    let packed_len = read_u64(&mut r)? as usize;
-    let mut packed = vec![0u8; packed_len];
-    r.read_exact(&mut packed)?;
-
-    if weight_count != targets_len {
+    if n > u32::MAX as usize {
         return Err(StorageError::Format(format!(
-            "weight count {weight_count} does not match target count {targets_len}"
+            "vertex count {n} exceeds the u32 vertex-id space"
         )));
     }
+
+    let cover_len = read_u64(&mut r)? as usize;
+    if cover_len > n {
+        return Err(StorageError::Format(format!(
+            "cover size {cover_len} exceeds vertex count {n}"
+        )));
+    }
+    let cover: Vec<VertexId> = read_u32s(&mut r, cover_len)?
+        .into_iter()
+        .map(VertexId)
+        .collect();
+    let offsets_len = read_u64(&mut r)? as usize;
     if offsets_len != cover_len + 1 {
         return Err(StorageError::Format(format!(
             "offset count {offsets_len} does not match cover size {cover_len}"
         )));
     }
-    if packed.len() * 4 < weight_count {
-        return Err(StorageError::Format(
-            "packed weight buffer too short".to_string(),
-        ));
+    let offsets = read_u32s(&mut r, offsets_len)?;
+    let targets_len = read_u64(&mut r)? as usize;
+    if targets_len != *offsets.last().unwrap_or(&0) as usize {
+        return Err(StorageError::Format(format!(
+            "target count {targets_len} does not match last offset {}",
+            offsets.last().unwrap_or(&0)
+        )));
     }
+    let targets = read_u32s(&mut r, targets_len)?;
+    let clamp_min = read_u32(&mut r)?;
+    let weight_count = read_u64(&mut r)? as usize;
+    let packed_len = read_u64(&mut r)? as usize;
+    if weight_count != targets_len {
+        return Err(StorageError::Format(format!(
+            "weight count {weight_count} does not match target count {targets_len}"
+        )));
+    }
+    if packed_len != weight_count.div_ceil(4) {
+        return Err(StorageError::Format(format!(
+            "packed weight length {packed_len} does not match weight count {weight_count}"
+        )));
+    }
+    // `take` bounds the allocation by what the stream actually delivers, so
+    // an oversized length field cannot force a huge up-front buffer.
+    let mut packed = Vec::with_capacity(packed_len.min(PREALLOC_CAP));
+    r.by_ref()
+        .take(packed_len as u64)
+        .read_to_end(&mut packed)?;
+    if packed.len() != packed_len {
+        return Err(StorageError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated packed weight section",
+        )));
+    }
+
+    validate_index_csr(n, &cover, &offsets, &targets)?;
 
     let weights = PackedWeights::from_raw(clamp_min, weight_count, packed);
     let index = CoverIndexGraph::from_raw_parts_with_threshold(
@@ -146,9 +250,18 @@ pub fn read_kreach<R: Read>(mut r: R) -> Result<KReachIndex, StorageError> {
 }
 
 /// Saves an index to a file path.
+///
+/// Flushes the buffered writer explicitly and `sync_all`s the file before
+/// returning, so a full disk or failing device surfaces as an error here
+/// instead of being swallowed by the implicit flush-on-drop (which would
+/// report a truncated index file as success).
 pub fn save_kreach(index: &KReachIndex, path: impl AsRef<Path>) -> Result<(), StorageError> {
     let file = std::fs::File::create(path)?;
-    write_kreach(index, io::BufWriter::new(file))
+    let mut w = io::BufWriter::new(file);
+    write_kreach(index, &mut w)?;
+    w.flush()?;
+    w.get_ref().sync_all()?;
+    Ok(())
 }
 
 /// Loads an index from a file path.
@@ -200,6 +313,7 @@ mod tests {
     use crate::kreach::BuildOptions;
     use crate::paper_example::paper_example_graph;
     use kreach_graph::generators::GeneratorSpec;
+    use proptest::prelude::*;
 
     #[test]
     fn round_trip_preserves_answers_and_metadata() {
@@ -287,18 +401,132 @@ mod tests {
     fn file_round_trip() {
         let g = paper_example_graph();
         let index = KReachIndex::build(&g, 3, BuildOptions::default());
-        let dir = std::env::temp_dir().join("kreach-storage-test");
+        // Unique per-process directory: a fixed path under temp_dir() races
+        // against concurrent test runs on the same machine and flakes.
+        let dir = std::env::temp_dir().join(format!("kreach-storage-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("example.kreach");
         save_kreach(&index, &path).expect("saves");
         let restored = load_kreach(&path).expect("loads");
         assert_eq!(restored.k(), 3);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_reports_write_failure_instead_of_swallowing_it() {
+        let g = paper_example_graph();
+        let index = KReachIndex::build(&g, 3, BuildOptions::default());
+        // A directory path cannot be created as a file: the error must
+        // surface through the Result, not vanish in a drop.
+        let err = save_kreach(&index, std::env::temp_dir()).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "{err}");
     }
 
     #[test]
     fn error_display_is_informative() {
         let err = StorageError::Format("boom".to_string());
         assert!(err.to_string().contains("boom"));
+    }
+
+    /// A serialized paper-example index plus the byte offsets of every u64
+    /// length field in the fixed prefix, for targeted corruption.
+    fn base_bytes() -> Vec<u8> {
+        let g = paper_example_graph();
+        let index = KReachIndex::build(&g, 3, BuildOptions::default());
+        let mut buf = Vec::new();
+        write_kreach(&index, &mut buf).expect("serializes");
+        buf
+    }
+
+    #[test]
+    fn oversized_length_fields_error_instead_of_aborting_on_oom() {
+        let base = base_bytes();
+        // Offsets of the u64 length fields within the format: cover_len sits
+        // after magic/version/k/strategy (4 u32s) + threshold + n (2 u64s);
+        // the later ones follow the variable-length sections.
+        let cover_len_at = 32;
+        let cover_len = u64::from_le_bytes(base[32..40].try_into().unwrap()) as usize;
+        let offsets_len_at = 40 + 4 * cover_len;
+        let offsets_len =
+            u64::from_le_bytes(base[offsets_len_at..offsets_len_at + 8].try_into().unwrap())
+                as usize;
+        let targets_len_at = offsets_len_at + 8 + 4 * offsets_len;
+        let targets_len =
+            u64::from_le_bytes(base[targets_len_at..targets_len_at + 8].try_into().unwrap())
+                as usize;
+        let packed_len_at = targets_len_at + 8 + 4 * targets_len + 4 + 8;
+        for at in [cover_len_at, offsets_len_at, targets_len_at, packed_len_at] {
+            for hostile in [u64::MAX, 1 << 40, (u32::MAX as u64) + 7] {
+                let mut bytes = base.clone();
+                bytes[at..at + 8].copy_from_slice(&hostile.to_le_bytes());
+                assert!(
+                    read_kreach(bytes.as_slice()).is_err(),
+                    "length field at {at} = {hostile} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_sections_are_format_errors_not_panics() {
+        let base = base_bytes();
+        let cover_len = u64::from_le_bytes(base[32..40].try_into().unwrap()) as usize;
+        assert!(cover_len >= 2, "paper example has a non-trivial cover");
+        // Out-of-range cover vertex.
+        let mut bytes = base.clone();
+        bytes[40..44].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_kreach(bytes.as_slice()),
+            Err(StorageError::Format(_))
+        ));
+        // Non-monotone offsets: first offset must be 0; a huge first offset
+        // breaks monotonicity against its successors.
+        let offsets_at = 40 + 4 * cover_len + 8;
+        let mut bytes = base.clone();
+        bytes[offsets_at..offsets_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_kreach(bytes.as_slice()),
+            Err(StorageError::Format(_))
+        ));
+    }
+
+    proptest! {
+        // Corrupt-file fuzz: every truncation of a valid index file is
+        // rejected with an error — never a panic or an abort.
+        #[test]
+        fn truncated_files_always_error(cut in 0usize..4096) {
+            let base = base_bytes();
+            let cut = cut % base.len();
+            prop_assert!(read_kreach(&base[..cut]).is_err(), "prefix of {cut} bytes");
+        }
+
+        // Corrupt-file fuzz: single-bit flips anywhere in the file never
+        // panic. (A flip in a weight bit can still yield a structurally
+        // valid file, so the property is "returns", not "errors".)
+        #[test]
+        fn bit_flips_never_panic(byte in 0usize..4096, bit in 0u32..8) {
+            let mut bytes = base_bytes();
+            let at = byte % bytes.len();
+            bytes[at] ^= 1u8 << bit;
+            let _ = read_kreach(bytes.as_slice());
+        }
+
+        // Corrupt-file fuzz: random overwrites of any u64-aligned word with
+        // an arbitrary value (the "hostile length field" shape) never panic
+        // or abort, and never produce an index that panics on a query.
+        #[test]
+        fn random_word_overwrites_never_panic(word in 0usize..512, value in 0u64..u64::MAX) {
+            let mut bytes = base_bytes();
+            let words = bytes.len() / 8;
+            let at = (word % words) * 8;
+            bytes[at..at + 8].copy_from_slice(&value.to_le_bytes());
+            if let Ok(index) = read_kreach(bytes.as_slice()) {
+                // A structurally valid mutation must still be queryable.
+                let g = paper_example_graph();
+                if index.index_graph().input_vertex_count() == g.vertex_count() {
+                    let _ = index.query(&g, VertexId(0), VertexId(1));
+                }
+            }
+        }
     }
 }

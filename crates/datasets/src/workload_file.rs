@@ -526,7 +526,9 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let dir = std::env::temp_dir().join("kreach-workload-file-test");
+        // Unique per process so parallel test runs never race on the path.
+        let dir =
+            std::env::temp_dir().join(format!("kreach-workload-file-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("w.txt");
         let pairs = vec![(VertexId(9), VertexId(8))];

@@ -44,6 +44,14 @@ pub enum UpdateError {
         /// existing vertices are never growth).
         limit: usize,
     },
+    /// The batch was applied in memory but could not be made durable: the
+    /// engine's [`crate::DurabilitySink`] failed to persist it (full disk,
+    /// failing device). The caller must NOT treat the update as acknowledged
+    /// — on restart it may be lost.
+    Durability {
+        /// The underlying I/O failure, rendered.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for UpdateError {
@@ -60,6 +68,13 @@ impl std::fmt::Display for UpdateError {
                     f,
                     "update names vertex {vertex}, at or past the engine's vertex limit \
                      {limit} (raise EngineConfig::max_vertices if this growth is intended)"
+                )
+            }
+            UpdateError::Durability { message } => {
+                write!(
+                    f,
+                    "update applied in memory but could not be persisted \
+                     (do not treat it as acknowledged): {message}"
                 )
             }
         }
@@ -299,6 +314,16 @@ impl DynamicKReachBackend {
     pub fn new(g: DiGraph, k: u32, options: DynamicOptions) -> Self {
         DynamicKReachBackend {
             state: RwLock::new(DynamicKReach::new(g, k, options)),
+        }
+    }
+
+    /// Wraps an already-constructed maintainer — the restore path: a
+    /// checkpointed [`DynamicKReach`] rebuilt by
+    /// [`DynamicKReach::from_raw_state`] (plus write-ahead-log replay) is
+    /// served as-is, without any index construction.
+    pub fn from_state(state: DynamicKReach) -> Self {
+        DynamicKReachBackend {
+            state: RwLock::new(state),
         }
     }
 

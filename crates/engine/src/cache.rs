@@ -291,6 +291,13 @@ impl ResultCache {
         self.epoch.fetch_add(1, Ordering::Relaxed) + 1
     }
 
+    /// Sets the mutation epoch directly — the restore path: after a crash
+    /// recovery replays the write-ahead log, the engine re-establishes the
+    /// exact pre-crash epoch so clients observe an unbroken epoch sequence.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+    }
+
     /// Stamps an epoch into a query key.
     fn stamped(epoch: u64, q: &Query) -> Key {
         let (s, t, k) = q.key();

@@ -274,6 +274,21 @@ pub struct EngineInfo {
     pub update_stats: UpdateStats,
 }
 
+/// A durable destination for applied mutation batches — the seam between
+/// the engine and the write-ahead log in `kreach-store`.
+///
+/// [`BatchEngine::apply_updates`] calls [`DurabilitySink::append`] with the
+/// batch and the epoch it produced *before* returning success, and fails the
+/// update with [`UpdateError::Durability`] if the sink errors. An
+/// implementation must not return until the record is actually durable
+/// (written **and** fsynced), because a success return is what lets the
+/// server acknowledge `POST /update` — success must imply the update
+/// survives `kill -9`.
+pub trait DurabilitySink: Send + Sync {
+    /// Persists one applied mutation batch under the epoch it produced.
+    fn append(&self, epoch: u64, updates: &[EdgeUpdate]) -> std::io::Result<()>;
+}
+
 /// The concurrent batch query engine.
 ///
 /// Construction spawns the worker pool; [`BatchEngine::run`] then executes
@@ -293,6 +308,15 @@ pub struct BatchEngine {
     totals: Mutex<CaseTally>,
     /// Lifetime update-path totals across every applied mutation batch.
     update_totals: Mutex<UpdateStats>,
+    /// Serializes [`BatchEngine::apply_updates`] end to end so the epoch
+    /// sequence, the backend apply order, and the write-ahead-log append
+    /// order always agree (concurrent updates racing between "backend
+    /// applied" and "record appended" would otherwise let the log disagree
+    /// with the in-memory apply order and replay to a different state).
+    update_lock: Mutex<()>,
+    /// Write-ahead destination for applied batches; `None` serves without
+    /// durability (the default).
+    durability: Mutex<Option<Arc<dyn DurabilitySink>>>,
 }
 
 impl BatchEngine {
@@ -328,6 +352,8 @@ impl BatchEngine {
             recorder,
             totals: Mutex::new(CaseTally::new()),
             update_totals: Mutex::new(UpdateStats::default()),
+            update_lock: Mutex::new(()),
+            durability: Mutex::new(None),
         };
         engine.prefetch_hot_pairs();
         engine
@@ -425,6 +451,21 @@ impl BatchEngine {
         self.cache.epoch()
     }
 
+    /// Installs the durable destination every applied mutation batch is
+    /// appended to (fsync-before-ack; see [`DurabilitySink`]). Replaces any
+    /// previously installed sink.
+    pub fn set_durability(&self, sink: Arc<dyn DurabilitySink>) {
+        *self.durability.lock().expect("durability sink poisoned") = Some(sink);
+    }
+
+    /// Re-establishes a restored mutation epoch — the crash-recovery path:
+    /// after the checkpoint is loaded and the write-ahead log replayed, the
+    /// engine resumes at the exact pre-crash epoch instead of restarting
+    /// from zero, so acked epochs never appear to regress across a restart.
+    pub fn restore_epoch(&self, epoch: u64) {
+        self.cache.set_epoch(epoch);
+    }
+
     /// Snapshot of the engine's cumulative serving state (backend, workers,
     /// epoch, cache counters) — run-independent, for live `/stats`-style
     /// reporting by a network front end.
@@ -463,6 +504,11 @@ impl BatchEngine {
     /// [`EngineConfig::max_vertices`] (vertex growth allocates per-vertex
     /// state, so an absurd id must not reach the storage layer).
     pub fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<UpdateOutcome, UpdateError> {
+        // One update batch at a time: the backend's write lock already
+        // serializes the applies, but the epoch bump and the durability
+        // append must stay in the same order as the applies or a replayed
+        // log could reconstruct a different state.
+        let _serialized = self.update_lock.lock().expect("update lock poisoned");
         // Edges among already-existing vertices are always legitimate, so
         // the guard only rejects *growth* past the limit.
         let limit = self.max_vertices.max(self.backend.vertex_count());
@@ -493,6 +539,20 @@ impl BatchEngine {
             self.prefetch_hot_pairs();
         }
         outcome.epoch = self.cache.epoch();
+        if outcome.stats.applied() > 0 {
+            // Fsync-before-ack: the batch must be durable under its epoch
+            // before this returns success, because the server acknowledges
+            // `POST /update` off this Result — success must imply the
+            // update survives a crash. No-op batches are not logged (they
+            // change nothing; replay does not need them).
+            let sink = self.durability.lock().expect("durability sink poisoned");
+            if let Some(sink) = sink.as_ref() {
+                sink.append(outcome.epoch, updates)
+                    .map_err(|e| UpdateError::Durability {
+                        message: e.to_string(),
+                    })?;
+            }
+        }
         if span.is_recording() {
             span.note(format!(
                 "applied={} noops={} rows_patched={} rebuilds={} epoch={}",

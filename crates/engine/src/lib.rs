@@ -63,5 +63,7 @@ pub use backend::{
 pub use batch::{Query, QueryBatch};
 pub use cache::{CacheCounters, ResultCache};
 pub use casestats::CaseTally;
-pub use engine::{BatchEngine, BatchOutcome, EngineConfig, EngineError, EngineInfo, EngineStats};
+pub use engine::{
+    BatchEngine, BatchOutcome, DurabilitySink, EngineConfig, EngineError, EngineInfo, EngineStats,
+};
 pub use histogram::LatencyHistogram;

@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn file_round_trip() {
         let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
-        let dir = std::env::temp_dir().join("kreach-io-test");
+        let dir = std::env::temp_dir().join(format!("kreach-io-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("graph.txt");
         write_edge_list_file(&g, &path).expect("writes file");

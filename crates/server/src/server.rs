@@ -722,6 +722,9 @@ fn endpoint_update(shared: &Arc<Shared>, request: &Request) -> (u16, &'static st
                     Err(e @ UpdateError::Unsupported { .. }) => {
                         return (409, TEXT, format!("{body}error: {e}\n").into_bytes())
                     }
+                    Err(e @ UpdateError::Durability { .. }) => {
+                        return (500, TEXT, format!("{body}error: {e}\n").into_bytes())
+                    }
                     Err(e) => return (400, TEXT, format!("{body}error: {e}\n").into_bytes()),
                 }
             }

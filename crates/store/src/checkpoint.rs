@@ -1,0 +1,325 @@
+//! Checkpoint files: a `KRC3` container holding the **raw** dynamic
+//! maintainer state plus the engine epoch it corresponds to.
+//!
+//! A checkpoint serializes [`DynamicKReach`]'s internals — the adjacency
+//! graph's edge list and the maintainer's cover members and true-distance
+//! rows — rather than the derived [`kreach_core::KReachIndex`]. The index
+//! clamps weights to `{k-2, k-1, k}`, so restoring from it would lose the
+//! exact distances incremental repair needs; the raw rows restore the
+//! maintainer bit-for-bit.
+//!
+//! Section ids (kind = checkpoint):
+//!
+//! | id | elems | contents |
+//! |----|-------|----------|
+//! | 1  | u64×6 | meta: epoch, k, n, m, cover size, total row entries |
+//! | 8  | u32   | graph edges, flattened `(u, v)` pairs in CSR order |
+//! | 9  | u32   | cover member vertex ids, in position order |
+//! | 10 | u64   | row offsets (`cover size + 1`) into targets/distances |
+//! | 11 | u32   | row targets (cover positions) |
+//! | 12 | u32   | row true distances (`<= k`) |
+
+use crate::container::{ContainerReader, ContainerWriter, FileKind};
+use kreach_core::dynamic::{DynamicKReach, DynamicOptions};
+use kreach_core::storage::StorageError;
+use kreach_graph::{DiGraph, VersionedAdjGraph, VertexId};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const SEC_META: u32 = 1;
+const SEC_GRAPH_EDGES: u32 = 8;
+const SEC_MEMBERS: u32 = 9;
+const SEC_ROW_OFFSETS: u32 = 10;
+const SEC_ROW_TARGETS: u32 = 11;
+const SEC_ROW_DISTS: u32 = 12;
+
+/// Serializes the maintainer state and its epoch as a checkpoint container.
+pub fn write_checkpoint<W: Write>(
+    state: &DynamicKReach,
+    epoch: u64,
+    w: W,
+) -> Result<(), StorageError> {
+    let graph = state.snapshot_csr();
+    let (members, rows) = state.raw_state();
+
+    let mut edge_pairs = Vec::with_capacity(graph.edge_count() * 2);
+    for (u, v) in graph.edges() {
+        edge_pairs.push(u.0);
+        edge_pairs.push(v.0);
+    }
+    let member_ids: Vec<u32> = members.iter().map(|v| v.0).collect();
+    let total: usize = rows.iter().map(Vec::len).sum();
+    let mut row_offsets = Vec::with_capacity(rows.len() + 1);
+    let mut row_targets = Vec::with_capacity(total);
+    let mut row_dists = Vec::with_capacity(total);
+    row_offsets.push(0u64);
+    for row in rows {
+        for &(t, d) in row {
+            row_targets.push(t);
+            row_dists.push(d);
+        }
+        row_offsets.push(row_targets.len() as u64);
+    }
+
+    let meta = [
+        epoch,
+        state.k() as u64,
+        graph.vertex_count() as u64,
+        graph.edge_count() as u64,
+        members.len() as u64,
+        total as u64,
+    ];
+    let mut c = ContainerWriter::new(FileKind::Checkpoint);
+    c.put_u64s(SEC_META, &meta);
+    c.put_u32s(SEC_GRAPH_EDGES, &edge_pairs);
+    c.put_u32s(SEC_MEMBERS, &member_ids);
+    c.put_u64s(SEC_ROW_OFFSETS, &row_offsets);
+    c.put_u32s(SEC_ROW_TARGETS, &row_targets);
+    c.put_u32s(SEC_ROW_DISTS, &row_dists);
+    c.write_to(w)
+}
+
+/// Saves a checkpoint with fsync-before-return durability.
+pub fn save_checkpoint(
+    state: &DynamicKReach,
+    epoch: u64,
+    path: impl AsRef<Path>,
+) -> Result<(), StorageError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(file);
+    write_checkpoint(state, epoch, &mut w)?;
+    w.flush()?;
+    w.get_ref().sync_all()?;
+    Ok(())
+}
+
+/// A checkpoint restored into memory.
+pub struct RestoredCheckpoint {
+    /// The maintainer, bit-for-bit as at checkpoint time.
+    pub state: DynamicKReach,
+    /// Engine epoch the snapshot is at least as new as.
+    pub epoch: u64,
+}
+
+/// Reconstructs maintainer state from a parsed checkpoint container,
+/// re-validating counts against the meta section and every structural
+/// invariant through [`DynamicKReach::from_raw_state`].
+pub fn checkpoint_from_container(
+    c: &ContainerReader,
+    options: DynamicOptions,
+) -> Result<RestoredCheckpoint, StorageError> {
+    if c.kind() != FileKind::Checkpoint {
+        return Err(StorageError::Format(
+            "KRC3 file is not a checkpoint (kind mismatch)".into(),
+        ));
+    }
+    let meta = c.u64s(SEC_META)?;
+    if meta.len() != 6 {
+        return Err(StorageError::Format(format!(
+            "checkpoint meta section has {} fields (expected 6)",
+            meta.len()
+        )));
+    }
+    let epoch = meta[0];
+    let k = u32::try_from(meta[1])
+        .map_err(|_| StorageError::Format(format!("k {} does not fit in u32", meta[1])))?;
+    let n = usize::try_from(meta[2])
+        .map_err(|_| StorageError::Format("vertex count overflows usize".into()))?;
+    let m = usize::try_from(meta[3])
+        .map_err(|_| StorageError::Format("edge count overflows usize".into()))?;
+    let cover_len = usize::try_from(meta[4])
+        .map_err(|_| StorageError::Format("cover size overflows usize".into()))?;
+    let total = usize::try_from(meta[5])
+        .map_err(|_| StorageError::Format("row entry count overflows usize".into()))?;
+
+    let edge_pairs = c.u32s(SEC_GRAPH_EDGES)?;
+    if edge_pairs.len() != m * 2 {
+        return Err(StorageError::Format(format!(
+            "edge section has {} values for {m} edges",
+            edge_pairs.len()
+        )));
+    }
+    let edges: Vec<(u32, u32)> = edge_pairs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+    for &(u, v) in &edges {
+        if u as usize >= n || v as usize >= n {
+            return Err(StorageError::Format(format!(
+                "edge ({u}, {v}) out of range for {n} vertices"
+            )));
+        }
+    }
+    let graph = DiGraph::from_edges(n, edges);
+    if graph.edge_count() != m {
+        return Err(StorageError::Format(format!(
+            "edge list deduplicated to {} edges (meta claims {m})",
+            graph.edge_count()
+        )));
+    }
+
+    let members: Vec<VertexId> = c.u32s(SEC_MEMBERS)?.into_iter().map(VertexId).collect();
+    if members.len() != cover_len {
+        return Err(StorageError::Format(format!(
+            "member section has {} entries (meta claims {cover_len})",
+            members.len()
+        )));
+    }
+    let row_offsets = c.u64s(SEC_ROW_OFFSETS)?;
+    let row_targets = c.u32s(SEC_ROW_TARGETS)?;
+    let row_dists = c.u32s(SEC_ROW_DISTS)?;
+    if row_offsets.len() != cover_len + 1 {
+        return Err(StorageError::Format(format!(
+            "row offsets have {} entries (expected {})",
+            row_offsets.len(),
+            cover_len + 1
+        )));
+    }
+    if row_targets.len() != total || row_dists.len() != total {
+        return Err(StorageError::Format(format!(
+            "row sections have {}/{} entries (meta claims {total})",
+            row_targets.len(),
+            row_dists.len()
+        )));
+    }
+    if row_offsets.first() != Some(&0) || row_offsets.last() != Some(&(total as u64)) {
+        return Err(StorageError::Format(
+            "row offsets do not span the row entry sections".into(),
+        ));
+    }
+    let mut rows = Vec::with_capacity(cover_len);
+    for w in row_offsets.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if lo > hi || hi > total as u64 {
+            return Err(StorageError::Format(
+                "row offsets are not non-decreasing".into(),
+            ));
+        }
+        let (lo, hi) = (lo as usize, hi as usize);
+        rows.push(
+            row_targets[lo..hi]
+                .iter()
+                .copied()
+                .zip(row_dists[lo..hi].iter().copied())
+                .collect::<Vec<(u32, u32)>>(),
+        );
+    }
+
+    let state = DynamicKReach::from_raw_state(
+        VersionedAdjGraph::from_csr(&graph),
+        k,
+        options,
+        members,
+        rows,
+    )
+    .map_err(StorageError::Format)?;
+    Ok(RestoredCheckpoint { state, epoch })
+}
+
+/// Reads a checkpoint from a reader.
+pub fn read_checkpoint<R: Read>(
+    r: R,
+    options: DynamicOptions,
+) -> Result<RestoredCheckpoint, StorageError> {
+    checkpoint_from_container(&ContainerReader::read_from(r)?, options)
+}
+
+/// Loads a checkpoint file.
+pub fn load_checkpoint(
+    path: impl AsRef<Path>,
+    options: DynamicOptions,
+) -> Result<RestoredCheckpoint, StorageError> {
+    let file = std::fs::File::open(path)?;
+    read_checkpoint(io::BufReader::new(file), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_core::dynamic::DynamicOptions;
+    use kreach_graph::EdgeUpdate;
+
+    fn sample_state() -> DynamicKReach {
+        let mut edges = Vec::new();
+        for i in 0..30u32 {
+            edges.push((i, (i + 1) % 31));
+            edges.push((i, (i + 5) % 31));
+        }
+        let g = DiGraph::from_edges(32, edges);
+        let mut state = DynamicKReach::new(g, 3, DynamicOptions::default());
+        // A few incremental updates so the raw rows differ from a fresh build.
+        state.apply_all(&[
+            EdgeUpdate::Insert(VertexId(31), VertexId(4)),
+            EdgeUpdate::Remove(VertexId(2), VertexId(3)),
+            EdgeUpdate::Insert(VertexId(9), VertexId(31)),
+        ]);
+        state
+    }
+
+    fn all_answers(state: &DynamicKReach) -> Vec<bool> {
+        let g = state.snapshot_csr();
+        let index = state.to_index();
+        let mut out = Vec::new();
+        for s in 0..32u32 {
+            for t in 0..32u32 {
+                out.push(index.query(&g, VertexId(s), VertexId(t)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn checkpoint_round_trip_restores_exact_state() {
+        let state = sample_state();
+        let mut bytes = Vec::new();
+        write_checkpoint(&state, 42, &mut bytes).expect("write");
+        let restored = read_checkpoint(bytes.as_slice(), DynamicOptions::default()).expect("read");
+        assert_eq!(restored.epoch, 42);
+        let (members_a, rows_a) = state.raw_state();
+        let (members_b, rows_b) = restored.state.raw_state();
+        assert_eq!(members_a, members_b);
+        assert_eq!(rows_a, rows_b);
+        assert_eq!(all_answers(&state), all_answers(&restored.state));
+    }
+
+    #[test]
+    fn restored_state_keeps_accepting_updates() {
+        let state = sample_state();
+        let mut bytes = Vec::new();
+        write_checkpoint(&state, 1, &mut bytes).expect("write");
+        let mut restored = read_checkpoint(bytes.as_slice(), DynamicOptions::default())
+            .expect("read")
+            .state;
+        let mut original = state;
+        let more = [
+            EdgeUpdate::Insert(VertexId(0), VertexId(30)),
+            EdgeUpdate::Remove(VertexId(31), VertexId(4)),
+        ];
+        original.apply_all(&more);
+        restored.apply_all(&more);
+        assert_eq!(all_answers(&original), all_answers(&restored));
+    }
+
+    #[test]
+    fn truncated_checkpoints_always_error() {
+        let state = sample_state();
+        let mut bytes = Vec::new();
+        write_checkpoint(&state, 1, &mut bytes).expect("write");
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(
+                read_checkpoint(bytes[..cut].to_vec().as_slice(), DynamicOptions::default())
+                    .is_err(),
+                "cut at {cut} parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn index_container_is_rejected_as_checkpoint() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2)]);
+        let index = kreach_core::KReachIndex::build(&g, 2, kreach_core::BuildOptions::default());
+        let mut bytes = Vec::new();
+        crate::index_v3::write_index_v3(&index, &mut bytes).expect("write");
+        assert!(matches!(
+            read_checkpoint(bytes.as_slice(), DynamicOptions::default()),
+            Err(StorageError::Format(_))
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+//! # kreach-store
+//!
+//! Durable state for k-reach serving: what makes `POST /update` acks mean
+//! something across a `kill -9`.
+//!
+//! The paper (Cheng et al., *K-Reach: Who is in Your Small World*, PVLDB
+//! 2012) notes in §4.1.3 that "the constructed index is then stored on
+//! disk". This crate grows that single sentence into a full durable-state
+//! subsystem for the serving stack:
+//!
+//! * [`container`] — the `KRC3` sectioned container: little-endian arrays
+//!   with a section table, FNV-1a-64 payload checksums, and 8-byte
+//!   alignment, so loading is read + validate into place.
+//! * [`index_v3`] — index format v3 over that container, mirroring the
+//!   in-memory [`kreach_core::KReachIndex`] (including the dense-row
+//!   acceleration, which v1/v2 recompute on load). [`index_v3::load_index`]
+//!   sniffs the magic and still reads v1/v2 files.
+//! * [`wal`] — the epoch-keyed write-ahead log: every acked update batch is
+//!   appended and fsynced before the ack, in the `kreach update` wire
+//!   grammar, so replay and workload tooling share one parser.
+//! * [`checkpoint`] — periodic snapshots of the dynamic maintainer's *raw*
+//!   state (adjacency + true-distance rows), restorable bit-for-bit.
+//! * [`store`] — the data-directory orchestrator: [`store::Store`] wires
+//!   WAL + checkpoint + manifest together, implements the engine's
+//!   [`kreach_engine::DurabilitySink`], and [`store::spawn_checkpointer`]
+//!   keeps the WAL short in the background.
+//!
+//! ## Recovery contract
+//!
+//! Restart with the same `--data-dir` restores the exact pre-crash epoch:
+//! the newest checkpoint is loaded, WAL records above its epoch are
+//! replayed in log order (idempotently — the snapshot may already contain
+//! a suffix of them), and a torn tail from a crash mid-append is dropped.
+//! An update whose ack was sent is never lost; an update whose ack was
+//! never sent may or may not survive — both outcomes are consistent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod container;
+pub mod index_v3;
+pub mod manifest;
+pub mod store;
+pub mod wal;
+
+pub use checkpoint::{load_checkpoint, save_checkpoint, RestoredCheckpoint};
+pub use container::{ContainerReader, ContainerWriter, FileKind};
+pub use index_v3::{load_index, read_index_v3, save_index_v3, write_index_v3};
+pub use manifest::{read_manifest, Manifest};
+pub use store::{engine_snapshot, spawn_checkpointer, Checkpointer, RestoreReport, Store};
+pub use wal::{replay, Wal, WalRecord, WalReplay};

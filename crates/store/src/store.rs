@@ -1,0 +1,465 @@
+//! The data-directory orchestrator: WAL + checkpoints + manifest as one
+//! [`Store`], plus the background [`Checkpointer`] thread.
+//!
+//! Layout of a data directory:
+//!
+//! ```text
+//! data/
+//!   MANIFEST                       -> epoch + newest checkpoint name
+//!   checkpoint-<epoch>.krc3        -> KRC3 checkpoint container
+//!   wal-<seq>.log                  -> epoch-keyed mutation records
+//! ```
+//!
+//! Correctness hinges on two orderings:
+//!
+//! 1. **Ack order** — `apply_updates` appends to the WAL (fsync) *before*
+//!    returning, under the engine's update lock, so the log order equals
+//!    the apply order and an acked batch is always durable.
+//! 2. **Checkpoint order** — rotate the WAL first, *then* read the engine
+//!    epoch and snapshot. Every record in pre-rotation segments is `<=`
+//!    that epoch (epochs are monotonic), so those segments are deletable
+//!    once the checkpoint and manifest are durable. The snapshot may be
+//!    *newer* than the claimed epoch; replaying the overlap is a no-op
+//!    because inserts/removes of already-present/absent edges do not
+//!    change state.
+
+use crate::checkpoint::{load_checkpoint, save_checkpoint};
+use crate::manifest::{read_manifest, write_manifest, Manifest};
+use crate::wal::{replay, Wal};
+use kreach_core::dynamic::{DynamicKReach, DynamicOptions};
+use kreach_core::storage::StorageError;
+use kreach_engine::engine::DurabilitySink;
+use kreach_engine::{BatchEngine, DynamicKReachBackend};
+use kreach_graph::EdgeUpdate;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn checkpoint_name(epoch: u64) -> String {
+    format!("checkpoint-{epoch:020}.krc3")
+}
+
+/// A durable data directory: mutation WAL, checkpoint containers, and the
+/// manifest pointing at the newest consistent restore point.
+pub struct Store {
+    dir: PathBuf,
+    wal: Mutex<Wal>,
+    options: DynamicOptions,
+}
+
+/// What [`Store::restore`] reconstructed.
+pub struct RestoreReport {
+    /// The maintainer at the exact pre-crash state.
+    pub state: DynamicKReach,
+    /// Engine epoch to resume at.
+    pub epoch: u64,
+    /// Epoch of the checkpoint the restore started from.
+    pub checkpoint_epoch: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed_batches: usize,
+    /// Individual mutations inside those records.
+    pub replayed_ops: usize,
+    /// Whether a torn WAL tail (the normal crash signature) was dropped.
+    pub torn_tail: bool,
+}
+
+impl Store {
+    /// Opens (creating if needed) the data directory and its WAL.
+    pub fn open(dir: impl AsRef<Path>, options: DynamicOptions) -> Result<Self, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let wal = Wal::open(&dir)?;
+        Ok(Store {
+            dir,
+            wal: Mutex::new(wal),
+            options,
+        })
+    }
+
+    /// The data directory path.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether the directory holds a restorable checkpoint.
+    pub fn has_checkpoint(&self) -> Result<bool, StorageError> {
+        Ok(read_manifest(&self.dir)?.is_some())
+    }
+
+    /// Restores the newest checkpoint and replays the WAL past it, back to
+    /// the exact pre-crash epoch.
+    pub fn restore(&self) -> Result<RestoreReport, StorageError> {
+        let manifest = read_manifest(&self.dir)?.ok_or_else(|| {
+            StorageError::Format(format!(
+                "no manifest in {} — nothing to restore",
+                self.dir.display()
+            ))
+        })?;
+        let restored = load_checkpoint(self.dir.join(&manifest.checkpoint), self.options)?;
+        if restored.epoch != manifest.epoch {
+            return Err(StorageError::Format(format!(
+                "manifest epoch {} disagrees with checkpoint epoch {}",
+                manifest.epoch, restored.epoch
+            )));
+        }
+        let mut state = restored.state;
+        let mut epoch = restored.epoch;
+        let wal = replay(&self.dir, restored.epoch)?;
+        let mut replayed_ops = 0usize;
+        for record in &wal.records {
+            state.apply_all(&record.updates);
+            replayed_ops += record.updates.len();
+            epoch = epoch.max(record.epoch);
+        }
+        Ok(RestoreReport {
+            state,
+            epoch,
+            checkpoint_epoch: restored.epoch,
+            replayed_batches: wal.records.len(),
+            replayed_ops,
+            torn_tail: wal.torn,
+        })
+    }
+
+    /// Takes a checkpoint. `snap` runs *after* the WAL rotation and must
+    /// read the engine epoch **before** cloning the state (so the snapshot
+    /// is at least as new as the epoch it claims). Returns the epoch the
+    /// checkpoint covers.
+    pub fn checkpoint_with(
+        &self,
+        snap: impl FnOnce() -> (DynamicKReach, u64),
+    ) -> Result<u64, StorageError> {
+        let new_seq = {
+            let mut wal = self.wal.lock().expect("wal lock poisoned");
+            wal.rotate()?
+        };
+        let (state, epoch) = snap();
+
+        let final_name = checkpoint_name(epoch);
+        let tmp = self.dir.join(format!("{final_name}.tmp"));
+        save_checkpoint(&state, epoch, &tmp)?;
+        std::fs::rename(&tmp, self.dir.join(&final_name))?;
+        std::fs::File::open(&self.dir)?.sync_all()?;
+        write_manifest(
+            &self.dir,
+            &Manifest {
+                epoch,
+                checkpoint: final_name.clone(),
+            },
+        )?;
+
+        // The manifest is durable: older checkpoints and the pre-rotation
+        // WAL segments are now garbage.
+        {
+            let wal = self.wal.lock().expect("wal lock poisoned");
+            wal.prune(new_seq)?;
+        }
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("checkpoint-")
+                && (name.ends_with(".krc3") || name.ends_with(".tmp"))
+                && name != final_name
+            {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(epoch)
+    }
+
+    /// Convenience for a caller holding a concrete state (bootstrap and
+    /// tests): checkpoints `state` as-is at `epoch`.
+    pub fn checkpoint_state(&self, state: &DynamicKReach, epoch: u64) -> Result<u64, StorageError> {
+        self.checkpoint_with(|| (state.clone(), epoch))
+    }
+}
+
+impl DurabilitySink for Store {
+    fn append(&self, epoch: u64, updates: &[EdgeUpdate]) -> std::io::Result<()> {
+        let mut wal = self
+            .wal
+            .lock()
+            .map_err(|_| std::io::Error::other("wal lock poisoned"))?;
+        wal.append(epoch, updates)
+    }
+}
+
+/// Reads the engine epoch, then clones the backend state — in that order,
+/// so the snapshot is at least as new as the epoch it will claim.
+pub fn engine_snapshot(
+    engine: &BatchEngine,
+    backend: &DynamicKReachBackend,
+) -> (DynamicKReach, u64) {
+    let epoch = engine.epoch();
+    let state = backend.with_state(|s| s.clone());
+    (state, epoch)
+}
+
+/// Handle on the background checkpoint thread; stops and joins on
+/// [`Checkpointer::stop`].
+pub struct Checkpointer {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Checkpointer {
+    /// Signals the thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+/// Spawns a thread that checkpoints every `every` (when the epoch moved
+/// since the last checkpoint). Errors are reported to stderr and retried
+/// next period — a failing disk must not take down serving.
+pub fn spawn_checkpointer(
+    store: Arc<Store>,
+    engine: Arc<BatchEngine>,
+    backend: Arc<DynamicKReachBackend>,
+    every: Duration,
+    mut last_epoch: u64,
+) -> Checkpointer {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("kreach-checkpoint".into())
+        .spawn(move || loop {
+            let deadline = Instant::now() + every;
+            while Instant::now() < deadline {
+                if stop_flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50).min(every));
+            }
+            if engine.epoch() == last_epoch {
+                continue;
+            }
+            match store.checkpoint_with(|| engine_snapshot(&engine, &backend)) {
+                Ok(epoch) => last_epoch = epoch,
+                Err(e) => eprintln!("kreach-store: background checkpoint failed: {e}"),
+            }
+        })
+        .expect("spawn checkpoint thread");
+    Checkpointer {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_engine::EngineConfig;
+    use kreach_graph::{DiGraph, VertexId};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kreach-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn seed_graph() -> DiGraph {
+        let mut edges = Vec::new();
+        for i in 0..24u32 {
+            edges.push((i, (i + 1) % 25));
+            edges.push((i, (i + 4) % 25));
+        }
+        DiGraph::from_edges(26, edges)
+    }
+
+    fn mutation_stream() -> Vec<EdgeUpdate> {
+        let mut ops = Vec::new();
+        for i in 0..30u32 {
+            ops.push(EdgeUpdate::Insert(VertexId(i % 26), VertexId(25)));
+            if i % 3 == 0 {
+                ops.push(EdgeUpdate::Remove(VertexId(i % 24), VertexId((i + 1) % 25)));
+            }
+        }
+        ops
+    }
+
+    fn engine_with_store(dir: &Path) -> (Arc<BatchEngine>, Arc<DynamicKReachBackend>, Arc<Store>) {
+        let store = Arc::new(Store::open(dir, DynamicOptions::default()).expect("open store"));
+        let (engine, backend) = if store.has_checkpoint().expect("manifest check") {
+            let restored = store.restore().expect("restore");
+            let backend = Arc::new(DynamicKReachBackend::from_state(restored.state));
+            let engine = BatchEngine::new(
+                Arc::clone(&backend) as Arc<dyn kreach_engine::Reachability>,
+                EngineConfig {
+                    workers: 2,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.restore_epoch(restored.epoch);
+            (Arc::new(engine), backend)
+        } else {
+            let backend = Arc::new(DynamicKReachBackend::new(
+                seed_graph(),
+                3,
+                DynamicOptions::default(),
+            ));
+            let engine = BatchEngine::new(
+                Arc::clone(&backend) as Arc<dyn kreach_engine::Reachability>,
+                EngineConfig {
+                    workers: 2,
+                    ..EngineConfig::default()
+                },
+            );
+            store
+                .checkpoint_with(|| engine_snapshot(&engine, &backend))
+                .expect("bootstrap checkpoint");
+            (Arc::new(engine), backend)
+        };
+        engine.set_durability(Arc::clone(&store) as Arc<dyn DurabilitySink>);
+        (engine, backend, store)
+    }
+
+    fn answers(backend: &DynamicKReachBackend) -> Vec<bool> {
+        backend.with_state(|s| {
+            let mut out = Vec::new();
+            for a in 0..26u32 {
+                for b in 0..26u32 {
+                    out.push(s.query(VertexId(a), VertexId(b)));
+                }
+            }
+            out
+        })
+    }
+
+    #[test]
+    fn acked_updates_survive_a_simulated_crash() {
+        let dir = temp_dir("crash");
+        let (engine, backend, _store) = engine_with_store(&dir);
+        for op in mutation_stream() {
+            engine.apply_updates(&[op]).expect("apply");
+        }
+        let want_epoch = engine.epoch();
+        let want = answers(&backend);
+        // Simulated kill -9: drop everything without checkpointing.
+        drop(engine);
+        drop(backend);
+
+        let (engine2, backend2, _store2) = engine_with_store(&dir);
+        assert_eq!(engine2.epoch(), want_epoch, "restored epoch differs");
+        assert_eq!(answers(&backend2), want, "restored answers differ");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_then_more_updates_then_crash() {
+        let dir = temp_dir("ckpt-crash");
+        let (engine, backend, store) = engine_with_store(&dir);
+        let stream = mutation_stream();
+        let (first, second) = stream.split_at(stream.len() / 2);
+        for op in first {
+            engine
+                .apply_updates(std::slice::from_ref(op))
+                .expect("apply");
+        }
+        store
+            .checkpoint_with(|| engine_snapshot(&engine, &backend))
+            .expect("mid-stream checkpoint");
+        for op in second {
+            engine
+                .apply_updates(std::slice::from_ref(op))
+                .expect("apply");
+        }
+        let want_epoch = engine.epoch();
+        let want = answers(&backend);
+        drop(engine);
+        drop(backend);
+
+        let (engine2, backend2, store2) = engine_with_store(&dir);
+        assert_eq!(engine2.epoch(), want_epoch);
+        assert_eq!(answers(&backend2), want);
+        // Replay after the mid-stream checkpoint only covers the tail.
+        let report = store2.restore().expect("restore report");
+        assert!(report.replayed_batches <= second.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_is_idempotent_under_checkpoint_epoch_overlap() {
+        // A snapshot newer than its claimed epoch happens when updates land
+        // between the epoch read and the state clone. Fake it directly:
+        // checkpoint a state that already includes updates the WAL also
+        // carries, and check the double-apply is harmless.
+        let dir = temp_dir("overlap");
+        let store = Arc::new(Store::open(&dir, DynamicOptions::default()).expect("open store"));
+        let mut state = DynamicKReach::new(seed_graph(), 3, DynamicOptions::default());
+        let ops = mutation_stream();
+        let mut epoch = 0u64;
+        for op in &ops {
+            state.apply_all(std::slice::from_ref(op));
+            epoch += 1;
+            store.append(epoch, std::slice::from_ref(op)).expect("wal");
+        }
+        // Claim epoch 10 but snapshot the state at epoch `ops.len()`.
+        let claimed = 10u64;
+        save_checkpoint(&state, claimed, dir.join(checkpoint_name(claimed))).expect("save");
+        write_manifest(
+            &dir,
+            &Manifest {
+                epoch: claimed,
+                checkpoint: checkpoint_name(claimed),
+            },
+        )
+        .expect("manifest");
+
+        let report = store.restore().expect("restore");
+        assert_eq!(report.epoch, ops.len() as u64);
+        let (ma, ra) = state.raw_state();
+        let (mb, rb) = report.state.raw_state();
+        assert_eq!(
+            state.graph().edge_count(),
+            report.state.graph().edge_count()
+        );
+        assert_eq!((ma, ra), (mb, rb));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn background_checkpointer_truncates_the_wal() {
+        let dir = temp_dir("bg");
+        let (engine, backend, store) = engine_with_store(&dir);
+        for op in mutation_stream() {
+            engine.apply_updates(&[op]).expect("apply");
+        }
+        let ckpt = spawn_checkpointer(
+            Arc::clone(&store),
+            Arc::clone(&engine),
+            Arc::clone(&backend),
+            Duration::from_millis(50),
+            0,
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let manifest = read_manifest(&dir).expect("manifest").expect("present");
+            if manifest.epoch == engine.epoch() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "checkpointer never caught up");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        ckpt.stop();
+        // Everything is in the checkpoint; a restore replays nothing.
+        let report = store.restore().expect("restore");
+        assert_eq!(report.replayed_batches, 0);
+        assert_eq!(report.epoch, engine.epoch());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

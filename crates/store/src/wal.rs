@@ -1,0 +1,355 @@
+//! The epoch-keyed write-ahead log for graph mutations.
+//!
+//! Every acked update batch is appended as one **record** and fsynced
+//! before `apply_updates` returns, so an HTTP 200 on `POST /update` implies
+//! the mutation survives a crash. Records reuse the `kreach update` wire
+//! grammar for the op lines, so a WAL segment is a valid update workload
+//! file prefixed with record headers:
+//!
+//! ```text
+//! e <epoch> <op-count> <fnv1a64-hex-of-op-lines>
+//! + 3 9
+//! - 4 1
+//! ```
+//!
+//! `<epoch>` is the engine epoch **after** the batch applied; replay skips
+//! records at or below the checkpoint epoch (idempotent) and stops at the
+//! first torn or corrupt record (a crash mid-append leaves only a torn
+//! tail, never a hole).
+//!
+//! The log is segmented: `wal-<seq>.log` files in the data directory. A
+//! checkpoint rotates to a fresh segment *before* reading the engine epoch,
+//! so every record in older segments is `<=` the checkpoint epoch and the
+//! old segments can be deleted once the checkpoint is durable.
+
+use crate::container::fnv1a64;
+use kreach_core::storage::StorageError;
+use kreach_datasets::workload_file::{read_update_workload, UpdateOp};
+use kreach_graph::EdgeUpdate;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const SEGMENT_PREFIX: &str = "wal-";
+const SEGMENT_SUFFIX: &str = ".log";
+
+/// One replayable WAL record: the mutation batch and the engine epoch it
+/// produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Engine epoch after this batch applied.
+    pub epoch: u64,
+    /// The batch, in apply order.
+    pub updates: Vec<EdgeUpdate>,
+}
+
+/// An append handle on the newest WAL segment.
+pub struct Wal {
+    dir: PathBuf,
+    seq: u64,
+    file: File,
+}
+
+fn segment_name(seq: u64) -> String {
+    format!("{SEGMENT_PREFIX}{seq:010}{SEGMENT_SUFFIX}")
+}
+
+fn segment_seq(name: &str) -> Option<u64> {
+    name.strip_prefix(SEGMENT_PREFIX)?
+        .strip_suffix(SEGMENT_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// Sorted `(seq, path)` list of the WAL segments present in `dir`.
+fn segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StorageError> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(segment_seq) {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(found)
+}
+
+/// Fsyncs the directory itself so renames and creates within it are durable.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+impl Wal {
+    /// Opens the newest segment in `dir` for appending, creating segment 1
+    /// if the directory has none.
+    pub fn open(dir: &Path) -> Result<Self, StorageError> {
+        let seq = segments(dir)?.last().map(|&(s, _)| s).unwrap_or(0).max(1);
+        let path = dir.join(segment_name(seq));
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        sync_dir(dir)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            seq,
+            file,
+        })
+    }
+
+    /// Serializes one record. The checksum covers exactly the op-line bytes.
+    fn render_record(epoch: u64, updates: &[EdgeUpdate]) -> Vec<u8> {
+        let mut ops = String::new();
+        for u in updates {
+            ops.push_str(&u.to_string());
+            ops.push('\n');
+        }
+        let header = format!(
+            "e {epoch} {} {:016x}\n",
+            updates.len(),
+            fnv1a64(ops.as_bytes())
+        );
+        let mut bytes = header.into_bytes();
+        bytes.extend_from_slice(ops.as_bytes());
+        bytes
+    }
+
+    /// Appends one record and fsyncs it. Returns only after the bytes are
+    /// durable — this is the fsync that backs the ack.
+    pub fn append(&mut self, epoch: u64, updates: &[EdgeUpdate]) -> std::io::Result<()> {
+        let bytes = Self::render_record(epoch, updates);
+        self.file.write_all(&bytes)?;
+        self.file.sync_data()
+    }
+
+    /// Rotates to a fresh segment; subsequent appends go there. Returns the
+    /// sequence number of the new segment.
+    pub fn rotate(&mut self) -> Result<u64, StorageError> {
+        let seq = self.seq + 1;
+        let path = self.dir.join(segment_name(seq));
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        sync_dir(&self.dir)?;
+        self.seq = seq;
+        self.file = file;
+        Ok(seq)
+    }
+
+    /// Deletes every segment with sequence number `< before_seq`. Only
+    /// called after a checkpoint covering their records is durable.
+    pub fn prune(&self, before_seq: u64) -> Result<(), StorageError> {
+        for (seq, path) in segments(&self.dir)? {
+            if seq < before_seq {
+                std::fs::remove_file(path)?;
+            }
+        }
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// The sequence number of the segment currently receiving appends.
+    pub fn current_seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Parses one segment's records, tolerating a torn tail: parsing stops at
+/// the first record whose header is malformed, whose op lines are missing
+/// or unparsable, or whose checksum disagrees. Records before the tear are
+/// returned; `torn` reports whether a tear was seen.
+fn parse_segment(bytes: &[u8]) -> (Vec<WalRecord>, bool) {
+    let mut records = Vec::new();
+    let text = match std::str::from_utf8(bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            // Replay the valid prefix; the tear is mid-record anyway.
+            std::str::from_utf8(&bytes[..e.valid_up_to()]).expect("valid prefix")
+        }
+    };
+    let mut rest = text;
+    loop {
+        let Some(line_end) = rest.find('\n') else {
+            return (records, !rest.is_empty());
+        };
+        let header = &rest[..line_end];
+        let after_header = &rest[line_end + 1..];
+        let mut fields = header.split_ascii_whitespace();
+        let (Some("e"), Some(epoch), Some(count), Some(sum), None) = (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) else {
+            return (records, true);
+        };
+        let (Ok(epoch), Ok(count), Ok(sum)) = (
+            epoch.parse::<u64>(),
+            count.parse::<usize>(),
+            u64::from_str_radix(sum, 16),
+        ) else {
+            return (records, true);
+        };
+        // Take exactly `count` op lines.
+        let mut ops_end = 0usize;
+        let mut complete = true;
+        for _ in 0..count {
+            match after_header[ops_end..].find('\n') {
+                Some(nl) => ops_end += nl + 1,
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        let ops_text = &after_header[..ops_end];
+        if !complete || fnv1a64(ops_text.as_bytes()) != sum {
+            return (records, true);
+        }
+        let Ok(parsed) = read_update_workload(ops_text.as_bytes()) else {
+            return (records, true);
+        };
+        let mut updates = Vec::with_capacity(parsed.len());
+        for op in parsed {
+            match op {
+                UpdateOp::Insert { u, v } => updates.push(EdgeUpdate::Insert(u, v)),
+                UpdateOp::Remove { u, v } => updates.push(EdgeUpdate::Remove(u, v)),
+                UpdateOp::Query { .. } => return (records, true),
+            }
+        }
+        if updates.len() != count {
+            return (records, true);
+        }
+        records.push(WalRecord { epoch, updates });
+        rest = &after_header[ops_end..];
+    }
+}
+
+/// The result of scanning a WAL directory.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Records with epoch strictly above the requested floor, in order.
+    pub records: Vec<WalRecord>,
+    /// Whether a torn/corrupt tail was dropped somewhere in the scan.
+    pub torn: bool,
+}
+
+/// Reads every segment in `dir` in sequence order and returns the records
+/// with `epoch > after_epoch`. A torn tail in the **last** segment is the
+/// normal crash signature and is silently dropped; `torn` reports it so
+/// callers can log.
+pub fn replay(dir: &Path, after_epoch: u64) -> Result<WalReplay, StorageError> {
+    let mut records = Vec::new();
+    let mut torn = false;
+    for (_, path) in segments(dir)? {
+        let bytes = std::fs::read(&path)?;
+        let (parsed, seg_torn) = parse_segment(&bytes);
+        torn |= seg_torn;
+        records.extend(parsed.into_iter().filter(|r| r.epoch > after_epoch));
+    }
+    Ok(WalReplay { records, torn })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kreach_graph::VertexId;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kreach-wal-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn batch(i: u32) -> Vec<EdgeUpdate> {
+        vec![
+            EdgeUpdate::Insert(VertexId(i), VertexId(i + 1)),
+            EdgeUpdate::Remove(VertexId(i), VertexId(i + 2)),
+        ]
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let mut wal = Wal::open(&dir).expect("open");
+        for e in 1..=5u64 {
+            wal.append(e, &batch(e as u32)).expect("append");
+        }
+        let replay = replay(&dir, 2).expect("replay");
+        assert!(!replay.torn);
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[0].epoch, 3);
+        assert_eq!(replay.records[2].updates, batch(5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = temp_dir("torn");
+        let mut wal = Wal::open(&dir).expect("open");
+        wal.append(1, &batch(1)).expect("append");
+        wal.append(2, &batch(2)).expect("append");
+        let path = dir.join(segment_name(wal.current_seq()));
+        let full = std::fs::read(&path).expect("read");
+        // Cut anywhere strictly inside the second record: replay must keep
+        // record 1 and drop the tail without erroring.
+        let first_len = Wal::render_record(1, &batch(1)).len();
+        for cut in first_len + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).expect("truncate");
+            let r = replay(&dir, 0).expect("replay");
+            assert!(r.torn, "cut at {cut} not flagged");
+            assert_eq!(r.records.len(), 1, "cut at {cut}");
+            assert_eq!(r.records[0].epoch, 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_mismatch_stops_replay() {
+        let dir = temp_dir("sum");
+        let mut wal = Wal::open(&dir).expect("open");
+        wal.append(1, &batch(1)).expect("append");
+        wal.append(2, &batch(2)).expect("append");
+        let path = dir.join(segment_name(wal.current_seq()));
+        let mut bytes = std::fs::read(&path).expect("read");
+        // Flip a digit inside the *second* record's op lines.
+        let second_at = Wal::render_record(1, &batch(1)).len();
+        let flip = second_at + Wal::render_record(2, &[]).len() + 3;
+        bytes[flip] = if bytes[flip] == b'1' { b'2' } else { b'1' };
+        std::fs::write(&path, &bytes).expect("write");
+        let r = replay(&dir, 0).expect("replay");
+        assert!(r.torn);
+        assert_eq!(r.records.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_prune_removes_old_ones() {
+        let dir = temp_dir("rotate");
+        let mut wal = Wal::open(&dir).expect("open");
+        wal.append(1, &batch(1)).expect("append");
+        let new_seq = wal.rotate().expect("rotate");
+        wal.append(2, &batch(2)).expect("append");
+        assert_eq!(segments(&dir).expect("segments").len(), 2);
+        let all = replay(&dir, 0).expect("replay");
+        assert_eq!(all.records.len(), 2);
+        wal.prune(new_seq).expect("prune");
+        assert_eq!(segments(&dir).expect("segments").len(), 1);
+        let rest = replay(&dir, 0).expect("replay");
+        assert_eq!(rest.records.len(), 1);
+        assert_eq!(rest.records[0].epoch, 2);
+        // Reopening resumes the newest segment.
+        let reopened = Wal::open(&dir).expect("reopen");
+        assert_eq!(reopened.current_seq(), new_seq);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_batch_records_round_trip() {
+        let dir = temp_dir("empty");
+        let mut wal = Wal::open(&dir).expect("open");
+        wal.append(7, &[]).expect("append");
+        let r = replay(&dir, 0).expect("replay");
+        assert!(!r.torn);
+        assert_eq!(r.records.len(), 1);
+        assert!(r.records[0].updates.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

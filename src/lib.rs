@@ -28,6 +28,9 @@
 //! * [`server`] ([`kreach_server`]) — the network front end: an HTTP/1.1 +
 //!   line-protocol listener over the batch engine with admission control
 //!   and graceful drain (`kreach serve`).
+//! * [`store`] ([`kreach_store`]) — the durable-state subsystem: index
+//!   format v3, the epoch-keyed mutation WAL, and checkpoint/restore for
+//!   `kreach serve --data-dir` (acked updates survive `kill -9`).
 //!
 //! ## Example
 //!
@@ -52,6 +55,7 @@ pub use kreach_engine as engine;
 pub use kreach_graph as graph;
 pub use kreach_obs as obs;
 pub use kreach_server as server;
+pub use kreach_store as store;
 
 /// The most commonly used items from every workspace crate.
 ///

@@ -27,7 +27,16 @@
 //! * `kreach serve <edge-list> --port P [--workers N] [--backend kreach|hk|bfs|dynamic]`
 //!   — serve live network traffic: an HTTP/1.1 + line-protocol front end
 //!   over the batch engine with admission control (`--max-inflight`,
-//!   `--max-body`) and graceful drain (`POST /shutdown`).
+//!   `--max-body`) and graceful drain (`POST /shutdown`). With
+//!   `--data-dir DIR` the dynamic backend becomes durable: every acked
+//!   update is WAL-appended + fsynced before the ack, a background thread
+//!   checkpoints every `--checkpoint-every SECS`, and a restart with the
+//!   same directory (edge list no longer needed) restores the exact
+//!   pre-crash epoch by replaying the WAL past the newest checkpoint.
+//! * `kreach checkpoint --data-dir <dir>` — fold the WAL into a fresh
+//!   checkpoint offline, so the next start replays nothing.
+//! * `kreach restore --data-dir <dir>` — verify the durable state
+//!   (checksums + WAL replay) and report the epoch a start would resume at.
 //!
 //! The serving commands (`batch`, `update`, `serve`) accept `--neg-ttl MS`,
 //! a time-to-live in milliseconds for cached *negative* answers, and
@@ -79,6 +88,8 @@ fn run(args: &[String]) -> Result<String, String> {
         Some("batch") => cmd_batch(&collect_rest(args)),
         Some("update") => cmd_update(&collect_rest(args)),
         Some("serve") => cmd_serve(&collect_rest(args)),
+        Some("checkpoint") => cmd_checkpoint(&collect_rest(args)),
+        Some("restore") => cmd_restore(&collect_rest(args)),
         Some("bench-serve") => cmd_bench_serve(&collect_rest(args)),
         Some("--help") | Some("-h") | None => Ok(usage().to_string()),
         Some(other) => Err(format!("unknown subcommand {other:?}")),
@@ -104,10 +115,13 @@ fn usage() -> &'static str {
      \x20 kreach update <edge-list> <update-workload> [--k K] [--workers N] [--cache C]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--neg-ttl MS] [--stats-json <file>] [--prefetch-hot N]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--trace N]\n\
-     \x20 kreach serve <edge-list> [--port P] [--host H] [--backend kreach|hk|bfs|dynamic]\n\
+     \x20 kreach serve [<edge-list>] [--port P] [--host H] [--backend kreach|hk|bfs|dynamic]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--k K] [--h H] [--workers N] [--cache C] [--neg-ttl MS]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--handlers N] [--max-inflight N] [--max-body BYTES]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N] [--trace N] [--slow-query-us US]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--data-dir DIR] [--checkpoint-every SECS]\n\
+     \x20 kreach checkpoint --data-dir <dir>\n\
+     \x20 kreach restore --data-dir <dir>\n\
      \x20 kreach bench-serve [--dataset D] [--scale F] [--k K] [--queries N]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--workers a,b,..] [--cache C] [--seed S]"
 }
@@ -233,7 +247,16 @@ fn cmd_generate(args: &[&str]) -> Result<String, String> {
 }
 
 fn cmd_build(args: &[&str]) -> Result<String, String> {
-    ensure_known_flags(args, &["--k", "--output", "--cover", "--dense-threshold"])?;
+    ensure_known_flags(
+        args,
+        &[
+            "--k",
+            "--output",
+            "--cover",
+            "--dense-threshold",
+            "--format",
+        ],
+    )?;
     let paths = positionals(args);
     let [path] = paths.as_slice() else {
         return Err("build expects exactly one edge-list path".to_string());
@@ -271,17 +294,32 @@ fn cmd_build(args: &[&str]) -> Result<String, String> {
             dense_row_threshold,
         },
     );
-    storage::save_kreach(&index, output).map_err(|e| e.to_string())?;
+    // Format v3 (the default) also persists the dense bitset acceleration,
+    // so a reload installs it instead of recomputing; v2 is kept for
+    // compatibility with files older tooling must read.
+    let format = flag_value(args, "--format")?.unwrap_or("v3");
+    let accel_note = match format {
+        "v3" => {
+            kreach::store::save_index_v3(&index, output).map_err(|e| e.to_string())?;
+            ", persisted"
+        }
+        "v2" => {
+            storage::save_kreach(&index, output).map_err(|e| e.to_string())?;
+            ", in-memory only"
+        }
+        other => return Err(format!("unknown index format {other:?} (use v2|v3)")),
+    };
     Ok(format!(
         "built {k}-reach index for {path}: cover {} vertices, {} index edges \
-         ({} bitset rows at threshold {}), {} bytes (+{} bytes bitset accel, in-memory only) \
-         -> {output}\n",
+         ({} bitset rows at threshold {}), {} bytes (+{} bytes bitset accel{}) \
+         -> {output} ({format})\n",
         index.cover_size(),
         index.index_edge_count(),
         index.index_graph().dense_row_count(),
         index.index_graph().dense_threshold(),
         index.size_bytes(),
-        index.index_graph().accel_size_bytes()
+        index.index_graph().accel_size_bytes(),
+        accel_note
     ))
 }
 
@@ -294,7 +332,7 @@ fn cmd_query(args: &[&str]) -> Result<String, String> {
     let s = VertexId(parse_number::<u32>(s, "source vertex")?);
     let t = VertexId(parse_number::<u32>(t, "target vertex")?);
     let g = kreach::graph::io::read_edge_list_file(graph_path).map_err(|e| e.to_string())?;
-    let index = storage::load_kreach(index_path).map_err(|e| e.to_string())?;
+    let index = kreach::store::load_index(index_path).map_err(|e| e.to_string())?;
     if s.index() >= g.vertex_count() || t.index() >= g.vertex_count() {
         return Err(format!("query vertices must be < {}", g.vertex_count()));
     }
@@ -439,7 +477,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
 
     let g =
         Arc::new(kreach::graph::io::read_edge_list_file(graph_path).map_err(|e| e.to_string())?);
-    let index = storage::load_kreach(index_path).map_err(|e| e.to_string())?;
+    let index = kreach::store::load_index(index_path).map_err(|e| e.to_string())?;
     if index.index_graph().input_vertex_count() != g.vertex_count() {
         return Err(format!(
             "index {index_path} was built for a graph with {} vertices, but {graph_path} has {}; \
@@ -704,17 +742,34 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             "--prefetch-hot",
             "--trace",
             "--slow-query-us",
+            "--data-dir",
+            "--checkpoint-every",
         ],
     )?;
+    let data_dir = flag_value(args, "--data-dir")?;
+    let checkpoint_every: u64 = parse_flag_or(args, "--checkpoint-every", 30)?;
     let pos = positionals(args);
-    let [graph_path] = pos.as_slice() else {
-        return Err("serve expects exactly one edge-list path".to_string());
+    let graph_path = match (pos.as_slice(), data_dir) {
+        ([path], _) => Some(*path),
+        ([], Some(_)) => None,
+        ([], None) => return Err("serve expects exactly one edge-list path".to_string()),
+        _ => return Err("serve expects at most one edge-list path".to_string()),
     };
     let port: u16 = parse_flag_or(args, "--port", 7199)?;
     let host = flag_value(args, "--host")?
         .unwrap_or("127.0.0.1")
         .to_string();
-    let backend_name = flag_value(args, "--backend")?.unwrap_or("kreach");
+    let backend_name = flag_value(args, "--backend")?.unwrap_or(if data_dir.is_some() {
+        "dynamic"
+    } else {
+        "kreach"
+    });
+    if data_dir.is_some() && backend_name != "dynamic" {
+        return Err(format!(
+            "--data-dir implies --backend dynamic (only the incrementally \
+             maintained index accepts updates), got {backend_name:?}"
+        ));
+    }
     let k: u32 = parse_flag_or(args, "--k", 3)?;
     if k == 0 {
         return Err("--k must be at least 1".to_string());
@@ -738,9 +793,72 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
         recorder
     };
 
-    let g =
-        Arc::new(kreach::graph::io::read_edge_list_file(graph_path).map_err(|e| e.to_string())?);
-    let backend = build_backend(backend_name, &g, k, h)?;
+    // With --data-dir the backend comes from the durable store: restore
+    // checkpoint + WAL if the directory has one, otherwise bootstrap from
+    // the edge list and take an initial checkpoint so a restart never needs
+    // the edge list again. `durable` keeps the concrete handles the
+    // checkpointer and the durability sink need.
+    let mut durable: Option<(Arc<kreach::store::Store>, Arc<DynamicKReachBackend>, u64)> = None;
+    let backend: Arc<dyn kreach::engine::Reachability> = match data_dir {
+        Some(dir) => {
+            let store = Arc::new(
+                kreach::store::Store::open(dir, kreach::core::dynamic::DynamicOptions::default())
+                    .map_err(|e| format!("cannot open data dir {dir}: {e}"))?,
+            );
+            let (backend, epoch) = if store.has_checkpoint().map_err(|e| e.to_string())? {
+                let report = store
+                    .restore()
+                    .map_err(|e| format!("restore failed: {e}"))?;
+                println!(
+                    "kreach-store: restored epoch {} from {} (checkpoint epoch {}, \
+                     replayed {} wal batches / {} ops{}{})",
+                    report.epoch,
+                    dir,
+                    report.checkpoint_epoch,
+                    report.replayed_batches,
+                    report.replayed_ops,
+                    if report.torn_tail {
+                        ", dropped torn tail"
+                    } else {
+                        ""
+                    },
+                    if graph_path.is_some() {
+                        "; ignoring edge-list argument"
+                    } else {
+                        ""
+                    },
+                );
+                (
+                    Arc::new(DynamicKReachBackend::from_state(report.state)),
+                    report.epoch,
+                )
+            } else {
+                let path = graph_path.ok_or_else(|| {
+                    format!("{dir} has no checkpoint; serve needs an edge-list to bootstrap")
+                })?;
+                let g = kreach::graph::io::read_edge_list_file(path).map_err(|e| e.to_string())?;
+                let state = kreach::core::dynamic::DynamicKReach::new(
+                    g,
+                    k,
+                    kreach::core::dynamic::DynamicOptions::default(),
+                );
+                store
+                    .checkpoint_state(&state, 0)
+                    .map_err(|e| format!("bootstrap checkpoint failed: {e}"))?;
+                println!("kreach-store: bootstrapped {dir} from {path} (checkpoint at epoch 0)");
+                (Arc::new(DynamicKReachBackend::from_state(state)), 0)
+            };
+            durable = Some((store, Arc::clone(&backend), epoch));
+            backend
+        }
+        None => {
+            let g = Arc::new(
+                kreach::graph::io::read_edge_list_file(graph_path.expect("checked above"))
+                    .map_err(|e| e.to_string())?,
+            );
+            build_backend(backend_name, &g, k, h)?
+        }
+    };
     let engine = Arc::new(BatchEngine::with_recorder(
         backend,
         EngineConfig {
@@ -752,9 +870,25 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
         },
         recorder.clone(),
     ));
+    let mut checkpointer = None;
+    if let Some((store, dyn_backend, epoch)) = &durable {
+        engine.restore_epoch(*epoch);
+        // Every acked update is WAL-appended + fsynced before the ack from
+        // here on.
+        engine.set_durability(Arc::clone(store) as Arc<dyn kreach::engine::DurabilitySink>);
+        if checkpoint_every > 0 {
+            checkpointer = Some(kreach::store::spawn_checkpointer(
+                Arc::clone(store),
+                Arc::clone(&engine),
+                Arc::clone(dyn_backend),
+                std::time::Duration::from_secs(checkpoint_every),
+                *epoch,
+            ));
+        }
+    }
     let info = engine.info();
     let handle = kreach::server::start(
-        engine,
+        Arc::clone(&engine),
         kreach::server::ServerConfig {
             host,
             port,
@@ -782,6 +916,16 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
 
     // Blocks until a drain is requested over the wire (POST /shutdown).
     let report = handle.join();
+    if let Some(ckpt) = checkpointer.take() {
+        ckpt.stop();
+    }
+    // Final checkpoint on clean drain, so the next start replays no WAL.
+    if let Some((store, dyn_backend, _)) = &durable {
+        match store.checkpoint_with(|| kreach::store::engine_snapshot(&engine, dyn_backend)) {
+            Ok(epoch) => println!("kreach-store: final checkpoint at epoch {epoch}"),
+            Err(e) => eprintln!("kreach-store: final checkpoint failed: {e}"),
+        }
+    }
     print_slowest_traces(&recorder, trace);
     let m = &report.metrics;
     Ok(format!(
@@ -800,6 +944,79 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
         m.client_errors,
         m.server_errors,
         report.slow_queries,
+    ))
+}
+
+/// Opens a data directory that must already exist (the read-side commands
+/// never create one by accident).
+fn open_existing_store(
+    args: &[&str],
+    what: &str,
+) -> Result<(String, kreach::store::Store), String> {
+    ensure_known_flags(args, &["--data-dir"])?;
+    if !positionals(args).is_empty() {
+        return Err(format!("{what} takes only --data-dir <dir>"));
+    }
+    let dir = flag_value(args, "--data-dir")?.ok_or(format!("{what} requires --data-dir <dir>"))?;
+    if !std::path::Path::new(dir).is_dir() {
+        return Err(format!("{dir} is not a directory"));
+    }
+    let store = kreach::store::Store::open(dir, kreach::core::dynamic::DynamicOptions::default())
+        .map_err(|e| format!("cannot open data dir {dir}: {e}"))?;
+    Ok((dir.to_string(), store))
+}
+
+/// `kreach checkpoint --data-dir <dir>`: fold the WAL into a fresh
+/// checkpoint offline, so the next `serve` start replays nothing.
+fn cmd_checkpoint(args: &[&str]) -> Result<String, String> {
+    let (dir, store) = open_existing_store(args, "checkpoint")?;
+    let report = store
+        .restore()
+        .map_err(|e| format!("restore failed: {e}"))?;
+    store
+        .checkpoint_state(&report.state, report.epoch)
+        .map_err(|e| format!("checkpoint failed: {e}"))?;
+    Ok(format!(
+        "checkpointed {dir} at epoch {} (folded in {} wal batches / {} ops{}; \
+         graph {} vertices / {} edges, cover {} vertices)\n",
+        report.epoch,
+        report.replayed_batches,
+        report.replayed_ops,
+        if report.torn_tail {
+            ", dropped torn tail"
+        } else {
+            ""
+        },
+        report.state.graph().vertex_count(),
+        report.state.graph().edge_count(),
+        report.state.cover_size(),
+    ))
+}
+
+/// `kreach restore --data-dir <dir>`: load and verify the durable state
+/// (checkpoint checksums + WAL replay) and report what a server start
+/// would see, without modifying checkpoints, manifest, or WAL records.
+fn cmd_restore(args: &[&str]) -> Result<String, String> {
+    let (dir, store) = open_existing_store(args, "restore")?;
+    let report = store
+        .restore()
+        .map_err(|e| format!("restore failed: {e}"))?;
+    Ok(format!(
+        "{dir} restores to epoch {}: checkpoint epoch {}, {} wal batches / {} ops replayed{}\n\
+         graph {} vertices / {} edges · cover {} vertices · k={}\n",
+        report.epoch,
+        report.checkpoint_epoch,
+        report.replayed_batches,
+        report.replayed_ops,
+        if report.torn_tail {
+            " (torn tail dropped)"
+        } else {
+            ""
+        },
+        report.state.graph().vertex_count(),
+        report.state.graph().edge_count(),
+        report.state.cover_size(),
+        report.state.k(),
     ))
 }
 
@@ -928,7 +1145,7 @@ mod tests {
 
     #[test]
     fn end_to_end_generate_build_query() {
-        let dir = std::env::temp_dir().join("kreach-cli-test");
+        let dir = std::env::temp_dir().join(format!("kreach-cli-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let graph_path = dir.join("go.txt");
         let index_path = dir.join("go.idx");
@@ -963,7 +1180,8 @@ mod tests {
 
     #[test]
     fn end_to_end_workload_and_batch_are_deterministic_across_workers() {
-        let dir = std::env::temp_dir().join("kreach-cli-batch-test");
+        let dir =
+            std::env::temp_dir().join(format!("kreach-cli-batch-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let graph_arg = dir.join("g.txt").to_str().unwrap().to_string();
         let index_arg = dir.join("g.idx").to_str().unwrap().to_string();
@@ -1032,7 +1250,7 @@ mod tests {
 
     #[test]
     fn skewed_workload_produces_cache_hits_in_batch() {
-        let dir = std::env::temp_dir().join("kreach-cli-skew-test");
+        let dir = std::env::temp_dir().join(format!("kreach-cli-skew-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let graph_arg = dir.join("g.txt").to_str().unwrap().to_string();
         let index_arg = dir.join("g.idx").to_str().unwrap().to_string();
@@ -1078,7 +1296,8 @@ mod tests {
 
     #[test]
     fn end_to_end_update_workload_reflects_mutations() {
-        let dir = std::env::temp_dir().join("kreach-cli-update-test");
+        let dir =
+            std::env::temp_dir().join(format!("kreach-cli-update-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let graph_arg = dir.join("g.txt").to_str().unwrap().to_string();
         let ops_arg = dir.join("ops.txt").to_str().unwrap().to_string();
@@ -1145,7 +1364,8 @@ mod tests {
         // The graph is read before the backend is built, so a missing file
         // errors first; a bad backend errors on a real graph.
         assert!(!err.is_empty());
-        let dir = std::env::temp_dir().join("kreach-cli-serve-flags");
+        let dir =
+            std::env::temp_dir().join(format!("kreach-cli-serve-flags-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let graph_arg = dir.join("g.txt").to_str().unwrap().to_string();
         std::fs::write(dir.join("g.txt"), "0 1\n").unwrap();
@@ -1159,7 +1379,8 @@ mod tests {
     fn serve_answers_over_the_wire_and_drains_on_shutdown() {
         use kreach::server::client::BlockingClient;
 
-        let dir = std::env::temp_dir().join("kreach-cli-serve-test");
+        let dir =
+            std::env::temp_dir().join(format!("kreach-cli-serve-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let graph_arg = dir.join("g.txt").to_str().unwrap().to_string();
         std::fs::write(dir.join("g.txt"), "0 1\n1 2\n").unwrap();

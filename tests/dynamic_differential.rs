@@ -22,7 +22,12 @@
 //!    identical adjacency and reachability questions under random mutation
 //!    sequences, and that the engine serves byte-identical answers over
 //!    either backend.
-//! 4. A `#[ignore]`d soak variant with a larger step count (tunable via
+//! 4. Durability replay — the same discipline across simulated crashes:
+//!    with a `kreach-store` data directory attached, drop the engine at
+//!    random points (no shutdown checkpoint) and require the restored
+//!    state (checkpoint + WAL replay) to agree with the live incremental
+//!    index, a from-scratch rebuild, and BFS — at the exact same epoch.
+//! 5. A `#[ignore]`d soak variant with a larger step count (tunable via
 //!    `KREACH_SOAK_STEPS`) for the scheduled long-sequence CI job.
 
 use kreach_core::dynamic::{DynamicKReach, DynamicOptions};
@@ -402,6 +407,101 @@ fn storage_equivalence_replay(seed: u64, steps: usize) {
 fn storage_backends_agree_under_random_mutations() {
     for seed in [11u64, 12, 13] {
         storage_equivalence_replay(seed, 90);
+    }
+}
+
+/// Durability differential: replay mutations through an engine wired to a
+/// [`kreach_store::Store`] (WAL append + fsync on every acked batch), and at
+/// random points simulate a `kill -9` by restoring from disk while the live
+/// engine keeps running. The restored maintainer must agree with the live
+/// incremental index, a from-scratch rebuild over the oracle edge set, and
+/// online BFS — and resume at exactly the live epoch.
+fn durability_replay(shape: GeneratorSpec, k: u32, seed: u64, steps: usize) {
+    use kreach_store::{engine_snapshot, Store};
+
+    let dir = std::env::temp_dir().join(format!(
+        "kreach-durability-{seed}-{k}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let g0 = shape.generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD0_0D);
+    let mut oracle = Oracle::of(&g0);
+    let store = Arc::new(Store::open(&dir, DynamicOptions::default()).expect("open store"));
+    let backend = Arc::new(DynamicKReachBackend::new(g0, k, DynamicOptions::default()));
+    let engine = Arc::new(BatchEngine::new(
+        Arc::clone(&backend) as Arc<dyn kreach_engine::Reachability>,
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+    ));
+    store
+        .checkpoint_with(|| engine_snapshot(&engine, &backend))
+        .expect("bootstrap checkpoint");
+    engine.set_durability(Arc::clone(&store) as Arc<dyn kreach_engine::DurabilitySink>);
+
+    let mut restores = 0usize;
+    for step in 0..steps {
+        let update = random_update(&mut rng, &oracle);
+        oracle.apply(update);
+        engine.apply_updates(&[update]).expect("durable apply");
+
+        if step % 23 == 11 {
+            // Mid-stream checkpoint: later restores replay only the tail.
+            store
+                .checkpoint_with(|| engine_snapshot(&engine, &backend))
+                .expect("mid-stream checkpoint");
+        }
+        if step % 9 != 4 {
+            continue;
+        }
+        // Simulated crash: a second Store handle sees only what is durable
+        // on disk — exactly what a restarted process would.
+        restores += 1;
+        let crashed = Store::open(&dir, DynamicOptions::default()).expect("reopen store");
+        let report = crashed.restore().expect("restore");
+        assert_eq!(
+            report.epoch,
+            engine.epoch(),
+            "step {step}: restored epoch must match the live (fully acked) epoch"
+        );
+
+        let oracle_graph = oracle.graph();
+        assert_eq!(
+            report.state.graph().edge_count(),
+            oracle_graph.edge_count(),
+            "step {step}: restored edge count diverged"
+        );
+        let rebuilt = KReachIndex::build(&oracle_graph, k, BuildOptions::default());
+        for (s, t) in sample_pairs(&mut rng, oracle.n, 40) {
+            let truth = khop_reachable_bfs(&oracle_graph, s, t, k);
+            assert_eq!(
+                report.state.query(s, t),
+                truth,
+                "step {step}: restored vs BFS at k={k} ({s},{t}) after {update}"
+            );
+            assert_eq!(
+                backend.with_state(|state| state.query(s, t)),
+                truth,
+                "step {step}: incremental vs BFS at k={k} ({s},{t})"
+            );
+            assert_eq!(
+                rebuilt.query(&oracle_graph, s, t),
+                truth,
+                "step {step}: rebuild vs BFS at k={k} ({s},{t})"
+            );
+        }
+    }
+    assert!(restores > 0, "the replay must have exercised restores");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restored_state_agrees_with_incremental_rebuild_and_bfs() {
+    for (i, (shape, k)) in shapes().into_iter().enumerate() {
+        durability_replay(shape, k, 9_000 + 17 * i as u64, 70);
     }
 }
 
