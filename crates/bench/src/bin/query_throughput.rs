@@ -260,7 +260,7 @@ struct HubFanout {
 
 impl HubFanout {
     fn build(mids: usize, sources: usize, targets: usize, fan: usize, rng: &mut StdRng) -> Self {
-        assert!(mids % 2 == 0);
+        assert!(mids.is_multiple_of(2));
         let half = mids / 2;
         let n = mids + sources + targets;
         let mut edges: Vec<(u32, u32)> = Vec::new();

@@ -244,7 +244,7 @@ impl ContainerReader {
                     entry.id, entry.elem_size
                 )));
             }
-            if entry.offset % 8 != 0 {
+            if !entry.offset.is_multiple_of(8) {
                 return Err(StorageError::Format(format!(
                     "section {} payload is not 8-byte aligned",
                     entry.id

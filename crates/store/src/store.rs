@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! data/
+//!   LOCK                           -> advisory exclusive lock (single writer)
 //!   MANIFEST                       -> epoch + newest checkpoint name
 //!   checkpoint-<epoch>.krc3        -> KRC3 checkpoint container
 //!   wal-<seq>.log                  -> epoch-keyed mutation records
@@ -46,6 +47,32 @@ pub struct Store {
     dir: PathBuf,
     wal: Mutex<Wal>,
     options: DynamicOptions,
+    /// Advisory exclusive lock on `LOCK`; held for the store's lifetime so
+    /// a second process cannot rotate/prune the WAL out from under a live
+    /// server. Released by the OS on close — including `kill -9`.
+    _lock: std::fs::File,
+}
+
+/// Takes the advisory exclusive lock on `dir/LOCK`, failing fast (never
+/// blocking) if another process holds it.
+fn lock_dir(dir: &Path) -> Result<std::fs::File, StorageError> {
+    let lock = std::fs::File::options()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(dir.join("LOCK"))?;
+    match lock.try_lock() {
+        Ok(()) => Ok(lock),
+        Err(std::fs::TryLockError::WouldBlock) => Err(StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            format!(
+                "{} is in use by another kreach process (its LOCK is held); \
+                 stop that process before opening the data dir",
+                dir.display()
+            ),
+        ))),
+        Err(std::fs::TryLockError::Error(e)) => Err(e.into()),
+    }
 }
 
 /// What [`Store::restore`] reconstructed.
@@ -65,15 +92,20 @@ pub struct RestoreReport {
 }
 
 impl Store {
-    /// Opens (creating if needed) the data directory and its WAL.
+    /// Opens (creating if needed) the data directory and its WAL, taking
+    /// the directory's exclusive lock. Fails fast if another process — a
+    /// second `serve`, or `kreach checkpoint` against a live server — holds
+    /// the directory, instead of corrupting its WAL lifecycle.
     pub fn open(dir: impl AsRef<Path>, options: DynamicOptions) -> Result<Self, StorageError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let lock = lock_dir(&dir)?;
         let wal = Wal::open(&dir)?;
         Ok(Store {
             dir,
             wal: Mutex::new(wal),
             options,
+            _lock: lock,
         })
     }
 
@@ -90,36 +122,15 @@ impl Store {
     /// Restores the newest checkpoint and replays the WAL past it, back to
     /// the exact pre-crash epoch.
     pub fn restore(&self) -> Result<RestoreReport, StorageError> {
-        let manifest = read_manifest(&self.dir)?.ok_or_else(|| {
-            StorageError::Format(format!(
-                "no manifest in {} — nothing to restore",
-                self.dir.display()
-            ))
-        })?;
-        let restored = load_checkpoint(self.dir.join(&manifest.checkpoint), self.options)?;
-        if restored.epoch != manifest.epoch {
-            return Err(StorageError::Format(format!(
-                "manifest epoch {} disagrees with checkpoint epoch {}",
-                manifest.epoch, restored.epoch
-            )));
-        }
-        let mut state = restored.state;
-        let mut epoch = restored.epoch;
-        let wal = replay(&self.dir, restored.epoch)?;
-        let mut replayed_ops = 0usize;
-        for record in &wal.records {
-            state.apply_all(&record.updates);
-            replayed_ops += record.updates.len();
-            epoch = epoch.max(record.epoch);
-        }
-        Ok(RestoreReport {
-            state,
-            epoch,
-            checkpoint_epoch: restored.epoch,
-            replayed_batches: wal.records.len(),
-            replayed_ops,
-            torn_tail: wal.torn,
-        })
+        let mut report = read_durable_state(&self.dir, self.options)?;
+        // Opening the WAL already cut off any torn tail (so post-restart
+        // appends land where replay can see them); still report the tear.
+        report.torn_tail |= self
+            .wal
+            .lock()
+            .expect("wal lock poisoned")
+            .recovered_torn_tail();
+        Ok(report)
     }
 
     /// Takes a checkpoint. `snap` runs *after* the WAL rotation and must
@@ -174,6 +185,48 @@ impl Store {
     pub fn checkpoint_state(&self, state: &DynamicKReach, epoch: u64) -> Result<u64, StorageError> {
         self.checkpoint_with(|| (state.clone(), epoch))
     }
+}
+
+/// Lock-free, read-only reconstruction of a data directory's durable state:
+/// newest checkpoint + WAL replay past it. This is what [`Store::restore`]
+/// runs after taking the directory lock; call it directly only to *observe*
+/// a directory another process owns (crash simulations in the differential
+/// harness). It never writes, but racing a live checkpoint can transiently
+/// fail if the manifest's checkpoint is pruned mid-read.
+pub fn read_durable_state(
+    dir: &Path,
+    options: DynamicOptions,
+) -> Result<RestoreReport, StorageError> {
+    let manifest = read_manifest(dir)?.ok_or_else(|| {
+        StorageError::Format(format!(
+            "no manifest in {} — nothing to restore",
+            dir.display()
+        ))
+    })?;
+    let restored = load_checkpoint(dir.join(&manifest.checkpoint), options)?;
+    if restored.epoch != manifest.epoch {
+        return Err(StorageError::Format(format!(
+            "manifest epoch {} disagrees with checkpoint epoch {}",
+            manifest.epoch, restored.epoch
+        )));
+    }
+    let mut state = restored.state;
+    let mut epoch = restored.epoch;
+    let wal = replay(dir, restored.epoch)?;
+    let mut replayed_ops = 0usize;
+    for record in &wal.records {
+        state.apply_all(&record.updates);
+        replayed_ops += record.updates.len();
+        epoch = epoch.max(record.epoch);
+    }
+    Ok(RestoreReport {
+        state,
+        epoch,
+        checkpoint_epoch: restored.epoch,
+        replayed_batches: wal.records.len(),
+        replayed_ops,
+        torn_tail: wal.torn,
+    })
 }
 
 impl DurabilitySink for Store {
@@ -343,15 +396,17 @@ mod tests {
     #[test]
     fn acked_updates_survive_a_simulated_crash() {
         let dir = temp_dir("crash");
-        let (engine, backend, _store) = engine_with_store(&dir);
+        let (engine, backend, store) = engine_with_store(&dir);
         for op in mutation_stream() {
             engine.apply_updates(&[op]).expect("apply");
         }
         let want_epoch = engine.epoch();
         let want = answers(&backend);
-        // Simulated kill -9: drop everything without checkpointing.
+        // Simulated kill -9: drop everything (including the dir lock)
+        // without checkpointing.
         drop(engine);
         drop(backend);
+        drop(store);
 
         let (engine2, backend2, _store2) = engine_with_store(&dir);
         assert_eq!(engine2.epoch(), want_epoch, "restored epoch differs");
@@ -382,6 +437,7 @@ mod tests {
         let want = answers(&backend);
         drop(engine);
         drop(backend);
+        drop(store);
 
         let (engine2, backend2, store2) = engine_with_store(&dir);
         assert_eq!(engine2.epoch(), want_epoch);
@@ -460,6 +516,84 @@ mod tests {
         let report = store.restore().expect("restore");
         assert_eq!(report.replayed_batches, 0);
         assert_eq!(report.epoch, engine.epoch());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_open_of_a_held_dir_fails_fast() {
+        let dir = temp_dir("lock");
+        let store = Store::open(&dir, DynamicOptions::default()).expect("open");
+        let contended = Store::open(&dir, DynamicOptions::default());
+        assert!(
+            contended.is_err(),
+            "second open must fail while the lock is held"
+        );
+        // Observing the directory without the lock stays possible (that is
+        // what the differential harness's crash simulation does) — here it
+        // errors only because nothing was ever checkpointed.
+        assert!(matches!(
+            read_durable_state(&dir, DynamicOptions::default()),
+            Err(StorageError::Format(_))
+        ));
+        drop(store);
+        Store::open(&dir, DynamicOptions::default()).expect("reopen after release");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn acks_after_a_torn_tail_restart_survive_a_second_crash() {
+        // kill -9 mid-append -> restart -> more acked updates -> kill -9
+        // again before any checkpoint: nothing acked may be lost.
+        let dir = temp_dir("torn-ack");
+        let (engine, backend, store) = engine_with_store(&dir);
+        let stream = mutation_stream();
+        let (first, second) = stream.split_at(stream.len() / 2);
+        for op in first {
+            engine
+                .apply_updates(std::slice::from_ref(op))
+                .expect("apply");
+        }
+        drop(engine);
+        drop(backend);
+        drop(store);
+        // Crash signature: a half-written record at the newest segment's
+        // tail (its ack was never sent, so dropping it is consistent).
+        let newest_wal = {
+            let mut wals: Vec<_> = std::fs::read_dir(&dir)
+                .expect("read dir")
+                .map(|e| e.expect("entry").path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("wal-"))
+                })
+                .collect();
+            wals.sort();
+            wals.pop().expect("a wal segment")
+        };
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&newest_wal)
+            .expect("open wal");
+        f.write_all(b"e 999 2 0123456789abcdef\n+ 7").expect("tear");
+        drop(f);
+
+        let (engine2, backend2, store2) = engine_with_store(&dir);
+        for op in second {
+            engine2
+                .apply_updates(std::slice::from_ref(op))
+                .expect("apply after torn restart");
+        }
+        let want_epoch = engine2.epoch();
+        let want = answers(&backend2);
+        drop(engine2);
+        drop(backend2);
+        drop(store2);
+
+        let (engine3, backend3, _store3) = engine_with_store(&dir);
+        assert_eq!(engine3.epoch(), want_epoch, "post-restart acks lost");
+        assert_eq!(answers(&backend3), want, "restored answers differ");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -15,7 +15,10 @@
 //! `<epoch>` is the engine epoch **after** the batch applied; replay skips
 //! records at or below the checkpoint epoch (idempotent) and stops at the
 //! first torn or corrupt record (a crash mid-append leaves only a torn
-//! tail, never a hole).
+//! tail, never a hole). [`Wal::open`] truncates any torn tail off the
+//! resumed segment before accepting appends — otherwise records acked
+//! after a restart would sit *behind* the tear and be invisible to replay
+//! after a second crash.
 //!
 //! The log is segmented: `wal-<seq>.log` files in the data directory. A
 //! checkpoint rotates to a fresh segment *before* reading the engine epoch,
@@ -48,6 +51,7 @@ pub struct Wal {
     dir: PathBuf,
     seq: u64,
     file: File,
+    recovered_torn_tail: bool,
 }
 
 fn segment_name(seq: u64) -> String {
@@ -81,17 +85,41 @@ fn sync_dir(dir: &Path) -> std::io::Result<()> {
 
 impl Wal {
     /// Opens the newest segment in `dir` for appending, creating segment 1
-    /// if the directory has none.
+    /// if the directory has none. If a crash left a torn record at the
+    /// segment's tail, the tail is truncated first: replay stops at the
+    /// first tear, so appending after torn bytes would make every later
+    /// acked record unrecoverable on the next restart.
     pub fn open(dir: &Path) -> Result<Self, StorageError> {
         let seq = segments(dir)?.last().map(|&(s, _)| s).unwrap_or(0).max(1);
         let path = dir.join(segment_name(seq));
+        let mut recovered_torn_tail = false;
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                let parsed = parse_segment(&bytes);
+                if parsed.valid_len < bytes.len() {
+                    let file = OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(parsed.valid_len as u64)?;
+                    file.sync_all()?;
+                    recovered_torn_tail = true;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         sync_dir(dir)?;
         Ok(Wal {
             dir: dir.to_path_buf(),
             seq,
             file,
+            recovered_torn_tail,
         })
+    }
+
+    /// Whether [`Wal::open`] found and truncated a torn tail (the signature
+    /// of a crash mid-append) on the resumed segment.
+    pub fn recovered_torn_tail(&self) -> bool {
+        self.recovered_torn_tail
     }
 
     /// Serializes one record. The checksum covers exactly the op-line bytes.
@@ -149,11 +177,22 @@ impl Wal {
     }
 }
 
+/// What [`parse_segment`] extracted from one segment's bytes.
+struct ParsedSegment {
+    records: Vec<WalRecord>,
+    /// Whether a torn/corrupt tail follows the valid records.
+    torn: bool,
+    /// Byte length of the valid prefix — the offset just past the last
+    /// fully valid record. Truncating the segment to this length removes
+    /// the tear without touching any replayable record.
+    valid_len: usize,
+}
+
 /// Parses one segment's records, tolerating a torn tail: parsing stops at
 /// the first record whose header is malformed, whose op lines are missing
 /// or unparsable, or whose checksum disagrees. Records before the tear are
 /// returned; `torn` reports whether a tear was seen.
-fn parse_segment(bytes: &[u8]) -> (Vec<WalRecord>, bool) {
+fn parse_segment(bytes: &[u8]) -> ParsedSegment {
     let mut records = Vec::new();
     let text = match std::str::from_utf8(bytes) {
         Ok(t) => t,
@@ -162,10 +201,16 @@ fn parse_segment(bytes: &[u8]) -> (Vec<WalRecord>, bool) {
             std::str::from_utf8(&bytes[..e.valid_up_to()]).expect("valid prefix")
         }
     };
+    let done = |records: Vec<WalRecord>, torn: bool, rest: &str| ParsedSegment {
+        records,
+        torn,
+        valid_len: text.len() - rest.len(),
+    };
     let mut rest = text;
     loop {
         let Some(line_end) = rest.find('\n') else {
-            return (records, !rest.is_empty());
+            let torn = !rest.is_empty() || bytes.len() > text.len();
+            return done(records, torn, rest);
         };
         let header = &rest[..line_end];
         let after_header = &rest[line_end + 1..];
@@ -177,14 +222,14 @@ fn parse_segment(bytes: &[u8]) -> (Vec<WalRecord>, bool) {
             fields.next(),
             fields.next(),
         ) else {
-            return (records, true);
+            return done(records, true, rest);
         };
         let (Ok(epoch), Ok(count), Ok(sum)) = (
             epoch.parse::<u64>(),
             count.parse::<usize>(),
             u64::from_str_radix(sum, 16),
         ) else {
-            return (records, true);
+            return done(records, true, rest);
         };
         // Take exactly `count` op lines.
         let mut ops_end = 0usize;
@@ -200,21 +245,21 @@ fn parse_segment(bytes: &[u8]) -> (Vec<WalRecord>, bool) {
         }
         let ops_text = &after_header[..ops_end];
         if !complete || fnv1a64(ops_text.as_bytes()) != sum {
-            return (records, true);
+            return done(records, true, rest);
         }
         let Ok(parsed) = read_update_workload(ops_text.as_bytes()) else {
-            return (records, true);
+            return done(records, true, rest);
         };
         let mut updates = Vec::with_capacity(parsed.len());
         for op in parsed {
             match op {
                 UpdateOp::Insert { u, v } => updates.push(EdgeUpdate::Insert(u, v)),
                 UpdateOp::Remove { u, v } => updates.push(EdgeUpdate::Remove(u, v)),
-                UpdateOp::Query { .. } => return (records, true),
+                UpdateOp::Query { .. } => return done(records, true, rest),
             }
         }
         if updates.len() != count {
-            return (records, true);
+            return done(records, true, rest);
         }
         records.push(WalRecord { epoch, updates });
         rest = &after_header[ops_end..];
@@ -239,9 +284,9 @@ pub fn replay(dir: &Path, after_epoch: u64) -> Result<WalReplay, StorageError> {
     let mut torn = false;
     for (_, path) in segments(dir)? {
         let bytes = std::fs::read(&path)?;
-        let (parsed, seg_torn) = parse_segment(&bytes);
-        torn |= seg_torn;
-        records.extend(parsed.into_iter().filter(|r| r.epoch > after_epoch));
+        let parsed = parse_segment(&bytes);
+        torn |= parsed.torn;
+        records.extend(parsed.records.into_iter().filter(|r| r.epoch > after_epoch));
     }
     Ok(WalReplay { records, torn })
 }
@@ -297,6 +342,41 @@ mod tests {
             assert!(r.torn, "cut at {cut} not flagged");
             assert_eq!(r.records.len(), 1, "cut at {cut}");
             assert_eq!(r.records[0].epoch, 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_so_later_acks_survive() {
+        // Crash -> restart -> ack -> crash: the record acked after the
+        // restart must replay even though the first crash left torn bytes
+        // at the segment tail.
+        let dir = temp_dir("reopen-torn");
+        let mut wal = Wal::open(&dir).expect("open");
+        wal.append(1, &batch(1)).expect("append");
+        wal.append(2, &batch(2)).expect("append");
+        let path = dir.join(segment_name(wal.current_seq()));
+        drop(wal);
+        let full = std::fs::read(&path).expect("read");
+        let first_len = Wal::render_record(1, &batch(1)).len();
+        for cut in first_len + 1..full.len() {
+            // First crash: tear strictly inside record 2.
+            std::fs::write(&path, &full[..cut]).expect("tear");
+            // Restart: open must cut the segment back to record 1...
+            let mut wal = Wal::open(&dir).expect("reopen");
+            assert_eq!(
+                std::fs::metadata(&path).expect("meta").len(),
+                first_len as u64,
+                "cut at {cut} not truncated"
+            );
+            // ...so this post-restart ack lands where replay can see it.
+            wal.append(2, &batch(20)).expect("append after tear");
+            drop(wal); // second crash
+            let r = replay(&dir, 0).expect("replay");
+            assert!(!r.torn, "cut at {cut} left a tear behind");
+            assert_eq!(r.records.len(), 2, "cut at {cut}");
+            assert_eq!(r.records[0].epoch, 1);
+            assert_eq!(r.records[1].updates, batch(20), "cut at {cut}");
         }
         std::fs::remove_dir_all(&dir).ok();
     }

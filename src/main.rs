@@ -828,6 +828,16 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
                         ""
                     },
                 );
+                // k is baked into the restored maintainer state; an
+                // explicit --k that disagrees would otherwise be silently
+                // ignored.
+                if flag_value(args, "--k")?.is_some() && k != report.state.k() {
+                    eprintln!(
+                        "kreach-store: warning: ignoring --k {k}; the restored state was \
+                         built with k={} (bootstrap a fresh data dir to change k)",
+                        report.state.k()
+                    );
+                }
                 (
                     Arc::new(DynamicKReachBackend::from_state(report.state)),
                     report.epoch,

@@ -417,7 +417,7 @@ fn storage_backends_agree_under_random_mutations() {
 /// incremental index, a from-scratch rebuild over the oracle edge set, and
 /// online BFS — and resume at exactly the live epoch.
 fn durability_replay(shape: GeneratorSpec, k: u32, seed: u64, steps: usize) {
-    use kreach_store::{engine_snapshot, Store};
+    use kreach_store::{engine_snapshot, read_durable_state, Store};
 
     let dir = std::env::temp_dir().join(format!(
         "kreach-durability-{seed}-{k}-{}",
@@ -457,11 +457,12 @@ fn durability_replay(shape: GeneratorSpec, k: u32, seed: u64, steps: usize) {
         if step % 9 != 4 {
             continue;
         }
-        // Simulated crash: a second Store handle sees only what is durable
-        // on disk — exactly what a restarted process would.
+        // Simulated crash: the lock-free read-only path sees only what is
+        // durable on disk — exactly what a restarted process would. (A
+        // second Store::open would rightly fail: the live store holds the
+        // directory's exclusive lock.)
         restores += 1;
-        let crashed = Store::open(&dir, DynamicOptions::default()).expect("reopen store");
-        let report = crashed.restore().expect("restore");
+        let report = read_durable_state(&dir, DynamicOptions::default()).expect("restore");
         assert_eq!(
             report.epoch,
             engine.epoch(),
