@@ -24,7 +24,9 @@
 
 use kreach_bench::Table;
 use kreach_core::{BuildOptions, KReachIndex, QueryCase, VertexCover};
-use kreach_engine::{BatchEngine, EngineConfig, EngineStats, KReachBackend, Query, QueryBatch};
+use kreach_engine::{
+    BatchEngine, EngineConfig, EngineStats, KReachBackend, Query, QueryBatch, ACCEL_RETUNE_INTERVAL,
+};
 use kreach_graph::generators::GeneratorSpec;
 use kreach_graph::{DiGraph, VertexId};
 use kreach_obs::Recorder;
@@ -38,6 +40,9 @@ struct Config {
     seed: u64,
     queries: usize,
     output: String,
+    /// Markdown table of calibrated targets; when set, the run exits
+    /// nonzero if the hub Case-4 fast path regresses past 2x its target.
+    check_targets: Option<String>,
 }
 
 fn parse_args() -> Config {
@@ -46,6 +51,7 @@ fn parse_args() -> Config {
         seed: 42,
         queries: 2_000,
         output: "BENCH_query.json".to_string(),
+        check_targets: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -58,9 +64,11 @@ fn parse_args() -> Config {
             "--seed" => config.seed = value("--seed").parse().expect("--seed"),
             "--queries" => config.queries = value("--queries").parse().expect("--queries"),
             "--output" => config.output = value("--output"),
+            "--check-targets" => config.check_targets = Some(value("--check-targets")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: query_throughput [--smoke] [--seed S] [--queries N] [--output FILE]"
+                    "usage: query_throughput [--smoke] [--seed S] [--queries N] [--output FILE] \
+                     [--check-targets TARGETS.md]"
                 );
                 std::process::exit(0);
             }
@@ -156,6 +164,202 @@ fn measure_case(
     }
 }
 
+/// Batched (target-grouped) Case-4 dispatch vs. one `query` call per member,
+/// over the same groups, answers cross-checked byte-for-byte first.
+struct BatchedReport {
+    batch: usize,
+    per_query_micros: f64,
+    batched_micros: f64,
+}
+
+impl BatchedReport {
+    fn speedup(&self) -> f64 {
+        if self.batched_micros > 0.0 {
+            self.per_query_micros / self.batched_micros
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"batch\":{},\"per_query_us\":{:.4},\"batched_us\":{:.4},\"speedup\":{:.2}}}",
+            self.batch,
+            self.per_query_micros,
+            self.batched_micros,
+            self.speedup()
+        )
+    }
+}
+
+/// Measures `groups` (each a shared target plus `batch` sources) through the
+/// grouped kernel and through per-query calls, µs per answered query each way.
+fn measure_batched(
+    g: &DiGraph,
+    index: &KReachIndex,
+    groups: &[(VertexId, Vec<VertexId>)],
+    min_nanos: u128,
+) -> BatchedReport {
+    let batch = groups[0].1.len();
+    let total: usize = groups.iter().map(|(_, sources)| sources.len()).sum();
+    let mut answers = vec![false; batch];
+    // Byte-identical before anything is timed.
+    for (t, sources) in groups {
+        answers.clear();
+        answers.resize(sources.len(), false);
+        index.query_group_k(g, sources, *t, index.k(), &mut answers);
+        for (&answer, &s) in answers.iter().zip(sources) {
+            assert_eq!(
+                answer,
+                index.query_with_case(g, s, *t).0,
+                "batched/per-query divergence on ({s},{t})"
+            );
+        }
+    }
+    let time = |run_groups: &mut dyn FnMut() -> usize| {
+        let mut reps = 0u32;
+        let started = Instant::now();
+        loop {
+            std::hint::black_box(run_groups());
+            reps += 1;
+            if started.elapsed().as_nanos() >= min_nanos || reps >= 1_000 {
+                break;
+            }
+        }
+        started.elapsed().as_secs_f64() * 1e6 / (reps as usize * total) as f64
+    };
+    let per_query_micros = time(&mut || {
+        let mut sink = 0usize;
+        for (t, sources) in groups {
+            for &s in sources {
+                sink += index.query_with_case(g, s, *t).0 as usize;
+            }
+        }
+        sink
+    });
+    let batched_micros = time(&mut || {
+        let mut sink = 0usize;
+        for (t, sources) in groups {
+            index.query_group_k(g, sources, *t, index.k(), &mut answers);
+            sink += answers.iter().filter(|&&a| a).count();
+        }
+        sink
+    });
+    BatchedReport {
+        batch,
+        per_query_micros,
+        batched_micros,
+    }
+}
+
+/// Convergence evidence for the adaptive dense-row tuner: an index built at
+/// a deliberately detuned threshold is served under a byte budget until the
+/// engine's retunes settle, then its throughput is compared against the
+/// statically auto-tuned build.
+struct AdaptiveReport {
+    detuned_threshold: usize,
+    budget_bytes: usize,
+    static_qps: f64,
+    cold_qps: f64,
+    warm_qps: f64,
+    retunes: u64,
+    rows_promoted: u64,
+    rows_demoted: u64,
+    dense_rows_start: usize,
+    dense_rows_end: usize,
+    /// Dense-row footprint (index-graph accel bytes) — the number the byte
+    /// budget governs.
+    dense_bytes_start: usize,
+    dense_bytes_end: usize,
+}
+
+impl AdaptiveReport {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"detuned_threshold\":{},\"budget_bytes\":{},",
+                "\"static_qps\":{:.1},\"cold_qps\":{:.1},\"warm_qps\":{:.1},",
+                "\"retunes\":{},\"rows_promoted\":{},\"rows_demoted\":{},",
+                "\"dense_rows_start\":{},\"dense_rows_end\":{},",
+                "\"dense_bytes_start\":{},\"dense_bytes_end\":{}}}"
+            ),
+            self.detuned_threshold,
+            self.budget_bytes,
+            self.static_qps,
+            self.cold_qps,
+            self.warm_qps,
+            self.retunes,
+            self.rows_promoted,
+            self.rows_demoted,
+            self.dense_rows_start,
+            self.dense_rows_end,
+            self.dense_bytes_start,
+            self.dense_bytes_end,
+        )
+    }
+}
+
+fn adaptive_run(
+    g: &Arc<DiGraph>,
+    static_qps: f64,
+    detuned_threshold: usize,
+    budget_bytes: usize,
+    queries: &[(VertexId, VertexId)],
+) -> AdaptiveReport {
+    let k = 3;
+    let detuned = KReachIndex::build(
+        g.as_ref(),
+        k,
+        BuildOptions {
+            dense_row_threshold: Some(detuned_threshold),
+            ..BuildOptions::default()
+        },
+    );
+    let dense_rows_start = detuned.index_graph().dense_row_count();
+    let dense_bytes_start = detuned.index_graph().accel_size_bytes();
+    let backend = Arc::new(KReachBackend::new(Arc::clone(g), detuned));
+    let engine = BatchEngine::new(
+        Arc::clone(&backend) as _,
+        EngineConfig {
+            cache_capacity: 0,
+            accel_budget: budget_bytes,
+            ..EngineConfig::default()
+        },
+    );
+    let batch = QueryBatch::new(queries.iter().map(|&(s, t)| Query { s, t, k }).collect());
+    let cold_qps = engine
+        .run(&batch)
+        .expect("workload in range")
+        .stats
+        .queries_per_sec;
+    // Warm until at least three retune windows have elapsed, so the heat
+    // counters the tuner ranks by reflect the served mix.
+    let rounds = (3 * ACCEL_RETUNE_INTERVAL as usize).div_ceil(batch.len().max(1)) + 1;
+    for _ in 0..rounds {
+        engine.run(&batch).expect("workload in range");
+    }
+    let warm_qps = engine
+        .run(&batch)
+        .expect("workload in range")
+        .stats
+        .queries_per_sec;
+    let info = engine.info();
+    AdaptiveReport {
+        detuned_threshold,
+        budget_bytes,
+        static_qps,
+        cold_qps,
+        warm_qps,
+        retunes: info.accel_retunes,
+        rows_promoted: info.accel_promoted,
+        rows_demoted: info.accel_demoted,
+        dense_rows_start,
+        dense_rows_end: info.accel_dense_rows,
+        dense_bytes_start,
+        dense_bytes_end: backend.index().index_graph().accel_size_bytes(),
+    }
+}
+
 struct WorkloadReport {
     name: String,
     vertices: usize,
@@ -169,6 +373,11 @@ struct WorkloadReport {
     /// Table-8 "cover-hit" distribution).
     case_distribution: [f64; 4],
     cases: Vec<CaseReport>,
+    /// Target-grouped batched dispatch vs. per-query calls at several batch
+    /// sizes (hub workload only; empty elsewhere).
+    batched: Vec<BatchedReport>,
+    /// Adaptive dense-row tuner convergence run (uniform workload only).
+    adaptive: Option<AdaptiveReport>,
     /// Engine batch run with the production no-op recorder.
     engine: EngineStats,
     /// The same batch fully traced, to keep the instrumentation overhead
@@ -179,13 +388,19 @@ struct WorkloadReport {
 impl WorkloadReport {
     fn to_json(&self) -> String {
         let cases: Vec<String> = self.cases.iter().map(CaseReport::to_json).collect();
+        let batched: Vec<String> = self.batched.iter().map(BatchedReport::to_json).collect();
+        let adaptive = self
+            .adaptive
+            .as_ref()
+            .map_or_else(|| "null".to_string(), AdaptiveReport::to_json);
         format!(
             concat!(
                 "{{\"workload\":\"{}\",\"vertices\":{},\"edges\":{},\"k\":{},",
                 "\"cover_size\":{},\"dense_rows\":{},\"dense_threshold\":{},",
                 "\"accel_bytes\":{},",
                 "\"case_distribution\":[{:.4},{:.4},{:.4},{:.4}],",
-                "\"cases\":[{}],\"engine_qps\":{:.1},",
+                "\"cases\":[{}],\"batched\":[{}],\"adaptive\":{},",
+                "\"engine_qps\":{:.1},",
                 // The engine objects share EngineStats' JSON schema — the
                 // same "cases"/"resolutions" labeled-count objects the
                 // serving path reports.
@@ -204,6 +419,8 @@ impl WorkloadReport {
             self.case_distribution[2],
             self.case_distribution[3],
             cases.join(","),
+            batched.join(","),
+            adaptive,
             self.engine.queries_per_sec,
             self.engine.to_json(),
             self.engine_traced.to_json(),
@@ -242,6 +459,34 @@ impl WorkloadReport {
              batch case mix {:?}",
             self.engine.p50_micros, self.engine_traced.p50_micros, self.engine.case_counts,
         );
+        for report in &self.batched {
+            println!(
+                "  batched case-4 @ batch {}: {:.3} µs/q grouped vs {:.3} µs/q per-query \
+                 ({:.2}x)",
+                report.batch,
+                report.batched_micros,
+                report.per_query_micros,
+                report.speedup(),
+            );
+        }
+        if let Some(adaptive) = &self.adaptive {
+            println!(
+                "  adaptive: threshold {} under {} B budget: {:.0} q/s cold -> {:.0} q/s warm \
+                 (static {:.0} q/s) · {} retunes, +{}/-{} rows, dense {} -> {}, {} -> {} dense B",
+                adaptive.detuned_threshold,
+                adaptive.budget_bytes,
+                adaptive.cold_qps,
+                adaptive.warm_qps,
+                adaptive.static_qps,
+                adaptive.retunes,
+                adaptive.rows_promoted,
+                adaptive.rows_demoted,
+                adaptive.dense_rows_start,
+                adaptive.dense_rows_end,
+                adaptive.dense_bytes_start,
+                adaptive.dense_bytes_end,
+            );
+        }
     }
 }
 
@@ -414,6 +659,22 @@ fn hub_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
         ));
     }
 
+    // Target-grouped batches: for each batch size, 32 fan-in groups of
+    // distinct uncovered targets, every member Case 4 — the shape the
+    // serving path's grouped dispatch exploits.
+    let batched = [16usize, 64, 256]
+        .iter()
+        .map(|&batch| {
+            let groups: Vec<(VertexId, Vec<VertexId>)> = (0..32)
+                .map(|j| {
+                    let sources = (0..batch).map(|i| hub.source(i * 3 + j)).collect();
+                    (hub.target(j), sources)
+                })
+                .collect();
+            measure_batched(&g, &index, &groups, min_nanos)
+        })
+        .collect();
+
     let (engine, engine_traced) = engine_runs(&g, &index, &case4);
     let ig = index.index_graph();
     WorkloadReport {
@@ -424,7 +685,9 @@ fn hub_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
         cover_size: index.cover_size(),
         dense_rows: ig.dense_row_count(),
         dense_threshold: ig.dense_threshold(),
-        accel_bytes: ig.accel_size_bytes(),
+        // Whole acceleration footprint: dense bitset rows plus the lazily
+        // built position-adjacency tables (the old number missed the latter).
+        accel_bytes: index.accel_size_bytes(),
         // The crafted workload is balanced by construction.
         case_distribution: [0.25, 0.25, 0.25, 0.25],
         cases: vec![
@@ -433,6 +696,8 @@ fn hub_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
             measure_case(&g, &index, QueryCase::TargetInCover, &case3, min_nanos),
             measure_case(&g, &index, QueryCase::NeitherInCover, &case4, min_nanos),
         ],
+        batched,
+        adaptive: None,
         engine,
         engine_traced,
     }
@@ -467,6 +732,16 @@ fn uniform_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
     }
     let (engine, engine_traced) = engine_runs(&g, &index, &engine_queries);
     let ig = index.index_graph();
+    // Serve the same mix from a detuned build (threshold 128 promotes far
+    // more rows than auto-tuning would) under the static build's byte
+    // budget; the engine's retunes should converge on comparable throughput.
+    let adaptive = adaptive_run(
+        &g,
+        engine.queries_per_sec,
+        128,
+        ig.accel_size_bytes().max(1),
+        &engine_queries,
+    );
     WorkloadReport {
         name: "uniform".to_string(),
         vertices: g.vertex_count(),
@@ -475,9 +750,11 @@ fn uniform_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
         cover_size: index.cover_size(),
         dense_rows: ig.dense_row_count(),
         dense_threshold: ig.dense_threshold(),
-        accel_bytes: ig.accel_size_bytes(),
+        accel_bytes: index.accel_size_bytes(),
         case_distribution: distribution,
         cases: reports,
+        batched: Vec::new(),
+        adaptive: Some(adaptive),
         engine,
         engine_traced,
     }
@@ -512,4 +789,51 @@ fn main() {
         case4.naive_micros,
         case4.fast_micros
     );
+
+    if let Some(targets) = &config.check_targets {
+        if let Err(message) = check_targets(targets, config.smoke, case4.fast_micros) {
+            eprintln!("bench gate FAILED: {message}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Regression gate against the calibrated targets table
+/// (`docs/bench-targets.md`): a markdown table with a `metric` column and
+/// `smoke`/`full` value columns. Fails when the measured hub Case-4
+/// fast-path microseconds exceed twice the checked-in target.
+fn check_targets(path: &str, smoke: bool, hub_case4_fast_us: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let column = if smoke { 1 } else { 2 };
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed
+            .trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.first().copied() != Some("hub_case4_fast_us") {
+            continue;
+        }
+        let target: f64 = cells
+            .get(column)
+            .ok_or_else(|| format!("{path}: hub_case4_fast_us row is missing column {column}"))?
+            .parse()
+            .map_err(|e| format!("{path}: bad hub_case4_fast_us value: {e}"))?;
+        if hub_case4_fast_us > 2.0 * target {
+            return Err(format!(
+                "hub case-4 fast path measured {hub_case4_fast_us:.3} µs, \
+                 more than 2x the calibrated target {target:.3} µs"
+            ));
+        }
+        eprintln!(
+            "bench gate ok: hub case-4 fast path {hub_case4_fast_us:.3} µs \
+             within 2x of target {target:.3} µs"
+        );
+        return Ok(());
+    }
+    Err(format!("{path}: no hub_case4_fast_us row found"))
 }

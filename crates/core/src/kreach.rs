@@ -8,8 +8,81 @@ use crate::weights::PackedWeights;
 use kreach_graph::intersect::{sorted_any_common, sorted_contains};
 use kreach_graph::traversal::{bfs, Direction};
 use kreach_graph::{GraphView, VertexId};
+use std::cell::{Cell, RefCell};
 use std::sync::OnceLock;
 use std::time::Instant;
+
+/// One served query in [`HEAT_SAMPLE_PERIOD`] charges row heat — enough
+/// signal for the adaptive dense-row retuner at negligible per-query cost.
+const HEAT_SAMPLE_PERIOD: u32 = 16;
+
+thread_local! {
+    static HEAT_TICK: Cell<u32> = const { Cell::new(0) };
+}
+
+/// True on every [`HEAT_SAMPLE_PERIOD`]-th call per thread.
+#[inline]
+fn heat_sampled() -> bool {
+    HEAT_TICK.with(|t| {
+        let v = t.get().wrapping_add(1);
+        t.set(v);
+        v % HEAT_SAMPLE_PERIOD == 0
+    })
+}
+
+/// Per-thread memo of "does cover row `pu` reach any of the group's
+/// candidates within the bound" verdicts for the target-grouped Case-4 path:
+/// sources sharing a target often share covered out-neighbours, so each row
+/// verdict is computed once per group. Entries are generation-stamped — a
+/// stamp mismatch reads as absent — so starting a new group is O(1), not
+/// O(cover).
+struct RowMemo {
+    stamp: Vec<u32>,
+    val: Vec<bool>,
+    cur: u32,
+}
+
+impl RowMemo {
+    const fn new() -> Self {
+        RowMemo {
+            stamp: Vec::new(),
+            val: Vec::new(),
+            cur: 0,
+        }
+    }
+
+    /// Starts a new group over a cover of `rows` rows, invalidating every
+    /// memoized verdict.
+    fn begin(&mut self, rows: usize) {
+        if self.stamp.len() < rows {
+            self.stamp.resize(rows, 0);
+            self.val.resize(rows, false);
+        }
+        self.cur = self.cur.wrapping_add(1);
+        if self.cur == 0 {
+            // The generation counter wrapped: stale stamps from 2^32 groups
+            // ago could alias the new generation, so clear them once.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.cur = 1;
+        }
+    }
+
+    #[inline]
+    fn get_or_insert_with(&mut self, p: u32, f: impl FnOnce() -> bool) -> bool {
+        let i = p as usize;
+        if self.stamp[i] == self.cur {
+            return self.val[i];
+        }
+        let v = f();
+        self.stamp[i] = self.cur;
+        self.val[i] = v;
+        v
+    }
+}
+
+thread_local! {
+    static ROW_MEMO: RefCell<RowMemo> = const { RefCell::new(RowMemo::new()) };
+}
 
 /// Options controlling index construction.
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +251,12 @@ impl PosAdjacency {
     #[inline]
     fn in_pos(&self, v: VertexId) -> &[u32] {
         &self.in_pos[self.in_off[v.index()] as usize..self.in_off[v.index() + 1] as usize]
+    }
+
+    /// Heap footprint of the pre-translation tables in bytes.
+    fn size_bytes(&self) -> usize {
+        (self.out_off.len() + self.out_pos.len() + self.in_off.len() + self.in_pos.len())
+            * std::mem::size_of::<u32>()
     }
 }
 
@@ -420,11 +499,15 @@ impl KReachIndex {
         }
         let k = self.k;
         let ig = &self.index;
+        let sample = heat_sampled();
         let answer = match case {
             // Case 1: both in the cover — the edge (s, t) exists iff s →k t.
             QueryCase::BothInCover => {
                 let ps = ig.position(s).expect("case 1 source is covered");
                 let pt = ig.position(t).expect("case 1 target is covered");
+                if sample {
+                    ig.note_row_touch(ps);
+                }
                 ig.edge_exists_by_pos(ps, pt)
             }
             // Case 2: s in the cover, t not — so every in-neighbour of t is
@@ -433,15 +516,24 @@ impl KReachIndex {
             QueryCase::SourceInCover => {
                 let ps = ig.position(s).expect("case 2 source is covered");
                 let inn = self.pos_adj(g).in_pos(t);
+                if sample {
+                    ig.note_row_touch(ps);
+                }
                 // k ≥ 1 always holds (asserted at build), so a direct edge —
                 // ps appearing among t's in-neighbour positions — answers.
                 sorted_contains(inn, ps) || ig.any_edge_le(ps, inn, k - 1)
             }
-            // Case 3: mirror image of Case 2 through outNei(s, G).
+            // Case 3: mirror image of Case 2 through outNei(s, G); the whole
+            // out(s) scan shares one acceleration read guard.
             QueryCase::TargetInCover => {
                 let pt = ig.position(t).expect("case 3 target is covered");
                 let out = self.pos_adj(g).out_pos(s);
-                sorted_contains(out, pt) || out.iter().any(|&pu| ig.edge_weight_le(pu, pt, k - 1))
+                if sample {
+                    for &pu in out {
+                        ig.note_row_touch(pu);
+                    }
+                }
+                sorted_contains(out, pt) || ig.any_source_edge_le(out, pt, k - 1)
             }
             // Case 4: neither endpoint is covered; the path must leave s into
             // a covered out-neighbour and enter t from a covered in-neighbour,
@@ -455,12 +547,125 @@ impl KReachIndex {
                     let adj = self.pos_adj(g);
                     let out = adj.out_pos(s);
                     let inn = adj.in_pos(t);
+                    if sample {
+                        for &pu in out {
+                            ig.note_row_touch(pu);
+                        }
+                    }
                     // Shared covered neighbour: s → u → t in two hops.
                     sorted_any_common(out, inn) || ig.any_pair_edge_le(out, inn, k - 2)
                 }
             }
         };
         (answer, case)
+    }
+
+    /// Answers a group of queries sharing one target: `answers[i] = s_i →k t`
+    /// — the batched entry point of the engine's target-grouped dispatch.
+    ///
+    /// For the index's own hop bound this answers every source against state
+    /// prepared **once per group**: the backward candidate list `inNei(t)` is
+    /// translated once, its Case-4 scratch bitset and acceleration read guard
+    /// are built once ([`CoverIndexGraph::with_candidates`]), and per-row
+    /// "does this covered out-neighbour reach the candidates" verdicts are
+    /// memoized across the group's sources (`RowMemo`), since sources that
+    /// share a target usually share hub out-neighbours. Any other hop bound
+    /// falls back to the exact per-query online search.
+    ///
+    /// Answers are bit-identical to calling [`KReachIndex::query_k`] per
+    /// source, and each source is tallied to its Algorithm-2 case exactly as
+    /// the per-query path does.
+    ///
+    /// # Panics
+    /// Panics if `sources` and `answers` differ in length.
+    pub fn query_group_k<G: GraphView>(
+        &self,
+        g: &G,
+        sources: &[VertexId],
+        t: VertexId,
+        k: u32,
+        answers: &mut [bool],
+    ) {
+        assert_eq!(
+            sources.len(),
+            answers.len(),
+            "one answer slot per grouped source"
+        );
+        if k != self.k {
+            for (answer, &s) in answers.iter_mut().zip(sources) {
+                *answer = self.query_k(g, s, t, k);
+            }
+            return;
+        }
+        let ig = &self.index;
+        let adj = self.pos_adj(g);
+        if let Some(pt) = ig.position(t) {
+            // Covered target: Cases 1 and 3 only, no candidate scratch to
+            // share — but the target position is translated once.
+            for (answer, &s) in answers.iter_mut().zip(sources) {
+                let case = self.classify(s, t);
+                kreach_obs::observe::note_case(case.number());
+                let sample = heat_sampled();
+                *answer = if s == t {
+                    true
+                } else if let Some(ps) = ig.position(s) {
+                    if sample {
+                        ig.note_row_touch(ps);
+                    }
+                    ig.edge_exists_by_pos(ps, pt)
+                } else {
+                    let out = adj.out_pos(s);
+                    if sample {
+                        for &pu in out {
+                            ig.note_row_touch(pu);
+                        }
+                    }
+                    sorted_contains(out, pt) || ig.any_source_edge_le(out, pt, k - 1)
+                };
+            }
+            return;
+        }
+        // Uncovered target: Cases 2 and 4 — every source probes the same
+        // sorted candidate list inNei(t).
+        let inn = adj.in_pos(t);
+        ig.with_candidates(inn, |prep| {
+            ROW_MEMO.with(|cell| {
+                let mut memo = cell.borrow_mut();
+                memo.begin(ig.cover_size());
+                for (answer, &s) in answers.iter_mut().zip(sources) {
+                    let case = self.classify(s, t);
+                    kreach_obs::observe::note_case(case.number());
+                    let sample = heat_sampled();
+                    *answer = if s == t {
+                        true
+                    } else if let Some(ps) = ig.position(s) {
+                        // Case 2: direct edge (ps ∈ inn) or an index edge
+                        // from ps into the candidates within k−1 hops.
+                        if sample {
+                            ig.note_row_touch(ps);
+                        }
+                        prep.contains(ps) || prep.row_any_le(ps, k - 1)
+                    } else if k < 2 {
+                        false
+                    } else {
+                        // Case 4, folded: a shared covered neighbour is
+                        // `prep.contains(pu)`, a cover pair within k−2 is
+                        // `prep.row_any_le(pu, k−2)` — memoized per row.
+                        let out = adj.out_pos(s);
+                        if sample {
+                            for &pu in out {
+                                ig.note_row_touch(pu);
+                            }
+                        }
+                        out.iter().any(|&pu| {
+                            memo.get_or_insert_with(pu, || {
+                                prep.contains(pu) || prep.row_any_le(pu, k - 2)
+                            })
+                        })
+                    };
+                }
+            })
+        });
     }
 
     /// The original Algorithm-2 formulation — one `cover_pos[]` lookup plus
@@ -646,6 +851,22 @@ impl KReachIndex {
     /// Total index size in bytes (position map + cover + CSR + 2-bit weights).
     pub fn size_bytes(&self) -> usize {
         self.index.size_bytes()
+    }
+
+    /// Resident acceleration bytes: the dense-row bitset store **plus** the
+    /// cover-position pre-translation tables (`PosAdjacency`) — everything
+    /// held beyond the core index purely to make queries faster. The
+    /// pre-translation part is 0 until the first query materializes it.
+    pub fn accel_size_bytes(&self) -> usize {
+        self.index.accel_size_bytes() + self.pos_adj.get().map_or(0, |adj| adj.size_bytes())
+    }
+
+    /// One adaptive retune pass over the dense-row acceleration: promotes the
+    /// hottest eligible cover rows and demotes the rest so the dense store
+    /// (slot map + bitsets) fits `budget_bytes`. Answers are unaffected; see
+    /// [`CoverIndexGraph::retune_dense_rows`].
+    pub fn retune_dense_rows(&self, budget_bytes: usize) -> crate::index_graph::AccelRetune {
+        self.index.retune_dense_rows(budget_bytes)
     }
 }
 
@@ -925,6 +1146,81 @@ mod tests {
     fn zero_k_is_rejected() {
         let g = DiGraph::from_edges(2, [(0, 1)]);
         KReachIndex::build(&g, 0, BuildOptions::default());
+    }
+
+    #[test]
+    fn grouped_queries_match_per_query_answers_for_every_target_and_k() {
+        let g = kreach_graph::generators::GeneratorSpec::PowerLaw {
+            n: 120,
+            m: 520,
+            hubs: 3,
+        }
+        .generate(17);
+        for k in [1, 2, 3, 5] {
+            // A tiny dense threshold forces dense rows so the grouped path's
+            // scratch-bitset probes are exercised, not just the gallops.
+            let index = KReachIndex::build(
+                &g,
+                k,
+                BuildOptions {
+                    dense_row_threshold: Some(4),
+                    ..Default::default()
+                },
+            );
+            let sources: Vec<VertexId> = g.vertices().collect();
+            let mut grouped = vec![false; sources.len()];
+            for t in g.vertices() {
+                index.query_group_k(&g, &sources, t, k, &mut grouped);
+                for (&s, &got) in sources.iter().zip(&grouped) {
+                    assert_eq!(got, index.query_k(&g, s, t, k), "k={k} ({s},{t})");
+                }
+                // A mismatched hop bound exercises the fallback arm.
+                index.query_group_k(&g, &sources, t, k + 1, &mut grouped);
+                for (&s, &got) in sources.iter().zip(&grouped) {
+                    assert_eq!(got, index.query_k(&g, s, t, k + 1), "k={} ({s},{t})", k + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn served_queries_charge_row_heat() {
+        let g = crate::paper_example::paper_example_graph();
+        let index = KReachIndex::build(&g, 3, BuildOptions::default());
+        let ig = index.index_graph();
+        // Heat is sampled 1-in-16 per thread, so a few sweeps guarantee hits.
+        for _ in 0..4 {
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    index.query(&g, s, t);
+                }
+            }
+        }
+        let total: u64 = (0..ig.cover_size() as u32)
+            .map(|p| ig.row_heat(p) as u64)
+            .sum();
+        assert!(total > 0, "sampled queries must accumulate row heat");
+    }
+
+    #[test]
+    fn accel_bytes_include_pos_adjacency_tables() {
+        let g = crate::paper_example::paper_example_graph();
+        let index = KReachIndex::build(&g, 3, BuildOptions::default());
+        // Built eagerly with the graph in hand, so the pre-translation
+        // tables are resident and counted beyond the dense-row store.
+        assert!(index.accel_size_bytes() > index.index_graph().accel_size_bytes());
+        let parts = KReachIndex::from_parts(
+            3,
+            CoverStrategy::DegreePriority,
+            index.index_graph().clone(),
+        );
+        // A deserialized index has no tables until the first query.
+        assert_eq!(
+            parts.accel_size_bytes(),
+            parts.index_graph().accel_size_bytes()
+        );
+        parts.query(&g, VertexId(0), VertexId(1));
+        assert!(parts.accel_size_bytes() > parts.index_graph().accel_size_bytes());
     }
 
     #[test]

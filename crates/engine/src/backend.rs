@@ -18,7 +18,7 @@
 //! (unbounded) reachability baselines for the benchmark tables.
 
 use kreach_core::dynamic::{DynamicKReach, DynamicOptions, UpdateStats};
-use kreach_core::{HkReachIndex, KReachIndex};
+use kreach_core::{AccelRetune, HkReachIndex, KReachIndex};
 use kreach_graph::dynamic::EdgeUpdate;
 use kreach_graph::traversal::khop_reachable_bidirectional;
 use kreach_graph::{DiGraph, GraphView, VertexId};
@@ -115,6 +115,38 @@ pub trait Reachability: Send + Sync {
     /// cover the requested bound.
     fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool;
 
+    /// Answers a group of queries sharing one `(t, k)`:
+    /// `answers[i] = sources[i] →k t`. Answers must be identical to calling
+    /// [`Reachability::query`] per source — this exists purely so index
+    /// backends can amortize per-target work (candidate translation, scratch
+    /// bitsets, lock acquisition) across the group. The default loops.
+    ///
+    /// # Panics
+    /// Implementations may panic when `sources` and `answers` differ in
+    /// length.
+    fn query_group(&self, sources: &[VertexId], t: VertexId, k: u32, answers: &mut [bool]) {
+        for (answer, &s) in answers.iter_mut().zip(sources) {
+            *answer = self.query(s, t, k);
+        }
+    }
+
+    /// Runs one adaptive retune pass over the backend's query acceleration
+    /// (dense-row promotion/demotion under `budget_bytes`), returning what
+    /// moved — or `None` when the backend has nothing tunable (the default).
+    /// Retuning must never change answers; it only re-spends the memory
+    /// budget on the rows serve-time heat says earn it.
+    fn retune_accel(&self, budget_bytes: usize) -> Option<AccelRetune> {
+        let _ = budget_bytes;
+        None
+    }
+
+    /// Resident acceleration bytes beyond the core index — dense-row bitset
+    /// stores, pre-translated adjacency tables — for `/stats` memory
+    /// accounting. The default reports 0.
+    fn accel_bytes(&self) -> usize {
+        0
+    }
+
     /// Applies a batch of edge mutations, updating whatever index the
     /// backend serves so subsequent queries reflect the new graph.
     ///
@@ -204,6 +236,19 @@ impl<G: GraphView + 'static> Reachability for KReachBackend<G> {
 
     fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool {
         self.index.query_k(self.graph.as_ref(), s, t, k)
+    }
+
+    fn query_group(&self, sources: &[VertexId], t: VertexId, k: u32, answers: &mut [bool]) {
+        self.index
+            .query_group_k(self.graph.as_ref(), sources, t, k, answers)
+    }
+
+    fn retune_accel(&self, budget_bytes: usize) -> Option<AccelRetune> {
+        Some(self.index.retune_dense_rows(budget_bytes))
+    }
+
+    fn accel_bytes(&self) -> usize {
+        self.index.accel_size_bytes()
     }
 
     fn top_sources(&self, n: usize) -> Vec<VertexId> {

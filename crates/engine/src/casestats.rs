@@ -25,6 +25,8 @@ pub struct CaseTally {
     resolutions: [u64; RESOLUTIONS],
     dense_probes: u64,
     sparse_gallops: u64,
+    batched_groups: u64,
+    batched_queries: u64,
 }
 
 impl Default for CaseTally {
@@ -42,6 +44,8 @@ impl CaseTally {
             resolutions: [0; RESOLUTIONS],
             dense_probes: 0,
             sparse_gallops: 0,
+            batched_groups: 0,
+            batched_queries: 0,
         }
     }
 
@@ -69,6 +73,17 @@ impl CaseTally {
         }
         self.dense_probes += other.dense_probes;
         self.sparse_gallops += other.sparse_gallops;
+        self.batched_groups += other.batched_groups;
+        self.batched_queries += other.batched_queries;
+    }
+
+    /// Records one target-grouped dispatch of `queries` cache misses (the
+    /// per-query classes/latencies still arrive through
+    /// [`CaseTally::observe`] — these counters only say how much of the
+    /// traffic went through the batched kernel rather than one-at-a-time).
+    pub fn note_batched_group(&mut self, queries: u64) {
+        self.batched_groups += 1;
+        self.batched_queries += queries;
     }
 
     /// Query counts per class, index-aligned with [`CLASS_LABELS`].
@@ -95,6 +110,17 @@ impl CaseTally {
     /// Total sparse galloping intersections across all observed queries.
     pub fn sparse_gallops(&self) -> u64 {
         self.sparse_gallops
+    }
+
+    /// Target groups answered through the batched kernel.
+    pub fn batched_groups(&self) -> u64 {
+        self.batched_groups
+    }
+
+    /// Queries answered through the batched kernel (each also counted in the
+    /// per-class totals).
+    pub fn batched_queries(&self) -> u64 {
+        self.batched_queries
     }
 
     /// Total observed queries (the sum of the per-class counts — which by
@@ -183,6 +209,21 @@ mod tests {
             assert_eq!(ha.count(), hc.count());
             assert_eq!(ha.sum_nanos(), hc.sum_nanos());
         }
+    }
+
+    #[test]
+    fn batched_counters_ride_through_merge() {
+        let mut a = CaseTally::new();
+        a.note_batched_group(5);
+        a.note_batched_group(3);
+        let mut b = CaseTally::new();
+        b.note_batched_group(2);
+        a.merge(&b);
+        assert_eq!(a.batched_groups(), 3);
+        assert_eq!(a.batched_queries(), 10);
+        // Grouping is bookkeeping about *how* misses were dispatched; the
+        // class-sum invariant is carried by observe() alone.
+        assert_eq!(a.total(), 0);
     }
 
     #[test]

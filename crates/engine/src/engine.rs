@@ -46,7 +46,21 @@ pub struct EngineConfig {
     /// are rejected with [`UpdateError::VertexLimitExceeded`] before
     /// anything is applied.
     pub max_vertices: usize,
+    /// Byte budget for the backend's adaptive dense-row acceleration; after
+    /// every [`ACCEL_RETUNE_INTERVAL`] served queries the engine asks the
+    /// backend to re-rank cover rows by observed probe heat and
+    /// promote/demote dense bitset rows within this budget
+    /// ([`Reachability::retune_accel`]). `0` keeps the build-time tuning
+    /// untouched.
+    pub accel_budget: usize,
 }
+
+/// Served queries between adaptive accel retune passes (see
+/// [`EngineConfig::accel_budget`]). Row heat is sampled 1-in-16 on the query
+/// path, so one interval observes a few hundred row touches — enough signal
+/// to rank rows, small enough that a shifted workload re-tunes within a few
+/// batches.
+pub const ACCEL_RETUNE_INTERVAL: u64 = 8_192;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -58,6 +72,7 @@ impl Default for EngineConfig {
             chunk_size: 256,
             prefetch_hot: 0,
             max_vertices: 1 << 24,
+            accel_budget: 0,
         }
     }
 }
@@ -268,6 +283,23 @@ pub struct EngineInfo {
     pub dense_probes: u64,
     /// Lifetime sparse galloping intersections run by served queries.
     pub sparse_gallops: u64,
+    /// Lifetime cache misses answered through the target-grouped batched
+    /// kernel (each also counted in [`EngineInfo::case_counts`]).
+    pub batched_queries: u64,
+    /// Target groups dispatched through the batched kernel.
+    pub batched_groups: u64,
+    /// Bytes held by the backend's query acceleration (dense bitset rows
+    /// plus position-space adjacency tables); `0` for backends without one.
+    pub accel_bytes: usize,
+    /// Adaptive retune passes run so far (see
+    /// [`EngineConfig::accel_budget`]).
+    pub accel_retunes: u64,
+    /// Rows promoted to the dense form across all retune passes.
+    pub accel_promoted: u64,
+    /// Rows demoted to the sparse form across all retune passes.
+    pub accel_demoted: u64,
+    /// Dense rows after the most recent retune pass (`0` before the first).
+    pub accel_dense_rows: usize,
     /// Lifetime update-path counters accumulated over every mutation batch
     /// applied through the engine (rows patched/coalesced, cover repairs by
     /// arm, rebuild triggers, and the nanoseconds each arm spent).
@@ -317,6 +349,22 @@ pub struct BatchEngine {
     /// Write-ahead destination for applied batches; `None` serves without
     /// durability (the default).
     durability: Mutex<Option<Arc<dyn DurabilitySink>>>,
+    /// Byte budget for adaptive accel retuning; `0` disables it.
+    accel_budget: usize,
+    /// Retune trigger state and cumulative counters (trigger checks run once
+    /// per batch, so a plain mutex costs nothing on the query path).
+    accel_state: Mutex<AccelState>,
+}
+
+/// Cumulative adaptive-retune bookkeeping (see
+/// [`EngineConfig::accel_budget`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct AccelState {
+    served_at_last_retune: u64,
+    retunes: u64,
+    promoted: u64,
+    demoted: u64,
+    dense_rows: usize,
 }
 
 impl BatchEngine {
@@ -354,6 +402,8 @@ impl BatchEngine {
             update_totals: Mutex::new(UpdateStats::default()),
             update_lock: Mutex::new(()),
             durability: Mutex::new(None),
+            accel_budget: config.accel_budget,
+            accel_state: Mutex::new(AccelState::default()),
         };
         engine.prefetch_hot_pairs();
         engine
@@ -395,6 +445,7 @@ impl BatchEngine {
             TaskKind::Prefetch,
             self.chunk_size,
             Recorder::disabled(),
+            Vec::new(),
         ));
         self.pool.dispatch(&task);
         task.wait();
@@ -474,6 +525,7 @@ impl BatchEngine {
     /// calls are synchronous, so once every caller has returned, dropping
     /// the engine joins the worker pool with nothing left in flight.
     pub fn info(&self) -> EngineInfo {
+        let accel = *self.accel_state.lock().expect("accel state poisoned");
         let totals = self.totals.lock().expect("case totals poisoned");
         EngineInfo {
             backend: self.backend.name().to_string(),
@@ -489,6 +541,13 @@ impl BatchEngine {
             resolution_counts: *totals.resolutions(),
             dense_probes: totals.dense_probes(),
             sparse_gallops: totals.sparse_gallops(),
+            batched_queries: totals.batched_queries(),
+            batched_groups: totals.batched_groups(),
+            accel_bytes: self.backend.accel_bytes(),
+            accel_retunes: accel.retunes,
+            accel_promoted: accel.promoted,
+            accel_demoted: accel.demoted,
+            accel_dense_rows: accel.dense_rows,
             update_stats: self.update_totals(),
         }
     }
@@ -572,6 +631,27 @@ impl BatchEngine {
     /// vector is identical for every worker count and cache configuration
     /// (the cache stores exact results, so hits and misses agree).
     pub fn run(&self, batch: &QueryBatch) -> Result<BatchOutcome, EngineError> {
+        let mut answers = Vec::new();
+        let (stats, tally) = self.run_into(batch, &mut answers)?;
+        Ok(BatchOutcome {
+            answers,
+            stats,
+            tally,
+        })
+    }
+
+    /// Like [`BatchEngine::run`], but writes the answers into a
+    /// caller-supplied buffer instead of allocating one — the allocation-free
+    /// serving entry point. The buffer is cleared, resized to the batch
+    /// length, and filled in batch order; a caller that recycles it across
+    /// batches (the server does, per handler thread) pays zero heap
+    /// allocations for answer storage once the buffer has reached its
+    /// high-water size.
+    pub fn run_into(
+        &self,
+        batch: &QueryBatch,
+        answers: &mut Vec<bool>,
+    ) -> Result<(EngineStats, CaseTally), EngineError> {
         let n = self.backend.vertex_count();
         for (i, q) in batch.queries().iter().enumerate() {
             let bad = if q.s.index() >= n {
@@ -597,9 +677,11 @@ impl BatchEngine {
         // request) when one exists; worker spans attach below it via the
         // context captured inside `BatchTask::new`.
         let mut span = self.recorder.span("engine.batch");
-        let (answers, latencies, tally) = if total > 0 {
+        let (latencies, tally) = if total > 0 {
             // One shared task; each worker gets a handle and claims chunks
-            // off the atomic cursor, writing back once per chunk.
+            // off the atomic cursor, writing back once per chunk. The
+            // caller's answer buffer is loaned to the task and reclaimed
+            // from wait(), so steady-state serving reuses one allocation.
             let task = Arc::new(BatchTask::new(
                 batch.shared_queries(),
                 Arc::clone(&self.backend),
@@ -607,20 +689,26 @@ impl BatchEngine {
                 TaskKind::Serve,
                 self.chunk_size,
                 self.recorder.clone(),
+                std::mem::take(answers),
             ));
             self.pool.dispatch(&task);
-            task.wait()
+            let (filled, latencies, tally) = task.wait();
+            *answers = filled;
+            (latencies, tally)
         } else {
-            (Vec::new(), LatencyHistogram::new(), CaseTally::new())
+            answers.clear();
+            (LatencyHistogram::new(), CaseTally::new())
         };
         if span.is_recording() {
             span.note(format!("backend={} queries={total}", self.backend.name()));
         }
         drop(span);
-        self.totals
-            .lock()
-            .expect("case totals poisoned")
-            .merge(&tally);
+        let served_total = {
+            let mut totals = self.totals.lock().expect("case totals poisoned");
+            totals.merge(&tally);
+            totals.total()
+        };
+        self.maybe_retune_accel(served_total);
 
         let elapsed_secs = started.elapsed().as_secs_f64();
         let cache_delta = self.cache.counters().since(counters_before);
@@ -643,11 +731,29 @@ impl BatchEngine {
             case_counts: *tally.counts(),
             resolution_counts: *tally.resolutions(),
         };
-        Ok(BatchOutcome {
-            answers,
-            stats,
-            tally,
-        })
+        Ok((stats, tally))
+    }
+
+    /// Runs an adaptive retune pass when one is due: a byte budget is
+    /// configured and [`ACCEL_RETUNE_INTERVAL`] queries have been served
+    /// since the last pass. Checked once per batch, after the tally merge.
+    /// The swap is answer-preserving, so no epoch bump and no cache
+    /// invalidation — only the backend's probe-vs-scan mix changes.
+    fn maybe_retune_accel(&self, served_total: u64) {
+        if self.accel_budget == 0 {
+            return;
+        }
+        let mut state = self.accel_state.lock().expect("accel state poisoned");
+        if served_total - state.served_at_last_retune < ACCEL_RETUNE_INTERVAL {
+            return;
+        }
+        if let Some(outcome) = self.backend.retune_accel(self.accel_budget) {
+            state.served_at_last_retune = served_total;
+            state.retunes += 1;
+            state.promoted += outcome.promoted as u64;
+            state.demoted += outcome.demoted as u64;
+            state.dense_rows = outcome.dense_rows;
+        }
     }
 }
 
@@ -1238,5 +1344,136 @@ mod tests {
         }
         let text = format!("{stats}");
         assert!(text.contains("workers") && text.contains("q/s"), "{text}");
+    }
+
+    #[test]
+    fn grouped_uncached_dispatch_matches_cached_answers_and_is_counted() {
+        let g = Arc::new(
+            GeneratorSpec::PowerLaw {
+                n: 100,
+                m: 420,
+                hubs: 3,
+            }
+            .generate(11),
+        );
+        let k = 3;
+        // Fan-in traffic: every source asks about a handful of hot targets
+        // (plus duplicate queries, which must survive grouping too), so each
+        // chunk holds large same-target runs for the batched kernel.
+        let mut queries = Vec::new();
+        for t in [VertexId(0), VertexId(1), VertexId(17)] {
+            for s in g.vertices() {
+                queries.push(Query { s, t, k });
+                queries.push(Query { s, t, k });
+            }
+        }
+        let batch = QueryBatch::new(queries);
+        let cached = engine_over(
+            &g,
+            k,
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .run(&batch)
+        .unwrap();
+        let uncached_engine = engine_over(
+            &g,
+            k,
+            EngineConfig {
+                workers: 2,
+                cache_capacity: 0,
+                chunk_size: 128,
+                ..Default::default()
+            },
+        );
+        let uncached = uncached_engine.run(&batch).unwrap();
+        // Byte-identical answers: grouping changes dispatch, never results.
+        assert_eq!(uncached.answers, cached.answers);
+        assert!(
+            uncached.tally.batched_queries() > 0,
+            "shared-target traffic must engage the batched kernel"
+        );
+        assert!(uncached.tally.batched_groups() > 0);
+        // Grouped queries are still tallied per class, once each.
+        assert_eq!(uncached.tally.total(), batch.len() as u64);
+        let info = uncached_engine.info();
+        assert_eq!(info.batched_queries, uncached.tally.batched_queries());
+        assert_eq!(info.batched_groups, uncached.tally.batched_groups());
+        // Cached serving keeps the sequential lookup→store chain and never
+        // groups (duplicate queries must hit the cache within a chunk).
+        assert_eq!(cached.tally.batched_queries(), 0);
+    }
+
+    #[test]
+    fn accel_budget_triggers_retunes_and_keeps_answers_stable() {
+        let g = Arc::new(
+            GeneratorSpec::PowerLaw {
+                n: 200,
+                m: 900,
+                hubs: 4,
+            }
+            .generate(13),
+        );
+        let k = 3;
+        let engine = engine_over(
+            &g,
+            k,
+            EngineConfig {
+                workers: 2,
+                cache_capacity: 0,
+                accel_budget: 1 << 20,
+                ..Default::default()
+            },
+        );
+        assert_eq!(engine.info().accel_retunes, 0);
+        // 40 000 served queries cross the retune interval comfortably.
+        let batch = exhaustive_batch(&g, k);
+        let first = engine.run(&batch).unwrap();
+        let info = engine.info();
+        assert!(
+            info.accel_retunes >= 1,
+            "a served interval past {ACCEL_RETUNE_INTERVAL} queries must retune"
+        );
+        assert!(info.accel_bytes > 0, "served backend reports accel bytes");
+        // The promote/demote swap is answer-preserving.
+        let second = engine.run(&batch).unwrap();
+        assert_eq!(first.answers, second.answers);
+    }
+
+    #[test]
+    fn run_into_reuses_the_callers_answer_buffer() {
+        let g = Arc::new(GeneratorSpec::ErdosRenyi { n: 40, m: 160 }.generate(7));
+        let k = 2;
+        let engine = engine_over(
+            &g,
+            k,
+            EngineConfig {
+                workers: 2,
+                cache_capacity: 0,
+                ..Default::default()
+            },
+        );
+        let batch = exhaustive_batch(&g, k);
+        let mut answers = Vec::new();
+        let (stats, _) = engine.run_into(&batch, &mut answers).unwrap();
+        assert_eq!(answers.len(), batch.len());
+        assert_eq!(stats.queries, batch.len());
+        let baseline = answers.clone();
+        let capacity = answers.capacity();
+        let ptr = answers.as_ptr();
+        let (_, _) = engine.run_into(&batch, &mut answers).unwrap();
+        assert_eq!(answers, baseline, "reruns answer identically");
+        assert_eq!(
+            (answers.as_ptr(), answers.capacity()),
+            (ptr, capacity),
+            "the warmed buffer is recycled, not reallocated"
+        );
+        // Shrinking batches reuse the same storage too.
+        let small = QueryBatch::new(batch.queries()[..5].to_vec());
+        engine.run_into(&small, &mut answers).unwrap();
+        assert_eq!(answers.len(), 5);
+        assert_eq!(answers.capacity(), capacity);
     }
 }

@@ -65,5 +65,6 @@ pub use cache::{CacheCounters, ResultCache};
 pub use casestats::CaseTally;
 pub use engine::{
     BatchEngine, BatchOutcome, DurabilitySink, EngineConfig, EngineError, EngineInfo, EngineStats,
+    ACCEL_RETUNE_INTERVAL,
 };
 pub use histogram::LatencyHistogram;

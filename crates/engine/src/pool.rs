@@ -16,13 +16,36 @@ use crate::batch::Query;
 use crate::cache::ResultCache;
 use crate::casestats::CaseTally;
 use crate::histogram::LatencyHistogram;
+use kreach_graph::VertexId;
 use kreach_obs::observe::{ProbeMark, QueryObservation};
 use kreach_obs::Recorder;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Reusable per-worker buffers for chunk answering. Workers live for the
+/// pool's lifetime, so after the first few chunks the serve path runs
+/// entirely in these warmed arenas — zero steady-state heap allocation per
+/// query (asserted by the counting-allocator integration test).
+#[derive(Default)]
+struct WorkerScratch {
+    /// Chunk answers, indexed chunk-relative.
+    answers: Vec<bool>,
+    /// Chunk-relative indices of cache misses, later sorted by `(t, k)` for
+    /// target grouping.
+    misses: Vec<u32>,
+    /// Sources of the target group currently being dispatched.
+    group_sources: Vec<VertexId>,
+    /// Answers of the target group currently being dispatched.
+    group_answers: Vec<bool>,
+}
+
+thread_local! {
+    static WORKER_SCRATCH: RefCell<WorkerScratch> = RefCell::new(WorkerScratch::default());
+}
 
 /// How a task's queries interact with the result cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +93,10 @@ struct TaskProgress {
 impl BatchTask {
     /// Prepares a task over `queries` (must be non-empty). The recorder's
     /// current span context is captured here, on the submitting thread.
+    /// `answers` is a recycled answer buffer (resized to fit; pass
+    /// `Vec::new()` when there is nothing to recycle) — callers that loop
+    /// over batches get allocation-free dispatch by feeding each run's
+    /// buffer back in.
     pub fn new(
         queries: Arc<Vec<Query>>,
         backend: Arc<dyn Reachability>,
@@ -77,10 +104,13 @@ impl BatchTask {
         kind: TaskKind,
         chunk_size: usize,
         recorder: Recorder,
+        mut answers: Vec<bool>,
     ) -> Self {
         let chunk_size = chunk_size.max(1);
         let total = queries.len();
         let context = recorder.current();
+        answers.clear();
+        answers.resize(total, false);
         BatchTask {
             backend,
             cache,
@@ -90,7 +120,7 @@ impl BatchTask {
             context,
             cursor: AtomicUsize::new(0),
             progress: Mutex::new(TaskProgress {
-                answers: vec![false; total],
+                answers,
                 latencies: LatencyHistogram::new(),
                 tally: CaseTally::new(),
                 completed_chunks: 0,
@@ -115,36 +145,92 @@ impl BatchTask {
                 return;
             }
             let end = (start + self.chunk_size).min(total);
+            // The chunk body runs against this worker's reusable scratch;
+            // the write-back (one lock, one slice copy) happens inside the
+            // guarded closure so the scratch borrow never escapes. A panic
+            // anywhere in the chunk is contained below.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.answer_chunk(start, end)
-            }));
-            // Single write-back per chunk: one lock, one slice copy. The
-            // guard around the chunk body means no lock is ever poisoned.
-            let mut progress = self.progress.lock().expect("task progress poisoned");
-            match result {
-                Ok((chunk_answers, latencies, tally)) => {
-                    progress.answers[start..end].copy_from_slice(&chunk_answers);
+                WORKER_SCRATCH.with(|cell| {
+                    let scratch = &mut *cell.borrow_mut();
+                    let (latencies, tally) = self.answer_chunk(start, end, scratch);
+                    let mut progress = self.progress.lock().expect("task progress poisoned");
+                    progress.answers[start..end].copy_from_slice(&scratch.answers[..end - start]);
                     progress.latencies.merge(&latencies);
                     progress.tally.merge(&tally);
+                    progress.completed_chunks += 1;
+                    progress.completed_chunks == self.total_chunks
+                })
+            }));
+            match result {
+                Ok(all_done) => {
+                    if all_done {
+                        self.finished.notify_all();
+                    }
                 }
-                Err(_) => progress.failed = true,
-            }
-            progress.completed_chunks += 1;
-            if progress.completed_chunks == self.total_chunks {
-                self.finished.notify_all();
+                Err(_) => {
+                    // Recover even a poisoned lock: the batch must still
+                    // complete so wait() can report the failure loudly
+                    // instead of hanging.
+                    let mut progress = match self.progress.lock() {
+                        Ok(p) => p,
+                        Err(e) => e.into_inner(),
+                    };
+                    progress.failed = true;
+                    progress.completed_chunks += 1;
+                    if progress.completed_chunks == self.total_chunks {
+                        self.finished.notify_all();
+                    }
+                }
             }
         }
     }
 
-    /// Answers the queries in `[start, end)`, returning their answers,
-    /// latency histogram, and per-case tally (empty for prefetch tasks —
-    /// warming is not served traffic).
-    fn answer_chunk(&self, start: usize, end: usize) -> (Vec<bool>, LatencyHistogram, CaseTally) {
-        let mut chunk_answers = Vec::with_capacity(end - start);
+    /// Answers the queries in `[start, end)` into `scratch.answers`
+    /// (chunk-relative), returning the latency histogram and per-case tally
+    /// (empty for prefetch tasks — warming is not served traffic).
+    ///
+    /// Serving without a result cache dispatches through the target-grouped
+    /// batched kernel; serving with one keeps the sequential
+    /// lookup→compute→store order per query (see
+    /// [`BatchTask::answer_chunk_grouped`] for why).
+    fn answer_chunk(
+        &self,
+        start: usize,
+        end: usize,
+        scratch: &mut WorkerScratch,
+    ) -> (LatencyHistogram, CaseTally) {
+        scratch.answers.clear();
+        scratch.answers.resize(end - start, false);
         let mut latencies = LatencyHistogram::new();
         let mut tally = CaseTally::new();
+        if self.kind == TaskKind::Serve && !self.cache.is_enabled() && !self.recorder.is_enabled() {
+            self.answer_chunk_grouped(start, end, scratch, &mut latencies, &mut tally);
+        } else {
+            self.answer_chunk_sequential(start, end, scratch, &mut latencies, &mut tally);
+        }
+        (latencies, tally)
+    }
+
+    /// The per-query serve/prefetch loop: lookup, compute, store, observe —
+    /// in query order.
+    ///
+    /// This stays the cached-serving path on purpose: the cache contract
+    /// lets a duplicate query later in a chunk hit the entry its first
+    /// occurrence just stored (duplicate-heavy celebrity traffic leans on
+    /// this), and any batch-then-flush reordering of lookups around
+    /// computes would break that chaining. With a cache in front, every
+    /// grouped query would pay the lookup anyway — batching pays where
+    /// every query reaches the backend, which is the uncached path below.
+    fn answer_chunk_sequential(
+        &self,
+        start: usize,
+        end: usize,
+        scratch: &mut WorkerScratch,
+        latencies: &mut LatencyHistogram,
+        tally: &mut CaseTally,
+    ) {
         let tracing = self.recorder.is_enabled();
-        for query in &self.queries[start..end] {
+        for (i, query) in self.queries[start..end].iter().enumerate() {
             let mut span = tracing.then(|| self.recorder.span_in(self.context, "engine.query"));
             let started = Instant::now();
             // The epoch is captured per query, before the backend runs: if a
@@ -195,9 +281,102 @@ impl BatchTask {
                     computed
                 }
             };
-            chunk_answers.push(answer);
+            scratch.answers[i] = answer;
         }
-        (chunk_answers, latencies, tally)
+    }
+
+    /// Target-grouped dispatch for uncached serving: the chunk's queries are
+    /// sorted by `(t, k)` and each group of two or more is answered with one
+    /// [`Reachability::query_group`] call, so per-target work (candidate
+    /// translation, Case-4 scratch bitsets, lock acquisition, shared-row
+    /// verdicts) is paid once per group instead of once per query.
+    /// Singleton groups take the exact per-query path. Answers are
+    /// byte-identical to the sequential loop; only the dispatch shape
+    /// differs.
+    ///
+    /// Group observation bookkeeping: each member is tallied to its own
+    /// Algorithm-2 case (via the backend's O(1) classifier) under the
+    /// group's resolution, probe totals are attributed to the group's first
+    /// member (they are totals, not per-query), and each member records the
+    /// group's mean latency — so the class counts still sum to the served
+    /// query count and latency sums stay honest.
+    fn answer_chunk_grouped(
+        &self,
+        start: usize,
+        end: usize,
+        scratch: &mut WorkerScratch,
+        latencies: &mut LatencyHistogram,
+        tally: &mut CaseTally,
+    ) {
+        let queries = &self.queries[start..end];
+        scratch.misses.clear();
+        scratch.misses.extend(0..queries.len() as u32);
+        // Sort by (t, k, s): groups become contiguous and duplicate sources
+        // within a group sit next to each other for the memoized kernels.
+        scratch.misses.sort_unstable_by_key(|&i| {
+            let q = &queries[i as usize];
+            (q.t.0, q.k, q.s.0)
+        });
+        let mut at = 0usize;
+        while at < scratch.misses.len() {
+            let first = &queries[scratch.misses[at] as usize];
+            let (t, k) = (first.t, first.k);
+            let mut group_end = at + 1;
+            while group_end < scratch.misses.len() {
+                let q = &queries[scratch.misses[group_end] as usize];
+                if q.t != t || q.k != k {
+                    break;
+                }
+                group_end += 1;
+            }
+            let group = &scratch.misses[at..group_end];
+            at = group_end;
+            if group.len() == 1 {
+                let i = group[0] as usize;
+                let query = &queries[i];
+                let started = Instant::now();
+                let epoch = self.cache.epoch();
+                let mark = ProbeMark::begin();
+                let computed = self.backend.query(query.s, query.t, query.k);
+                self.cache.store_at(epoch, query, computed);
+                let nanos = started.elapsed().as_nanos() as u64;
+                latencies.record(nanos);
+                tally.observe(&mark.observe(), nanos);
+                scratch.answers[i] = computed;
+                continue;
+            }
+            scratch.group_sources.clear();
+            scratch
+                .group_sources
+                .extend(group.iter().map(|&i| queries[i as usize].s));
+            scratch.group_answers.clear();
+            scratch.group_answers.resize(group.len(), false);
+            let started = Instant::now();
+            let epoch = self.cache.epoch();
+            let mark = ProbeMark::begin();
+            self.backend
+                .query_group(&scratch.group_sources, t, k, &mut scratch.group_answers);
+            let group_obs = mark.observe();
+            let mean_nanos = started.elapsed().as_nanos() as u64 / group.len() as u64;
+            tally.note_batched_group(group.len() as u64);
+            for (j, &i) in group.iter().enumerate() {
+                let query = &queries[i as usize];
+                let answer = scratch.group_answers[j];
+                self.cache.store_at(epoch, query, answer);
+                scratch.answers[i as usize] = answer;
+                let obs = QueryObservation {
+                    case: self
+                        .backend
+                        .case_of(query.s, query.t, query.k)
+                        .unwrap_or(group_obs.case),
+                    resolution: group_obs.resolution,
+                    dense_probes: if j == 0 { group_obs.dense_probes } else { 0 },
+                    sparse_gallops: if j == 0 { group_obs.sparse_gallops } else { 0 },
+                };
+                latencies.record(mean_nanos);
+                tally.observe(&obs, mean_nanos);
+            }
+        }
     }
 
     /// Blocks until every chunk is written back, then takes the results.
@@ -335,6 +514,7 @@ mod tests {
             TaskKind::Serve,
             2,
             Recorder::disabled(),
+            Vec::new(),
         ));
         pool.dispatch(&task);
         let (answers, latencies, tally) = task.wait();
@@ -362,6 +542,7 @@ mod tests {
             TaskKind::Serve,
             1024,
             Recorder::disabled(),
+            Vec::new(),
         ));
         pool.dispatch(&task);
         assert_eq!(task.wait().0, vec![true]);
@@ -407,6 +588,7 @@ mod tests {
             TaskKind::Serve,
             1,
             Recorder::disabled(),
+            Vec::new(),
         ));
         pool.dispatch(&task);
         // The batch completes (no hang) and reports the failure loudly.
@@ -425,6 +607,7 @@ mod tests {
             TaskKind::Serve,
             1,
             Recorder::disabled(),
+            Vec::new(),
         ));
         pool.dispatch(&task);
         assert_eq!(task.wait().0, vec![true]);

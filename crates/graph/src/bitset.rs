@@ -159,6 +159,48 @@ impl FixedBitSet {
     }
 }
 
+/// Words processed per iteration by the wide (`u64x4`-style) kernels below.
+pub const KERNEL_LANES: usize = 4;
+
+/// Scalar reference kernel: true if any `(a[i] & b[i]) != 0` over the common
+/// prefix of the two word slices. This is the loop the wide kernel must match
+/// bit-for-bit; it stays `pub` so differential tests can pin the two.
+#[inline]
+pub fn and_any_scalar(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(&x, &y)| x & y != 0)
+}
+
+/// True if any `(a[i] & b[i]) != 0` over the common prefix of `a` and `b`.
+///
+/// This is the Case-4 inner loop of the k-reach query (hub row AND candidate
+/// scratch): it processes [`KERNEL_LANES`] words per iteration with a single
+/// combined zero test, a shape the autovectorizer lowers to 256-bit loads and
+/// ANDs on targets that have them, falling back to [`and_any_scalar`] for the
+/// tail. Building with the `scalar-kernels` feature forces the scalar loop
+/// everywhere (for A/B measurement and for targets where the wide shape
+/// pessimizes).
+#[cfg(not(feature = "scalar-kernels"))]
+#[inline]
+pub fn and_any(a: &[u64], b: &[u64]) -> bool {
+    let n = a.len().min(b.len());
+    let mut ca = a[..n].chunks_exact(KERNEL_LANES);
+    let mut cb = b[..n].chunks_exact(KERNEL_LANES);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        let m = (x[0] & y[0]) | (x[1] & y[1]) | (x[2] & y[2]) | (x[3] & y[3]);
+        if m != 0 {
+            return true;
+        }
+    }
+    and_any_scalar(ca.remainder(), cb.remainder())
+}
+
+/// Scalar build of [`and_any`] (the `scalar-kernels` feature is on).
+#[cfg(feature = "scalar-kernels")]
+#[inline]
+pub fn and_any(a: &[u64], b: &[u64]) -> bool {
+    and_any_scalar(a, b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +290,55 @@ mod tests {
         let mut a = FixedBitSet::new(10);
         let b = FixedBitSet::new(20);
         a.union_with(&b);
+    }
+
+    #[test]
+    fn and_any_matches_scalar_across_lengths_and_tails() {
+        // Deterministic LCG so word counts 0..=9 cover every tail length the
+        // 4-wide kernel can see, including mismatched slice lengths.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for la in 0..=9usize {
+            for lb in 0..=9usize {
+                for round in 0..8 {
+                    let mut a: Vec<u64> = (0..la).map(|_| next()).collect();
+                    let b: Vec<u64> = (0..lb).map(|_| next() & next()).collect();
+                    if round % 2 == 0 {
+                        // Half the rounds force disjoint words so the
+                        // all-false path is exercised too.
+                        a.fill(0);
+                    }
+                    assert_eq!(
+                        and_any(&a, &b),
+                        and_any_scalar(&a, &b),
+                        "la={la} lb={lb} round={round}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn and_any_hits_in_every_lane_position() {
+        for len in 1..=9usize {
+            for hit in 0..len {
+                let mut a = vec![0u64; len];
+                let mut b = vec![0u64; len];
+                a[hit] = 1 << (hit % 64);
+                b[hit] = 1 << (hit % 64);
+                assert!(and_any(&a, &b), "len={len} hit={hit}");
+                b[hit] = 2 << (hit % 63);
+                assert_eq!(
+                    and_any(&a, &b),
+                    and_any_scalar(&a, &b),
+                    "len={len} near-miss at {hit}"
+                );
+            }
+        }
     }
 }

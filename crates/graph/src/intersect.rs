@@ -61,6 +61,51 @@ pub fn sorted_contains(s: &[u32], x: u32) -> bool {
     s.binary_search(&x).is_ok()
 }
 
+/// Ids compared per iteration by the wide any-match kernel.
+pub const SCAN_LANES: usize = 8;
+
+/// Scalar reference for [`scan_find`]: first index of `x` in `s`, by linear
+/// scan. Kept `pub` so differential tests can pin the wide kernel to it.
+#[inline]
+pub fn scan_find_scalar(s: &[u32], x: u32) -> Option<usize> {
+    s.iter().position(|&v| v == x)
+}
+
+/// First index of `x` in `s` by branch-reduced linear scan: [`SCAN_LANES`]
+/// comparisons are ORed into one per-chunk hit flag (the autovectorizer's
+/// 256-bit compare shape), and only a hit re-scans the chunk for the exact
+/// lane. For the short sorted rows the index holds (tens of entries), this
+/// beats a binary search's unpredictable branches; callers switch on length.
+/// The `scalar-kernels` feature forces the scalar loop.
+#[cfg(not(feature = "scalar-kernels"))]
+#[inline]
+pub fn scan_find(s: &[u32], x: u32) -> Option<usize> {
+    let mut chunks = s.chunks_exact(SCAN_LANES);
+    let mut base = 0usize;
+    for c in &mut chunks {
+        let hit = (c[0] == x)
+            | (c[1] == x)
+            | (c[2] == x)
+            | (c[3] == x)
+            | (c[4] == x)
+            | (c[5] == x)
+            | (c[6] == x)
+            | (c[7] == x);
+        if hit {
+            return scan_find_scalar(c, x).map(|i| base + i);
+        }
+        base += SCAN_LANES;
+    }
+    scan_find_scalar(chunks.remainder(), x).map(|i| base + i)
+}
+
+/// Scalar build of [`scan_find`] (the `scalar-kernels` feature is on).
+#[cfg(feature = "scalar-kernels")]
+#[inline]
+pub fn scan_find(s: &[u32], x: u32) -> Option<usize> {
+    scan_find_scalar(s, x)
+}
+
 /// Galloping merge of a sorted row (keyed by `key`) against a sorted
 /// candidate id list, invoking `hit` on every common element. Returns `true`
 /// as soon as `hit` does (early exit), `false` when the lists are exhausted.
@@ -159,6 +204,28 @@ mod tests {
         );
         assert!(matched);
         assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn scan_find_matches_scalar_across_lengths_and_tails() {
+        let mut state = 0xDEADBEEFCAFEBABEu64;
+        let mut next = move |m: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as u32) % m
+        };
+        for len in 0..=26usize {
+            for _ in 0..16 {
+                let s: Vec<u32> = (0..len).map(|_| next(20)).collect();
+                let x = next(22);
+                assert_eq!(scan_find(&s, x), scan_find_scalar(&s, x), "len={len} x={x}");
+            }
+            // Needle present at every position, including mid-chunk lanes.
+            for hit in 0..len {
+                let mut s: Vec<u32> = (0..len as u32).map(|i| i + 100).collect();
+                s[hit] = 7;
+                assert_eq!(scan_find(&s, 7), Some(hit), "len={len} hit={hit}");
+            }
+        }
     }
 
     #[test]

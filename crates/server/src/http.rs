@@ -7,6 +7,7 @@
 //! line, header block, and body all have byte caps — so a hostile or broken
 //! client can never make a handler allocate without limit.
 
+use std::cell::RefCell;
 use std::io::{BufRead, Write};
 use std::time::Instant;
 
@@ -304,12 +305,20 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+thread_local! {
+    /// Per-thread response assembly buffer, reused across requests so a
+    /// warmed handler writes responses without fresh heap allocations (it
+    /// grows to the largest response the thread has sent and stays there).
+    static RESPONSE_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
 /// Writes a complete response (status line, headers, body) and flushes.
 /// Returns the number of bytes written.
 ///
 /// Head and body go out as **one** write: two small writes per response
 /// interact with Nagle + delayed ACK into ~40 ms of added latency per
-/// request on loopback, swamping the µs-scale query underneath.
+/// request on loopback, swamping the µs-scale query underneath. The message
+/// is assembled in a per-thread reusable buffer.
 pub fn write_response<W: Write>(
     writer: &mut W,
     status: u16,
@@ -317,20 +326,23 @@ pub fn write_response<W: Write>(
     body: &[u8],
     close: bool,
 ) -> std::io::Result<usize> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        status,
-        reason(status),
-        content_type,
-        body.len(),
-        if close { "close" } else { "keep-alive" },
-    );
-    let mut message = Vec::with_capacity(head.len() + body.len());
-    message.extend_from_slice(head.as_bytes());
-    message.extend_from_slice(body);
-    writer.write_all(&message)?;
-    writer.flush()?;
-    Ok(message.len())
+    RESPONSE_BUF.with(|cell| {
+        let mut message = cell.borrow_mut();
+        message.clear();
+        write!(
+            message,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            status,
+            reason(status),
+            content_type,
+            body.len(),
+            if close { "close" } else { "keep-alive" },
+        )?;
+        message.extend_from_slice(body);
+        writer.write_all(&message)?;
+        writer.flush()?;
+        Ok(message.len())
+    })
 }
 
 #[cfg(test)]

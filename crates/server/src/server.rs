@@ -40,6 +40,7 @@ use kreach_graph::VertexId;
 use kreach_obs::observe::{CLASS_LABELS, RESOLUTION_LABELS};
 use kreach_obs::prom::{label, HistogramSeries, PromText};
 use kreach_obs::{Recorder, SlowQueryLog};
+use std::cell::RefCell;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -55,6 +56,28 @@ const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
 /// Slow-query entries retained (newest win); the monotone total keeps
 /// counting past this.
 const SLOW_LOG_CAPACITY: usize = 128;
+
+thread_local! {
+    /// Per-handler-thread answer buffer, loaned to the engine through
+    /// [`BatchEngine::run_into`] and reused across requests: a warmed
+    /// handler serves `/batch` and `/reach` without allocating answer
+    /// storage.
+    static HANDLER_ANSWERS: RefCell<Vec<bool>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs a batch through the engine using this handler thread's reusable
+/// answer buffer, handing the answers to `consume` while they are borrowed.
+fn run_with_scratch<T>(
+    engine: &BatchEngine,
+    batch: &QueryBatch,
+    consume: impl FnOnce(&[bool]) -> T,
+) -> Result<T, kreach_engine::EngineError> {
+    HANDLER_ANSWERS.with(|cell| {
+        let mut answers = cell.borrow_mut();
+        engine.run_into(batch, &mut answers)?;
+        Ok(consume(&answers))
+    })
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -644,11 +667,14 @@ fn endpoint_reach(shared: &Arc<Shared>, request: &Request) -> (u16, &'static str
         t: VertexId(t),
         k: k.unwrap_or_else(|| shared.engine.default_k()),
     };
-    match shared.engine.run(&QueryBatch::new(vec![query])) {
-        Ok(outcome) => {
+    let batch = QueryBatch::new(vec![query]);
+    match run_with_scratch(&shared.engine, &batch, |answers| {
+        let mut line = render_answer_line(query.s, query.t, query.k, answers[0]);
+        line.push('\n');
+        line
+    }) {
+        Ok(line) => {
             shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
-            let mut line = render_answer_line(query.s, query.t, query.k, outcome.answers[0]);
-            line.push('\n');
             (200, TEXT, line.into_bytes())
         }
         Err(e) => (400, TEXT, format!("{e}\n").into_bytes()),
@@ -665,13 +691,14 @@ fn endpoint_batch(shared: &Arc<Shared>, request: &Request) -> (u16, &'static str
         Err(e) => return (400, TEXT, format!("{e}\n").into_bytes()),
     };
     let batch = QueryBatch::from_triples(&entries, shared.engine.default_k());
-    match shared.engine.run(&batch) {
-        Ok(outcome) => {
+    match run_with_scratch(&shared.engine, &batch, |answers| {
+        render_answer_lines(batch.answered(answers))
+    }) {
+        Ok(body) => {
             shared
                 .metrics
                 .queries
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
-            let body = render_answer_lines(batch.answered(&outcome.answers));
             (200, TEXT, body.into_bytes())
         }
         Err(e) => (400, TEXT, format!("{e}\n").into_bytes()),
@@ -748,13 +775,15 @@ fn flush_queries(
         return Ok(());
     }
     let batch = QueryBatch::new(std::mem::take(pending));
-    match shared.engine.run(&batch) {
-        Ok(outcome) => {
+    match run_with_scratch(&shared.engine, &batch, |answers| {
+        render_answer_lines(batch.answered(answers))
+    }) {
+        Ok(lines) => {
             shared
                 .metrics
                 .queries
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
-            body.push_str(&render_answer_lines(batch.answered(&outcome.answers)));
+            body.push_str(&lines);
             Ok(())
         }
         Err(e) => Err((400, TEXT, format!("{body}error: {e}\n").into_bytes())),
@@ -772,6 +801,9 @@ fn stats_json(shared: &Arc<Shared>) -> String {
             "\"epoch\":{},",
             "\"cache\":{{\"enabled\":{},\"entries\":{},\"hits\":{},\"misses\":{},",
             "\"neg_expired\":{},\"prefetched\":{},\"hit_rate\":{:.4}}},",
+            "\"accel\":{{\"bytes\":{},\"dense_rows\":{},\"retunes\":{},",
+            "\"rows_promoted\":{},\"rows_demoted\":{}}},",
+            "\"batched\":{{\"groups\":{},\"queries\":{}}},",
             "\"admission\":{{\"max_inflight\":{},\"handlers\":{},\"shutting_down\":{}}},",
             "\"server\":{}}}"
         ),
@@ -787,6 +819,13 @@ fn stats_json(shared: &Arc<Shared>) -> String {
         info.cache.neg_expired,
         info.cache.prefetched,
         info.cache.hit_rate(),
+        info.accel_bytes,
+        info.accel_dense_rows,
+        info.accel_retunes,
+        info.accel_promoted,
+        info.accel_demoted,
+        info.batched_groups,
+        info.batched_queries,
         shared.config.max_inflight,
         shared.config.handlers,
         shared.is_shutting_down(),
@@ -939,6 +978,43 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
         "kreach_engine_sparse_gallops_total",
         "Sparse gallop intersections.",
         tally.sparse_gallops(),
+    );
+    text.counter(
+        "kreach_engine_batched_queries_total",
+        "Cache misses answered through the target-grouped batched kernel.",
+        tally.batched_queries(),
+    );
+    text.counter(
+        "kreach_engine_batched_groups_total",
+        "Target groups dispatched through the batched kernel.",
+        tally.batched_groups(),
+    );
+
+    // Adaptive acceleration: footprint and retune activity.
+    text.gauge(
+        "kreach_engine_accel_bytes",
+        "Bytes held by the backend's query acceleration (dense rows + position adjacency).",
+        info.accel_bytes as f64,
+    );
+    text.counter(
+        "kreach_engine_accel_retunes_total",
+        "Adaptive dense-row retune passes run by the engine.",
+        info.accel_retunes,
+    );
+    text.counter(
+        "kreach_engine_accel_rows_promoted_total",
+        "Cover rows promoted to the dense bitset form by retunes.",
+        info.accel_promoted,
+    );
+    text.counter(
+        "kreach_engine_accel_rows_demoted_total",
+        "Cover rows demoted to the sparse form by retunes.",
+        info.accel_demoted,
+    );
+    text.gauge(
+        "kreach_engine_accel_dense_rows",
+        "Dense rows after the most recent retune pass.",
+        info.accel_dense_rows as f64,
     );
 
     // Result cache and mutation epoch.
@@ -1127,10 +1203,13 @@ fn line_op_reply(shared: &Arc<Shared>, trimmed: &str) -> String {
                 t,
                 k: k.unwrap_or_else(|| shared.engine.default_k()),
             };
-            match shared.engine.run(&QueryBatch::new(vec![query])) {
-                Ok(outcome) => {
+            let batch = QueryBatch::new(vec![query]);
+            match run_with_scratch(&shared.engine, &batch, |answers| {
+                render_answer_line(query.s, query.t, query.k, answers[0])
+            }) {
+                Ok(line) => {
                     shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
-                    render_answer_line(query.s, query.t, query.k, outcome.answers[0])
+                    line
                 }
                 Err(e) => format!("error: {e}"),
             }
@@ -1221,6 +1300,8 @@ mod tests {
             "\"backend\":\"online-bfs\"",
             "\"vertex_count\":4",
             "\"cache\":{",
+            "\"accel\":{\"bytes\":",
+            "\"batched\":{\"groups\":",
             "\"admission\":{\"max_inflight\":8",
             "\"server\":{\"accepted\":",
         ] {

@@ -111,15 +111,15 @@ fn usage() -> &'static str {
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--hot N] [--hot-fraction F]\n\
      \x20 kreach batch <index-file> <edge-list> <queries-file> [--workers N] [--cache C]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--neg-ttl MS] [--default-k K] [--stats-json <file>]\n\
-     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N] [--trace N]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N] [--accel-budget BYTES] [--trace N]\n\
      \x20 kreach update <edge-list> <update-workload> [--k K] [--workers N] [--cache C]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--neg-ttl MS] [--stats-json <file>] [--prefetch-hot N]\n\
-     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--trace N]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--accel-budget BYTES] [--trace N]\n\
      \x20 kreach serve [<edge-list>] [--port P] [--host H] [--backend kreach|hk|bfs|dynamic]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--k K] [--h H] [--workers N] [--cache C] [--neg-ttl MS]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--handlers N] [--max-inflight N] [--max-body BYTES]\n\
-     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N] [--trace N] [--slow-query-us US]\n\
-     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--data-dir DIR] [--checkpoint-every SECS]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N] [--accel-budget BYTES] [--trace N]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--slow-query-us US] [--data-dir DIR] [--checkpoint-every SECS]\n\
      \x20 kreach checkpoint --data-dir <dir>\n\
      \x20 kreach restore --data-dir <dir>\n\
      \x20 kreach bench-serve [--dataset D] [--scale F] [--k K] [--queries N]\n\
@@ -294,6 +294,20 @@ fn cmd_build(args: &[&str]) -> Result<String, String> {
             dense_row_threshold,
         },
     );
+    // A finite threshold above every cover-row degree selects zero dense
+    // rows — legal, but almost certainly a mistyped flag. Warn on stderr
+    // (the index itself is fine; sparse rows answer identically).
+    if let Some(threshold) = dense_row_threshold {
+        if threshold != usize::MAX
+            && index.index_graph().dense_row_count() == 0
+            && index.index_edge_count() > 0
+        {
+            eprintln!(
+                "warning: --dense-threshold {threshold} exceeds every cover-row degree; \
+                 no dense bitset rows were built (queries fall back to sparse scans)"
+            );
+        }
+    }
     // Format v3 (the default) also persists the dense bitset acceleration,
     // so a reload installs it instead of recomputing; v2 is kept for
     // compatibility with files older tooling must read.
@@ -459,6 +473,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
             "--default-k",
             "--stats-json",
             "--prefetch-hot",
+            "--accel-budget",
             "--trace",
         ],
     )?;
@@ -470,6 +485,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
     let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
     let neg_ttl = parse_neg_ttl(args)?;
     let prefetch_hot: usize = parse_flag_or(args, "--prefetch-hot", 0)?;
+    let accel_budget: usize = parse_flag_or(args, "--accel-budget", 0)?;
     let (trace, recorder) = parse_trace(args)?;
     // Resolved before the (possibly long) run so a malformed flag cannot
     // discard a finished batch.
@@ -497,6 +513,7 @@ fn cmd_batch(args: &[&str]) -> Result<String, String> {
             cache_capacity: cache,
             neg_ttl,
             prefetch_hot,
+            accel_budget,
             ..EngineConfig::default()
         },
         recorder.clone(),
@@ -525,6 +542,7 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
             "--neg-ttl",
             "--stats-json",
             "--prefetch-hot",
+            "--accel-budget",
             "--trace",
         ],
     )?;
@@ -540,6 +558,7 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
     let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
     let neg_ttl = parse_neg_ttl(args)?;
     let prefetch_hot: usize = parse_flag_or(args, "--prefetch-hot", 0)?;
+    let accel_budget: usize = parse_flag_or(args, "--accel-budget", 0)?;
     let (trace, recorder) = parse_trace(args)?;
     let stats_json = flag_value(args, "--stats-json")?;
 
@@ -558,6 +577,7 @@ fn cmd_update(args: &[&str]) -> Result<String, String> {
             cache_capacity: cache,
             neg_ttl,
             prefetch_hot,
+            accel_budget,
             ..EngineConfig::default()
         },
         recorder.clone(),
@@ -740,6 +760,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             "--max-inflight",
             "--max-body",
             "--prefetch-hot",
+            "--accel-budget",
             "--trace",
             "--slow-query-us",
             "--data-dir",
@@ -779,6 +800,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
     let cache: usize = parse_flag_or(args, "--cache", EngineConfig::default().cache_capacity)?;
     let neg_ttl = parse_neg_ttl(args)?;
     let prefetch_hot: usize = parse_flag_or(args, "--prefetch-hot", 0)?;
+    let accel_budget: usize = parse_flag_or(args, "--accel-budget", 0)?;
     let server_defaults = kreach::server::ServerConfig::default();
     let handlers: usize = parse_flag_or(args, "--handlers", server_defaults.handlers)?;
     let max_inflight: usize = parse_flag_or(args, "--max-inflight", server_defaults.max_inflight)?;
@@ -876,6 +898,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             cache_capacity: cache,
             neg_ttl,
             prefetch_hot,
+            accel_budget,
             ..EngineConfig::default()
         },
         recorder.clone(),
