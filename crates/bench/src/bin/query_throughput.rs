@@ -29,7 +29,7 @@ use kreach_engine::{
 };
 use kreach_graph::generators::GeneratorSpec;
 use kreach_graph::{DiGraph, VertexId};
-use kreach_obs::Recorder;
+use kreach_obs::{FlightRecorder, Recorder, WindowStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -360,6 +360,96 @@ fn adaptive_run(
     }
 }
 
+/// Cost of attaching the v2 telemetry sinks — the rolling [`WindowStats`]
+/// and the [`FlightRecorder`] — to the engine, against the same engine
+/// bare. Both sides take the best of three fresh-engine runs so scheduler
+/// noise doesn't masquerade as overhead; the window feed is one atomic
+/// batch per engine run, so the per-query p50 must stay inside the 5%
+/// budget the observability layer is held to.
+struct ObsWindowReport {
+    baseline_p50_us: f64,
+    instrumented_p50_us: f64,
+    budget_pct: f64,
+}
+
+impl ObsWindowReport {
+    fn overhead_pct(&self) -> f64 {
+        if self.baseline_p50_us > 0.0 {
+            (self.instrumented_p50_us - self.baseline_p50_us) / self.baseline_p50_us * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    fn within_budget(&self) -> bool {
+        self.overhead_pct() < self.budget_pct
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"baseline_p50_us\":{:.4},\"instrumented_p50_us\":{:.4},",
+                "\"overhead_pct\":{:.2},\"budget_pct\":{:.1},\"within_budget\":{}}}"
+            ),
+            self.baseline_p50_us,
+            self.instrumented_p50_us,
+            self.overhead_pct(),
+            self.budget_pct,
+            self.within_budget(),
+        )
+    }
+}
+
+fn obs_window_run(
+    g: &Arc<DiGraph>,
+    index: &KReachIndex,
+    queries: &[(VertexId, VertexId)],
+) -> ObsWindowReport {
+    let batch = QueryBatch::new(
+        queries
+            .iter()
+            .map(|&(s, t)| Query { s, t, k: index.k() })
+            .collect(),
+    );
+    let best_p50 = |attach_sinks: bool| -> f64 {
+        (0..3)
+            .map(|_| {
+                let engine = BatchEngine::new(
+                    Arc::new(KReachBackend::new(Arc::clone(g), index.clone())),
+                    EngineConfig {
+                        cache_capacity: 0,
+                        ..EngineConfig::default()
+                    },
+                );
+                if attach_sinks {
+                    let windows = Arc::new(WindowStats::new());
+                    engine.set_windows(Arc::clone(&windows));
+                    engine.set_events(Arc::new(FlightRecorder::default()));
+                    let stats = engine.run(&batch).expect("workload in range").stats;
+                    // The sinks must actually be live for the comparison
+                    // to mean anything.
+                    assert!(
+                        windows.snapshot(60).queries > 0,
+                        "window sink saw no queries"
+                    );
+                    stats.p50_micros
+                } else {
+                    engine
+                        .run(&batch)
+                        .expect("workload in range")
+                        .stats
+                        .p50_micros
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    ObsWindowReport {
+        baseline_p50_us: best_p50(false),
+        instrumented_p50_us: best_p50(true),
+        budget_pct: 5.0,
+    }
+}
+
 struct WorkloadReport {
     name: String,
     vertices: usize,
@@ -383,6 +473,9 @@ struct WorkloadReport {
     /// The same batch fully traced, to keep the instrumentation overhead
     /// honest (before/after p50 in one artifact).
     engine_traced: EngineStats,
+    /// The same batch with the rolling-window and flight-recorder sinks
+    /// attached, vs bare — the v2 telemetry overhead audit.
+    obs_window: ObsWindowReport,
 }
 
 impl WorkloadReport {
@@ -404,7 +497,7 @@ impl WorkloadReport {
                 // The engine objects share EngineStats' JSON schema — the
                 // same "cases"/"resolutions" labeled-count objects the
                 // serving path reports.
-                "\"engine\":{},\"engine_traced\":{}}}"
+                "\"engine\":{},\"engine_traced\":{},\"obs_window\":{}}}"
             ),
             self.name,
             self.vertices,
@@ -424,6 +517,7 @@ impl WorkloadReport {
             self.engine.queries_per_sec,
             self.engine.to_json(),
             self.engine_traced.to_json(),
+            self.obs_window.to_json(),
         )
     }
 
@@ -458,6 +552,14 @@ impl WorkloadReport {
             "  engine p50 {:.3} µs (no-op recorder) vs {:.3} µs traced · \
              batch case mix {:?}",
             self.engine.p50_micros, self.engine_traced.p50_micros, self.engine.case_counts,
+        );
+        println!(
+            "  obs window: p50 {:.3} µs bare vs {:.3} µs with windows+events \
+             ({:+.2}%, budget {:.0}%)",
+            self.obs_window.baseline_p50_us,
+            self.obs_window.instrumented_p50_us,
+            self.obs_window.overhead_pct(),
+            self.obs_window.budget_pct,
         );
         for report in &self.batched {
             println!(
@@ -676,6 +778,7 @@ fn hub_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
         .collect();
 
     let (engine, engine_traced) = engine_runs(&g, &index, &case4);
+    let obs_window = obs_window_run(&g, &index, &case4);
     let ig = index.index_graph();
     WorkloadReport {
         name: "hub-fanout".to_string(),
@@ -700,6 +803,7 @@ fn hub_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
         adaptive: None,
         engine,
         engine_traced,
+        obs_window,
     }
 }
 
@@ -731,6 +835,7 @@ fn uniform_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
         reports.push(measure_case(&g, &index, case, bucket, min_nanos));
     }
     let (engine, engine_traced) = engine_runs(&g, &index, &engine_queries);
+    let obs_window = obs_window_run(&g, &index, &engine_queries);
     let ig = index.index_graph();
     // Serve the same mix from a detuned build (threshold 128 promotes far
     // more rows than auto-tuning would) under the static build's byte
@@ -757,6 +862,7 @@ fn uniform_workload(config: &Config, min_nanos: u128) -> WorkloadReport {
         adaptive: Some(adaptive),
         engine,
         engine_traced,
+        obs_window,
     }
 }
 
@@ -771,14 +877,32 @@ fn main() {
         workload.print();
     }
     let objects: Vec<String> = workloads.iter().map(WorkloadReport::to_json).collect();
+    // Top-level obs_window block: the worst overhead across workloads, so a
+    // reader (or a gate) finds the budget verdict at the artifact root.
+    let worst_obs = workloads
+        .iter()
+        .map(|w| &w.obs_window)
+        .max_by(|a, b| {
+            a.overhead_pct()
+                .partial_cmp(&b.overhead_pct())
+                .expect("overhead is finite")
+        })
+        .expect("at least one workload");
     let json = format!(
-        "{{\"bench\":\"query_throughput\",\"smoke\":{},\"seed\":{},\"workloads\":[{}]}}\n",
+        "{{\"bench\":\"query_throughput\",\"smoke\":{},\"seed\":{},\
+         \"obs_window\":{},\"workloads\":[{}]}}\n",
         config.smoke,
         config.seed,
+        worst_obs.to_json(),
         objects.join(","),
     );
     std::fs::write(&config.output, &json).expect("write BENCH_query.json");
     eprintln!("wrote {}", config.output);
+    eprintln!(
+        "obs window overhead (worst workload): {:+.2}% of query p50 (budget {:.0}%)",
+        worst_obs.overhead_pct(),
+        worst_obs.budget_pct,
+    );
 
     // The headline claim this bench exists to track: Case 4 on the
     // hub-fanout workload must not regress below par with the naive path.

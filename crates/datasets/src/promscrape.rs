@@ -6,11 +6,15 @@
 //! module — one wire schema, checked from both sides.
 //!
 //! The parser accepts the subset the server emits — `# HELP` / `# TYPE`
-//! comment lines, and sample lines `name{labels} value` — and rejects
+//! comment lines, and sample lines `name{labels} value` with an optional
+//! OpenMetrics exemplar (`... # {trace_id="42"} 0.0015`) — and rejects
 //! anything else with a line-numbered error, so a malformed exposition
-//! fails a scrape loudly instead of silently dropping series.
+//! fails a scrape loudly instead of silently dropping series. Beyond line
+//! syntax it enforces two document invariants: no duplicate series (same
+//! name and label set twice) and well-formed histograms (`le` buckets in
+//! strictly increasing order with non-decreasing cumulative counts).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One parsed sample line.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +25,28 @@ pub struct PromSample {
     pub labels: Vec<(String, String)>,
     /// The sample value.
     pub value: f64,
+    /// The sample's OpenMetrics exemplar, if one was attached.
+    pub exemplar: Option<PromExemplar>,
+}
+
+/// An OpenMetrics exemplar parsed off a sample line: the label pairs
+/// inside `# {...}` plus the exemplar's observed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromExemplar {
+    /// Exemplar label pairs in source order (typically `trace_id`).
+    pub labels: Vec<(String, String)>,
+    /// The exemplar's observed value.
+    pub value: f64,
+}
+
+impl PromExemplar {
+    /// The value of the exemplar label named `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 impl PromSample {
@@ -137,10 +163,55 @@ fn parse_labels(rest: &str) -> Result<LabelsAndRest<'_>, String> {
     }
 }
 
+/// Parses one sample (or exemplar) value field, accepting the exposition
+/// spellings of the special floats.
+fn parse_value(field: &str) -> Result<f64, String> {
+    match field {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        v => v
+            .parse::<f64>()
+            .map_err(|e| format!("bad value {v:?}: {e}")),
+    }
+}
+
+/// Parses the exemplar text after the `# ` marker: `{labels} value`.
+fn parse_exemplar(text: &str) -> Result<PromExemplar, String> {
+    let rest = text
+        .strip_prefix('{')
+        .ok_or_else(|| format!("exemplar must start with '{{', got {text:?}"))?;
+    let (labels, rest) = parse_labels(rest).map_err(|e| format!("bad exemplar labels: {e}"))?;
+    let mut fields = rest.split_whitespace();
+    let value_field = fields
+        .next()
+        .ok_or_else(|| "exemplar without a value".to_string())?;
+    if fields.next().is_some() {
+        return Err(format!(
+            "unexpected trailing fields after exemplar {text:?}"
+        ));
+    }
+    let value = parse_value(value_field).map_err(|e| format!("exemplar {e}"))?;
+    Ok(PromExemplar { labels, value })
+}
+
+/// The identity of a series — name plus its label set, order-insensitive —
+/// for duplicate detection.
+fn series_key(name: &str, labels: &[(String, String)]) -> String {
+    let mut sorted: Vec<_> = labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+    sorted.sort();
+    format!("{name}{{{}}}", sorted.join(","))
+}
+
 impl PromScrape {
     /// Parses a full exposition document, validating every line.
     pub fn parse(text: &str) -> Result<PromScrape, PromParseError> {
         let mut scrape = PromScrape::default();
+        // Document invariants: series seen so far (duplicate rejection) and
+        // per-histogram-series (last le, last cumulative count) for bucket
+        // ordering.
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut bucket_state: HashMap<String, (f64, f64)> = HashMap::new();
         for (idx, raw) in text.lines().enumerate() {
             let fail = |message: String| PromParseError {
                 line: idx + 1,
@@ -197,28 +268,67 @@ impl PromScrape {
             } else {
                 (Vec::new(), &line[name_end..])
             };
-            let value_text = rest.trim();
+            let mut value_text = rest.trim();
             if value_text.is_empty() {
                 return Err(fail(format!("sample {name} has no value")));
             }
+            // An OpenMetrics exemplar may trail the value: `value # {..} v`.
+            let exemplar = match value_text.split_once(" # ") {
+                Some((value_part, exemplar_part)) => {
+                    value_text = value_part.trim();
+                    Some(parse_exemplar(exemplar_part.trim()).map_err(&fail)?)
+                }
+                None => None,
+            };
             // Timestamps (a second field) are not in our schema.
             let mut fields = value_text.split_whitespace();
-            let value_field = fields.next().expect("non-empty after trim");
+            let value_field = fields
+                .next()
+                .ok_or_else(|| fail(format!("sample {name} has no value")))?;
             if fields.next().is_some() {
                 return Err(fail(format!("unexpected trailing fields in {line:?}")));
             }
-            let value = match value_field {
-                "+Inf" => f64::INFINITY,
-                "-Inf" => f64::NEG_INFINITY,
-                "NaN" => f64::NAN,
-                v => v
-                    .parse::<f64>()
-                    .map_err(|e| fail(format!("bad value {v:?} for {name}: {e}")))?,
-            };
+            let value = parse_value(value_field).map_err(|e| fail(format!("{e} for {name}")))?;
+            // Reject duplicate series: the same name + label set twice in
+            // one document means an aggregation bug on the render side.
+            if !seen.insert(series_key(name, &labels)) {
+                return Err(fail(format!(
+                    "duplicate series {name} (same label set seen earlier in this scrape)"
+                )));
+            }
+            // Histogram bucket invariants: within one series, `le` must be
+            // strictly increasing and cumulative counts non-decreasing.
+            if name.ends_with("_bucket") {
+                if let Some(le_text) = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.as_str())
+                {
+                    let le = parse_value(le_text)
+                        .map_err(|e| fail(format!("bad le bucket bound: {e}")))?;
+                    let others: Vec<(String, String)> =
+                        labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+                    let key = series_key(name, &others);
+                    if let Some(&(prev_le, prev_count)) = bucket_state.get(&key) {
+                        if le.is_nan() || le <= prev_le {
+                            return Err(fail(format!(
+                                "out-of-order le buckets for {name}: {le} after {prev_le}"
+                            )));
+                        }
+                        if value < prev_count {
+                            return Err(fail(format!(
+                                "non-cumulative bucket counts for {name}: {value} after {prev_count}"
+                            )));
+                        }
+                    }
+                    bucket_state.insert(key, (le, value));
+                }
+            }
             scrape.samples.push(PromSample {
                 name: name.to_string(),
                 labels,
                 value,
+                exemplar,
             });
         }
         Ok(scrape)
@@ -248,6 +358,11 @@ impl PromScrape {
             .iter()
             .find(|s| s.name == name && s.label(key) == Some(value))
             .map(|s| s.value)
+    }
+
+    /// Every sample of one family, in document order (empty when absent).
+    pub fn samples_of(&self, name: &str) -> Vec<&PromSample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
     }
 
     /// Sum of every series of `name` (0.0 when the family is absent).
@@ -342,7 +457,116 @@ kreach_uptime_seconds 1.5
             assert!(err.to_string().contains("metrics line"), "{err}");
         }
         // The error names the right line.
-        let err = PromScrape::parse("ok 1\nok 2\nbroken\n").unwrap_err();
+        let err = PromScrape::parse("ok 1\nok2 2\nbroken\n").unwrap_err();
         assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn exemplars_parse_and_round_trip_their_labels() {
+        let doc = "\
+# TYPE kreach_request_duration_seconds histogram
+kreach_request_duration_seconds_bucket{le=\"0.001\"} 5 # {trace_id=\"42\"} 0.0009
+kreach_request_duration_seconds_bucket{le=\"+Inf\"} 6
+kreach_request_duration_seconds_sum 0.004
+kreach_request_duration_seconds_count 6
+";
+        let scrape = PromScrape::parse(doc).unwrap();
+        let bucket = scrape
+            .samples()
+            .iter()
+            .find(|s| s.name.ends_with("_bucket") && s.label("le") == Some("0.001"))
+            .expect("exemplar bucket");
+        let exemplar = bucket.exemplar.as_ref().expect("exemplar parsed");
+        assert_eq!(exemplar.label("trace_id"), Some("42"));
+        assert_eq!(exemplar.value, 0.0009);
+        // The other bucket has no exemplar.
+        let inf = scrape
+            .samples()
+            .iter()
+            .find(|s| s.name.ends_with("_bucket") && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert!(inf.exemplar.is_none());
+    }
+
+    #[test]
+    fn malformed_exemplars_are_rejected() {
+        for (doc, needle) in [
+            (
+                "m_bucket{le=\"1\"} 2 # trace_id=\"x\" 1\n",
+                "start with '{'",
+            ),
+            (
+                "m_bucket{le=\"1\"} 2 # {trace_id=\"x\"}\n",
+                "without a value",
+            ),
+            (
+                "m_bucket{le=\"1\"} 2 # {trace_id=\"x\"} zebra\n",
+                "bad value",
+            ),
+            (
+                "m_bucket{le=\"1\"} 2 # {trace_id=\"x\"} 1 2\n",
+                "trailing fields",
+            ),
+            ("m_bucket{le=\"1\"} 2 # {oops} 1\n", "exemplar labels"),
+        ] {
+            let err = PromScrape::parse(doc).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{doc:?} → {err} (wanted {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_series_are_a_parse_error() {
+        let err = PromScrape::parse("dup 1\ndup 2\n").unwrap_err();
+        assert!(err.message.contains("duplicate series"), "{err}");
+        assert_eq!(err.line, 2);
+        // Same name with a different label set is legal...
+        let doc = "m{case=\"a\"} 1\nm{case=\"b\"} 2\n";
+        assert!(PromScrape::parse(doc).is_ok());
+        // ...but repeating a label set is not, even reordered.
+        let doc = "m{a=\"1\",b=\"2\"} 1\nm{b=\"2\",a=\"1\"} 2\n";
+        let err = PromScrape::parse(doc).unwrap_err();
+        assert!(err.message.contains("duplicate series"), "{err}");
+    }
+
+    #[test]
+    fn histogram_bucket_invariants_are_enforced() {
+        // Out-of-order le.
+        let doc = "\
+h_bucket{le=\"0.01\"} 3
+h_bucket{le=\"0.001\"} 1
+";
+        let err = PromScrape::parse(doc).unwrap_err();
+        assert!(err.message.contains("out-of-order le"), "{err}");
+        assert_eq!(err.line, 2);
+        // A repeated le is caught by the duplicate-series check first.
+        let err = PromScrape::parse("h_bucket{le=\"1\"} 1\nh_bucket{le=\"1\"} 1\n").unwrap_err();
+        assert!(err.message.contains("duplicate series"), "{err}");
+        assert_eq!(err.line, 2);
+        // Shrinking cumulative counts.
+        let doc = "\
+h_bucket{le=\"0.001\"} 5
+h_bucket{le=\"+Inf\"} 3
+";
+        let err = PromScrape::parse(doc).unwrap_err();
+        assert!(err.message.contains("non-cumulative"), "{err}");
+        // NaN is not a valid bucket bound position.
+        let doc = "\
+h_bucket{le=\"0.001\"} 1
+h_bucket{le=\"NaN\"} 2
+";
+        let err = PromScrape::parse(doc).unwrap_err();
+        assert!(err.message.contains("out-of-order le"), "{err}");
+        // Distinct series (different non-le labels) are tracked apart, and
+        // +Inf closes each one legally.
+        let doc = "\
+h_bucket{case=\"a\",le=\"0.001\"} 1
+h_bucket{case=\"b\",le=\"0.001\"} 7
+h_bucket{case=\"a\",le=\"+Inf\"} 2
+h_bucket{case=\"b\",le=\"+Inf\"} 7
+";
+        assert!(PromScrape::parse(doc).is_ok(), "{doc}");
     }
 }

@@ -16,6 +16,7 @@ use crate::histogram::LatencyHistogram;
 use kreach_obs::observe::{
     QueryObservation, CLASSES, CLASS_LABELS, RESOLUTIONS, RESOLUTION_LABELS,
 };
+use kreach_obs::WindowStats;
 
 /// Per-class query counts, latency histograms, and resolution counters.
 #[derive(Debug, Clone)]
@@ -89,6 +90,14 @@ impl CaseTally {
     /// Query counts per class, index-aligned with [`CLASS_LABELS`].
     pub fn counts(&self) -> &[u64; CLASSES] {
         &self.counts
+    }
+
+    /// Feeds this tally's per-case counts plus the batch's cache hit/miss
+    /// deltas into a rolling window. Call once per *batch* tally, never with
+    /// lifetime totals — the window computes per-second rates by differencing
+    /// what lands in each second's slot.
+    pub fn feed_window(&self, windows: &WindowStats, cache_hits: u64, cache_misses: u64) {
+        windows.record_queries(&self.counts, cache_hits, cache_misses);
     }
 
     /// Latency histograms per class, index-aligned with [`CLASS_LABELS`].

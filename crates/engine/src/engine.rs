@@ -13,7 +13,7 @@ use crate::pool::{BatchTask, TaskKind, WorkerPool};
 use kreach_core::dynamic::UpdateStats;
 use kreach_graph::dynamic::EdgeUpdate;
 use kreach_obs::observe::{CLASSES, CLASS_LABELS, RESOLUTIONS, RESOLUTION_LABELS};
-use kreach_obs::Recorder;
+use kreach_obs::{FlightRecorder, Recorder, WindowStats};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -349,6 +349,12 @@ pub struct BatchEngine {
     /// Write-ahead destination for applied batches; `None` serves without
     /// durability (the default).
     durability: Mutex<Option<Arc<dyn DurabilitySink>>>,
+    /// Rolling windowed telemetry fed once per served batch; `None` (the
+    /// default) skips the feed entirely.
+    windows: Mutex<Option<Arc<WindowStats>>>,
+    /// Flight recorder for structured engine events (epoch bumps, accel
+    /// retunes); `None` (the default) records nothing.
+    events: Mutex<Option<Arc<FlightRecorder>>>,
     /// Byte budget for adaptive accel retuning; `0` disables it.
     accel_budget: usize,
     /// Retune trigger state and cumulative counters (trigger checks run once
@@ -402,6 +408,8 @@ impl BatchEngine {
             update_totals: Mutex::new(UpdateStats::default()),
             update_lock: Mutex::new(()),
             durability: Mutex::new(None),
+            windows: Mutex::new(None),
+            events: Mutex::new(None),
             accel_budget: config.accel_budget,
             accel_state: Mutex::new(AccelState::default()),
         };
@@ -509,6 +517,30 @@ impl BatchEngine {
         *self.durability.lock().expect("durability sink poisoned") = Some(sink);
     }
 
+    /// Installs a rolling-window sink: after every served batch the engine
+    /// feeds it that batch's per-case counts and cache hit/miss deltas (the
+    /// per-request latencies come from the caller — the server — which owns
+    /// end-to-end timing). Replaces any previously installed sink.
+    pub fn set_windows(&self, windows: Arc<WindowStats>) {
+        *self.windows.lock().expect("window sink poisoned") = Some(windows);
+    }
+
+    /// Installs a flight recorder: epoch bumps and accel retunes are logged
+    /// as structured events. Replaces any previously installed recorder.
+    pub fn set_events(&self, events: Arc<FlightRecorder>) {
+        *self.events.lock().expect("event sink poisoned") = Some(events);
+    }
+
+    /// Records one flight event when a recorder is installed (the untraced
+    /// common case is a mutex lock on a batch-granularity path, never per
+    /// query).
+    fn flight_event(&self, kind: &'static str, detail: String) {
+        let events = self.events.lock().expect("event sink poisoned");
+        if let Some(rec) = events.as_ref() {
+            rec.record(kind, detail);
+        }
+    }
+
     /// Re-establishes a restored mutation epoch — the crash-recovery path:
     /// after the checkpoint is loaded and the write-ahead log replayed, the
     /// engine resumes at the exact pre-crash epoch instead of restarting
@@ -598,6 +630,19 @@ impl BatchEngine {
             self.prefetch_hot_pairs();
         }
         outcome.epoch = self.cache.epoch();
+        if outcome.stats.applied() > 0 {
+            self.flight_event(
+                "epoch",
+                format!(
+                    "epoch={} applied={} noops={} rows_patched={} rebuilds={}",
+                    outcome.epoch,
+                    outcome.stats.applied(),
+                    outcome.stats.noops,
+                    outcome.stats.rows_patched,
+                    outcome.stats.full_rebuilds,
+                ),
+            );
+        }
         if outcome.stats.applied() > 0 {
             // Fsync-before-ack: the batch must be durable under its epoch
             // before this returns success, because the server acknowledges
@@ -712,6 +757,15 @@ impl BatchEngine {
 
         let elapsed_secs = started.elapsed().as_secs_f64();
         let cache_delta = self.cache.counters().since(counters_before);
+        {
+            // Feed this batch's deltas (not lifetime totals — the windows
+            // difference per second, so double-feeding totals would
+            // quadratically inflate the rolling rates).
+            let windows = self.windows.lock().expect("window sink poisoned");
+            if let Some(w) = windows.as_ref() {
+                tally.feed_window(w, cache_delta.hits, cache_delta.misses);
+            }
+        }
         let stats = EngineStats {
             backend: self.backend.name().to_string(),
             workers: self.pool.workers(),
@@ -753,6 +807,13 @@ impl BatchEngine {
             state.promoted += outcome.promoted as u64;
             state.demoted += outcome.demoted as u64;
             state.dense_rows = outcome.dense_rows;
+            self.flight_event(
+                "retune",
+                format!(
+                    "served_total={} promoted={} demoted={} dense_rows={}",
+                    served_total, outcome.promoted, outcome.demoted, outcome.dense_rows,
+                ),
+            );
         }
     }
 }
@@ -1475,5 +1536,63 @@ mod tests {
         engine.run_into(&small, &mut answers).unwrap();
         assert_eq!(answers.len(), 5);
         assert_eq!(answers.capacity(), capacity);
+    }
+
+    #[test]
+    fn window_and_event_sinks_see_batches_and_epoch_bumps() {
+        use crate::backend::DynamicKReachBackend;
+        use kreach_core::dynamic::DynamicOptions;
+        use kreach_obs::{FlightRecorder, WindowStats};
+
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let engine = BatchEngine::new(
+            Arc::new(DynamicKReachBackend::new(g, 2, DynamicOptions::default())),
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let windows = Arc::new(WindowStats::new());
+        let events = Arc::new(FlightRecorder::new(16));
+        engine.set_windows(Arc::clone(&windows));
+        engine.set_events(Arc::clone(&events));
+
+        let batch = QueryBatch::new(vec![
+            Query {
+                s: VertexId(0),
+                t: VertexId(2),
+                k: 2,
+            };
+            8
+        ]);
+        engine.run(&batch).unwrap();
+        let snap = windows.snapshot(60);
+        assert_eq!(snap.queries, 8, "batch tally reached the window");
+        assert_eq!(snap.by_case.iter().sum::<u64>(), 8);
+        assert!(
+            snap.cache_hits + snap.cache_misses > 0,
+            "cache deltas reached the window"
+        );
+
+        engine
+            .apply_updates(&[EdgeUpdate::Remove(VertexId(1), VertexId(2))])
+            .unwrap();
+        let epoch_event = events
+            .events()
+            .into_iter()
+            .find(|e| e.kind == "epoch")
+            .expect("applied batch records an epoch event");
+        assert!(
+            epoch_event.detail.contains("epoch=1"),
+            "{}",
+            epoch_event.detail
+        );
+
+        // No-op batches bump neither the epoch nor the recorder.
+        let before = events.total();
+        engine
+            .apply_updates(&[EdgeUpdate::Remove(VertexId(1), VertexId(2))])
+            .unwrap();
+        assert_eq!(events.total(), before, "no-op batches record nothing");
     }
 }

@@ -26,7 +26,20 @@
 //!   timings; served by `GET /stats?slow=1` and the `kreach serve`
 //!   shutdown summary.
 //! * [`prom`] — Prometheus text exposition rendering (stable `kreach_`
-//!   names; log2 histogram buckets) used by the server's `GET /metrics`.
+//!   names; log2 histogram buckets; OpenMetrics exemplars) used by the
+//!   server's `GET /metrics`.
+//! * [`window`] — lock-light sliding 1s/10s/60s windows over qps, latency
+//!   quantiles, cache hit-rate, shed-rate and the per-case mix: a ring of
+//!   per-second atomic slots fed by the server and the engine, merged into
+//!   [`WindowSnapshot`]s for `/metrics` gauges, the `/stats` `window`
+//!   block, and the `--stats-interval` ticker.
+//! * [`events`] — the [`FlightRecorder`]: a bounded ring of recent
+//!   structured events (sheds, epoch bumps, retunes, checkpoints, slow
+//!   queries) dumped as JSON-lines on drain, on panic, and via
+//!   `POST /debug/flightrec`.
+//! * [`durability`] — [`DurabilityStats`]: WAL append/fsync latency,
+//!   bytes/records/segments, checkpoint duration/age/size and replay
+//!   progress, written by `kreach-store` and rendered by the server.
 //!
 //! Everything here is compiled in unconditionally but designed to cost
 //! almost nothing when idle: counters are thread-local `Cell`s, the
@@ -36,11 +49,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
+pub mod events;
 pub mod observe;
 pub mod prom;
 pub mod slowlog;
 pub mod trace;
+pub mod window;
 
+pub use durability::{AtomicHistogram, DurabilityStats};
+pub use events::{FlightEvent, FlightRecorder};
 pub use observe::{ProbeMark, QueryObservation, Resolution};
 pub use slowlog::{SlowQueryEntry, SlowQueryLog};
 pub use trace::{Recorder, SpanGuard, SpanRecord, Trace};
+pub use window::{WindowSnapshot, WindowStats};

@@ -34,6 +34,25 @@ pub struct HistogramSeries<'a> {
     pub bucket_counts: &'a [u64],
     /// Sum of all observed values, in nanoseconds.
     pub sum_nanos: u64,
+    /// Optional OpenMetrics exemplar, attached to the bucket it landed in.
+    pub exemplar: Option<Exemplar>,
+}
+
+/// An OpenMetrics exemplar: one concrete observation (typically a
+/// slow-query trace ID plus its latency) pinned to the histogram bucket it
+/// landed in, rendered as `... # {trace_id="42"} 0.0015` after that
+/// bucket's sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Log2 bucket index the exemplar's observation landed in (same layout
+    /// as [`HistogramSeries::bucket_counts`]); clamped to the rendered
+    /// range, falling back to the `+Inf` bucket.
+    pub bucket: usize,
+    /// Rendered exemplar label pairs without braces, e.g.
+    /// `trace_id="42"` (build with [`label`]).
+    pub labels: String,
+    /// The exemplar's observed value in seconds.
+    pub value_secs: f64,
 }
 
 /// Formats one `key="value"` label pair (values escaped per the format).
@@ -73,6 +92,15 @@ impl PromText {
         let _ = writeln!(self.out, "{name} {value}");
     }
 
+    /// One gauge family with a series per label set (the windowed-telemetry
+    /// families: one series per rolling window width).
+    pub fn gauge_vec(&mut self, name: &str, help: &str, series: &[(String, f64)]) {
+        self.header(name, help, "gauge");
+        for (labels, value) in series {
+            let _ = writeln!(self.out, "{name}{{{labels}}} {value}");
+        }
+    }
+
     /// One histogram family of nanosecond-bucketed series, rendered in
     /// seconds. Empty series (zero observations) still render their
     /// `+Inf`/`_sum`/`_count` lines so scrapes always see the family.
@@ -87,20 +115,37 @@ impl PromText {
                 .iter()
                 .rposition(|&c| c > 0)
                 .map_or(0, |i| i + 1);
+            let exemplar_text = |bucket: usize| -> String {
+                match &h.exemplar {
+                    Some(e) if e.bucket == bucket => {
+                        format!(" # {{{}}} {}", e.labels, e.value_secs)
+                    }
+                    _ => String::new(),
+                }
+            };
             let mut cumulative = 0u64;
             for (i, &count) in h.bucket_counts.iter().enumerate().take(last) {
                 cumulative += count;
                 let le = 2f64.powi(i as i32) / 1e9;
                 let _ = writeln!(
                     self.out,
-                    "{name}_bucket{{{}{sep}le=\"{le}\"}} {cumulative}",
-                    h.labels
+                    "{name}_bucket{{{}{sep}le=\"{le}\"}} {cumulative}{}",
+                    h.labels,
+                    exemplar_text(i)
                 );
             }
             let total: u64 = h.bucket_counts.iter().sum();
+            // An exemplar whose bucket fell in the collapsed tail rides on
+            // the +Inf line (still a bucket that contains it).
+            let inf_exemplar = match &h.exemplar {
+                Some(e) if e.bucket >= last => {
+                    format!(" # {{{}}} {}", e.labels, e.value_secs)
+                }
+                _ => String::new(),
+            };
             let _ = writeln!(
                 self.out,
-                "{name}_bucket{{{}{sep}le=\"+Inf\"}} {total}",
+                "{name}_bucket{{{}{sep}le=\"+Inf\"}} {total}{inf_exemplar}",
                 h.labels
             );
             let suffix_labels = if h.labels.is_empty() {
@@ -167,6 +212,7 @@ mod tests {
                 labels: String::new(),
                 bucket_counts: &counts,
                 sum_nanos: 100,
+                exemplar: None,
             }],
         );
         let doc = text.finish();
@@ -205,11 +251,13 @@ mod tests {
                     labels: label("case", "case1"),
                     bucket_counts: &some,
                     sum_nanos: 3_000,
+                    exemplar: None,
                 },
                 HistogramSeries {
                     labels: label("case", "case2"),
                     bucket_counts: &counts,
                     sum_nanos: 0,
+                    exemplar: None,
                 },
             ],
         );
@@ -233,6 +281,63 @@ mod tests {
             doc.contains("kreach_engine_query_duration_seconds_count{case=\"case2\"} 0"),
             "{doc}"
         );
+    }
+
+    #[test]
+    fn exemplars_attach_to_their_bucket() {
+        let mut counts = vec![0u64; 64];
+        counts[2] = 3;
+        counts[10] = 1;
+        let mut text = PromText::new();
+        text.histogram_vec(
+            "kreach_request_duration_seconds",
+            "Latency.",
+            &[HistogramSeries {
+                labels: String::new(),
+                bucket_counts: &counts,
+                sum_nanos: 1_036,
+                exemplar: Some(Exemplar {
+                    bucket: 10,
+                    labels: label("trace_id", "42"),
+                    value_secs: 0.0000009,
+                }),
+            }],
+        );
+        let doc = text.finish();
+        // The exemplar rides the bucket it landed in, nothing else.
+        assert!(
+            doc.contains("le=\"0.000001024\"} 4 # {trace_id=\"42\"} 0.0000009\n"),
+            "{doc}"
+        );
+        assert_eq!(doc.matches(" # {").count(), 1, "{doc}");
+        assert!(doc.contains("le=\"+Inf\"} 4\n"), "{doc}");
+    }
+
+    #[test]
+    fn tail_collapsed_exemplars_ride_the_inf_bucket() {
+        let mut counts = vec![0u64; 64];
+        counts[1] = 2;
+        let mut text = PromText::new();
+        text.histogram_vec(
+            "kreach_wal_fsync_seconds",
+            "Fsync latency.",
+            &[HistogramSeries {
+                labels: String::new(),
+                bucket_counts: &counts,
+                sum_nanos: 4,
+                exemplar: Some(Exemplar {
+                    bucket: 40, // past the last non-empty bucket
+                    labels: label("trace_id", "7"),
+                    value_secs: 1.5,
+                }),
+            }],
+        );
+        let doc = text.finish();
+        assert!(
+            doc.contains("le=\"+Inf\"} 2 # {trace_id=\"7\"} 1.5\n"),
+            "{doc}"
+        );
+        assert_eq!(doc.matches(" # {").count(), 1, "{doc}");
     }
 
     #[test]

@@ -129,7 +129,9 @@ impl SlowQueryLog {
         self.total.load(Ordering::Relaxed)
     }
 
-    /// The retained entries, oldest first.
+    /// The retained entries, oldest first. Non-destructive: a dashboard
+    /// poll of `GET /stats?slow=1` must not erase what an operator is
+    /// about to read — use [`SlowQueryLog::drain`] to consume.
     pub fn entries(&self) -> Vec<SlowQueryEntry> {
         self.ring
             .lock()
@@ -137,6 +139,27 @@ impl SlowQueryLog {
             .iter()
             .cloned()
             .collect()
+    }
+
+    /// Takes (and removes) every retained entry, oldest first. The
+    /// monotone [`SlowQueryLog::total`] is unaffected — draining forgets
+    /// entries, not history.
+    pub fn drain(&self) -> Vec<SlowQueryEntry> {
+        self.ring
+            .lock()
+            .expect("slow-query ring poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// The most recently recorded entry, if any — the exemplar source for
+    /// the `/metrics` request-duration histogram.
+    pub fn latest(&self) -> Option<SlowQueryEntry> {
+        self.ring
+            .lock()
+            .expect("slow-query ring poisoned")
+            .back()
+            .cloned()
     }
 
     /// The retained entries as one JSON array.
@@ -202,6 +225,23 @@ mod tests {
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].op, "op3");
         assert_eq!(entries[1].op, "op4");
+    }
+
+    #[test]
+    fn drain_empties_the_ring_but_not_the_total() {
+        let log = SlowQueryLog::new(1, 4);
+        log.record(1, "a".into(), 200, 10, &[]);
+        log.record(2, "b".into(), 200, 20, &[]);
+        assert_eq!(log.latest().expect("latest").op, "b");
+        // A non-destructive read first: entries survive it.
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.entries().len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].op, "a");
+        assert!(log.entries().is_empty());
+        assert!(log.latest().is_none());
+        assert_eq!(log.total(), 2, "total is monotone across drains");
     }
 
     #[test]

@@ -71,4 +71,4 @@ pub mod metrics;
 mod server;
 
 pub use metrics::{MetricsSnapshot, ServerMetrics};
-pub use server::{start, DrainReport, ServerConfig, ServerHandle};
+pub use server::{start, start_with_obs, DrainReport, ServerConfig, ServerHandle, ServerObs};

@@ -38,11 +38,16 @@ use kreach_engine::{BatchEngine, Query, QueryBatch, UpdateError};
 use kreach_graph::dynamic::EdgeUpdate;
 use kreach_graph::VertexId;
 use kreach_obs::observe::{CLASS_LABELS, RESOLUTION_LABELS};
-use kreach_obs::prom::{label, HistogramSeries, PromText};
-use kreach_obs::{Recorder, SlowQueryLog};
+use kreach_obs::prom::{label, Exemplar, HistogramSeries, PromText};
+use kreach_obs::window::WINDOW_SECS;
+use kreach_obs::{
+    DurabilityStats, FlightRecorder, Recorder, SlowQueryEntry, SlowQueryLog, WindowSnapshot,
+    WindowStats,
+};
 use std::cell::RefCell;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -124,6 +129,41 @@ impl Default for ServerConfig {
     }
 }
 
+/// The server's observability bundle: rolling windows, the flight
+/// recorder, and (when serving a durable store) the durability counters.
+///
+/// [`start`] builds a default bundle; callers that own a store or want the
+/// flight recorder dumped somewhere specific build one and pass it to
+/// [`start_with_obs`]. All fields are shared handles, so a caller can keep
+/// clones (for a stderr ticker, a drain-time dump, a panic hook) while the
+/// server feeds them.
+#[derive(Clone)]
+pub struct ServerObs {
+    /// Rolling 1s/10s/60s windowed telemetry, fed by every request and
+    /// every engine batch.
+    pub windows: Arc<WindowStats>,
+    /// Bounded ring of structured events (sheds, epoch bumps, retunes,
+    /// checkpoints, slow queries).
+    pub events: Arc<FlightRecorder>,
+    /// WAL/checkpoint instrumentation when a durable store backs the
+    /// engine; `None` for in-memory serving.
+    pub durability: Option<Arc<DurabilityStats>>,
+    /// Where `POST /debug/flightrec` writes its `flightrec-<ts>.jsonl`
+    /// dump; `None` serves the events in the response body only.
+    pub flight_dump_dir: Option<PathBuf>,
+}
+
+impl Default for ServerObs {
+    fn default() -> Self {
+        ServerObs {
+            windows: Arc::new(WindowStats::new()),
+            events: Arc::new(FlightRecorder::default()),
+            durability: None,
+            flight_dump_dir: None,
+        }
+    }
+}
+
 struct Shared {
     engine: Arc<BatchEngine>,
     metrics: ServerMetrics,
@@ -136,6 +176,7 @@ struct Shared {
     /// make every span call a single branch.
     recorder: Recorder,
     slow_log: SlowQueryLog,
+    obs: ServerObs,
 }
 
 impl Shared {
@@ -271,12 +312,28 @@ impl Drop for ServerHandle {
 }
 
 /// Binds the listener and spawns the acceptor and handler threads, serving
-/// `engine` until a shutdown is requested.
+/// `engine` until a shutdown is requested. Uses a default observability
+/// bundle (fresh windows and flight recorder, no durability stats); see
+/// [`start_with_obs`] to share one with the caller.
 pub fn start(engine: Arc<BatchEngine>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    start_with_obs(engine, config, ServerObs::default())
+}
+
+/// Like [`start`], with a caller-supplied observability bundle: the server
+/// installs its windows and flight recorder on the engine (so batch tallies
+/// and epoch events land in them) and exposes everything through
+/// `/metrics`, `/stats`, `/healthz`, and `POST /debug/flightrec`.
+pub fn start_with_obs(
+    engine: Arc<BatchEngine>,
+    config: ServerConfig,
+    obs: ServerObs,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     let addr = listener.local_addr()?;
     let recorder = engine.recorder().clone();
     let slow_log = SlowQueryLog::new(config.slow_query_us, SLOW_LOG_CAPACITY);
+    engine.set_windows(Arc::clone(&obs.windows));
+    engine.set_events(Arc::clone(&obs.events));
     let shared = Arc::new(Shared {
         engine,
         metrics: ServerMetrics::new(),
@@ -290,6 +347,7 @@ pub fn start(engine: Arc<BatchEngine>, config: ServerConfig) -> std::io::Result<
         shutting_down: AtomicBool::new(false),
         recorder,
         slow_log,
+        obs,
     });
 
     let (sender, receiver) = mpsc::channel::<TcpStream>();
@@ -377,6 +435,15 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener, sender: mpsc::Sender
 /// engine or the handler pool.
 fn shed(shared: &Arc<Shared>, mut stream: TcpStream) {
     shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    shared.obs.windows.record_shed();
+    shared.obs.events.record(
+        "shed",
+        format!(
+            "inflight={} budget={}",
+            shared.inflight.load(Ordering::Relaxed),
+            shared.config.max_inflight
+        ),
+    );
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let body = format!(
         "overloaded: {} connections in flight (budget {}); retry\n",
@@ -563,11 +630,17 @@ fn serve_http_request(
     shared.metrics.record_status(status);
     let elapsed = started.elapsed();
     shared.metrics.record_latency(elapsed);
+    shared.obs.windows.record_request(elapsed.as_nanos() as u64);
     let micros = elapsed.as_micros() as u64;
     if shared.slow_log.is_slow(micros) {
+        let op = format!("{} {}", request.method, request.path);
+        shared.obs.events.record(
+            "slow_query",
+            format!("trace_id={trace_id} op={op} status={status} micros={micros}"),
+        );
         shared.slow_log.record(
             trace_id,
-            format!("{} {}", request.method, request.path),
+            op,
             status,
             micros,
             &shared.recorder.spans_for_trace(trace_id),
@@ -586,9 +659,18 @@ fn route(
         ("GET", "/healthz") => (200, JSON, healthz_json(shared).into_bytes()),
         ("GET", "/metrics") => (200, PROM, metrics_text(shared).into_bytes()),
         ("GET", "/stats") => {
-            // `?slow=1` swaps the stats document for the slow-query ring.
+            // `?slow=1` swaps the stats document for the slow-query ring —
+            // non-destructive by default (dashboards poll it); add
+            // `&drain=1` to consume the ring (the monotone total keeps
+            // counting either way).
             if request.query.iter().any(|(k, v)| k == "slow" && v == "1") {
-                let mut body = shared.slow_log.to_json();
+                let drain = request.query.iter().any(|(k, v)| k == "drain" && v == "1");
+                let entries = if drain {
+                    shared.slow_log.drain()
+                } else {
+                    shared.slow_log.entries()
+                };
+                let mut body = slow_entries_json(&entries);
                 body.push('\n');
                 (200, JSON, body.into_bytes())
             } else {
@@ -612,6 +694,32 @@ fn route(
             }
             shared.begin_shutdown();
             (202, TEXT, b"draining\n".to_vec())
+        }
+        ("POST", "/debug/flightrec") => {
+            // Like /shutdown, a debug control: the event ring can carry
+            // operational detail (slow ops, epochs) a remote peer has no
+            // business reading, and a configured dump dir means disk writes.
+            if !peer_is_loopback {
+                return (
+                    403,
+                    TEXT,
+                    b"flight-recorder dumps are only accepted from loopback clients\n".to_vec(),
+                );
+            }
+            let body = shared.obs.events.to_jsonl();
+            if let Some(dir) = &shared.obs.flight_dump_dir {
+                if let Err(e) = shared.obs.events.dump_to(dir) {
+                    return (
+                        500,
+                        TEXT,
+                        format!("flight-recorder dump to {} failed: {e}\n", dir.display())
+                            .into_bytes(),
+                    );
+                }
+            }
+            // JSON-lines, not one JSON document: plain text is the honest
+            // content type.
+            (200, TEXT, body.into_bytes())
         }
         ("GET" | "POST", path) => (
             404,
@@ -790,8 +898,30 @@ fn flush_queries(
     }
 }
 
-/// The `/stats` document: engine snapshot + cache counters + server
-/// metrics, as one JSON object.
+/// Renders a slice of slow-query entries as one JSON array (shared by the
+/// non-destructive and draining variants of `GET /stats?slow=1`).
+fn slow_entries_json(entries: &[SlowQueryEntry]) -> String {
+    let body = entries
+        .iter()
+        .map(SlowQueryEntry::to_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("[{body}]")
+}
+
+/// The `"window"` block of `/stats`: one snapshot object per rolling
+/// window width, keyed `"1s"`, `"10s"`, `"60s"`.
+fn window_block_json(windows: &WindowStats) -> String {
+    let blocks = WINDOW_SECS
+        .iter()
+        .map(|&w| format!("\"{w}s\":{}", windows.snapshot(w).to_json()))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{blocks}}}")
+}
+
+/// The `/stats` document: engine snapshot + cache counters + rolling
+/// windows + server metrics, as one JSON object.
 fn stats_json(shared: &Arc<Shared>) -> String {
     let info = shared.engine.info();
     let metrics = shared.snapshot();
@@ -805,6 +935,8 @@ fn stats_json(shared: &Arc<Shared>) -> String {
             "\"rows_promoted\":{},\"rows_demoted\":{}}},",
             "\"batched\":{{\"groups\":{},\"queries\":{}}},",
             "\"admission\":{{\"max_inflight\":{},\"handlers\":{},\"shutting_down\":{}}},",
+            "\"window\":{},",
+            "\"flight_events\":{},",
             "\"server\":{}}}"
         ),
         info.backend,
@@ -829,19 +961,41 @@ fn stats_json(shared: &Arc<Shared>) -> String {
         shared.config.max_inflight,
         shared.config.handlers,
         shared.is_shutting_down(),
+        window_block_json(&shared.obs.windows),
+        shared.obs.events.total(),
         metrics.to_json(),
     )
 }
 
 /// The `/healthz` document: liveness plus just enough identity to tell
-/// *which* engine is healthy — backend name, mutation epoch, uptime.
+/// *which* engine is healthy — backend name, mutation epoch, uptime, and
+/// (when a durable store backs the engine) how stale the durable state is:
+/// checkpoint age, the epoch it captured, the live WAL segment count, and
+/// how many epochs sit in the WAL past that checkpoint.
 fn healthz_json(shared: &Arc<Shared>) -> String {
     let info = shared.engine.info();
+    let durability = match &shared.obs.durability {
+        Some(d) => {
+            let age = match d.checkpoint_age_secs() {
+                Some(age) => format!("{age:.3}"),
+                None => "null".to_string(),
+            };
+            format!(
+                ",\"checkpoint_age_secs\":{age},\"last_checkpoint_epoch\":{},\
+                 \"wal_segments\":{},\"wal_lag\":{}",
+                d.last_checkpoint_epoch.load(Ordering::Relaxed),
+                d.wal_segments.load(Ordering::Relaxed),
+                d.wal_lag(info.epoch),
+            )
+        }
+        None => String::new(),
+    };
     format!(
-        "{{\"status\":\"ok\",\"backend\":\"{}\",\"epoch\":{},\"uptime_secs\":{:.3}}}\n",
+        "{{\"status\":\"ok\",\"backend\":\"{}\",\"epoch\":{},\"uptime_secs\":{:.3}{}}}\n",
         info.backend,
         info.epoch,
         shared.snapshot().uptime_secs,
+        durability,
     )
 }
 
@@ -917,6 +1071,14 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
         "Response bytes written.",
         metrics.bytes_out,
     );
+    // The newest slow-query entry rides the latency histogram as an
+    // OpenMetrics exemplar: a scrape that sees a suspicious bucket gets a
+    // concrete trace ID to chase instead of an anonymous count.
+    let exemplar = shared.slow_log.latest().map(|entry| Exemplar {
+        bucket: kreach_obs::window::bucket_index(entry.micros.saturating_mul(1_000)),
+        labels: label("trace_id", &entry.trace_id.to_string()),
+        value_secs: entry.micros as f64 / 1e6,
+    });
     text.histogram_vec(
         "kreach_request_duration_seconds",
         "End-to-end HTTP request latency.",
@@ -924,6 +1086,7 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
             labels: String::new(),
             bucket_counts: latency.bucket_counts(),
             sum_nanos: latency.sum_nanos(),
+            exemplar,
         }],
     );
 
@@ -955,6 +1118,7 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
             labels: label("case", name),
             bucket_counts: hist.bucket_counts(),
             sum_nanos: hist.sum_nanos(),
+            exemplar: None,
         })
         .collect();
     text.histogram_vec(
@@ -1098,7 +1262,171 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
         ],
     );
 
-    // Slow-query log and liveness.
+    // Rolling windows: one gauge family per signal, one series per window
+    // width. Gauges on purpose (and named to avoid the cumulative
+    // `_total`/`_bucket`/`_sum`/`_count` suffixes): windowed values move in
+    // both directions between scrapes.
+    let snaps: Vec<WindowSnapshot> = WINDOW_SECS
+        .iter()
+        .map(|&w| shared.obs.windows.snapshot(w))
+        .collect();
+    let wlabel = |s: &WindowSnapshot| label("w", &format!("{}s", s.window_secs));
+    let window_series = |f: &dyn Fn(&WindowSnapshot) -> f64| -> Vec<(String, f64)> {
+        snaps.iter().map(|s| (wlabel(s), f(s))).collect()
+    };
+    type WindowGauge<'a> = (&'a str, &'a str, &'a dyn Fn(&WindowSnapshot) -> f64);
+    let families: [WindowGauge; 6] = [
+        (
+            "kreach_rps_window",
+            "Requests per second over the rolling window.",
+            &WindowSnapshot::rps,
+        ),
+        (
+            "kreach_qps_window",
+            "Engine queries per second over the rolling window.",
+            &WindowSnapshot::qps,
+        ),
+        (
+            "kreach_request_p50_seconds_window",
+            "Median request latency over the rolling window, in seconds.",
+            &|s| s.p50_micros / 1e6,
+        ),
+        (
+            "kreach_request_p99_seconds_window",
+            "99th-percentile request latency over the rolling window, in seconds.",
+            &|s| s.p99_micros / 1e6,
+        ),
+        (
+            "kreach_cache_hit_rate_window",
+            "Result-cache hit rate over the rolling window.",
+            &WindowSnapshot::cache_hit_rate,
+        ),
+        (
+            "kreach_shed_rate_window",
+            "Shed fraction of offered connections over the rolling window.",
+            &WindowSnapshot::shed_rate,
+        ),
+    ];
+    for (name, help, f) in families {
+        text.gauge_vec(name, help, &window_series(f));
+    }
+    let case_mix: Vec<(String, f64)> = snaps
+        .iter()
+        .flat_map(|s| {
+            CLASS_LABELS.iter().enumerate().map(|(i, name)| {
+                (
+                    format!("{},{}", wlabel(s), label("case", name)),
+                    s.case_share(i),
+                )
+            })
+        })
+        .collect();
+    text.gauge_vec(
+        "kreach_case_share_window",
+        "Fraction of windowed queries per Algorithm 2 case.",
+        &case_mix,
+    );
+
+    // Durability: WAL and checkpoint instrumentation, present only when a
+    // durable store backs the engine (cumulative, so they join the monotone
+    // families).
+    if let Some(d) = &shared.obs.durability {
+        text.counter(
+            "kreach_wal_appends_total",
+            "Mutation batches appended to the write-ahead log.",
+            d.wal_appends.load(Ordering::Relaxed),
+        );
+        text.counter(
+            "kreach_wal_records_total",
+            "Edge updates appended to the write-ahead log.",
+            d.wal_records.load(Ordering::Relaxed),
+        );
+        text.counter(
+            "kreach_wal_bytes_total",
+            "Bytes appended to the write-ahead log.",
+            d.wal_bytes.load(Ordering::Relaxed),
+        );
+        let wal_write = d.wal_write.bucket_counts();
+        let wal_fsync = d.wal_fsync.bucket_counts();
+        let ckpt = d.checkpoint_duration.bucket_counts();
+        text.histogram_vec(
+            "kreach_wal_append_write_seconds",
+            "Serialize-and-write stage of one WAL append.",
+            &[HistogramSeries {
+                labels: String::new(),
+                bucket_counts: &wal_write,
+                sum_nanos: d.wal_write.sum_nanos(),
+                exemplar: None,
+            }],
+        );
+        text.histogram_vec(
+            "kreach_wal_fsync_seconds",
+            "Fsync stage of one WAL append (the fsync-before-ack cost).",
+            &[HistogramSeries {
+                labels: String::new(),
+                bucket_counts: &wal_fsync,
+                sum_nanos: d.wal_fsync.sum_nanos(),
+                exemplar: None,
+            }],
+        );
+        text.histogram_vec(
+            "kreach_checkpoint_duration_seconds",
+            "End-to-end checkpoint duration (snapshot, write, fsync, prune).",
+            &[HistogramSeries {
+                labels: String::new(),
+                bucket_counts: &ckpt,
+                sum_nanos: d.checkpoint_duration.sum_nanos(),
+                exemplar: None,
+            }],
+        );
+        text.counter(
+            "kreach_checkpoints_total",
+            "Checkpoints written since startup.",
+            d.checkpoints.load(Ordering::Relaxed),
+        );
+        text.counter(
+            "kreach_replayed_batches_total",
+            "WAL batches replayed by the last restore.",
+            d.replayed_batches.load(Ordering::Relaxed),
+        );
+        text.counter(
+            "kreach_replayed_ops_total",
+            "Edge updates replayed by the last restore.",
+            d.replayed_ops.load(Ordering::Relaxed),
+        );
+        text.gauge(
+            "kreach_wal_segments",
+            "Live write-ahead-log segment files.",
+            d.wal_segments.load(Ordering::Relaxed) as f64,
+        );
+        text.gauge(
+            "kreach_checkpoint_age_seconds",
+            "Seconds since the last completed checkpoint (-1 before the first).",
+            d.checkpoint_age_secs().unwrap_or(-1.0),
+        );
+        text.gauge(
+            "kreach_last_checkpoint_epoch",
+            "Mutation epoch captured by the last checkpoint.",
+            d.last_checkpoint_epoch.load(Ordering::Relaxed) as f64,
+        );
+        text.gauge(
+            "kreach_last_checkpoint_bytes",
+            "Size of the last checkpoint file, in bytes.",
+            d.last_checkpoint_bytes.load(Ordering::Relaxed) as f64,
+        );
+        text.gauge(
+            "kreach_wal_epoch_lag",
+            "Epochs in the write-ahead log past the last checkpoint.",
+            d.wal_lag(info.epoch) as f64,
+        );
+    }
+
+    // Flight recorder, slow-query log, and liveness.
+    text.counter(
+        "kreach_flight_events_total",
+        "Structured events recorded by the flight recorder.",
+        shared.obs.events.total(),
+    );
     text.counter(
         "kreach_slow_queries_total",
         "Requests at or over the slow-query threshold.",
@@ -1160,8 +1488,14 @@ fn serve_line_session(
         };
         span.note(trimmed.to_string());
         drop(span);
-        let micros = op_started.elapsed().as_micros() as u64;
+        let elapsed = op_started.elapsed();
+        shared.obs.windows.record_request(elapsed.as_nanos() as u64);
+        let micros = elapsed.as_micros() as u64;
         if shared.slow_log.is_slow(micros) {
+            shared.obs.events.record(
+                "slow_query",
+                format!("trace_id={trace_id} op=line:{trimmed} status=200 micros={micros}"),
+            );
             shared.slow_log.record(
                 trace_id,
                 format!("line: {trimmed}"),
@@ -1766,5 +2100,244 @@ mod tests {
         let report = server.join();
         assert!(report.clean);
         assert!(report.slow_queries >= 2);
+    }
+
+    #[test]
+    fn slow_log_polls_are_non_destructive_and_drain_is_explicit() {
+        let g = Arc::new(DiGraph::from_edges(4, [(0, 1), (1, 2)]));
+        let engine = Arc::new(BatchEngine::with_defaults(Arc::new(BfsBackend::new(g, 2))));
+        let server = start(
+            engine,
+            ServerConfig {
+                slow_query_us: 1,
+                ..tiny_config()
+            },
+        )
+        .unwrap();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        assert!(client.get("/reach?s=0&t=2").unwrap().is_ok());
+        assert!(client.get("/healthz").unwrap().is_ok());
+        // Two dashboard polls in a row see the same entries: polling must
+        // not erase what an operator is about to read.
+        let first = client.get("/stats?slow=1").unwrap().body_text();
+        assert!(first.contains("\"op\":\"GET /reach\""), "{first}");
+        let second = client.get("/stats?slow=1").unwrap().body_text();
+        assert!(second.contains("\"op\":\"GET /reach\""), "{second}");
+        // An explicit drain consumes the ring; the monotone total survives.
+        let total_before = server.slow_queries();
+        let drained = client.get("/stats?slow=1&drain=1").unwrap().body_text();
+        assert!(drained.contains("\"op\":\"GET /reach\""), "{drained}");
+        // Only requests finished before the drain request are guaranteed
+        // gone (the drain itself lands in the ring after responding).
+        let after = client.get("/stats?slow=1").unwrap().body_text();
+        assert!(!after.contains("\"op\":\"GET /reach\""), "{after}");
+        assert!(server.slow_queries() >= total_before, "total is monotone");
+    }
+
+    #[test]
+    fn windowed_gauges_round_trip_and_stats_carries_the_window_block() {
+        let server = dynamic_server();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        assert!(client
+            .post("/batch", b"0 1\n0 2\n1 2\n2 0\n")
+            .unwrap()
+            .is_ok());
+        let scrape = scrape(&mut client);
+        // One series per window width, all parseable as gauges.
+        for family in [
+            "kreach_rps_window",
+            "kreach_qps_window",
+            "kreach_request_p50_seconds_window",
+            "kreach_request_p99_seconds_window",
+            "kreach_cache_hit_rate_window",
+            "kreach_shed_rate_window",
+        ] {
+            assert_eq!(scrape.type_of(family), Some("gauge"), "{family}");
+            for w in ["1s", "10s", "60s"] {
+                assert!(
+                    scrape.labeled(family, "w", w).is_some(),
+                    "{family} missing w={w}"
+                );
+            }
+        }
+        // The batch just served: the 60s window saw its queries.
+        assert!(scrape.labeled("kreach_qps_window", "w", "60s").unwrap() > 0.0);
+        // Case mix: 6 classes × 3 windows, shares within [0, 1] summing to
+        // 1 per window (queries were served inside the 60s window).
+        let mix = scrape.samples_of("kreach_case_share_window");
+        assert_eq!(mix.len(), 18, "6 classes x 3 windows");
+        let sum_60s: f64 = mix
+            .iter()
+            .filter(|s| s.labels.iter().any(|(k, v)| k == "w" && v == "60s"))
+            .map(|s| s.value)
+            .sum();
+        assert!((sum_60s - 1.0).abs() < 1e-9, "shares sum to 1: {sum_60s}");
+
+        // /stats carries the same data as a JSON block.
+        let stats = client.get("/stats").unwrap().body_text();
+        for field in [
+            "\"window\":{\"1s\":{",
+            "\"10s\":{",
+            "\"60s\":{",
+            "\"qps\":",
+            "\"p99_micros\":",
+            "\"by_case\":{",
+            "\"flight_events\":",
+        ] {
+            assert!(stats.contains(field), "missing {field} in {stats}");
+        }
+    }
+
+    #[test]
+    fn exemplars_ride_the_request_histogram_and_round_trip() {
+        let g = Arc::new(DiGraph::from_edges(4, [(0, 1), (1, 2)]));
+        let engine = Arc::new(BatchEngine::with_recorder(
+            Arc::new(BfsBackend::new(g, 2)),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+            Recorder::new(1024),
+        ));
+        let server = start(
+            engine,
+            ServerConfig {
+                slow_query_us: 1, // everything is slow: an exemplar is guaranteed
+                ..tiny_config()
+            },
+        )
+        .unwrap();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        assert!(client.get("/reach?s=0&t=2").unwrap().is_ok());
+        let scrape = scrape(&mut client);
+        let exemplar = scrape
+            .samples_of("kreach_request_duration_seconds_bucket")
+            .iter()
+            .find_map(|s| s.exemplar.clone())
+            .expect("a slow request pins an exemplar to its latency bucket");
+        let trace_id: u64 = exemplar
+            .label("trace_id")
+            .expect("exemplar carries the trace id")
+            .parse()
+            .expect("trace id is numeric");
+        assert!(trace_id > 0);
+        assert!(exemplar.value > 0.0);
+    }
+
+    #[test]
+    fn durability_stats_render_and_round_trip_when_present() {
+        let g = Arc::new(DiGraph::from_edges(4, [(0, 1), (1, 2)]));
+        let engine = Arc::new(BatchEngine::with_defaults(Arc::new(BfsBackend::new(g, 2))));
+        let durability = Arc::new(DurabilityStats::new());
+        durability.wal_appends.store(3, Ordering::Relaxed);
+        durability.wal_records.store(7, Ordering::Relaxed);
+        durability.wal_bytes.store(512, Ordering::Relaxed);
+        durability.wal_segments.store(2, Ordering::Relaxed);
+        durability.wal_write.record(40_000);
+        durability.wal_fsync.record(2_000_000);
+        durability.note_checkpoint(5, 4096, 9_000_000);
+        let obs = ServerObs {
+            durability: Some(Arc::clone(&durability)),
+            ..ServerObs::default()
+        };
+        let server = start_with_obs(engine, tiny_config(), obs).unwrap();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        let dur_scrape = scrape(&mut client);
+        assert_eq!(dur_scrape.value("kreach_wal_appends_total"), Some(3.0));
+        assert_eq!(dur_scrape.value("kreach_wal_records_total"), Some(7.0));
+        assert_eq!(dur_scrape.value("kreach_wal_bytes_total"), Some(512.0));
+        assert_eq!(dur_scrape.value("kreach_wal_segments"), Some(2.0));
+        assert_eq!(dur_scrape.value("kreach_checkpoints_total"), Some(1.0));
+        assert_eq!(dur_scrape.value("kreach_last_checkpoint_epoch"), Some(5.0));
+        assert_eq!(
+            dur_scrape.value("kreach_last_checkpoint_bytes"),
+            Some(4096.0)
+        );
+        for hist in [
+            "kreach_wal_append_write_seconds",
+            "kreach_wal_fsync_seconds",
+            "kreach_checkpoint_duration_seconds",
+        ] {
+            assert_eq!(dur_scrape.type_of(hist), Some("histogram"), "{hist}");
+            assert_eq!(
+                dur_scrape.value(&format!("{hist}_count")),
+                Some(1.0),
+                "{hist}"
+            );
+        }
+        let age = dur_scrape.value("kreach_checkpoint_age_seconds").unwrap();
+        assert!(age >= 0.0, "a checkpoint happened: age is real, got {age}");
+
+        // /healthz gains the durable-staleness fields, with the engine's
+        // `"epoch":N` untouched for existing probes.
+        let health = client.get("/healthz").unwrap().body_text();
+        for field in [
+            "\"epoch\":0",
+            "\"checkpoint_age_secs\":",
+            "\"last_checkpoint_epoch\":5",
+            "\"wal_segments\":2",
+            "\"wal_lag\":0",
+        ] {
+            assert!(health.contains(field), "missing {field} in {health}");
+        }
+
+        // Without durability stats, none of it renders and /healthz stays
+        // minimal.
+        let plain = bfs_server();
+        let mut client = BlockingClient::connect(plain.addr()).unwrap();
+        let plain_scrape = scrape(&mut client);
+        assert_eq!(plain_scrape.value("kreach_wal_appends_total"), None);
+        assert!(!client
+            .get("/healthz")
+            .unwrap()
+            .body_text()
+            .contains("wal_segments"));
+    }
+
+    #[test]
+    fn flightrec_endpoint_serves_events_and_dumps_when_configured() {
+        let dir = std::env::temp_dir().join(format!("kreach-flightrec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = DiGraph::from_edges(3, [(0, 1)]);
+        let engine = Arc::new(BatchEngine::new(
+            Arc::new(DynamicKReachBackend::new(g, 2, DynamicOptions::default())),
+            EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        ));
+        let obs = ServerObs {
+            flight_dump_dir: Some(dir.clone()),
+            ..ServerObs::default()
+        };
+        let events = Arc::clone(&obs.events);
+        let server = start_with_obs(engine, tiny_config(), obs).unwrap();
+        let mut client = BlockingClient::connect(server.addr()).unwrap();
+        // An applied mutation records an epoch event through the engine.
+        assert!(client.post("/update", b"+ 1 2\n").unwrap().is_ok());
+        let response = client.post("/debug/flightrec", &[]).unwrap();
+        assert!(response.is_ok());
+        let body = response.body_text();
+        let epoch_line = body
+            .lines()
+            .find(|l| l.contains("\"kind\":\"epoch\""))
+            .unwrap_or_else(|| panic!("no epoch event in {body}"));
+        assert!(epoch_line.contains("\"detail\":\"epoch=1"), "{epoch_line}");
+        assert!(epoch_line.starts_with('{') && epoch_line.ends_with('}'));
+        // The dump landed on disk as the same JSON-lines document.
+        let dumped: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dump dir created")
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("flightrec-") && n.ends_with(".jsonl"))
+            })
+            .collect();
+        assert_eq!(dumped.len(), 1, "{dumped:?}");
+        let on_disk = std::fs::read_to_string(&dumped[0]).unwrap();
+        assert!(on_disk.contains("\"kind\":\"epoch\""), "{on_disk}");
+        assert_eq!(events.total(), body.lines().count() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

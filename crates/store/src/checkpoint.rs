@@ -79,18 +79,37 @@ pub fn write_checkpoint<W: Write>(
     c.write_to(w)
 }
 
+/// Size and stage timings of one saved checkpoint, returned by
+/// [`save_checkpoint`] for the durability instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointWrite {
+    /// Bytes of the written container file.
+    pub bytes: u64,
+    /// Nanoseconds serializing and flushing the container.
+    pub write_nanos: u64,
+    /// Nanoseconds in the `fsync` that makes it durable.
+    pub sync_nanos: u64,
+}
+
 /// Saves a checkpoint with fsync-before-return durability.
 pub fn save_checkpoint(
     state: &DynamicKReach,
     epoch: u64,
     path: impl AsRef<Path>,
-) -> Result<(), StorageError> {
+) -> Result<CheckpointWrite, StorageError> {
+    let write_start = std::time::Instant::now();
     let file = std::fs::File::create(path)?;
     let mut w = io::BufWriter::new(file);
     write_checkpoint(state, epoch, &mut w)?;
     w.flush()?;
+    let write_nanos = write_start.elapsed().as_nanos() as u64;
+    let sync_start = std::time::Instant::now();
     w.get_ref().sync_all()?;
-    Ok(())
+    Ok(CheckpointWrite {
+        bytes: w.get_ref().metadata()?.len(),
+        write_nanos,
+        sync_nanos: sync_start.elapsed().as_nanos() as u64,
+    })
 }
 
 /// A checkpoint restored into memory.

@@ -44,11 +44,11 @@ pub mod manifest;
 pub mod store;
 pub mod wal;
 
-pub use checkpoint::{load_checkpoint, save_checkpoint, RestoredCheckpoint};
+pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointWrite, RestoredCheckpoint};
 pub use container::{ContainerReader, ContainerWriter, FileKind};
 pub use index_v3::{load_index, read_index_v3, save_index_v3, write_index_v3};
 pub use manifest::{read_manifest, Manifest};
 pub use store::{
     engine_snapshot, read_durable_state, spawn_checkpointer, Checkpointer, RestoreReport, Store,
 };
-pub use wal::{replay, Wal, WalRecord, WalReplay};
+pub use wal::{replay, Wal, WalAppendInfo, WalRecord, WalReplay};

@@ -140,11 +140,22 @@ impl Wal {
     }
 
     /// Appends one record and fsyncs it. Returns only after the bytes are
-    /// durable — this is the fsync that backs the ack.
-    pub fn append(&mut self, epoch: u64, updates: &[EdgeUpdate]) -> std::io::Result<()> {
+    /// durable — this is the fsync that backs the ack. The returned
+    /// [`WalAppendInfo`] carries the append's size and the write/fsync
+    /// stage timings for the durability instrumentation.
+    pub fn append(&mut self, epoch: u64, updates: &[EdgeUpdate]) -> std::io::Result<WalAppendInfo> {
         let bytes = Self::render_record(epoch, updates);
+        let write_start = std::time::Instant::now();
         self.file.write_all(&bytes)?;
-        self.file.sync_data()
+        let write_nanos = write_start.elapsed().as_nanos() as u64;
+        let fsync_start = std::time::Instant::now();
+        self.file.sync_data()?;
+        Ok(WalAppendInfo {
+            bytes: bytes.len() as u64,
+            ops: updates.len() as u64,
+            write_nanos,
+            fsync_nanos: fsync_start.elapsed().as_nanos() as u64,
+        })
     }
 
     /// Rotates to a fresh segment; subsequent appends go there. Returns the
@@ -175,6 +186,28 @@ impl Wal {
     pub fn current_seq(&self) -> u64 {
         self.seq
     }
+
+    /// The number of segment files currently on disk (the
+    /// `kreach_wal_segments` gauge and the `/healthz` `wal_segments`
+    /// field).
+    pub fn segment_count(&self) -> Result<u64, StorageError> {
+        Ok(segments(&self.dir)?.len() as u64)
+    }
+}
+
+/// Size and stage timings of one durable append, returned by
+/// [`Wal::append`] so the caller can feed its durability stats without the
+/// WAL knowing about them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalAppendInfo {
+    /// Bytes written (header + op lines).
+    pub bytes: u64,
+    /// Mutation ops in the appended batch.
+    pub ops: u64,
+    /// Nanoseconds spent in the buffer write (`write_all`).
+    pub write_nanos: u64,
+    /// Nanoseconds spent in the fsync (`sync_data`) that backs the ack.
+    pub fsync_nanos: u64,
 }
 
 /// What [`parse_segment`] extracted from one segment's bytes.
@@ -418,6 +451,23 @@ mod tests {
         // Reopening resumes the newest segment.
         let reopened = Wal::open(&dir).expect("reopen");
         assert_eq!(reopened.current_seq(), new_seq);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_reports_sizes_and_stage_timings() {
+        let dir = temp_dir("append-info");
+        let mut wal = Wal::open(&dir).expect("open");
+        assert_eq!(wal.segment_count().expect("count"), 1);
+        let info = wal.append(1, &batch(1)).expect("append");
+        assert_eq!(info.ops, 2);
+        assert_eq!(
+            info.bytes,
+            Wal::render_record(1, &batch(1)).len() as u64,
+            "{info:?}"
+        );
+        wal.rotate().expect("rotate");
+        assert_eq!(wal.segment_count().expect("count"), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

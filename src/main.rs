@@ -120,6 +120,7 @@ fn usage() -> &'static str {
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--handlers N] [--max-inflight N] [--max-body BYTES]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N] [--accel-budget BYTES] [--trace N]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--slow-query-us US] [--data-dir DIR] [--checkpoint-every SECS]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--stats-interval SECS]\n\
      \x20 kreach checkpoint --data-dir <dir>\n\
      \x20 kreach restore --data-dir <dir>\n\
      \x20 kreach bench-serve [--dataset D] [--scale F] [--k K] [--queries N]\n\
@@ -765,6 +766,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             "--slow-query-us",
             "--data-dir",
             "--checkpoint-every",
+            "--stats-interval",
         ],
     )?;
     let data_dir = flag_value(args, "--data-dir")?;
@@ -806,6 +808,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
     let max_inflight: usize = parse_flag_or(args, "--max-inflight", server_defaults.max_inflight)?;
     let max_body: usize = parse_flag_or(args, "--max-body", server_defaults.max_body_bytes)?;
     let slow_query_us: u64 = parse_flag_or(args, "--slow-query-us", server_defaults.slow_query_us)?;
+    let stats_interval: u64 = parse_flag_or(args, "--stats-interval", 0)?;
     let (trace, recorder) = parse_trace(args)?;
     // The slow-query log stores span trees per entry, so it needs a live
     // recorder even when --trace itself was not requested.
@@ -821,12 +824,20 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
     // the edge list again. `durable` keeps the concrete handles the
     // checkpointer and the durability sink need.
     let mut durable: Option<(Arc<kreach::store::Store>, Arc<DynamicKReachBackend>, u64)> = None;
+    // The observability bundle outlives the server handle: the CLI keeps
+    // clones for the stderr ticker, the drain-time flight-recorder dump,
+    // and the panic hook.
+    let obs_windows = Arc::new(kreach::obs::WindowStats::new());
+    let obs_events = Arc::new(kreach::obs::FlightRecorder::default());
     let backend: Arc<dyn kreach::engine::Reachability> = match data_dir {
         Some(dir) => {
             let store = Arc::new(
                 kreach::store::Store::open(dir, kreach::core::dynamic::DynamicOptions::default())
                     .map_err(|e| format!("cannot open data dir {dir}: {e}"))?,
             );
+            // Installed before restore so the restore itself lands in the
+            // flight recorder.
+            store.set_events(Arc::clone(&obs_events));
             let (backend, epoch) = if store.has_checkpoint().map_err(|e| e.to_string())? {
                 let report = store
                     .restore()
@@ -920,7 +931,20 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
         }
     }
     let info = engine.info();
-    let handle = kreach::server::start(
+    let flight_dump_dir = data_dir.map(std::path::PathBuf::from);
+    // A panic must not lose the flight recorder: dump it next to the data
+    // dir before the default hook aborts/unwinds the report.
+    if let Some(dir) = &flight_dump_dir {
+        let hook_events = Arc::clone(&obs_events);
+        let hook_dir = dir.clone();
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |panic_info| {
+            hook_events.record("panic", panic_info.to_string());
+            let _ = hook_events.dump_to(&hook_dir);
+            previous(panic_info);
+        }));
+    }
+    let handle = kreach::server::start_with_obs(
         Arc::clone(&engine),
         kreach::server::ServerConfig {
             host,
@@ -931,8 +955,41 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             slow_query_us,
             ..server_defaults
         },
+        kreach::server::ServerObs {
+            windows: Arc::clone(&obs_windows),
+            events: Arc::clone(&obs_events),
+            durability: durable
+                .as_ref()
+                .map(|(store, _, _)| store.durability_stats()),
+            flight_dump_dir: flight_dump_dir.clone(),
+        },
     )
     .map_err(|e| format!("failed to bind: {e}"))?;
+
+    // `--stats-interval SECS` prints a rolling-window ticker to stderr (the
+    // 10s window: wide enough to smooth batch arrivals, narrow enough to
+    // show a traffic change within one line or two).
+    let ticker_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    if stats_interval > 0 {
+        let windows = Arc::clone(&obs_windows);
+        let stop = Arc::clone(&ticker_stop);
+        std::thread::Builder::new()
+            .name("kreach-stats-ticker".to_string())
+            .spawn(move || {
+                let tick = std::time::Duration::from_millis(250);
+                let mut elapsed = std::time::Duration::ZERO;
+                let interval = std::time::Duration::from_secs(stats_interval);
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    elapsed += tick;
+                    if elapsed >= interval {
+                        elapsed = std::time::Duration::ZERO;
+                        eprintln!("kreach-obs: {}", windows.snapshot(10).ticker_line());
+                    }
+                }
+            })
+            .expect("failed to spawn stats ticker");
+    }
 
     // Printed before blocking (stdout is line-buffered) so scripts can read
     // the actual port back even with --port 0.
@@ -949,6 +1006,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
 
     // Blocks until a drain is requested over the wire (POST /shutdown).
     let report = handle.join();
+    ticker_stop.store(true, std::sync::atomic::Ordering::Release);
     if let Some(ckpt) = checkpointer.take() {
         ckpt.stop();
     }
@@ -957,6 +1015,25 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
         match store.checkpoint_with(|| kreach::store::engine_snapshot(&engine, dyn_backend)) {
             Ok(epoch) => println!("kreach-store: final checkpoint at epoch {epoch}"),
             Err(e) => eprintln!("kreach-store: final checkpoint failed: {e}"),
+        }
+    }
+    // The drain itself is the recorder's last event; then the whole ring
+    // goes to disk so a post-mortem can see what led up to the shutdown.
+    obs_events.record(
+        "drain",
+        format!(
+            "clean={} admitted={} queries={} mutations={}",
+            report.clean, report.metrics.admitted, report.metrics.queries, report.metrics.mutations,
+        ),
+    );
+    if let Some(dir) = &flight_dump_dir {
+        match obs_events.dump_to(dir) {
+            Ok(path) => println!(
+                "kreach-obs: flight recorder ({} events) dumped to {}",
+                obs_events.total(),
+                path.display()
+            ),
+            Err(e) => eprintln!("kreach-obs: flight-recorder dump failed: {e}"),
         }
     }
     print_slowest_traces(&recorder, trace);
