@@ -12,10 +12,14 @@
 //! Each client thread keeps one connection alive and issues `GET /reach`
 //! requests (or `POST /batch` pipelines with `--batch N`), reconnecting
 //! when the server sheds it with a 503. `--updates N` mixes in N mutation
-//! posts per client (requires a `dynamic` backend server). `--smoke` runs a
-//! small deterministic load and **fails the process** on any response that
-//! is neither 2xx nor a deliberate admission-control 503, on malformed
-//! answer lines, or on a batch answered out of order.
+//! posts per client (requires a `dynamic` backend server); a 503'd update
+//! is retried with capped exponential backoff floored at the server's
+//! `Retry-After`, so a temporarily degraded (read-only) server just slows
+//! the loadgen down instead of losing writes. `--smoke` runs a small
+//! deterministic load and **fails the process** on any response that is
+//! neither 2xx nor a deliberate admission-control 503, on malformed answer
+//! lines, on a batch answered out of order, or on an update that never
+//! landed despite retries.
 //!
 //! ```text
 //! net_throughput --addr 127.0.0.1:7199 --clients 8 --requests 2000
@@ -128,6 +132,8 @@ struct ClientResult {
     shed: u64,
     errors: u64,
     queries: u64,
+    update_retries: u64,
+    updates_dropped: u64,
     latencies: LatencyHistogram,
     failures: Vec<String>,
 }
@@ -189,6 +195,8 @@ fn main() {
         total.shed += result.shed;
         total.errors += result.errors;
         total.queries += result.queries;
+        total.update_retries += result.update_retries;
+        total.updates_dropped += result.updates_dropped;
         total.latencies.merge(&result.latencies);
         total.failures.extend(result.failures);
     }
@@ -203,6 +211,12 @@ fn main() {
          ({} ok, {} shed, {} errors) in {elapsed:.3}s",
         config.clients, config.requests, total.queries, total.ok, total.shed, total.errors,
     );
+    if config.updates > 0 {
+        println!(
+            "  updates: {} retried after 503 (Retry-After honored), {} dropped",
+            total.update_retries, total.updates_dropped
+        );
+    }
     println!(
         "  {qps:.0} q/s end-to-end · p50 {:.1}µs · p99 {:.1}µs · mean {:.1}µs",
         total.latencies.p50_micros(),
@@ -211,7 +225,8 @@ fn main() {
     );
     println!(
         "{{\"clients\":{},\"requests_per_client\":{},\"queries\":{},\"ok\":{},\"shed\":{},\
-         \"errors\":{},\"elapsed_secs\":{elapsed:.6},\"qps\":{qps:.1},\
+         \"errors\":{},\"update_retries\":{},\"updates_dropped\":{},\
+         \"elapsed_secs\":{elapsed:.6},\"qps\":{qps:.1},\
          \"p50_micros\":{:.3},\"p99_micros\":{:.3}}}",
         config.clients,
         config.requests,
@@ -219,6 +234,8 @@ fn main() {
         total.ok,
         total.shed,
         total.errors,
+        total.update_retries,
+        total.updates_dropped,
         total.latencies.p50_micros(),
         total.latencies.p99_micros(),
     );
@@ -299,6 +316,13 @@ fn main() {
         }
         if total.errors > 0 {
             eprintln!("SMOKE FAIL: {} non-2xx/non-503 responses", total.errors);
+            failed = true;
+        }
+        if total.updates_dropped > 0 {
+            eprintln!(
+                "SMOKE FAIL: {} updates never landed despite Retry-After backoff",
+                total.updates_dropped
+            );
             failed = true;
         }
         if total.ok == 0 {
@@ -476,14 +500,16 @@ fn drive_client(
         }
     }
 
-    for _ in 0..config.updates {
-        if client.is_none() {
-            client = connect(&mut result);
-            if client.is_none() {
-                return result;
-            }
-        }
-        let conn = client.as_mut().expect("connected");
+    // Updates are not fire-and-forget: a 503 (admission shed or degraded
+    // mode) is retried with capped exponential backoff, floored at whatever
+    // `Retry-After` the server sent, until the update lands or the attempt
+    // budget runs out. `--smoke` treats a dropped update as a failure, so
+    // this loop is also the end-to-end proof that a degrade → recover cycle
+    // loses nothing the client was willing to wait for.
+    const UPDATE_ATTEMPTS: u32 = 8;
+    const BACKOFF_BASE: Duration = Duration::from_millis(50);
+    const BACKOFF_CAP: Duration = Duration::from_secs(2);
+    'updates: for _ in 0..config.updates {
         let u = rng.gen_range(0u32..n);
         let v = rng.gen_range(0u32..n);
         let op = if rng.gen_range(0u32..2) == 0 {
@@ -491,26 +517,66 @@ fn drive_client(
         } else {
             "-"
         };
-        match conn.post("/update", format!("{op} {u} {v}\n").as_bytes()) {
-            Ok(response) => {
-                match response.status {
-                    200 => result.ok += 1,
-                    503 => result.shed += 1,
-                    other => {
-                        result.errors += 1;
-                        if result.failures.len() < 10 {
-                            result.failures.push(format!(
-                                "client {idx}: update status {other}: {}",
-                                response.body_text().trim_end()
-                            ));
+        let body = format!("{op} {u} {v}\n");
+        let mut backoff = BACKOFF_BASE;
+        for attempt in 0..UPDATE_ATTEMPTS {
+            if client.is_none() {
+                client = connect(&mut result);
+                if client.is_none() {
+                    return result;
+                }
+            }
+            let conn = client.as_mut().expect("connected");
+            match conn.post("/update", body.as_bytes()) {
+                Ok(response) => {
+                    if response.close {
+                        client = None;
+                    }
+                    match response.status {
+                        200 => {
+                            result.ok += 1;
+                            continue 'updates;
+                        }
+                        503 => {
+                            result.shed += 1;
+                            if attempt + 1 == UPDATE_ATTEMPTS {
+                                break;
+                            }
+                            result.update_retries += 1;
+                            // Honor the server's Retry-After as a floor, then
+                            // back off exponentially with jitter so a fleet of
+                            // clients doesn't re-stampede a recovering server.
+                            let floor = Duration::from_secs(response.retry_after.unwrap_or(0));
+                            let jitter = Duration::from_millis(
+                                rng.gen_range(0..backoff.as_millis().max(4) as u64 / 4),
+                            );
+                            std::thread::sleep(floor.max(backoff + jitter).min(BACKOFF_CAP));
+                            backoff = (backoff * 2).min(BACKOFF_CAP);
+                        }
+                        other => {
+                            result.errors += 1;
+                            if result.failures.len() < 10 {
+                                result.failures.push(format!(
+                                    "client {idx}: update status {other}: {}",
+                                    response.body_text().trim_end()
+                                ));
+                            }
+                            continue 'updates;
                         }
                     }
                 }
-                if response.close {
+                Err(_) => {
+                    // Connection died; reconnect and burn one attempt.
                     client = None;
                 }
             }
-            Err(_) => client = None,
+        }
+        result.updates_dropped += 1;
+        if config.smoke && result.failures.len() < 10 {
+            result.failures.push(format!(
+                "client {idx}: update {:?} still 503 after {UPDATE_ATTEMPTS} attempts",
+                body.trim_end()
+            ));
         }
     }
     result

@@ -44,10 +44,13 @@ pub enum UpdateError {
         /// existing vertices are never growth).
         limit: usize,
     },
-    /// The batch was applied in memory but could not be made durable: the
-    /// engine's [`crate::DurabilitySink`] failed to persist it (full disk,
-    /// failing device). The caller must NOT treat the update as acknowledged
-    /// — on restart it may be lost.
+    /// The batch could not be made durable: the engine's
+    /// [`crate::DurabilitySink`] failed to persist it (full disk, failing
+    /// device), or the engine is already fenced read-only from an earlier
+    /// sink failure. The caller must NOT treat the update as acknowledged.
+    /// With a presence-answering backend (log-before-apply) the batch was
+    /// not applied in memory either; only the legacy apply-then-append path
+    /// can leave it applied-but-unacked.
     Durability {
         /// The underlying I/O failure, rendered.
         message: String,
@@ -73,7 +76,7 @@ impl std::fmt::Display for UpdateError {
             UpdateError::Durability { message } => {
                 write!(
                     f,
-                    "update applied in memory but could not be persisted \
+                    "update could not be persisted \
                      (do not treat it as acknowledged): {message}"
                 )
             }
@@ -169,6 +172,18 @@ pub trait Reachability: Send + Sync {
     fn top_sources(&self, n: usize) -> Vec<VertexId> {
         let _ = n;
         Vec::new()
+    }
+
+    /// Whether the directed edge `(u, v)` currently exists, or `None` when
+    /// the backend cannot answer cheaply (the default). The engine's
+    /// WAL-first ack path uses this to decide — *before* logging — whether
+    /// a batch will change anything: an `Insert` is effective iff `u != v`
+    /// and the edge is absent, a `Remove` iff it is present, and vertices
+    /// past [`Reachability::vertex_count`] have no edges. Backends that
+    /// answer must match their own `apply_updates` no-op semantics exactly.
+    fn has_edge(&self, u: VertexId, v: VertexId) -> Option<bool> {
+        let _ = (u, v);
+        None
     }
 
     /// The Algorithm-2 case (1–4) this backend *would* execute for the
@@ -404,6 +419,10 @@ impl Reachability for DynamicKReachBackend {
 
     fn query(&self, s: VertexId, t: VertexId, k: u32) -> bool {
         self.read().query_k(s, t, k)
+    }
+
+    fn has_edge(&self, u: VertexId, v: VertexId) -> Option<bool> {
+        Some(self.read().graph().has_edge(u, v))
     }
 
     fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<UpdateOutcome, UpdateError> {

@@ -14,6 +14,7 @@ use kreach_core::dynamic::UpdateStats;
 use kreach_graph::dynamic::EdgeUpdate;
 use kreach_obs::observe::{CLASSES, CLASS_LABELS, RESOLUTIONS, RESOLUTION_LABELS};
 use kreach_obs::{FlightRecorder, Recorder, WindowStats};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -321,6 +322,18 @@ pub trait DurabilitySink: Send + Sync {
     fn append(&self, epoch: u64, updates: &[EdgeUpdate]) -> std::io::Result<()>;
 }
 
+/// Why and since when the engine is refusing writes (serving reads only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedInfo {
+    /// The durability failure that triggered degraded mode, rendered.
+    pub cause: String,
+    /// Engine epoch when degraded mode was entered — the last epoch whose
+    /// updates are known durable.
+    pub since_epoch: u64,
+    /// Failed recovery probes since entering ([`BatchEngine::probe_durability`]).
+    pub probes: u64,
+}
+
 /// The concurrent batch query engine.
 ///
 /// Construction spawns the worker pool; [`BatchEngine::run`] then executes
@@ -360,6 +373,12 @@ pub struct BatchEngine {
     /// Retune trigger state and cumulative counters (trigger checks run once
     /// per batch, so a plain mutex costs nothing on the query path).
     accel_state: Mutex<AccelState>,
+    /// Fast fence for the update path: when set, the durability sink has
+    /// failed and [`BatchEngine::apply_updates`] refuses writes until a
+    /// [`BatchEngine::probe_durability`] proves the sink healthy again.
+    degraded_flag: AtomicBool,
+    /// Cause, entry epoch and probe count while degraded; `None` otherwise.
+    degraded: Mutex<Option<DegradedInfo>>,
 }
 
 /// Cumulative adaptive-retune bookkeeping (see
@@ -412,6 +431,8 @@ impl BatchEngine {
             events: Mutex::new(None),
             accel_budget: config.accel_budget,
             accel_state: Mutex::new(AccelState::default()),
+            degraded_flag: AtomicBool::new(false),
+            degraded: Mutex::new(None),
         };
         engine.prefetch_hot_pairs();
         engine
@@ -584,22 +605,166 @@ impl BatchEngine {
         }
     }
 
+    /// Whether the engine is in read-only degraded mode (its durability
+    /// sink failed and has not yet been proven healthy again). A relaxed
+    /// atomic load — safe to poll from request handlers.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_flag.load(Ordering::Relaxed)
+    }
+
+    /// Cause, entry epoch and failed-probe count while degraded; `None`
+    /// when the engine is read-write.
+    pub fn degraded(&self) -> Option<DegradedInfo> {
+        self.degraded
+            .lock()
+            .expect("degraded state poisoned")
+            .clone()
+    }
+
+    /// Blocks the update path for the lifetime of the returned guard — no
+    /// batch can append to the WAL or bump the epoch while it is held. The
+    /// checkpointer holds this across the WAL rotation + epoch read so a
+    /// concurrent batch cannot log a record the rotation would orphan.
+    pub fn quiesce_updates(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.update_lock.lock().expect("update lock poisoned")
+    }
+
+    /// Flips into degraded (read-only) mode, recording `cause`. Idempotent:
+    /// repeated failures while already degraded keep the first cause.
+    fn enter_degraded(&self, cause: String) {
+        let mut slot = self.degraded.lock().expect("degraded state poisoned");
+        if slot.is_none() {
+            let since_epoch = self.cache.epoch();
+            *slot = Some(DegradedInfo {
+                cause: cause.clone(),
+                since_epoch,
+                probes: 0,
+            });
+            self.degraded_flag.store(true, Ordering::Relaxed);
+            drop(slot);
+            self.flight_event("degraded", format!("epoch={since_epoch} cause={cause}"));
+        }
+    }
+
+    /// Attempts to leave degraded mode by proving the durability sink
+    /// healthy: appends an empty record at the current epoch (empty records
+    /// replay as no-ops, so a successful probe costs one durable fsync and
+    /// changes nothing). Returns `Ok(true)` when the engine transitioned
+    /// back to read-write, `Ok(false)` when it was not degraded, and
+    /// [`UpdateError::Durability`] — staying degraded, probe counted — when
+    /// the sink is still failing.
+    pub fn probe_durability(&self) -> Result<bool, UpdateError> {
+        let _serialized = self.update_lock.lock().expect("update lock poisoned");
+        if !self.degraded_flag.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        let sink = self
+            .durability
+            .lock()
+            .expect("durability sink poisoned")
+            .clone();
+        if let Some(sink) = sink {
+            if let Err(e) = sink.append(self.cache.epoch(), &[]) {
+                let mut slot = self.degraded.lock().expect("degraded state poisoned");
+                if let Some(info) = slot.as_mut() {
+                    info.probes += 1;
+                }
+                return Err(UpdateError::Durability {
+                    message: e.to_string(),
+                });
+            }
+        }
+        let recovered = self
+            .degraded
+            .lock()
+            .expect("degraded state poisoned")
+            .take();
+        self.degraded_flag.store(false, Ordering::Relaxed);
+        if let Some(info) = recovered {
+            self.flight_event(
+                "recovered",
+                format!(
+                    "epoch={} probes={} cause={}",
+                    self.cache.epoch(),
+                    info.probes,
+                    info.cause
+                ),
+            );
+        }
+        Ok(true)
+    }
+
+    /// Decides — without mutating anything — whether `updates` will change
+    /// the graph, simulating edge presence over [`Reachability::has_edge`]
+    /// with an in-batch overlay (later updates see earlier ones). `None`
+    /// when the backend cannot answer presence queries; those take the
+    /// legacy append-after-apply path. The simulation must agree exactly
+    /// with the backend's own no-op semantics: an insert changes the graph
+    /// iff `u != v` and the edge is absent (out-of-range endpoints grow the
+    /// vertex set, so they are just "absent"), a remove iff it is present.
+    fn batch_effectiveness(&self, updates: &[EdgeUpdate]) -> Option<bool> {
+        let mut overlay: std::collections::HashMap<(u32, u32), bool> =
+            std::collections::HashMap::new();
+        let mut effective = false;
+        for update in updates {
+            let (u, v) = update.endpoints();
+            let present = match overlay.get(&(u.0, v.0)) {
+                Some(&p) => p,
+                None => self.backend.has_edge(u, v)?,
+            };
+            let changes = if update.is_insert() {
+                u != v && !present
+            } else {
+                present
+            };
+            if changes {
+                effective = true;
+                overlay.insert((u.0, v.0), update.is_insert());
+            }
+        }
+        Some(effective)
+    }
+
     /// Applies a batch of edge mutations through the backend and, if any of
     /// them changed the graph, bumps the result cache's epoch so no
     /// post-mutation lookup can serve a pre-mutation answer.
     ///
+    /// **Ack order.** With a durability sink installed and a backend that
+    /// answers [`Reachability::has_edge`], the batch is appended to the log
+    /// (fsync) *before* it is applied in memory: a durability failure
+    /// therefore leaves the served state exactly as it was — the failed,
+    /// unacknowledged batch is never visible to queries — and flips the
+    /// engine into read-only degraded mode until
+    /// [`BatchEngine::probe_durability`] proves the sink healthy. Backends
+    /// without presence queries keep the legacy apply-then-append order
+    /// (their no-op structure is unknowable up front).
+    ///
     /// Errors with [`UpdateError::Unsupported`] when the backend serves an
-    /// immutable index (every backend except the dynamic one), and with
+    /// immutable index (every backend except the dynamic one), with
     /// [`UpdateError::VertexLimitExceeded`] — before anything is applied —
     /// when an update names a vertex at or past
     /// [`EngineConfig::max_vertices`] (vertex growth allocates per-vertex
-    /// state, so an absurd id must not reach the storage layer).
+    /// state, so an absurd id must not reach the storage layer), and with
+    /// [`UpdateError::Durability`] when the engine is degraded or the sink
+    /// fails.
     pub fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<UpdateOutcome, UpdateError> {
         // One update batch at a time: the backend's write lock already
         // serializes the applies, but the epoch bump and the durability
         // append must stay in the same order as the applies or a replayed
         // log could reconstruct a different state.
         let _serialized = self.update_lock.lock().expect("update lock poisoned");
+        if self.degraded_flag.load(Ordering::Relaxed) {
+            let cause = self
+                .degraded
+                .lock()
+                .expect("degraded state poisoned")
+                .as_ref()
+                .map(|d| d.cause.clone())
+                .unwrap_or_default();
+            return Err(UpdateError::Durability {
+                message: format!("engine is degraded (read-only) after a storage fault: {cause}"),
+            });
+        }
         // Edges among already-existing vertices are always legitimate, so
         // the guard only rejects *growth* past the limit.
         let limit = self.max_vertices.max(self.backend.vertex_count());
@@ -618,7 +783,43 @@ impl BatchEngine {
             }
         }
         let mut span = self.recorder.span("engine.update");
+        let sink = self
+            .durability
+            .lock()
+            .expect("durability sink poisoned")
+            .clone();
+        let effectiveness = if sink.is_some() {
+            self.batch_effectiveness(updates)
+        } else {
+            // No sink: ordering is moot, skip the presence scan.
+            None
+        };
+        if let (Some(sink), Some(true)) = (sink.as_ref(), effectiveness) {
+            // Log-before-apply: the batch will bump the epoch to exactly
+            // `epoch + 1` (one bump per applied batch), so its record can be
+            // written — and fsynced — under that epoch before memory
+            // changes. If the disk says no, nothing was applied: the failed
+            // batch is invisible, the ack never happens, and the engine
+            // fences itself read-only.
+            let next_epoch = self.cache.epoch() + 1;
+            if let Err(e) = sink.append(next_epoch, updates) {
+                self.enter_degraded(e.to_string());
+                return Err(UpdateError::Durability {
+                    message: e.to_string(),
+                });
+            }
+        }
         let mut outcome = self.backend.apply_updates(updates)?;
+        if let Some(decided) = effectiveness {
+            // The pre-filter must agree with what the backend actually did:
+            // a miss in either direction is a logged-but-unapplied or
+            // applied-but-unlogged batch.
+            debug_assert_eq!(
+                decided,
+                outcome.stats.applied() > 0,
+                "batch_effectiveness disagreed with the backend apply"
+            );
+        }
         self.update_totals
             .lock()
             .expect("update totals poisoned")
@@ -643,18 +844,21 @@ impl BatchEngine {
                 ),
             );
         }
-        if outcome.stats.applied() > 0 {
-            // Fsync-before-ack: the batch must be durable under its epoch
-            // before this returns success, because the server acknowledges
-            // `POST /update` off this Result — success must imply the
-            // update survives a crash. No-op batches are not logged (they
-            // change nothing; replay does not need them).
-            let sink = self.durability.lock().expect("durability sink poisoned");
+        if outcome.stats.applied() > 0 && effectiveness.is_none() {
+            // Legacy order for backends without presence queries: the batch
+            // is already applied, so a sink failure here cannot be unwound —
+            // it surfaces as an un-acked (and possibly lost-on-restart)
+            // update, and the engine fences itself. Fsync-before-ack still
+            // holds: the server acknowledges off this Result. No-op batches
+            // are not logged (they change nothing; replay does not need
+            // them).
             if let Some(sink) = sink.as_ref() {
-                sink.append(outcome.epoch, updates)
-                    .map_err(|e| UpdateError::Durability {
+                if let Err(e) = sink.append(outcome.epoch, updates) {
+                    self.enter_degraded(e.to_string());
+                    return Err(UpdateError::Durability {
                         message: e.to_string(),
-                    })?;
+                    });
+                }
             }
         }
         if span.is_recording() {
@@ -815,6 +1019,96 @@ impl BatchEngine {
                 ),
             );
         }
+    }
+}
+
+/// Handle on the background degraded-mode recovery prober; stops and joins
+/// on [`DegradedProber::stop`] or drop.
+pub struct DegradedProber {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DegradedProber {
+    /// Signals the thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+impl Drop for DegradedProber {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+/// Spawns the degraded-mode recovery loop: while the engine is read-write
+/// it idles (one relaxed atomic load per tick); once degraded it calls
+/// [`BatchEngine::probe_durability`] with capped exponential backoff plus
+/// up to 25% jitter between failed probes, starting at `min_delay` and
+/// capping at `max_delay`. The first successful probe restores read-write
+/// serving automatically — no operator action, no restart.
+pub fn spawn_degraded_prober(
+    engine: Arc<BatchEngine>,
+    min_delay: Duration,
+    max_delay: Duration,
+) -> DegradedProber {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let min_delay = min_delay.max(Duration::from_millis(10));
+    let max_delay = max_delay.max(min_delay);
+    let handle = std::thread::Builder::new()
+        .name("kreach-degraded-probe".into())
+        .spawn(move || {
+            // xorshift64 jitter state, seeded off the clock once.
+            let mut rng = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64)
+                .unwrap_or(0)
+                | 1;
+            let mut delay = min_delay;
+            loop {
+                if stop_flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                if !engine.is_degraded() {
+                    delay = min_delay;
+                    std::thread::sleep(Duration::from_millis(25));
+                    continue;
+                }
+                match engine.probe_durability() {
+                    Ok(_) => delay = min_delay,
+                    Err(_) => {
+                        // Sleep in short ticks so stop() stays responsive,
+                        // then double (capped) with jitter so a fleet over
+                        // one sick disk does not probe in lockstep.
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        let jitter_nanos = (delay.as_nanos() as u64 / 4).max(1);
+                        let wait = delay + Duration::from_nanos(rng % jitter_nanos);
+                        let deadline = Instant::now() + wait;
+                        while Instant::now() < deadline {
+                            if stop_flag.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(25).min(wait));
+                        }
+                        delay = (delay * 2).min(max_delay);
+                    }
+                }
+            }
+        })
+        .expect("spawn degraded prober thread");
+    DegradedProber {
+        stop,
+        handle: Some(handle),
     }
 }
 

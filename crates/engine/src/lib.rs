@@ -64,7 +64,7 @@ pub use batch::{Query, QueryBatch};
 pub use cache::{CacheCounters, ResultCache};
 pub use casestats::CaseTally;
 pub use engine::{
-    BatchEngine, BatchOutcome, DurabilitySink, EngineConfig, EngineError, EngineInfo, EngineStats,
-    ACCEL_RETUNE_INTERVAL,
+    spawn_degraded_prober, BatchEngine, BatchOutcome, DegradedInfo, DegradedProber, DurabilitySink,
+    EngineConfig, EngineError, EngineInfo, EngineStats, ACCEL_RETUNE_INTERVAL,
 };
 pub use histogram::LatencyHistogram;

@@ -82,6 +82,15 @@ fn fan_in_batch(n_vertices: u32, k: u32, copies: usize) -> QueryBatch {
 
 #[test]
 fn warmed_engine_serves_batches_without_per_query_allocations() {
+    // Arm a storage fault plan in the environment before anything is built.
+    // The serving path must never read it: fault injection lives behind the
+    // storage io seam (and is compiled out of plain release builds
+    // entirely), so the allocation profile below must be identical with a
+    // plan armed — zero hot-path cost.
+    std::env::set_var(
+        "KREACH_FAILPOINTS",
+        "*.write=err; wal.append.fsync=enospc@p0.5",
+    );
     let k = 3;
     let g = Arc::new(
         GeneratorSpec::PowerLaw {

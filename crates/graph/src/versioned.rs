@@ -142,6 +142,16 @@ impl VersionedAdjGraph {
         &self.inn[v.index()]
     }
 
+    /// Whether the directed edge `(u, v)` is present. Out-of-range vertices
+    /// are simply absent (`false`), mirroring [`Self::remove_edge`].
+    /// `O(log outDeg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u.index() < self.out.len()
+            && v.index() < self.out.len()
+            && self.out[u.index()].binary_search(&v).is_ok()
+    }
+
     /// Grows the vertex set to at least `n` vertices (fresh vertices share
     /// the empty segment; no per-vertex allocation). Growth is an applied
     /// mutation: the version stamp bumps, so version-keyed consumers cannot

@@ -96,6 +96,11 @@ pub struct DurabilityStats {
     pub replayed_batches: AtomicU64,
     /// WAL operations replayed by restore.
     pub replayed_ops: AtomicU64,
+    /// Storage faults injected by the fault-injection io (always 0 in
+    /// production; non-zero only under `KREACH_FAILPOINTS`).
+    pub faults_injected: AtomicU64,
+    /// Checkpoint attempts that failed (and will be retried with backoff).
+    pub checkpoint_failures: AtomicU64,
 }
 
 impl DurabilityStats {

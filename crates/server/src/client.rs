@@ -20,6 +20,9 @@ pub struct HttpResponse {
     /// Whether the server announced `Connection: close` (the caller must
     /// reconnect before the next request).
     pub close: bool,
+    /// Seconds from a `Retry-After` header, when the server sent one
+    /// (503 responses do — degraded mode, admission shed).
+    pub retry_after: Option<u64>,
 }
 
 impl HttpResponse {
@@ -112,6 +115,7 @@ impl BlockingClient {
             })?;
         let mut content_length = 0usize;
         let mut close = false;
+        let mut retry_after = None;
         loop {
             let line = read_one_line(&mut self.reader)?.ok_or_else(|| {
                 std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof inside headers")
@@ -131,6 +135,9 @@ impl BlockingClient {
                     })?;
                 } else if name == "connection" && value.eq_ignore_ascii_case("close") {
                     close = true;
+                } else if name == "retry-after" {
+                    // Only the delta-seconds form; a date form is ignored.
+                    retry_after = value.parse::<u64>().ok();
                 }
             }
         }
@@ -140,6 +147,7 @@ impl BlockingClient {
             status,
             body,
             close,
+            retry_after,
         })
     }
 }

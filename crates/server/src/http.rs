@@ -326,18 +326,36 @@ pub fn write_response<W: Write>(
     body: &[u8],
     close: bool,
 ) -> std::io::Result<usize> {
+    write_response_with(writer, status, content_type, body, close, &[])
+}
+
+/// [`write_response`] with extra `(name, value)` headers appended after the
+/// fixed ones — how 503 responses carry `Retry-After` without widening
+/// every call site. Same single-write assembly.
+pub fn write_response_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<usize> {
     RESPONSE_BUF.with(|cell| {
         let mut message = cell.borrow_mut();
         message.clear();
         write!(
             message,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             status,
             reason(status),
             content_type,
             body.len(),
             if close { "close" } else { "keep-alive" },
         )?;
+        for (name, value) in extra_headers {
+            write!(message, "{name}: {value}\r\n")?;
+        }
+        message.extend_from_slice(b"\r\n");
         message.extend_from_slice(body);
         writer.write_all(&message)?;
         writer.flush()?;

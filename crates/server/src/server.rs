@@ -113,6 +113,11 @@ pub struct ServerConfig {
     /// `GET /stats?slow=1` and counted by `kreach_slow_queries_total`).
     /// `0` disables the log.
     pub slow_query_us: u64,
+    /// Replay-debt ceiling for `/healthz`: when the WAL holds more than
+    /// this many epochs past the last checkpoint, health flips to 503
+    /// `"degraded"` (the checkpointer is falling behind; a crash now pays
+    /// that much replay). `None` disables the check.
+    pub max_wal_lag: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +130,7 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             read_timeout: Duration::from_secs(10),
             slow_query_us: 0,
+            max_wal_lag: None,
         }
     }
 }
@@ -450,7 +456,14 @@ fn shed(shared: &Arc<Shared>, mut stream: TcpStream) {
         shared.inflight.load(Ordering::Relaxed),
         shared.config.max_inflight
     );
-    if let Ok(n) = http::write_response(&mut stream, 503, TEXT, body.as_bytes(), true) {
+    if let Ok(n) = http::write_response_with(
+        &mut stream,
+        503,
+        TEXT,
+        body.as_bytes(),
+        true,
+        extra_headers(503),
+    ) {
         shared
             .metrics
             .bytes_out
@@ -531,6 +544,17 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
+/// Extra headers for a status: every 503 — shed, degraded `/update`,
+/// unhealthy `/healthz` — carries `Retry-After: 1` so well-behaved clients
+/// back off instead of hammering a server that already said "not now".
+fn extra_headers(status: u16) -> &'static [(&'static str, &'static str)] {
+    if status == 503 {
+        &[("Retry-After", "1")]
+    } else {
+        &[]
+    }
+}
+
 /// Writes a response, charging byte and status counters. Used for protocol
 /// errors discovered outside normal routing.
 fn respond(
@@ -541,7 +565,14 @@ fn respond(
     body: &[u8],
     close: bool,
 ) {
-    if let Ok(n) = http::write_response(writer, status, content_type, body, close) {
+    if let Ok(n) = http::write_response_with(
+        writer,
+        status,
+        content_type,
+        body,
+        close,
+        extra_headers(status),
+    ) {
         shared
             .metrics
             .bytes_out
@@ -619,7 +650,14 @@ fn serve_http_request(
     // A HEAD client will not read a response body, so any body bytes would
     // bleed into its next response: always close after answering one.
     let close = request.close || shared.is_shutting_down() || request.method == "HEAD";
-    if let Ok(n) = http::write_response(writer, status, content_type, &body, close) {
+    if let Ok(n) = http::write_response_with(
+        writer,
+        status,
+        content_type,
+        &body,
+        close,
+        extra_headers(status),
+    ) {
         shared
             .metrics
             .bytes_out
@@ -656,7 +694,10 @@ fn route(
     peer_is_loopback: bool,
 ) -> (u16, &'static str, Vec<u8>) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, JSON, healthz_json(shared).into_bytes()),
+        ("GET", "/healthz") => {
+            let (status, body) = healthz_doc(shared);
+            (status, JSON, body.into_bytes())
+        }
         ("GET", "/metrics") => (200, PROM, metrics_text(shared).into_bytes()),
         ("GET", "/stats") => {
             // `?slow=1` swaps the stats document for the slow-query ring —
@@ -858,7 +899,12 @@ fn endpoint_update(shared: &Arc<Shared>, request: &Request) -> (u16, &'static st
                         return (409, TEXT, format!("{body}error: {e}\n").into_bytes())
                     }
                     Err(e @ UpdateError::Durability { .. }) => {
-                        return (500, TEXT, format!("{body}error: {e}\n").into_bytes())
+                        // The update was refused (or could not be made
+                        // durable) because storage is failing; the engine is
+                        // now read-only. 503 + Retry-After tells well-behaved
+                        // writers to back off and retry — the degraded prober
+                        // restores read-write serving once the disk recovers.
+                        return (503, TEXT, format!("{body}error: {e}\n").into_bytes());
                     }
                     Err(e) => return (400, TEXT, format!("{body}error: {e}\n").into_bytes()),
                 }
@@ -972,31 +1018,93 @@ fn stats_json(shared: &Arc<Shared>) -> String {
 /// (when a durable store backs the engine) how stale the durable state is:
 /// checkpoint age, the epoch it captured, the live WAL segment count, and
 /// how many epochs sit in the WAL past that checkpoint.
-fn healthz_json(shared: &Arc<Shared>) -> String {
+///
+/// The status code tracks the body: `200` with `"status":"ok"` while the
+/// engine is read-write and replay debt is within bounds, `503` with
+/// `"status":"degraded"` plus a `"cause"` field when the engine has fenced
+/// itself read-only after a storage fault, or when `wal_lag` exceeds
+/// [`ServerConfig::max_wal_lag`]. The schema stays back-compatible: every
+/// pre-existing field keeps its name and type; degraded responses only
+/// *add* fields.
+fn healthz_doc(shared: &Arc<Shared>) -> (u16, String) {
     let info = shared.engine.info();
+    let mut wal_lag = None;
     let durability = match &shared.obs.durability {
         Some(d) => {
             let age = match d.checkpoint_age_secs() {
                 Some(age) => format!("{age:.3}"),
                 None => "null".to_string(),
             };
+            let lag = d.wal_lag(info.epoch);
+            wal_lag = Some(lag);
             format!(
                 ",\"checkpoint_age_secs\":{age},\"last_checkpoint_epoch\":{},\
-                 \"wal_segments\":{},\"wal_lag\":{}",
+                 \"wal_segments\":{},\"wal_lag\":{lag}",
                 d.last_checkpoint_epoch.load(Ordering::Relaxed),
                 d.wal_segments.load(Ordering::Relaxed),
-                d.wal_lag(info.epoch),
             )
         }
         None => String::new(),
     };
-    format!(
-        "{{\"status\":\"ok\",\"backend\":\"{}\",\"epoch\":{},\"uptime_secs\":{:.3}{}}}\n",
+    let degraded = shared.engine.degraded();
+    let lag_breach = match (shared.config.max_wal_lag, wal_lag) {
+        (Some(max), Some(lag)) => lag > max,
+        _ => false,
+    };
+    let (status, state, extra) = if let Some(d) = degraded {
+        (
+            503,
+            "degraded",
+            format!(
+                ",\"cause\":{},\"degraded_since_epoch\":{},\"degraded_probes\":{}",
+                json_string(&d.cause),
+                d.since_epoch,
+                d.probes
+            ),
+        )
+    } else if lag_breach {
+        (
+            503,
+            "degraded",
+            format!(
+                ",\"cause\":{}",
+                json_string(&format!(
+                    "wal_lag {} exceeds --max-wal-lag {}",
+                    wal_lag.unwrap_or(0),
+                    shared.config.max_wal_lag.unwrap_or(0)
+                ))
+            ),
+        )
+    } else {
+        (200, "ok", String::new())
+    };
+    let body = format!(
+        "{{\"status\":\"{state}\",\"backend\":\"{}\",\"epoch\":{},\"uptime_secs\":{:.3}{durability}{extra}}}\n",
         info.backend,
         info.epoch,
         shared.snapshot().uptime_secs,
-        durability,
-    )
+    );
+    (status, body)
+}
+
+/// Renders `s` as a JSON string literal (escaping quotes, backslashes and
+/// control bytes — fault causes carry arbitrary io error text).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// The `/metrics` document: every serving counter in Prometheus text
@@ -1419,7 +1527,29 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
             "Epochs in the write-ahead log past the last checkpoint.",
             d.wal_lag(info.epoch) as f64,
         );
+        text.counter(
+            "kreach_checkpoint_failures_total",
+            "Checkpoint attempts that failed (retried with backoff).",
+            d.checkpoint_failures.load(Ordering::Relaxed),
+        );
+        text.counter(
+            "kreach_faults_injected_total",
+            "Storage faults injected by the fault-injection io (0 in production).",
+            d.faults_injected.load(Ordering::Relaxed),
+        );
     }
+
+    // Degraded-mode fence: 1 while the engine is read-only after a
+    // durability failure, 0 while serving read-write.
+    text.gauge(
+        "kreach_degraded",
+        "Whether the engine is in read-only degraded mode (1) or read-write (0).",
+        if shared.engine.is_degraded() {
+            1.0
+        } else {
+            0.0
+        },
+    );
 
     // Flight recorder, slow-query log, and liveness.
     text.counter(

@@ -97,16 +97,30 @@ pub fn save_checkpoint(
     epoch: u64,
     path: impl AsRef<Path>,
 ) -> Result<CheckpointWrite, StorageError> {
+    save_checkpoint_io(&crate::io::RealIo, state, epoch, path.as_ref())
+}
+
+/// [`save_checkpoint`], routed through an io seam (sites
+/// `checkpoint.create`, `checkpoint.write`, `checkpoint.fsync`). The
+/// container is rendered fully in memory first, so an injected write fault
+/// tears the file at a byte boundary the loader must reject — exactly what
+/// a real ENOSPC mid-checkpoint leaves behind.
+pub fn save_checkpoint_io(
+    io_seam: &dyn crate::io::StorageIo,
+    state: &DynamicKReach,
+    epoch: u64,
+    path: &Path,
+) -> Result<CheckpointWrite, StorageError> {
     let write_start = std::time::Instant::now();
-    let file = std::fs::File::create(path)?;
-    let mut w = io::BufWriter::new(file);
-    write_checkpoint(state, epoch, &mut w)?;
-    w.flush()?;
+    let mut bytes = Vec::new();
+    write_checkpoint(state, epoch, &mut bytes)?;
+    let mut file = io_seam.create("checkpoint.create", path)?;
+    io_seam.write_all("checkpoint.write", &mut file, &bytes)?;
     let write_nanos = write_start.elapsed().as_nanos() as u64;
     let sync_start = std::time::Instant::now();
-    w.get_ref().sync_all()?;
+    io_seam.fsync("checkpoint.fsync", &file)?;
     Ok(CheckpointWrite {
-        bytes: w.get_ref().metadata()?.len(),
+        bytes: bytes.len() as u64,
         write_nanos,
         sync_nanos: sync_start.elapsed().as_nanos() as u64,
     })

@@ -1,0 +1,533 @@
+//! Deterministic storage-fault injection: a parsed fault plan driving an
+//! injectable [`StorageIo`].
+//!
+//! A **fault plan** is a `;`-separated list of clauses (the
+//! `KREACH_FAILPOINTS` env var / `kreach serve --failpoints` flag):
+//!
+//! ```text
+//! wal.append.fsync=err@3          EIO on the 3rd hit of that site (one-shot)
+//! checkpoint.rename=torn          every rename at that site is abandoned
+//! *.write=enospc@p0.05            every write fails with ENOSPC at p=0.05
+//! crashpoint:checkpoint.before_manifest   simulated crash at that point
+//! seed:42                         seed for the probability draws
+//! ```
+//!
+//! Grammar: `site=action[@trigger]` | `crashpoint:<name>[@trigger]` |
+//! `seed:<n>`. Actions are `err` (EIO), `enospc` (short write, then a
+//! storage-full error) and `torn` (short write / abandoned rename, then
+//! EIO). Triggers are `@N` (the Nth hit of this clause, one-shot), `@pX`
+//! (probability `X` per hit, deterministic under `seed`), or absent (every
+//! hit). A site pattern is an exact site name, `*suffix`, `prefix*`, or
+//! `*`.
+//!
+//! Once a crashpoint fires, **every** later operation on the same
+//! [`FaultIo`] fails: the process "died" there, and the harness restarts it
+//! by reopening the directory with a fresh io.
+
+use crate::io::{RealIo, StorageIo};
+use kreach_obs::DurabilityStats;
+use std::fs::File;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What an armed fault does to the operation it fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail with an I/O error, performing nothing.
+    Err,
+    /// Out of space: a short write (half the bytes land), then a
+    /// storage-full error.
+    Enospc,
+    /// A torn operation: a short write / abandoned rename, then an I/O
+    /// error. Leaves partial garbage behind, like a crash mid-operation.
+    Torn,
+    /// A simulated crash (only meaningful on `crashpoint:` clauses).
+    Crash,
+}
+
+/// When a clause fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultTrigger {
+    /// Every hit of the site.
+    Always,
+    /// Exactly the Nth hit (1-based), then never again.
+    Nth(u64),
+    /// Each hit independently with this probability (deterministic under
+    /// the plan's seed).
+    Prob(f64),
+}
+
+/// One parsed clause of a fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultClause {
+    /// Site pattern: exact, `*suffix`, `prefix*`, or `*`.
+    pub pattern: String,
+    /// What happens when the clause fires.
+    pub action: FaultAction,
+    /// When it fires.
+    pub trigger: FaultTrigger,
+}
+
+impl FaultClause {
+    fn matches(&self, site: &str) -> bool {
+        let p = self.pattern.as_str();
+        if p == "*" {
+            return true;
+        }
+        if let Some(suffix) = p.strip_prefix('*') {
+            return site.ends_with(suffix);
+        }
+        if let Some(prefix) = p.strip_suffix('*') {
+            return site.starts_with(prefix);
+        }
+        site == p
+    }
+}
+
+/// A parsed fault plan: the clauses plus the seed for probability draws.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// The clauses, in plan order; the first firing clause wins.
+    pub clauses: Vec<FaultClause>,
+    /// Seed for `@pX` probability draws (`seed:<n>`; defaults to 0).
+    pub seed: u64,
+}
+
+fn parse_trigger(text: &str) -> Result<FaultTrigger, String> {
+    if let Some(p) = text.strip_prefix('p') {
+        let p: f64 = p
+            .parse()
+            .map_err(|_| format!("bad probability {text:?} (want pX with X in [0,1])"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("probability {p} outside [0,1]"));
+        }
+        return Ok(FaultTrigger::Prob(p));
+    }
+    let n: u64 = text
+        .parse()
+        .map_err(|_| format!("bad trigger {text:?} (want N or pX)"))?;
+    if n == 0 {
+        return Err("trigger @0 never fires; hits are 1-based".into());
+    }
+    Ok(FaultTrigger::Nth(n))
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for raw in text.split(';') {
+            let clause = raw.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(seed) = clause.strip_prefix("seed:") {
+                plan.seed = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad seed {seed:?}"))?;
+                continue;
+            }
+            if let Some(spec) = clause.strip_prefix("crashpoint:") {
+                let (name, trigger) = match spec.split_once('@') {
+                    Some((name, t)) => (name, parse_trigger(t)?),
+                    None => (spec, FaultTrigger::Always),
+                };
+                if name.is_empty() {
+                    return Err("crashpoint: needs a name".into());
+                }
+                plan.clauses.push(FaultClause {
+                    pattern: name.to_string(),
+                    action: FaultAction::Crash,
+                    trigger,
+                });
+                continue;
+            }
+            let (pattern, rest) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("clause {clause:?} is not site=action or crashpoint:"))?;
+            let (action, trigger) = match rest.split_once('@') {
+                Some((a, t)) => (a, parse_trigger(t)?),
+                None => (rest, FaultTrigger::Always),
+            };
+            let action = match action {
+                "err" => FaultAction::Err,
+                "enospc" => FaultAction::Enospc,
+                "torn" => FaultAction::Torn,
+                other => {
+                    return Err(format!(
+                        "unknown action {other:?} (want err, enospc or torn)"
+                    ))
+                }
+            };
+            if pattern.is_empty() {
+                return Err(format!("clause {clause:?} has an empty site pattern"));
+            }
+            plan.clauses.push(FaultClause {
+                pattern: pattern.to_string(),
+                action,
+                trigger,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+/// Per-clause runtime state: hit counter + whether a one-shot already fired.
+struct ClauseState {
+    clause: FaultClause,
+    hits: AtomicU64,
+    fired: AtomicBool,
+}
+
+/// The injectable [`StorageIo`]: delegates to [`RealIo`] except where the
+/// fault plan says otherwise.
+pub struct FaultIo {
+    real: RealIo,
+    clauses: Vec<ClauseState>,
+    /// xorshift64 state for `@pX` draws; deterministic under the seed.
+    rng: Mutex<u64>,
+    /// Set by a fired crashpoint; everything fails once set.
+    crashed: AtomicBool,
+    injected: AtomicU64,
+    stats: Mutex<Option<Arc<DurabilityStats>>>,
+}
+
+impl FaultIo {
+    /// Arms `plan` over the real filesystem backend.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultIo {
+            real: RealIo,
+            clauses: plan
+                .clauses
+                .into_iter()
+                .map(|clause| ClauseState {
+                    clause,
+                    hits: AtomicU64::new(0),
+                    fired: AtomicBool::new(false),
+                })
+                .collect(),
+            // xorshift64 needs a non-zero state.
+            rng: Mutex::new(plan_seed(plan.seed)),
+            crashed: AtomicBool::new(false),
+            injected: AtomicU64::new(0),
+            stats: Mutex::new(None),
+        }
+    }
+
+    /// Whether a crashpoint has fired (everything fails until a fresh io).
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    fn draw(&self) -> f64 {
+        let mut s = self.rng.lock().expect("fault rng poisoned");
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        // 53 uniform mantissa bits -> [0, 1).
+        (*s >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn note_injected(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = self.stats.lock().expect("stats lock poisoned").as_ref() {
+            stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The first armed clause firing on `site`, if any. Counts the hit on
+    /// every matching clause (so `@N` counts hits, not fires).
+    fn firing(&self, site: &str, kind: FaultAction) -> Option<FaultAction> {
+        let mut result = None;
+        for state in &self.clauses {
+            let is_crash = state.clause.action == FaultAction::Crash;
+            if (kind == FaultAction::Crash) != is_crash || !state.clause.matches(site) {
+                continue;
+            }
+            let hit = state.hits.fetch_add(1, Ordering::Relaxed) + 1;
+            let fires = match state.clause.trigger {
+                FaultTrigger::Always => true,
+                FaultTrigger::Nth(n) => hit == n && !state.fired.swap(true, Ordering::Relaxed),
+                FaultTrigger::Prob(p) => self.draw() < p,
+            };
+            if fires && result.is_none() {
+                result = Some(state.clause.action);
+            }
+        }
+        if result.is_some() {
+            self.note_injected();
+        }
+        result
+    }
+
+    fn check_crashed(&self) -> io::Result<()> {
+        if self.crashed() {
+            return Err(io::Error::other(
+                "injected fault: process crashed at an earlier crashpoint",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Gate for every non-write operation: crashed latch, then plan match.
+    fn gate(&self, site: &str) -> io::Result<()> {
+        self.check_crashed()?;
+        match self.firing(site, FaultAction::Err) {
+            None => Ok(()),
+            Some(FaultAction::Enospc) => Err(enospc(site)),
+            Some(_) => Err(eio(site)),
+        }
+    }
+}
+
+fn plan_seed(seed: u64) -> u64 {
+    // Golden-ratio offset keeps seed 0 (the default) usable.
+    seed ^ 0x9e37_79b9_7f4a_7c15
+}
+
+fn eio(site: &str) -> io::Error {
+    io::Error::other(format!("injected fault: I/O error at {site}"))
+}
+
+fn enospc(site: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::StorageFull,
+        format!("injected fault: no space left on device at {site}"),
+    )
+}
+
+impl StorageIo for FaultIo {
+    fn create(&self, site: &str, path: &Path) -> io::Result<File> {
+        self.gate(site)?;
+        self.real.create(site, path)
+    }
+
+    fn open_append(&self, site: &str, path: &Path) -> io::Result<File> {
+        self.gate(site)?;
+        self.real.open_append(site, path)
+    }
+
+    fn open_write(&self, site: &str, path: &Path) -> io::Result<File> {
+        self.gate(site)?;
+        self.real.open_write(site, path)
+    }
+
+    fn write_all(&self, site: &str, file: &mut File, bytes: &[u8]) -> io::Result<()> {
+        self.check_crashed()?;
+        match self.firing(site, FaultAction::Err) {
+            None => self.real.write_all(site, file, bytes),
+            Some(FaultAction::Err) => Err(eio(site)),
+            // Short write first: half the record lands, like a real device
+            // running out of space (or power) mid-write.
+            Some(action) => {
+                self.real.write_all(site, file, &bytes[..bytes.len() / 2])?;
+                Err(if action == FaultAction::Enospc {
+                    enospc(site)
+                } else {
+                    eio(site)
+                })
+            }
+        }
+    }
+
+    fn fsync(&self, site: &str, file: &File) -> io::Result<()> {
+        self.gate(site)?;
+        self.real.fsync(site, file)
+    }
+
+    fn set_len(&self, site: &str, file: &File, len: u64) -> io::Result<()> {
+        self.gate(site)?;
+        self.real.set_len(site, file, len)
+    }
+
+    fn rename(&self, site: &str, from: &Path, to: &Path) -> io::Result<()> {
+        self.check_crashed()?;
+        match self.firing(site, FaultAction::Err) {
+            None => self.real.rename(site, from, to),
+            // A torn/failed rename abandons the source; the target is
+            // untouched (rename is atomic — it either happens or not).
+            Some(FaultAction::Enospc) => Err(enospc(site)),
+            Some(_) => Err(eio(site)),
+        }
+    }
+
+    fn remove_file(&self, site: &str, path: &Path) -> io::Result<()> {
+        self.gate(site)?;
+        self.real.remove_file(site, path)
+    }
+
+    fn sync_dir(&self, site: &str, dir: &Path) -> io::Result<()> {
+        self.gate(site)?;
+        self.real.sync_dir(site, dir)
+    }
+
+    fn read(&self, site: &str, path: &Path) -> io::Result<Vec<u8>> {
+        self.gate(site)?;
+        self.real.read(site, path)
+    }
+
+    fn read_dir_names(&self, site: &str, dir: &Path) -> io::Result<Vec<String>> {
+        self.gate(site)?;
+        self.real.read_dir_names(site, dir)
+    }
+
+    fn crashpoint(&self, name: &str) -> io::Result<()> {
+        self.check_crashed()?;
+        if self.firing(name, FaultAction::Crash).is_some() {
+            self.crashed.store(true, Ordering::Release);
+            return Err(io::Error::other(format!(
+                "injected fault: simulated crash at crashpoint {name}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn bind_stats(&self, stats: &Arc<DurabilityStats>) {
+        *self.stats.lock().expect("stats lock poisoned") = Some(Arc::clone(stats));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kreach-fault-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn plan_grammar_round_trips() {
+        let plan: FaultPlan =
+            "wal.append.fsync=err@3; checkpoint.rename=torn; *.write=enospc@p0.05;\
+             crashpoint:checkpoint.before_manifest; seed:42"
+                .parse()
+                .expect("parse");
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.clauses.len(), 4);
+        assert_eq!(plan.clauses[0].action, FaultAction::Err);
+        assert_eq!(plan.clauses[0].trigger, FaultTrigger::Nth(3));
+        assert_eq!(plan.clauses[1].action, FaultAction::Torn);
+        assert_eq!(plan.clauses[1].trigger, FaultTrigger::Always);
+        assert_eq!(plan.clauses[2].pattern, "*.write");
+        assert_eq!(plan.clauses[2].trigger, FaultTrigger::Prob(0.05));
+        assert_eq!(plan.clauses[3].action, FaultAction::Crash);
+    }
+
+    #[test]
+    fn bad_plans_are_rejected() {
+        for bad in [
+            "wal.append=explode",
+            "wal.append=err@0",
+            "wal.append=err@p1.5",
+            "=err",
+            "crashpoint:",
+            "seed:x",
+            "loneclause",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "{bad:?} parsed");
+        }
+        // Empty plans and stray separators are fine.
+        assert_eq!("".parse::<FaultPlan>().expect("empty").clauses.len(), 0);
+        assert_eq!(" ; ".parse::<FaultPlan>().expect("seps").clauses.len(), 0);
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let dir = temp_dir("nth");
+        let io = FaultIo::new("t.fsync=err@2".parse().expect("plan"));
+        let f = io.create("t.create", &dir.join("f")).expect("create");
+        assert!(io.fsync("t.fsync", &f).is_ok(), "hit 1 must pass");
+        assert!(io.fsync("t.fsync", &f).is_err(), "hit 2 must fail");
+        assert!(io.fsync("t.fsync", &f).is_ok(), "hit 3 must pass again");
+        assert_eq!(io.faults_injected(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_write_is_short_then_fails() {
+        let dir = temp_dir("enospc");
+        let io = FaultIo::new("t.write=enospc".parse().expect("plan"));
+        let path = dir.join("f");
+        let mut f = io.create("t.create", &path).expect("create");
+        let err = io
+            .write_all("t.write", &mut f, b"0123456789")
+            .expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        drop(f);
+        // Half the bytes landed — the torn garbage a real ENOSPC leaves.
+        assert_eq!(std::fs::read(&path).expect("read"), b"01234");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_rename_leaves_target_untouched() {
+        let dir = temp_dir("torn-rename");
+        std::fs::write(dir.join("tmp"), b"new").expect("write");
+        std::fs::write(dir.join("final"), b"old").expect("write");
+        let io = FaultIo::new("t.rename=torn".parse().expect("plan"));
+        assert!(io
+            .rename("t.rename", &dir.join("tmp"), &dir.join("final"))
+            .is_err());
+        assert_eq!(std::fs::read(dir.join("final")).expect("read"), b"old");
+        assert_eq!(std::fs::read(dir.join("tmp")).expect("read"), b"new");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashpoint_latches_everything_shut() {
+        let dir = temp_dir("crash");
+        let io = FaultIo::new("crashpoint:after_rotate".parse().expect("plan"));
+        io.crashpoint("before_rotate").expect("unarmed crashpoint");
+        assert!(!io.crashed());
+        assert!(io.crashpoint("after_rotate").is_err());
+        assert!(io.crashed());
+        // Dead processes do no I/O.
+        assert!(io.create("t.create", &dir.join("f")).is_err());
+        assert!(io.read_dir_names("t.read_dir", &dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn probability_draws_are_deterministic_under_seed() {
+        let fires = |seed: u64| -> Vec<bool> {
+            let io = FaultIo::new(
+                format!("t.fsync=err@p0.5; seed:{seed}")
+                    .parse()
+                    .expect("plan"),
+            );
+            (0..32)
+                .map(|_| io.gate("t.fsync").is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fires(7), fires(7), "same seed, same schedule");
+        assert_ne!(fires(7), fires(8), "different seed, different schedule");
+        let hits = fires(7).iter().filter(|&&b| b).count();
+        assert!((4..=28).contains(&hits), "p0.5 over 32 draws hit {hits}");
+    }
+
+    #[test]
+    fn glob_patterns_match_prefix_and_suffix() {
+        let clause = |p: &str| FaultClause {
+            pattern: p.into(),
+            action: FaultAction::Err,
+            trigger: FaultTrigger::Always,
+        };
+        assert!(clause("*").matches("wal.append.write"));
+        assert!(clause("*.write").matches("wal.append.write"));
+        assert!(!clause("*.write").matches("wal.append.fsync"));
+        assert!(clause("wal.*").matches("wal.append.fsync"));
+        assert!(!clause("wal.*").matches("checkpoint.write"));
+        assert!(clause("manifest.rename").matches("manifest.rename"));
+    }
+}

@@ -1,0 +1,226 @@
+//! The storage I/O seam: every filesystem operation the durable path
+//! performs goes through a [`StorageIo`], so tests can inject disk faults
+//! (EIO, ENOSPC, torn writes, crashpoints) at named sites without touching
+//! the code under test.
+//!
+//! Call sites label each operation with a dotted **site** name
+//! (`wal.append.fsync`, `checkpoint.rename`, `manifest.write`, ...). The
+//! production backend [`RealIo`] ignores the label and delegates straight to
+//! `std::fs`; the injectable backend ([`crate::fault::FaultIo`]) matches the
+//! label against a parsed fault plan.
+//!
+//! Fault injection is compiled in only for debug builds and builds with the
+//! `failpoints` feature (the CI `chaos` job runs release +
+//! `--features failpoints`). A plain release build never reads
+//! `KREACH_FAILPOINTS` and [`default_io`] is a direct `RealIo` — zero
+//! branches on the hot path.
+
+use kreach_obs::DurabilityStats;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// The filesystem operations the WAL, checkpointer and manifest swap are
+/// built from. Each takes a `site` label naming the call site for fault
+/// matching; implementations other than fault injectors ignore it.
+pub trait StorageIo: Send + Sync {
+    /// Creates (truncating) a file for writing.
+    fn create(&self, site: &str, path: &Path) -> io::Result<File>;
+
+    /// Opens (creating if needed) a file in append mode.
+    fn open_append(&self, site: &str, path: &Path) -> io::Result<File>;
+
+    /// Opens an existing file for writing (no truncation, no creation).
+    fn open_write(&self, site: &str, path: &Path) -> io::Result<File>;
+
+    /// Writes all of `bytes` to `file`.
+    fn write_all(&self, site: &str, file: &mut File, bytes: &[u8]) -> io::Result<()>;
+
+    /// Fsyncs file contents (and metadata) to stable storage.
+    fn fsync(&self, site: &str, file: &File) -> io::Result<()>;
+
+    /// Truncates (or extends) `file` to `len` bytes.
+    fn set_len(&self, site: &str, file: &File, len: u64) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to`.
+    fn rename(&self, site: &str, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Deletes a file.
+    fn remove_file(&self, site: &str, path: &Path) -> io::Result<()>;
+
+    /// Fsyncs a directory so renames/creates/deletes inside it are durable.
+    fn sync_dir(&self, site: &str, dir: &Path) -> io::Result<()>;
+
+    /// Reads a whole file.
+    fn read(&self, site: &str, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Lists the file names in `dir`.
+    fn read_dir_names(&self, site: &str, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// A named no-op the fault plan can turn into a simulated crash: once a
+    /// `crashpoint:<name>` clause fires, this call and **every** subsequent
+    /// operation on the same `StorageIo` fail, exactly as if the process had
+    /// died here and something else was probing its descriptor. Tests then
+    /// "restart" by reopening the directory with a fresh io.
+    fn crashpoint(&self, _name: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Total faults this io has injected (0 for non-injecting backends).
+    fn faults_injected(&self) -> u64 {
+        0
+    }
+
+    /// Lets an injecting io mirror its fault count into the shared
+    /// durability stats (`kreach_faults_injected_total`). No-op by default.
+    fn bind_stats(&self, _stats: &Arc<DurabilityStats>) {}
+}
+
+/// The production backend: direct `std::fs`, no fault matching.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl StorageIo for RealIo {
+    fn create(&self, _site: &str, path: &Path) -> io::Result<File> {
+        File::create(path)
+    }
+
+    fn open_append(&self, _site: &str, path: &Path) -> io::Result<File> {
+        OpenOptions::new().create(true).append(true).open(path)
+    }
+
+    fn open_write(&self, _site: &str, path: &Path) -> io::Result<File> {
+        OpenOptions::new().write(true).open(path)
+    }
+
+    fn write_all(&self, _site: &str, file: &mut File, bytes: &[u8]) -> io::Result<()> {
+        file.write_all(bytes)
+    }
+
+    fn fsync(&self, _site: &str, file: &File) -> io::Result<()> {
+        file.sync_all()
+    }
+
+    fn set_len(&self, _site: &str, file: &File, len: u64) -> io::Result<()> {
+        file.set_len(len)
+    }
+
+    fn rename(&self, _site: &str, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, _site: &str, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, _site: &str, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+
+    fn read(&self, _site: &str, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn read_dir_names(&self, _site: &str, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+}
+
+/// Whether fault-injection hooks are compiled into this build (debug, or
+/// release with the `failpoints` feature).
+pub const fn failpoints_compiled() -> bool {
+    cfg!(any(debug_assertions, feature = "failpoints"))
+}
+
+/// Validates a fault-plan string without installing it — what the CLI's
+/// `--failpoints` flag runs before exporting the plan, so a typo fails the
+/// command instead of being silently ignored at open time. Errors in a
+/// build without failpoints compiled (there is nothing the plan could
+/// drive).
+pub fn validate_fault_plan(plan: &str) -> Result<(), String> {
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    {
+        plan.parse::<crate::fault::FaultPlan>().map(|_| ())
+    }
+    #[cfg(not(any(debug_assertions, feature = "failpoints")))]
+    {
+        let _ = plan;
+        Err("failpoints are not compiled into this build \
+             (use a debug build or --features failpoints)"
+            .to_string())
+    }
+}
+
+/// The io every [`crate::Store::open`] uses: [`RealIo`], unless this build
+/// has failpoints compiled in **and** `KREACH_FAILPOINTS` holds a parseable
+/// fault plan. A malformed plan is reported and ignored rather than
+/// silently serving with faults armed differently than intended.
+pub fn default_io() -> Arc<dyn StorageIo> {
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    {
+        if let Ok(plan) = std::env::var("KREACH_FAILPOINTS") {
+            if !plan.trim().is_empty() {
+                match plan.parse::<crate::fault::FaultPlan>() {
+                    Ok(plan) => return Arc::new(crate::fault::FaultIo::new(plan)),
+                    Err(e) => {
+                        eprintln!("kreach-store: ignoring invalid KREACH_FAILPOINTS: {e}")
+                    }
+                }
+            }
+        }
+    }
+    Arc::new(RealIo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_io_round_trips_files() {
+        let dir = std::env::temp_dir().join(format!("kreach-io-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let io = RealIo;
+        let path = dir.join("a");
+        let mut f = io.create("t.create", &path).expect("create");
+        io.write_all("t.write", &mut f, b"hello").expect("write");
+        io.fsync("t.fsync", &f).expect("fsync");
+        io.set_len("t.set_len", &f, 4).expect("set_len");
+        drop(f);
+        assert_eq!(io.read("t.read", &path).expect("read"), b"hell");
+        io.rename("t.rename", &path, &dir.join("b"))
+            .expect("rename");
+        io.sync_dir("t.sync_dir", &dir).expect("sync_dir");
+        let names = io.read_dir_names("t.read_dir", &dir).expect("read_dir");
+        assert_eq!(names, vec!["b".to_string()]);
+        io.remove_file("t.remove", &dir.join("b")).expect("remove");
+        assert!(io
+            .read_dir_names("t.read_dir", &dir)
+            .expect("read_dir")
+            .is_empty());
+        io.crashpoint("t.crash")
+            .expect("real crashpoint is a no-op");
+        assert_eq!(io.faults_injected(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // In a plain release build the env var must be dead: `default_io` never
+    // reads it and always returns the real backend.
+    #[cfg(not(any(debug_assertions, feature = "failpoints")))]
+    #[test]
+    fn release_default_io_ignores_failpoints_env() {
+        std::env::set_var("KREACH_FAILPOINTS", "*.write=err");
+        assert!(!failpoints_compiled());
+        let io = default_io();
+        assert_eq!(io.faults_injected(), 0);
+        std::env::remove_var("KREACH_FAILPOINTS");
+    }
+}

@@ -33,22 +33,43 @@
 //! a suffix of them), and a torn tail from a crash mid-append is dropped.
 //! An update whose ack was sent is never lost; an update whose ack was
 //! never sent may or may not survive — both outcomes are consistent.
+//!
+//! ## Failure contract
+//!
+//! Every durable write goes through the [`io::StorageIo`] seam ([`io`]),
+//! which debug and `--features failpoints` builds can replace with a
+//! deterministic fault injector ([`fault`], driven by the
+//! `KREACH_FAILPOINTS` plan grammar). Under any injected fault the
+//! invariants hold: a failed WAL append surfaces an error *before* the ack
+//! (and the unacked bytes are healed away before the next successful
+//! append), a failed checkpoint leaves the previous checkpoint + manifest
+//! restore point intact, and a crashpoint anywhere in the checkpoint
+//! sequence recovers to a consistent epoch on reopen.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod container;
+#[cfg(any(debug_assertions, feature = "failpoints"))]
+pub mod fault;
 pub mod index_v3;
+pub mod io;
 pub mod manifest;
 pub mod store;
 pub mod wal;
 
-pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointWrite, RestoredCheckpoint};
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, save_checkpoint_io, CheckpointWrite, RestoredCheckpoint,
+};
 pub use container::{ContainerReader, ContainerWriter, FileKind};
+#[cfg(any(debug_assertions, feature = "failpoints"))]
+pub use fault::{FaultAction, FaultClause, FaultIo, FaultPlan, FaultTrigger};
 pub use index_v3::{load_index, read_index_v3, save_index_v3, write_index_v3};
-pub use manifest::{read_manifest, Manifest};
+pub use io::{default_io, failpoints_compiled, validate_fault_plan, RealIo, StorageIo};
+pub use manifest::{read_manifest, write_manifest, write_manifest_io, Manifest};
 pub use store::{
-    engine_snapshot, read_durable_state, spawn_checkpointer, Checkpointer, RestoreReport, Store,
+    engine_checkpoint, engine_snapshot, read_durable_state, spawn_checkpointer, CheckpointToken,
+    Checkpointer, RestoreReport, Store,
 };
 pub use wal::{replay, Wal, WalAppendInfo, WalRecord, WalReplay};

@@ -9,9 +9,8 @@
 //! checkpoint checkpoint-0000000042.krc3
 //! ```
 
+use crate::io::{RealIo, StorageIo};
 use kreach_core::storage::StorageError;
-use std::fs::File;
-use std::io::Write;
 use std::path::Path;
 
 /// File name of the manifest inside a data directory.
@@ -80,15 +79,27 @@ pub fn read_manifest(dir: &Path) -> Result<Option<Manifest>, StorageError> {
 
 /// Atomically installs `manifest` as the manifest of `dir`.
 pub fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), StorageError> {
+    write_manifest_io(&RealIo, dir, manifest)
+}
+
+/// [`write_manifest`], routed through an io seam (sites `manifest.write`,
+/// `manifest.fsync`, `manifest.rename`, `manifest.sync_dir`). A failure at
+/// any site leaves the previous manifest — and therefore the previous
+/// restore point — fully intact: the rename is the only visible step.
+pub fn write_manifest_io(
+    io: &dyn StorageIo,
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<(), StorageError> {
     let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
     let target = dir.join(MANIFEST_NAME);
     {
-        let mut f = File::create(&tmp)?;
-        f.write_all(manifest.render().as_bytes())?;
-        f.sync_all()?;
+        let mut f = io.create("manifest.write", &tmp)?;
+        io.write_all("manifest.write", &mut f, manifest.render().as_bytes())?;
+        io.fsync("manifest.fsync", &f)?;
     }
-    std::fs::rename(&tmp, &target)?;
-    File::open(dir)?.sync_all()?;
+    io.rename("manifest.rename", &tmp, &target)?;
+    io.sync_dir("manifest.sync_dir", dir)?;
     Ok(())
 }
 

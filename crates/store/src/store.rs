@@ -24,8 +24,9 @@
 //!    because inserts/removes of already-present/absent edges do not
 //!    change state.
 
-use crate::checkpoint::{load_checkpoint, save_checkpoint};
-use crate::manifest::{read_manifest, write_manifest, Manifest};
+use crate::checkpoint::{load_checkpoint, save_checkpoint_io};
+use crate::io::{default_io, StorageIo};
+use crate::manifest::{read_manifest, write_manifest_io, Manifest};
 use crate::wal::{replay, Wal};
 use kreach_core::dynamic::{DynamicKReach, DynamicOptions};
 use kreach_core::storage::StorageError;
@@ -54,6 +55,9 @@ pub struct Store {
     stats: Arc<DurabilityStats>,
     /// Optional flight recorder for checkpoint/restore events.
     events: Mutex<Option<Arc<FlightRecorder>>>,
+    /// The storage I/O seam every durable write goes through; [`RealIo`]
+    /// (see [`crate::io`]) in production, a fault injector in chaos tests.
+    io: Arc<dyn StorageIo>,
     /// Advisory exclusive lock on `LOCK`; held for the store's lifetime so
     /// a second process cannot rotate/prune the WAL out from under a live
     /// server. Released by the OS on close — including `kill -9`.
@@ -82,6 +86,15 @@ fn lock_dir(dir: &Path) -> Result<std::fs::File, StorageError> {
     }
 }
 
+/// An in-flight checkpoint started by [`Store::begin_checkpoint`]: the WAL
+/// has rotated, but nothing on disk has changed yet. Dropping the token
+/// abandons the checkpoint harmlessly — the extra segment boundary is
+/// invisible to replay.
+pub struct CheckpointToken {
+    new_seq: u64,
+    started: Instant,
+}
+
 /// What [`Store::restore`] reconstructed.
 pub struct RestoreReport {
     /// The maintainer at the exact pre-crash state.
@@ -104,20 +117,37 @@ impl Store {
     /// second `serve`, or `kreach checkpoint` against a live server — holds
     /// the directory, instead of corrupting its WAL lifecycle.
     pub fn open(dir: impl AsRef<Path>, options: DynamicOptions) -> Result<Self, StorageError> {
+        Self::open_with_io(dir, options, default_io())
+    }
+
+    /// [`Store::open`] with an explicit storage-io backend — the seam the
+    /// chaos harness uses to inject disk faults. `Store::open` itself
+    /// resolves the backend from `KREACH_FAILPOINTS` in builds with
+    /// failpoints compiled in, and is hardwired to the real filesystem
+    /// otherwise.
+    pub fn open_with_io(
+        dir: impl AsRef<Path>,
+        options: DynamicOptions,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Self, StorageError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let lock = lock_dir(&dir)?;
-        let wal = Wal::open(&dir)?;
+        let wal = Wal::open_with_io(&dir, Arc::clone(&io))?;
         let stats = Arc::new(DurabilityStats::new());
         stats
             .wal_segments
             .store(wal.segment_count()?, Ordering::Relaxed);
+        // An injecting io mirrors its fault count into the shared stats so
+        // `/metrics` can render `kreach_faults_injected_total`.
+        io.bind_stats(&stats);
         Ok(Store {
             dir,
             wal: Mutex::new(wal),
             options,
             stats,
             events: Mutex::new(None),
+            io,
             _lock: lock,
         })
     }
@@ -189,29 +219,65 @@ impl Store {
     /// read the engine epoch **before** cloning the state (so the snapshot
     /// is at least as new as the epoch it claims). Returns the epoch the
     /// checkpoint covers.
+    ///
+    /// With a live engine prefer [`engine_checkpoint`], which quiesces the
+    /// update path around the rotation: the engine logs a batch at
+    /// `epoch + 1` *before* bumping the epoch, and a rotation slipping into
+    /// that window would prune the record's segment while the claimed epoch
+    /// still precedes it.
     pub fn checkpoint_with(
         &self,
         snap: impl FnOnce() -> (DynamicKReach, u64),
     ) -> Result<u64, StorageError> {
+        let token = self.begin_checkpoint()?;
+        let (state, epoch) = snap();
+        self.finish_checkpoint(token, &state, epoch)
+    }
+
+    /// Phase one of a checkpoint: rotates the WAL to a fresh segment.
+    /// Every record in pre-rotation segments has an epoch `<=` any engine
+    /// epoch read **after** this returns, which is what makes those
+    /// segments deletable in [`Store::finish_checkpoint`].
+    pub fn begin_checkpoint(&self) -> Result<CheckpointToken, StorageError> {
         let started = Instant::now();
         let new_seq = {
             let mut wal = self.wal.lock().expect("wal lock poisoned");
             wal.rotate()?
         };
-        let (state, epoch) = snap();
+        self.io.crashpoint("checkpoint.after_rotate")?;
+        Ok(CheckpointToken { new_seq, started })
+    }
 
+    /// Phase two: writes `state` as the checkpoint for `epoch`, atomically
+    /// swaps the manifest, and prunes pre-rotation WAL segments. Any
+    /// failure before the manifest rename leaves the previous checkpoint +
+    /// manifest untouched — recovery keeps working from the old restore
+    /// point (the extra un-pruned WAL segments replay on top of it).
+    pub fn finish_checkpoint(
+        &self,
+        token: CheckpointToken,
+        state: &DynamicKReach,
+        epoch: u64,
+    ) -> Result<u64, StorageError> {
+        let CheckpointToken { new_seq, started } = token;
+        let io = self.io.as_ref();
+        io.crashpoint("checkpoint.before_write")?;
         let final_name = checkpoint_name(epoch);
         let tmp = self.dir.join(format!("{final_name}.tmp"));
-        let write = save_checkpoint(&state, epoch, &tmp)?;
-        std::fs::rename(&tmp, self.dir.join(&final_name))?;
-        std::fs::File::open(&self.dir)?.sync_all()?;
-        write_manifest(
+        let write = save_checkpoint_io(io, state, epoch, &tmp)?;
+        io.crashpoint("checkpoint.before_rename")?;
+        io.rename("checkpoint.rename", &tmp, &self.dir.join(&final_name))?;
+        io.sync_dir("checkpoint.sync_dir", &self.dir)?;
+        io.crashpoint("checkpoint.before_manifest")?;
+        write_manifest_io(
+            io,
             &self.dir,
             &Manifest {
                 epoch,
                 checkpoint: final_name.clone(),
             },
         )?;
+        io.crashpoint("checkpoint.before_prune")?;
 
         // The manifest is durable: older checkpoints and the pre-rotation
         // WAL segments are now garbage.
@@ -222,15 +288,12 @@ impl Store {
                 .wal_segments
                 .store(wal.segment_count()?, Ordering::Relaxed);
         }
-        for entry in std::fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+        for name in io.read_dir_names("checkpoint.clean.read_dir", &self.dir)? {
             if name.starts_with("checkpoint-")
                 && (name.ends_with(".krc3") || name.ends_with(".tmp"))
                 && name != final_name
             {
-                std::fs::remove_file(entry.path())?;
+                io.remove_file("checkpoint.clean", &self.dir.join(&name))?;
             }
         }
         let duration_nanos = started.elapsed().as_nanos() as u64;
@@ -327,6 +390,26 @@ pub fn engine_snapshot(
     (state, epoch)
 }
 
+/// Checkpoints a live engine: quiesces the update path across the WAL
+/// rotation and the epoch read (so no batch can append a record the
+/// rotation would orphan, and the epoch is exact at the rotation point),
+/// then clones and writes the state *outside* the quiesce window — later
+/// batches land in the new segment, and a snapshot newer than the claimed
+/// epoch is harmless because replay is idempotent.
+pub fn engine_checkpoint(
+    store: &Store,
+    engine: &BatchEngine,
+    backend: &DynamicKReachBackend,
+) -> Result<u64, StorageError> {
+    let (token, epoch) = {
+        let _quiesce = engine.quiesce_updates();
+        let token = store.begin_checkpoint()?;
+        (token, engine.epoch())
+    };
+    let state = backend.with_state(|s| s.clone());
+    store.finish_checkpoint(token, &state, epoch)
+}
+
 /// Handle on the background checkpoint thread; stops and joins on
 /// [`Checkpointer::stop`].
 pub struct Checkpointer {
@@ -353,9 +436,26 @@ impl Drop for Checkpointer {
     }
 }
 
+/// Backoff before retry `failures` (1-based): exponential from 500ms,
+/// capped at both 32s and the configured period, plus up to 25% jitter so
+/// a fleet sharing one sick disk does not retry in lockstep.
+fn checkpoint_retry_delay(every: Duration, failures: u64, jitter_seed: u64) -> Duration {
+    let base = Duration::from_millis(500 << failures.saturating_sub(1).min(6));
+    let capped = base.min(every).min(Duration::from_secs(32));
+    // xorshift over the seed; jitter in [0, 25%) of the capped delay.
+    let mut x = jitter_seed | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let jitter_nanos = (capped.as_nanos() as u64 / 4).max(1);
+    capped + Duration::from_nanos(x % jitter_nanos)
+}
+
 /// Spawns a thread that checkpoints every `every` (when the epoch moved
-/// since the last checkpoint). Errors are reported to stderr and retried
-/// next period — a failing disk must not take down serving.
+/// since the last checkpoint). Errors are counted, reported to stderr and
+/// the flight recorder, and retried with capped exponential backoff — a
+/// failing disk must not take down serving, and must not be hammered
+/// either.
 pub fn spawn_checkpointer(
     store: Arc<Store>,
     engine: Arc<BatchEngine>,
@@ -367,20 +467,53 @@ pub fn spawn_checkpointer(
     let stop_flag = Arc::clone(&stop);
     let handle = std::thread::Builder::new()
         .name("kreach-checkpoint".into())
-        .spawn(move || loop {
-            let deadline = Instant::now() + every;
-            while Instant::now() < deadline {
-                if stop_flag.load(Ordering::Relaxed) {
-                    return;
+        .spawn(move || {
+            let mut failures = 0u64;
+            loop {
+                let wait = if failures == 0 {
+                    every
+                } else {
+                    checkpoint_retry_delay(
+                        every,
+                        failures,
+                        std::time::SystemTime::now()
+                            .duration_since(std::time::UNIX_EPOCH)
+                            .map(|d| d.subsec_nanos() as u64)
+                            .unwrap_or(1),
+                    )
+                };
+                let deadline = Instant::now() + wait;
+                while Instant::now() < deadline {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(50).min(wait));
                 }
-                std::thread::sleep(Duration::from_millis(50).min(every));
-            }
-            if engine.epoch() == last_epoch {
-                continue;
-            }
-            match store.checkpoint_with(|| engine_snapshot(&engine, &backend)) {
-                Ok(epoch) => last_epoch = epoch,
-                Err(e) => eprintln!("kreach-store: background checkpoint failed: {e}"),
+                if engine.epoch() == last_epoch {
+                    failures = 0;
+                    continue;
+                }
+                match engine_checkpoint(&store, &engine, &backend) {
+                    Ok(epoch) => {
+                        last_epoch = epoch;
+                        failures = 0;
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        store
+                            .stats
+                            .checkpoint_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        store.record_event(
+                            "checkpoint_failed",
+                            format!("attempt={failures} error={e}"),
+                        );
+                        eprintln!(
+                            "kreach-store: background checkpoint failed \
+                             (attempt {failures}, retrying with backoff): {e}"
+                        );
+                    }
+                }
             }
         })
         .expect("spawn checkpoint thread");
@@ -393,6 +526,8 @@ pub fn spawn_checkpointer(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::save_checkpoint;
+    use crate::manifest::write_manifest;
     use kreach_engine::EngineConfig;
     use kreach_graph::{DiGraph, VertexId};
 

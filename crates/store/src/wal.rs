@@ -26,12 +26,13 @@
 //! old segments can be deleted once the checkpoint is durable.
 
 use crate::container::fnv1a64;
+use crate::io::{RealIo, StorageIo};
 use kreach_core::storage::StorageError;
 use kreach_datasets::workload_file::{read_update_workload, UpdateOp};
 use kreach_graph::EdgeUpdate;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::fs::File;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const SEGMENT_PREFIX: &str = "wal-";
 const SEGMENT_SUFFIX: &str = ".log";
@@ -52,6 +53,18 @@ pub struct Wal {
     seq: u64,
     file: File,
     recovered_torn_tail: bool,
+    /// All filesystem operations go through this seam; [`RealIo`] in
+    /// production, a fault injector under `KREACH_FAILPOINTS`.
+    io: Arc<dyn StorageIo>,
+    /// Bytes of the current segment known durable (written **and**
+    /// fsynced). A failed append leaves bytes past this point.
+    durable_len: u64,
+    /// Set when an append failed after possibly writing bytes: the segment
+    /// tail past `durable_len` is garbage (a torn — or worse, complete but
+    /// unacked — record). [`Wal::heal`] truncates it back before the next
+    /// append or rotation, so a record whose ack was never sent can never
+    /// replay once any later append succeeds.
+    dirty: bool,
 }
 
 fn segment_name(seq: u64) -> String {
@@ -67,52 +80,70 @@ fn segment_seq(name: &str) -> Option<u64> {
 
 /// Sorted `(seq, path)` list of the WAL segments present in `dir`.
 fn segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StorageError> {
+    segments_via(&RealIo, "wal.read_dir", dir)
+}
+
+/// [`segments`], routed through an io seam and labeled with `site`.
+fn segments_via(
+    io: &dyn StorageIo,
+    site: &str,
+    dir: &Path,
+) -> Result<Vec<(u64, PathBuf)>, StorageError> {
     let mut found = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        if let Some(seq) = entry.file_name().to_str().and_then(segment_seq) {
-            found.push((seq, entry.path()));
+    for name in io.read_dir_names(site, dir)? {
+        if let Some(seq) = segment_seq(&name) {
+            found.push((seq, dir.join(name)));
         }
     }
     found.sort_unstable_by_key(|&(seq, _)| seq);
     Ok(found)
 }
 
-/// Fsyncs the directory itself so renames and creates within it are durable.
-fn sync_dir(dir: &Path) -> std::io::Result<()> {
-    File::open(dir)?.sync_all()
-}
-
 impl Wal {
+    /// Opens the newest segment in `dir` for appending over the real
+    /// filesystem backend. See [`Wal::open_with_io`].
+    pub fn open(dir: &Path) -> Result<Self, StorageError> {
+        Self::open_with_io(dir, Arc::new(RealIo))
+    }
+
     /// Opens the newest segment in `dir` for appending, creating segment 1
     /// if the directory has none. If a crash left a torn record at the
     /// segment's tail, the tail is truncated first: replay stops at the
     /// first tear, so appending after torn bytes would make every later
     /// acked record unrecoverable on the next restart.
-    pub fn open(dir: &Path) -> Result<Self, StorageError> {
-        let seq = segments(dir)?.last().map(|&(s, _)| s).unwrap_or(0).max(1);
+    pub fn open_with_io(dir: &Path, io: Arc<dyn StorageIo>) -> Result<Self, StorageError> {
+        let seq = segments_via(io.as_ref(), "wal.open.read_dir", dir)?
+            .last()
+            .map(|&(s, _)| s)
+            .unwrap_or(0)
+            .max(1);
         let path = dir.join(segment_name(seq));
         let mut recovered_torn_tail = false;
-        match std::fs::read(&path) {
+        let mut durable_len = 0u64;
+        match io.read("wal.open.read", &path) {
             Ok(bytes) => {
                 let parsed = parse_segment(&bytes);
+                durable_len = parsed.valid_len as u64;
                 if parsed.valid_len < bytes.len() {
-                    let file = OpenOptions::new().write(true).open(&path)?;
-                    file.set_len(parsed.valid_len as u64)?;
-                    file.sync_all()?;
+                    let file = io.open_write("wal.open.truncate", &path)?;
+                    io.set_len("wal.open.set_len", &file, durable_len)?;
+                    io.fsync("wal.open.fsync", &file)?;
                     recovered_torn_tail = true;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        sync_dir(dir)?;
+        let file = io.open_append("wal.open", &path)?;
+        io.sync_dir("wal.open.sync_dir", dir)?;
         Ok(Wal {
             dir: dir.to_path_buf(),
             seq,
             file,
             recovered_torn_tail,
+            io,
+            durable_len,
+            dirty: false,
         })
     }
 
@@ -139,17 +170,47 @@ impl Wal {
         bytes
     }
 
+    /// Truncates the current segment back to its last durable byte,
+    /// discarding whatever a failed append left behind. Called before the
+    /// next append (or rotation) after a failure: the discarded tail is
+    /// either torn (unreplayable anyway) or a complete record whose ack was
+    /// never sent — letting *that* replay behind later acked records would
+    /// resurrect an update the client was told failed.
+    fn heal(&mut self) -> std::io::Result<()> {
+        self.io
+            .set_len("wal.heal.set_len", &self.file, self.durable_len)?;
+        self.io.fsync("wal.heal.fsync", &self.file)?;
+        self.dirty = false;
+        Ok(())
+    }
+
     /// Appends one record and fsyncs it. Returns only after the bytes are
     /// durable — this is the fsync that backs the ack. The returned
     /// [`WalAppendInfo`] carries the append's size and the write/fsync
     /// stage timings for the durability instrumentation.
+    ///
+    /// After a failed append the segment self-heals on the next call:
+    /// the not-acknowledged tail is truncated before new bytes land.
     pub fn append(&mut self, epoch: u64, updates: &[EdgeUpdate]) -> std::io::Result<WalAppendInfo> {
+        if self.dirty {
+            self.heal()?;
+        }
         let bytes = Self::render_record(epoch, updates);
         let write_start = std::time::Instant::now();
-        self.file.write_all(&bytes)?;
+        if let Err(e) = self
+            .io
+            .write_all("wal.append.write", &mut self.file, &bytes)
+        {
+            self.dirty = true;
+            return Err(e);
+        }
         let write_nanos = write_start.elapsed().as_nanos() as u64;
         let fsync_start = std::time::Instant::now();
-        self.file.sync_data()?;
+        if let Err(e) = self.io.fsync("wal.append.fsync", &self.file) {
+            self.dirty = true;
+            return Err(e);
+        }
+        self.durable_len += bytes.len() as u64;
         Ok(WalAppendInfo {
             bytes: bytes.len() as u64,
             ops: updates.len() as u64,
@@ -159,26 +220,31 @@ impl Wal {
     }
 
     /// Rotates to a fresh segment; subsequent appends go there. Returns the
-    /// sequence number of the new segment.
+    /// sequence number of the new segment. A dirty tail on the old segment
+    /// is healed first — after rotation it would be out of reach forever.
     pub fn rotate(&mut self) -> Result<u64, StorageError> {
+        if self.dirty {
+            self.heal()?;
+        }
         let seq = self.seq + 1;
         let path = self.dir.join(segment_name(seq));
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        sync_dir(&self.dir)?;
+        let file = self.io.open_append("wal.rotate", &path)?;
+        self.io.sync_dir("wal.rotate.sync_dir", &self.dir)?;
         self.seq = seq;
         self.file = file;
+        self.durable_len = 0;
         Ok(seq)
     }
 
     /// Deletes every segment with sequence number `< before_seq`. Only
     /// called after a checkpoint covering their records is durable.
     pub fn prune(&self, before_seq: u64) -> Result<(), StorageError> {
-        for (seq, path) in segments(&self.dir)? {
+        for (seq, path) in segments_via(self.io.as_ref(), "wal.prune.read_dir", &self.dir)? {
             if seq < before_seq {
-                std::fs::remove_file(path)?;
+                self.io.remove_file("wal.prune", &path)?;
             }
         }
-        sync_dir(&self.dir)?;
+        self.io.sync_dir("wal.prune.sync_dir", &self.dir)?;
         Ok(())
     }
 
@@ -191,7 +257,7 @@ impl Wal {
     /// `kreach_wal_segments` gauge and the `/healthz` `wal_segments`
     /// field).
     pub fn segment_count(&self) -> Result<u64, StorageError> {
-        Ok(segments(&self.dir)?.len() as u64)
+        Ok(segments_via(self.io.as_ref(), "wal.segments.read_dir", &self.dir)?.len() as u64)
     }
 }
 
@@ -468,6 +534,54 @@ mod tests {
         );
         wal.rotate().expect("rotate");
         assert_eq!(wal.segment_count().expect("count"), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A fsync-failed record (written but never acked) must not replay once
+    /// a later append succeeds: the next append heals the tail first.
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    #[test]
+    fn failed_appends_self_heal_before_the_next_ack() {
+        use crate::fault::FaultIo;
+        let dir = temp_dir("heal");
+        let io = Arc::new(FaultIo::new(
+            "wal.append.fsync=err@2".parse().expect("plan"),
+        ));
+        let mut wal = Wal::open_with_io(&dir, io).expect("open");
+        wal.append(1, &batch(1)).expect("append 1");
+        // The record's bytes land but the fsync fails — unacked, yet fully
+        // parseable if it were left in place.
+        assert!(wal.append(2, &batch(2)).is_err(), "injected fsync fault");
+        wal.append(2, &batch(20)).expect("append after heal");
+        drop(wal);
+        let r = replay(&dir, 0).expect("replay");
+        assert!(!r.torn);
+        assert_eq!(r.records.len(), 2, "ghost record resurrected");
+        assert_eq!(r.records[0].updates, batch(1));
+        assert_eq!(r.records[1].updates, batch(20));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Same, across a rotation: rotating away from a dirty segment would
+    /// strand the ghost where heal can never reach it.
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    #[test]
+    fn rotation_heals_a_dirty_segment_first() {
+        use crate::fault::FaultIo;
+        let dir = temp_dir("heal-rotate");
+        let io = Arc::new(FaultIo::new(
+            "wal.append.fsync=err@2".parse().expect("plan"),
+        ));
+        let mut wal = Wal::open_with_io(&dir, io).expect("open");
+        wal.append(1, &batch(1)).expect("append 1");
+        assert!(wal.append(2, &batch(2)).is_err(), "injected fsync fault");
+        wal.rotate().expect("rotate");
+        wal.append(2, &batch(20)).expect("append after rotate");
+        drop(wal);
+        let r = replay(&dir, 0).expect("replay");
+        assert!(!r.torn);
+        assert_eq!(r.records.len(), 2, "ghost record resurrected");
+        assert_eq!(r.records[1].updates, batch(20));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -120,7 +120,7 @@ fn usage() -> &'static str {
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--handlers N] [--max-inflight N] [--max-body BYTES]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--prefetch-hot N] [--accel-budget BYTES] [--trace N]\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--slow-query-us US] [--data-dir DIR] [--checkpoint-every SECS]\n\
-     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--stats-interval SECS]\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20 [--stats-interval SECS] [--max-wal-lag N] [--failpoints PLAN]\n\
      \x20 kreach checkpoint --data-dir <dir>\n\
      \x20 kreach restore --data-dir <dir>\n\
      \x20 kreach bench-serve [--dataset D] [--scale F] [--k K] [--queries N]\n\
@@ -767,10 +767,36 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             "--data-dir",
             "--checkpoint-every",
             "--stats-interval",
+            "--max-wal-lag",
+            "--failpoints",
         ],
     )?;
     let data_dir = flag_value(args, "--data-dir")?;
     let checkpoint_every: u64 = parse_flag_or(args, "--checkpoint-every", 30)?;
+    let max_wal_lag: Option<u64> = match flag_value(args, "--max-wal-lag")? {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| format!("invalid --max-wal-lag {v:?}: {e}"))?,
+        ),
+        None => None,
+    };
+    // `--failpoints <plan>` arms the storage fault injector (chaos drills;
+    // debug / `--features failpoints` builds only). The plan is validated
+    // here — a typo must fail the command — then exported so the store's
+    // io layer picks it up at open.
+    if let Some(plan) = flag_value(args, "--failpoints")? {
+        if !kreach::store::failpoints_compiled() {
+            return Err(
+                "--failpoints requires a build with fault injection compiled in \
+                 (a debug build, or release with --features failpoints)"
+                    .to_string(),
+            );
+        }
+        kreach::store::validate_fault_plan(plan)
+            .map_err(|e| format!("invalid --failpoints plan: {e}"))?;
+        std::env::set_var("KREACH_FAILPOINTS", plan);
+        eprintln!("kreach-store: fault injection armed: {plan}");
+    }
     let pos = positionals(args);
     let graph_path = match (pos.as_slice(), data_dir) {
         ([path], _) => Some(*path),
@@ -915,6 +941,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
         recorder.clone(),
     ));
     let mut checkpointer = None;
+    let mut prober = None;
     if let Some((store, dyn_backend, epoch)) = &durable {
         engine.restore_epoch(*epoch);
         // Every acked update is WAL-appended + fsynced before the ack from
@@ -929,6 +956,14 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
                 *epoch,
             ));
         }
+        // If a storage fault fences the engine read-only, this loop probes
+        // the WAL with capped exponential backoff and restores read-write
+        // serving as soon as the disk recovers — no restart needed.
+        prober = Some(kreach::engine::spawn_degraded_prober(
+            Arc::clone(&engine),
+            std::time::Duration::from_millis(200),
+            std::time::Duration::from_secs(5),
+        ));
     }
     let info = engine.info();
     let flight_dump_dir = data_dir.map(std::path::PathBuf::from);
@@ -953,6 +988,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
             max_inflight,
             max_body_bytes: max_body,
             slow_query_us,
+            max_wal_lag,
             ..server_defaults
         },
         kreach::server::ServerObs {
@@ -1010,9 +1046,12 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
     if let Some(ckpt) = checkpointer.take() {
         ckpt.stop();
     }
+    if let Some(p) = prober.take() {
+        p.stop();
+    }
     // Final checkpoint on clean drain, so the next start replays no WAL.
     if let Some((store, dyn_backend, _)) = &durable {
-        match store.checkpoint_with(|| kreach::store::engine_snapshot(&engine, dyn_backend)) {
+        match kreach::store::engine_checkpoint(store, &engine, dyn_backend) {
             Ok(epoch) => println!("kreach-store: final checkpoint at epoch {epoch}"),
             Err(e) => eprintln!("kreach-store: final checkpoint failed: {e}"),
         }
